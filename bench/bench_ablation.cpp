@@ -1,0 +1,165 @@
+// Ablations on the TECfan design choices called out in DESIGN.md:
+//   1. knob ablation — TECfan with TECs disabled / DVFS disabled, vs full;
+//   2. control-period sensitivity (the paper picks 2 ms);
+//   3. TEC drive current sweep (the paper fixes 6 A, citing >8 A as unsafe);
+//   4. TEC hysteresis margin of the Fan+TEC baseline rule.
+// All on cholesky/16t at a fixed fan level so the effects are isolated.
+#include <memory>
+
+#include "common.h"
+#include "thermal/tec_device.h"
+
+namespace {
+
+using namespace tecfan;
+using namespace tecfan::bench;
+
+// A TECfan variant with one knob disabled, for the ablation.
+class RestrictedTecFan final : public core::Policy {
+ public:
+  RestrictedTecFan(bool allow_tec, bool allow_dvfs)
+      : allow_tec_(allow_tec), allow_dvfs_(allow_dvfs) {}
+  std::string_view name() const override { return "TECfan-ablated"; }
+  void reset() override { inner_.reset(); }
+  core::KnobState decide(core::PlanningModel& model,
+                         const core::KnobState& current) override {
+    core::KnobState next = inner_.decide(model, current);
+    if (!allow_tec_)
+      for (auto& b : next.tec_on) b = 0;
+    if (!allow_dvfs_)
+      for (auto& d : next.dvfs) d = 0;
+    return next;
+  }
+
+ private:
+  core::TecFanPolicy inner_;
+  bool allow_tec_;
+  bool allow_dvfs_;
+};
+
+void run_row(ChipBench& bench, const perf::Workload& wl, double tth,
+             core::Policy& p, int fan_level, const std::string& label,
+             const sim::RunResult& base, TextTable& t) {
+  sim::RunConfig cfg;
+  cfg.threshold_k = tth;
+  cfg.fan_level = fan_level;
+  sim::RunResult r = bench.simulator.run(p, wl, cfg);
+  t.add_row({label, fmt(r.exec_time_s / base.exec_time_s, 4),
+             fmt(r.energy_j / base.energy_j, 4),
+             fmt(r.edp() / base.edp(), 4), fmt(to_c(r.peak_temp_k), 4),
+             fmt(100.0 * r.violation_frac, 3)});
+}
+
+}  // namespace
+
+int main() {
+  ChipBench bench;
+  auto wl = bench.workload("cholesky", 16);
+  sim::RunResult base = sim::measure_base_scenario(bench.simulator, *wl);
+  const double tth = base.peak_temp_k;
+  const int fan = 2;
+
+  // 1. Knob ablation.
+  {
+    TextTable t;
+    t.set_header({"variant (fan level 2)", "delay", "energy", "EDP",
+                  "peak C", "viol %"});
+    core::TecFanPolicy full;
+    RestrictedTecFan no_tec(/*allow_tec=*/false, /*allow_dvfs=*/true);
+    RestrictedTecFan no_dvfs(/*allow_tec=*/true, /*allow_dvfs=*/false);
+    run_row(bench, *wl, tth, full, fan, "TECfan (both knobs)", base, t);
+    run_row(bench, *wl, tth, no_tec, fan, "DVFS only (TECs forced off)",
+            base, t);
+    run_row(bench, *wl, tth, no_dvfs, fan, "TEC only (DVFS pinned top)",
+            base, t);
+    std::printf("== Ablation 1: knob contribution ==\n%s\n",
+                t.render().c_str());
+  }
+
+  // 2. Control-period sensitivity.
+  {
+    TextTable t;
+    t.set_header({"control period", "delay", "energy", "EDP", "peak C",
+                  "viol %"});
+    for (double period_ms : {1.0, 2.0, 4.0, 8.0}) {
+      sim::ChipSimulator simulator(bench.models, period_ms * 1e-3, 4);
+      core::TecFanPolicy p;
+      sim::RunConfig cfg;
+      cfg.threshold_k = tth;
+      cfg.fan_level = fan;
+      sim::RunResult r = simulator.run(p, *wl, cfg);
+      t.add_row({fmt(period_ms, 3) + " ms",
+                 fmt(r.exec_time_s / base.exec_time_s, 4),
+                 fmt(r.energy_j / base.energy_j, 4),
+                 fmt(r.edp() / base.edp(), 4), fmt(to_c(r.peak_temp_k), 4),
+                 fmt(100.0 * r.violation_frac, 3)});
+    }
+    std::printf("== Ablation 2: control period (paper: 2 ms) ==\n%s\n",
+                t.render().c_str());
+  }
+
+  // 3. TEC drive current (paper: 6 A fixed; > 8 A flagged unsafe by [10]).
+  {
+    TextTable t;
+    t.set_header({"TEC current", "Fan+TEC peak C @L2", "TEC W", "viol %"});
+    for (double amps : {2.0, 4.0, 6.0, 8.0}) {
+      sim::ChipModels models = bench.models;
+      thermal::TecParameters tec;  // defaults
+      tec.drive_current_a = amps;
+      thermal::PackageParameters pkg;
+      models.thermal = std::make_shared<const thermal::ChipThermalModel>(
+          thermal::Floorplan::scc(), pkg, tec);
+      sim::ChipSimulator simulator(models);
+      auto wl2 = perf::make_splash_workload(
+          "cholesky", 16, models.thermal->floorplan(), models.dynamic,
+          models.leak_quad);
+      core::FanTecPolicy p;
+      sim::RunConfig cfg;
+      cfg.threshold_k = tth;
+      cfg.fan_level = 1;
+      sim::RunResult r = simulator.run(p, *wl2, cfg);
+      t.add_row({fmt(amps, 2) + " A", fmt(to_c(r.peak_temp_k), 4),
+                 fmt(r.avg_power.tec_w, 3),
+                 fmt(100.0 * r.violation_frac, 3)});
+    }
+    std::printf("== Ablation 3: TEC drive current (paper fixes 6 A) ==\n%s\n",
+                t.render().c_str());
+  }
+
+  // 4. Fan+TEC hysteresis margin (our deviation from the paper's verbatim
+  // rule; margin 0 is the paper's rule, which bang-bangs).
+  {
+    TextTable t;
+    t.set_header({"off-margin K", "peak C @L1", "TEC W", "viol %"});
+    for (double margin : {0.0, 2.0, 4.0, 6.0, 8.0}) {
+      core::FanTecPolicy p(margin);
+      sim::RunConfig cfg;
+      cfg.threshold_k = tth;
+      cfg.fan_level = 1;
+      sim::RunResult r = bench.simulator.run(p, *wl, cfg);
+      t.add_row({fmt(margin, 2), fmt(to_c(r.peak_temp_k), 4),
+                 fmt(r.avg_power.tec_w, 3),
+                 fmt(100.0 * r.violation_frac, 3)});
+    }
+    std::printf(
+        "== Ablation 4: Fan+TEC turn-off hysteresis (0 = paper's verbatim "
+        "rule) ==\n%s\n",
+        t.render().c_str());
+  }
+
+  // 5. Per-core vs chip-wide DVFS (the paper notes TECfan does not rely on
+  // per-core DVFS and integrates with chip-level DVFS seamlessly).
+  {
+    TextTable t;
+    t.set_header({"DVFS granularity (fan level 2)", "delay", "energy",
+                  "EDP", "peak C", "viol %"});
+    core::TecFanPolicy per_core;
+    core::PolicyOptions opt;
+    opt.chip_wide_dvfs = true;
+    core::TecFanPolicy chip_wide(opt);
+    run_row(bench, *wl, tth, per_core, fan, "per-core DVFS", base, t);
+    run_row(bench, *wl, tth, chip_wide, fan, "chip-wide DVFS", base, t);
+    std::printf("== Ablation 5: DVFS granularity ==\n%s", t.render().c_str());
+  }
+  return 0;
+}

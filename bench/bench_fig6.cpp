@@ -1,0 +1,59 @@
+#include <cmath>
+
+// Figure 6: execution performance of the five policies, normalized to the
+// base scenario — (a) delay, (b) average power, (c) energy, (d) EDP.
+// Expected shape (paper): Fan+TEC saves ~9% power/energy at zero delay;
+// Fan+DVFS saves the most power but pays ~60% delay and the worst EDP;
+// DVFS+TEC sits between; TECfan keeps delay within a few percent and the
+// best (lowest) EDP.
+#include "common.h"
+
+int main() {
+  using namespace tecfan;
+  using namespace tecfan::bench;
+  ChipBench bench;
+
+  const char* metric_names[4] = {"(a) delay", "(b) power", "(c) energy",
+                                 "(d) EDP"};
+  std::vector<TextTable> tables(4);
+  std::vector<std::string> header = {"policy"};
+  for (const auto& w : fig56_benchmarks()) header.push_back(w);
+  header.push_back("geomean");
+  for (auto& t : tables) t.set_header(header);
+
+  for (const auto& entry : chip_policies()) {
+    std::vector<std::vector<std::string>> rows(
+        4, std::vector<std::string>{entry.label});
+    double geo[4] = {1.0, 1.0, 1.0, 1.0};
+    int count = 0;
+    for (const auto& name : fig56_benchmarks()) {
+      auto wl = bench.workload(name, 16);
+      sim::RunResult base = sim::measure_base_scenario(bench.simulator, *wl);
+      sim::SweepOptions opts;
+      opts.threshold_k = base.peak_temp_k;
+      opts.max_mean_dvfs = entry.max_mean_dvfs;
+      sim::SweepResult sw = sim::run_with_fan_sweep(bench.simulator,
+                                                    entry.make, *wl, opts);
+      const sim::RunResult& r = sw.chosen;
+      const double vals[4] = {
+          r.exec_time_s / base.exec_time_s,
+          r.avg_total_power_w() / base.avg_total_power_w(),
+          r.energy_j / base.energy_j, r.edp() / base.edp()};
+      for (int m = 0; m < 4; ++m) {
+        rows[m].push_back(fmt(vals[m], 4));
+        geo[m] *= vals[m];
+      }
+      ++count;
+    }
+    for (int m = 0; m < 4; ++m) {
+      rows[m].push_back(fmt(std::pow(geo[m], 1.0 / count), 4));
+      tables[static_cast<std::size_t>(m)].add_row(rows[m]);
+    }
+  }
+  for (int m = 0; m < 4; ++m)
+    std::printf("== Figure 6%s (normalized to base scenario) ==\n%s\n",
+                metric_names[m], tables[static_cast<std::size_t>(m)]
+                                     .render()
+                                     .c_str());
+  return 0;
+}

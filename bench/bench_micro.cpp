@@ -1,0 +1,226 @@
+// Micro-benchmarks (google-benchmark) for the numerical substrate: the
+// costs that determine whether TECfan's estimator is viable online.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/chip_planning_model.h"
+#include "core/fast_planning_model.h"
+#include "core/tecfan_policy.h"
+#include "linalg/banded.h"
+#include "linalg/cholesky.h"
+#include "linalg/iterative.h"
+#include "linalg/lu.h"
+#include "linalg/systolic.h"
+#include "linalg/woodbury.h"
+#include "thermal/core_estimator.h"
+#include "sim/defaults.h"
+#include "thermal/solvers.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace tecfan;
+
+const sim::ChipModels& models() {
+  static const sim::ChipModels m = sim::make_default_chip_models();
+  return m;
+}
+
+linalg::Vector uniform_power(double watts_per_component) {
+  return linalg::Vector(models().thermal->component_count(),
+                        watts_per_component);
+}
+
+void BM_DenseLuFactor(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  linalg::DenseMatrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = -rng.uniform();
+    a(r, r) = static_cast<double>(n) + 1.0;
+  }
+  for (auto _ : state) {
+    linalg::LuFactorization lu(a);
+    benchmark::DoNotOptimize(lu.size());
+  }
+}
+BENCHMARK(BM_DenseLuFactor)->Arg(64)->Arg(256)->Arg(608);
+
+void BM_SteadySolveBase(benchmark::State& state) {
+  thermal::SteadyStateSolver solver(models().thermal);
+  const auto cooling = models().thermal->make_cooling_state(60.0);
+  const linalg::Vector p = uniform_power(0.4);
+  for (auto _ : state) {
+    auto t = solver.solve(p, cooling);
+    benchmark::DoNotOptimize(t.data());
+  }
+}
+BENCHMARK(BM_SteadySolveBase);
+
+void BM_SteadySolveWithTecs(benchmark::State& state) {
+  thermal::SteadyStateSolver solver(models().thermal);
+  auto cooling = models().thermal->make_cooling_state(60.0);
+  const auto n_on = static_cast<std::size_t>(state.range(0));
+  for (std::size_t t = 0; t < n_on; ++t) cooling.tec_on[t] = 1;
+  const linalg::Vector p = uniform_power(0.4);
+  // Warm the Woodbury column cache (as in steady-state operation).
+  benchmark::DoNotOptimize(solver.solve(p, cooling).data());
+  for (auto _ : state) {
+    auto t = solver.solve(p, cooling);
+    benchmark::DoNotOptimize(t.data());
+  }
+}
+BENCHMARK(BM_SteadySolveWithTecs)->Arg(8)->Arg(32)->Arg(144);
+
+void BM_TransientStep(benchmark::State& state) {
+  thermal::TransientSolver solver(models().thermal, 0.5e-3);
+  const auto cooling = models().thermal->make_cooling_state(60.0);
+  const linalg::Vector p = uniform_power(0.4);
+  linalg::Vector temps(models().thermal->node_count(), 330.0);
+  for (auto _ : state) {
+    temps = solver.step(temps, p, cooling);
+    benchmark::DoNotOptimize(temps.data());
+  }
+}
+BENCHMARK(BM_TransientStep);
+
+void BM_WoodburyVsRefactor(benchmark::State& state) {
+  // Toggle one TEC: Woodbury update + solve vs full refactor.
+  const bool use_woodbury = state.range(0) != 0;
+  const auto& model = *models().thermal;
+  const linalg::Vector q =
+      model.assemble_rhs(uniform_power(0.4), model.make_cooling_state(60.0));
+  auto base = std::make_shared<linalg::LuFactorization>(
+      model.base_conductance().to_dense());
+  linalg::DiagonalUpdateSolver updater(base);
+  std::size_t which = 0;
+  for (auto _ : state) {
+    auto cooling = model.make_cooling_state(60.0);
+    cooling.tec_on[which % model.tec_count()] = 1;
+    ++which;
+    if (use_woodbury) {
+      updater.set_updates(model.diagonal_updates(cooling));
+      benchmark::DoNotOptimize(updater.solve(q).data());
+    } else {
+      linalg::DenseMatrix a = model.base_conductance().to_dense();
+      for (const auto& [node, delta] : model.diagonal_updates(cooling))
+        a(node, node) += delta;
+      linalg::LuFactorization lu(std::move(a));
+      benchmark::DoNotOptimize(lu.solve(q).data());
+    }
+  }
+}
+BENCHMARK(BM_WoodburyVsRefactor)->Arg(1)->Arg(0);
+
+void BM_PlannerPredict(benchmark::State& state) {
+  core::ChipPlanningModel::Config cfg;
+  cfg.fan = models().fan;
+  cfg.dvfs = models().dvfs;
+  core::ChipPlanningModel planner(models().thermal, cfg);
+  const auto& model = *models().thermal;
+  core::ChipPlanningModel::Observation obs;
+  obs.comp_temps_k.assign(model.component_count(), 350.0);
+  obs.comp_dyn_power_w.assign(model.component_count(), 0.35);
+  obs.core_ips.assign(16, 1.3e9);
+  obs.applied = core::KnobState::initial(16, model.tec_count());
+  planner.observe(obs);
+  core::KnobState knobs = obs.applied;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    knobs.tec_on[i % model.tec_count()] ^= 1;
+    ++i;
+    auto p = planner.predict(knobs);
+    benchmark::DoNotOptimize(p.ips);
+  }
+}
+BENCHMARK(BM_PlannerPredict);
+
+void BM_FastPlannerPredict(benchmark::State& state) {
+  // Incremental per-core candidate evaluation (Sec. III-E strategy) vs the
+  // global BM_PlannerPredict above.
+  core::ChipPlanningModel::Config cfg;
+  cfg.fan = models().fan;
+  cfg.dvfs = models().dvfs;
+  core::FastChipPlanningModel planner(models().thermal, cfg);
+  const auto& model = *models().thermal;
+  core::ChipPlanningModel::Observation obs;
+  obs.comp_temps_k.assign(model.component_count(), 350.0);
+  obs.comp_dyn_power_w.assign(model.component_count(), 0.35);
+  obs.core_ips.assign(16, 1.3e9);
+  obs.applied = core::KnobState::initial(16, model.tec_count());
+  planner.observe(obs);
+  core::KnobState knobs = obs.applied;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    knobs = obs.applied;
+    knobs.tec_on[i % model.tec_count()] = 1;
+    ++i;
+    auto p = planner.predict(knobs);
+    benchmark::DoNotOptimize(p.ips);
+  }
+}
+BENCHMARK(BM_FastPlannerPredict);
+
+void BM_CoreEstimatorSteady(benchmark::State& state) {
+  // The Sec. III-E per-core path: a 36-node banded solve vs the global
+  // planner predict() above.
+  thermal::CoreEstimator est(models().thermal, /*core=*/5);
+  std::vector<double> comp_power(thermal::kComponentsPerTile, 0.4);
+  std::vector<std::uint8_t> tec_on(9, 0);
+  tec_on[2] = 1;
+  linalg::Vector boundary(models().thermal->node_count(), 345.0);
+  for (auto _ : state) {
+    auto t = est.steady(comp_power, tec_on, boundary);
+    benchmark::DoNotOptimize(t.data());
+  }
+}
+BENCHMARK(BM_CoreEstimatorSteady);
+
+void BM_BandLuSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  linalg::BandMatrix a(n, 3, 3);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = (r >= 3 ? r - 3 : 0); c <= std::min(n - 1, r + 3);
+         ++c)
+      a.at(r, c) = (r == c) ? 8.0 : -rng.uniform();
+  linalg::Vector b(n, 1.0);
+  linalg::BandLu lu(a);
+  for (auto _ : state) {
+    auto x = lu.solve(b);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_BandLuSolve)->Arg(36)->Arg(288);
+
+void BM_SystolicMatvec(benchmark::State& state) {
+  const std::size_t n = 18;
+  Rng rng(5);
+  linalg::BandMatrix a(n, 1, 1);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = (r >= 1 ? r - 1 : 0); c <= std::min(n - 1, r + 1);
+         ++c)
+      a.at(r, c) = rng.uniform();
+  linalg::Vector x(n, 1.0);
+  for (auto _ : state) {
+    auto run = linalg::systolic_band_matvec(a, x);
+    benchmark::DoNotOptimize(run.y.data());
+  }
+}
+BENCHMARK(BM_SystolicMatvec);
+
+void BM_IterativeCg(benchmark::State& state) {
+  const auto& g = models().thermal->base_conductance();
+  linalg::Vector q = models().thermal->assemble_rhs(
+      uniform_power(0.4), models().thermal->make_cooling_state(0.0));
+  for (auto _ : state) {
+    auto res = linalg::conjugate_gradient(g, q);
+    benchmark::DoNotOptimize(res.x.data());
+  }
+}
+BENCHMARK(BM_IterativeCg);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Section V-A: decision-time complexity of TECfan vs the exhaustive
+// baselines. The paper derives O(NL + N^2 M) for TECfan against O(2^(NL))
+// for OFTEC and O(M^N 2^(NL)) for Oracle. This bench (1) tabulates the
+// analytic candidate counts over core counts, and (2) measures actual
+// decisions per second on the 4-core server model and the 16-core chip
+// model.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "bench/common.h"
+#include "core/exhaustive_policies.h"
+#include "core/tecfan_policy.h"
+#include "perf/wikipedia_trace.h"
+#include "sim/server_system.h"
+
+namespace {
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace tecfan;
+  using namespace tecfan::bench;
+
+  // (1) Analytic search-space sizes (L TECs/core, M DVFS levels).
+  std::printf("== Sec. V-A: candidate counts per decision ==\n");
+  TextTable t;
+  t.set_header({"N cores", "L/core", "M", "TECfan O(NL+N^2*M)",
+                "OFTEC O(2^NL)", "Oracle O(M^N*2^NL)"});
+  for (int n : {2, 4, 8, 16}) {
+    const int l = 9, m = 6;
+    const double tecfan_c = n * l + double(n) * n * m;
+    const double oftec_c = std::pow(2.0, n * l);
+    const double oracle_c = std::pow(m, n) * oftec_c;
+    t.add_row({std::to_string(n), std::to_string(l), std::to_string(m),
+               fmt(tecfan_c, 6), fmt(oftec_c, 3), fmt(oracle_c, 3)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  // (2) Measured decision cost on the 4-core server model.
+  {
+    perf::WikipediaTrace trace;
+    sim::ServerConfig cfg;
+    cfg.duration_s = 30.0;  // short run: we time decisions, not the trace
+    sim::ServerSimulator simulator(cfg);
+    core::PolicyOptions popt;
+    popt.manage_fan = true;
+    popt.fan_period_intervals = cfg.fan_period_intervals;
+    core::ExhaustiveOptions xopt;
+    xopt.base = popt;
+
+    TextTable m;
+    m.set_header({"policy (4-core server)", "wall s / 30 s sim",
+                  "us per decision"});
+    auto time_policy = [&](core::Policy& p, const char* label) {
+      const double t0 = now_seconds();
+      simulator.run(p, trace);
+      const double dt = now_seconds() - t0;
+      const double decisions = cfg.duration_s / cfg.control_period_s;
+      m.add_row({label, fmt(dt, 4), fmt(dt / decisions * 1e6, 5)});
+    };
+    core::TecFanPolicy tecfan(popt);
+    core::OftecPolicy oftec(xopt);
+    core::OraclePolicy oracle(xopt);
+    time_policy(tecfan, "TECfan");
+    time_policy(oftec, "OFTEC (exhaustive)");
+    time_policy(oracle, "Oracle (exhaustive)");
+    std::printf("%s\n", m.render().c_str());
+  }
+
+  // (3) Measured TECfan decision cost on the full 16-core chip (the setup
+  // where the exhaustive baselines are computationally impossible:
+  // M^N 2^NL ~ 6^16 * 2^144).
+  {
+    ChipBench bench;
+    auto wl = bench.workload("cholesky", 16);
+    sim::RunResult base = sim::measure_base_scenario(bench.simulator, *wl);
+    core::TecFanPolicy tecfan;
+    sim::RunConfig cfg;
+    cfg.threshold_k = base.peak_temp_k;
+    cfg.fan_level = 2;
+    const double t0 = now_seconds();
+    sim::RunResult r = bench.simulator.run(tecfan, *wl, cfg);
+    const double dt = now_seconds() - t0;
+    const double decisions = r.exec_time_s / bench.simulator.control_period_s();
+    std::printf("== TECfan on the 16-core chip (N=16, L=9, M=6) ==\n");
+    std::printf("wall %.2f s for %.0f decisions -> %.1f us/decision "
+                "(plant simulation included)\n",
+                dt, decisions, dt / decisions * 1e6);
+    std::printf("exhaustive Oracle would need M^N * 2^(NL) = %.2e candidates "
+                "per decision.\n",
+                std::pow(6.0, 16) * std::pow(2.0, 144));
+  }
+  return 0;
+}

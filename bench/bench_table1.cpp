@@ -1,0 +1,27 @@
+// Table I: base-scenario results (all cores at the peak DVFS level, fan at
+// the highest speed, all TECs off) for the eight SPLASH-2 cases the paper
+// reports. Paper columns are printed next to the measured values.
+#include "common.h"
+
+int main() {
+  using namespace tecfan;
+  using namespace tecfan::bench;
+  ChipBench bench;
+
+  std::printf("== Table I: testing results in the base scenario ==\n");
+  TextTable t;
+  t.set_header({"workload", "threads", "inst", "time ms (paper)",
+                "time ms (meas)", "P W (paper)", "P W (meas)",
+                "T C (paper)", "T C (meas)"});
+  for (const auto& c : perf::table1_cases()) {
+    auto wl = bench.workload(c.benchmark, c.threads);
+    sim::RunResult base = sim::measure_base_scenario(bench.simulator, *wl);
+    t.add_row({c.benchmark, std::to_string(c.threads),
+               fmt(c.instructions / 1e6, 4) + "M", fmt(c.time_ms, 4),
+               fmt(base.exec_time_s * 1e3, 4), fmt(c.power_w, 4),
+               fmt(base.avg_power.chip_w(), 4), fmt(c.peak_temp_c, 4),
+               fmt(to_c(base.peak_temp_k), 4)});
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Shared helpers for the per-table/per-figure bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/reactive_policies.h"
+#include "core/tecfan_policy.h"
+#include "perf/splash2.h"
+#include "sim/chip_simulator.h"
+#include "sim/experiment.h"
+#include "util/csv.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace tecfan::bench {
+
+/// The five chip policies of Sec. V-A with their sweep bounds (TECfan's
+/// sweep emulates its higher-level fan loop, which only slows the fan while
+/// the threshold holds with at most marginal throttling — see
+/// sim/experiment.h).
+struct PolicyEntry {
+  std::string label;
+  sim::PolicyFactory make;
+  double max_mean_dvfs;
+};
+
+inline std::vector<PolicyEntry> chip_policies() {
+  const double kAny = 1e9;
+  return {
+      {"Fan-only", [] { return std::make_unique<core::FanOnlyPolicy>(); },
+       kAny},
+      {"Fan+TEC", [] { return std::make_unique<core::FanTecPolicy>(); },
+       kAny},
+      {"Fan+DVFS", [] { return std::make_unique<core::FanDvfsPolicy>(); },
+       kAny},
+      {"DVFS+TEC", [] { return std::make_unique<core::DvfsTecPolicy>(); },
+       kAny},
+      {"TECfan", [] { return std::make_unique<core::TecFanPolicy>(); }, 0.5},
+  };
+}
+
+/// The 16-thread benchmarks shown in Figs. 5 and 6.
+inline std::vector<std::string> fig56_benchmarks() {
+  return {"cholesky", "fmm", "volrend", "lu"};
+}
+
+struct ChipBench {
+  sim::ChipModels models = sim::make_default_chip_models();
+  sim::ChipSimulator simulator{models};
+
+  perf::WorkloadPtr workload(const std::string& name, int threads) {
+    return perf::make_splash_workload(name, threads,
+                                      models.thermal->floorplan(),
+                                      models.dynamic, models.leak_quad);
+  }
+};
+
+inline std::string fmt(double v, int precision = 3) {
+  return format_double(v, precision);
+}
+
+inline double to_c(double kelvin) { return kelvin_to_celsius(kelvin); }
+
+}  // namespace tecfan::bench

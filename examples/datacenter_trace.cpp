@@ -1,0 +1,76 @@
+// Server scenario walkthrough (the Sec. V-E setting): a 4-core Core
+// i7-class machine serving a diurnal Wikipedia-like request trace, managed
+// by TECfan with its higher-level fan loop active, compared against the
+// OFTEC cooling-only optimizer. Prints a timeline of what TECfan does with
+// each knob as load moves.
+//
+//   $ ./examples/datacenter_trace [duration_seconds]
+#include <cstdio>
+#include <memory>
+
+#include "core/exhaustive_policies.h"
+#include "core/tecfan_policy.h"
+#include "perf/wikipedia_trace.h"
+#include "sim/server_system.h"
+#include "util/csv.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main(int argc, char** argv) {
+  using namespace tecfan;
+  const double duration = argc > 1 ? std::atof(argv[1]) : 600.0;
+
+  perf::WikipediaTrace trace;
+  sim::ServerConfig cfg;
+  cfg.duration_s = duration;
+  cfg.record_trace = true;
+  sim::ServerSimulator simulator(cfg);
+
+  std::printf("4-core server, %.0f s of the Wikipedia trace (mean demand "
+              "%.1f%%), T_th = %.0f C\n\n",
+              duration, 100.0 * trace.mean_demand_40min(),
+              kelvin_to_celsius(cfg.threshold_k));
+
+  core::PolicyOptions popt;
+  popt.manage_fan = true;
+  popt.fan_period_intervals = cfg.fan_period_intervals;
+  core::TecFanPolicy tecfan(popt);
+  const sim::RunResult r = simulator.run(tecfan, trace);
+
+  std::printf("== TECfan knob timeline (every 30 s) ==\n");
+  TextTable t;
+  t.set_header({"t (s)", "demand-ish (IPS G)", "peak T (C)", "fan lvl",
+                "TECs on", "mean DVFS", "power (W)"});
+  const std::size_t stride =
+      static_cast<std::size_t>(30.0 / cfg.control_period_s);
+  for (std::size_t i = 0; i < r.trace.size(); i += stride) {
+    const auto& rec = r.trace[i];
+    t.add_row({format_double(rec.time_s, 4),
+               format_double(rec.ips / 1e9, 3),
+               format_double(kelvin_to_celsius(rec.peak_temp_k), 4),
+               std::to_string(rec.fan_level), std::to_string(rec.tecs_on),
+               format_double(rec.mean_dvfs, 3),
+               format_double(rec.power.total_w(), 4)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  core::ExhaustiveOptions xopt;
+  xopt.base = popt;
+  core::OftecPolicy oftec(xopt);
+  const sim::RunResult ro = simulator.run(oftec, trace);
+
+  TextTable s;
+  s.set_header({"policy", "energy (kJ)", "avg power (W)", "delay (s)",
+                "peak T (C)", "viol (%)"});
+  for (const auto* rr : {&r, &ro})
+    s.add_row({rr->policy, format_double(rr->energy_j / 1e3, 4),
+               format_double(rr->avg_total_power_w(), 4),
+               format_double(rr->exec_time_s, 4),
+               format_double(kelvin_to_celsius(rr->peak_temp_k), 4),
+               format_double(100.0 * rr->violation_frac, 3)});
+  std::printf("== summary ==\n%s", s.render().c_str());
+  std::printf("\nTECfan trades a little frequency at medium load for a much "
+              "smaller cooling+compute energy bill than the cooling-only "
+              "optimizer.\n");
+  return 0;
+}

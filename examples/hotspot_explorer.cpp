@@ -1,0 +1,104 @@
+// Interactive-style thermal exploration: renders ASCII heat maps of the
+// steady-state die temperature under different workloads, fan levels and
+// TEC configurations — a visual demonstration of the local-vs-global
+// cooling trade-off the paper builds on.
+//
+//   $ ./examples/hotspot_explorer [benchmark] [threads]
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "perf/splash2.h"
+#include "sim/chip_simulator.h"
+#include "thermal/solvers.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace tecfan;
+
+// Sample die temperatures onto a uniform grid for rendering.
+std::vector<double> sample_grid(const thermal::ChipThermalModel& model,
+                                const linalg::Vector& temps, int cols,
+                                int rows) {
+  const auto& fp = model.floorplan();
+  std::vector<double> grid(static_cast<std::size_t>(cols * rows), 0.0);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const double x = (c + 0.5) / cols * fp.chip_width();
+      const double y = (r + 0.5) / rows * fp.chip_height();
+      // Find the component containing (x, y).
+      for (std::size_t i = 0; i < fp.component_count(); ++i) {
+        const auto& rect = fp.component(i).rect;
+        if (x >= rect.x && x < rect.x1() && y >= rect.y && y < rect.y1()) {
+          grid[static_cast<std::size_t>(r * cols + c)] =
+              temps[model.die_node(i)];
+          break;
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+void show(const char* title, const thermal::ChipThermalModel& model,
+          const linalg::Vector& temps, double lo_c, double hi_c) {
+  double peak = 0.0;
+  for (std::size_t c = 0; c < model.component_count(); ++c)
+    peak = std::max(peak, temps[model.die_node(c)]);
+  std::printf("-- %s (peak %.2f C; ramp %.0f..%.0f C) --\n", title,
+              kelvin_to_celsius(peak), lo_c, hi_c);
+  const auto grid = sample_grid(model, temps, 40, 28);
+  std::vector<double> grid_c(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    grid_c[i] = kelvin_to_celsius(grid[i]);
+  std::printf("%s\n", render_heatmap(grid_c, 40, lo_c, hi_c).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string benchmark = argc > 1 ? argv[1] : "cholesky";
+  const int threads = argc > 2 ? std::atoi(argv[2]) : 16;
+
+  sim::ChipModels models = sim::make_default_chip_models();
+  const auto& model = *models.thermal;
+  sim::ChipSimulator simulator(models);
+  auto wl = perf::make_splash_workload(benchmark, threads,
+                                       model.floorplan(), models.dynamic,
+                                       models.leak_quad);
+
+  const auto base_knobs =
+      core::KnobState::initial(model.floorplan().core_count(),
+                               model.tec_count(), 0);
+  const linalg::Vector t_base = simulator.equilibrium(*wl, base_knobs);
+  const double lo = 50.0, hi = 95.0;
+  show("fan level 1 (fastest), TECs off", model, t_base, lo, hi);
+
+  auto slow = base_knobs;
+  slow.fan_level = 3;
+  const linalg::Vector t_slow = simulator.equilibrium(*wl, slow);
+  show("fan level 4, TECs off", model, t_slow, lo, hi);
+
+  // Turn on every TEC over a component hotter than the base peak - 3 K.
+  auto cooled = slow;
+  for (std::size_t c = 0; c < model.component_count(); ++c) {
+    if (t_slow[model.die_node(c)] >
+        *std::max_element(t_base.begin(), t_base.end()) - 3.0) {
+      for (std::size_t dev : model.tecs_over(c)) cooled.tec_on[dev] = 1;
+    }
+  }
+  const linalg::Vector t_cooled = simulator.equilibrium(*wl, cooled);
+  char title[96];
+  std::snprintf(title, sizeof title,
+                "fan level 4, %zu TECs on over the hot region",
+                cooled.tecs_active());
+  show(title, model, t_cooled, lo, hi);
+
+  std::printf(
+      "The TEC array flattens the logic-cluster hot spots without touching\n"
+      "the global cooling budget - the local/global split TECfan exploits.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Compare all runtime policies on one benchmark, following the paper's
+// Sec. IV-C protocol: the base scenario defines the temperature threshold,
+// every policy is swept over fan levels, and the chosen (slowest passing)
+// run is reported — the per-benchmark slice of Figs. 5 and 6.
+//
+//   $ ./examples/policy_comparison [benchmark] [threads]
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/reactive_policies.h"
+#include "core/tecfan_policy.h"
+#include "perf/splash2.h"
+#include "sim/chip_simulator.h"
+#include "sim/experiment.h"
+#include "util/csv.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main(int argc, char** argv) {
+  using namespace tecfan;
+  const std::string benchmark = argc > 1 ? argv[1] : "cholesky";
+  const int threads = argc > 2 ? std::atoi(argv[2]) : 16;
+
+  sim::ChipModels models = sim::make_default_chip_models();
+  sim::ChipSimulator simulator(models);
+  const auto workload = perf::make_splash_workload(
+      benchmark, threads, models.thermal->floorplan(), models.dynamic,
+      models.leak_quad);
+
+  const sim::RunResult base = sim::measure_base_scenario(simulator, *workload);
+  std::printf("base: %.1f ms, %.1f W chip, peak %.2f C (threshold)\n\n",
+              base.exec_time_s * 1e3, base.avg_power.chip_w(),
+              kelvin_to_celsius(base.peak_temp_k));
+
+  struct Entry {
+    std::string label;
+    sim::PolicyFactory make;
+    double max_mean_dvfs;
+  };
+  const double kAny = 1e9;
+  // TECfan's sweep bound mirrors its higher-level fan loop, which only slows
+  // the fan while steady-state hot spots stay absent without throttling.
+  const std::vector<Entry> entries = {
+      {"Fan-only", [] { return std::make_unique<core::FanOnlyPolicy>(); },
+       kAny},
+      {"Fan+TEC", [] { return std::make_unique<core::FanTecPolicy>(); },
+       kAny},
+      {"Fan+DVFS", [] { return std::make_unique<core::FanDvfsPolicy>(); },
+       kAny},
+      {"DVFS+TEC", [] { return std::make_unique<core::DvfsTecPolicy>(); },
+       kAny},
+      {"TECfan", [] { return std::make_unique<core::TecFanPolicy>(); }, 0.5},
+  };
+
+  TextTable t;
+  t.set_header({"policy", "fan", "delay", "power", "energy", "EDP",
+                "peakT(C)", "viol(%)"});
+  for (const auto& e : entries) {
+    sim::SweepOptions opts;
+    opts.threshold_k = base.peak_temp_k;
+    opts.max_mean_dvfs = e.max_mean_dvfs;
+    sim::SweepResult sw =
+        sim::run_with_fan_sweep(simulator, e.make, *workload, opts);
+    const sim::RunResult& r = sw.chosen;
+    t.add_row({e.label, std::to_string(r.fan_level),
+               format_double(r.exec_time_s / base.exec_time_s, 4),
+               format_double(r.avg_total_power_w() /
+                                 base.avg_total_power_w(), 4),
+               format_double(r.energy_j / base.energy_j, 4),
+               format_double(r.edp() / base.edp(), 4),
+               format_double(kelvin_to_celsius(r.peak_temp_k), 4),
+               format_double(100.0 * r.violation_frac, 3)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("\n(delay/power/energy/EDP normalized to the base scenario)\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: build the default 16-core system, reproduce one Table I base
+// scenario, and run the TECfan policy on it.
+//
+//   $ ./examples/quickstart [benchmark] [threads]
+//
+// defaults to cholesky/16. Prints the base-scenario measurements (compare
+// with Table I of the paper), then the TECfan run at the fan level chosen by
+// the Sec. IV-C sweep.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/tecfan_policy.h"
+#include "perf/splash2.h"
+#include "sim/chip_simulator.h"
+#include "sim/experiment.h"
+#include "util/csv.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main(int argc, char** argv) {
+  using namespace tecfan;
+  const std::string benchmark = argc > 1 ? argv[1] : "cholesky";
+  const int threads = argc > 2 ? std::atoi(argv[2]) : 16;
+
+  sim::ChipModels models = sim::make_default_chip_models();
+  sim::ChipSimulator simulator(models);
+  const auto workload = perf::make_splash_workload(
+      benchmark, threads, models.thermal->floorplan(), models.dynamic,
+      models.leak_quad);
+  const auto& spec = perf::table1_case(benchmark, threads);
+
+  std::printf("== base scenario (fan level 1, top DVFS, TECs off) ==\n");
+  sim::RunResult base = sim::measure_base_scenario(simulator, *workload);
+
+  TextTable t;
+  t.set_header({"metric", "paper", "measured"});
+  t.add_row({"time (ms)", format_double(spec.time_ms, 4),
+             format_double(base.exec_time_s * 1e3, 4)});
+  t.add_row({"chip power (W)", format_double(spec.power_w, 4),
+             format_double(base.avg_power.chip_w(), 4)});
+  t.add_row({"peak T (C)", format_double(spec.peak_temp_c, 4),
+             format_double(kelvin_to_celsius(base.peak_temp_k), 4)});
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("== TECfan (threshold = base peak, fan swept per Sec. IV-C) ==\n");
+  sim::SweepOptions sweep_opts;
+  sweep_opts.threshold_k = base.peak_temp_k;
+  sim::SweepResult sweep = sim::run_with_fan_sweep(
+      simulator, [] { return std::make_unique<core::TecFanPolicy>(); },
+      *workload, sweep_opts);
+  const sim::RunResult& r = sweep.chosen;
+
+  TextTable u;
+  u.set_header({"metric", "base", "TECfan"});
+  u.add_row({"fan level (0=fastest)", "0", std::to_string(r.fan_level)});
+  u.add_row({"time (ms)", format_double(base.exec_time_s * 1e3, 4),
+             format_double(r.exec_time_s * 1e3, 4)});
+  u.add_row({"total power (W)", format_double(base.avg_total_power_w(), 4),
+             format_double(r.avg_total_power_w(), 4)});
+  u.add_row({"energy (J)", format_double(base.energy_j, 4),
+             format_double(r.energy_j, 4)});
+  u.add_row({"EDP (J s)", format_double(base.edp(), 4),
+             format_double(r.edp(), 4)});
+  u.add_row({"peak T (C)", format_double(kelvin_to_celsius(base.peak_temp_k), 4),
+             format_double(kelvin_to_celsius(r.peak_temp_k), 4)});
+  u.add_row({"violations (%)", "0",
+             format_double(100.0 * r.violation_frac, 3)});
+  std::printf("%s", u.render().c_str());
+  return 0;
+}

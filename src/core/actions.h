@@ -1,0 +1,41 @@
+// The actuator state ("knobs") every policy manipulates:
+// per-core DVFS level, per-device TEC on/off, and the fan speed level.
+// Level 0 is always the fastest/highest setting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tecfan::core {
+
+struct KnobState {
+  std::vector<int> dvfs;             // per core; 0 = fastest
+  std::vector<std::uint8_t> tec_on;  // per TEC device
+  int fan_level = 0;                 // 0 = fastest
+
+  bool operator==(const KnobState&) const = default;
+
+  static KnobState initial(int cores, std::size_t tecs, int fan_level = 0) {
+    KnobState k;
+    k.dvfs.assign(static_cast<std::size_t>(cores), 0);
+    k.tec_on.assign(tecs, 0);
+    k.fan_level = fan_level;
+    return k;
+  }
+
+  std::size_t tecs_active() const {
+    std::size_t n = 0;
+    for (auto b : tec_on) n += b ? 1 : 0;
+    return n;
+  }
+
+  double mean_dvfs() const {
+    if (dvfs.empty()) return 0.0;
+    double s = 0.0;
+    for (int d : dvfs) s += d;
+    return s / static_cast<double>(dvfs.size());
+  }
+};
+
+}  // namespace tecfan::core

@@ -1,0 +1,32 @@
+#include "core/dynamic_fan_policy.h"
+
+#include <algorithm>
+
+namespace tecfan::core {
+
+DynamicFanPolicy::DynamicFanPolicy(PolicyOptions options)
+    : options_(options) {}
+
+KnobState DynamicFanPolicy::decide(PlanningModel& model,
+                                   const KnobState& current) {
+  KnobState next = current;
+  const bool fan_turn =
+      options_.manage_fan &&
+      interval_ % options_.fan_period_intervals == 0;
+  ++interval_;
+  if (!fan_turn) return next;
+
+  const auto& temps = model.sensed_temps();
+  const double tth = model.threshold_k();
+  double peak = 0.0;
+  for (double t : temps) peak = std::max(peak, t);
+  if (peak > tth) {
+    next.fan_level = std::max(0, next.fan_level - 1);  // speed up
+  } else if (peak < tth - options_.fan_margin_k) {
+    next.fan_level =
+        std::min(model.fan_level_count() - 1, next.fan_level + 1);
+  }
+  return next;
+}
+
+}  // namespace tecfan::core

@@ -1,0 +1,26 @@
+// Dynamic-fan: the industry-practice baseline the paper's higher level is
+// modelled on ("we adjust the fan speed based on the total power and peak
+// temperature of the chip, like the current industry practice") and the
+// "Dynamic-fan" reference of Sec. V-C — reactive fan control with no TEC or
+// DVFS actuation. Speeds up one level when any sensed spot violates; slows
+// one level when everything sits below the threshold by a margin.
+#pragma once
+
+#include "core/policy.h"
+
+namespace tecfan::core {
+
+class DynamicFanPolicy final : public Policy {
+ public:
+  explicit DynamicFanPolicy(PolicyOptions options = {.manage_fan = true});
+
+  std::string_view name() const override { return "Dynamic-fan"; }
+  void reset() override { interval_ = 0; }
+  KnobState decide(PlanningModel& model, const KnobState& current) override;
+
+ private:
+  PolicyOptions options_;
+  int interval_ = 0;
+};
+
+}  // namespace tecfan::core

@@ -1,0 +1,182 @@
+#include "core/exhaustive_policies.h"
+
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "util/error.h"
+
+namespace tecfan::core {
+namespace {
+
+/// Enumerate all TEC masks and DVFS level assignments over a template knob
+/// state, invoking visit(knobs) for each. The fan level of the template is
+/// left untouched.
+void enumerate_tec_dvfs(const PlanningModel& model, KnobState knobs,
+                        bool include_dvfs,
+                        const std::function<void(const KnobState&)>& visit) {
+  const std::size_t n_tec = model.tec_count();
+  const auto cores = static_cast<std::size_t>(model.core_count());
+  const int levels = model.dvfs_level_count();
+  const std::uint64_t tec_combos = 1ull << n_tec;
+
+  std::function<void(std::size_t)> dvfs_rec = [&](std::size_t core) {
+    if (core == cores || !include_dvfs) {
+      for (std::uint64_t mask = 0; mask < tec_combos; ++mask) {
+        for (std::size_t t = 0; t < n_tec; ++t)
+          knobs.tec_on[t] = (mask >> t) & 1u ? 1 : 0;
+        visit(knobs);
+      }
+      return;
+    }
+    for (int lvl = 0; lvl < levels; ++lvl) {
+      knobs.dvfs[core] = lvl;
+      dvfs_rec(core + 1);
+    }
+  };
+  dvfs_rec(0);
+}
+
+std::size_t candidate_count(const PlanningModel& model, bool include_dvfs,
+                            bool include_fan) {
+  double count = std::pow(2.0, static_cast<double>(model.tec_count()));
+  if (include_dvfs)
+    count *= std::pow(static_cast<double>(model.dvfs_level_count()),
+                      static_cast<double>(model.core_count()));
+  if (include_fan) count *= model.fan_level_count();
+  return count > 1e18 ? static_cast<std::size_t>(-1)
+                      : static_cast<std::size_t>(count);
+}
+
+}  // namespace
+
+OraclePolicy::OraclePolicy(ExhaustiveOptions options)
+    : options_(options) {}
+
+void OraclePolicy::reset() {
+  interval_ = 0;
+  candidates_ = 0;
+}
+
+double OraclePolicy::ips_floor(int) const { return 0.0; }
+
+KnobState OraclePolicy::decide(PlanningModel& model,
+                               const KnobState& current) {
+  const bool fan_turn =
+      options_.base.manage_fan &&
+      interval_ % options_.base.fan_period_intervals == 0;
+  TECFAN_REQUIRE(
+      candidate_count(model, /*include_dvfs=*/true, fan_turn) <=
+          options_.max_candidates,
+      "Oracle search space exceeds the configured bound");
+
+  const double tth = model.threshold_k() - options_.base.constraint_margin_k;
+  const double floor = ips_floor(interval_);
+  ++interval_;
+  candidates_ = 0;
+
+  KnobState best = current;
+  double best_epi = std::numeric_limits<double>::infinity();
+  bool best_valid = false;
+  KnobState coolest = current;
+  double coolest_t = std::numeric_limits<double>::infinity();
+
+  auto visit = [&](const KnobState& k) {
+    ++candidates_;
+    const Prediction p = model.predict(k);
+    const double t = p.max_temp_k();
+    if (t < coolest_t) {
+      coolest_t = t;
+      coolest = k;
+    }
+    if (t > tth) return;
+    if (p.capacity_ips + 1e-9 < floor) return;
+    if (!best_valid || p.epi() < best_epi) {
+      best_epi = p.epi();
+      best = k;
+      best_valid = true;
+    }
+  };
+
+  KnobState tmpl = current;
+  if (fan_turn) {
+    for (int lvl = 0; lvl < model.fan_level_count(); ++lvl) {
+      tmpl.fan_level = lvl;
+      enumerate_tec_dvfs(model, tmpl, /*include_dvfs=*/true, visit);
+    }
+  } else {
+    enumerate_tec_dvfs(model, tmpl, /*include_dvfs=*/true, visit);
+  }
+  return best_valid ? best : coolest;
+}
+
+OraclePPolicy::OraclePPolicy(
+    ExhaustiveOptions options,
+    std::shared_ptr<const std::vector<double>> reference_ips)
+    : OraclePolicy(options), reference_ips_(std::move(reference_ips)) {
+  TECFAN_REQUIRE(reference_ips_ != nullptr,
+                 "Oracle-P requires a reference IPS trajectory");
+}
+
+double OraclePPolicy::ips_floor(int interval) const {
+  if (reference_ips_->empty()) return 0.0;
+  const auto i = std::min(static_cast<std::size_t>(interval),
+                          reference_ips_->size() - 1);
+  return (*reference_ips_)[i];
+}
+
+OftecPolicy::OftecPolicy(ExhaustiveOptions options) : options_(options) {}
+
+void OftecPolicy::reset() { interval_ = 0; }
+
+KnobState OftecPolicy::decide(PlanningModel& model,
+                              const KnobState& current) {
+  const bool fan_turn =
+      options_.base.manage_fan &&
+      interval_ % options_.base.fan_period_intervals == 0;
+  ++interval_;
+  TECFAN_REQUIRE(
+      candidate_count(model, /*include_dvfs=*/false, fan_turn) <=
+          options_.max_candidates,
+      "OFTEC search space exceeds the configured bound");
+
+  const double tth = model.threshold_k() - options_.base.constraint_margin_k;
+  KnobState best = current;
+  // OFTEC never adapts DVFS: cores stay at the top level.
+  for (auto& d : best.dvfs) d = 0;
+  double best_cooling = std::numeric_limits<double>::infinity();
+  bool best_valid = false;
+  KnobState coolest = best;
+  double coolest_t = std::numeric_limits<double>::infinity();
+
+  auto visit = [&](const KnobState& k) {
+    const Prediction p = model.predict(k);
+    const double t = p.max_temp_k();
+    if (t < coolest_t) {
+      coolest_t = t;
+      coolest = k;
+    }
+    if (t > tth) return;
+    // OFTEC's objective: cooling power plus the leakage it influences
+    // through temperature ([8] is leakage-aware).
+    const double cooling = p.power.cooling_w() + p.power.leakage_w;
+    if (!best_valid || cooling < best_cooling) {
+      best_cooling = cooling;
+      best = k;
+      best_valid = true;
+    }
+  };
+
+  KnobState tmpl = best;
+  if (fan_turn) {
+    for (int lvl = 0; lvl < model.fan_level_count(); ++lvl) {
+      tmpl.fan_level = lvl;
+      enumerate_tec_dvfs(model, tmpl, /*include_dvfs=*/false, visit);
+    }
+  } else {
+    enumerate_tec_dvfs(model, tmpl, /*include_dvfs=*/false, visit);
+  }
+  return best_valid ? best : coolest;
+}
+
+}  // namespace tecfan::core

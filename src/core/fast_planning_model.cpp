@@ -1,0 +1,151 @@
+#include "core/fast_planning_model.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace tecfan::core {
+
+FastChipPlanningModel::FastChipPlanningModel(
+    std::shared_ptr<const thermal::ChipThermalModel> model, Config config)
+    : model_(model), exact_(model, std::move(config)) {
+  TECFAN_REQUIRE(model_ != nullptr, "FastChipPlanningModel requires a model");
+  estimators_.reserve(
+      static_cast<std::size_t>(model_->floorplan().core_count()));
+  for (int n = 0; n < model_->floorplan().core_count(); ++n)
+    estimators_.emplace_back(model_, n);
+}
+
+void FastChipPlanningModel::reset() {
+  exact_.reset();
+  has_observation_ = false;
+  incremental_ = 0;
+  global_ = 0;
+}
+
+void FastChipPlanningModel::observe(const Observation& obs) {
+  exact_.observe(obs);
+  last_ = obs;
+  has_observation_ = true;
+
+  // One global prediction per interval anchors everything.
+  baseline_knobs_ = obs.applied;
+  baseline_ = exact_.predict_detailed(obs.applied, &baseline_steady_,
+                                      &baseline_blended_);
+
+  const auto cores = static_cast<std::size_t>(core_count());
+  baseline_core_dyn_.assign(cores, 0.0);
+  baseline_core_leak_.assign(cores, 0.0);
+  baseline_core_tec_.assign(cores, 0.0);
+  baseline_core_ips_.assign(cores, 0.0);
+  const auto& fp = model_->floorplan();
+  const double chip_area = fp.chip_area();
+  const auto& cfg = exact_.config();
+  for (std::size_t c = 0; c < fp.component_count(); ++c) {
+    const auto n = static_cast<std::size_t>(fp.component(c).core);
+    baseline_core_dyn_[n] += obs.comp_dyn_power_w[c];
+    baseline_core_leak_[n] += cfg.leakage.component_leakage_w(
+        fp.component(c).rect.area() / chip_area, obs.comp_temps_k[c]);
+  }
+  const auto devs = static_cast<std::size_t>(
+      model_->tec().devices_per_tile());
+  for (std::size_t t = 0; t < model_->tec_count(); ++t) {
+    if (!obs.applied.tec_on[t]) continue;
+    baseline_core_tec_[t / devs] +=
+        model_->tec_electrical_power(baseline_blended_, t, /*on=*/true);
+  }
+  for (std::size_t n = 0; n < cores; ++n)
+    baseline_core_ips_[n] = obs.core_ips[n];
+}
+
+std::vector<int> FastChipPlanningModel::changed_cores(
+    const KnobState& knobs) const {
+  std::vector<int> changed;
+  const auto devs = static_cast<std::size_t>(
+      model_->tec().devices_per_tile());
+  for (int n = 0; n < core_count(); ++n) {
+    const auto ni = static_cast<std::size_t>(n);
+    bool diff = knobs.dvfs[ni] != baseline_knobs_.dvfs[ni];
+    for (std::size_t d = ni * devs; !diff && d < (ni + 1) * devs; ++d)
+      diff = knobs.tec_on[d] != baseline_knobs_.tec_on[d];
+    if (diff) changed.push_back(n);
+  }
+  return changed;
+}
+
+Prediction FastChipPlanningModel::predict(const KnobState& knobs) {
+  TECFAN_REQUIRE(has_observation_, "predict before first observe()");
+  if (knobs.fan_level != baseline_knobs_.fan_level) {
+    ++global_;  // the fan moves every node: no locality to exploit
+    return exact_.predict(knobs);
+  }
+  const std::vector<int> changed = changed_cores(knobs);
+  if (changed.empty()) return baseline_;
+  ++incremental_;
+
+  Prediction pred = baseline_;
+  const auto& fp = model_->floorplan();
+  const auto& cfg = exact_.config();
+  const auto devs = static_cast<std::size_t>(
+      model_->tec().devices_per_tile());
+  const auto& state = exact_.state_estimate();
+
+  for (int n : changed) {
+    const auto ni = static_cast<std::size_t>(n);
+    const thermal::CoreEstimator& est = estimators_[ni];
+    const auto comps = fp.components_of_core(n);
+
+    // Per-component powers for this core under the candidate knobs
+    // (Eq. 7 dynamic scaling; Eq. 6 leakage at the sensed temperature).
+    std::vector<double> comp_power(thermal::kComponentsPerTile, 0.0);
+    const double dyn_scale = cfg.dvfs.dyn_scale(
+        baseline_knobs_.dvfs[ni], knobs.dvfs[ni]);
+    double core_dyn = 0.0;
+    const double chip_area = fp.chip_area();
+    for (int k = 0; k < thermal::kComponentsPerTile; ++k) {
+      const std::size_t c = comps[static_cast<std::size_t>(k)];
+      const double dyn = last_.comp_dyn_power_w[c] * dyn_scale;
+      const double leak = cfg.leakage.component_leakage_w(
+          fp.component(c).rect.area() / chip_area, last_.comp_temps_k[c]);
+      comp_power[static_cast<std::size_t>(k)] = dyn + leak;
+      core_dyn += dyn;
+    }
+    std::vector<std::uint8_t> tec_on(devs);
+    for (std::size_t d = 0; d < devs; ++d)
+      tec_on[d] = knobs.tec_on[ni * devs + d];
+
+    // Conditioned local solve against the baseline STEADY boundary (the
+    // steady system must see steady neighbours), then Eq. (5).
+    const linalg::Vector ts_local =
+        est.steady(comp_power, tec_on, baseline_steady_);
+    linalg::Vector prev_local(est.local_node_count());
+    for (std::size_t i = 0; i < prev_local.size(); ++i)
+      prev_local[i] = state[est.local_to_global()[i]];
+    const linalg::Vector next_local =
+        est.exponential(ts_local, prev_local, cfg.control_period_s);
+
+    // Splice component temperatures and update the power/IPS aggregates.
+    for (int k = 0; k < thermal::kComponentsPerTile; ++k)
+      pred.spot_temps_k[comps[static_cast<std::size_t>(k)]] =
+          next_local[est.local_of_component(k)];
+
+    double core_tec = 0.0;
+    for (std::size_t d = 0; d < devs; ++d) {
+      if (!tec_on[d]) continue;
+      const double dtheta =
+          next_local[est.local_hot(static_cast<int>(d))] -
+          next_local[est.local_cold(static_cast<int>(d))];
+      core_tec += model_->tec().electrical_power_w(dtheta);
+    }
+    pred.power.dynamic_w += core_dyn - baseline_core_dyn_[ni];
+    pred.power.tec_w += core_tec - baseline_core_tec_[ni];
+    const double ips = baseline_core_ips_[ni] *
+                       cfg.dvfs.freq_scale(baseline_knobs_.dvfs[ni],
+                                           knobs.dvfs[ni]);
+    pred.ips += ips - baseline_core_ips_[ni];
+    pred.capacity_ips += ips - baseline_core_ips_[ni];
+  }
+  return pred;
+}
+
+}  // namespace tecfan::core

@@ -1,0 +1,93 @@
+// Incremental per-core planning model — the paper's Sec. III-E evaluation
+// strategy as a drop-in PlanningModel.
+//
+// "Since the inter-core thermal impact is limited in tile-structured
+//  many-core architectures, we only evaluate the temperature of one core
+//  each time."
+//
+// ChipPlanningModel solves the full ~600-node network for every candidate
+// knob configuration (~1.3 ms each). This model instead computes ONE global
+// baseline prediction per control interval (at the currently applied knobs)
+// and evaluates each candidate by re-solving only the cores whose knobs
+// changed, using thermal::CoreEstimator (36-node banded solves, ~14 us)
+// with the baseline as the boundary condition; unchanged cores keep their
+// baseline temperatures. Power and IPS aggregates are updated by per-core
+// deltas. Candidates that change the fan level fall back to the global
+// path, since the fan moves every node.
+//
+// The approximation (candidate boundaries held at the baseline) is exactly
+// the locality assumption the paper's hardware design makes; tests bound
+// its error against the exact model.
+#pragma once
+
+#include <memory>
+
+#include "core/chip_planning_model.h"
+#include "thermal/core_estimator.h"
+
+namespace tecfan::core {
+
+class FastChipPlanningModel final : public PlanningModel {
+ public:
+  using Config = ChipPlanningModel::Config;
+  using Observation = ChipPlanningModel::Observation;
+
+  FastChipPlanningModel(
+      std::shared_ptr<const thermal::ChipThermalModel> model, Config config);
+
+  void observe(const Observation& obs);
+  void reset();
+
+  // PlanningModel interface.
+  int core_count() const override { return exact_.core_count(); }
+  std::size_t tec_count() const override { return exact_.tec_count(); }
+  int dvfs_level_count() const override { return exact_.dvfs_level_count(); }
+  int fan_level_count() const override { return exact_.fan_level_count(); }
+  std::size_t spot_count() const override { return exact_.spot_count(); }
+  int core_of_spot(std::size_t spot) const override {
+    return exact_.core_of_spot(spot);
+  }
+  const std::vector<std::size_t>& tecs_over(std::size_t spot) const override {
+    return exact_.tecs_over(spot);
+  }
+  const linalg::Vector& sensed_temps() const override {
+    return exact_.sensed_temps();
+  }
+  double threshold_k() const override { return exact_.threshold_k(); }
+  void set_threshold_k(double t) { exact_.set_threshold_k(t); }
+
+  Prediction predict(const KnobState& knobs) override;
+  Prediction predict_steady(const KnobState& knobs) override {
+    return exact_.predict_steady(knobs);  // fan-cadence path stays global
+  }
+
+  /// How many predict() calls took the incremental per-core path (vs the
+  /// global fallback) since the last reset — for the overhead benches.
+  std::size_t incremental_predictions() const { return incremental_; }
+  std::size_t global_predictions() const { return global_; }
+
+ private:
+  /// Cores whose knobs differ from the baseline (DVFS or any owned TEC).
+  std::vector<int> changed_cores(const KnobState& knobs) const;
+
+  std::shared_ptr<const thermal::ChipThermalModel> model_;
+  ChipPlanningModel exact_;
+  std::vector<thermal::CoreEstimator> estimators_;  // one per core
+  Observation last_;
+  bool has_observation_ = false;
+
+  // Baseline (at the observed knobs), refreshed each observe().
+  KnobState baseline_knobs_;
+  Prediction baseline_;
+  linalg::Vector baseline_steady_;   // Eq. 1 solution at the baseline knobs
+  linalg::Vector baseline_blended_;  // Eq. 5 next-interval estimate
+  std::vector<double> baseline_core_dyn_;   // per-core dynamic power
+  std::vector<double> baseline_core_leak_;  // per-core leakage
+  std::vector<double> baseline_core_tec_;   // per-core TEC power
+  std::vector<double> baseline_core_ips_;
+
+  std::size_t incremental_ = 0;
+  std::size_t global_ = 0;
+};
+
+}  // namespace tecfan::core

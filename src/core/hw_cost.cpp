@@ -1,0 +1,28 @@
+#include "core/hw_cost.h"
+
+#include "util/error.h"
+
+namespace tecfan::core {
+
+HwCostReport estimate_hw_cost(const HwCostInputs& in) {
+  TECFAN_REQUIRE(in.components_per_core > 0 && in.thermal_neighbours > 0,
+                 "cost model dimensions must be positive");
+  TECFAN_REQUIRE(in.die_area_mm2 > 0 && in.chip_power_w > 0,
+                 "reference die/power must be positive");
+  linalg::SystolicCostModel model;
+  model.components = in.components_per_core;
+  model.neighbours = in.thermal_neighbours;
+  model.operand_bits = in.operand_bits;
+  model.die_area_mm2 = in.die_area_mm2;
+
+  HwCostReport out;
+  out.multipliers = model.multiplier_count();
+  out.multiplier_area_mm2 = model.multiplier_area_mm2();
+  out.total_area_mm2 = model.total_area_mm2();
+  out.area_overhead_frac = model.area_overhead();
+  out.power_w = model.power_w();
+  out.power_overhead_frac = out.power_w / in.chip_power_w;
+  return out;
+}
+
+}  // namespace tecfan::core

@@ -1,0 +1,37 @@
+// Hardware cost model for TECfan's on-chip estimator (Sec. III-E).
+//
+// The paper sizes an aggressive design that evaluates one core's temperature
+// per cycle with a systolic band-matrix multiplier array: M x K fixed-point
+// multipliers (M = components per core, K = neighbours with thermal impact),
+// 8-bit operands, area scaled from a published 16-bit 65 nm multiplier
+// (0.057 mm^2 [26]) and power from the POWER6 FPU density (0.56 W/mm^2
+// [27]). This module reproduces those estimates for arbitrary parameters
+// and reports them against the paper's quoted numbers (54 multipliers,
+// ~0.03 W, < 1.7% of the target CMP).
+#pragma once
+
+#include "linalg/systolic.h"
+
+namespace tecfan::core {
+
+struct HwCostReport {
+  std::size_t multipliers = 0;
+  double multiplier_area_mm2 = 0.0;
+  double total_area_mm2 = 0.0;
+  double area_overhead_frac = 0.0;   // of the reference die
+  double power_w = 0.0;
+  double power_overhead_frac = 0.0;  // of the reference chip power
+};
+
+struct HwCostInputs {
+  std::size_t components_per_core = 18;  // M
+  std::size_t thermal_neighbours = 3;    // K
+  int operand_bits = 8;
+  double die_area_mm2 = 149.76;   // 10.4 mm x 14.4 mm SCC-like chip
+  double chip_power_w = 125.9;    // peak Table I power for the overhead ratio
+};
+
+/// Evaluate the Sec. III-E cost model.
+HwCostReport estimate_hw_cost(const HwCostInputs& in);
+
+}  // namespace tecfan::core

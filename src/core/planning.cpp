@@ -1,0 +1,18 @@
+#include "core/planning.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace tecfan::core {
+
+double Prediction::max_temp_k() const {
+  if (spot_temps_k.empty()) return 0.0;
+  return *std::max_element(spot_temps_k.begin(), spot_temps_k.end());
+}
+
+double Prediction::epi() const {
+  if (ips <= 0.0) return std::numeric_limits<double>::infinity();
+  return power.total_w() / ips;
+}
+
+}  // namespace tecfan::core

@@ -1,0 +1,72 @@
+// The predictive model interface shared by all runtime policies.
+//
+// A PlanningModel is the controller-side implementation of the paper's
+// estimation machinery: given a hypothetical knob configuration it predicts
+// the next-interval temperatures (Eq. 1 steady state + Eq. 5 exponential
+// interpolation), power (Eq. 6 leakage, Eq. 7 dynamic scaling, Eq. 8
+// aggregation, Eq. 9 TEC power) and performance (Eq. 11 IPS scaling) — and
+// hence the per-instruction energy EPI of Eq. (13). Policies are written
+// against this interface so the same TECfan/Oracle/OFTEC code runs on both
+// the 16-core component-level chip model and the 4-core server model.
+//
+// "Spots" are the temperature-sensed locations the constraint max T <= T_th
+// ranges over: die components on the chip model, cores on the server model.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/actions.h"
+#include "linalg/matrix.h"
+#include "power/breakdown.h"
+
+namespace tecfan::core {
+
+struct Prediction {
+  linalg::Vector spot_temps_k;  // predicted per-spot temperature
+  power::PowerBreakdown power;  // predicted power buckets
+  double ips = 0.0;             // predicted chip-level IPS (Eq. 10). On the
+                                // server model this is *served* work, which
+                                // saturates at the offered demand.
+  double capacity_ips = 0.0;    // frequency-proportional capability (what a
+                                // "same performance degradation" constraint
+                                // compares; == ips on the chip model)
+
+  double max_temp_k() const;
+
+  /// Eq. (13): per-instruction energy. Infinite when nothing retires.
+  double epi() const;
+};
+
+class PlanningModel {
+ public:
+  virtual ~PlanningModel() = default;
+
+  virtual int core_count() const = 0;
+  virtual std::size_t tec_count() const = 0;
+  virtual int dvfs_level_count() const = 0;
+  virtual int fan_level_count() const = 0;
+
+  virtual std::size_t spot_count() const = 0;
+  virtual int core_of_spot(std::size_t spot) const = 0;
+
+  /// TEC devices whose footprint covers a spot (empty when uncovered).
+  virtual const std::vector<std::size_t>& tecs_over(
+      std::size_t spot) const = 0;
+
+  /// Latest sensed per-spot temperatures (kelvin).
+  virtual const linalg::Vector& sensed_temps() const = 0;
+
+  /// The peak-temperature constraint T_th (kelvin).
+  virtual double threshold_k() const = 0;
+
+  /// Predict the next control interval under `knobs` (Eq. 1 + Eq. 5).
+  virtual Prediction predict(const KnobState& knobs) = 0;
+
+  /// Predict the settled (steady-state) outcome under `knobs` — what the
+  /// higher-level fan loop evaluates, since the fan time constant spans many
+  /// control intervals.
+  virtual Prediction predict_steady(const KnobState& knobs) = 0;
+};
+
+}  // namespace tecfan::core

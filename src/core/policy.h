@@ -1,0 +1,49 @@
+// Runtime policy interface.
+//
+// The simulator calls decide() once per (lower-level) control interval with
+// the freshly observed PlanningModel and the knobs currently applied; the
+// returned knobs take effect for the next interval. Policies that manage
+// the fan (TECfan's higher level, OFTEC, Oracle) do so on their own coarser
+// cadence, counted in control intervals; under the Sec. IV-C fan-sweep
+// protocol the harness disables fan management and fixes the level instead.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "core/actions.h"
+#include "core/planning.h"
+
+namespace tecfan::core {
+
+struct PolicyOptions {
+  bool manage_fan = false;
+  int fan_period_intervals = 500;  // e.g. 1 s at a 2 ms control period
+  /// Safety margin (kelvin) the fan loop keeps below the threshold before
+  /// slowing down, to avoid flapping at the boundary.
+  double fan_margin_k = 0.5;
+  /// Control slack (kelvin) subtracted from T_th in the lower-level
+  /// constraint checks, absorbing the Eq. (5) estimator's bias against the
+  /// true transient plant.
+  double constraint_margin_k = 0.1;
+  /// Move all cores' DVFS together (Sec. III-E: "TECfan can be integrated
+  /// with chip-level DVFS seamlessly"). Per-core DVFS remains the default.
+  bool chip_wide_dvfs = false;
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Forget any run state (interval counters etc.). Called at run start.
+  virtual void reset() {}
+
+  /// Choose the knobs for the next interval.
+  virtual KnobState decide(PlanningModel& model, const KnobState& current) = 0;
+};
+
+using PolicyPtr = std::unique_ptr<Policy>;
+
+}  // namespace tecfan::core

@@ -1,0 +1,91 @@
+#include "core/reactive_policies.h"
+
+#include <algorithm>
+
+namespace tecfan::core {
+namespace detail {
+
+void apply_tec_rule(const PlanningModel& model, KnobState& knobs,
+                    double off_margin_k) {
+  const auto& temps = model.sensed_temps();
+  const double tth = model.threshold_k();
+  // Gather, per device, whether any covered spot is hot and whether all are
+  // cool enough (with hysteresis) to switch the device off.
+  std::vector<std::uint8_t> any_hot(model.tec_count(), 0);
+  std::vector<std::uint8_t> all_cool(model.tec_count(), 1);
+  for (std::size_t s = 0; s < model.spot_count(); ++s) {
+    for (std::size_t t : model.tecs_over(s)) {
+      if (temps[s] > tth) any_hot[t] = 1;
+      if (temps[s] >= tth - off_margin_k) all_cool[t] = 0;
+    }
+  }
+  for (std::size_t t = 0; t < model.tec_count(); ++t) {
+    if (any_hot[t])
+      knobs.tec_on[t] = 1;
+    else if (all_cool[t])
+      knobs.tec_on[t] = 0;
+  }
+}
+
+void apply_dvfs_rule(const PlanningModel& model, KnobState& knobs,
+                     double up_margin_k) {
+  const auto& temps = model.sensed_temps();
+  const double tth = model.threshold_k();
+  // A core steps down as soon as any of its spots violates, and steps back
+  // up only once all of them are below the guard band.
+  std::vector<std::uint8_t> core_hot(
+      static_cast<std::size_t>(model.core_count()), 0);
+  std::vector<std::uint8_t> core_cool(
+      static_cast<std::size_t>(model.core_count()), 1);
+  for (std::size_t s = 0; s < model.spot_count(); ++s) {
+    const auto n = static_cast<std::size_t>(model.core_of_spot(s));
+    if (temps[s] > tth) core_hot[n] = 1;
+    if (temps[s] >= tth - up_margin_k) core_cool[n] = 0;
+  }
+  const int slowest = model.dvfs_level_count() - 1;
+  for (std::size_t n = 0; n < knobs.dvfs.size(); ++n) {
+    if (core_hot[n])
+      knobs.dvfs[n] = std::min(knobs.dvfs[n] + 1, slowest);
+    else if (core_cool[n])
+      knobs.dvfs[n] = std::max(knobs.dvfs[n] - 1, 0);
+  }
+}
+
+}  // namespace detail
+
+KnobState FanOnlyPolicy::decide(PlanningModel&, const KnobState& current) {
+  return current;
+}
+
+FanTecPolicy::FanTecPolicy(double off_margin_k)
+    : off_margin_k_(off_margin_k) {}
+
+KnobState FanTecPolicy::decide(PlanningModel& model,
+                               const KnobState& current) {
+  KnobState next = current;
+  detail::apply_tec_rule(model, next, off_margin_k_);
+  return next;
+}
+
+FanDvfsPolicy::FanDvfsPolicy(double up_margin_k)
+    : up_margin_k_(up_margin_k) {}
+
+KnobState FanDvfsPolicy::decide(PlanningModel& model,
+                                const KnobState& current) {
+  KnobState next = current;
+  detail::apply_dvfs_rule(model, next, up_margin_k_);
+  return next;
+}
+
+DvfsTecPolicy::DvfsTecPolicy(double tec_off_margin_k)
+    : tec_off_margin_k_(tec_off_margin_k) {}
+
+KnobState DvfsTecPolicy::decide(PlanningModel& model,
+                                const KnobState& current) {
+  KnobState next = current;
+  detail::apply_tec_rule(model, next, tec_off_margin_k_);
+  detail::apply_dvfs_rule(model, next, 2.0);
+  return next;
+}
+
+}  // namespace tecfan::core

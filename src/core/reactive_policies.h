@@ -1,0 +1,73 @@
+// The four reactive baselines of Sec. V-A.
+//
+// Fan-only:  no TEC/DVFS actuation at all; the fan level is fixed by the
+//            Sec. IV-C sweep (the "ideal" non-implementable baseline).
+// Fan+TEC:   per-device threshold rule on sensed temperatures — a TEC turns
+//            on when any component under it exceeds T_th and off when all of
+//            them are below it. Fan as in Fan-only.
+// Fan+DVFS:  classic DVFS dynamic thermal management — a core steps down
+//            when any of its components exceeds T_th and steps up otherwise.
+// DVFS+TEC:  both rules applied independently, unaware of each other (the
+//            paper's illustration of why uncoordinated knobs interfere).
+#pragma once
+
+#include "core/policy.h"
+
+namespace tecfan::core {
+
+class FanOnlyPolicy final : public Policy {
+ public:
+  std::string_view name() const override { return "Fan-only"; }
+  KnobState decide(PlanningModel& model, const KnobState& current) override;
+};
+
+class FanTecPolicy final : public Policy {
+ public:
+  /// `off_margin_k`: hysteresis below T_th before a device turns off. The
+  /// paper's verbatim rule (off as soon as every covered component is below
+  /// T_th) bang-bangs when the die time constant is shorter than the control
+  /// period; a small margin recovers the sustained-on behaviour of Fig. 4(b).
+  explicit FanTecPolicy(double off_margin_k = 6.0);
+
+  std::string_view name() const override { return "Fan+TEC"; }
+  KnobState decide(PlanningModel& model, const KnobState& current) override;
+
+ private:
+  double off_margin_k_;
+};
+
+class FanDvfsPolicy final : public Policy {
+ public:
+  /// `up_margin_k`: guard band below T_th before a core steps back up
+  /// (classic DTM guard band; keeps the regulation point just under the
+  /// threshold instead of oscillating across it).
+  explicit FanDvfsPolicy(double up_margin_k = 2.0);
+
+  std::string_view name() const override { return "Fan+DVFS"; }
+  KnobState decide(PlanningModel& model, const KnobState& current) override;
+
+ private:
+  double up_margin_k_;
+};
+
+class DvfsTecPolicy final : public Policy {
+ public:
+  explicit DvfsTecPolicy(double tec_off_margin_k = 6.0);
+
+  std::string_view name() const override { return "DVFS+TEC"; }
+  KnobState decide(PlanningModel& model, const KnobState& current) override;
+
+ private:
+  double tec_off_margin_k_;
+};
+
+namespace detail {
+/// Apply the Fan+TEC device rule to `knobs` in place.
+void apply_tec_rule(const PlanningModel& model, KnobState& knobs,
+                    double off_margin_k);
+/// Apply the Fan+DVFS per-core rule to `knobs` in place.
+void apply_dvfs_rule(const PlanningModel& model, KnobState& knobs,
+                     double up_margin_k);
+}  // namespace detail
+
+}  // namespace tecfan::core

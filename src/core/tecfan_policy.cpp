@@ -1,0 +1,238 @@
+#include "core/tecfan_policy.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.h"
+
+namespace tecfan::core {
+namespace {
+
+/// Tracks the best (lowest-EPI) constraint-satisfying configuration seen.
+struct BestTracker {
+  KnobState knobs;
+  double epi = std::numeric_limits<double>::infinity();
+  bool valid = false;
+
+  void consider(const KnobState& k, const Prediction& p, double tth) {
+    if (p.max_temp_k() > tth) return;
+    if (!valid || p.epi() < epi) {
+      knobs = k;
+      epi = p.epi();
+      valid = true;
+    }
+  }
+};
+
+}  // namespace
+
+TecFanPolicy::TecFanPolicy(PolicyOptions options) : options_(options) {}
+
+void TecFanPolicy::reset() {
+  interval_ = 0;
+  predictions_ = 0;
+}
+
+Prediction TecFanPolicy::predict(PlanningModel& model, const KnobState& k) {
+  ++predictions_;
+  return model.predict(k);
+}
+
+KnobState TecFanPolicy::decide(PlanningModel& model,
+                               const KnobState& current) {
+  predictions_ = 0;
+  KnobState cand = current;
+  if (options_.manage_fan && interval_ % options_.fan_period_intervals == 0)
+    cand.fan_level = fan_decision(model, cand);
+  ++interval_;
+  return lower_level(model, std::move(cand));
+}
+
+KnobState TecFanPolicy::lower_level(PlanningModel& model, KnobState cand) {
+  const double tth = model.threshold_k() - options_.constraint_margin_k;
+  const int cores = model.core_count();
+  const int slowest = model.dvfs_level_count() - 1;
+  BestTracker best;
+
+  Prediction pred = predict(model, cand);
+  best.consider(cand, pred, tth);
+
+  // Guard: NL TEC toggles + N*M DVFS steps bounds the iteration count.
+  const int max_iters =
+      static_cast<int>(model.tec_count()) +
+      cores * model.dvfs_level_count() + 4;
+
+  if (pred.max_temp_k() > tth) {
+    // ---- Hot iteration ----
+    for (int it = 0; it < max_iters && pred.max_temp_k() > tth; ++it) {
+      // 1. Prefer the TEC over the hottest violating spot that is still off.
+      std::size_t chosen_tec = model.tec_count();
+      double hottest = tth;
+      for (std::size_t s = 0; s < model.spot_count(); ++s) {
+        const double t = pred.spot_temps_k[s];
+        if (t <= hottest) continue;
+        for (std::size_t dev : model.tecs_over(s)) {
+          if (!cand.tec_on[dev]) {
+            hottest = t;
+            chosen_tec = dev;
+            break;
+          }
+        }
+      }
+      if (chosen_tec < model.tec_count()) {
+        cand.tec_on[chosen_tec] = 1;
+        pred = predict(model, cand);
+        best.consider(cand, pred, tth);
+        continue;
+      }
+      // 2. All TECs over hot spots are on: step DVFS down, choosing the
+      //    core with the lowest resulting EPI (or all cores together under
+      //    chip-wide DVFS).
+      KnobState chosen;
+      Prediction chosen_pred;
+      double best_epi = std::numeric_limits<double>::infinity();
+      bool found = false;
+      if (options_.chip_wide_dvfs) {
+        KnobState trial = cand;
+        bool moved = false;
+        for (auto& d : trial.dvfs)
+          if (d < slowest) {
+            ++d;
+            moved = true;
+          }
+        if (moved) {
+          chosen_pred = predict(model, trial);
+          chosen = std::move(trial);
+          found = true;
+        }
+      } else {
+        for (int n = 0; n < cores; ++n) {
+          const auto ni = static_cast<std::size_t>(n);
+          if (cand.dvfs[ni] >= slowest) continue;
+          KnobState trial = cand;
+          ++trial.dvfs[ni];
+          Prediction p = predict(model, trial);
+          if (!found || p.epi() < best_epi) {
+            best_epi = p.epi();
+            chosen = std::move(trial);
+            chosen_pred = std::move(p);
+            found = true;
+          }
+        }
+      }
+      if (!found) break;  // knobs exhausted; keep the coolest attempt
+      cand = std::move(chosen);
+      pred = std::move(chosen_pred);
+      best.consider(cand, pred, tth);
+    }
+    // Apply the best valid configuration; if none cleared the threshold,
+    // apply the final (coolest) attempt as a best effort.
+    return best.valid ? best.knobs : cand;
+  }
+
+  // ---- Cool iteration ----
+  // Performance has priority (Sec. III-D): DVFS raises are applied
+  // unconditionally while the constraint holds — the EPI comparison only
+  // selects WHICH core to raise — and TECs turn off once every core is at
+  // the top level. The final accepted configuration is applied.
+  for (int it = 0; it < max_iters; ++it) {
+    KnobState chosen;
+    Prediction chosen_pred;
+    bool found = false;
+    // 1. Prefer raising DVFS (performance first): choose the core whose
+    //    one-step increase gives the lowest predicted EPI. A raise that buys
+    //    no throughput (a core already serving all offered work, as in the
+    //    server model at medium load) is skipped — this is what lets TECfan
+    //    "select appropriate DVFS levels without degrading performance"
+    //    (Sec. V-E) instead of pinning every core at the top.
+    double best_epi = std::numeric_limits<double>::infinity();
+    if (options_.chip_wide_dvfs) {
+      KnobState trial = cand;
+      bool moved = false;
+      for (auto& d : trial.dvfs)
+        if (d > 0) {
+          --d;
+          moved = true;
+        }
+      if (moved) {
+        Prediction p = predict(model, trial);
+        if (p.ips > pred.ips * (1.0 + 1e-9)) {
+          chosen = std::move(trial);
+          chosen_pred = std::move(p);
+          found = true;
+        }
+      }
+    } else {
+      for (int n = 0; n < cores; ++n) {
+        const auto ni = static_cast<std::size_t>(n);
+        if (cand.dvfs[ni] <= 0) continue;
+        KnobState trial = cand;
+        --trial.dvfs[ni];
+        Prediction p = predict(model, trial);
+        if (p.ips <= pred.ips * (1.0 + 1e-9)) continue;
+        if (!found || p.epi() < best_epi) {
+          best_epi = p.epi();
+          chosen = std::move(trial);
+          chosen_pred = std::move(p);
+          found = true;
+        }
+      }
+    }
+    if (!found) {
+      // 2. Every core at the top level: turn off the TEC over the coolest
+      //    covered spot.
+      std::size_t chosen_tec = model.tec_count();
+      double coolest = std::numeric_limits<double>::infinity();
+      for (std::size_t s = 0; s < model.spot_count(); ++s) {
+        const double t = pred.spot_temps_k[s];
+        if (t >= coolest) continue;
+        for (std::size_t dev : model.tecs_over(s)) {
+          if (cand.tec_on[dev]) {
+            coolest = t;
+            chosen_tec = dev;
+            break;
+          }
+        }
+      }
+      if (chosen_tec == model.tec_count()) break;  // nothing left to save
+      chosen = cand;
+      chosen.tec_on[chosen_tec] = 0;
+      chosen_pred = predict(model, chosen);
+      found = true;
+    }
+    if (chosen_pred.max_temp_k() > tth) break;
+    cand = std::move(chosen);
+    pred = std::move(chosen_pred);
+  }
+  return cand;
+}
+
+int TecFanPolicy::fan_decision(PlanningModel& model,
+                               const KnobState& current) {
+  const double tth = model.threshold_k();
+  const int slowest = model.fan_level_count() - 1;
+  KnobState trial = current;
+  // Steady-state evaluation: speed up while hot, otherwise pick the slowest
+  // level that keeps a margin below the threshold.
+  Prediction at_current = model.predict_steady(trial);
+  if (at_current.max_temp_k() > tth) {
+    int lvl = current.fan_level;
+    while (lvl > 0) {
+      --lvl;
+      trial.fan_level = lvl;
+      if (model.predict_steady(trial).max_temp_k() <= tth) break;
+    }
+    return lvl;
+  }
+  int lvl = current.fan_level;
+  while (lvl < slowest) {
+    trial.fan_level = lvl + 1;
+    if (model.predict_steady(trial).max_temp_k() >
+        tth - options_.fan_margin_k)
+      break;
+    ++lvl;
+  }
+  return lvl;
+}
+
+}  // namespace tecfan::core

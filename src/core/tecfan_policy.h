@@ -1,0 +1,55 @@
+// TECfan: the paper's hierarchical multi-step down-hill heuristic
+// (Sec. III-D, Fig. 2).
+//
+// Lower level (every control interval, ~2 ms): model-predictive hot/cool
+// iterations over TEC states and per-core DVFS.
+//   * Hot iteration (predicted max T > T_th): first turn on TEC devices over
+//     the hottest violating spots; only when every TEC over a hot spot is
+//     already on, step DVFS down — each step choosing the core whose
+//     one-level decrease yields the lowest predicted EPI — until the
+//     prediction clears the threshold or the knobs are exhausted.
+//   * Cool iteration (no predicted hot spot): step DVFS up — each step
+//     choosing the core whose one-level increase yields the lowest predicted
+//     EPI — and, once every core is at the top level, turn off the TEC over
+//     the coolest covered spot; stop just before a predicted violation.
+// The applied configuration is the lowest-EPI one visited that satisfies
+// the constraint (the paper's iteration-termination rule).
+//
+// Higher level (every fan_period_intervals, ~seconds): adjust the fan speed
+// against the *steady-state* prediction — speed up while hot spots persist,
+// slow down while a margin below T_th remains.
+//
+// Complexity is O(NL + N^2 M) per interval as derived in Sec. V-A: at most
+// NL TEC toggles and N M DVFS steps, each DVFS step comparing N candidates.
+#pragma once
+
+#include "core/policy.h"
+
+namespace tecfan::core {
+
+class TecFanPolicy final : public Policy {
+ public:
+  explicit TecFanPolicy(PolicyOptions options = {});
+
+  std::string_view name() const override { return "TECfan"; }
+  void reset() override;
+  KnobState decide(PlanningModel& model, const KnobState& current) override;
+
+  const PolicyOptions& options() const { return options_; }
+
+  /// Number of predict() calls issued in the last decide() (for the
+  /// overhead benchmarks).
+  std::size_t last_prediction_count() const { return predictions_; }
+
+ private:
+  KnobState lower_level(PlanningModel& model, KnobState cand);
+  int fan_decision(PlanningModel& model, const KnobState& current);
+
+  Prediction predict(PlanningModel& model, const KnobState& k);
+
+  PolicyOptions options_;
+  int interval_ = 0;
+  std::size_t predictions_ = 0;
+};
+
+}  // namespace tecfan::core

@@ -1,0 +1,118 @@
+#include "linalg/banded.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/error.h"
+
+namespace tecfan::linalg {
+
+BandMatrix::BandMatrix(std::size_t n, std::size_t lower, std::size_t upper)
+    : n_(n), kl_(lower), ku_(upper), data_((lower + upper + 1) * n, 0.0) {
+  TECFAN_REQUIRE(lower < n || n == 0, "lower bandwidth must be < n");
+  TECFAN_REQUIRE(upper < n || n == 0, "upper bandwidth must be < n");
+}
+
+BandMatrix BandMatrix::from_dense(const DenseMatrix& a, std::size_t lower,
+                                  std::size_t upper, double tol) {
+  TECFAN_REQUIRE(a.rows() == a.cols(), "from_dense requires square input");
+  BandMatrix m(a.rows(), lower, upper);
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      if (m.in_band(r, c)) {
+        m.at(r, c) = a(r, c);
+      } else {
+        TECFAN_REQUIRE(std::abs(a(r, c)) <= tol,
+                       "dense matrix has entries outside the band");
+      }
+    }
+  return m;
+}
+
+bool BandMatrix::in_band(std::size_t r, std::size_t c) const {
+  if (r >= n_ || c >= n_) return false;
+  if (c > r) return c - r <= ku_;
+  return r - c <= kl_;
+}
+
+double& BandMatrix::at(std::size_t r, std::size_t c) {
+  TECFAN_REQUIRE(in_band(r, c), "band access outside band");
+  const std::size_t d = r + ku_ - c;
+  return data_[d * n_ + c];
+}
+
+double BandMatrix::get(std::size_t r, std::size_t c) const {
+  if (!in_band(r, c)) return 0.0;
+  const std::size_t d = r + ku_ - c;
+  return data_[d * n_ + c];
+}
+
+void BandMatrix::matvec(std::span<const double> x,
+                        std::span<double> y) const {
+  TECFAN_REQUIRE(x.size() == n_ && y.size() == n_,
+                 "band matvec size mismatch");
+  for (std::size_t r = 0; r < n_; ++r) {
+    const std::size_t c0 = (r > kl_) ? r - kl_ : 0;
+    const std::size_t c1 = std::min(n_ - 1, r + ku_);
+    double s = 0.0;
+    for (std::size_t c = c0; c <= c1; ++c) s += get(r, c) * x[c];
+    y[r] = s;
+  }
+}
+
+DenseMatrix BandMatrix::to_dense() const {
+  DenseMatrix m(n_, n_);
+  for (std::size_t r = 0; r < n_; ++r) {
+    const std::size_t c0 = (r > kl_) ? r - kl_ : 0;
+    const std::size_t c1 = std::min(n_ - 1, r + ku_);
+    for (std::size_t c = c0; c <= c1; ++c) m(r, c) = get(r, c);
+  }
+  return m;
+}
+
+BandLu::BandLu(BandMatrix a) : a_(std::move(a)) {
+  const std::size_t n = a_.size();
+  const std::size_t kl = a_.lower_bandwidth();
+  const std::size_t ku = a_.upper_bandwidth();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double piv = a_.get(k, k);
+    if (std::abs(piv) < 1e-300)
+      throw numerical_error("BandLu: zero pivot at " + std::to_string(k) +
+                            " (matrix not diagonally dominant?)");
+    const std::size_t r1 = std::min(n - 1, k + kl);
+    for (std::size_t r = k + 1; r <= r1 && r < n; ++r) {
+      const double m = a_.get(r, k) / piv;
+      if (m == 0.0) continue;
+      a_.at(r, k) = m;
+      const std::size_t c1 = std::min(n - 1, k + ku);
+      for (std::size_t c = k + 1; c <= c1; ++c)
+        a_.at(r, c) = a_.get(r, c) - m * a_.get(k, c);
+    }
+  }
+}
+
+Vector BandLu::solve(std::span<const double> b) const {
+  TECFAN_REQUIRE(valid(), "solve on empty factorization");
+  TECFAN_REQUIRE(b.size() == size(), "solve rhs size mismatch");
+  const std::size_t n = size();
+  const std::size_t kl = a_.lower_bandwidth();
+  const std::size_t ku = a_.upper_bandwidth();
+  Vector x(b.begin(), b.end());
+  // L y = b (unit lower within the band).
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::size_t c0 = (r > kl) ? r - kl : 0;
+    double s = x[r];
+    for (std::size_t c = c0; c < r; ++c) s -= a_.get(r, c) * x[c];
+    x[r] = s;
+  }
+  // U x = y.
+  for (std::size_t ri = n; ri-- > 0;) {
+    const std::size_t c1 = std::min(n - 1, ri + ku);
+    double s = x[ri];
+    for (std::size_t c = ri + 1; c <= c1; ++c) s -= a_.get(ri, c) * x[c];
+    x[ri] = s / a_.get(ri, ri);
+  }
+  return x;
+}
+
+}  // namespace tecfan::linalg

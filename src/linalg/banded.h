@@ -1,0 +1,75 @@
+// Band matrix storage, matvec, and banded LU.
+//
+// Section III-E of the paper observes that the per-core thermal conductance
+// matrix is by nature a band matrix (thermal influence is local) and bases
+// its on-chip hardware estimate on band matrix–vector products. This module
+// provides that representation: LAPACK-style banded storage, matvec (the
+// operation the paper maps onto a systolic array), and an in-place banded LU
+// without pivoting for the diagonally dominant systems the estimator solves.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace tecfan::linalg {
+
+class BandMatrix {
+ public:
+  BandMatrix() = default;
+
+  /// n x n with `lower` sub-diagonals and `upper` super-diagonals.
+  BandMatrix(std::size_t n, std::size_t lower, std::size_t upper);
+
+  /// Construct from a dense matrix, verifying entries outside the band are
+  /// zero (within tol).
+  static BandMatrix from_dense(const DenseMatrix& a, std::size_t lower,
+                               std::size_t upper, double tol = 0.0);
+
+  std::size_t size() const { return n_; }
+  std::size_t lower_bandwidth() const { return kl_; }
+  std::size_t upper_bandwidth() const { return ku_; }
+
+  /// True if (r, c) lies within the band.
+  bool in_band(std::size_t r, std::size_t c) const;
+
+  /// Element access; (r, c) must lie inside the band for the mutable form,
+  /// the const form returns 0 outside the band.
+  double& at(std::size_t r, std::size_t c);
+  double get(std::size_t r, std::size_t c) const;
+
+  /// y = A x.
+  void matvec(std::span<const double> x, std::span<double> y) const;
+
+  /// Number of stored (in-band) coefficients, the paper's multiplier count
+  /// for a one-row-per-cycle systolic evaluation.
+  std::size_t stored_coefficients() const { return n_ * (kl_ + ku_ + 1); }
+
+  DenseMatrix to_dense() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t kl_ = 0;
+  std::size_t ku_ = 0;
+  std::vector<double> data_;  // (kl_+ku_+1) x n_, diagonal d = r - c + ku_
+};
+
+/// Banded LU without pivoting (suitable for diagonally dominant systems such
+/// as conductance matrices). Fill stays within the band.
+class BandLu {
+ public:
+  BandLu() = default;
+  explicit BandLu(BandMatrix a);
+
+  std::size_t size() const { return a_.size(); }
+  bool valid() const { return a_.size() > 0; }
+
+  Vector solve(std::span<const double> b) const;
+
+ private:
+  BandMatrix a_;
+};
+
+}  // namespace tecfan::linalg

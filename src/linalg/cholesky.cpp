@@ -1,0 +1,52 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace tecfan::linalg {
+
+CholeskyFactorization::CholeskyFactorization(const DenseMatrix& a) {
+  TECFAN_REQUIRE(a.rows() == a.cols(), "Cholesky requires a square matrix");
+  const std::size_t n = a.rows();
+  l_ = DenseMatrix(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c <= r; ++c) {
+      double s = a(r, c);
+      const double* lr = &l_.data()[r * n];
+      const double* lc = &l_.data()[c * n];
+      for (std::size_t k = 0; k < c; ++k) s -= lr[k] * lc[k];
+      if (r == c) {
+        if (s <= 0.0)
+          throw numerical_error("Cholesky: matrix not positive definite at " +
+                                std::to_string(r));
+        l_(r, c) = std::sqrt(s);
+      } else {
+        l_(r, c) = s / l_(c, c);
+      }
+    }
+  }
+}
+
+Vector CholeskyFactorization::solve(std::span<const double> b) const {
+  TECFAN_REQUIRE(valid(), "solve on empty factorization");
+  TECFAN_REQUIRE(b.size() == size(), "solve rhs size mismatch");
+  const std::size_t n = size();
+  Vector x(b.begin(), b.end());
+  // L y = b.
+  for (std::size_t r = 0; r < n; ++r) {
+    const double* row = &l_.data()[r * n];
+    double s = x[r];
+    for (std::size_t c = 0; c < r; ++c) s -= row[c] * x[c];
+    x[r] = s / row[r];
+  }
+  // L^T x = y.
+  for (std::size_t ri = n; ri-- > 0;) {
+    double s = x[ri];
+    for (std::size_t r = ri + 1; r < n; ++r) s -= l_(r, ri) * x[r];
+    x[ri] = s / l_(ri, ri);
+  }
+  return x;
+}
+
+}  // namespace tecfan::linalg

@@ -1,0 +1,129 @@
+#include "linalg/iterative.h"
+
+#include <cmath>
+
+#include "linalg/matrix.h"
+#include "util/error.h"
+
+namespace tecfan::linalg {
+namespace {
+
+Vector jacobi_inverse(const SparseMatrix& a, bool enabled) {
+  Vector inv(a.rows(), 1.0);
+  if (!enabled) return inv;
+  const Vector d = a.diagonal();
+  for (std::size_t i = 0; i < d.size(); ++i)
+    inv[i] = (d[i] != 0.0) ? 1.0 / d[i] : 1.0;
+  return inv;
+}
+
+void apply_precond(const Vector& minv, std::span<const double> r,
+                   std::span<double> z) {
+  for (std::size_t i = 0; i < r.size(); ++i) z[i] = minv[i] * r[i];
+}
+
+}  // namespace
+
+IterativeResult conjugate_gradient(const SparseMatrix& a,
+                                   std::span<const double> b,
+                                   const IterativeOptions& opts) {
+  TECFAN_REQUIRE(a.rows() == a.cols(), "CG requires a square matrix");
+  TECFAN_REQUIRE(b.size() == a.rows(), "CG rhs size mismatch");
+  const std::size_t n = a.rows();
+  const double bnorm = norm2(b);
+  IterativeResult res;
+  res.x.assign(n, 0.0);
+  if (bnorm == 0.0) {
+    res.converged = true;
+    return res;
+  }
+
+  const Vector minv = jacobi_inverse(a, opts.jacobi_preconditioner);
+  Vector r(b.begin(), b.end());
+  Vector z(n), p(n), ap(n);
+  apply_precond(minv, r, z);
+  p = z;
+  double rz = dot(r, z);
+
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    a.matvec(p, ap);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0)
+      throw numerical_error("CG: matrix is not positive definite");
+    const double alpha = rz / pap;
+    axpy(alpha, p, res.x);
+    axpy(-alpha, ap, r);
+    res.iterations = it + 1;
+    res.residual = norm2(r) / bnorm;
+    if (res.residual < opts.tolerance) {
+      res.converged = true;
+      return res;
+    }
+    apply_precond(minv, r, z);
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  return res;
+}
+
+IterativeResult bicgstab(const SparseMatrix& a, std::span<const double> b,
+                         const IterativeOptions& opts) {
+  TECFAN_REQUIRE(a.rows() == a.cols(), "BiCGSTAB requires a square matrix");
+  TECFAN_REQUIRE(b.size() == a.rows(), "BiCGSTAB rhs size mismatch");
+  const std::size_t n = a.rows();
+  const double bnorm = norm2(b);
+  IterativeResult res;
+  res.x.assign(n, 0.0);
+  if (bnorm == 0.0) {
+    res.converged = true;
+    return res;
+  }
+
+  const Vector minv = jacobi_inverse(a, opts.jacobi_preconditioner);
+  Vector r(b.begin(), b.end());
+  Vector r_hat = r;
+  Vector p(n, 0.0), v(n, 0.0), s(n), t(n), z(n), y(n);
+  double rho = 1.0, alpha = 1.0, omega = 1.0;
+
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    const double rho_new = dot(r_hat, r);
+    if (rho_new == 0.0) break;  // breakdown
+    const double beta = (rho_new / rho) * (alpha / omega);
+    rho = rho_new;
+    for (std::size_t i = 0; i < n; ++i)
+      p[i] = r[i] + beta * (p[i] - omega * v[i]);
+    apply_precond(minv, p, y);
+    a.matvec(y, v);
+    const double rhv = dot(r_hat, v);
+    if (rhv == 0.0) break;  // breakdown
+    alpha = rho / rhv;
+    for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
+    res.iterations = it + 1;
+    if (norm2(s) / bnorm < opts.tolerance) {
+      axpy(alpha, y, res.x);
+      res.residual = norm2(s) / bnorm;
+      res.converged = true;
+      return res;
+    }
+    apply_precond(minv, s, z);
+    a.matvec(z, t);
+    const double tt = dot(t, t);
+    if (tt == 0.0) break;  // breakdown
+    omega = dot(t, s) / tt;
+    for (std::size_t i = 0; i < n; ++i) {
+      res.x[i] += alpha * y[i] + omega * z[i];
+      r[i] = s[i] - omega * t[i];
+    }
+    res.residual = norm2(r) / bnorm;
+    if (res.residual < opts.tolerance) {
+      res.converged = true;
+      return res;
+    }
+    if (omega == 0.0) break;  // breakdown
+  }
+  return res;
+}
+
+}  // namespace tecfan::linalg

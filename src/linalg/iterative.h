@@ -1,0 +1,37 @@
+// Jacobi-preconditioned iterative Krylov solvers.
+//
+// CG handles the SPD conductance systems (TECs off); BiCGSTAB handles the
+// general case once Peltier terms are active. These are used for large grids
+// and as an independent cross-check of the direct solvers; the runtime
+// controllers use the cached dense factorizations instead.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/sparse.h"
+
+namespace tecfan::linalg {
+
+struct IterativeOptions {
+  std::size_t max_iterations = 2000;
+  double tolerance = 1e-10;  // relative to ||b||
+  bool jacobi_preconditioner = true;
+};
+
+struct IterativeResult {
+  Vector x;
+  std::size_t iterations = 0;
+  double residual = 0.0;  // final relative residual
+  bool converged = false;
+};
+
+/// Conjugate gradient; A must be symmetric positive definite.
+IterativeResult conjugate_gradient(const SparseMatrix& a,
+                                   std::span<const double> b,
+                                   const IterativeOptions& opts = {});
+
+/// BiCGSTAB for general square systems.
+IterativeResult bicgstab(const SparseMatrix& a, std::span<const double> b,
+                         const IterativeOptions& opts = {});
+
+}  // namespace tecfan::linalg

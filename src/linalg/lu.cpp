@@ -1,0 +1,114 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/error.h"
+
+namespace tecfan::linalg {
+
+LuFactorization::LuFactorization(DenseMatrix a) : lu_(std::move(a)) {
+  TECFAN_REQUIRE(lu_.rows() == lu_.cols(), "LU requires a square matrix");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest magnitude in column k.
+    std::size_t pivot = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::abs(lu_(r, k));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best == 0.0)
+      throw numerical_error("LU: matrix is singular at column " +
+                            std::to_string(k));
+    if (pivot != k) {
+      std::swap(perm_[pivot], perm_[k]);
+      perm_sign_ = -perm_sign_;
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(lu_(pivot, c), lu_(k, c));
+    }
+    const double inv_piv = 1.0 / lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double m = lu_(r, k) * inv_piv;
+      lu_(r, k) = m;
+      if (m == 0.0) continue;
+      const double* src = &lu_.data()[k * n];
+      double* dst = &lu_.data()[r * n];
+      for (std::size_t c = k + 1; c < n; ++c) dst[c] -= m * src[c];
+    }
+  }
+}
+
+Vector LuFactorization::solve(std::span<const double> b) const {
+  TECFAN_REQUIRE(valid(), "solve on empty factorization");
+  TECFAN_REQUIRE(b.size() == size(), "solve rhs size mismatch");
+  const std::size_t n = size();
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  solve_in_place_permuted(x);
+  return x;
+}
+
+void LuFactorization::solve_in_place(std::span<double> x) const {
+  TECFAN_REQUIRE(valid(), "solve on empty factorization");
+  TECFAN_REQUIRE(x.size() == size(), "solve rhs size mismatch");
+  const std::size_t n = size();
+  Vector tmp(n);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = x[perm_[i]];
+  for (std::size_t i = 0; i < n; ++i) x[i] = tmp[i];
+  solve_in_place_permuted(x);
+}
+
+Vector LuFactorization::solve_transpose(std::span<const double> b) const {
+  TECFAN_REQUIRE(valid(), "solve on empty factorization");
+  TECFAN_REQUIRE(b.size() == size(), "solve rhs size mismatch");
+  const std::size_t n = size();
+  // A^T = U^T L^T P; solve U^T y = b, then L^T z = y, then x = P^T z.
+  Vector y(b.begin(), b.end());
+  for (std::size_t c = 0; c < n; ++c) {
+    double s = y[c];
+    for (std::size_t r = 0; r < c; ++r) s -= lu_(r, c) * y[r];
+    y[c] = s / lu_(c, c);
+  }
+  for (std::size_t ci = n; ci-- > 0;) {
+    double s = y[ci];
+    for (std::size_t r = ci + 1; r < n; ++r) s -= lu_(r, ci) * y[r];
+    y[ci] = s;
+  }
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[perm_[i]] = y[i];
+  return x;
+}
+
+void LuFactorization::solve_in_place_permuted(std::span<double> x) const {
+  const std::size_t n = size();
+  // L y = Pb (unit lower triangular).
+  for (std::size_t r = 1; r < n; ++r) {
+    const double* row = &lu_.data()[r * n];
+    double s = x[r];
+    for (std::size_t c = 0; c < r; ++c) s -= row[c] * x[c];
+    x[r] = s;
+  }
+  // U x = y.
+  for (std::size_t ri = n; ri-- > 0;) {
+    const double* row = &lu_.data()[ri * n];
+    double s = x[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) s -= row[c] * x[c];
+    x[ri] = s / row[ri];
+  }
+}
+
+double LuFactorization::determinant() const {
+  TECFAN_REQUIRE(valid(), "determinant on empty factorization");
+  double d = static_cast<double>(perm_sign_);
+  for (std::size_t i = 0; i < size(); ++i) d *= lu_(i, i);
+  return d;
+}
+
+}  // namespace tecfan::linalg

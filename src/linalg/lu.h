@@ -1,0 +1,49 @@
+// Dense LU factorization with partial pivoting.
+//
+// This is the workhorse behind the thermal steady-state and transient
+// solvers: the conductance matrix G becomes nonsymmetric-indefinite once
+// Peltier terms are folded in, so Cholesky is not always applicable. The
+// factorization is computed once per chip configuration and then reused for
+// many right-hand sides (and, through WoodburySolver, for low-rank knob
+// updates), so factor cost is amortized away.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.h"
+
+namespace tecfan::linalg {
+
+class LuFactorization {
+ public:
+  LuFactorization() = default;
+
+  /// Factor A = P L U in place; throws numerical_error on singularity.
+  explicit LuFactorization(DenseMatrix a);
+
+  std::size_t size() const { return lu_.rows(); }
+  bool valid() const { return lu_.rows() > 0; }
+
+  /// Solve A x = b.
+  Vector solve(std::span<const double> b) const;
+
+  /// Solve A^T x = b (needed by Woodbury with asymmetric updates).
+  Vector solve_transpose(std::span<const double> b) const;
+
+  /// Solve in place (x on entry is b).
+  void solve_in_place(std::span<double> x) const;
+
+  /// Determinant sign * |det| via the diagonal of U (may over/underflow for
+  /// large systems; intended for small-matrix tests).
+  double determinant() const;
+
+ private:
+  /// Forward/back substitution on an already row-permuted rhs.
+  void solve_in_place_permuted(std::span<double> x) const;
+
+  DenseMatrix lu_;
+  std::vector<std::size_t> perm_;  // row permutation: row i of PA is perm_[i]
+  int perm_sign_ = 1;
+};
+
+}  // namespace tecfan::linalg

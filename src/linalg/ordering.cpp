@@ -1,0 +1,104 @@
+#include "linalg/ordering.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.h"
+
+namespace tecfan::linalg {
+
+std::vector<std::vector<std::size_t>> sparsity_graph(const SparseMatrix& a) {
+  TECFAN_REQUIRE(a.rows() == a.cols(), "sparsity_graph needs square input");
+  std::vector<std::vector<std::size_t>> graph(a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t k = a.row_offsets()[r]; k < a.row_offsets()[r + 1];
+         ++k) {
+      const std::size_t c = a.col_indices()[k];
+      if (c == r || a.values()[k] == 0.0) continue;
+      graph[r].push_back(c);
+      graph[c].push_back(r);
+    }
+  }
+  for (auto& adj : graph) {
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+  }
+  return graph;
+}
+
+std::vector<std::size_t> reverse_cuthill_mckee(
+    const std::vector<std::vector<std::size_t>>& graph) {
+  const std::size_t n = graph.size();
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+
+  auto degree = [&](std::size_t v) { return graph[v].size(); };
+
+  for (;;) {
+    // Start each component from its minimum-degree unvisited node.
+    std::size_t start = n;
+    for (std::size_t v = 0; v < n; ++v)
+      if (!visited[v] && (start == n || degree(v) < degree(start)))
+        start = v;
+    if (start == n) break;
+
+    std::queue<std::size_t> queue;
+    queue.push(start);
+    visited[start] = true;
+    while (!queue.empty()) {
+      const std::size_t v = queue.front();
+      queue.pop();
+      order.push_back(v);
+      std::vector<std::size_t> next;
+      for (std::size_t u : graph[v])
+        if (!visited[u]) {
+          visited[u] = true;
+          next.push_back(u);
+        }
+      std::sort(next.begin(), next.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return degree(a) < degree(b);
+                });
+      for (std::size_t u : next) queue.push(u);
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::vector<std::size_t> reverse_cuthill_mckee(const SparseMatrix& a) {
+  return reverse_cuthill_mckee(sparsity_graph(a));
+}
+
+std::size_t bandwidth_under(
+    const std::vector<std::vector<std::size_t>>& graph,
+    const std::vector<std::size_t>& perm) {
+  TECFAN_REQUIRE(perm.size() == graph.size(), "permutation size mismatch");
+  std::vector<std::size_t> pos(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    TECFAN_REQUIRE(perm[i] < perm.size(), "permutation entry out of range");
+    pos[perm[i]] = i;
+  }
+  std::size_t bw = 0;
+  for (std::size_t v = 0; v < graph.size(); ++v)
+    for (std::size_t u : graph[v]) {
+      const std::size_t d =
+          pos[v] > pos[u] ? pos[v] - pos[u] : pos[u] - pos[v];
+      bw = std::max(bw, d);
+    }
+  return bw;
+}
+
+DenseMatrix permute_symmetric(const DenseMatrix& a,
+                              const std::vector<std::size_t>& perm) {
+  TECFAN_REQUIRE(a.rows() == a.cols() && perm.size() == a.rows(),
+                 "permute_symmetric size mismatch");
+  DenseMatrix out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      out(i, j) = a(perm[i], perm[j]);
+  return out;
+}
+
+}  // namespace tecfan::linalg

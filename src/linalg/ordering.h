@@ -1,0 +1,40 @@
+// Bandwidth-reducing node orderings.
+//
+// Section III-E's hardware estimator relies on the per-core conductance
+// matrix being a band matrix. The raw node numbering (components, then TEC
+// faces) scatters couplings; a reverse Cuthill–McKee pass over the
+// conductance graph brings them near the diagonal so the banded LU and the
+// systolic MVM model apply with a small bandwidth.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/sparse.h"
+
+namespace tecfan::linalg {
+
+/// Adjacency list of the off-diagonal sparsity pattern of a square sparse
+/// matrix (symmetrized).
+std::vector<std::vector<std::size_t>> sparsity_graph(const SparseMatrix& a);
+
+/// Reverse Cuthill–McKee ordering of a graph. Returns `perm` such that new
+/// index i holds old node perm[i]; disconnected components are handled by
+/// restarting from the minimum-degree unvisited node.
+std::vector<std::size_t> reverse_cuthill_mckee(
+    const std::vector<std::vector<std::size_t>>& graph);
+
+/// Convenience overload over a sparse matrix's pattern.
+std::vector<std::size_t> reverse_cuthill_mckee(const SparseMatrix& a);
+
+/// Half bandwidth of a graph under a given ordering: max |pos(u) - pos(v)|
+/// over edges. 0 for diagonal matrices.
+std::size_t bandwidth_under(
+    const std::vector<std::vector<std::size_t>>& graph,
+    const std::vector<std::size_t>& perm);
+
+/// Apply a permutation to a dense matrix: out(i, j) = a(perm[i], perm[j]).
+DenseMatrix permute_symmetric(const DenseMatrix& a,
+                              const std::vector<std::size_t>& perm);
+
+}  // namespace tecfan::linalg

@@ -1,0 +1,105 @@
+#include "linalg/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace tecfan::linalg {
+
+SparseBuilder::SparseBuilder(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols) {}
+
+void SparseBuilder::add(std::size_t row, std::size_t col, double value) {
+  TECFAN_REQUIRE(row < rows_ && col < cols_, "triplet index out of range");
+  if (value != 0.0) triplets_.push_back({row, col, value});
+}
+
+void SparseBuilder::add_conductance(std::size_t i, std::size_t j, double g) {
+  TECFAN_REQUIRE(i != j, "conductance endpoints must differ");
+  add(i, i, g);
+  add(j, j, g);
+  add(i, j, -g);
+  add(j, i, -g);
+}
+
+void SparseBuilder::add_to_diagonal(std::size_t i, double g) { add(i, i, g); }
+
+SparseMatrix SparseBuilder::build() const {
+  SparseMatrix m;
+  m.rows_ = rows_;
+  m.cols_ = cols_;
+  std::vector<Triplet> sorted = triplets_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  m.row_offsets_.assign(rows_ + 1, 0);
+  for (std::size_t i = 0; i < sorted.size();) {
+    std::size_t j = i;
+    double acc = 0.0;
+    while (j < sorted.size() && sorted[j].row == sorted[i].row &&
+           sorted[j].col == sorted[i].col) {
+      acc += sorted[j].value;
+      ++j;
+    }
+    if (acc != 0.0) {
+      m.col_indices_.push_back(sorted[i].col);
+      m.values_.push_back(acc);
+      ++m.row_offsets_[sorted[i].row + 1];
+    }
+    i = j;
+  }
+  for (std::size_t r = 0; r < rows_; ++r)
+    m.row_offsets_[r + 1] += m.row_offsets_[r];
+  return m;
+}
+
+void SparseMatrix::matvec(std::span<const double> x,
+                          std::span<double> y) const {
+  TECFAN_REQUIRE(x.size() == cols_ && y.size() == rows_,
+                 "sparse matvec size mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k)
+      s += values_[k] * x[col_indices_[k]];
+    y[r] = s;
+  }
+}
+
+double SparseMatrix::at(std::size_t r, std::size_t c) const {
+  TECFAN_REQUIRE(r < rows_ && c < cols_, "sparse at() out of range");
+  const auto begin = col_indices_.begin() +
+                     static_cast<std::ptrdiff_t>(row_offsets_[r]);
+  const auto end = col_indices_.begin() +
+                   static_cast<std::ptrdiff_t>(row_offsets_[r + 1]);
+  const auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_indices_.begin())];
+}
+
+Vector SparseMatrix::diagonal() const {
+  Vector d(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) d[r] = at(r, std::min(r, cols_ - 1));
+  return d;
+}
+
+DenseMatrix SparseMatrix::to_dense() const {
+  DenseMatrix m(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k)
+      m(r, col_indices_[k]) += values_[k];
+  return m;
+}
+
+double SparseMatrix::asymmetry() const {
+  double worst = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      const std::size_t c = col_indices_[k];
+      worst = std::max(worst, std::abs(values_[k] - at(c, r)));
+    }
+  return worst;
+}
+
+}  // namespace tecfan::linalg

@@ -1,0 +1,87 @@
+// Compressed-sparse-row matrix with a triplet builder.
+//
+// The RC thermal network assembles naturally as (i, j, g) triplets; the CSR
+// form backs the iterative solvers (CG/BiCGSTAB) and fast matvec for the
+// residual checks. Duplicate triplets accumulate, which lets the network
+// builder emit one triplet per physical conductance without bookkeeping.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace tecfan::linalg {
+
+struct Triplet {
+  std::size_t row;
+  std::size_t col;
+  double value;
+};
+
+class SparseMatrix;
+
+/// Accumulates triplets and compresses them into a SparseMatrix.
+class SparseBuilder {
+ public:
+  SparseBuilder(std::size_t rows, std::size_t cols);
+
+  void add(std::size_t row, std::size_t col, double value);
+
+  /// Add a symmetric conductance between nodes i and j:
+  /// +g on both diagonals, -g on both off-diagonals.
+  void add_conductance(std::size_t i, std::size_t j, double g);
+
+  /// Add g only to the diagonal of node i (e.g. a link to a fixed-potential
+  /// boundary such as ambient).
+  void add_to_diagonal(std::size_t i, double g);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  SparseMatrix build() const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Triplet> triplets_;
+};
+
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nonzeros() const { return values_.size(); }
+
+  /// y = A x.
+  void matvec(std::span<const double> x, std::span<double> y) const;
+
+  /// Value at (r, c); zero when not stored. O(log nnz_row).
+  double at(std::size_t r, std::size_t c) const;
+
+  /// Diagonal entries (zero where absent).
+  Vector diagonal() const;
+
+  /// Densify (tests and small systems only).
+  DenseMatrix to_dense() const;
+
+  /// Max |A - A^T| entry; 0 for exactly symmetric.
+  double asymmetry() const;
+
+  std::span<const std::size_t> row_offsets() const { return row_offsets_; }
+  std::span<const std::size_t> col_indices() const { return col_indices_; }
+  std::span<const double> values() const { return values_; }
+
+ private:
+  friend class SparseBuilder;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_offsets_;  // size rows_+1
+  std::vector<std::size_t> col_indices_;  // sorted within each row
+  std::vector<double> values_;
+};
+
+}  // namespace tecfan::linalg

@@ -1,0 +1,61 @@
+#include "linalg/systolic.h"
+
+#include "util/error.h"
+
+namespace tecfan::linalg {
+
+SystolicRunResult systolic_band_matvec(const BandMatrix& a,
+                                       std::span<const double> x) {
+  TECFAN_REQUIRE(x.size() == a.size(), "systolic matvec size mismatch");
+  const std::size_t n = a.size();
+  const std::size_t kl = a.lower_bandwidth();
+  const std::size_t ku = a.upper_bandwidth();
+  const std::size_t w = kl + ku + 1;  // one PE per diagonal
+
+  SystolicRunResult res;
+  res.pe_count = w;
+  res.y.assign(n, 0.0);
+
+  // Row r of the product accumulates contributions from diagonals
+  // d in [-kl, +ku] (column c = r + d). We schedule like the classic
+  // space-optimal array: at cycle t, PE for diagonal d processes row
+  // r = t - (d + kl); each PE fires once per row, so row r completes at
+  // cycle r + w - 1 and the final output drains at cycle n - 1 + w.
+  for (std::size_t t = 0; t < n + w; ++t) {
+    for (std::size_t pe = 0; pe < w; ++pe) {
+      // pe handles diagonal offset d = pe - kl (column = row + d).
+      if (t < pe) continue;
+      const std::size_t r = t - pe;
+      if (r >= n) continue;
+      const std::ptrdiff_t c = static_cast<std::ptrdiff_t>(r) +
+                               static_cast<std::ptrdiff_t>(pe) -
+                               static_cast<std::ptrdiff_t>(kl);
+      if (c < 0 || c >= static_cast<std::ptrdiff_t>(n)) continue;
+      const double coeff = a.get(r, static_cast<std::size_t>(c));
+      res.y[r] += coeff * x[static_cast<std::size_t>(c)];
+      ++res.multiply_ops;
+      res.cycles = t + 1;
+    }
+  }
+  return res;
+}
+
+double SystolicCostModel::multiplier_area_mm2() const {
+  const double scale = static_cast<double>(operand_bits) /
+                       static_cast<double>(ref_multiplier_bits);
+  return ref_multiplier_area_mm2 * scale * scale;
+}
+
+double SystolicCostModel::total_area_mm2() const {
+  return multiplier_area_mm2() * static_cast<double>(multiplier_count());
+}
+
+double SystolicCostModel::area_overhead() const {
+  return total_area_mm2() / die_area_mm2;
+}
+
+double SystolicCostModel::power_w() const {
+  return total_area_mm2() * power_density_w_per_mm2;
+}
+
+}  // namespace tecfan::linalg

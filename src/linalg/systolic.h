@@ -1,0 +1,51 @@
+// Systolic-array model for band matrix–vector multiplication.
+//
+// Section III-E of the paper argues TECfan's on-chip temperature estimator is
+// cheap because G is a band matrix and band MVM maps onto a space-optimal
+// linear systolic array [25]. This module provides (a) a functional,
+// cycle-stepped simulation of that array — used to validate the cycle-count
+// formula against the software matvec — and (b) the area/power cost model the
+// paper uses (0.057 mm^2 per 16-bit fixed-point multiplier at 65 nm, scaled
+// quadratically with operand width; 0.56 W/mm^2 at full utilization).
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/banded.h"
+
+namespace tecfan::linalg {
+
+struct SystolicRunResult {
+  Vector y;                 // the computed product
+  std::size_t cycles = 0;   // cycles until the last output drained
+  std::size_t pe_count = 0; // processing elements (one per band diagonal)
+  std::size_t multiply_ops = 0;
+};
+
+/// Functionally simulate a linear systolic array (one PE per band diagonal)
+/// computing y = A x; result matches BandMatrix::matvec exactly.
+SystolicRunResult systolic_band_matvec(const BandMatrix& a,
+                                       std::span<const double> x);
+
+/// Hardware cost model from Sec. III-E.
+struct SystolicCostModel {
+  std::size_t components = 18;   // M: thermal nodes per core
+  std::size_t neighbours = 3;    // K: nodes with thermal impact
+  int operand_bits = 8;          // fixed-point width (8 bits suffice)
+  double ref_multiplier_area_mm2 = 0.057;  // 16-bit multiplier, 65 nm [26]
+  int ref_multiplier_bits = 16;
+  double power_density_w_per_mm2 = 0.56;   // IBM POWER6 FPU density [27]
+  double die_area_mm2 = 200.0;             // typical die used in the paper
+
+  std::size_t multiplier_count() const { return components * neighbours; }
+  /// Area of one multiplier (quadratic scaling in operand width).
+  double multiplier_area_mm2() const;
+  /// Total estimator area.
+  double total_area_mm2() const;
+  /// Area overhead as a fraction of the die.
+  double area_overhead() const;
+  /// Power at 100% utilization.
+  double power_w() const;
+};
+
+}  // namespace tecfan::linalg

@@ -1,0 +1,76 @@
+#include "linalg/woodbury.h"
+
+#include <map>
+
+#include "util/error.h"
+
+namespace tecfan::linalg {
+
+DiagonalUpdateSolver::DiagonalUpdateSolver(
+    std::shared_ptr<const LuFactorization> base)
+    : base_(std::move(base)) {
+  TECFAN_REQUIRE(base_ && base_->valid(),
+                 "DiagonalUpdateSolver requires a valid base factorization");
+}
+
+const Vector& DiagonalUpdateSolver::inverse_column(std::size_t node) {
+  auto it = column_cache_.find(node);
+  if (it != column_cache_.end()) return it->second;
+  Vector e(base_->size(), 0.0);
+  e[node] = 1.0;
+  auto [ins, _] = column_cache_.emplace(node, base_->solve(e));
+  return ins->second;
+}
+
+void DiagonalUpdateSolver::set_updates(
+    const std::vector<std::pair<std::size_t, double>>& updates) {
+  TECFAN_REQUIRE(base_, "set_updates before binding a base factorization");
+  // Accumulate duplicates and drop zeros (a toggled-then-untoggled knob).
+  std::map<std::size_t, double> acc;
+  for (const auto& [node, delta] : updates) {
+    TECFAN_REQUIRE(node < base_->size(), "update node out of range");
+    acc[node] += delta;
+  }
+  nodes_.clear();
+  deltas_.clear();
+  columns_.clear();
+  for (const auto& [node, delta] : acc) {
+    if (delta == 0.0) continue;
+    nodes_.push_back(node);
+    deltas_.push_back(delta);
+  }
+  const std::size_t k = nodes_.size();
+  if (k == 0) {
+    capacitance_ = LuFactorization();
+    return;
+  }
+  columns_.reserve(k);
+  for (std::size_t i = 0; i < k; ++i)
+    columns_.push_back(&inverse_column(nodes_[i]));
+
+  DenseMatrix s(k, k);
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = 0; b < k; ++b)
+      s(a, b) = (*columns_[b])[nodes_[a]];
+    s(a, a) += 1.0 / deltas_[a];
+  }
+  capacitance_ = LuFactorization(std::move(s));
+}
+
+Vector DiagonalUpdateSolver::solve(std::span<const double> b) const {
+  TECFAN_REQUIRE(base_, "solve before binding a base factorization");
+  Vector y = base_->solve(b);
+  const std::size_t k = nodes_.size();
+  if (k == 0) return y;
+  Vector rhs(k);
+  for (std::size_t a = 0; a < k; ++a) rhs[a] = y[nodes_[a]];
+  const Vector z = capacitance_.solve(rhs);
+  for (std::size_t a = 0; a < k; ++a) {
+    const Vector& col = *columns_[a];
+    const double za = z[a];
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] -= col[i] * za;
+  }
+  return y;
+}
+
+}  // namespace tecfan::linalg

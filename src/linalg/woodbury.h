@@ -1,0 +1,56 @@
+// Sherman–Morrison–Woodbury solver for diagonal low-rank updates.
+//
+// Every runtime knob in TECfan perturbs the thermal system matrix only on
+// its diagonal: toggling a TEC adds ±alpha*I Peltier terms to its two face
+// nodes, and changing the fan level rescales the convection conductances of
+// the sink nodes. Instead of refactoring the ~600x600 system each control
+// interval, we factor the base matrix once and solve
+//     (A0 + U D U^T) x = b
+// via the Woodbury identity, where U selects the touched nodes and D holds
+// the deltas. Columns of A0^{-1} U depend only on the node index, so they
+// are cached across intervals: after warm-up a knob change costs one small
+// k x k factorization instead of an O(n^3) refactor.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "linalg/lu.h"
+#include "linalg/matrix.h"
+
+namespace tecfan::linalg {
+
+class DiagonalUpdateSolver {
+ public:
+  DiagonalUpdateSolver() = default;
+
+  /// Bind to a base factorization (shared so several solvers can reuse it).
+  explicit DiagonalUpdateSolver(std::shared_ptr<const LuFactorization> base);
+
+  /// Replace the current update set {(node, delta)}; deltas of zero are
+  /// dropped, duplicate nodes are accumulated. Rebuilds the capacitance
+  /// (k x k) system; O(k) base solves on first sight of each node.
+  void set_updates(const std::vector<std::pair<std::size_t, double>>& updates);
+
+  /// Solve (A0 + sum_i delta_i e_i e_i^T) x = b for the current update set.
+  Vector solve(std::span<const double> b) const;
+
+  std::size_t base_size() const { return base_ ? base_->size() : 0; }
+  std::size_t update_rank() const { return nodes_.size(); }
+  std::size_t cached_columns() const { return column_cache_.size(); }
+
+ private:
+  const Vector& inverse_column(std::size_t node);
+
+  std::shared_ptr<const LuFactorization> base_;
+  std::unordered_map<std::size_t, Vector> column_cache_;  // A0^{-1} e_node
+  std::vector<std::size_t> nodes_;
+  std::vector<double> deltas_;
+  std::vector<const Vector*> columns_;  // cache entries for nodes_
+  LuFactorization capacitance_;         // LU of (D^{-1} + U^T A0^{-1} U)
+};
+
+}  // namespace tecfan::linalg

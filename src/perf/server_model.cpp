@@ -1,0 +1,36 @@
+#include "perf/server_model.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace tecfan::perf {
+
+double ServerCoreModel::relative_capacity(const power::DvfsTable& table,
+                                          int lvl) const {
+  const double x = table.frequency_hz(lvl) / table.frequency_hz(0);
+  return (1.0 + quad_coeff) * x - quad_coeff * x * x;
+}
+
+double ServerCoreModel::utilization(const power::DvfsTable& table, int lvl,
+                                    double demand) const {
+  TECFAN_REQUIRE(demand >= 0.0, "demand must be non-negative");
+  const double cap = relative_capacity(table, lvl);
+  TECFAN_ASSERT(cap > 0.0, "non-positive capacity");
+  return demand / cap;
+}
+
+double ServerCoreModel::power_w(const power::DvfsTable& table, int lvl,
+                                double u) const {
+  const double busy = busy_power_top_w * table.dyn_scale(0, lvl);
+  const double uc = std::clamp(u, 0.0, 1.0);
+  return idle_power_w + (busy - idle_power_w) * uc;
+}
+
+double ServerCoreModel::served(const power::DvfsTable& table, int lvl,
+                               double demand) const {
+  const double cap = relative_capacity(table, lvl);
+  return std::min(demand, cap);
+}
+
+}  // namespace tecfan::perf

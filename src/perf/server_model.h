@@ -1,0 +1,39 @@
+// Utilization-based server performance/power model for the 4-core study
+// (Sec. IV-B, Sec. V-E).
+//
+// Power follows the multi-mode server model of [34]: per-core power is
+// idle power plus a utilization-proportional busy component, where the busy
+// component scales with f*V^2 across DVFS points (Core i7-3770K-shaped
+// parameters [35]). Performance follows [36]: a core's service capacity is
+// a concave quadratic in frequency (memory-bound diminishing returns), so
+// serving the same demand at a lower frequency raises utilization and,
+// beyond saturation, queues work.
+#pragma once
+
+#include "power/dvfs.h"
+
+namespace tecfan::perf {
+
+struct ServerCoreModel {
+  double busy_power_top_w = 15.0;  // per-core busy power at top DVFS
+  double idle_power_w = 3.0;       // per-core idle (clock/uncore share)
+  double quad_coeff = 0.35;        // q in rel(x) = (1+q)x - q x^2, x = f/fmax
+  double peak_ips = 4.0e9;         // per-core capacity at top DVFS (for EPI)
+
+  /// Relative service capacity at DVFS level `lvl` (1.0 at level 0).
+  double relative_capacity(const power::DvfsTable& table, int lvl) const;
+
+  /// Utilization needed to serve `demand` (normalized to top-level
+  /// capacity) at level `lvl`; values above 1 mean saturation.
+  double utilization(const power::DvfsTable& table, int lvl,
+                     double demand) const;
+
+  /// Dynamic (busy+idle) power at level `lvl` and utilization `u`
+  /// (clamped to [0, 1] for the power computation).
+  double power_w(const power::DvfsTable& table, int lvl, double u) const;
+
+  /// Served work rate (normalized) for offered demand at level `lvl`.
+  double served(const power::DvfsTable& table, int lvl, double demand) const;
+};
+
+}  // namespace tecfan::perf

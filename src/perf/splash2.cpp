@@ -1,0 +1,227 @@
+#include "perf/splash2.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tecfan::perf {
+
+using thermal::ComponentKind;
+using thermal::kComponentsPerTile;
+
+namespace {
+
+// Program-phase periods (seconds). Two incommensurate sinusoids give
+// non-repeating interval-to-interval power variation at the 2 ms control
+// scale — the prediction error Eq. (7) has to live with.
+constexpr double kPhasePeriod1 = 9.1e-3;
+constexpr double kPhasePeriod2 = 2.37e-3;
+constexpr double kPhaseAmp1 = 0.10;
+constexpr double kPhaseAmp2 = 0.06;
+constexpr double kIpsAmp = 0.08;
+
+// Spatial profiles: relative activity per component kind at the benchmark's
+// steady phase. Chosen to express each benchmark's published character:
+// cholesky/lu concentrate power in the FP cluster (strong local hot spots),
+// volrend is integer/cache heavy and spatially uniform, fmm and water are
+// moderate with more memory traffic.
+struct ProfileSpec {
+  const char* name;
+  double by_kind[kComponentsPerTile];
+};
+
+// Kind order matches ComponentKind:
+//  FPMap IntMap Int_Q IntReg IntExec FPMul FPReg FP_Q FPAdd LdSt_Q ITB
+//  Bpred DTB VR i-cache d-cache L2 Router
+constexpr ProfileSpec kProfiles[] = {
+    {"cholesky",
+     {0.75, 0.35, 0.35, 0.45, 0.40, 1.00, 0.95, 0.85, 1.00, 0.60, 0.30,
+      0.25, 0.30, 0.45, 0.40, 0.45, 0.30, 0.25}},
+    {"fmm",
+     {0.50, 0.40, 0.40, 0.45, 0.45, 0.62, 0.55, 0.50, 0.60, 0.55, 0.45,
+      0.40, 0.45, 0.48, 0.50, 0.55, 0.60, 0.45}},
+    {"volrend",
+     {0.40, 0.66, 0.66, 0.70, 0.72, 0.38, 0.40, 0.40, 0.38, 0.68, 0.62,
+      0.64, 0.62, 0.62, 0.70, 0.72, 0.66, 0.60}},
+    {"water",
+     {0.48, 0.44, 0.44, 0.50, 0.52, 0.62, 0.56, 0.52, 0.60, 0.52, 0.44,
+      0.42, 0.44, 0.50, 0.50, 0.54, 0.48, 0.40}},
+    {"lu",
+     {0.70, 0.40, 0.40, 0.50, 0.48, 0.96, 0.88, 0.78, 0.94, 0.65, 0.35,
+      0.30, 0.35, 0.48, 0.44, 0.50, 0.36, 0.30}},
+    // Extended (estimated) profiles beyond Table I:
+    // barnes: FP tree-walk with heavy branching and cache traffic.
+    {"barnes",
+     {0.55, 0.50, 0.48, 0.52, 0.55, 0.80, 0.70, 0.62, 0.76, 0.60, 0.48,
+      0.58, 0.50, 0.52, 0.58, 0.62, 0.52, 0.42}},
+    // ocean: memory-bound stencil — caches/NoC dominate, modest FP.
+    {"ocean",
+     {0.42, 0.45, 0.45, 0.50, 0.50, 0.55, 0.50, 0.46, 0.52, 0.62, 0.52,
+      0.44, 0.54, 0.55, 0.66, 0.72, 0.78, 0.66}},
+    // radix: integer sort — no FP at all, high cache/router activity.
+    {"radix",
+     {0.20, 0.70, 0.70, 0.76, 0.80, 0.10, 0.12, 0.12, 0.10, 0.74, 0.62,
+      0.60, 0.64, 0.60, 0.70, 0.76, 0.70, 0.66}},
+};
+
+const ProfileSpec& find_profile(const std::string& name) {
+  for (const auto& p : kProfiles)
+    if (name == p.name) return p;
+  throw precondition_error("unknown SPLASH-2 benchmark: " + name);
+}
+
+// Average die temperature is below the reported *peak*; this offset feeds
+// the leakage estimate used during power-scale calibration. A few kelvin of
+// error here moves total power by < 1%.
+constexpr double kPeakToAvgOffsetK = 8.0;
+
+}  // namespace
+
+const std::vector<Table1Case>& table1_cases() {
+  static const std::vector<Table1Case> kCases = {
+      {"cholesky", 16, 1e9, 48.0, 125.9, 90.07},
+      {"cholesky", 4, 250e6, 57.2, 42.0, 74.8},
+      {"fmm", 16, 1e9, 59.68, 74.9, 69.69},
+      {"fmm", 4, 250e6, 72.66, 32.5, 62.15},
+      {"volrend", 16, 800e6, 41.42, 85.4, 71.79},
+      {"water", 4, 250e6, 38.1, 43.7, 68.7},
+      {"lu", 16, 400e6, 20.34, 109.9, 84.49},
+      {"lu", 4, 100e6, 19.6, 42.1, 70.75},
+  };
+  return kCases;
+}
+
+const std::vector<Table1Case>& extended_cases() {
+  // Anchors estimated from the Table I cases (same chip, comparable IPC
+  // ranges); clearly not paper-reported numbers.
+  static const std::vector<Table1Case> kCases = {
+      {"barnes", 16, 800e6, 42.0, 95.0, 76.0},
+      {"ocean", 16, 600e6, 45.0, 88.0, 74.0},
+      {"radix", 16, 500e6, 24.0, 92.0, 73.0},
+  };
+  return kCases;
+}
+
+const Table1Case& table1_case(const std::string& benchmark, int threads) {
+  for (const auto& c : table1_cases())
+    if (c.benchmark == benchmark && c.threads == threads) return c;
+  for (const auto& c : extended_cases())
+    if (c.benchmark == benchmark && c.threads == threads) return c;
+  throw precondition_error("no Table I (or extended) case for " + benchmark +
+                           "/" + std::to_string(threads));
+}
+
+SyntheticSplash::SyntheticSplash(const Table1Case& spec,
+                                 const thermal::Floorplan& fp,
+                                 const power::DynamicPowerModel& dyn,
+                                 const power::QuadraticLeakageModel& leak,
+                                 std::uint64_t seed)
+    : spec_(spec),
+      name_(spec.benchmark + "/" + std::to_string(spec.threads) + "t"),
+      tiles_x_(fp.tiles_x()),
+      tiles_y_(fp.tiles_y()),
+      core_count_(fp.core_count()) {
+  TECFAN_REQUIRE(spec_.threads >= 1 && spec_.threads <= core_count_,
+                 "thread count exceeds core count");
+  TECFAN_REQUIRE(spec_.instructions > 0 && spec_.time_ms > 0,
+                 "Table I case must have positive work");
+
+  // Thread-to-core mapping: all cores for a full run; the centre tile
+  // cluster for partial runs (hot-cluster placement).
+  if (spec_.threads == core_count_) {
+    for (int c = 0; c < core_count_; ++c) active_cores_.push_back(c);
+  } else {
+    // Walk tiles by distance from the chip centre and take the closest.
+    std::vector<std::pair<double, int>> order;
+    for (int c = 0; c < core_count_; ++c) {
+      const auto r = fp.tile_rect(c);
+      const double dx = (r.x + r.w / 2) - fp.chip_width() / 2;
+      const double dy = (r.y + r.h / 2) - fp.chip_height() / 2;
+      order.push_back({dx * dx + dy * dy, c});
+    }
+    std::sort(order.begin(), order.end());
+    for (int i = 0; i < spec_.threads; ++i)
+      active_cores_.push_back(order[static_cast<std::size_t>(i)].second);
+    std::sort(active_cores_.begin(), active_cores_.end());
+  }
+
+  const ProfileSpec& prof = find_profile(spec_.benchmark);
+  profile_.assign(prof.by_kind, prof.by_kind + kComponentsPerTile);
+
+  // Deterministic per-(core, kind) phases.
+  Rng rng(seed ^ std::hash<std::string>{}(name_));
+  phases_.resize(static_cast<std::size_t>(core_count_) * kComponentsPerTile);
+  for (auto& ph : phases_) {
+    ph.p1 = rng.uniform(0.0, 2.0 * M_PI);
+    ph.p2 = rng.uniform(0.0, 2.0 * M_PI);
+  }
+  ips_phase_.resize(static_cast<std::size_t>(core_count_));
+  for (auto& p : ips_phase_) p = rng.uniform(0.0, 2.0 * M_PI);
+
+  // Performance anchors from Table I.
+  inst_per_core_ = spec_.instructions / spec_.threads;
+  base_ips_ = inst_per_core_ / (spec_.time_ms * 1e-3);
+
+  // Power-scale calibration: dynamic target = Table I power minus the
+  // leakage estimate near the reported peak temperature. Mean activity uses
+  // the spatial profile (temporal modulation has zero mean).
+  const double t_avg_k = spec_.peak_temp_c + 273.15 - kPeakToAvgOffsetK;
+  const double leak_est = leak.chip_leakage_w(t_avg_k);
+  double mean_dyn = 0.0;
+  for (const auto& comp : fp.components()) {
+    const double act = core_active(comp.core)
+                           ? profile_[static_cast<std::size_t>(comp.kind)]
+                           : profile_[static_cast<std::size_t>(comp.kind)] *
+                                 kIdleActivity;
+    mean_dyn += dyn.density_w_per_m2(comp.kind) * comp.rect.area() * act;
+  }
+  TECFAN_ASSERT(mean_dyn > 0.0, "zero mean dynamic power");
+  const double dyn_target = spec_.power_w - leak_est;
+  TECFAN_REQUIRE(dyn_target > 0.0,
+                 "Table I power below the leakage estimate — check models");
+  power_scale_ = dyn_target / mean_dyn;
+}
+
+bool SyntheticSplash::core_active(int core) const {
+  TECFAN_REQUIRE(core >= 0 && core < core_count_, "core out of range");
+  return std::binary_search(active_cores_.begin(), active_cores_.end(), core);
+}
+
+double SyntheticSplash::profile(ComponentKind kind) const {
+  return profile_[static_cast<std::size_t>(kind)];
+}
+
+double SyntheticSplash::activity(int core, ComponentKind kind,
+                                 double time_s) const {
+  TECFAN_REQUIRE(core >= 0 && core < core_count_, "core out of range");
+  const double base = profile_[static_cast<std::size_t>(kind)];
+  if (!core_active(core)) return std::clamp(base * kIdleActivity, 0.0, 1.0);
+  const Phase& ph =
+      phases_[static_cast<std::size_t>(core) * kComponentsPerTile +
+              static_cast<std::size_t>(kind)];
+  const double mod =
+      1.0 + kPhaseAmp1 * std::sin(2.0 * M_PI * time_s / kPhasePeriod1 + ph.p1) +
+      kPhaseAmp2 * std::sin(2.0 * M_PI * time_s / kPhasePeriod2 + ph.p2);
+  return std::clamp(base * mod, 0.0, 1.0);
+}
+
+double SyntheticSplash::ips_factor(int core, double time_s) const {
+  TECFAN_REQUIRE(core >= 0 && core < core_count_, "core out of range");
+  if (!core_active(core)) return 0.0;
+  const double phase = ips_phase_[static_cast<std::size_t>(core)];
+  return 1.0 +
+         kIpsAmp * std::sin(2.0 * M_PI * time_s / kPhasePeriod1 + phase);
+}
+
+WorkloadPtr make_splash_workload(const std::string& benchmark, int threads,
+                                 const thermal::Floorplan& fp,
+                                 const power::DynamicPowerModel& dyn,
+                                 const power::QuadraticLeakageModel& leak,
+                                 std::uint64_t seed) {
+  return std::make_shared<SyntheticSplash>(table1_case(benchmark, threads),
+                                           fp, dyn, leak, seed);
+}
+
+}  // namespace tecfan::perf

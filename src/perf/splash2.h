@@ -1,0 +1,104 @@
+// Synthetic SPLASH-2 workloads calibrated to the paper's Table I.
+//
+// The paper drives its 16-core SCC model with SESC running SPLASH-2
+// (cholesky, fmm, volrend, water, lu). SESC is not reproducible here, so
+// each benchmark is modelled as a phased per-component activity trace with
+// the benchmark's measured character:
+//   * a spatial profile (relative activity per component kind — cholesky/lu
+//     are FP-cluster-hot, volrend is high and uniform, fmm/water moderate),
+//   * a temporal modulation (two incommensurate program-phase sinusoids per
+//     (core, kind), deterministic from the seed),
+//   * a power scale computed at construction so the base-scenario chip
+//     power matches Table I, and an IPS anchored to Table I's
+//     instructions/time,
+//   * a thread-to-core mapping (16 threads -> all cores; 4 threads -> the
+//     four centre tiles, matching the hot-cluster behaviour in the paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perf/workload.h"
+#include "power/dynamic.h"
+#include "power/leakage.h"
+
+namespace tecfan::perf {
+
+/// One Table I row.
+struct Table1Case {
+  std::string benchmark;   // "cholesky", "fmm", "volrend", "water", "lu"
+  int threads = 16;        // 16 or 4
+  double instructions = 0; // total retired instructions
+  double time_ms = 0;      // base-scenario execution time
+  double power_w = 0;      // base-scenario chip power
+  double peak_temp_c = 0;  // base-scenario peak temperature
+};
+
+/// The eight rows of Table I the paper reports.
+const std::vector<Table1Case>& table1_cases();
+
+/// Additional SPLASH-2 benchmarks beyond Table I (barnes, ocean, radix),
+/// with *estimated* anchors (not paper-reported): available for examples
+/// and ablations, never used by the Table I / figure benches.
+const std::vector<Table1Case>& extended_cases();
+
+/// Look up a Table I row; throws if absent.
+const Table1Case& table1_case(const std::string& benchmark, int threads);
+
+class SyntheticSplash final : public Workload {
+ public:
+  /// Build a calibrated workload for a Table I row. The dynamic power model
+  /// and leakage model are needed to compute the calibration scale; the same
+  /// instances must be used by the simulator for the calibration to hold.
+  SyntheticSplash(const Table1Case& spec, const thermal::Floorplan& fp,
+                  const power::DynamicPowerModel& dyn,
+                  const power::QuadraticLeakageModel& leak,
+                  std::uint64_t seed = 1234);
+
+  std::string_view name() const override { return name_; }
+  int thread_count() const override { return spec_.threads; }
+  bool core_active(int core) const override;
+  double activity(int core, thermal::ComponentKind kind,
+                  double time_s) const override;
+  double base_ips_per_core() const override { return base_ips_; }
+  double ips_factor(int core, double time_s) const override;
+  double instructions_per_core() const override { return inst_per_core_; }
+  double power_scale() const override { return power_scale_; }
+
+  const Table1Case& spec() const { return spec_; }
+
+  /// Spatial activity profile for this benchmark (by component kind).
+  double profile(thermal::ComponentKind kind) const;
+
+  /// Activity factor applied to inactive cores.
+  static constexpr double kIdleActivity = 0.06;
+
+ private:
+  struct Phase {
+    double p1 = 0.0;
+    double p2 = 0.0;
+  };
+
+  Table1Case spec_;
+  std::string name_;
+  int tiles_x_ = 0;
+  int tiles_y_ = 0;
+  int core_count_ = 0;
+  std::vector<int> active_cores_;
+  std::vector<double> profile_;                // by kind
+  std::vector<Phase> phases_;                  // per (core, kind)
+  std::vector<double> ips_phase_;              // per core
+  double base_ips_ = 0.0;
+  double inst_per_core_ = 0.0;
+  double power_scale_ = 1.0;
+};
+
+/// Convenience factory: build a workload on the default SCC floorplan
+/// calibration models.
+WorkloadPtr make_splash_workload(const std::string& benchmark, int threads,
+                                 const thermal::Floorplan& fp,
+                                 const power::DynamicPowerModel& dyn,
+                                 const power::QuadraticLeakageModel& leak,
+                                 std::uint64_t seed = 1234);
+
+}  // namespace tecfan::perf

@@ -1,0 +1,87 @@
+#include "perf/wikipedia_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tecfan::perf {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+// Diurnal shape: minimum around 04:00, peak around 15:00 UTC-ish — the
+// double-humped Wikipedia profile approximated with two harmonics.
+double diurnal(double day_frac) {
+  return 0.27 + 0.085 * std::sin(kTwoPi * (day_frac - 0.40)) +
+         0.03 * std::sin(2.0 * kTwoPi * (day_frac - 0.10));
+}
+
+double weekly(double week_frac) {
+  // Weekends run ~8% lighter.
+  return 1.0 - 0.04 * (1.0 + std::sin(kTwoPi * (week_frac - 0.25)));
+}
+
+}  // namespace
+
+WikipediaTrace::WikipediaTrace(double scale, std::uint64_t seed,
+                               double target_40min_mean)
+    : scale_(scale) {
+  TECFAN_REQUIRE(scale > 0.0, "trace scale must be positive");
+  TECFAN_REQUIRE(target_40min_mean > 0.0 && target_40min_mean < 1.5,
+                 "implausible target mean");
+  // Ornstein–Uhlenbeck noise, one sample per minute over the whole trace.
+  const std::size_t n =
+      static_cast<std::size_t>(kDays * kSecondsPerDay / 60.0) + 2;
+  noise_.resize(n);
+  Rng rng(seed);
+  const double theta = 0.08;  // mean reversion per minute
+  const double sigma = 0.03;  // innovation std-dev per minute
+  double x = 0.0;
+  for (auto& v : noise_) {
+    x += -theta * x + sigma * rng.normal();
+    v = x;
+  }
+  // Normalize so the first-40-minute mean equals the paper's 48.6%.
+  norm_ = 1.0;
+  double sum = 0.0;
+  const int samples = 2400;  // one per second over 40 minutes
+  for (int i = 0; i < samples; ++i) sum += raw(i * 1.0) * scale_;
+  const double mean = sum / samples;
+  TECFAN_ASSERT(mean > 0.0, "degenerate trace");
+  norm_ = target_40min_mean / mean;
+}
+
+double WikipediaTrace::raw(double time_s) const {
+  const double t = std::clamp(time_s, 0.0, kDays * kSecondsPerDay - 1.0);
+  const double day_frac = std::fmod(t, kSecondsPerDay) / kSecondsPerDay;
+  const double week_frac = t / (kDays * kSecondsPerDay);
+  const double minute = t / 60.0;
+  const auto i = static_cast<std::size_t>(minute);
+  const double frac = minute - static_cast<double>(i);
+  const double noise =
+      noise_[i] * (1.0 - frac) + noise_[std::min(i + 1, noise_.size() - 1)] *
+                                     frac;
+  return std::max(0.02, diurnal(day_frac) * weekly(week_frac) + noise);
+}
+
+double WikipediaTrace::demand(double time_s) const {
+  return raw(time_s) * scale_ * norm_;
+}
+
+double WikipediaTrace::core_demand(int core, double time_s) const {
+  TECFAN_REQUIRE(core >= 0 && core < kSegments, "core out of range");
+  TECFAN_REQUIRE(time_s >= 0.0, "time must be non-negative");
+  const double within =
+      std::min(time_s, kSegmentSeconds - 1e-9);
+  return demand(core * kSegmentSeconds + within);
+}
+
+double WikipediaTrace::mean_demand_40min() const {
+  double sum = 0.0;
+  const int samples = 2400;
+  for (int i = 0; i < samples; ++i) sum += demand(i * 1.0);
+  return sum / samples;
+}
+
+}  // namespace tecfan::perf

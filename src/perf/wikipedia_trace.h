@@ -1,0 +1,50 @@
+// Synthetic Wikipedia HTTP-service demand trace (Sec. IV-B / V-E).
+//
+// The paper drives its 4-core comparison against OFTEC/Oracle with a 7-day
+// Wikipedia request trace [33], scaled by 1.5x because the raw utilization
+// is too low to exercise the TECs, and cuts the first 40 minutes into four
+// 10-minute segments, one per core (average CPU utilization 48.6%). The
+// original trace is not redistributable, so this generator produces the
+// statistically equivalent signal: a diurnal base load, a weekly modulation,
+// and a smooth Ornstein–Uhlenbeck noise component at one-minute resolution,
+// deterministic in the seed. The trace is normalized at construction so the
+// 40-minute window's mean demand is exactly the paper's 48.6%.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tecfan::perf {
+
+class WikipediaTrace {
+ public:
+  static constexpr double kSecondsPerDay = 86400.0;
+  static constexpr double kDays = 7.0;
+  static constexpr double kSegmentSeconds = 600.0;  // 10 minutes per core
+  static constexpr int kSegments = 4;
+
+  explicit WikipediaTrace(double scale = 1.5, std::uint64_t seed = 2016,
+                          double target_40min_mean = 0.486);
+
+  /// Normalized CPU demand at absolute trace time t in [0, 7 days); values
+  /// may exceed 1.0 transiently (offered load beyond one core's capacity).
+  double demand(double time_s) const;
+
+  /// Sec. V-E mapping: demand seen by `core` at time `t` within a 10-minute
+  /// run — segment `core` of the first 40 minutes.
+  double core_demand(int core, double time_s) const;
+
+  /// Mean demand over the first 40 minutes (== target by construction).
+  double mean_demand_40min() const;
+
+  double scale() const { return scale_; }
+
+ private:
+  double raw(double time_s) const;
+
+  double scale_;
+  double norm_ = 1.0;
+  std::vector<double> noise_;  // per-minute OU samples over 7 days
+};
+
+}  // namespace tecfan::perf

@@ -1,0 +1,51 @@
+// Workload abstraction consumed by the chip simulator.
+//
+// A workload tells the plant, for any simulated instant, how active each
+// component of each core is (which drives dynamic power) and how fast an
+// active core retires instructions at the top DVFS point (which, scaled by
+// Eq. (11), drives performance accounting). The run ends when every active
+// core has retired its per-core instruction budget.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "thermal/floorplan.h"
+
+namespace tecfan::perf {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Number of software threads (one per active core).
+  virtual int thread_count() const = 0;
+
+  /// Whether a core runs a thread (inactive cores idle at low activity).
+  virtual bool core_active(int core) const = 0;
+
+  /// Component activity in [0, 1] at simulated time t (top-DVFS reference;
+  /// the plant applies DVFS scaling on top).
+  virtual double activity(int core, thermal::ComponentKind kind,
+                          double time_s) const = 0;
+
+  /// Instructions per second of an active core at the top DVFS level.
+  virtual double base_ips_per_core() const = 0;
+
+  /// Per-interval IPS modulation around base (program phases); mean ~1.
+  virtual double ips_factor(int core, double time_s) const = 0;
+
+  /// Instruction retire budget per active core; the run completes when all
+  /// active cores reach it.
+  virtual double instructions_per_core() const = 0;
+
+  /// Per-benchmark dynamic-power calibration multiplier (see
+  /// power::DynamicPowerModel).
+  virtual double power_scale() const = 0;
+};
+
+using WorkloadPtr = std::shared_ptr<const Workload>;
+
+}  // namespace tecfan::perf

@@ -1,0 +1,26 @@
+// Power accounting buckets (Eq. 8): core dynamic + leakage constitute chip
+// power; TEC and fan constitute cooling power.
+#pragma once
+
+namespace tecfan::power {
+
+struct PowerBreakdown {
+  double dynamic_w = 0.0;
+  double leakage_w = 0.0;
+  double tec_w = 0.0;
+  double fan_w = 0.0;
+
+  double chip_w() const { return dynamic_w + leakage_w; }
+  double cooling_w() const { return tec_w + fan_w; }
+  double total_w() const { return chip_w() + cooling_w(); }
+
+  PowerBreakdown& operator+=(const PowerBreakdown& o) {
+    dynamic_w += o.dynamic_w;
+    leakage_w += o.leakage_w;
+    tec_w += o.tec_w;
+    fan_w += o.fan_w;
+    return *this;
+  }
+};
+
+}  // namespace tecfan::power

@@ -1,0 +1,52 @@
+#include "power/dvfs.h"
+
+#include "util/error.h"
+
+namespace tecfan::power {
+
+DvfsTable::DvfsTable(std::vector<DvfsLevel> levels)
+    : levels_(std::move(levels)) {
+  TECFAN_REQUIRE(!levels_.empty(), "DVFS table needs at least one level");
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    TECFAN_REQUIRE(levels_[i].freq_hz > 0.0 && levels_[i].vdd > 0.0,
+                   "DVFS level values must be positive");
+    if (i > 0) {
+      TECFAN_REQUIRE(levels_[i].freq_hz < levels_[i - 1].freq_hz,
+                     "DVFS levels must be ordered fastest-first");
+      TECFAN_REQUIRE(levels_[i].vdd <= levels_[i - 1].vdd,
+                     "DVFS voltage must not increase at lower frequency");
+    }
+  }
+}
+
+DvfsTable DvfsTable::scc() {
+  return DvfsTable({{1.0e9, 1.10},
+                    {0.9e9, 1.05},
+                    {0.8e9, 1.00},
+                    {0.7e9, 0.95},
+                    {0.6e9, 0.90},
+                    {0.533e9, 0.85}});
+}
+
+DvfsTable DvfsTable::core_i7() {
+  return DvfsTable({{3.5e9, 1.25}, {2.9e9, 1.10}, {2.3e9, 1.00},
+                    {1.7e9, 0.90}});
+}
+
+const DvfsLevel& DvfsTable::level(int lvl) const {
+  TECFAN_REQUIRE(lvl >= 0 && lvl < level_count(), "DVFS level out of range");
+  return levels_[static_cast<std::size_t>(lvl)];
+}
+
+double DvfsTable::dyn_scale(int from, int to) const {
+  const DvfsLevel& a = level(from);
+  const DvfsLevel& b = level(to);
+  const double v_ratio = b.vdd / a.vdd;
+  return (b.freq_hz / a.freq_hz) * v_ratio * v_ratio;
+}
+
+double DvfsTable::freq_scale(int from, int to) const {
+  return level(to).freq_hz / level(from).freq_hz;
+}
+
+}  // namespace tecfan::power

@@ -1,0 +1,48 @@
+// Per-core DVFS operating-point tables.
+//
+// Level 0 is the fastest point. Eq. (7) of the paper scales dynamic power by
+// (F_new/F_old) * (V_new/V_old)^2 between consecutive intervals; dyn_scale()
+// provides exactly that ratio. Two built-in tables: an Intel-SCC-style
+// 1.0 GHz table for the 16-core study, and a Core i7-3770K-style table for
+// the 4-core server study of Sec. V-E.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tecfan::power {
+
+struct DvfsLevel {
+  double freq_hz = 0.0;
+  double vdd = 0.0;
+};
+
+class DvfsTable {
+ public:
+  /// Intel SCC-style: 6 levels, 1.0 GHz / 1.1 V down to 0.533 GHz / 0.85 V.
+  static DvfsTable scc();
+
+  /// Core i7-3770K-style: 4 levels, 3.5 GHz / 1.25 V down to 2.0 GHz /
+  /// 0.95 V (kept to 4 levels so the exhaustive Oracle/OFTEC baselines stay
+  /// tractable, matching the paper's reduced 4-core setup).
+  static DvfsTable core_i7();
+
+  explicit DvfsTable(std::vector<DvfsLevel> levels);
+
+  int level_count() const { return static_cast<int>(levels_.size()); }
+  const DvfsLevel& level(int lvl) const;
+  int slowest_level() const { return level_count() - 1; }
+
+  double frequency_hz(int lvl) const { return level(lvl).freq_hz; }
+
+  /// Eq. (7) dynamic power ratio when moving `from` -> `to`.
+  double dyn_scale(int from, int to) const;
+
+  /// Eq. (11) frequency (performance) ratio when moving `from` -> `to`.
+  double freq_scale(int from, int to) const;
+
+ private:
+  std::vector<DvfsLevel> levels_;
+};
+
+}  // namespace tecfan::power

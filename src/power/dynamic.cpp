@@ -1,0 +1,67 @@
+#include "power/dynamic.h"
+
+#include "util/error.h"
+
+namespace tecfan::power {
+
+using thermal::ComponentKind;
+
+DynamicPowerModel DynamicPowerModel::scc_calibrated() {
+  DynamicPowerModel m;
+  // W/mm^2 at activity 1.0, top DVFS point (converted to W/m^2 below).
+  auto set_mm2 = [&m](ComponentKind kind, double w_per_mm2) {
+    m.set_density_w_per_m2(kind, w_per_mm2 * 1e6);
+  };
+  set_mm2(ComponentKind::kFpMap, 1.2);
+  set_mm2(ComponentKind::kIntMap, 1.2);
+  set_mm2(ComponentKind::kIntQ, 1.3);
+  set_mm2(ComponentKind::kIntReg, 1.5);
+  set_mm2(ComponentKind::kIntExec, 1.6);
+  set_mm2(ComponentKind::kFpMul, 1.8);
+  set_mm2(ComponentKind::kFpReg, 1.5);
+  set_mm2(ComponentKind::kFpQ, 1.3);
+  set_mm2(ComponentKind::kFpAdd, 1.7);
+  set_mm2(ComponentKind::kLdStQ, 1.3);
+  set_mm2(ComponentKind::kItb, 1.0);
+  set_mm2(ComponentKind::kBpred, 1.1);
+  set_mm2(ComponentKind::kDtb, 1.0);
+  set_mm2(ComponentKind::kVoltReg, 0.35);
+  set_mm2(ComponentKind::kICache, 0.80);
+  set_mm2(ComponentKind::kDCache, 0.85);
+  set_mm2(ComponentKind::kL2, 0.55);
+  set_mm2(ComponentKind::kRouter, 0.70);
+  return m;
+}
+
+double DynamicPowerModel::density_w_per_m2(ComponentKind kind) const {
+  return density_[static_cast<std::size_t>(kind)];
+}
+
+void DynamicPowerModel::set_density_w_per_m2(ComponentKind kind,
+                                             double value) {
+  TECFAN_REQUIRE(value >= 0.0, "power density must be non-negative");
+  density_[static_cast<std::size_t>(kind)] = value;
+}
+
+double DynamicPowerModel::component_power_w(const thermal::Component& comp,
+                                            double activity,
+                                            double dvfs_scale,
+                                            double workload_scale) const {
+  TECFAN_REQUIRE(activity >= 0.0 && activity <= 1.0 + 1e-9,
+                 "activity out of [0,1]");
+  TECFAN_REQUIRE(dvfs_scale >= 0.0, "dvfs scale must be non-negative");
+  TECFAN_REQUIRE(workload_scale >= 0.0,
+                 "workload scale must be non-negative");
+  return density_w_per_m2(comp.kind) * comp.rect.area() * activity *
+         dvfs_scale * workload_scale;
+}
+
+double DynamicPowerModel::peak_chip_power_w(
+    const thermal::Floorplan& fp) const {
+  double total = 0.0;
+  for (const auto& comp : fp.components())
+    total += density_w_per_m2(comp.kind) * comp.rect.area();
+  return total;
+}
+
+}  // namespace tecfan::power

@@ -1,0 +1,40 @@
+// Activity-based dynamic power (the Wattch/CACTI-equivalent substrate).
+//
+// Each component kind has a peak power density (W/mm^2 at activity 1.0 and
+// the top DVFS point); the plant computes per-component dynamic power as
+//   P = density(kind) * area * activity * dvfs_scale * workload_scale,
+// where dvfs_scale is the Eq. (7) f*V^2 ratio relative to the top level and
+// workload_scale is the per-benchmark calibration factor that anchors total
+// chip power to the paper's Table I (the paper calibrates Wattch to SCC
+// measurements in the same way).
+#pragma once
+
+#include <array>
+
+#include "thermal/floorplan.h"
+
+namespace tecfan::power {
+
+class DynamicPowerModel {
+ public:
+  /// Densities shaped after the SCC calibration: dense OoO logic blocks,
+  /// moderate caches, regulator conversion loss, NoC router.
+  static DynamicPowerModel scc_calibrated();
+
+  double density_w_per_m2(thermal::ComponentKind kind) const;
+
+  /// Dynamic power of one component.
+  double component_power_w(const thermal::Component& comp, double activity,
+                           double dvfs_scale, double workload_scale) const;
+
+  /// Chip power at activity 1 and top DVFS for a floorplan — the
+  /// normalization basis used when calibrating workload scales.
+  double peak_chip_power_w(const thermal::Floorplan& fp) const;
+
+  void set_density_w_per_m2(thermal::ComponentKind kind, double value);
+
+ private:
+  std::array<double, thermal::kComponentsPerTile> density_{};  // W/m^2
+};
+
+}  // namespace tecfan::power

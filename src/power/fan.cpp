@@ -1,0 +1,43 @@
+#include "power/fan.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace tecfan::power {
+
+FanModel::FanModel(std::vector<FanLevel> levels) : levels_(std::move(levels)) {
+  TECFAN_REQUIRE(!levels_.empty(), "fan model needs at least one level");
+  for (std::size_t i = 1; i < levels_.size(); ++i) {
+    TECFAN_REQUIRE(levels_[i].rpm < levels_[i - 1].rpm,
+                   "fan levels must be ordered fastest-first");
+    TECFAN_REQUIRE(levels_[i].power_w <= levels_[i - 1].power_w,
+                   "fan power must not increase at lower speed");
+  }
+  for (const FanLevel& l : levels_)
+    TECFAN_REQUIRE(l.rpm > 0.0 && l.airflow_cfm >= 0.0 && l.power_w >= 0.0,
+                   "fan level values must be non-negative");
+}
+
+FanModel FanModel::dynatron_r16() {
+  // 8 speed levels; power = 14.4 W * (rpm/5000)^3 (cubic fan law, anchored at
+  // the paper's 14.4 W level-1 / 3.8 W level-2 quote), airflow linear in RPM
+  // with 60 CFM at full speed.
+  const double rpms[] = {5000, 3200, 2800, 2400, 2000, 1600, 1200, 800};
+  std::vector<FanLevel> levels;
+  for (double rpm : rpms) {
+    FanLevel l;
+    l.rpm = rpm;
+    l.airflow_cfm = 60.0 * rpm / 5000.0;
+    l.power_w = 14.4 * std::pow(rpm / 5000.0, 3.0);
+    levels.push_back(l);
+  }
+  return FanModel(std::move(levels));
+}
+
+const FanLevel& FanModel::level(int lvl) const {
+  TECFAN_REQUIRE(lvl >= 0 && lvl < level_count(), "fan level out of range");
+  return levels_[static_cast<std::size_t>(lvl)];
+}
+
+}  // namespace tecfan::power

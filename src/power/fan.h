@@ -1,0 +1,40 @@
+// Speed-adjustable cooling fan model (Dynatron R16-class, per the paper's
+// Sec. IV-C and Fig. 4(c)).
+//
+// The fan exposes discrete speed levels, level 0 being the fastest. Power
+// follows the cubic fan law anchored at the paper's quoted values: 14.4 W at
+// the highest level and ~3.8 W at the second level; airflow is proportional
+// to RPM. The thermal layer consumes airflow (CFM), the energy accounting
+// consumes electrical power.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tecfan::power {
+
+struct FanLevel {
+  double rpm = 0.0;
+  double airflow_cfm = 0.0;
+  double power_w = 0.0;
+};
+
+class FanModel {
+ public:
+  /// Datasheet-shaped table for a Dynatron R16-class 8-level fan.
+  static FanModel dynatron_r16();
+
+  /// Build from explicit levels (fastest first); validates ordering.
+  explicit FanModel(std::vector<FanLevel> levels);
+
+  int level_count() const { return static_cast<int>(levels_.size()); }
+  const FanLevel& level(int lvl) const;
+  double power_w(int lvl) const { return level(lvl).power_w; }
+  double airflow_cfm(int lvl) const { return level(lvl).airflow_cfm; }
+  int slowest_level() const { return level_count() - 1; }
+
+ private:
+  std::vector<FanLevel> levels_;
+};
+
+}  // namespace tecfan::power

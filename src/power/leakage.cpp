@@ -1,0 +1,41 @@
+#include "power/leakage.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace tecfan::power {
+
+double LinearLeakageModel::component_leakage_w(double area_frac,
+                                               double temp_k) const {
+  TECFAN_REQUIRE(area_frac >= 0.0 && area_frac <= 1.0 + 1e-9,
+                 "area fraction out of [0,1]");
+  const double chip = p_tdp_leak_w + alpha_w_per_k * (temp_k - t_tdp_k);
+  return std::max(0.0, chip) * area_frac;
+}
+
+QuadraticLeakageModel QuadraticLeakageModel::matched_to(
+    const LinearLeakageModel& linear, double curvature_w_per_k2,
+    double t_ref_k) {
+  QuadraticLeakageModel q;
+  q.t_ref_k = t_ref_k;
+  q.c_w_per_k2 = curvature_w_per_k2;
+  const double span = linear.t_tdp_k - t_ref_k;
+  // Match value and slope at T_TDP:
+  //   a + 2 c span = alpha;  p_ref + a span + c span^2 = P_TDPleak.
+  q.a_w_per_k = linear.alpha_w_per_k - 2.0 * curvature_w_per_k2 * span;
+  q.p_ref_w = linear.p_tdp_leak_w - q.a_w_per_k * span -
+              curvature_w_per_k2 * span * span;
+  return q;
+}
+
+double QuadraticLeakageModel::component_leakage_w(double area_frac,
+                                                  double temp_k) const {
+  TECFAN_REQUIRE(area_frac >= 0.0 && area_frac <= 1.0 + 1e-9,
+                 "area fraction out of [0,1]");
+  const double dt = temp_k - t_ref_k;
+  const double chip = p_ref_w + a_w_per_k * dt + c_w_per_k2 * dt * dt;
+  return std::max(0.0, chip) * area_frac;
+}
+
+}  // namespace tecfan::power

@@ -1,0 +1,53 @@
+// Leakage power models.
+//
+// The controller-side model is the paper's Eq. (6): chip leakage at the TDP
+// point plus a linear temperature term, distributed over components in
+// proportion to area. The plant uses a second-order polynomial (the paper
+// calibrates Wattch leakage to SCC measurements with a quadratic model
+// [21]); the small linear-vs-quadratic mismatch is one realistic source of
+// controller estimation error.
+#pragma once
+
+namespace tecfan::power {
+
+/// Eq. (6): P_leak_m(k) = (P_TDPleak + alpha (T_m(k-1) - T_TDP)) * A_m/A_chip.
+struct LinearLeakageModel {
+  double p_tdp_leak_w = 18.0;   // chip-total leakage at the TDP temperature
+  double t_tdp_k = 363.15;      // 90 C
+  double alpha_w_per_k = 0.25;  // chip-total slope
+
+  /// Leakage of a component with area fraction `area_frac` at temperature
+  /// `temp_k` (clamped to non-negative).
+  double component_leakage_w(double area_frac, double temp_k) const;
+
+  /// Chip-total leakage at a uniform temperature.
+  double chip_leakage_w(double temp_k) const {
+    return component_leakage_w(1.0, temp_k);
+  }
+};
+
+/// Plant-side quadratic model:
+/// P(T) = p_ref + a (T - T_ref) + c (T - T_ref)^2, with T_ref at ambient.
+/// matched_to() picks p_ref and a so that value and slope agree with a
+/// LinearLeakageModel at its TDP point. Leakage is convex in temperature,
+/// so the linear tangent underestimates the quadratic plant away from the
+/// TDP point — a one-sided controller-vs-plant mismatch.
+struct QuadraticLeakageModel {
+  double t_ref_k = 318.15;  // 45 C
+  double p_ref_w = 16.6;
+  double a_w_per_k = 0.075;
+  double c_w_per_k2 = 2.5e-3;
+
+  /// Build a quadratic model tangent to `linear` at its TDP point with the
+  /// given curvature.
+  static QuadraticLeakageModel matched_to(const LinearLeakageModel& linear,
+                                          double curvature_w_per_k2 = 2.5e-3,
+                                          double t_ref_k = 318.15);
+
+  double component_leakage_w(double area_frac, double temp_k) const;
+  double chip_leakage_w(double temp_k) const {
+    return component_leakage_w(1.0, temp_k);
+  }
+};
+
+}  // namespace tecfan::power

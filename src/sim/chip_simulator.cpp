@@ -1,0 +1,306 @@
+#include "sim/chip_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tecfan::sim {
+
+using core::KnobState;
+
+ChipSimulator::ChipSimulator(ChipModels models, double control_period_s,
+                             int substeps)
+    : models_(std::move(models)),
+      control_period_s_(control_period_s),
+      substeps_(substeps),
+      plant_(models_.thermal, control_period_s / substeps),
+      steady_(models_.thermal) {
+  TECFAN_REQUIRE(models_.thermal != nullptr, "simulator requires a model");
+  TECFAN_REQUIRE(control_period_s > 0 && substeps > 0,
+                 "control period and substeps must be positive");
+}
+
+linalg::Vector ChipSimulator::dynamic_power(
+    const perf::Workload& workload, const KnobState& knobs, double time_s,
+    const std::vector<std::uint8_t>& finished,
+    double finished_activity) const {
+  const auto& fp = models_.thermal->floorplan();
+  linalg::Vector dyn(fp.component_count(), 0.0);
+  const double scale = workload.power_scale();
+  for (std::size_t c = 0; c < fp.component_count(); ++c) {
+    const auto& comp = fp.component(c);
+    const auto core = static_cast<std::size_t>(comp.core);
+    double act = workload.activity(comp.core, comp.kind, time_s);
+    if (finished[core]) act *= finished_activity;
+    const double dvfs_scale = models_.dvfs.dyn_scale(0, knobs.dvfs[core]);
+    dyn[c] = models_.dynamic.component_power_w(comp, act, dvfs_scale, scale);
+  }
+  return dyn;
+}
+
+void ChipSimulator::add_leakage(const linalg::Vector& node_temps,
+                                linalg::Vector& comp_power,
+                                double* leak_total) const {
+  const auto& fp = models_.thermal->floorplan();
+  const double chip_area = fp.chip_area();
+  double total = 0.0;
+  for (std::size_t c = 0; c < fp.component_count(); ++c) {
+    const double leak = models_.leak_quad.component_leakage_w(
+        fp.component(c).rect.area() / chip_area,
+        node_temps[models_.thermal->die_node(c)]);
+    comp_power[c] += leak;
+    total += leak;
+  }
+  if (leak_total) *leak_total = total;
+}
+
+linalg::Vector ChipSimulator::equilibrium(const perf::Workload& workload,
+                                          const KnobState& knobs,
+                                          double time_s) {
+  const auto& model = *models_.thermal;
+  thermal::CoolingState cooling;
+  cooling.tec_on = knobs.tec_on;
+  cooling.airflow_cfm = models_.fan.airflow_cfm(knobs.fan_level);
+
+  std::vector<std::uint8_t> finished(
+      static_cast<std::size_t>(model.floorplan().core_count()), 0);
+  const linalg::Vector dyn =
+      dynamic_power(workload, knobs, time_s, finished, 1.0);
+
+  // Temperature-leakage fixed point (paper: iterate until the peak changes
+  // by < 0.5 C between rounds).
+  linalg::Vector temps(model.node_count(), model.ambient_k());
+  double prev_peak = 0.0;
+  for (int round = 0; round < 20; ++round) {
+    linalg::Vector power = dyn;
+    add_leakage(temps, power, nullptr);
+    temps = steady_.solve(power, cooling);
+    const double peak =
+        *std::max_element(temps.begin(), temps.end());
+    if (std::abs(peak - prev_peak) < 0.5) break;
+    prev_peak = peak;
+  }
+  return temps;
+}
+
+RunResult ChipSimulator::run(core::Policy& policy,
+                             const perf::Workload& workload,
+                             const RunConfig& config) {
+  const auto& model = *models_.thermal;
+  const auto& fp = model.floorplan();
+  const int cores = fp.core_count();
+  const std::size_t n_comp = model.component_count();
+  const double dt = control_period_s_;
+  const double sub_dt = plant_.dt();
+
+  core::ChipPlanningModel::Config planner_cfg;
+  planner_cfg.leakage = models_.leak_linear;
+  planner_cfg.fan = models_.fan;
+  planner_cfg.dvfs = models_.dvfs;
+  planner_cfg.threshold_k = config.threshold_k;
+  planner_cfg.control_period_s = dt;
+  core::ChipPlanningModel planner(models_.thermal, planner_cfg);
+
+  policy.reset();
+  Rng noise(config.noise_seed);
+
+  KnobState knobs = KnobState::initial(cores, model.tec_count(),
+                                       config.fan_level);
+  linalg::Vector temps = equilibrium(workload, knobs);
+
+  // finished[n] is set once an *active* core retires its budget; inactive
+  // cores idle through the workload's own idle path and never gate
+  // completion.
+  std::vector<std::uint8_t> finished(static_cast<std::size_t>(cores), 0);
+  std::vector<double> retired(static_cast<std::size_t>(cores), 0.0);
+  std::vector<double> finish_time(static_cast<std::size_t>(cores), 0.0);
+  int active_cores = 0;
+  for (int n = 0; n < cores; ++n)
+    if (workload.core_active(n)) ++active_cores;
+  TECFAN_REQUIRE(active_cores > 0, "workload has no active cores");
+  const double budget = workload.instructions_per_core();
+
+  RunResult res;
+  res.policy = std::string(policy.name());
+  res.workload = std::string(workload.name());
+
+  // k = 0 "previous interval" bootstrap measurements.
+  linalg::Vector measured_dyn = dynamic_power(
+      workload, knobs, 0.0, finished, config.finished_core_activity);
+  linalg::Vector measured_ips(static_cast<std::size_t>(cores), 0.0);
+  for (int n = 0; n < cores; ++n)
+    if (workload.core_active(n))
+      measured_ips[static_cast<std::size_t>(n)] =
+          workload.base_ips_per_core() * workload.ips_factor(n, 0.0);
+
+  std::vector<std::uint8_t> prev_tec_on(model.tec_count(), 0);
+  double t = 0.0;
+  double energy = 0.0;
+  power::PowerBreakdown power_sum;  // time-weighted, divided at the end
+  double ips_sum = 0.0;
+  double dvfs_sum = 0.0;
+  std::size_t intervals = 0;
+  std::size_t measured_intervals = 0;
+  std::size_t violations = 0;
+  double run_peak = 0.0;
+  double peak_sum = 0.0;
+
+  while (t < config.max_sim_time_s) {
+    // --- Controller turn ---
+    core::ChipPlanningModel::Observation obs;
+    obs.comp_temps_k.resize(n_comp);
+    for (std::size_t c = 0; c < n_comp; ++c) {
+      obs.comp_temps_k[c] = temps[model.die_node(c)];
+      if (config.sensor_noise_k > 0.0)
+        obs.comp_temps_k[c] += noise.normal(0.0, config.sensor_noise_k);
+    }
+    obs.comp_dyn_power_w = measured_dyn;
+    obs.core_ips = measured_ips;
+    obs.applied = knobs;
+    planner.observe(obs);
+    KnobState next = policy.decide(planner, knobs);
+    if (!config.policy_manages_fan) next.fan_level = config.fan_level;
+    knobs = std::move(next);
+
+    // --- Plant interval ---
+    thermal::CoolingState cooling;
+    cooling.tec_on = knobs.tec_on;
+    cooling.airflow_cfm = models_.fan.airflow_cfm(knobs.fan_level);
+    const double fan_w = models_.fan.power_w(knobs.fan_level);
+
+    // Peltier engage delay: a device switched on this interval pumps for
+    // only (substep - delay) of its first substep; model by holding it off
+    // for the first substep when the delay is a significant fraction.
+    thermal::CoolingState first_substep_cooling = cooling;
+    if (config.tec_engage_delay_s > 0.0) {
+      const double derate = config.tec_engage_delay_s / sub_dt;
+      if (derate >= 0.5) {
+        for (std::size_t d = 0; d < cooling.tec_on.size(); ++d)
+          if (cooling.tec_on[d] && !prev_tec_on[d])
+            first_substep_cooling.tec_on[d] = 0;
+      }
+    }
+
+    linalg::Vector dyn = dynamic_power(workload, knobs, t, finished,
+                                       config.finished_core_activity);
+    double dyn_total = 0.0;
+    for (double v : dyn) dyn_total += v;
+
+    power::PowerBreakdown interval_power;
+    for (int s = 0; s < substeps_; ++s) {
+      const thermal::CoolingState& step_cooling =
+          (s == 0) ? first_substep_cooling : cooling;
+      linalg::Vector power = dyn;
+      double leak_total = 0.0;
+      add_leakage(temps, power, &leak_total);
+      const double tec_w = model.total_tec_power(temps, step_cooling);
+      temps = plant_.step(temps, power, step_cooling);
+      interval_power.dynamic_w += dyn_total / substeps_;
+      interval_power.leakage_w += leak_total / substeps_;
+      interval_power.tec_w += tec_w / substeps_;
+      interval_power.fan_w += fan_w / substeps_;
+      energy += (dyn_total + leak_total + tec_w + fan_w) * sub_dt;
+    }
+
+    // --- Performance accounting (Eq. 11) ---
+    double chip_ips = 0.0;
+    for (int n = 0; n < cores; ++n) {
+      const auto ni = static_cast<std::size_t>(n);
+      double ips = 0.0;
+      if (workload.core_active(n) && !finished[ni]) {
+        ips = workload.base_ips_per_core() *
+              models_.dvfs.freq_scale(0, knobs.dvfs[ni]) *
+              workload.ips_factor(n, t);
+        retired[ni] += ips * dt;
+        if (retired[ni] >= budget) {
+          finished[ni] = 1;
+          finish_time[ni] = t + dt;
+        }
+      }
+      measured_ips[ni] = ips;
+      chip_ips += ips;
+    }
+    measured_dyn = std::move(dyn);
+    prev_tec_on = knobs.tec_on;
+
+    // --- Metrics ---
+    // Violations are counted per (interval, component) sample, matching the
+    // per-sample percentages of Fig. 5(b).
+    const bool in_warmup = intervals < config.warmup_intervals;
+    double peak = 0.0;
+    std::size_t hot_samples = 0;
+    for (std::size_t c = 0; c < n_comp; ++c) {
+      const double tc = temps[model.die_node(c)];
+      peak = std::max(peak, tc);
+      if (tc > config.threshold_k + config.violation_tolerance_k)
+        ++hot_samples;
+    }
+    const bool violated = hot_samples > 0;
+    if (!in_warmup) {
+      run_peak = std::max(run_peak, peak);
+      peak_sum += peak;
+      violations += hot_samples;
+      ++measured_intervals;
+    }
+    power_sum += interval_power;
+    ips_sum += chip_ips;
+    dvfs_sum += knobs.mean_dvfs();
+    ++intervals;
+
+    if (config.record_trace) {
+      IntervalRecord rec;
+      rec.time_s = t;
+      rec.peak_temp_k = peak;
+      rec.power = interval_power;
+      rec.ips = chip_ips;
+      rec.fan_level = knobs.fan_level;
+      rec.tecs_on = knobs.tecs_active();
+      rec.mean_dvfs = knobs.mean_dvfs();
+      rec.violation = violated;
+      res.trace.push_back(rec);
+    }
+
+    t += dt;
+    bool all_done = true;
+    for (int n = 0; n < cores; ++n)
+      if (workload.core_active(n) && !finished[static_cast<std::size_t>(n)])
+        all_done = false;
+    if (all_done) {
+      res.completed = true;
+      break;
+    }
+  }
+
+  res.exec_time_s = 0.0;
+  for (int n = 0; n < cores; ++n)
+    if (workload.core_active(n))
+      res.exec_time_s =
+          std::max(res.exec_time_s, finish_time[static_cast<std::size_t>(n)]);
+  if (!res.completed) res.exec_time_s = t;
+  res.energy_j = energy;
+  if (intervals > 0) {
+    const double inv = 1.0 / static_cast<double>(intervals);
+    res.avg_power.dynamic_w = power_sum.dynamic_w * inv;
+    res.avg_power.leakage_w = power_sum.leakage_w * inv;
+    res.avg_power.tec_w = power_sum.tec_w * inv;
+    res.avg_power.fan_w = power_sum.fan_w * inv;
+    res.avg_ips = ips_sum * inv;
+    res.avg_dvfs = dvfs_sum * inv;
+    res.violation_frac =
+        measured_intervals == 0
+            ? 0.0
+            : static_cast<double>(violations) /
+                  (static_cast<double>(measured_intervals) *
+                   static_cast<double>(n_comp));
+  }
+  res.peak_temp_k = run_peak;
+  res.mean_peak_temp_k =
+      measured_intervals ? peak_sum / static_cast<double>(measured_intervals)
+                         : run_peak;
+  res.fan_level = knobs.fan_level;
+  return res;
+}
+
+}  // namespace tecfan::sim

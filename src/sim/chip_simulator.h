@@ -1,0 +1,88 @@
+// The 16-core co-simulation loop (the SESC+Wattch+HotSpot stand-in).
+//
+// Each control interval the simulator:
+//   1. exposes sensed component temperatures and previous-interval
+//      measurements to the controller-side ChipPlanningModel,
+//   2. lets the policy pick the next knob configuration,
+//   3. computes plant power (activity-based dynamic + quadratic leakage,
+//      recomputed per substep to capture the temperature-leakage loop the
+//      paper adds to HotSpot's transient routine),
+//   4. advances the full RC network by implicit Euler substeps,
+//   5. accounts energy, instructions (Eq. 11 scaling), and violations.
+// The run ends when every active core has retired its instruction budget
+// (per-core barrier semantics: the slowest core defines the delay).
+#pragma once
+
+#include <memory>
+
+#include "core/chip_planning_model.h"
+#include "core/policy.h"
+#include "perf/workload.h"
+#include "sim/defaults.h"
+#include "sim/metrics.h"
+#include "thermal/solvers.h"
+
+namespace tecfan::sim {
+
+struct RunConfig {
+  double threshold_k = 363.15;     // T_th (set from the base scenario)
+  int fan_level = 0;               // fixed level unless the policy manages it
+  bool policy_manages_fan = false;
+  double max_sim_time_s = 1.0;     // safety cap
+  bool record_trace = true;
+  double sensor_noise_k = 0.0;     // optional gaussian sensor noise
+  std::uint64_t noise_seed = 99;
+  /// Activity multiplier applied to cores that finished their budget.
+  double finished_core_activity = 0.06;
+  /// Tolerance above T_th before an interval counts as a violation.
+  double violation_tolerance_k = 0.02;
+  /// Peltier engage delay on switch-on (Sec. IV-C cites up to 20 us [9]);
+  /// the plant derates a newly-enabled device's first substep by
+  /// delay/substep.
+  double tec_engage_delay_s = 20e-6;
+  /// Intervals excluded from violation/peak statistics while the run warms
+  /// up from its initial equilibrium (energy and delay are still counted).
+  std::size_t warmup_intervals = 5;
+};
+
+class ChipSimulator {
+ public:
+  /// control_period: lower-level interval (paper: 2 ms); substeps: implicit
+  /// Euler steps per interval.
+  explicit ChipSimulator(ChipModels models, double control_period_s = 2e-3,
+                         int substeps = 4);
+
+  RunResult run(core::Policy& policy, const perf::Workload& workload,
+                const RunConfig& config);
+
+  double control_period_s() const { return control_period_s_; }
+  const ChipModels& models() const { return models_; }
+
+  /// Steady-state node temperatures with the temperature-leakage fixed point
+  /// (iterated until the peak moves < 0.5 K, the paper's criterion), at a
+  /// given operating point. Also used to initialize runs.
+  linalg::Vector equilibrium(const perf::Workload& workload,
+                             const core::KnobState& knobs, double time_s = 0.0);
+
+ private:
+  /// Per-component dynamic power at simulated time t under knob state.
+  /// `finished` marks active cores that already retired their budget; their
+  /// activity is scaled by `finished_activity` (inactive cores are handled
+  /// by the workload's own idle path).
+  linalg::Vector dynamic_power(const perf::Workload& workload,
+                               const core::KnobState& knobs, double time_s,
+                               const std::vector<std::uint8_t>& finished,
+                               double finished_activity) const;
+
+  /// Add quadratic-leakage power for the current die temperatures.
+  void add_leakage(const linalg::Vector& node_temps,
+                   linalg::Vector& comp_power, double* leak_total) const;
+
+  ChipModels models_;
+  double control_period_s_;
+  int substeps_;
+  thermal::TransientSolver plant_;
+  thermal::SteadyStateSolver steady_;
+};
+
+}  // namespace tecfan::sim

@@ -1,0 +1,18 @@
+#include "sim/defaults.h"
+
+namespace tecfan::sim {
+
+ChipModels make_chip_models(int tiles_x, int tiles_y) {
+  ChipModels m;
+  thermal::PackageParameters pkg;   // calibrated defaults (see package.h)
+  thermal::TecParameters tec;       // calibrated defaults (see tec_device.h)
+  m.thermal = std::make_shared<const thermal::ChipThermalModel>(
+      thermal::Floorplan::scc(tiles_x, tiles_y), pkg, tec);
+  m.leak_linear = power::LinearLeakageModel{};
+  m.leak_quad = power::QuadraticLeakageModel::matched_to(m.leak_linear);
+  return m;
+}
+
+ChipModels make_default_chip_models() { return make_chip_models(4, 4); }
+
+}  // namespace tecfan::sim

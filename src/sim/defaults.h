@@ -1,0 +1,32 @@
+// Default model bundle: the calibrated 16-core SCC-like system used across
+// tests, benches and examples. Building the thermal model (and especially
+// factoring its base matrices inside the solvers) is the expensive part, so
+// callers share one ChipModels instance across runs.
+#pragma once
+
+#include <memory>
+
+#include "power/dvfs.h"
+#include "power/dynamic.h"
+#include "power/fan.h"
+#include "power/leakage.h"
+#include "thermal/network.h"
+
+namespace tecfan::sim {
+
+struct ChipModels {
+  std::shared_ptr<const thermal::ChipThermalModel> thermal;
+  power::DynamicPowerModel dynamic = power::DynamicPowerModel::scc_calibrated();
+  power::LinearLeakageModel leak_linear;
+  power::QuadraticLeakageModel leak_quad;
+  power::FanModel fan = power::FanModel::dynatron_r16();
+  power::DvfsTable dvfs = power::DvfsTable::scc();
+};
+
+/// The calibrated default: 4x4 SCC floorplan, Table-I-anchored power models.
+ChipModels make_default_chip_models();
+
+/// Same structure at a custom tile-grid size (tests use small grids).
+ChipModels make_chip_models(int tiles_x, int tiles_y);
+
+}  // namespace tecfan::sim

@@ -1,0 +1,63 @@
+#include "sim/experiment.h"
+
+#include "core/reactive_policies.h"
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace tecfan::sim {
+
+RunResult measure_base_scenario(ChipSimulator& simulator,
+                                const perf::Workload& workload,
+                                double max_sim_time_s) {
+  core::FanOnlyPolicy policy;
+  RunConfig cfg;
+  cfg.threshold_k = 1e6;  // effectively unconstrained: we measure the peak
+  cfg.fan_level = 0;
+  cfg.max_sim_time_s = max_sim_time_s;
+  cfg.record_trace = true;
+  RunResult res = simulator.run(policy, workload, cfg);
+  res.policy = "base";
+  return res;
+}
+
+SweepResult run_with_fan_sweep(ChipSimulator& simulator,
+                               const PolicyFactory& make_policy,
+                               const perf::Workload& workload,
+                               const SweepOptions& options) {
+  TECFAN_REQUIRE(options.threshold_k > 0.0,
+                 "sweep requires a positive threshold");
+  SweepResult sweep;
+  const int levels = simulator.models().fan.level_count();
+  bool have_choice = false;
+  for (int lvl = levels - 1; lvl >= 0; --lvl) {
+    RunConfig cfg;
+    cfg.threshold_k = options.threshold_k;
+    cfg.fan_level = lvl;
+    cfg.max_sim_time_s = options.max_sim_time_s;
+    cfg.record_trace = options.record_trace;
+    auto policy = make_policy();
+    RunResult res = simulator.run(*policy, workload, cfg);
+    const bool ok = res.completed &&
+                    res.mean_peak_temp_k <=
+                        options.threshold_k + options.mean_peak_tolerance_k &&
+                    res.avg_dvfs <= options.max_mean_dvfs;
+    TECFAN_LOG_DEBUG << "sweep " << res.policy << "/" << res.workload
+                     << " fan=" << lvl << " viol=" << res.violation_frac
+                     << (ok ? " PASS" : " fail");
+    sweep.per_level.push_back(res);
+    if (ok) {
+      sweep.chosen = sweep.per_level.back();
+      have_choice = true;
+      break;  // slowest passing level found
+    }
+  }
+  if (!have_choice) {
+    // No level passed: report the fastest-fan run (last simulated).
+    sweep.chosen = sweep.per_level.back();
+    TECFAN_LOG_WARN << "fan sweep found no passing level for "
+                    << sweep.chosen.policy << "/" << sweep.chosen.workload;
+  }
+  return sweep;
+}
+
+}  // namespace tecfan::sim

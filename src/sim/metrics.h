@@ -1,0 +1,44 @@
+// Run-level metrics: energy, delay, EDP, violation rate, power breakdown.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/actions.h"
+#include "power/breakdown.h"
+
+namespace tecfan::sim {
+
+struct IntervalRecord {
+  double time_s = 0.0;
+  double peak_temp_k = 0.0;
+  power::PowerBreakdown power;  // interval-average
+  double ips = 0.0;
+  int fan_level = 0;
+  std::size_t tecs_on = 0;
+  double mean_dvfs = 0.0;
+  bool violation = false;
+};
+
+struct RunResult {
+  std::string policy;
+  std::string workload;
+
+  double exec_time_s = 0.0;   // when the last core finished (delay metric)
+  double energy_j = 0.0;      // total energy incl. cooling
+  power::PowerBreakdown avg_power;  // time-average buckets
+  double peak_temp_k = 0.0;   // max over run and spots
+  double mean_peak_temp_k = 0.0;  // post-warmup mean of interval peaks
+  double violation_frac = 0.0;  // fraction of intervals with a violation
+  double avg_ips = 0.0;
+  double avg_dvfs = 0.0;   // time-average of the mean per-core DVFS level
+  bool completed = false;     // instruction budgets met within the time cap
+  int fan_level = 0;          // level in effect (or final level if managed)
+
+  std::vector<IntervalRecord> trace;
+
+  double avg_total_power_w() const { return avg_power.total_w(); }
+  double edp() const { return energy_j * exec_time_s; }
+};
+
+}  // namespace tecfan::sim

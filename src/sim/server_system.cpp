@@ -1,0 +1,412 @@
+#include "sim/server_system.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/lu.h"
+#include "util/error.h"
+
+namespace tecfan::sim {
+namespace {
+
+double conv_g(const ServerThermalParams& p, double cfm) {
+  return p.conv_fixed_g + p.conv_cfm_coeff * std::pow(cfm, p.conv_exponent);
+}
+
+}  // namespace
+
+ServerThermalModel::ServerThermalModel(ServerThermalParams params)
+    : params_(params) {
+  caps_.assign(kNodes, 0.0);
+  for (int n = 0; n < kCores; ++n) {
+    caps_[core_node(n)] = params_.c_core;
+    caps_[cold_node(n)] = params_.c_face;
+    caps_[hot_node(n)] = params_.c_face;
+  }
+  caps_[spreader_node()] = params_.c_spreader;
+  caps_[sink_node()] = params_.c_sink;
+
+  // Time constants against the passive conductance diagonal.
+  std::vector<std::uint8_t> off(4, 0);
+  const linalg::DenseMatrix g = conductance(off, 0.0);
+  taus_.assign(kNodes, 0.0);
+  for (std::size_t i = 0; i < kNodes; ++i) taus_[i] = caps_[i] / g(i, i);
+}
+
+linalg::DenseMatrix ServerThermalModel::conductance(
+    std::span<const std::uint8_t> tec_on, double airflow_cfm) const {
+  TECFAN_REQUIRE(tec_on.size() == 4, "need 4 TEC states");
+  linalg::DenseMatrix g(kNodes, kNodes);
+  auto couple = [&g](std::size_t a, std::size_t b, double v) {
+    g(a, a) += v;
+    g(b, b) += v;
+    g(a, b) -= v;
+    g(b, a) -= v;
+  };
+  const auto& p = params_;
+  for (int n = 0; n < kCores; ++n) {
+    couple(core_node(n), cold_node(n), p.g_core_cold);
+    couple(cold_node(n), hot_node(n), p.tec_kappa_w_per_k);
+    couple(hot_node(n), spreader_node(), p.g_hot_spreader);
+    couple(core_node(n), spreader_node(), p.g_core_direct);
+    if (n + 1 < kCores) couple(core_node(n), core_node(n + 1), p.g_core_core);
+    if (tec_on[static_cast<std::size_t>(n)]) {
+      const double pump = p.tec_alpha_v_per_k * p.tec_current_a;
+      g(cold_node(n), cold_node(n)) += pump;
+      g(hot_node(n), hot_node(n)) -= pump;
+    }
+  }
+  couple(spreader_node(), sink_node(), p.g_spreader_sink);
+  g(sink_node(), sink_node()) += conv_g(p, airflow_cfm);
+  return g;
+}
+
+linalg::Vector ServerThermalModel::rhs(
+    std::span<const double> core_power_w,
+    std::span<const std::uint8_t> tec_on, double airflow_cfm) const {
+  TECFAN_REQUIRE(core_power_w.size() == 4 && tec_on.size() == 4,
+                 "need 4 cores");
+  linalg::Vector q(kNodes, 0.0);
+  const auto& p = params_;
+  const double joule =
+      0.5 * p.tec_current_a * p.tec_current_a * p.tec_r_ohm;
+  for (int n = 0; n < kCores; ++n) {
+    q[core_node(n)] = core_power_w[static_cast<std::size_t>(n)];
+    if (tec_on[static_cast<std::size_t>(n)]) {
+      q[cold_node(n)] += joule;
+      q[hot_node(n)] += joule;
+    }
+  }
+  q[sink_node()] += conv_g(p, airflow_cfm) * p.ambient_k;
+  return q;
+}
+
+linalg::Vector ServerThermalModel::steady(
+    std::span<const double> core_power_w,
+    std::span<const std::uint8_t> tec_on, double airflow_cfm) const {
+  const linalg::LuFactorization lu(conductance(tec_on, airflow_cfm));
+  return lu.solve(rhs(core_power_w, tec_on, airflow_cfm));
+}
+
+linalg::Vector ServerThermalModel::step(std::span<const double> temps_k,
+                                        std::span<const double> core_power_w,
+                                        std::span<const std::uint8_t> tec_on,
+                                        double airflow_cfm, double dt_s) const {
+  TECFAN_REQUIRE(temps_k.size() == kNodes, "temps size mismatch");
+  TECFAN_REQUIRE(dt_s > 0.0, "dt must be positive");
+  linalg::DenseMatrix a = conductance(tec_on, airflow_cfm);
+  linalg::Vector q = rhs(core_power_w, tec_on, airflow_cfm);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    a(i, i) += caps_[i] / dt_s;
+    q[i] += caps_[i] / dt_s * temps_k[i];
+  }
+  return linalg::LuFactorization(std::move(a)).solve(q);
+}
+
+double ServerThermalModel::tec_power_w(std::span<const double> temps_k,
+                                       int n, bool on) const {
+  TECFAN_REQUIRE(temps_k.size() == kNodes, "temps size mismatch");
+  if (!on) return 0.0;
+  const auto& p = params_;
+  const double dtheta = temps_k[hot_node(n)] - temps_k[cold_node(n)];
+  return p.tec_r_ohm * p.tec_current_a * p.tec_current_a +
+         p.tec_alpha_v_per_k * p.tec_current_a * dtheta;
+}
+
+double ServerThermalModel::leakage_w(double core_temp_k) const {
+  return std::max(
+      0.0, params_.leak_base_w +
+               params_.leak_alpha_w_per_k * (core_temp_k - params_.leak_ref_k));
+}
+
+ServerPlanningModel::ServerPlanningModel(
+    std::shared_ptr<const ServerThermalModel> thermal, ServerConfig config)
+    : thermal_(std::move(thermal)), config_(std::move(config)) {
+  TECFAN_REQUIRE(thermal_ != nullptr, "ServerPlanningModel needs a model");
+  tec_map_.resize(4);
+  for (std::size_t s = 0; s < 4; ++s) tec_map_[s] = {s};
+}
+
+void ServerPlanningModel::reset() {
+  state_estimate_.clear();
+  has_observation_ = false;
+}
+
+const std::vector<std::size_t>& ServerPlanningModel::tecs_over(
+    std::size_t spot) const {
+  TECFAN_REQUIRE(spot < 4, "spot out of range");
+  return tec_map_[spot];
+}
+
+const linalg::Vector& ServerPlanningModel::sensed_temps() const {
+  TECFAN_REQUIRE(has_observation_, "sensed_temps before observe()");
+  return last_.core_temps_k;
+}
+
+void ServerPlanningModel::observe(const Observation& obs) {
+  TECFAN_REQUIRE(obs.core_temps_k.size() == 4 && obs.demand.size() == 4,
+                 "observation size mismatch");
+  last_ = obs;
+  if (state_estimate_.empty()) {
+    std::vector<double> power(4, 0.0);
+    for (int n = 0; n < 4; ++n) {
+      const auto ni = static_cast<std::size_t>(n);
+      const double u = config_.core_model.utilization(
+          config_.dvfs, obs.applied.dvfs[ni], obs.demand[ni]);
+      power[ni] = config_.core_model.power_w(config_.dvfs,
+                                             obs.applied.dvfs[ni], u) +
+                  thermal_->leakage_w(obs.core_temps_k[ni]);
+    }
+    state_estimate_ = thermal_->steady(
+        power, obs.applied.tec_on,
+        config_.fan.airflow_cfm(obs.applied.fan_level));
+  }
+  for (int n = 0; n < 4; ++n)
+    state_estimate_[thermal_->core_node(n)] =
+        obs.core_temps_k[static_cast<std::size_t>(n)];
+  has_observation_ = true;
+}
+
+core::Prediction ServerPlanningModel::predict_impl(
+    const core::KnobState& knobs, bool steady) {
+  TECFAN_REQUIRE(has_observation_, "predict before observe()");
+  TECFAN_REQUIRE(knobs.dvfs.size() == 4 && knobs.tec_on.size() == 4,
+                 "knob size mismatch");
+  std::vector<double> power(4, 0.0);
+  double served_ips = 0.0;
+  core::Prediction pred;
+  pred.power = {};
+  for (int n = 0; n < 4; ++n) {
+    const auto ni = static_cast<std::size_t>(n);
+    const double demand = last_.demand[ni];  // assume demand persists
+    const int lvl = knobs.dvfs[ni];
+    const double u = config_.core_model.utilization(config_.dvfs, lvl, demand);
+    const double dyn = config_.core_model.power_w(config_.dvfs, lvl, u);
+    const double leak = thermal_->leakage_w(last_.core_temps_k[ni]);
+    power[ni] = dyn + leak;
+    pred.power.dynamic_w += dyn;
+    pred.power.leakage_w += leak;
+    served_ips += config_.core_model.served(config_.dvfs, lvl, demand) *
+                  config_.core_model.peak_ips;
+    pred.capacity_ips += config_.core_model.relative_capacity(config_.dvfs,
+                                                              lvl) *
+                         config_.core_model.peak_ips;
+  }
+  const double cfm = config_.fan.airflow_cfm(knobs.fan_level);
+  linalg::Vector node_temps = thermal_->steady(power, knobs.tec_on, cfm);
+  if (!steady) {
+    const auto& tau = thermal_->taus();
+    for (std::size_t i = 0; i < node_temps.size(); ++i) {
+      const double beta = std::exp(-config_.control_period_s / tau[i]);
+      node_temps[i] =
+          (1.0 - beta) * node_temps[i] + beta * state_estimate_[i];
+    }
+  }
+  pred.spot_temps_k.resize(4);
+  for (int n = 0; n < 4; ++n) {
+    pred.spot_temps_k[static_cast<std::size_t>(n)] =
+        node_temps[thermal_->core_node(n)];
+    pred.power.tec_w += thermal_->tec_power_w(
+        node_temps, n, knobs.tec_on[static_cast<std::size_t>(n)] != 0);
+  }
+  pred.power.fan_w = config_.fan.power_w(knobs.fan_level);
+  pred.ips = served_ips;
+  return pred;
+}
+
+core::Prediction ServerPlanningModel::predict(const core::KnobState& knobs) {
+  return predict_impl(knobs, /*steady=*/false);
+}
+
+core::Prediction ServerPlanningModel::predict_steady(
+    const core::KnobState& knobs) {
+  return predict_impl(knobs, /*steady=*/true);
+}
+
+ServerSimulator::ServerSimulator(ServerConfig config)
+    : config_(std::move(config)),
+      thermal_(std::make_shared<const ServerThermalModel>(config_.thermal)) {}
+
+RunResult ServerSimulator::run(core::Policy& policy,
+                               const perf::WikipediaTrace& trace) {
+  const double dt = config_.control_period_s;
+  const double sub_dt = dt / config_.substeps;
+  ServerPlanningModel planner(thermal_, config_);
+  policy.reset();
+  planner.reset();
+  ips_trace_.clear();
+  capacity_trace_.clear();
+
+  core::KnobState knobs = core::KnobState::initial(4, 4, /*fan_level=*/0);
+  std::vector<double> demand(4, 0.0);
+  for (int n = 0; n < 4; ++n) demand[static_cast<std::size_t>(n)] =
+      trace.core_demand(n, 0.0);
+
+  // Initial equilibrium at the starting operating point.
+  std::vector<double> power(4, 0.0);
+  linalg::Vector temps(ServerThermalModel::kNodes,
+                       config_.thermal.ambient_k);
+  for (int round = 0; round < 10; ++round) {
+    for (int n = 0; n < 4; ++n) {
+      const auto ni = static_cast<std::size_t>(n);
+      const double u = config_.core_model.utilization(config_.dvfs, 0,
+                                                      demand[ni]);
+      power[ni] = config_.core_model.power_w(config_.dvfs, 0, u) +
+                  thermal_->leakage_w(temps[thermal_->core_node(n)]);
+    }
+    temps = thermal_->steady(power, knobs.tec_on,
+                             config_.fan.airflow_cfm(knobs.fan_level));
+  }
+
+  std::vector<double> backlog(4, 0.0);
+  RunResult res;
+  res.policy = std::string(policy.name());
+  res.workload = "wikipedia";
+
+  double t = 0.0;
+  double energy = 0.0;
+  power::PowerBreakdown power_sum;
+  double ips_sum = 0.0;
+  double dvfs_sum = 0.0;
+  std::size_t intervals = 0;
+  std::size_t measured_intervals = 0;
+  std::size_t violations = 0;
+  double run_peak = 0.0;
+  double peak_sum = 0.0;
+  double work_done_at = 0.0;
+  constexpr std::size_t kWarmupIntervals = 5;
+  const double t_end = config_.duration_s + config_.max_extra_s;
+
+  while (t < t_end) {
+    const bool in_trace = t < config_.duration_s;
+    for (int n = 0; n < 4; ++n) {
+      const auto ni = static_cast<std::size_t>(n);
+      demand[ni] = in_trace ? trace.core_demand(n, t) : 0.0;
+    }
+
+    // --- Controller ---
+    ServerPlanningModel::Observation obs;
+    obs.core_temps_k.resize(4);
+    for (int n = 0; n < 4; ++n)
+      obs.core_temps_k[static_cast<std::size_t>(n)] =
+          temps[thermal_->core_node(n)];
+    obs.demand = demand;
+    obs.applied = knobs;
+    planner.observe(obs);
+    knobs = policy.decide(planner, knobs);
+
+    // --- Plant ---
+    const double cfm = config_.fan.airflow_cfm(knobs.fan_level);
+    const double fan_w = config_.fan.power_w(knobs.fan_level);
+    power::PowerBreakdown interval_power;
+    double chip_ips = 0.0;
+    std::vector<double> core_power(4, 0.0);
+    for (int n = 0; n < 4; ++n) {
+      const auto ni = static_cast<std::size_t>(n);
+      // Offered load includes queued backlog.
+      const double offered = demand[ni] + backlog[ni] / dt;
+      const double cap = config_.core_model.relative_capacity(config_.dvfs,
+                                                              knobs.dvfs[ni]);
+      const double served = std::min(offered, cap);
+      backlog[ni] = std::max(0.0, (offered - served) * dt);
+      const double u = std::min(1.0, offered / cap);
+      const double dyn =
+          config_.core_model.power_w(config_.dvfs, knobs.dvfs[ni], u);
+      interval_power.dynamic_w += dyn;
+      chip_ips += served * config_.core_model.peak_ips;
+      core_power[ni] = dyn;  // leakage added per substep
+    }
+    for (int s = 0; s < config_.substeps; ++s) {
+      std::vector<double> p = core_power;
+      double leak_total = 0.0;
+      for (int n = 0; n < 4; ++n) {
+        const double leak =
+            thermal_->leakage_w(temps[thermal_->core_node(n)]);
+        p[static_cast<std::size_t>(n)] += leak;
+        leak_total += leak;
+      }
+      double tec_total = 0.0;
+      for (int n = 0; n < 4; ++n)
+        tec_total += thermal_->tec_power_w(
+            temps, n, knobs.tec_on[static_cast<std::size_t>(n)] != 0);
+      temps = thermal_->step(temps, p, knobs.tec_on, cfm, sub_dt);
+      interval_power.leakage_w += leak_total / config_.substeps;
+      interval_power.tec_w += tec_total / config_.substeps;
+      interval_power.fan_w += fan_w / config_.substeps;
+      energy += (leak_total + tec_total + fan_w) * sub_dt;
+    }
+    energy += interval_power.dynamic_w * dt;
+
+    // --- Metrics ---
+    double peak = 0.0;
+    std::size_t hot_samples = 0;
+    for (int n = 0; n < 4; ++n) {
+      const double tc = temps[thermal_->core_node(n)];
+      peak = std::max(peak, tc);
+      if (tc > config_.threshold_k + 0.02) ++hot_samples;
+    }
+    const bool violated = hot_samples > 0;
+    if (intervals >= kWarmupIntervals) {
+      run_peak = std::max(run_peak, peak);
+      peak_sum += peak;
+      violations += hot_samples;
+      ++measured_intervals;
+    }
+    power_sum += interval_power;
+    ips_sum += chip_ips;
+    dvfs_sum += knobs.mean_dvfs();
+    ips_trace_.push_back(chip_ips);
+    double capacity = 0.0;
+    for (int n = 0; n < 4; ++n)
+      capacity += config_.core_model.relative_capacity(
+                      config_.dvfs, knobs.dvfs[static_cast<std::size_t>(n)]) *
+                  config_.core_model.peak_ips;
+    capacity_trace_.push_back(capacity);
+    ++intervals;
+    if (config_.record_trace) {
+      IntervalRecord rec;
+      rec.time_s = t;
+      rec.peak_temp_k = peak;
+      rec.power = interval_power;
+      rec.ips = chip_ips;
+      rec.fan_level = knobs.fan_level;
+      rec.tecs_on = knobs.tecs_active();
+      rec.mean_dvfs = knobs.mean_dvfs();
+      rec.violation = violated;
+      res.trace.push_back(rec);
+    }
+
+    t += dt;
+    const double total_backlog =
+        backlog[0] + backlog[1] + backlog[2] + backlog[3];
+    if (t >= config_.duration_s && total_backlog <= 1e-9) {
+      work_done_at = t;
+      break;
+    }
+  }
+  if (work_done_at == 0.0) work_done_at = t;  // backlog never drained
+
+  res.exec_time_s = work_done_at;
+  res.completed = work_done_at <= t_end;
+  res.energy_j = energy;
+  if (intervals > 0) {
+    const double inv = 1.0 / static_cast<double>(intervals);
+    res.avg_power.dynamic_w = power_sum.dynamic_w * inv;
+    res.avg_power.leakage_w = power_sum.leakage_w * inv;
+    res.avg_power.tec_w = power_sum.tec_w * inv;
+    res.avg_power.fan_w = power_sum.fan_w * inv;
+    res.avg_ips = ips_sum * inv;
+    res.avg_dvfs = dvfs_sum * inv;
+    if (measured_intervals > 0)
+      res.violation_frac = static_cast<double>(violations) /
+                           (4.0 * static_cast<double>(measured_intervals));
+  }
+  res.peak_temp_k = run_peak;
+  res.mean_peak_temp_k =
+      measured_intervals ? peak_sum / static_cast<double>(measured_intervals)
+                         : run_peak;
+  res.fan_level = knobs.fan_level;
+  return res;
+}
+
+}  // namespace tecfan::sim

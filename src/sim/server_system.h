@@ -1,0 +1,177 @@
+// The 4-core server setup of Sec. IV-B / V-E: Core i7-3770K-shaped cores
+// driven by the Wikipedia trace, with one TEC module per core and the same
+// adjustable fan. Small enough (14 thermal nodes, 4 cores, 4 TECs) for the
+// exhaustive Oracle/OFTEC baselines to enumerate.
+//
+// Node layout: [0,4) cores, [4,8) TEC cold faces, [8,12) TEC hot faces,
+// 12 spreader, 13 sink.
+#pragma once
+
+#include <memory>
+
+#include "core/planning.h"
+#include "core/policy.h"
+#include "perf/server_model.h"
+#include "perf/wikipedia_trace.h"
+#include "power/dvfs.h"
+#include "power/fan.h"
+#include "sim/metrics.h"
+
+namespace tecfan::sim {
+
+struct ServerThermalParams {
+  double g_core_cold = 2.0;     // die -> TEC cold face [W/K]
+  double g_core_direct = 1.5;   // die -> spreader bypass (uncovered TIM)
+  double g_core_core = 0.8;     // adjacent cores on die
+  double g_hot_spreader = 3.0;  // TEC hot face -> spreader
+  double g_spreader_sink = 8.0;
+  double conv_fixed_g = 1.5;    // sink -> ambient, no airflow
+  double conv_cfm_coeff = 0.25;
+  double conv_exponent = 0.8;
+  double ambient_k = 318.15;
+
+  double tec_alpha_v_per_k = 6e-3;  // module Seebeck
+  double tec_r_ohm = 0.05;
+  double tec_kappa_w_per_k = 0.8;
+  double tec_current_a = 6.0;
+
+  double c_core = 5.0;  // J/K
+  double c_face = 0.05;
+  double c_spreader = 60.0;
+  double c_sink = 400.0;
+
+  // Per-core leakage, linear in core temperature.
+  double leak_base_w = 2.0;
+  double leak_alpha_w_per_k = 0.08;
+  double leak_ref_k = 318.15;
+};
+
+class ServerThermalModel {
+ public:
+  static constexpr int kCores = 4;
+  static constexpr std::size_t kNodes = 14;
+
+  explicit ServerThermalModel(ServerThermalParams params = {});
+
+  const ServerThermalParams& params() const { return params_; }
+
+  std::size_t core_node(int n) const { return static_cast<std::size_t>(n); }
+  std::size_t cold_node(int n) const { return 4 + static_cast<std::size_t>(n); }
+  std::size_t hot_node(int n) const { return 8 + static_cast<std::size_t>(n); }
+  std::size_t spreader_node() const { return 12; }
+  std::size_t sink_node() const { return 13; }
+
+  /// Steady solve for given per-core power, TEC states, and airflow.
+  linalg::Vector steady(std::span<const double> core_power_w,
+                        std::span<const std::uint8_t> tec_on,
+                        double airflow_cfm) const;
+
+  /// One implicit-Euler step.
+  linalg::Vector step(std::span<const double> temps_k,
+                      std::span<const double> core_power_w,
+                      std::span<const std::uint8_t> tec_on,
+                      double airflow_cfm, double dt_s) const;
+
+  /// Eq. (5) per-node time constants.
+  const std::vector<double>& taus() const { return taus_; }
+
+  /// Eq. (9) electrical power of core n's TEC.
+  double tec_power_w(std::span<const double> temps_k, int n, bool on) const;
+
+  double leakage_w(double core_temp_k) const;
+
+ private:
+  linalg::DenseMatrix conductance(std::span<const std::uint8_t> tec_on,
+                                  double airflow_cfm) const;
+  linalg::Vector rhs(std::span<const double> core_power_w,
+                     std::span<const std::uint8_t> tec_on,
+                     double airflow_cfm) const;
+
+  ServerThermalParams params_;
+  std::vector<double> caps_;
+  std::vector<double> taus_;
+};
+
+struct ServerConfig {
+  power::DvfsTable dvfs = power::DvfsTable::core_i7();
+  power::FanModel fan = power::FanModel::dynatron_r16();
+  perf::ServerCoreModel core_model{.busy_power_top_w = 18.0,
+                                   .idle_power_w = 3.5,
+                                   .quad_coeff = 0.35,
+                                   .peak_ips = 4.0e9};
+  ServerThermalParams thermal;
+  double threshold_k = 339.15;     // 66 C
+  double control_period_s = 0.2;
+  int substeps = 2;
+  int fan_period_intervals = 25;   // 5 s
+  double duration_s = 600.0;       // one 10-minute trace segment per core
+  double max_extra_s = 120.0;      // backlog drain allowance past the trace
+  bool record_trace = false;
+};
+
+/// PlanningModel over the server system (spots = cores; one TEC per core).
+class ServerPlanningModel final : public core::PlanningModel {
+ public:
+  ServerPlanningModel(std::shared_ptr<const ServerThermalModel> thermal,
+                      ServerConfig config);
+
+  struct Observation {
+    linalg::Vector core_temps_k;   // sensed
+    std::vector<double> demand;    // previous-interval per-core demand
+    core::KnobState applied;
+  };
+
+  void observe(const Observation& obs);
+  void reset();
+
+  int core_count() const override { return ServerThermalModel::kCores; }
+  std::size_t tec_count() const override { return 4; }
+  int dvfs_level_count() const override { return config_.dvfs.level_count(); }
+  int fan_level_count() const override { return config_.fan.level_count(); }
+  std::size_t spot_count() const override { return 4; }
+  int core_of_spot(std::size_t spot) const override {
+    return static_cast<int>(spot);
+  }
+  const std::vector<std::size_t>& tecs_over(std::size_t spot) const override;
+  const linalg::Vector& sensed_temps() const override;
+  double threshold_k() const override { return config_.threshold_k; }
+  core::Prediction predict(const core::KnobState& knobs) override;
+  core::Prediction predict_steady(const core::KnobState& knobs) override;
+
+ private:
+  core::Prediction predict_impl(const core::KnobState& knobs, bool steady);
+
+  std::shared_ptr<const ServerThermalModel> thermal_;
+  ServerConfig config_;
+  std::vector<std::vector<std::size_t>> tec_map_;
+  linalg::Vector state_estimate_;
+  Observation last_;
+  bool has_observation_ = false;
+};
+
+class ServerSimulator {
+ public:
+  explicit ServerSimulator(ServerConfig config = {});
+
+  /// Run one 10-minute (plus backlog drain) simulation of the trace.
+  RunResult run(core::Policy& policy, const perf::WikipediaTrace& trace);
+
+  /// Per-interval served chip IPS of the last run.
+  const std::vector<double>& last_ips_trace() const { return ips_trace_; }
+
+  /// Per-interval chip performance capability (capacity_ips) of the last
+  /// run — the reference trajectory Oracle-P is constrained by.
+  const std::vector<double>& last_capacity_trace() const {
+    return capacity_trace_;
+  }
+
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  ServerConfig config_;
+  std::shared_ptr<const ServerThermalModel> thermal_;
+  std::vector<double> ips_trace_;
+  std::vector<double> capacity_trace_;
+};
+
+}  // namespace tecfan::sim

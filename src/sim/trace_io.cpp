@@ -1,0 +1,85 @@
+#include "sim/trace_io.h"
+
+#include <ostream>
+
+#include "util/csv.h"
+#include "util/error.h"
+
+namespace tecfan::sim {
+namespace {
+
+const std::vector<std::string> kTraceHeader = {
+    "time_s",  "peak_temp_k", "dynamic_w", "leakage_w", "tec_w",
+    "fan_w",   "ips",         "fan_level", "tecs_on",   "mean_dvfs",
+    "violation"};
+
+}  // namespace
+
+void write_trace_csv(std::ostream& os, const RunResult& result) {
+  CsvWriter w(os);
+  w.write_header(kTraceHeader);
+  for (const auto& rec : result.trace) {
+    w.write_row({format_double(rec.time_s, 9),
+                 format_double(rec.peak_temp_k, 9),
+                 format_double(rec.power.dynamic_w, 9),
+                 format_double(rec.power.leakage_w, 9),
+                 format_double(rec.power.tec_w, 9),
+                 format_double(rec.power.fan_w, 9),
+                 format_double(rec.ips, 9), std::to_string(rec.fan_level),
+                 std::to_string(rec.tecs_on),
+                 format_double(rec.mean_dvfs, 9),
+                 rec.violation ? "1" : "0"});
+  }
+}
+
+std::vector<IntervalRecord> read_trace_csv(const std::string& text) {
+  const auto rows = parse_csv(text);
+  TECFAN_REQUIRE(!rows.empty(), "empty trace CSV");
+  TECFAN_REQUIRE(rows[0] == kTraceHeader, "unrecognized trace CSV header");
+  std::vector<IntervalRecord> out;
+  out.reserve(rows.size() - 1);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    TECFAN_REQUIRE(r.size() == kTraceHeader.size(),
+                   "trace CSV row width mismatch");
+    IntervalRecord rec;
+    rec.time_s = std::stod(r[0]);
+    rec.peak_temp_k = std::stod(r[1]);
+    rec.power.dynamic_w = std::stod(r[2]);
+    rec.power.leakage_w = std::stod(r[3]);
+    rec.power.tec_w = std::stod(r[4]);
+    rec.power.fan_w = std::stod(r[5]);
+    rec.ips = std::stod(r[6]);
+    rec.fan_level = std::stoi(r[7]);
+    rec.tecs_on = static_cast<std::size_t>(std::stoul(r[8]));
+    rec.mean_dvfs = std::stod(r[9]);
+    rec.violation = r[10] == "1";
+    out.push_back(rec);
+  }
+  return out;
+}
+
+void write_summary_csv(std::ostream& os,
+                       const std::vector<RunResult>& results) {
+  CsvWriter w(os);
+  w.write_header({"policy", "workload", "fan_level", "exec_time_s",
+                  "energy_j", "avg_power_w", "dynamic_w", "leakage_w",
+                  "tec_w", "fan_w", "peak_temp_k", "violation_frac",
+                  "avg_ips", "avg_dvfs", "edp", "completed"});
+  for (const auto& r : results) {
+    w.write_row({r.policy, r.workload, std::to_string(r.fan_level),
+                 format_double(r.exec_time_s, 9),
+                 format_double(r.energy_j, 9),
+                 format_double(r.avg_total_power_w(), 9),
+                 format_double(r.avg_power.dynamic_w, 9),
+                 format_double(r.avg_power.leakage_w, 9),
+                 format_double(r.avg_power.tec_w, 9),
+                 format_double(r.avg_power.fan_w, 9),
+                 format_double(r.peak_temp_k, 9),
+                 format_double(r.violation_frac, 9),
+                 format_double(r.avg_ips, 9), format_double(r.avg_dvfs, 9),
+                 format_double(r.edp(), 9), r.completed ? "1" : "0"});
+  }
+}
+
+}  // namespace tecfan::sim

@@ -1,0 +1,23 @@
+// CSV serialization of run traces — what the bench binaries emit so the
+// paper's figures can be re-plotted outside C++.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/metrics.h"
+
+namespace tecfan::sim {
+
+/// Write a run's interval trace as CSV (header + one row per interval).
+void write_trace_csv(std::ostream& os, const RunResult& result);
+
+/// Parse a trace written by write_trace_csv back into interval records
+/// (policy/workload and scalar summary fields are not round-tripped).
+std::vector<IntervalRecord> read_trace_csv(const std::string& text);
+
+/// Write a one-line-per-run summary CSV for a set of results.
+void write_summary_csv(std::ostream& os,
+                       const std::vector<RunResult>& results);
+
+}  // namespace tecfan::sim

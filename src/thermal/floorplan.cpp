@@ -1,0 +1,186 @@
+#include "thermal/floorplan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace tecfan::thermal {
+namespace {
+
+constexpr double kMm = 1e-3;
+constexpr double kTileW = 2.6 * kMm;
+constexpr double kTileH = 3.6 * kMm;
+
+struct LocalBlock {
+  ComponentKind kind;
+  double x, y, w, h;  // mm, tile-local
+};
+
+// Tile-local layout approximating Fig. 3: 13 logic blocks in the upper-left
+// 1.5 x 2.0 mm region, the VR column on the right (2.2 mm^2 per Sec. IV-A),
+// L1 caches, the private L2 and the router strip at the bottom.
+constexpr LocalBlock kTileLayout[kComponentsPerTile] = {
+    {ComponentKind::kFpMap, 0.00, 0.0, 0.50, 0.4},
+    {ComponentKind::kIntMap, 0.50, 0.0, 0.50, 0.4},
+    {ComponentKind::kIntQ, 1.00, 0.0, 0.50, 0.4},
+    {ComponentKind::kIntReg, 0.00, 0.4, 0.75, 0.4},
+    {ComponentKind::kIntExec, 0.75, 0.4, 0.75, 0.4},
+    {ComponentKind::kFpMul, 0.00, 0.8, 0.50, 0.4},
+    {ComponentKind::kFpReg, 0.50, 0.8, 0.50, 0.4},
+    {ComponentKind::kFpQ, 1.00, 0.8, 0.50, 0.4},
+    {ComponentKind::kFpAdd, 0.00, 1.2, 0.50, 0.4},
+    {ComponentKind::kLdStQ, 0.50, 1.2, 0.50, 0.4},
+    {ComponentKind::kItb, 1.00, 1.2, 0.50, 0.4},
+    {ComponentKind::kBpred, 0.00, 1.6, 0.75, 0.4},
+    {ComponentKind::kDtb, 0.75, 1.6, 0.75, 0.4},
+    {ComponentKind::kVoltReg, 1.50, 0.0, 1.10, 2.0},
+    {ComponentKind::kICache, 0.00, 2.0, 1.30, 0.5},
+    {ComponentKind::kDCache, 1.30, 2.0, 1.30, 0.5},
+    {ComponentKind::kL2, 0.00, 2.5, 2.60, 0.8},
+    {ComponentKind::kRouter, 0.00, 3.3, 2.60, 0.3},
+};
+
+}  // namespace
+
+const char* component_name(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kFpMap:
+      return "FPMap";
+    case ComponentKind::kIntMap:
+      return "IntMap";
+    case ComponentKind::kIntQ:
+      return "Int_Q";
+    case ComponentKind::kIntReg:
+      return "IntReg";
+    case ComponentKind::kIntExec:
+      return "IntExec";
+    case ComponentKind::kFpMul:
+      return "FPMul";
+    case ComponentKind::kFpReg:
+      return "FPReg";
+    case ComponentKind::kFpQ:
+      return "FP_Q";
+    case ComponentKind::kFpAdd:
+      return "FPAdd";
+    case ComponentKind::kLdStQ:
+      return "LdSt_Q";
+    case ComponentKind::kItb:
+      return "ITB";
+    case ComponentKind::kBpred:
+      return "Bpred";
+    case ComponentKind::kDtb:
+      return "DTB";
+    case ComponentKind::kVoltReg:
+      return "VR";
+    case ComponentKind::kICache:
+      return "i-cache";
+    case ComponentKind::kDCache:
+      return "d-cache";
+    case ComponentKind::kL2:
+      return "L2";
+    case ComponentKind::kRouter:
+      return "Router";
+  }
+  return "?";
+}
+
+bool is_logic_block(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kVoltReg:
+    case ComponentKind::kICache:
+    case ComponentKind::kDCache:
+    case ComponentKind::kL2:
+    case ComponentKind::kRouter:
+      return false;
+    default:
+      return true;
+  }
+}
+
+double intersection_area(const Rect& a, const Rect& b) {
+  const double w =
+      std::min(a.x1(), b.x1()) - std::max(a.x, b.x);
+  const double h =
+      std::min(a.y1(), b.y1()) - std::max(a.y, b.y);
+  if (w <= 0.0 || h <= 0.0) return 0.0;
+  return w * h;
+}
+
+double shared_edge_length(const Rect& a, const Rect& b) {
+  constexpr double kTol = 1e-9;
+  // Vertical shared edge: a's right touching b's left or vice versa.
+  if (std::abs(a.x1() - b.x) < kTol || std::abs(b.x1() - a.x) < kTol) {
+    const double overlap = std::min(a.y1(), b.y1()) - std::max(a.y, b.y);
+    if (overlap > kTol) return overlap;
+  }
+  // Horizontal shared edge.
+  if (std::abs(a.y1() - b.y) < kTol || std::abs(b.y1() - a.y) < kTol) {
+    const double overlap = std::min(a.x1(), b.x1()) - std::max(a.x, b.x);
+    if (overlap > kTol) return overlap;
+  }
+  return 0.0;
+}
+
+std::string Component::name() const {
+  return std::string(component_name(kind)) + "@c" + std::to_string(core);
+}
+
+Floorplan Floorplan::scc(int tiles_x, int tiles_y) {
+  TECFAN_REQUIRE(tiles_x > 0 && tiles_y > 0, "tile grid must be positive");
+  Floorplan fp;
+  fp.tiles_x_ = tiles_x;
+  fp.tiles_y_ = tiles_y;
+  fp.tile_w_ = kTileW;
+  fp.tile_h_ = kTileH;
+  fp.components_.reserve(static_cast<std::size_t>(tiles_x) * tiles_y *
+                         kComponentsPerTile);
+  for (int ty = 0; ty < tiles_y; ++ty) {
+    for (int tx = 0; tx < tiles_x; ++tx) {
+      const int core = ty * tiles_x + tx;
+      const double ox = tx * kTileW;
+      const double oy = ty * kTileH;
+      for (const LocalBlock& b : kTileLayout) {
+        Component c;
+        c.kind = b.kind;
+        c.core = core;
+        c.rect = {ox + b.x * kMm, oy + b.y * kMm, b.w * kMm, b.h * kMm};
+        fp.components_.push_back(c);
+      }
+    }
+  }
+  // Lateral adjacency across the whole chip, O(n^2) once at build time.
+  for (std::size_t i = 0; i < fp.components_.size(); ++i) {
+    for (std::size_t j = i + 1; j < fp.components_.size(); ++j) {
+      const double edge = shared_edge_length(fp.components_[i].rect,
+                                             fp.components_[j].rect);
+      if (edge > 0.0) fp.adjacency_.push_back({i, j, edge});
+    }
+  }
+  return fp;
+}
+
+std::size_t Floorplan::index_of(int core, ComponentKind kind) const {
+  TECFAN_REQUIRE(core >= 0 && core < core_count(), "core out of range");
+  return static_cast<std::size_t>(core) * kComponentsPerTile +
+         static_cast<std::size_t>(kind);
+}
+
+std::vector<std::size_t> Floorplan::components_of_core(int core) const {
+  TECFAN_REQUIRE(core >= 0 && core < core_count(), "core out of range");
+  std::vector<std::size_t> idx(kComponentsPerTile);
+  for (int k = 0; k < kComponentsPerTile; ++k)
+    idx[static_cast<std::size_t>(k)] =
+        static_cast<std::size_t>(core) * kComponentsPerTile +
+        static_cast<std::size_t>(k);
+  return idx;
+}
+
+Rect Floorplan::tile_rect(int core) const {
+  TECFAN_REQUIRE(core >= 0 && core < core_count(), "core out of range");
+  const int tx = core % tiles_x_;
+  const int ty = core / tiles_x_;
+  return {tx * tile_w_, ty * tile_h_, tile_w_, tile_h_};
+}
+
+}  // namespace tecfan::thermal

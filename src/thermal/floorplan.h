@@ -1,0 +1,120 @@
+// Chip floorplan: an Intel-SCC-like tile array with Alpha-21264-style
+// component placement (Fig. 3 of the paper).
+//
+// The chip is a tiles_x x tiles_y array of identical core tiles
+// (2.6 mm x 3.6 mm each; 10.4 mm x 14.4 mm for the 4x4 default). Each tile
+// holds 18 components: 13 logic blocks in the upper-left region, an on-chip
+// voltage regulator column, L1 i/d caches, a private L2, and a NoC router.
+// All coordinates are metres, chip-global, with y growing downwards.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tecfan::thermal {
+
+/// The 18 per-tile component kinds, in tile-local index order.
+enum class ComponentKind : int {
+  kFpMap = 0,
+  kIntMap,
+  kIntQ,
+  kIntReg,
+  kIntExec,
+  kFpMul,
+  kFpReg,
+  kFpQ,
+  kFpAdd,
+  kLdStQ,
+  kItb,
+  kBpred,
+  kDtb,
+  kVoltReg,
+  kICache,
+  kDCache,
+  kL2,
+  kRouter,
+};
+
+inline constexpr int kComponentsPerTile = 18;
+
+/// Human-readable component name ("FPMul", "L2", ...).
+const char* component_name(ComponentKind kind);
+
+/// True for the 13 out-of-order logic blocks (the region the TEC array
+/// covers); false for VR, caches, L2, and router.
+bool is_logic_block(ComponentKind kind);
+
+/// Axis-aligned rectangle in metres.
+struct Rect {
+  double x = 0.0;
+  double y = 0.0;
+  double w = 0.0;
+  double h = 0.0;
+
+  double area() const { return w * h; }
+  double x1() const { return x + w; }
+  double y1() const { return y + h; }
+};
+
+/// Area of the intersection of two rectangles (0 when disjoint).
+double intersection_area(const Rect& a, const Rect& b);
+
+/// Length of the shared edge between two non-overlapping rectangles
+/// (0 when they only touch at a corner or are apart).
+double shared_edge_length(const Rect& a, const Rect& b);
+
+struct Component {
+  ComponentKind kind;
+  int core = -1;  // owning tile index, row-major
+  Rect rect;      // chip-global, metres
+
+  std::string name() const;
+};
+
+class Floorplan {
+ public:
+  /// Build the SCC-style floorplan: tiles_x x tiles_y tiles of 18 components.
+  static Floorplan scc(int tiles_x = 4, int tiles_y = 4);
+
+  int tiles_x() const { return tiles_x_; }
+  int tiles_y() const { return tiles_y_; }
+  int core_count() const { return tiles_x_ * tiles_y_; }
+  double tile_width() const { return tile_w_; }
+  double tile_height() const { return tile_h_; }
+  double chip_width() const { return tile_w_ * tiles_x_; }
+  double chip_height() const { return tile_h_ * tiles_y_; }
+  double chip_area() const { return chip_width() * chip_height(); }
+
+  std::size_t component_count() const { return components_.size(); }
+  const Component& component(std::size_t i) const { return components_[i]; }
+  const std::vector<Component>& components() const { return components_; }
+
+  /// Global component index for (core, kind).
+  std::size_t index_of(int core, ComponentKind kind) const;
+
+  /// Component indices belonging to one core tile (18 of them).
+  std::vector<std::size_t> components_of_core(int core) const;
+
+  /// Tile-local origin of a core tile.
+  Rect tile_rect(int core) const;
+
+  /// Pairs (i, j, shared_edge_length) for laterally adjacent components,
+  /// i < j, across the whole chip (tile borders included).
+  struct Adjacency {
+    std::size_t a;
+    std::size_t b;
+    double edge_m;
+  };
+  const std::vector<Adjacency>& adjacency() const { return adjacency_; }
+
+ private:
+  int tiles_x_ = 0;
+  int tiles_y_ = 0;
+  double tile_w_ = 0.0;
+  double tile_h_ = 0.0;
+  std::vector<Component> components_;
+  std::vector<Adjacency> adjacency_;
+};
+
+}  // namespace tecfan::thermal

@@ -1,0 +1,185 @@
+#include "thermal/grid_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace tecfan::thermal {
+
+Rect GridThermalModel::cell_rect(int c, int r) const {
+  const double w = floorplan_.chip_width() / cols_;
+  const double h = floorplan_.chip_height() / rows_;
+  return {c * w, r * h, w, h};
+}
+
+GridThermalModel::GridThermalModel(Floorplan floorplan,
+                                   PackageParameters package, int cols,
+                                   int rows)
+    : floorplan_(std::move(floorplan)),
+      package_(package),
+      cols_(cols),
+      rows_(rows) {
+  TECFAN_REQUIRE(cols > 0 && rows > 0, "grid dims must be positive");
+
+  const double t_die = package_.die_thickness_m;
+  const double k_si = package_.silicon_k_w_per_mk;
+  const double cell_w = floorplan_.chip_width() / cols_;
+  const double cell_h = floorplan_.chip_height() / rows_;
+  const double cell_area = cell_w * cell_h;
+  const int n_tiles = floorplan_.core_count();
+
+  linalg::SparseBuilder builder(node_count(), node_count());
+
+  // Lateral conduction between neighbouring cells.
+  const double g_x = k_si * t_die * cell_h / cell_w;
+  const double g_y = k_si * t_die * cell_w / cell_h;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      if (c + 1 < cols_)
+        builder.add_conductance(cell_index(c, r), cell_index(c + 1, r), g_x);
+      if (r + 1 < rows_)
+        builder.add_conductance(cell_index(c, r), cell_index(c, r + 1), g_y);
+    }
+  }
+
+  // Vertical path per cell: silicon half thickness in series with the TIM,
+  // into the owning tile's spreader node.
+  const double g_si = k_si * cell_area / (t_die / 2.0);
+  const double g_tim =
+      package_.tim_k_w_per_mk * cell_area / package_.tim_thickness_m;
+  const double g_vert = g_si * g_tim / (g_si + g_tim);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      const Rect rect = cell_rect(c, r);
+      const double cx = rect.x + rect.w / 2;
+      const double cy = rect.y + rect.h / 2;
+      const int tx = std::min(floorplan_.tiles_x() - 1,
+                              static_cast<int>(cx / floorplan_.tile_width()));
+      const int ty = std::min(
+          floorplan_.tiles_y() - 1,
+          static_cast<int>(cy / floorplan_.tile_height()));
+      const int tile = ty * floorplan_.tiles_x() + tx;
+      builder.add_conductance(cell_index(c, r), spreader_node(tile), g_vert);
+    }
+  }
+
+  // Spreader lateral / spreader->sink / sink lateral / fixed convection —
+  // identical topology and parameters to the block model's package layers.
+  const double t_spr = package_.spreader_thickness_m;
+  const double k_spr = package_.spreader_k_w_per_mk;
+  const double scale = package_.spreader_lateral_scale;
+  const int tx_n = floorplan_.tiles_x();
+  const int ty_n = floorplan_.tiles_y();
+  for (int r = 0; r < ty_n; ++r) {
+    for (int c = 0; c < tx_n; ++c) {
+      const int tile = r * tx_n + c;
+      if (c + 1 < tx_n) {
+        builder.add_conductance(
+            spreader_node(tile), spreader_node(tile + 1),
+            scale * k_spr * t_spr * floorplan_.tile_height() /
+                floorplan_.tile_width());
+        builder.add_conductance(sink_node(tile), sink_node(tile + 1),
+                                package_.sink_lateral_g_w_per_k);
+      }
+      if (r + 1 < ty_n) {
+        builder.add_conductance(
+            spreader_node(tile), spreader_node(tile + tx_n),
+            scale * k_spr * t_spr * floorplan_.tile_width() /
+                floorplan_.tile_height());
+        builder.add_conductance(sink_node(tile), sink_node(tile + tx_n),
+                                package_.sink_lateral_g_w_per_k);
+      }
+    }
+  }
+  for (int tile = 0; tile < n_tiles; ++tile) {
+    builder.add_conductance(spreader_node(tile), sink_node(tile),
+                            package_.spreader_to_sink_g_w_per_k);
+    builder.add_to_diagonal(sink_node(tile),
+                            package_.convection_fixed_g_w_per_k / n_tiles);
+  }
+  g_ = builder.build();
+
+  // Component -> cell overlap fractions.
+  comp_cells_.resize(floorplan_.component_count());
+  for (std::size_t i = 0; i < floorplan_.component_count(); ++i) {
+    const Rect& rect = floorplan_.component(i).rect;
+    const int c0 = std::max(0, static_cast<int>(rect.x / cell_w));
+    const int c1 =
+        std::min(cols_ - 1, static_cast<int>(rect.x1() / cell_w));
+    const int r0 = std::max(0, static_cast<int>(rect.y / cell_h));
+    const int r1 =
+        std::min(rows_ - 1, static_cast<int>(rect.y1() / cell_h));
+    for (int r = r0; r <= r1; ++r) {
+      for (int c = c0; c <= c1; ++c) {
+        const double ov = intersection_area(rect, cell_rect(c, r));
+        if (ov > 0.0)
+          comp_cells_[i].push_back({cell_index(c, r), ov / rect.area()});
+      }
+    }
+    TECFAN_ASSERT(!comp_cells_[i].empty(), "component covers no cell");
+  }
+}
+
+linalg::Vector GridThermalModel::steady(std::span<const double> comp_power_w,
+                                        double airflow_cfm) const {
+  TECFAN_REQUIRE(comp_power_w.size() == floorplan_.component_count(),
+                 "component power size mismatch");
+  // Assemble G with the airflow convection delta on the sink diagonals.
+  linalg::SparseBuilder builder(node_count(), node_count());
+  for (std::size_t r = 0; r < g_.rows(); ++r)
+    for (std::size_t k = g_.row_offsets()[r]; k < g_.row_offsets()[r + 1];
+         ++k)
+      builder.add(r, g_.col_indices()[k], g_.values()[k]);
+  const int n_tiles = floorplan_.core_count();
+  const double extra = (package_.convection_g_total(airflow_cfm) -
+                        package_.convection_fixed_g_w_per_k) /
+                       n_tiles;
+  for (int tile = 0; tile < n_tiles; ++tile)
+    builder.add_to_diagonal(sink_node(tile), extra);
+  const linalg::SparseMatrix a = builder.build();
+
+  linalg::Vector q(node_count(), 0.0);
+  for (std::size_t i = 0; i < floorplan_.component_count(); ++i)
+    for (const auto& [cell, frac] : comp_cells_[i])
+      q[cell] += comp_power_w[i] * frac;
+  const double g_conv_per_tile =
+      package_.convection_g_total(airflow_cfm) / n_tiles;
+  for (int tile = 0; tile < n_tiles; ++tile)
+    q[sink_node(tile)] += g_conv_per_tile * package_.ambient_k;
+
+  linalg::IterativeOptions opts;
+  opts.max_iterations = 20000;
+  opts.tolerance = 1e-10;
+  const linalg::IterativeResult res = linalg::conjugate_gradient(a, q, opts);
+  TECFAN_ASSERT(res.converged, "grid CG failed to converge");
+  return res.x;
+}
+
+linalg::Vector GridThermalModel::component_temps(
+    std::span<const double> node_temps) const {
+  TECFAN_REQUIRE(node_temps.size() == node_count(),
+                 "node temps size mismatch");
+  linalg::Vector out(floorplan_.component_count(), 0.0);
+  for (std::size_t i = 0; i < floorplan_.component_count(); ++i) {
+    double t = 0.0, w = 0.0;
+    for (const auto& [cell, frac] : comp_cells_[i]) {
+      t += node_temps[cell] * frac;
+      w += frac;
+    }
+    out[i] = t / w;
+  }
+  return out;
+}
+
+double GridThermalModel::peak_die_temp(
+    std::span<const double> node_temps) const {
+  TECFAN_REQUIRE(node_temps.size() == node_count(),
+                 "node temps size mismatch");
+  double peak = 0.0;
+  for (std::size_t i = 0; i < cell_count(); ++i)
+    peak = std::max(peak, node_temps[i]);
+  return peak;
+}
+
+}  // namespace tecfan::thermal

@@ -1,0 +1,74 @@
+// Uniform-grid RC discretization of the die — the cross-validation model.
+//
+// HotSpot offers both a block (per-component) model and a fine grid model;
+// our runtime stack uses the block form (thermal/network.h). This module
+// provides the grid form for the same package so the block model's spatial
+// accuracy can be validated: the die is discretized into cols x rows cells
+// with lateral silicon conduction and a vertical silicon+TIM path into the
+// per-tile spreader/sink column (TECs passive; validation happens in the
+// all-off state). The steady system is SPD and solved with conjugate
+// gradients on the CSR form — the large-system path of linalg/iterative.h.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "linalg/iterative.h"
+#include "thermal/floorplan.h"
+#include "thermal/package.h"
+
+namespace tecfan::thermal {
+
+class GridThermalModel {
+ public:
+  GridThermalModel(Floorplan floorplan, PackageParameters package, int cols,
+                   int rows);
+
+  int cols() const { return cols_; }
+  int rows() const { return rows_; }
+  std::size_t cell_count() const {
+    return static_cast<std::size_t>(cols_) * static_cast<std::size_t>(rows_);
+  }
+  std::size_t node_count() const {
+    return cell_count() + 2 * static_cast<std::size_t>(
+                                  floorplan_.core_count());
+  }
+
+  const Floorplan& floorplan() const { return floorplan_; }
+
+  /// Steady node temperatures for per-component powers (distributed onto
+  /// cells by area overlap) at a given airflow.
+  linalg::Vector steady(std::span<const double> comp_power_w,
+                        double airflow_cfm) const;
+
+  /// Area-weighted average temperature of each floorplan component, sampled
+  /// from a grid solution.
+  linalg::Vector component_temps(std::span<const double> node_temps) const;
+
+  /// Peak die-cell temperature of a solution.
+  double peak_die_temp(std::span<const double> node_temps) const;
+
+ private:
+  std::size_t cell_index(int c, int r) const {
+    return static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+           static_cast<std::size_t>(c);
+  }
+  std::size_t spreader_node(int tile) const {
+    return cell_count() + static_cast<std::size_t>(tile);
+  }
+  std::size_t sink_node(int tile) const {
+    return cell_count() + static_cast<std::size_t>(floorplan_.core_count()) +
+           static_cast<std::size_t>(tile);
+  }
+  Rect cell_rect(int c, int r) const;
+
+  Floorplan floorplan_;
+  PackageParameters package_;
+  int cols_;
+  int rows_;
+  linalg::SparseMatrix g_;  // base conductance (no airflow term)
+  // Per-component cell overlaps: (cell, fraction of component area).
+  std::vector<std::vector<std::pair<std::size_t, double>>> comp_cells_;
+};
+
+}  // namespace tecfan::thermal

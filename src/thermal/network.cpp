@@ -1,0 +1,273 @@
+#include "thermal/network.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace tecfan::thermal {
+namespace {
+
+/// Series combination of two conductances (0 if either path is absent).
+double series_g(double a, double b) {
+  if (a <= 0.0 || b <= 0.0) return 0.0;
+  return a * b / (a + b);
+}
+
+double center_distance(const Rect& a, const Rect& b) {
+  const double dx = (a.x + a.w / 2) - (b.x + b.w / 2);
+  const double dy = (a.y + a.h / 2) - (b.y + b.h / 2);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+ChipThermalModel::ChipThermalModel(Floorplan floorplan,
+                                   PackageParameters package,
+                                   TecParameters tec)
+    : floorplan_(std::move(floorplan)),
+      package_(package),
+      tec_(tec) {
+  tec_count_ = static_cast<std::size_t>(floorplan_.core_count()) *
+               static_cast<std::size_t>(tec_.devices_per_tile());
+  node_count_ = component_count() + 2 * tec_count_ + 2 * tile_count();
+  build();
+}
+
+int ChipThermalModel::tec_tile(std::size_t t) const {
+  TECFAN_REQUIRE(t < tec_count_, "TEC index out of range");
+  return static_cast<int>(t / static_cast<std::size_t>(
+                                  tec_.devices_per_tile()));
+}
+
+std::size_t ChipThermalModel::tec_base_of_tile(int tile) const {
+  TECFAN_REQUIRE(tile >= 0 && tile < floorplan_.core_count(),
+                 "tile out of range");
+  return static_cast<std::size_t>(tile) *
+         static_cast<std::size_t>(tec_.devices_per_tile());
+}
+
+const std::vector<std::pair<std::size_t, double>>&
+ChipThermalModel::tec_footprint(std::size_t t) const {
+  TECFAN_REQUIRE(t < tec_count_, "TEC index out of range");
+  return footprints_[t];
+}
+
+const std::vector<std::size_t>& ChipThermalModel::tecs_over(
+    std::size_t comp) const {
+  TECFAN_REQUIRE(comp < component_count(), "component index out of range");
+  return tecs_over_comp_[comp];
+}
+
+void ChipThermalModel::build() {
+  const std::size_t n_comp = component_count();
+  const std::size_t n_tiles = tile_count();
+  const double t_die = package_.die_thickness_m;
+  const double k_si = package_.silicon_k_w_per_mk;
+  const double t_tim = package_.tim_thickness_m;
+  const double k_tim = package_.tim_k_w_per_mk;
+
+  // TEC footprints: overlap of each device rect with the die components.
+  footprints_.assign(tec_count_, {});
+  tecs_over_comp_.assign(n_comp, {});
+  std::vector<double> covered_area(n_comp, 0.0);
+  for (std::size_t t = 0; t < tec_count_; ++t) {
+    const int tile = tec_tile(t);
+    const int local = static_cast<int>(
+        t - tec_base_of_tile(tile));
+    const Rect dev = tec_.device_rect(floorplan_.tile_rect(tile), local);
+    for (std::size_t c : floorplan_.components_of_core(tile)) {
+      const double a = intersection_area(dev, floorplan_.component(c).rect);
+      if (a <= 0.0) continue;
+      footprints_[t].push_back({c, a});
+      tecs_over_comp_[c].push_back(t);
+      covered_area[c] += a;
+    }
+  }
+
+  linalg::SparseBuilder builder(node_count_, node_count_);
+
+  // 1. Die lateral conduction between adjacent components.
+  for (const auto& adj : floorplan_.adjacency()) {
+    const Rect& ra = floorplan_.component(adj.a).rect;
+    const Rect& rb = floorplan_.component(adj.b).rect;
+    const double dist = center_distance(ra, rb);
+    if (dist <= 0.0) continue;
+    const double g = k_si * t_die * adj.edge_m / dist;
+    builder.add_conductance(adj.a, adj.b, g);
+  }
+
+  // 2. Die -> TEC cold faces (silicon half-thickness over the overlap).
+  for (std::size_t t = 0; t < tec_count_; ++t) {
+    for (const auto& [c, area] : footprints_[t]) {
+      const double g = k_si * area / (t_die / 2.0);
+      builder.add_conductance(die_node(c), tec_cold_node(t), g);
+    }
+  }
+
+  // 3. Die -> spreader direct path over the TEC-free area of each component
+  //    (silicon half-thickness in series with the TIM).
+  for (std::size_t c = 0; c < n_comp; ++c) {
+    const double area =
+        floorplan_.component(c).rect.area() - covered_area[c];
+    TECFAN_ASSERT(area >= -1e-12, "TEC coverage exceeds component area");
+    if (area <= 0.0) continue;
+    const double g_si = k_si * area / (t_die / 2.0);
+    const double g_tim = k_tim * area / t_tim;
+    const std::size_t spr =
+        spreader_node(static_cast<std::size_t>(floorplan_.component(c).core));
+    builder.add_conductance(die_node(c), spr, series_g(g_si, g_tim));
+  }
+
+  // 4. TEC internal conduction (cold <-> hot) and hot face -> spreader.
+  const double g_hot_spr = tec_.hot_contact_g_w_per_k;
+  for (std::size_t t = 0; t < tec_count_; ++t) {
+    builder.add_conductance(tec_cold_node(t), tec_hot_node(t),
+                            tec_.conductance_w_per_k);
+    const std::size_t spr = spreader_node(
+        static_cast<std::size_t>(tec_tile(t)));
+    builder.add_conductance(tec_hot_node(t), spr, g_hot_spr);
+  }
+
+  // 5. Spreader lateral conduction between adjacent tile columns.
+  const double tile_w = floorplan_.tile_width();
+  const double tile_h = floorplan_.tile_height();
+  const int tx = floorplan_.tiles_x();
+  const int ty = floorplan_.tiles_y();
+  const double t_spr = package_.spreader_thickness_m;
+  const double k_spr = package_.spreader_k_w_per_mk;
+  const double scale = package_.spreader_lateral_scale;
+  for (int r = 0; r < ty; ++r) {
+    for (int c = 0; c < tx; ++c) {
+      const std::size_t tile = static_cast<std::size_t>(r * tx + c);
+      if (c + 1 < tx) {
+        const double g = scale * k_spr * t_spr * tile_h / tile_w;
+        builder.add_conductance(spreader_node(tile), spreader_node(tile + 1),
+                                g);
+        builder.add_conductance(
+            sink_node(tile), sink_node(tile + 1),
+            package_.sink_lateral_g_w_per_k);
+      }
+      if (r + 1 < ty) {
+        const std::size_t below = tile + static_cast<std::size_t>(tx);
+        const double g = scale * k_spr * t_spr * tile_w / tile_h;
+        builder.add_conductance(spreader_node(tile), spreader_node(below), g);
+        builder.add_conductance(sink_node(tile), sink_node(below),
+                                package_.sink_lateral_g_w_per_k);
+      }
+    }
+  }
+
+  // 6. Spreader -> sink, and the fixed part of sink -> ambient convection.
+  const double g_conv_fixed =
+      package_.convection_fixed_g_w_per_k / static_cast<double>(n_tiles);
+  for (std::size_t tile = 0; tile < n_tiles; ++tile) {
+    builder.add_conductance(spreader_node(tile), sink_node(tile),
+                            package_.spreader_to_sink_g_w_per_k);
+    builder.add_to_diagonal(sink_node(tile), g_conv_fixed);
+  }
+
+  g0_ = builder.build();
+
+  // Capacitances.
+  capacitance_.assign(node_count_, 0.0);
+  for (std::size_t c = 0; c < n_comp; ++c) {
+    capacitance_[die_node(c)] =
+        package_.silicon_c_j_per_m3k * floorplan_.component(c).rect.area() *
+        t_die;
+  }
+  for (std::size_t t = 0; t < tec_count_; ++t) {
+    capacitance_[tec_cold_node(t)] = tec_.face_capacitance_j_per_k;
+    capacitance_[tec_hot_node(t)] = tec_.face_capacitance_j_per_k;
+  }
+  const double tile_area = tile_w * tile_h;
+  for (std::size_t tile = 0; tile < n_tiles; ++tile) {
+    capacitance_[spreader_node(tile)] = package_.spreader_c_j_per_m3k *
+                                        tile_area * t_spr *
+                                        package_.spreader_area_scale;
+    capacitance_[sink_node(tile)] =
+        package_.sink_capacitance_total_j_per_k /
+        static_cast<double>(n_tiles);
+  }
+
+  // Per-node time constants from the base matrix diagonal.
+  tau_.assign(node_count_, 0.0);
+  const linalg::Vector diag = g0_.diagonal();
+  for (std::size_t i = 0; i < node_count_; ++i) {
+    TECFAN_ASSERT(diag[i] > 0.0, "isolated thermal node");
+    tau_[i] = capacitance_[i] / diag[i];
+  }
+}
+
+std::vector<std::pair<std::size_t, double>>
+ChipThermalModel::diagonal_updates(const CoolingState& state) const {
+  TECFAN_REQUIRE(state.tec_on.size() == tec_count_,
+                 "cooling state TEC vector size mismatch");
+  std::vector<std::pair<std::size_t, double>> updates;
+  const double pump = tec_.pumping_w_per_k();
+  for (std::size_t t = 0; t < tec_count_; ++t) {
+    if (!state.tec_on[t]) continue;
+    updates.emplace_back(tec_cold_node(t), +pump);
+    updates.emplace_back(tec_hot_node(t), -pump);
+  }
+  if (state.airflow_cfm > 0.0) {
+    const double extra =
+        (package_.convection_g_total(state.airflow_cfm) -
+         package_.convection_fixed_g_w_per_k) /
+        static_cast<double>(tile_count());
+    for (std::size_t tile = 0; tile < tile_count(); ++tile)
+      updates.emplace_back(sink_node(tile), extra);
+  }
+  return updates;
+}
+
+linalg::Vector ChipThermalModel::assemble_rhs(
+    std::span<const double> comp_power_w, const CoolingState& state) const {
+  TECFAN_REQUIRE(comp_power_w.size() == component_count(),
+                 "component power vector size mismatch");
+  TECFAN_REQUIRE(state.tec_on.size() == tec_count_,
+                 "cooling state TEC vector size mismatch");
+  linalg::Vector q(node_count_, 0.0);
+  for (std::size_t c = 0; c < component_count(); ++c)
+    q[die_node(c)] = comp_power_w[c];
+  const double joule = tec_.joule_per_face_w();
+  for (std::size_t t = 0; t < tec_count_; ++t) {
+    if (!state.tec_on[t]) continue;
+    q[tec_cold_node(t)] += joule;
+    q[tec_hot_node(t)] += joule;
+  }
+  const double g_conv_per_tile =
+      package_.convection_g_total(state.airflow_cfm) /
+      static_cast<double>(tile_count());
+  for (std::size_t tile = 0; tile < tile_count(); ++tile)
+    q[sink_node(tile)] += g_conv_per_tile * package_.ambient_k;
+  return q;
+}
+
+double ChipThermalModel::tec_electrical_power(std::span<const double> temps,
+                                              std::size_t t, bool on) const {
+  TECFAN_REQUIRE(temps.size() == node_count_, "temps vector size mismatch");
+  TECFAN_REQUIRE(t < tec_count_, "TEC index out of range");
+  if (!on) return 0.0;
+  const double dtheta = temps[tec_hot_node(t)] - temps[tec_cold_node(t)];
+  return tec_.electrical_power_w(dtheta);
+}
+
+double ChipThermalModel::total_tec_power(std::span<const double> temps,
+                                         const CoolingState& state) const {
+  TECFAN_REQUIRE(state.tec_on.size() == tec_count_,
+                 "cooling state TEC vector size mismatch");
+  double total = 0.0;
+  for (std::size_t t = 0; t < tec_count_; ++t)
+    if (state.tec_on[t])
+      total += tec_electrical_power(temps, t, /*on=*/true);
+  return total;
+}
+
+CoolingState ChipThermalModel::make_cooling_state(double airflow_cfm) const {
+  CoolingState s;
+  s.tec_on.assign(tec_count_, 0);
+  s.airflow_cfm = airflow_cfm;
+  return s;
+}
+
+}  // namespace tecfan::thermal

@@ -1,0 +1,132 @@
+// Full-chip RC thermal network (the HotSpot-equivalent substrate).
+//
+// Node layout (N = #components, T = #TEC devices, K = #tiles):
+//   [0, N)                 die nodes, one per floorplan component
+//   [N, N+T)               TEC cold faces (die side)
+//   [N+T, N+2T)            TEC hot faces (spreader side)
+//   [N+2T, N+2T+K)         heat-spreader nodes, one per tile column
+//   [N+2T+K, N+2T+2K)      heat-sink nodes, one per tile column
+//
+// The *base* conductance matrix G0 has every TEC passive and zero fan
+// airflow; every runtime knob is a pure diagonal perturbation of G0
+// (Peltier terms +-alpha*I on the TEC faces, added convection on the sink
+// nodes), which is what lets the solvers reuse one factorization through
+// the Woodbury identity (see linalg/woodbury.h).
+//
+// Heat balance sign convention: G*T = q, where q collects component power,
+// TEC Joule heating, and convection injection g_conv * T_ambient. All
+// temperatures are kelvin.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "linalg/sparse.h"
+#include "thermal/floorplan.h"
+#include "thermal/package.h"
+#include "thermal/tec_device.h"
+
+namespace tecfan::thermal {
+
+/// The cooling knobs as the thermal layer sees them. (The mapping from fan
+/// speed level to airflow lives in src/power/fan.h.)
+struct CoolingState {
+  std::vector<std::uint8_t> tec_on;  // per device; size == tec_count()
+  double airflow_cfm = 0.0;
+
+  bool operator==(const CoolingState&) const = default;
+};
+
+class ChipThermalModel {
+ public:
+  ChipThermalModel(Floorplan floorplan, PackageParameters package,
+                   TecParameters tec);
+
+  const Floorplan& floorplan() const { return floorplan_; }
+  const PackageParameters& package() const { return package_; }
+  const TecParameters& tec() const { return tec_; }
+
+  std::size_t component_count() const {
+    return floorplan_.component_count();
+  }
+  std::size_t tec_count() const { return tec_count_; }
+  std::size_t tile_count() const {
+    return static_cast<std::size_t>(floorplan_.core_count());
+  }
+  std::size_t node_count() const { return node_count_; }
+
+  std::size_t die_node(std::size_t comp) const { return comp; }
+  std::size_t tec_cold_node(std::size_t t) const {
+    return component_count() + t;
+  }
+  std::size_t tec_hot_node(std::size_t t) const {
+    return component_count() + tec_count_ + t;
+  }
+  std::size_t spreader_node(std::size_t tile) const {
+    return component_count() + 2 * tec_count_ + tile;
+  }
+  std::size_t sink_node(std::size_t tile) const {
+    return component_count() + 2 * tec_count_ + tile_count() + tile;
+  }
+
+  /// Tile owning TEC device t.
+  int tec_tile(std::size_t t) const;
+  /// First TEC device index of a tile.
+  std::size_t tec_base_of_tile(int tile) const;
+  /// (component, overlap area m^2) pairs under TEC device t.
+  const std::vector<std::pair<std::size_t, double>>& tec_footprint(
+      std::size_t t) const;
+  /// TEC devices overlapping component c (empty for uncovered components).
+  const std::vector<std::size_t>& tecs_over(std::size_t comp) const;
+
+  /// Base conductance matrix (TECs passive, zero airflow).
+  const linalg::SparseMatrix& base_conductance() const { return g0_; }
+
+  /// Per-node heat capacitance [J/K].
+  const std::vector<double>& capacitance() const { return capacitance_; }
+
+  /// Per-node RC time constant C_i / G0_ii [s] — the tau used by the
+  /// Eq. (5) exponential interpolation.
+  const std::vector<double>& node_tau() const { return tau_; }
+
+  /// Diagonal deltas of G for a cooling state (relative to the base).
+  std::vector<std::pair<std::size_t, double>> diagonal_updates(
+      const CoolingState& state) const;
+
+  /// Heat injection vector q for per-component powers and a cooling state.
+  linalg::Vector assemble_rhs(std::span<const double> comp_power_w,
+                              const CoolingState& state) const;
+
+  /// Electrical power drawn by TEC device t under node temperatures `temps`
+  /// (Eq. 9); zero when the device is off.
+  double tec_electrical_power(std::span<const double> temps, std::size_t t,
+                              bool on) const;
+
+  /// Sum of Eq. (9) over all active devices.
+  double total_tec_power(std::span<const double> temps,
+                         const CoolingState& state) const;
+
+  double ambient_k() const { return package_.ambient_k; }
+
+  /// An all-off cooling state of the right size.
+  CoolingState make_cooling_state(double airflow_cfm = 0.0) const;
+
+ private:
+  void build();
+
+  Floorplan floorplan_;
+  PackageParameters package_;
+  TecParameters tec_;
+  std::size_t tec_count_ = 0;
+  std::size_t node_count_ = 0;
+  linalg::SparseMatrix g0_;
+  std::vector<double> capacitance_;
+  std::vector<double> tau_;
+  std::vector<std::vector<std::pair<std::size_t, double>>> footprints_;
+  std::vector<std::vector<std::size_t>> tecs_over_comp_;
+};
+
+}  // namespace tecfan::thermal

@@ -1,0 +1,15 @@
+#include "thermal/package.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace tecfan::thermal {
+
+double PackageParameters::convection_g_total(double airflow_cfm) const {
+  TECFAN_REQUIRE(airflow_cfm >= 0.0, "airflow must be non-negative");
+  return convection_fixed_g_w_per_k +
+         convection_cfm_coeff * std::pow(airflow_cfm, convection_exponent);
+}
+
+}  // namespace tecfan::thermal

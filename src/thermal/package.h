@@ -1,0 +1,56 @@
+// Package stack parameters: die, TIM, heat spreader, heat sink, and the
+// fan-driven convection boundary.
+//
+// Convection follows the standard forced-convection law: the sink-to-ambient
+// conductance is G = G_fixed + c * CFM^0.8, where the fixed term models
+// natural convection/case losses and the airflow term the fan. The fan speed
+// table itself (RPM/CFM/W per level) lives in src/power/fan.h; the thermal
+// layer only consumes an airflow value, keeping the dependency one-way.
+#pragma once
+
+namespace tecfan::thermal {
+
+struct PackageParameters {
+  // Die.
+  double die_thickness_m = 0.2e-3;
+  double silicon_k_w_per_mk = 120.0;
+  double silicon_c_j_per_m3k = 1.75e6;
+
+  // Thermal interface material (the layer the TECs are embedded in).
+  double tim_thickness_m = 20e-6;
+  double tim_k_w_per_mk = 2.2;
+  double tim_c_j_per_m3k = 2.0e6;
+
+  // Copper heat spreader. The spreader overhangs the die; area_scale
+  // multiplies per-tile capacitance and spreader->sink conductance to
+  // account for the overhang without modelling extra nodes.
+  double spreader_thickness_m = 2e-3;
+  double spreader_k_w_per_mk = 400.0;
+  double spreader_c_j_per_m3k = 3.55e6;
+  double spreader_area_scale = 2.5;
+  /// Lateral spreading multiplier (decoupled from the capacitance overhang
+  /// scale; calibrated against the 4-thread Table I hot-cluster cases).
+  double spreader_lateral_scale = 0.35;
+
+  // Spreader -> sink base contact + fin conduction, per tile column.
+  double spreader_to_sink_g_w_per_k = 2.5;
+
+  // Heat sink. Total capacitance follows the paper's "hundreds of J/K";
+  // with the convection below this yields the 15-30 s sink time constant
+  // of [4].
+  double sink_capacitance_total_j_per_k = 200.0;
+  double sink_lateral_g_w_per_k = 0.35;
+
+  // Convection to ambient, chip totals: G = fixed + coeff * CFM^exponent.
+  double convection_fixed_g_w_per_k = 3.2;
+  double convection_cfm_coeff = 0.0756;
+  double convection_exponent = 0.8;
+
+  // Ambient (inside-case) temperature.
+  double ambient_k = 318.15;  // 45 C
+
+  /// Total sink->ambient conductance at a given airflow [W/K].
+  double convection_g_total(double airflow_cfm) const;
+};
+
+}  // namespace tecfan::thermal

@@ -1,0 +1,102 @@
+#include "thermal/solvers.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace tecfan::thermal {
+namespace {
+
+std::shared_ptr<const linalg::LuFactorization> factor_base_g(
+    const ChipThermalModel& model) {
+  return std::make_shared<linalg::LuFactorization>(
+      model.base_conductance().to_dense());
+}
+
+std::shared_ptr<const linalg::LuFactorization> factor_base_transient(
+    const ChipThermalModel& model, double dt) {
+  linalg::DenseMatrix a = model.base_conductance().to_dense();
+  const auto& c = model.capacitance();
+  for (std::size_t i = 0; i < a.rows(); ++i) a(i, i) += c[i] / dt;
+  return std::make_shared<linalg::LuFactorization>(std::move(a));
+}
+
+}  // namespace
+
+SteadyStateSolver::SteadyStateSolver(
+    std::shared_ptr<const ChipThermalModel> model)
+    : model_(std::move(model)) {
+  TECFAN_REQUIRE(model_ != nullptr, "SteadyStateSolver requires a model");
+  updater_ = linalg::DiagonalUpdateSolver(factor_base_g(*model_));
+}
+
+void SteadyStateSolver::refresh_updates(const CoolingState& state) {
+  if (state_cached_ && state == cached_state_) return;
+  updater_.set_updates(model_->diagonal_updates(state));
+  cached_state_ = state;
+  state_cached_ = true;
+}
+
+linalg::Vector SteadyStateSolver::solve(std::span<const double> comp_power_w,
+                                        const CoolingState& state) {
+  refresh_updates(state);
+  return updater_.solve(model_->assemble_rhs(comp_power_w, state));
+}
+
+TransientSolver::TransientSolver(std::shared_ptr<const ChipThermalModel> model,
+                                 double dt)
+    : model_(std::move(model)), dt_(dt) {
+  TECFAN_REQUIRE(model_ != nullptr, "TransientSolver requires a model");
+  TECFAN_REQUIRE(dt_ > 0.0, "TransientSolver dt must be positive");
+  updater_ = linalg::DiagonalUpdateSolver(factor_base_transient(*model_, dt_));
+}
+
+void TransientSolver::refresh_updates(const CoolingState& state) {
+  if (state_cached_ && state == cached_state_) return;
+  updater_.set_updates(model_->diagonal_updates(state));
+  cached_state_ = state;
+  state_cached_ = true;
+}
+
+linalg::Vector TransientSolver::step(std::span<const double> temps_k,
+                                     std::span<const double> comp_power_w,
+                                     const CoolingState& state) {
+  TECFAN_REQUIRE(temps_k.size() == model_->node_count(),
+                 "transient step temps size mismatch");
+  refresh_updates(state);
+  linalg::Vector rhs = model_->assemble_rhs(comp_power_w, state);
+  const auto& c = model_->capacitance();
+  for (std::size_t i = 0; i < rhs.size(); ++i)
+    rhs[i] += c[i] / dt_ * temps_k[i];
+  return updater_.solve(rhs);
+}
+
+linalg::Vector TransientSolver::advance(linalg::Vector temps_k,
+                                        std::span<const double> comp_power_w,
+                                        const CoolingState& state,
+                                        double duration_s) {
+  TECFAN_REQUIRE(duration_s > 0.0, "advance duration must be positive");
+  const auto steps =
+      static_cast<std::size_t>(std::ceil(duration_s / dt_ - 1e-9));
+  for (std::size_t s = 0; s < steps; ++s)
+    temps_k = step(temps_k, comp_power_w, state);
+  return temps_k;
+}
+
+linalg::Vector exponential_step(const ChipThermalModel& model,
+                                std::span<const double> steady_k,
+                                std::span<const double> prev_k, double dt_s) {
+  TECFAN_REQUIRE(steady_k.size() == model.node_count() &&
+                     prev_k.size() == model.node_count(),
+                 "exponential_step size mismatch");
+  TECFAN_REQUIRE(dt_s >= 0.0, "dt must be non-negative");
+  const auto& tau = model.node_tau();
+  linalg::Vector out(steady_k.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double beta = std::exp(-dt_s / tau[i]);
+    out[i] = (1.0 - beta) * steady_k[i] + beta * prev_k[i];
+  }
+  return out;
+}
+
+}  // namespace tecfan::thermal

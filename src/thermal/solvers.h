@@ -1,0 +1,82 @@
+// Steady-state and transient solvers over the chip thermal network.
+//
+// Both solvers factor the *base* system matrix once (G0 for steady state,
+// C/dt + G0 for implicit-Euler transient) and absorb every knob change —
+// TEC Peltier terms, fan convection — as a Woodbury diagonal update, so a
+// control decision costs triangular solves instead of refactorizations.
+//
+// SteadyStateSolver implements Eq. (1): G(k) Ts(k) = P(k).
+// TransientSolver is the plant ("ground truth", playing HotSpot's role):
+// implicit Euler on C dT/dt = -G T + q, unconditionally stable for the stiff
+// die/sink time-constant split (~ms vs ~30 s).
+// ExponentialEstimator is the paper's Eq. (5): the per-node exponential
+// interpolation toward steady state that the *controllers* use; its
+// approximation error versus TransientSolver is what produces the small
+// runtime temperature violations of Fig. 5(b).
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "linalg/lu.h"
+#include "linalg/woodbury.h"
+#include "thermal/network.h"
+
+namespace tecfan::thermal {
+
+class SteadyStateSolver {
+ public:
+  explicit SteadyStateSolver(std::shared_ptr<const ChipThermalModel> model);
+
+  /// Node temperatures (kelvin) solving G T = q for the given component
+  /// powers and cooling state.
+  linalg::Vector solve(std::span<const double> comp_power_w,
+                       const CoolingState& state);
+
+  const ChipThermalModel& model() const { return *model_; }
+
+ private:
+  void refresh_updates(const CoolingState& state);
+
+  std::shared_ptr<const ChipThermalModel> model_;
+  linalg::DiagonalUpdateSolver updater_;
+  CoolingState cached_state_;
+  bool state_cached_ = false;
+};
+
+class TransientSolver {
+ public:
+  /// dt: integration substep length in seconds.
+  TransientSolver(std::shared_ptr<const ChipThermalModel> model, double dt);
+
+  double dt() const { return dt_; }
+
+  /// One implicit-Euler step: returns T(t+dt) from T(t).
+  linalg::Vector step(std::span<const double> temps_k,
+                      std::span<const double> comp_power_w,
+                      const CoolingState& state);
+
+  /// Integrate over `duration` (must be a positive multiple of dt within
+  /// rounding; the last partial step is folded in analytically by stepping
+  /// ceil(duration/dt) equal substeps).
+  linalg::Vector advance(linalg::Vector temps_k,
+                         std::span<const double> comp_power_w,
+                         const CoolingState& state, double duration_s);
+
+ private:
+  void refresh_updates(const CoolingState& state);
+
+  std::shared_ptr<const ChipThermalModel> model_;
+  double dt_;
+  linalg::DiagonalUpdateSolver updater_;
+  CoolingState cached_state_;
+  bool state_cached_ = false;
+};
+
+/// Eq. (5): T(k) = (1 - beta) Ts + beta T(k-1), beta = exp(-dt / tau_i),
+/// applied per node with the model's RC time constants.
+linalg::Vector exponential_step(const ChipThermalModel& model,
+                                std::span<const double> steady_k,
+                                std::span<const double> prev_k, double dt_s);
+
+}  // namespace tecfan::thermal

@@ -1,0 +1,22 @@
+#include "thermal/tec_device.h"
+
+#include "util/error.h"
+
+namespace tecfan::thermal {
+
+Rect TecParameters::device_rect(const Rect& tile, int d) const {
+  TECFAN_REQUIRE(d >= 0 && d < devices_per_tile(), "device index out of range");
+  const int col = d % grid;
+  const int row = d / grid;
+  // Lattice of cell centres spread evenly over the coverage region.
+  const double cell_w = coverage_region.w / grid;
+  const double cell_h = coverage_region.h / grid;
+  const double cx =
+      tile.x + coverage_region.x + (col + 0.5) * cell_w;
+  const double cy =
+      tile.y + coverage_region.y + (row + 0.5) * cell_h;
+  return {cx - device_w_m / 2.0, cy - device_h_m / 2.0, device_w_m,
+          device_h_m};
+}
+
+}  // namespace tecfan::thermal

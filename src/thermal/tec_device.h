@@ -1,0 +1,59 @@
+// Thin-film thermoelectric cooler (TEC) device model.
+//
+// Per the paper (Sec. IV-C), each core tile carries a 3x3 array of
+// 0.5 mm x 0.5 mm film TECs embedded in the TIM over the logic region,
+// each switched on/off by a power transistor at a fixed drive current
+// (6 A — the paper notes >8 A risks overheating). An active device pumps
+// Peltier heat alpha*I*T from its cold (die-side) face to its hot
+// (spreader-side) face, dissipates Joule heat I^2*r split between the faces,
+// and always conducts kappa*(Th - Tc) passively. Electrical input power is
+// Eq. (9): P = r I^2 + alpha I (Th - Tc).
+#pragma once
+
+#include <cstddef>
+
+#include "thermal/floorplan.h"
+
+namespace tecfan::thermal {
+
+struct TecParameters {
+  int grid = 3;                  // grid x grid devices per tile
+  double device_w_m = 0.5e-3;    // film footprint (0.5 mm x 0.5 mm [10])
+  double device_h_m = 0.5e-3;
+  // Tile-local region the array covers (the logic blocks; "most core area").
+  Rect coverage_region{0.0, 0.0, 1.5e-3, 2.0e-3};
+  double seebeck_v_per_k = 7.5e-4;  // module Seebeck coefficient (alpha)
+  double resistance_ohm = 1e-3;     // module electrical resistance (r)
+  double conductance_w_per_k = 0.15;  // passive kappa through the film stack
+  /// Hot-face -> spreader contact conductance [W/K]; the bottleneck that
+  /// makes Peltier relief saturate (back-heating) after a few kelvin.
+  double hot_contact_g_w_per_k = 0.045;
+  double drive_current_a = 6.0;     // fixed switched drive (Sec. III)
+  double engage_delay_s = 20e-6;    // Peltier engage time [9]
+  double face_capacitance_j_per_k = 2e-5;  // thin-film faces: tiny C
+
+  int devices_per_tile() const { return grid * grid; }
+
+  /// Peltier heat absorbed at the cold face per kelvin of absolute cold-face
+  /// temperature: alpha * I.
+  double pumping_w_per_k() const { return seebeck_v_per_k * drive_current_a; }
+
+  /// Joule heat deposited into EACH face when the device is on: I^2 r / 2.
+  double joule_per_face_w() const {
+    return 0.5 * drive_current_a * drive_current_a * resistance_ohm;
+  }
+
+  /// Electrical input power for a given face temperature difference
+  /// delta_theta = Th - Tc (Eq. 9). Valid for an active device.
+  double electrical_power_w(double delta_theta_k) const {
+    return resistance_ohm * drive_current_a * drive_current_a +
+           seebeck_v_per_k * drive_current_a * delta_theta_k;
+  }
+
+  /// Device footprint rectangle (chip-global) for device d of a tile whose
+  /// rect is `tile`: devices sit on a grid x grid lattice centred in the
+  /// coverage region.
+  Rect device_rect(const Rect& tile, int d) const;
+};
+
+}  // namespace tecfan::thermal

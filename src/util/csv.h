@@ -1,0 +1,40 @@
+// CSV emission/parsing for experiment traces.
+//
+// Bench binaries write their raw series as CSV (one file per figure) so the
+// plots can be regenerated outside C++; the writer quotes only when needed
+// and the reader handles quoted fields, making round-trips lossless.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tecfan {
+
+/// Incremental CSV writer over any std::ostream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  /// Write one row of already-formatted cells.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: header then rows of doubles with a label column.
+  void write_header(const std::vector<std::string>& names) {
+    write_row(names);
+  }
+
+  /// Quote a cell if it contains a comma, quote, or newline.
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream& os_;
+};
+
+/// Parse an entire CSV document into rows of cells.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
+/// Format a double with enough digits to round-trip compactly.
+std::string format_double(double v, int precision = 6);
+
+}  // namespace tecfan

@@ -1,0 +1,71 @@
+// Error handling primitives shared across the library.
+//
+// We follow the C++ Core Guidelines (E.2): throw exceptions to signal that a
+// function cannot perform its assigned task. TECFAN_REQUIRE is used for
+// precondition checks on public API boundaries; internal invariant checks use
+// TECFAN_ASSERT and are compiled out of release builds only if NDEBUG *and*
+// TECFAN_UNCHECKED are both defined (thermal simulation bugs are subtle; we
+// keep asserts on by default even in optimized builds).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tecfan {
+
+/// Thrown when a public-API precondition is violated.
+class precondition_error : public std::invalid_argument {
+ public:
+  explicit precondition_error(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+/// Thrown when an internal invariant fails (a library bug, not a user error).
+class invariant_error : public std::logic_error {
+ public:
+  explicit invariant_error(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a numerical routine fails to converge or hits a singularity.
+class numerical_error : public std::runtime_error {
+ public:
+  explicit numerical_error(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* cond, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << cond << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw precondition_error(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* cond, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: " << cond << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw invariant_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace tecfan
+
+#define TECFAN_REQUIRE(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::tecfan::detail::throw_precondition(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#if defined(NDEBUG) && defined(TECFAN_UNCHECKED)
+#define TECFAN_ASSERT(cond, msg) ((void)0)
+#else
+#define TECFAN_ASSERT(cond, msg)                                         \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::tecfan::detail::throw_invariant(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+#endif

@@ -1,0 +1,64 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tecfan {
+namespace {
+
+std::atomic<std::size_t>& worker_override() {
+  static std::atomic<std::size_t> n{0};
+  return n;
+}
+
+}  // namespace
+
+std::size_t parallel_workers() {
+  const std::size_t forced = worker_override().load();
+  if (forced > 0) return forced;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void set_parallel_workers(std::size_t n) { worker_override().store(n); }
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t workers = std::min(parallel_workers(), n);
+  if (workers == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  std::atomic<std::size_t> next{0};
+
+  auto run = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(run);
+  run();
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace tecfan

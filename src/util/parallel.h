@@ -1,0 +1,25 @@
+// Fork–join parallel loop over std::thread.
+//
+// The fan-level sweep protocol of Sec. IV-C runs many independent
+// (policy, workload, fan level) simulations; parallel_for distributes them
+// across hardware threads. Work is divided into contiguous chunks, one per
+// worker, which is the right grain for our coarse tasks. The first exception
+// thrown by any worker is rethrown on the calling thread after join.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace tecfan {
+
+/// Number of workers parallel_for will use (>= 1).
+std::size_t parallel_workers();
+
+/// Override the worker count (0 restores the hardware default).
+void set_parallel_workers(std::size_t n);
+
+/// Invoke body(i) for i in [0, n), possibly concurrently.
+/// body must be safe to call concurrently for distinct i.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+}  // namespace tecfan

@@ -1,0 +1,89 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace tecfan {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // Use the top 53 bits for a uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  TECFAN_REQUIRE(lo <= hi, "uniform range must be ordered");
+  return lo + (hi - lo) * uniform();
+}
+
+double Rng::normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  constexpr double kTwoPi = 6.283185307179586;
+  spare_ = mag * std::sin(kTwoPi * u2);
+  has_spare_ = true;
+  return mag * std::cos(kTwoPi * u2);
+}
+
+double Rng::normal(double mean, double stddev) {
+  TECFAN_REQUIRE(stddev >= 0.0, "stddev must be non-negative");
+  return mean + stddev * normal();
+}
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  TECFAN_REQUIRE(n > 0, "below(n) requires n > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return v % n;
+}
+
+Rng Rng::fork(std::uint64_t tag) const {
+  // Mix seed and tag through splitmix so that fork(a) and fork(b) are
+  // independent even for adjacent tags.
+  std::uint64_t x = seed_ ^ (tag * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL);
+  return Rng(splitmix64(x));
+}
+
+}  // namespace tecfan

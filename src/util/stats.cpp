@@ -1,0 +1,101 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace tecfan {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double max_of(std::span<const double> xs) {
+  TECFAN_REQUIRE(!xs.empty(), "max_of on empty span");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double min_of(std::span<const double> xs) {
+  TECFAN_REQUIRE(!xs.empty(), "min_of on empty span");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double sum(std::span<const double> xs) {
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  TECFAN_REQUIRE(!xs.empty(), "percentile on empty vector");
+  TECFAN_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p out of range");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double pos = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double rmse(std::span<const double> a, std::span<const double> b) {
+  TECFAN_REQUIRE(a.size() == b.size(), "rmse size mismatch");
+  if (a.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(a.size()));
+}
+
+double max_abs_diff(std::span<const double> a, std::span<const double> b) {
+  TECFAN_REQUIRE(a.size() == b.size(), "max_abs_diff size mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace tecfan

@@ -1,0 +1,54 @@
+// Small statistics helpers used by metrics collection and tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tecfan {
+
+/// Streaming accumulator (Welford) for mean / variance / extrema.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of a span (0 for empty).
+double mean(std::span<const double> xs);
+
+/// Maximum of a span; throws on empty input.
+double max_of(std::span<const double> xs);
+
+/// Minimum of a span; throws on empty input.
+double min_of(std::span<const double> xs);
+
+/// Sum of a span.
+double sum(std::span<const double> xs);
+
+/// Linear-interpolation percentile, p in [0, 100]; throws on empty input.
+double percentile(std::vector<double> xs, double p);
+
+/// Root-mean-square error between two equally sized spans.
+double rmse(std::span<const double> a, std::span<const double> b);
+
+/// Maximum absolute difference between two equally sized spans.
+double max_abs_diff(std::span<const double> a, std::span<const double> b);
+
+}  // namespace tecfan

@@ -1,0 +1,89 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace tecfan {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  TECFAN_REQUIRE(!header.empty(), "header must be non-empty");
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  TECFAN_REQUIRE(row.size() == header_.size(),
+                 "row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_row(const std::string& label,
+                        const std::vector<double>& values, int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  char buf[64];
+  for (double v : values) {
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    row.emplace_back(buf);
+  }
+  add_row(std::move(row));
+}
+
+std::string TextTable::render() const {
+  TECFAN_REQUIRE(!header_.empty(), "render before set_header");
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto rule = [&] {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << '+' << std::string(width[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "| " << row[c] << std::string(width[c] - row[c].size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  rule();
+  emit_row(header_);
+  rule();
+  for (const auto& row : rows_) emit_row(row);
+  rule();
+  return os.str();
+}
+
+std::string render_heatmap(const std::vector<double>& values, int cols,
+                           double lo, double hi) {
+  TECFAN_REQUIRE(cols > 0, "cols must be positive");
+  TECFAN_REQUIRE(values.size() % static_cast<std::size_t>(cols) == 0,
+                 "values must tile into rows of `cols`");
+  static const char* kRamp = " .:-=+*#%@";
+  const int levels = 10;
+  const double span = (hi > lo) ? (hi - lo) : 1.0;
+  std::string out;
+  const std::size_t n_rows = values.size() / static_cast<std::size_t>(cols);
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const double v = values[r * static_cast<std::size_t>(cols) +
+                              static_cast<std::size_t>(c)];
+      int idx = static_cast<int>((v - lo) / span * levels);
+      idx = std::clamp(idx, 0, levels - 1);
+      out += kRamp[idx];
+      out += kRamp[idx];  // double width: terminal cells are ~2:1
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tecfan

@@ -1,0 +1,41 @@
+// ASCII table and heat-map rendering for bench/example output.
+//
+// Bench binaries reproduce the paper's tables/figures as aligned text tables
+// on stdout; the heat map gives a quick spatial view of chip temperature in
+// the examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tecfan {
+
+/// Right-pads/aligns cells and draws a simple ruled ASCII table.
+class TextTable {
+ public:
+  /// Set the header row (defines the column count).
+  void set_header(std::vector<std::string> header);
+
+  /// Append a data row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience for mixed label + numeric rows.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 3);
+
+  /// Render the table to a string (with trailing newline).
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render a matrix of values (row-major, `cols` wide) as an ASCII heat map
+/// using a ramp of shading characters between lo and hi.
+std::string render_heatmap(const std::vector<double>& values, int cols,
+                           double lo, double hi);
+
+}  // namespace tecfan

@@ -1,0 +1,43 @@
+// Physical unit helpers and constants.
+//
+// All thermal computation inside the library is done in SI units with
+// absolute temperature (kelvin): the Peltier pumping term of a TEC is
+// proportional to the absolute junction temperature, so celsius would be
+// wrong by ~273/45x. Celsius appears only at API edges (configs, reports).
+#pragma once
+
+namespace tecfan {
+
+inline constexpr double kCelsiusOffset = 273.15;
+
+/// Convert a temperature from celsius to kelvin.
+constexpr double celsius_to_kelvin(double c) { return c + kCelsiusOffset; }
+
+/// Convert a temperature from kelvin to celsius.
+constexpr double kelvin_to_celsius(double k) { return k - kCelsiusOffset; }
+
+/// Millimetres to metres (floorplans are specified in mm).
+constexpr double mm_to_m(double mm) { return mm * 1e-3; }
+
+/// Square millimetres to square metres.
+constexpr double mm2_to_m2(double mm2) { return mm2 * 1e-6; }
+
+/// Cubic feet per minute to cubic metres per second (fan datasheets use CFM).
+constexpr double cfm_to_m3s(double cfm) { return cfm * 4.719474e-4; }
+
+namespace si {
+/// Thermal conductivity of bulk silicon at ~350 K [W/(m K)].
+inline constexpr double kSiliconConductivity = 120.0;
+/// Volumetric heat capacity of silicon [J/(m^3 K)].
+inline constexpr double kSiliconVolHeat = 1.75e6;
+/// Thermal conductivity of copper [W/(m K)].
+inline constexpr double kCopperConductivity = 400.0;
+/// Volumetric heat capacity of copper [J/(m^3 K)].
+inline constexpr double kCopperVolHeat = 3.55e6;
+/// Thermal conductivity of aluminium [W/(m K)].
+inline constexpr double kAluminiumConductivity = 237.0;
+/// Volumetric heat capacity of aluminium [J/(m^3 K)].
+inline constexpr double kAluminiumVolHeat = 2.42e6;
+}  // namespace si
+
+}  // namespace tecfan

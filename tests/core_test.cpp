@@ -1,0 +1,640 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "core/actions.h"
+#include "core/chip_planning_model.h"
+#include "core/exhaustive_policies.h"
+#include "core/hw_cost.h"
+#include "core/planning.h"
+#include "core/reactive_policies.h"
+#include "core/tecfan_policy.h"
+#include "sim/defaults.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tecfan::core {
+namespace {
+
+// A transparent analytic planning model: one spot per core, one TEC per
+// spot. Spot temperature = base + heat(dvfs) + fan_penalty - tec_relief;
+// power and IPS are simple separable functions. This pins down policy
+// *logic* independent of the thermal simulator.
+class FakePlanningModel final : public PlanningModel {
+ public:
+  static constexpr int kCores = 4;
+  static constexpr int kDvfsLevels = 4;
+  static constexpr int kFanLevels = 4;
+
+  linalg::Vector base_temp{370.0, 360.0, 355.0, 350.0};
+  double tec_relief = 4.0;       // K per active TEC
+  double dvfs_step_relief = 3.0;  // K per DVFS step down
+  double fan_step_penalty = 2.0;  // K per fan level slower
+  double threshold = 365.0;
+  double tec_power = 0.3;
+  double core_power_top = 10.0;
+  double fixed_power = 5.0;
+  double core_ips_top = 1e9;
+  // Per-core served-work cap (server-style demand saturation); raising DVFS
+  // past this point buys no throughput.
+  double core_ips_cap = 1e18;
+
+  FakePlanningModel() {
+    tec_map_.resize(kCores);
+    for (std::size_t s = 0; s < kCores; ++s) tec_map_[s] = {s};
+    sensed_ = base_temp;
+  }
+
+  int core_count() const override { return kCores; }
+  std::size_t tec_count() const override { return kCores; }
+  int dvfs_level_count() const override { return kDvfsLevels; }
+  int fan_level_count() const override { return kFanLevels; }
+  std::size_t spot_count() const override { return kCores; }
+  int core_of_spot(std::size_t s) const override {
+    return static_cast<int>(s);
+  }
+  const std::vector<std::size_t>& tecs_over(std::size_t s) const override {
+    return tec_map_[s];
+  }
+  const linalg::Vector& sensed_temps() const override { return sensed_; }
+  double threshold_k() const override { return threshold; }
+
+  Prediction predict(const KnobState& k) override {
+    ++predict_calls;
+    Prediction p;
+    p.spot_temps_k.resize(kCores);
+    double power = fixed_power + 0.5 * (kFanLevels - 1 - k.fan_level);
+    double ips = 0.0;
+    for (int n = 0; n < kCores; ++n) {
+      const auto ni = static_cast<std::size_t>(n);
+      const double freq = 1.0 - 0.15 * k.dvfs[ni];
+      p.spot_temps_k[ni] = base_temp[ni] - dvfs_step_relief * k.dvfs[ni] -
+                           (k.tec_on[ni] ? tec_relief : 0.0) +
+                           fan_step_penalty * k.fan_level;
+      power += core_power_top * freq * freq * freq;
+      if (k.tec_on[ni]) power += tec_power;
+      ips += std::min(core_ips_top * freq, core_ips_cap);
+    }
+    p.power.dynamic_w = power;
+    p.ips = ips;
+    p.capacity_ips = ips;
+    return p;
+  }
+
+  Prediction predict_steady(const KnobState& k) override {
+    return predict(k);
+  }
+
+  void set_sensed(linalg::Vector t) { sensed_ = std::move(t); }
+
+  int predict_calls = 0;
+
+ private:
+  std::vector<std::vector<std::size_t>> tec_map_;
+  linalg::Vector sensed_;
+};
+
+KnobState initial_knobs(const FakePlanningModel& m, int fan = 0) {
+  return KnobState::initial(m.core_count(), m.tec_count(), fan);
+}
+
+// ------------------------------------------------------------ KnobState
+TEST(KnobState, InitialAndHelpers) {
+  KnobState k = KnobState::initial(4, 9, 2);
+  EXPECT_EQ(k.dvfs.size(), 4u);
+  EXPECT_EQ(k.tec_on.size(), 9u);
+  EXPECT_EQ(k.fan_level, 2);
+  EXPECT_EQ(k.tecs_active(), 0u);
+  EXPECT_DOUBLE_EQ(k.mean_dvfs(), 0.0);
+  k.tec_on[1] = k.tec_on[5] = 1;
+  k.dvfs = {0, 1, 2, 1};
+  EXPECT_EQ(k.tecs_active(), 2u);
+  EXPECT_DOUBLE_EQ(k.mean_dvfs(), 1.0);
+}
+
+TEST(Prediction, EpiAndMaxTemp) {
+  Prediction p;
+  p.spot_temps_k = {350.0, 360.0, 340.0};
+  p.power.dynamic_w = 90.0;
+  p.power.fan_w = 10.0;
+  p.ips = 50.0;
+  EXPECT_DOUBLE_EQ(p.max_temp_k(), 360.0);
+  EXPECT_DOUBLE_EQ(p.epi(), 2.0);
+  p.ips = 0.0;
+  EXPECT_TRUE(std::isinf(p.epi()));
+}
+
+// ------------------------------------------------------------- reactive
+TEST(FanOnly, NeverTouchesKnobs) {
+  FakePlanningModel m;
+  FanOnlyPolicy p;
+  KnobState k = initial_knobs(m, 1);
+  k.tec_on[2] = 1;
+  const KnobState out = p.decide(m, k);
+  EXPECT_EQ(out, k);
+}
+
+TEST(FanTec, TurnsOnOverHotSpotOnly) {
+  FakePlanningModel m;
+  m.set_sensed({370.0, 360.0, 355.0, 350.0});  // spot 0 hot (> 365)
+  FanTecPolicy p;
+  const KnobState out = p.decide(m, initial_knobs(m));
+  EXPECT_EQ(out.tec_on[0], 1);
+  EXPECT_EQ(out.tec_on[1], 0);
+  EXPECT_EQ(out.tec_on[2], 0);
+}
+
+TEST(FanTec, HysteresisKeepsDeviceOnNearThreshold) {
+  FakePlanningModel m;
+  FanTecPolicy p(/*off_margin_k=*/5.0);
+  KnobState k = initial_knobs(m);
+  k.tec_on[1] = 1;
+  // Spot 1 at threshold - 2 (inside the margin): stays on.
+  m.set_sensed({340.0, 363.0, 340.0, 340.0});
+  EXPECT_EQ(p.decide(m, k).tec_on[1], 1);
+  // Spot 1 well below threshold - 5: turns off.
+  m.set_sensed({340.0, 355.0, 340.0, 340.0});
+  EXPECT_EQ(p.decide(m, k).tec_on[1], 0);
+}
+
+TEST(FanDvfs, ThrottlesHotCoreRaisesCoolCore) {
+  FakePlanningModel m;
+  m.set_sensed({370.0, 340.0, 340.0, 340.0});
+  FanDvfsPolicy p(/*up_margin_k=*/2.0);
+  KnobState k = initial_knobs(m);
+  k.dvfs = {1, 2, 0, 0};
+  const KnobState out = p.decide(m, k);
+  EXPECT_EQ(out.dvfs[0], 2);  // hot: step down
+  EXPECT_EQ(out.dvfs[1], 1);  // cool: step up
+  EXPECT_EQ(out.dvfs[2], 0);  // already at top
+}
+
+TEST(FanDvfs, GuardBandBlocksRaise) {
+  FakePlanningModel m;
+  m.set_sensed({364.0, 340.0, 340.0, 340.0});  // within 2 K of 365
+  FanDvfsPolicy p(/*up_margin_k=*/2.0);
+  KnobState k = initial_knobs(m);
+  k.dvfs = {1, 0, 0, 0};
+  EXPECT_EQ(p.decide(m, k).dvfs[0], 1);  // neither hot nor cool: hold
+}
+
+TEST(FanDvfs, SaturatesAtSlowestLevel) {
+  FakePlanningModel m;
+  m.set_sensed({400.0, 400.0, 400.0, 400.0});
+  FanDvfsPolicy p;
+  KnobState k = initial_knobs(m);
+  k.dvfs = {3, 3, 3, 3};
+  const KnobState out = p.decide(m, k);
+  for (int d : out.dvfs) EXPECT_EQ(d, 3);
+}
+
+TEST(DvfsTec, AppliesBothRulesIndependently) {
+  FakePlanningModel m;
+  m.set_sensed({370.0, 340.0, 340.0, 340.0});
+  DvfsTecPolicy p;
+  KnobState k = initial_knobs(m);
+  const KnobState out = p.decide(m, k);
+  EXPECT_EQ(out.tec_on[0], 1);  // TEC rule fires
+  EXPECT_EQ(out.dvfs[0], 1);    // DVFS rule fires too (uncoordinated)
+}
+
+// --------------------------------------------------------------- TECfan
+TEST(TecFan, CoolSystemAtTopStaysPut) {
+  FakePlanningModel m;
+  m.base_temp = {350.0, 350.0, 350.0, 350.0};
+  TecFanPolicy p;
+  const KnobState out = p.decide(m, initial_knobs(m));
+  for (int d : out.dvfs) EXPECT_EQ(d, 0);
+  EXPECT_EQ(out.tecs_active(), 0u);
+}
+
+TEST(TecFan, HotIterationPrefersTecOverDvfs) {
+  FakePlanningModel m;
+  m.base_temp = {368.0, 350.0, 350.0, 350.0};  // 3 K over; one TEC fixes it
+  TecFanPolicy p(PolicyOptions{.constraint_margin_k = 0.0});
+  const KnobState out = p.decide(m, initial_knobs(m));
+  EXPECT_EQ(out.tec_on[0], 1);
+  for (int d : out.dvfs) EXPECT_EQ(d, 0);  // no throttling needed
+}
+
+TEST(TecFan, HotIterationFallsBackToDvfsWhenTecsExhausted) {
+  FakePlanningModel m;
+  m.base_temp = {375.0, 350.0, 350.0, 350.0};  // 10 K over; TEC gives 4 K
+  TecFanPolicy p(PolicyOptions{.constraint_margin_k = 0.0});
+  const KnobState out = p.decide(m, initial_knobs(m));
+  EXPECT_EQ(out.tec_on[0], 1);
+  EXPECT_GT(out.dvfs[0], 0);  // hottest core throttled
+  // Resulting prediction satisfies the constraint.
+  EXPECT_LE(m.predict(out).max_temp_k(), m.threshold + 1e-9);
+}
+
+TEST(TecFan, CoolIterationRaisesThrottledCores) {
+  FakePlanningModel m;
+  m.base_temp = {340.0, 340.0, 340.0, 340.0};
+  TecFanPolicy p;
+  KnobState k = initial_knobs(m);
+  k.dvfs = {2, 1, 0, 3};
+  const KnobState out = p.decide(m, k);
+  for (int d : out.dvfs) EXPECT_EQ(d, 0);  // plenty of headroom: all raised
+}
+
+TEST(TecFan, CoolIterationStopsBeforeViolation) {
+  FakePlanningModel m;
+  // Core 0 at 361 when at top; raising from level 1 (358 + 3 = 361 < 365)
+  // is fine, but the fan penalty is 0 here; craft so only one step fits.
+  m.base_temp = {364.0, 340.0, 340.0, 340.0};
+  m.dvfs_step_relief = 2.0;  // top level puts spot 0 at 364 < 365
+  TecFanPolicy p(PolicyOptions{.constraint_margin_k = 0.0});
+  KnobState k = initial_knobs(m);
+  k.dvfs = {3, 0, 0, 0};
+  const KnobState out = p.decide(m, k);
+  EXPECT_EQ(out.dvfs[0], 0);  // could raise fully without violating
+  m.base_temp = {368.0, 340.0, 340.0, 340.0};  // now top level violates
+  const KnobState out2 = p.decide(m, k);
+  EXPECT_GT(out2.dvfs[0], 0);
+  EXPECT_LE(m.predict(out2).max_temp_k(), m.threshold + 1e-9);
+}
+
+TEST(TecFan, CoolIterationTurnsOffTecOnceCoresAtTop) {
+  FakePlanningModel m;
+  m.base_temp = {340.0, 340.0, 340.0, 340.0};
+  TecFanPolicy p;
+  KnobState k = initial_knobs(m);
+  k.tec_on = {1, 1, 1, 1};
+  const KnobState out = p.decide(m, k);
+  EXPECT_LT(out.tecs_active(), 4u);  // saves TEC energy when safe
+}
+
+TEST(TecFan, RaiseSkippedWhenNoThroughputGain) {
+  // Server-style saturation: every core serves all demand even at the
+  // lowest level, so raising buys no throughput and TECfan keeps the
+  // energy-efficient throttled posture (Sec. V-E behaviour).
+  FakePlanningModel m;
+  m.base_temp = {340.0, 340.0, 340.0, 340.0};
+  m.core_ips_cap = 0.5e9;  // below even the slowest level's 0.55e9
+  TecFanPolicy p;
+  KnobState k = initial_knobs(m);
+  k.dvfs = {3, 3, 3, 3};
+  const KnobState out = p.decide(m, k);
+  for (int d : out.dvfs) EXPECT_EQ(d, 3);
+}
+
+TEST(TecFan, FanLoopSpeedsUpWhenHotSlowsWhenCool) {
+  FakePlanningModel m;
+  PolicyOptions opt;
+  opt.manage_fan = true;
+  opt.fan_period_intervals = 1;
+  opt.fan_margin_k = 0.5;
+  opt.constraint_margin_k = 0.0;
+  // Hot at fan 2: steady max = 368 + 2*2 = 372 > 365 -> speed up.
+  m.base_temp = {368.0, 340.0, 340.0, 340.0};
+  m.tec_relief = 0.0;  // isolate the fan decision
+  TecFanPolicy p(opt);
+  KnobState k = initial_knobs(m, /*fan=*/2);
+  const KnobState hot_out = p.decide(m, k);
+  EXPECT_LT(hot_out.fan_level, 2);
+  // Cool everywhere: slows down as far as the margin allows.
+  m.base_temp = {330.0, 330.0, 330.0, 330.0};
+  TecFanPolicy p2(opt);
+  const KnobState cool_out = p2.decide(m, initial_knobs(m, 0));
+  EXPECT_EQ(cool_out.fan_level, m.fan_level_count() - 1);
+}
+
+TEST(TecFan, PredictionCountWithinComplexityBound) {
+  FakePlanningModel m;
+  m.base_temp = {375.0, 368.0, 366.0, 350.0};
+  TecFanPolicy p;
+  p.decide(m, initial_knobs(m));
+  // O(NL + N^2 M): N=4, L=1, M=4 -> 4 + 64 plus bounded constants.
+  EXPECT_LE(m.predict_calls, 4 * 1 + 4 * 4 * 4 + 16);
+}
+
+TEST(TecFan, ChipWideDvfsMovesCoresTogether) {
+  // Sec. III-E: TECfan integrates with chip-level DVFS seamlessly — in
+  // that mode every DVFS move applies to all cores at once.
+  FakePlanningModel m;
+  m.base_temp = {380.0, 378.0, 379.0, 377.0};  // deep violation everywhere
+  m.tec_relief = 0.5;                          // TECs can't fix it
+  PolicyOptions opt;
+  opt.constraint_margin_k = 0.0;
+  opt.chip_wide_dvfs = true;
+  TecFanPolicy p(opt);
+  const KnobState out = p.decide(m, initial_knobs(m));
+  for (std::size_t n = 1; n < out.dvfs.size(); ++n)
+    EXPECT_EQ(out.dvfs[n], out.dvfs[0]);
+  EXPECT_GT(out.dvfs[0], 0);
+  // And the cool iteration raises them back together.
+  m.base_temp = {340.0, 340.0, 340.0, 340.0};
+  TecFanPolicy p2(opt);
+  KnobState throttled = initial_knobs(m);
+  throttled.dvfs = {2, 2, 2, 2};
+  const KnobState raised = p2.decide(m, throttled);
+  for (std::size_t n = 1; n < raised.dvfs.size(); ++n)
+    EXPECT_EQ(raised.dvfs[n], raised.dvfs[0]);
+  EXPECT_EQ(raised.dvfs[0], 0);
+}
+
+TEST(TecFan, ResetClearsIntervalCounter) {
+  FakePlanningModel m;
+  PolicyOptions opt;
+  opt.manage_fan = true;
+  opt.fan_period_intervals = 100;  // only the first interval adjusts fan
+  m.base_temp = {330.0, 330.0, 330.0, 330.0};
+  TecFanPolicy p(opt);
+  const KnobState a = p.decide(m, initial_knobs(m, 0));
+  EXPECT_GT(a.fan_level, 0);  // first interval: fan adjusted
+  p.reset();
+  const KnobState b = p.decide(m, initial_knobs(m, 0));
+  EXPECT_GT(b.fan_level, 0);  // counter reset: adjusts again
+}
+
+// ------------------------------------------------------------ exhaustive
+TEST(Oracle, FindsConstraintSatisfyingMinimumEpi) {
+  FakePlanningModel m;
+  m.base_temp = {368.0, 350.0, 350.0, 350.0};
+  ExhaustiveOptions opt;
+  opt.base.constraint_margin_k = 0.0;
+  OraclePolicy oracle(opt);
+  const KnobState out = oracle.decide(m, initial_knobs(m));
+  const Prediction p = m.predict(out);
+  EXPECT_LE(p.max_temp_k(), m.threshold + 1e-9);
+  // Exhaustive over dvfs^N x 2^N.
+  EXPECT_EQ(oracle.last_candidate_count(),
+            static_cast<std::size_t>(std::pow(4, 4) * 16));
+}
+
+TEST(Oracle, NeverWorseThanTecFan) {
+  // On the same model and knobs, Oracle's chosen EPI must be <= TECfan's
+  // (both subject to the same constraint).
+  for (double hot : {350.0, 362.0, 368.0, 372.0}) {
+    FakePlanningModel m;
+    m.base_temp = {hot, 355.0, 350.0, 345.0};
+    ExhaustiveOptions xopt;
+    xopt.base.constraint_margin_k = 0.0;
+    OraclePolicy oracle(xopt);
+    TecFanPolicy tecfan(PolicyOptions{.constraint_margin_k = 0.0});
+    const KnobState ko = oracle.decide(m, initial_knobs(m));
+    const KnobState kt = tecfan.decide(m, initial_knobs(m));
+    const Prediction po = m.predict(ko);
+    const Prediction pt = m.predict(kt);
+    if (po.max_temp_k() <= m.threshold && pt.max_temp_k() <= m.threshold) {
+      EXPECT_LE(po.epi(), pt.epi() + 1e-9) << "hot=" << hot;
+    }
+  }
+}
+
+TEST(Oracle, PicksCoolestWhenInfeasible) {
+  FakePlanningModel m;
+  m.base_temp = {420.0, 420.0, 420.0, 420.0};  // nothing satisfies 365 K
+  OraclePolicy oracle;
+  const KnobState out = oracle.decide(m, initial_knobs(m));
+  // Coolest possible: all TECs on, all cores at the slowest level.
+  EXPECT_EQ(out.tecs_active(), 4u);
+  for (int d : out.dvfs) EXPECT_EQ(d, 3);
+}
+
+TEST(Oracle, GuardsAgainstHugeSearchSpaces) {
+  FakePlanningModel m;
+  ExhaustiveOptions opt;
+  opt.max_candidates = 10;  // 4^4 * 2^4 = 4096 > 10
+  OraclePolicy oracle(opt);
+  EXPECT_THROW(oracle.decide(m, initial_knobs(m)), precondition_error);
+}
+
+TEST(OracleP, RespectsCapacityFloor) {
+  FakePlanningModel m;
+  m.base_temp = {340.0, 340.0, 340.0, 340.0};  // thermally unconstrained
+  // Without a floor, Oracle throttles everything to minimize EPI (cubic
+  // power vs linear ips).
+  ExhaustiveOptions xopt;
+  OraclePolicy plain(xopt);
+  const KnobState unconstrained = plain.decide(m, initial_knobs(m));
+  EXPECT_GT(unconstrained.mean_dvfs(), 0.0);
+  // With a full-speed capacity floor, it must keep every core at the top.
+  auto floor = std::make_shared<std::vector<double>>(
+      std::vector<double>{4e9});  // 4 cores x 1e9 at top
+  OraclePPolicy constrained(xopt, floor);
+  const KnobState out = constrained.decide(m, initial_knobs(m));
+  for (int d : out.dvfs) EXPECT_EQ(d, 0);
+}
+
+TEST(OracleP, RequiresReference) {
+  EXPECT_THROW(OraclePPolicy(ExhaustiveOptions{}, nullptr),
+               precondition_error);
+}
+
+TEST(Oftec, NeverTouchesDvfs) {
+  FakePlanningModel m;
+  m.base_temp = {375.0, 350.0, 350.0, 350.0};
+  OftecPolicy oftec;
+  KnobState k = initial_knobs(m);
+  k.dvfs = {2, 2, 2, 2};  // even if handed throttled state...
+  const KnobState out = oftec.decide(m, k);
+  for (int d : out.dvfs) EXPECT_EQ(d, 0);  // ...OFTEC pins the top level
+}
+
+TEST(Oftec, MinimizesCoolingPowerSubjectToConstraint) {
+  FakePlanningModel m;
+  m.base_temp = {368.0, 350.0, 350.0, 350.0};
+  ExhaustiveOptions opt;
+  opt.base.constraint_margin_k = 0.0;
+  OftecPolicy oftec(opt);
+  const KnobState out = oftec.decide(m, initial_knobs(m));
+  const Prediction p = m.predict(out);
+  EXPECT_LE(p.max_temp_k(), m.threshold + 1e-9);
+  // One TEC suffices; more would cost extra cooling power.
+  EXPECT_EQ(out.tecs_active(), 1u);
+  EXPECT_EQ(out.tec_on[0], 1);
+}
+
+// ------------------------------------------------ randomized properties
+class RandomScenarios : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  FakePlanningModel random_model() {
+    Rng rng(GetParam());
+    FakePlanningModel m;
+    for (auto& t : m.base_temp) t = rng.uniform(345.0, 378.0);
+    m.tec_relief = rng.uniform(2.0, 6.0);
+    m.dvfs_step_relief = rng.uniform(1.5, 4.0);
+    m.tec_power = rng.uniform(0.05, 0.6);
+    m.fixed_power = rng.uniform(2.0, 8.0);
+    return m;
+  }
+};
+
+TEST_P(RandomScenarios, TecFanSatisfiesConstraintWheneverFeasible) {
+  FakePlanningModel m = random_model();
+  PolicyOptions opt;
+  opt.constraint_margin_k = 0.0;
+  TecFanPolicy p(opt);
+  const KnobState out = p.decide(m, initial_knobs(m));
+  // Feasibility check: the coolest possible configuration.
+  KnobState coolest = initial_knobs(m);
+  for (auto& b : coolest.tec_on) b = 1;
+  for (auto& d : coolest.dvfs) d = m.dvfs_level_count() - 1;
+  if (m.predict(coolest).max_temp_k() <= m.threshold) {
+    EXPECT_LE(m.predict(out).max_temp_k(), m.threshold + 1e-9)
+        << "seed " << GetParam();
+  }
+}
+
+TEST_P(RandomScenarios, OracleNeverWorseThanAnyHeuristic) {
+  FakePlanningModel m = random_model();
+  ExhaustiveOptions xopt;
+  xopt.base.constraint_margin_k = 0.0;
+  OraclePolicy oracle(xopt);
+  PolicyOptions popt;
+  popt.constraint_margin_k = 0.0;
+  TecFanPolicy tecfan(popt);
+  FanTecPolicy fantec;
+  const Prediction po = m.predict(oracle.decide(m, initial_knobs(m)));
+  for (Policy* h : {static_cast<Policy*>(&tecfan),
+                    static_cast<Policy*>(&fantec)}) {
+    const Prediction ph = m.predict(h->decide(m, initial_knobs(m)));
+    if (po.max_temp_k() <= m.threshold && ph.max_temp_k() <= m.threshold) {
+      EXPECT_LE(po.epi(), ph.epi() + 1e-9)
+          << "seed " << GetParam() << " vs " << h->name();
+    }
+  }
+}
+
+TEST_P(RandomScenarios, TecFanIdempotentOnItsOwnOutput) {
+  // Deciding again from TECfan's chosen configuration with unchanged
+  // sensing must not oscillate wildly: the follow-up decision stays within
+  // one DVFS step per core.
+  FakePlanningModel m = random_model();
+  TecFanPolicy p;
+  const KnobState once = p.decide(m, initial_knobs(m));
+  const KnobState twice = p.decide(m, once);
+  for (std::size_t n = 0; n < once.dvfs.size(); ++n)
+    EXPECT_LE(std::abs(once.dvfs[n] - twice.dvfs[n]), 1)
+        << "seed " << GetParam();
+}
+
+TEST_P(RandomScenarios, OftecCoolingNeverAboveAllOnConfiguration) {
+  FakePlanningModel m = random_model();
+  ExhaustiveOptions xopt;
+  xopt.base.constraint_margin_k = 0.0;
+  OftecPolicy oftec(xopt);
+  const KnobState out = oftec.decide(m, initial_knobs(m));
+  KnobState all_on = initial_knobs(m);
+  for (auto& b : all_on.tec_on) b = 1;
+  const Prediction p_out = m.predict(out);
+  const Prediction p_all = m.predict(all_on);
+  if (p_out.max_temp_k() <= m.threshold &&
+      p_all.max_temp_k() <= m.threshold) {
+    EXPECT_LE(p_out.power.cooling_w() + p_out.power.leakage_w,
+              p_all.power.cooling_w() + p_all.power.leakage_w + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomScenarios,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// ------------------------------------------------------------- planning
+TEST(ChipPlanningModel, ObserveThenPredictRoundTrip) {
+  static const sim::ChipModels models = sim::make_chip_models(2, 2);
+  ChipPlanningModel::Config cfg;
+  cfg.fan = models.fan;
+  cfg.dvfs = models.dvfs;
+  cfg.leakage = models.leak_linear;
+  ChipPlanningModel planner(models.thermal, cfg);
+  EXPECT_THROW(planner.predict(KnobState::initial(4, 36)),
+               precondition_error);
+
+  ChipPlanningModel::Observation obs;
+  const std::size_t n = models.thermal->component_count();
+  obs.comp_temps_k.assign(n, 350.0);
+  obs.comp_dyn_power_w.assign(n, 0.3);
+  obs.core_ips.assign(4, 1.2e9);
+  obs.applied = KnobState::initial(4, 36, 1);
+  planner.observe(obs);
+
+  const Prediction p = planner.predict(obs.applied);
+  EXPECT_EQ(p.spot_temps_k.size(), n);
+  EXPECT_NEAR(p.ips, 4 * 1.2e9, 1);
+  EXPECT_NEAR(p.power.dynamic_w, 0.3 * n, 1e-9);
+  EXPECT_GT(p.power.leakage_w, 0.0);
+  EXPECT_NEAR(p.power.fan_w, models.fan.power_w(1), 1e-12);
+}
+
+TEST(ChipPlanningModel, Eq7ScalingAppliedPerCore) {
+  static const sim::ChipModels models = sim::make_chip_models(2, 2);
+  ChipPlanningModel::Config cfg;
+  cfg.fan = models.fan;
+  cfg.dvfs = models.dvfs;
+  ChipPlanningModel planner(models.thermal, cfg);
+  ChipPlanningModel::Observation obs;
+  const std::size_t n = models.thermal->component_count();
+  obs.comp_temps_k.assign(n, 350.0);
+  obs.comp_dyn_power_w.assign(n, 0.4);
+  obs.core_ips.assign(4, 1.0e9);
+  obs.applied = KnobState::initial(4, 36);
+  planner.observe(obs);
+
+  KnobState throttled = obs.applied;
+  throttled.dvfs[0] = 2;
+  const Prediction p0 = planner.predict(obs.applied);
+  const Prediction p1 = planner.predict(throttled);
+  // One of four cores scaled by dyn_scale(0, 2).
+  const double scale = models.dvfs.dyn_scale(0, 2);
+  EXPECT_NEAR(p1.power.dynamic_w,
+              p0.power.dynamic_w * (3.0 + scale) / 4.0, 1e-9);
+  // Eq. (11): IPS of that core scales with frequency.
+  EXPECT_NEAR(p1.ips, 3e9 + 1e9 * models.dvfs.freq_scale(0, 2), 1);
+}
+
+TEST(ChipPlanningModel, PredictionRespondsToKnobs) {
+  static const sim::ChipModels models = sim::make_chip_models(2, 2);
+  ChipPlanningModel::Config cfg;
+  cfg.fan = models.fan;
+  cfg.dvfs = models.dvfs;
+  cfg.control_period_s = 1.0;  // long interval: prediction ~ steady state
+  ChipPlanningModel planner(models.thermal, cfg);
+  ChipPlanningModel::Observation obs;
+  const std::size_t n = models.thermal->component_count();
+  obs.comp_temps_k.assign(n, 355.0);
+  obs.comp_dyn_power_w.assign(n, 0.45);
+  obs.core_ips.assign(4, 1.0e9);
+  obs.applied = KnobState::initial(4, 36, 3);
+  planner.observe(obs);
+
+  const Prediction base = planner.predict(obs.applied);
+  KnobState faster_fan = obs.applied;
+  faster_fan.fan_level = 0;
+  EXPECT_LT(planner.predict(faster_fan).max_temp_k(), base.max_temp_k());
+  KnobState throttled = obs.applied;
+  for (auto& d : throttled.dvfs) d = 5;
+  EXPECT_LT(planner.predict(throttled).max_temp_k(), base.max_temp_k());
+  KnobState tec_on = obs.applied;
+  for (auto& b : tec_on.tec_on) b = 1;
+  EXPECT_LT(planner.predict(tec_on).max_temp_k(), base.max_temp_k());
+}
+
+// --------------------------------------------------------------- hw cost
+TEST(HwCost, PaperConfiguration) {
+  const HwCostReport rep = estimate_hw_cost(HwCostInputs{});
+  EXPECT_EQ(rep.multipliers, 54u);
+  EXPECT_LT(rep.area_overhead_frac, 0.017);
+  EXPECT_LT(rep.power_overhead_frac, 0.017);
+  EXPECT_GT(rep.power_w, 0.0);
+}
+
+TEST(HwCost, ScalesWithDimensions) {
+  HwCostInputs in;
+  const HwCostReport base = estimate_hw_cost(in);
+  in.thermal_neighbours = 6;
+  const HwCostReport big = estimate_hw_cost(in);
+  EXPECT_NEAR(big.total_area_mm2, 2 * base.total_area_mm2, 1e-12);
+  in.operand_bits = 16;
+  const HwCostReport wide = estimate_hw_cost(in);
+  EXPECT_NEAR(wide.multiplier_area_mm2, 4 * big.multiplier_area_mm2, 1e-12);
+  HwCostInputs bad;
+  bad.die_area_mm2 = 0.0;
+  EXPECT_THROW(estimate_hw_cost(bad), precondition_error);
+}
+
+}  // namespace
+}  // namespace tecfan::core

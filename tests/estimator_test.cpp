@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <memory>
+
+#include "linalg/lu.h"
+#include "linalg/ordering.h"
+#include "thermal/core_estimator.h"
+#include "thermal/solvers.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace tecfan {
+namespace {
+
+using thermal::ChipThermalModel;
+using thermal::CoreEstimator;
+using thermal::Floorplan;
+using thermal::kComponentsPerTile;
+
+std::shared_ptr<const ChipThermalModel> model22() {
+  static auto m = std::make_shared<const ChipThermalModel>(
+      Floorplan::scc(2, 2), thermal::PackageParameters{},
+      thermal::TecParameters{});
+  return m;
+}
+
+// ---------------------------------------------------------------- ordering
+TEST(Rcm, PathGraphGetsBandwidthOne) {
+  // A path graph numbered randomly must come back with bandwidth 1.
+  const std::size_t n = 12;
+  std::vector<std::size_t> shuffle(n);
+  for (std::size_t i = 0; i < n; ++i) shuffle[i] = i;
+  Rng rng(5);
+  for (std::size_t i = n; i > 1; --i)
+    std::swap(shuffle[i - 1], shuffle[rng.below(i)]);
+  std::vector<std::vector<std::size_t>> graph(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    graph[shuffle[i]].push_back(shuffle[i + 1]);
+    graph[shuffle[i + 1]].push_back(shuffle[i]);
+  }
+  const auto perm = linalg::reverse_cuthill_mckee(graph);
+  EXPECT_EQ(linalg::bandwidth_under(graph, perm), 1u);
+}
+
+TEST(Rcm, PermutationIsValid) {
+  linalg::SparseBuilder b(10, 10);
+  Rng rng(9);
+  for (int e = 0; e < 15; ++e) {
+    const std::size_t i = rng.below(10), j = rng.below(10);
+    if (i != j) b.add_conductance(i, j, 1.0);
+  }
+  for (std::size_t i = 0; i < 10; ++i) b.add_to_diagonal(i, 1.0);
+  const auto m = b.build();
+  const auto perm = linalg::reverse_cuthill_mckee(m);
+  ASSERT_EQ(perm.size(), 10u);
+  std::vector<bool> seen(10, false);
+  for (std::size_t p : perm) {
+    ASSERT_LT(p, 10u);
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+TEST(Rcm, NeverWorseThanIdentityOnChainPlusNoise) {
+  // RCM should (weakly) beat the identity ordering on a banded-ish graph
+  // with a few long-range edges.
+  const std::size_t n = 40;
+  std::vector<std::vector<std::size_t>> graph(n);
+  auto link = [&](std::size_t a, std::size_t b) {
+    graph[a].push_back(b);
+    graph[b].push_back(a);
+  };
+  for (std::size_t i = 0; i + 1 < n; ++i) link(i, i + 1);
+  link(0, n - 1);
+  link(3, 30);
+  std::vector<std::size_t> identity(n);
+  for (std::size_t i = 0; i < n; ++i) identity[i] = i;
+  const auto perm = linalg::reverse_cuthill_mckee(graph);
+  EXPECT_LE(linalg::bandwidth_under(graph, perm),
+            linalg::bandwidth_under(graph, identity));
+}
+
+TEST(Rcm, HandlesDisconnectedComponents) {
+  std::vector<std::vector<std::size_t>> graph(6);
+  graph[0] = {1};
+  graph[1] = {0};
+  graph[4] = {5};
+  graph[5] = {4};
+  const auto perm = linalg::reverse_cuthill_mckee(graph);
+  EXPECT_EQ(perm.size(), 6u);
+}
+
+TEST(Rcm, PermuteSymmetricRoundTrip) {
+  Rng rng(3);
+  linalg::DenseMatrix a(5, 5);
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c <= r; ++c) a(r, c) = a(c, r) = rng.uniform();
+  const std::vector<std::size_t> perm = {4, 2, 0, 1, 3};
+  const auto p = linalg::permute_symmetric(a, perm);
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 5; ++c)
+      EXPECT_DOUBLE_EQ(p(r, c), a(perm[r], perm[c]));
+}
+
+// ----------------------------------------------------------- core estimator
+TEST(CoreEstimatorTest, LocalNodeCountAndBandwidth) {
+  for (int core = 0; core < 4; ++core) {
+    const CoreEstimator est(model22(), core);
+    EXPECT_EQ(est.local_node_count(),
+              static_cast<std::size_t>(kComponentsPerTile) + 2 * 9);
+    // The Sec. III-E band-matrix claim: a genuine band far narrower than
+    // the dense size.
+    EXPECT_LT(est.bandwidth(), est.local_node_count() / 2);
+    EXPECT_GT(est.bandwidth(), 0u);
+  }
+}
+
+TEST(CoreEstimatorTest, ExactWhenBoundaryIsTruth) {
+  // With boundary temperatures taken from the true global solution, the
+  // conditioned solve must reproduce the global solution on local nodes.
+  auto model = model22();
+  thermal::SteadyStateSolver global(model);
+  linalg::Vector power(model->component_count(), 0.3);
+  power[model->floorplan().index_of(1, thermal::ComponentKind::kFpMul)] =
+      1.2;
+  thermal::CoolingState cooling = model->make_cooling_state(35.0);
+  cooling.tec_on[model->tec_base_of_tile(1) + 4] = 1;
+  const linalg::Vector truth = global.solve(power, cooling);
+
+  const CoreEstimator est(model, /*core=*/1);
+  std::vector<double> comp_power(kComponentsPerTile);
+  const auto comps = model->floorplan().components_of_core(1);
+  for (int k = 0; k < kComponentsPerTile; ++k)
+    comp_power[static_cast<std::size_t>(k)] =
+        power[comps[static_cast<std::size_t>(k)]];
+  std::vector<std::uint8_t> tec_on(9, 0);
+  tec_on[4] = 1;
+
+  const linalg::Vector local = est.steady(comp_power, tec_on, truth);
+  for (std::size_t i = 0; i < est.local_node_count(); ++i)
+    EXPECT_NEAR(local[i], truth[est.local_to_global()[i]], 1e-7)
+        << "local node " << i;
+}
+
+TEST(CoreEstimatorTest, ComponentMappingConsistent) {
+  auto model = model22();
+  const CoreEstimator est(model, 2);
+  const auto comps = model->floorplan().components_of_core(2);
+  for (int k = 0; k < kComponentsPerTile; ++k) {
+    const std::size_t local = est.local_of_component(k);
+    EXPECT_EQ(est.local_to_global()[local],
+              model->die_node(comps[static_cast<std::size_t>(k)]));
+  }
+  EXPECT_THROW(est.local_of_component(18), precondition_error);
+}
+
+TEST(CoreEstimatorTest, StaleBoundaryGivesSmallBiasOnly) {
+  // With slightly stale boundary temperatures (0.5 K off), the local
+  // estimate moves by the same order — no amplification.
+  auto model = model22();
+  thermal::SteadyStateSolver global(model);
+  const linalg::Vector power(model->component_count(), 0.35);
+  const thermal::CoolingState cooling = model->make_cooling_state(40.0);
+  const linalg::Vector truth = global.solve(power, cooling);
+
+  const CoreEstimator est(model, 0);
+  std::vector<double> comp_power(kComponentsPerTile, 0.35);
+  const std::vector<std::uint8_t> tec_off(9, 0);
+  linalg::Vector stale = truth;
+  for (auto& v : stale) v += 0.5;
+  const linalg::Vector exact = est.steady(comp_power, tec_off, truth);
+  const linalg::Vector biased = est.steady(comp_power, tec_off, stale);
+  for (std::size_t i = 0; i < est.local_node_count(); ++i) {
+    EXPECT_GE(biased[i], exact[i]);
+    EXPECT_LE(biased[i] - exact[i], 0.5 + 1e-9);
+  }
+}
+
+TEST(CoreEstimatorTest, TecActivationCoolsLocally) {
+  auto model = model22();
+  thermal::SteadyStateSolver global(model);
+  const linalg::Vector power(model->component_count(), 0.4);
+  const thermal::CoolingState cooling = model->make_cooling_state(40.0);
+  const linalg::Vector truth = global.solve(power, cooling);
+
+  const CoreEstimator est(model, 0);
+  std::vector<double> comp_power(kComponentsPerTile, 0.4);
+  std::vector<std::uint8_t> tec(9, 0);
+  const linalg::Vector before = est.steady(comp_power, tec, truth);
+  tec[0] = 1;
+  const linalg::Vector after = est.steady(comp_power, tec, truth);
+  // The device's cold face (and some die node) must get cooler.
+  bool some_cooler = false;
+  for (std::size_t i = 0; i < est.local_node_count(); ++i)
+    if (after[i] < before[i] - 0.5) some_cooler = true;
+  EXPECT_TRUE(some_cooler);
+}
+
+TEST(CoreEstimatorTest, ExponentialBlendUsesLocalTaus) {
+  auto model = model22();
+  const CoreEstimator est(model, 3);
+  const linalg::Vector steady(est.local_node_count(), 350.0);
+  const linalg::Vector prev(est.local_node_count(), 330.0);
+  const auto now = est.exponential(steady, prev, 2e-3);
+  for (std::size_t i = 0; i < now.size(); ++i) {
+    EXPECT_GE(now[i], 330.0 - 1e-12);
+    EXPECT_LE(now[i], 350.0 + 1e-12);
+  }
+  const auto frozen = est.exponential(steady, prev, 0.0);
+  EXPECT_LT(max_abs_diff(frozen, prev), 1e-12);
+}
+
+TEST(CoreEstimatorTest, MuchCheaperThanGlobalSystem) {
+  // On the full 16-core chip, the per-core banded factorization cost
+  // (n * bw^2) is orders of magnitude below a dense solve of the full
+  // network — the Sec. III-E viability argument.
+  auto model = std::make_shared<const ChipThermalModel>(
+      Floorplan::scc(4, 4), thermal::PackageParameters{},
+      thermal::TecParameters{});
+  const CoreEstimator est(model, 5);
+  const double local_cost = static_cast<double>(est.local_node_count()) *
+                            est.bandwidth() * est.bandwidth();
+  const double global_cost =
+      std::pow(static_cast<double>(model->node_count()), 3) / 3.0;
+  EXPECT_LT(local_cost * 1000, global_cost);
+}
+
+TEST(CoreEstimatorTest, RejectsBadInputs) {
+  auto model = model22();
+  EXPECT_THROW(CoreEstimator(model, 4), precondition_error);
+  EXPECT_THROW(CoreEstimator(nullptr, 0), precondition_error);
+  const CoreEstimator est(model, 0);
+  const std::vector<double> short_power(5, 0.1);
+  const std::vector<std::uint8_t> tec(9, 0);
+  const linalg::Vector temps(model->node_count(), 330.0);
+  EXPECT_THROW(est.steady(short_power, tec, temps), precondition_error);
+}
+
+}  // namespace
+}  // namespace tecfan

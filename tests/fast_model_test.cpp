@@ -1,0 +1,161 @@
+// FastChipPlanningModel (incremental per-core evaluation) vs the exact
+// global ChipPlanningModel: agreement bounds and speed-relevant invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/chip_planning_model.h"
+#include "core/fast_planning_model.h"
+#include "core/tecfan_policy.h"
+#include "sim/defaults.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tecfan::core {
+namespace {
+
+const sim::ChipModels& models() {
+  static const sim::ChipModels m = sim::make_chip_models(2, 2);
+  return m;
+}
+
+ChipPlanningModel::Config config() {
+  ChipPlanningModel::Config cfg;
+  cfg.fan = models().fan;
+  cfg.dvfs = models().dvfs;
+  cfg.leakage = models().leak_linear;
+  cfg.threshold_k = 363.15;
+  return cfg;
+}
+
+ChipPlanningModel::Observation observation(int fan_level = 1) {
+  const auto& model = *models().thermal;
+  ChipPlanningModel::Observation obs;
+  obs.comp_temps_k.assign(model.component_count(), 352.0);
+  // Non-uniform powers so per-core deltas are non-trivial.
+  obs.comp_dyn_power_w.assign(model.component_count(), 0.0);
+  Rng rng(17);
+  for (auto& p : obs.comp_dyn_power_w) p = rng.uniform(0.1, 0.7);
+  obs.core_ips.assign(4, 1.1e9);
+  obs.applied = KnobState::initial(4, model.tec_count(), fan_level);
+  obs.applied.dvfs = {0, 1, 0, 2};
+  obs.applied.tec_on[3] = 1;
+  return obs;
+}
+
+struct Pair {
+  ChipPlanningModel exact{models().thermal, config()};
+  FastChipPlanningModel fast{models().thermal, config()};
+
+  explicit Pair(const ChipPlanningModel::Observation& obs) {
+    exact.observe(obs);
+    fast.observe(obs);
+  }
+};
+
+TEST(FastModel, BaselinePredictionIsExact) {
+  const auto obs = observation();
+  Pair p(obs);
+  const Prediction e = p.exact.predict(obs.applied);
+  const Prediction f = p.fast.predict(obs.applied);
+  EXPECT_NEAR(f.max_temp_k(), e.max_temp_k(), 1e-9);
+  EXPECT_NEAR(f.epi(), e.epi(), 1e-12);
+  EXPECT_EQ(p.fast.incremental_predictions(), 0u);  // cache hit
+}
+
+TEST(FastModel, SingleTecToggleTracksExactModel) {
+  const auto obs = observation();
+  Pair p(obs);
+  KnobState k = obs.applied;
+  k.tec_on[5] = 1;  // a device on core 0
+  const Prediction e = p.exact.predict(k);
+  const Prediction f = p.fast.predict(k);
+  EXPECT_EQ(p.fast.incremental_predictions(), 1u);
+  // Spot temps within a fraction of a kelvin (boundary approximation).
+  for (std::size_t s = 0; s < e.spot_temps_k.size(); ++s)
+    EXPECT_NEAR(f.spot_temps_k[s], e.spot_temps_k[s], 0.35) << s;
+  EXPECT_NEAR(f.power.total_w(), e.power.total_w(),
+              0.01 * e.power.total_w());
+  EXPECT_NEAR(f.ips, e.ips, 1);
+}
+
+TEST(FastModel, SingleDvfsStepTracksExactModel) {
+  const auto obs = observation();
+  Pair p(obs);
+  KnobState k = obs.applied;
+  k.dvfs[2] = 2;  // a two-level jump: a large per-core power swing
+  const Prediction e = p.exact.predict(k);
+  const Prediction f = p.fast.predict(k);
+  // The locality approximation holds neighbours at the baseline, so the
+  // changed core reads slightly hot when it sheds a lot of power; ~2 K for
+  // this (aggressive) two-level candidate, well under the swing itself.
+  for (std::size_t s = 0; s < e.spot_temps_k.size(); ++s)
+    EXPECT_NEAR(f.spot_temps_k[s], e.spot_temps_k[s], 2.0) << s;
+  EXPECT_NEAR(f.power.dynamic_w, e.power.dynamic_w, 1e-6);
+  EXPECT_NEAR(f.ips, e.ips, 1);
+  EXPECT_NEAR(f.epi(), e.epi(), 0.02 * e.epi());
+}
+
+TEST(FastModel, MultiCoreChangesStillTrack) {
+  const auto obs = observation();
+  Pair p(obs);
+  KnobState k = obs.applied;
+  k.dvfs = {1, 2, 1, 3};
+  k.tec_on[0] = k.tec_on[11] = k.tec_on[20] = 1;
+  const Prediction e = p.exact.predict(k);
+  const Prediction f = p.fast.predict(k);
+  for (std::size_t s = 0; s < e.spot_temps_k.size(); ++s)
+    EXPECT_NEAR(f.spot_temps_k[s], e.spot_temps_k[s], 2.5) << s;
+  EXPECT_NEAR(f.power.total_w(), e.power.total_w(),
+              0.02 * e.power.total_w());
+}
+
+TEST(FastModel, FanChangeFallsBackToGlobalPath) {
+  const auto obs = observation();
+  Pair p(obs);
+  KnobState k = obs.applied;
+  k.fan_level = 4;
+  const Prediction e = p.exact.predict(k);
+  const Prediction f = p.fast.predict(k);
+  EXPECT_EQ(p.fast.global_predictions(), 1u);
+  EXPECT_NEAR(f.max_temp_k(), e.max_temp_k(), 1e-9);  // identical path
+}
+
+TEST(FastModel, TecFanDecisionsAgreeWithExactModel) {
+  // Run TECfan's decision procedure on both models from the same hot
+  // observation; the chosen knob configurations should be equivalent in
+  // predicted outcome (same EPI within a couple of percent, both meeting
+  // the constraint when feasible).
+  auto obs = observation(/*fan_level=*/3);
+  for (auto& t : obs.comp_temps_k) t = 361.0;  // near the 363.15 threshold
+  Pair p(obs);
+  PolicyOptions opt;
+  opt.constraint_margin_k = 0.0;
+  TecFanPolicy pol_exact(opt), pol_fast(opt);
+  const KnobState ke = pol_exact.decide(p.exact, obs.applied);
+  const KnobState kf = pol_fast.decide(p.fast, obs.applied);
+  const Prediction pe = p.exact.predict(ke);
+  const Prediction pf = p.exact.predict(kf);  // judge both on the exact model
+  EXPECT_NEAR(pf.epi(), pe.epi(), 0.03 * pe.epi());
+}
+
+TEST(FastModel, InterfaceDelegatesToExact) {
+  const auto obs = observation();
+  Pair p(obs);
+  EXPECT_EQ(p.fast.core_count(), p.exact.core_count());
+  EXPECT_EQ(p.fast.tec_count(), p.exact.tec_count());
+  EXPECT_EQ(p.fast.spot_count(), p.exact.spot_count());
+  EXPECT_DOUBLE_EQ(p.fast.threshold_k(), p.exact.threshold_k());
+  EXPECT_EQ(p.fast.tecs_over(0).size(), p.exact.tecs_over(0).size());
+  EXPECT_THROW(
+      FastChipPlanningModel(nullptr, config()), precondition_error);
+}
+
+TEST(FastModel, PredictBeforeObserveThrows) {
+  FastChipPlanningModel fast(models().thermal, config());
+  EXPECT_THROW(fast.predict(KnobState::initial(4, 36)), precondition_error);
+}
+
+}  // namespace
+}  // namespace tecfan::core

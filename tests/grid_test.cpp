@@ -1,0 +1,187 @@
+// Grid-vs-block thermal cross-validation, plus Dynamic-fan policy tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/dynamic_fan_policy.h"
+#include "sim/server_system.h"
+#include "thermal/grid_model.h"
+#include "thermal/network.h"
+#include "thermal/solvers.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace tecfan {
+namespace {
+
+using thermal::ChipThermalModel;
+using thermal::Floorplan;
+using thermal::GridThermalModel;
+
+const GridThermalModel& grid22() {
+  static const GridThermalModel g(Floorplan::scc(2, 2),
+                                  thermal::PackageParameters{}, 26, 36);
+  return g;
+}
+
+std::shared_ptr<const ChipThermalModel> block22() {
+  static auto m = std::make_shared<const ChipThermalModel>(
+      Floorplan::scc(2, 2), thermal::PackageParameters{},
+      thermal::TecParameters{});
+  return m;
+}
+
+TEST(GridModel, ZeroPowerIsAmbient) {
+  const linalg::Vector p(grid22().floorplan().component_count(), 0.0);
+  const auto t = grid22().steady(p, 40.0);
+  for (double v : t)
+    EXPECT_NEAR(v, thermal::PackageParameters{}.ambient_k, 1e-5);
+}
+
+TEST(GridModel, EnergyConservation) {
+  const double per_comp = 0.35;
+  const linalg::Vector p(grid22().floorplan().component_count(), per_comp);
+  const auto t = grid22().steady(p, 40.0);
+  // All injected heat leaves through convection (fixed + airflow).
+  const thermal::PackageParameters pkg;
+  const double g_conv = pkg.convection_g_total(40.0);
+  // Average sink temperature weighted equally per tile.
+  double sink_avg = 0.0;
+  const auto n_cells = grid22().cell_count();
+  const int n_tiles = grid22().floorplan().core_count();
+  for (int i = 0; i < n_tiles; ++i)
+    sink_avg += t[n_cells + static_cast<std::size_t>(n_tiles + i)];
+  sink_avg /= n_tiles;
+  const double heat_out = g_conv * (sink_avg - pkg.ambient_k);
+  const double heat_in =
+      per_comp * grid22().floorplan().component_count();
+  EXPECT_NEAR(heat_out, heat_in, 0.01 * heat_in);
+}
+
+TEST(GridModel, MoreAirflowIsCooler) {
+  const linalg::Vector p(grid22().floorplan().component_count(), 0.4);
+  const auto slow = grid22().steady(p, 10.0);
+  const auto fast = grid22().steady(p, 60.0);
+  EXPECT_LT(grid22().peak_die_temp(fast), grid22().peak_die_temp(slow));
+}
+
+TEST(GridModel, HotComponentShowsUpOnTheGrid) {
+  linalg::Vector p(grid22().floorplan().component_count(), 0.05);
+  const std::size_t hot = grid22().floorplan().index_of(
+      3, thermal::ComponentKind::kFpMul);
+  p[hot] = 1.5;
+  const auto t = grid22().steady(p, 40.0);
+  const auto comp_t = grid22().component_temps(t);
+  for (std::size_t i = 0; i < comp_t.size(); ++i) {
+    if (i != hot) {
+      EXPECT_GT(comp_t[hot], comp_t[i]);
+    }
+  }
+}
+
+TEST(GridModel, CrossValidatesBlockModel) {
+  // The headline validation: for a cholesky-like power map with TECs off,
+  // the block model's per-component temperatures track the fine grid's
+  // within a few kelvin, and the peaks agree.
+  auto block = block22();
+  thermal::SteadyStateSolver solver(block);
+  linalg::Vector p(block->component_count(), 0.0);
+  for (std::size_t i = 0; i < block->component_count(); ++i) {
+    const auto kind = block->floorplan().component(i).kind;
+    const double density =
+        thermal::is_logic_block(kind) ? 1.2e6 : 0.5e6;  // W/m^2
+    p[i] = density * block->floorplan().component(i).rect.area();
+  }
+  const auto t_block = solver.solve(p, block->make_cooling_state(45.0));
+  const auto t_grid_nodes = grid22().steady(p, 45.0);
+  const auto t_grid = grid22().component_temps(t_grid_nodes);
+
+  linalg::Vector block_comp(block->component_count());
+  for (std::size_t i = 0; i < block->component_count(); ++i)
+    block_comp[i] = t_block[block->die_node(i)];
+
+  EXPECT_LT(rmse(block_comp, t_grid), 2.5);
+  double block_peak = 0.0;
+  for (double v : block_comp) block_peak = std::max(block_peak, v);
+  EXPECT_NEAR(block_peak, grid22().peak_die_temp(t_grid_nodes), 4.0);
+}
+
+TEST(GridModel, RefinementConverges) {
+  // Doubling the grid resolution barely moves component temperatures.
+  const Floorplan fp = Floorplan::scc(1, 1);
+  const GridThermalModel coarse(fp, thermal::PackageParameters{}, 13, 18);
+  const GridThermalModel fine(fp, thermal::PackageParameters{}, 26, 36);
+  linalg::Vector p(fp.component_count(), 0.3);
+  const auto tc = coarse.component_temps(coarse.steady(p, 40.0));
+  const auto tf = fine.component_temps(fine.steady(p, 40.0));
+  EXPECT_LT(max_abs_diff(tc, tf), 1.0);
+}
+
+TEST(GridModel, InputValidation) {
+  EXPECT_THROW(GridThermalModel(Floorplan::scc(1, 1),
+                                thermal::PackageParameters{}, 0, 10),
+               precondition_error);
+  const linalg::Vector wrong(3, 0.0);
+  EXPECT_THROW(grid22().steady(wrong, 40.0), precondition_error);
+}
+
+// ------------------------------------------------------------ dynamic fan
+TEST(DynamicFan, SpeedsUpWhenHotSlowsWhenCool) {
+  auto thermal_model = std::make_shared<const sim::ServerThermalModel>();
+  sim::ServerConfig cfg;
+  sim::ServerPlanningModel planner(thermal_model, cfg);
+  sim::ServerPlanningModel::Observation obs;
+  obs.demand.assign(4, 0.5);
+  obs.applied = core::KnobState::initial(4, 4, 3);
+
+  core::PolicyOptions opt;
+  opt.manage_fan = true;
+  opt.fan_period_intervals = 1;
+  core::DynamicFanPolicy policy(opt);
+
+  obs.core_temps_k.assign(4, cfg.threshold_k + 2.0);  // hot
+  planner.observe(obs);
+  EXPECT_EQ(policy.decide(planner, obs.applied).fan_level, 2);
+
+  obs.core_temps_k.assign(4, cfg.threshold_k - 10.0);  // cool
+  planner.observe(obs);
+  core::DynamicFanPolicy policy2(opt);
+  EXPECT_EQ(policy2.decide(planner, obs.applied).fan_level, 4);
+}
+
+TEST(DynamicFan, HoldsInsideTheMargin) {
+  auto thermal_model = std::make_shared<const sim::ServerThermalModel>();
+  sim::ServerConfig cfg;
+  sim::ServerPlanningModel planner(thermal_model, cfg);
+  sim::ServerPlanningModel::Observation obs;
+  obs.demand.assign(4, 0.5);
+  obs.applied = core::KnobState::initial(4, 4, 3);
+  obs.core_temps_k.assign(4, cfg.threshold_k - 0.2);  // within margin
+  planner.observe(obs);
+  core::PolicyOptions opt;
+  opt.manage_fan = true;
+  opt.fan_period_intervals = 1;
+  core::DynamicFanPolicy policy(opt);
+  EXPECT_EQ(policy.decide(planner, obs.applied).fan_level, 3);
+}
+
+TEST(DynamicFan, RespectsFanCadence) {
+  auto thermal_model = std::make_shared<const sim::ServerThermalModel>();
+  sim::ServerConfig cfg;
+  sim::ServerPlanningModel planner(thermal_model, cfg);
+  sim::ServerPlanningModel::Observation obs;
+  obs.demand.assign(4, 0.5);
+  obs.applied = core::KnobState::initial(4, 4, 3);
+  obs.core_temps_k.assign(4, cfg.threshold_k + 5.0);
+  planner.observe(obs);
+  core::PolicyOptions opt;
+  opt.manage_fan = true;
+  opt.fan_period_intervals = 10;
+  core::DynamicFanPolicy policy(opt);
+  EXPECT_EQ(policy.decide(planner, obs.applied).fan_level, 2);  // turn 0
+  EXPECT_EQ(policy.decide(planner, obs.applied).fan_level, 3);  // off-cadence
+}
+
+}  // namespace
+}  // namespace tecfan

@@ -1,0 +1,464 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "linalg/banded.h"
+#include "linalg/cholesky.h"
+#include "linalg/iterative.h"
+#include "linalg/lu.h"
+#include "linalg/matrix.h"
+#include "linalg/sparse.h"
+#include "linalg/systolic.h"
+#include "linalg/woodbury.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace tecfan::linalg {
+namespace {
+
+DenseMatrix random_diag_dominant(std::size_t n, Rng& rng,
+                                 bool symmetric = false) {
+  DenseMatrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+  if (symmetric)
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < r; ++c) a(r, c) = a(c, r);
+  for (std::size_t r = 0; r < n; ++r) a(r, r) = static_cast<double>(n) + 2.0;
+  return a;
+}
+
+Vector random_vector(std::size_t n, Rng& rng) {
+  Vector v(n);
+  for (auto& x : v) x = rng.uniform(-2.0, 2.0);
+  return v;
+}
+
+double residual_norm(const DenseMatrix& a, const Vector& x, const Vector& b) {
+  Vector ax(b.size());
+  a.matvec(x, ax);
+  return max_abs_diff(ax, b);
+}
+
+// ---------------------------------------------------------------- matrix
+TEST(DenseMatrix, IdentityMatvec) {
+  const DenseMatrix i = DenseMatrix::identity(4);
+  const Vector x = {1, 2, 3, 4};
+  Vector y(4);
+  i.matvec(x, y);
+  EXPECT_EQ(x, y);
+}
+
+TEST(DenseMatrix, MatvecKnownValues) {
+  DenseMatrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const Vector x = {1, 1, 1};
+  Vector y(2);
+  a.matvec(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 6);
+  EXPECT_DOUBLE_EQ(y[1], 15);
+  Vector z(3);
+  const Vector w = {1, 1};
+  a.matvec_transpose(w, z);
+  EXPECT_DOUBLE_EQ(z[0], 5);
+  EXPECT_DOUBLE_EQ(z[2], 9);
+}
+
+TEST(DenseMatrix, SymmetryCheck) {
+  Rng rng(5);
+  EXPECT_TRUE(random_diag_dominant(6, rng, true).is_symmetric());
+  DenseMatrix a = random_diag_dominant(6, rng, true);
+  a(0, 5) += 1e-6;
+  EXPECT_FALSE(a.is_symmetric(1e-9));
+  EXPECT_TRUE(a.is_symmetric(1e-3));
+}
+
+TEST(VectorOps, DotNormAxpy) {
+  const Vector a = {3, 4};
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(a), 4.0);
+  EXPECT_DOUBLE_EQ(dot(a, a), 25.0);
+  Vector b = {1, 1};
+  axpy(2.0, a, b);
+  EXPECT_DOUBLE_EQ(b[0], 7);
+  EXPECT_DOUBLE_EQ(b[1], 9);
+  EXPECT_THROW(dot(a, Vector{1}), precondition_error);
+}
+
+// -------------------------------------------------------------------- lu
+class LuSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuSizes, SolvesRandomSystems) {
+  Rng rng(GetParam() * 7 + 1);
+  const DenseMatrix a = random_diag_dominant(GetParam(), rng);
+  const Vector b = random_vector(GetParam(), rng);
+  const LuFactorization lu(a);
+  const Vector x = lu.solve(b);
+  EXPECT_LT(residual_norm(a, x, b), 1e-9);
+}
+
+TEST_P(LuSizes, SolveTransposeConsistent) {
+  Rng rng(GetParam() * 11 + 3);
+  const DenseMatrix a = random_diag_dominant(GetParam(), rng);
+  const Vector b = random_vector(GetParam(), rng);
+  const Vector x = LuFactorization(a).solve_transpose(b);
+  // Residual of A^T x = b.
+  Vector atx(b.size());
+  a.matvec_transpose(x, atx);
+  EXPECT_LT(max_abs_diff(atx, b), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuSizes,
+                         ::testing::Values(1, 2, 3, 5, 16, 40, 97));
+
+TEST(Lu, DetectsSingularity) {
+  DenseMatrix a(3, 3);  // rank 1
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = 1.0;
+  EXPECT_THROW(LuFactorization{a}, numerical_error);
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingDiagonal) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  const Vector x = LuFactorization(a).solve(Vector{2.0, 3.0});
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+}
+
+TEST(Lu, DeterminantKnownValues) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 3;
+  a(0, 1) = 1;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_NEAR(LuFactorization(a).determinant(), 10.0, 1e-12);
+  EXPECT_NEAR(LuFactorization(DenseMatrix::identity(5)).determinant(), 1.0,
+              1e-12);
+}
+
+TEST(Lu, SolveInPlaceMatchesSolve) {
+  Rng rng(77);
+  const DenseMatrix a = random_diag_dominant(12, rng);
+  const Vector b = random_vector(12, rng);
+  const LuFactorization lu(a);
+  Vector x = b;
+  lu.solve_in_place(x);
+  EXPECT_LT(max_abs_diff(x, lu.solve(b)), 1e-13);
+}
+
+TEST(Lu, RejectsNonSquare) {
+  EXPECT_THROW(LuFactorization(DenseMatrix(2, 3)), precondition_error);
+}
+
+// -------------------------------------------------------------- cholesky
+class CholeskySizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CholeskySizes, MatchesLuOnSpdSystems) {
+  Rng rng(GetParam() * 13 + 5);
+  const DenseMatrix a = random_diag_dominant(GetParam(), rng, true);
+  const Vector b = random_vector(GetParam(), rng);
+  const Vector x_chol = CholeskyFactorization(a).solve(b);
+  const Vector x_lu = LuFactorization(a).solve(b);
+  EXPECT_LT(max_abs_diff(x_chol, x_lu), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySizes,
+                         ::testing::Values(1, 2, 8, 33, 64));
+
+TEST(Cholesky, RejectsIndefinite) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 1;  // eigenvalues 3, -1
+  EXPECT_THROW(CholeskyFactorization{a}, numerical_error);
+}
+
+// ---------------------------------------------------------------- sparse
+TEST(Sparse, BuilderAccumulatesDuplicates) {
+  SparseBuilder b(3, 3);
+  b.add(0, 0, 1.0);
+  b.add(0, 0, 2.0);
+  b.add(1, 2, -4.0);
+  const SparseMatrix m = b.build();
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), -4.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 2), 0.0);
+  EXPECT_EQ(m.nonzeros(), 2u);
+}
+
+TEST(Sparse, ConductanceStampIsSymmetricWithZeroRowSum) {
+  SparseBuilder b(4, 4);
+  b.add_conductance(0, 2, 1.5);
+  b.add_conductance(1, 3, 0.5);
+  const SparseMatrix m = b.build();
+  EXPECT_DOUBLE_EQ(m.asymmetry(), 0.0);
+  const Vector ones(4, 1.0);
+  Vector y(4);
+  m.matvec(ones, y);
+  for (double v : y) EXPECT_NEAR(v, 0.0, 1e-14);
+}
+
+TEST(Sparse, MatvecMatchesDense) {
+  Rng rng(31);
+  SparseBuilder b(20, 20);
+  for (int k = 0; k < 60; ++k)
+    b.add(rng.below(20), rng.below(20), rng.uniform(-1, 1));
+  for (std::size_t i = 0; i < 20; ++i) b.add_to_diagonal(i, 25.0);
+  const SparseMatrix m = b.build();
+  const DenseMatrix d = m.to_dense();
+  const Vector x = random_vector(20, rng);
+  Vector ys(20), yd(20);
+  m.matvec(x, ys);
+  d.matvec(x, yd);
+  EXPECT_LT(max_abs_diff(ys, yd), 1e-12);
+}
+
+TEST(Sparse, CancellingEntriesDropped) {
+  SparseBuilder b(2, 2);
+  b.add(0, 1, 1.0);
+  b.add(0, 1, -1.0);
+  EXPECT_EQ(b.build().nonzeros(), 0u);
+}
+
+TEST(Sparse, IndexGuards) {
+  SparseBuilder b(2, 2);
+  EXPECT_THROW(b.add(2, 0, 1.0), precondition_error);
+  EXPECT_THROW(b.add_conductance(1, 1, 1.0), precondition_error);
+}
+
+// ------------------------------------------------------------- iterative
+class IterativeSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(IterativeSizes, CgMatchesDirectOnSpd) {
+  Rng rng(GetParam() * 3 + 11);
+  const std::size_t n = GetParam();
+  SparseBuilder b(n, n);
+  // Chain conductances: SPD after grounding.
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    b.add_conductance(i, i + 1, 1.0 + rng.uniform());
+  for (std::size_t i = 0; i < n; ++i)
+    b.add_to_diagonal(i, 0.1 + rng.uniform());
+  const SparseMatrix m = b.build();
+  const Vector rhs = random_vector(n, rng);
+  const IterativeResult res = conjugate_gradient(m, rhs);
+  EXPECT_TRUE(res.converged);
+  const Vector x_direct = LuFactorization(m.to_dense()).solve(rhs);
+  EXPECT_LT(max_abs_diff(res.x, x_direct), 1e-6);
+}
+
+TEST_P(IterativeSizes, BicgstabMatchesDirectOnNonsymmetric) {
+  Rng rng(GetParam() * 5 + 17);
+  const std::size_t n = GetParam();
+  SparseBuilder b(n, n);
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    b.add_conductance(i, i + 1, 1.0 + rng.uniform());
+  for (std::size_t i = 0; i < n; ++i)
+    b.add_to_diagonal(i, 0.5 + rng.uniform());
+  // Asymmetric Peltier-like diagonal perturbations plus an off-diagonal.
+  b.add(0, n - 1, 0.05);
+  const SparseMatrix m = b.build();
+  const Vector rhs = random_vector(n, rng);
+  const IterativeResult res = bicgstab(m, rhs);
+  EXPECT_TRUE(res.converged);
+  const Vector x_direct = LuFactorization(m.to_dense()).solve(rhs);
+  EXPECT_LT(max_abs_diff(res.x, x_direct), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IterativeSizes,
+                         ::testing::Values(2, 5, 20, 100));
+
+TEST(Iterative, ZeroRhsConvergesImmediately) {
+  SparseBuilder b(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) b.add_to_diagonal(i, 1.0);
+  const SparseMatrix m = b.build();
+  const Vector zero(3, 0.0);
+  EXPECT_TRUE(conjugate_gradient(m, zero).converged);
+  EXPECT_TRUE(bicgstab(m, zero).converged);
+}
+
+TEST(Iterative, CgRejectsIndefinite) {
+  SparseBuilder b(2, 2);
+  b.add_to_diagonal(0, 1.0);
+  b.add_to_diagonal(1, -1.0);
+  const SparseMatrix m = b.build();
+  IterativeOptions opts;
+  opts.jacobi_preconditioner = false;
+  EXPECT_THROW(conjugate_gradient(m, Vector{1.0, 1.0}, opts),
+               numerical_error);
+}
+
+// ---------------------------------------------------------------- banded
+class BandWidths : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(BandWidths, SolveMatchesDense) {
+  const auto [kl, ku] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(kl * 10 + ku));
+  const std::size_t n = 30;
+  BandMatrix a(n, static_cast<std::size_t>(kl), static_cast<std::size_t>(ku));
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      if (a.in_band(r, c))
+        a.at(r, c) = (r == c) ? 10.0 + rng.uniform() : rng.uniform(-1, 1);
+  const Vector b = random_vector(n, rng);
+  const Vector x_band = BandLu(a).solve(b);
+  const Vector x_dense = LuFactorization(a.to_dense()).solve(b);
+  EXPECT_LT(max_abs_diff(x_band, x_dense), 1e-9);
+}
+
+TEST_P(BandWidths, MatvecMatchesDense) {
+  const auto [kl, ku] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(kl * 100 + ku));
+  const std::size_t n = 25;
+  BandMatrix a(n, static_cast<std::size_t>(kl), static_cast<std::size_t>(ku));
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      if (a.in_band(r, c)) a.at(r, c) = rng.uniform(-1, 1);
+  const Vector x = random_vector(n, rng);
+  Vector yb(n), yd(n);
+  a.matvec(x, yb);
+  a.to_dense().matvec(x, yd);
+  EXPECT_LT(max_abs_diff(yb, yd), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, BandWidths,
+    ::testing::Values(std::make_pair(0, 0), std::make_pair(1, 0),
+                      std::make_pair(0, 1), std::make_pair(1, 1),
+                      std::make_pair(3, 2), std::make_pair(5, 5)));
+
+TEST(Banded, FromDenseValidatesBand) {
+  DenseMatrix d(4, 4);
+  d(0, 0) = 1;
+  d(3, 0) = 0.5;  // outside a (1,1) band
+  EXPECT_THROW(BandMatrix::from_dense(d, 1, 1), precondition_error);
+  EXPECT_NO_THROW(BandMatrix::from_dense(d, 3, 1));
+}
+
+TEST(Banded, OutOfBandReadsZero) {
+  BandMatrix a(5, 1, 1);
+  a.at(2, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(a.get(2, 2), 7.0);
+  EXPECT_DOUBLE_EQ(a.get(0, 4), 0.0);
+  EXPECT_THROW(a.at(0, 4), precondition_error);
+}
+
+// -------------------------------------------------------------- woodbury
+class WoodburyRanks : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WoodburyRanks, MatchesDirectRefactor) {
+  Rng rng(GetParam() * 19 + 2);
+  const std::size_t n = 40;
+  const DenseMatrix a0 = random_diag_dominant(n, rng);
+  auto base = std::make_shared<LuFactorization>(a0);
+  DiagonalUpdateSolver solver(base);
+
+  std::vector<std::pair<std::size_t, double>> updates;
+  DenseMatrix a1 = a0;
+  for (std::size_t k = 0; k < GetParam(); ++k) {
+    const std::size_t node = rng.below(n);
+    const double delta = rng.uniform(-0.5, 3.0);
+    updates.push_back({node, delta});
+    a1(node, node) += delta;
+  }
+  solver.set_updates(updates);
+  const Vector b = random_vector(n, rng);
+  const Vector x_wood = solver.solve(b);
+  const Vector x_direct = LuFactorization(a1).solve(b);
+  EXPECT_LT(max_abs_diff(x_wood, x_direct), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, WoodburyRanks,
+                         ::testing::Values(0, 1, 2, 5, 17, 39));
+
+TEST(Woodbury, DuplicateNodesAccumulate) {
+  Rng rng(9);
+  const std::size_t n = 10;
+  const DenseMatrix a0 = random_diag_dominant(n, rng);
+  auto base = std::make_shared<LuFactorization>(a0);
+  DiagonalUpdateSolver solver(base);
+  solver.set_updates({{3, 1.0}, {3, 2.0}});
+  EXPECT_EQ(solver.update_rank(), 1u);
+  DenseMatrix a1 = a0;
+  a1(3, 3) += 3.0;
+  const Vector b = random_vector(n, rng);
+  EXPECT_LT(max_abs_diff(solver.solve(b), LuFactorization(a1).solve(b)),
+            1e-9);
+}
+
+TEST(Woodbury, CancellingDeltaIsIdentity) {
+  Rng rng(10);
+  const DenseMatrix a0 = random_diag_dominant(8, rng);
+  auto base = std::make_shared<LuFactorization>(a0);
+  DiagonalUpdateSolver solver(base);
+  solver.set_updates({{2, 1.5}, {2, -1.5}});
+  EXPECT_EQ(solver.update_rank(), 0u);
+  const Vector b = random_vector(8, rng);
+  EXPECT_LT(max_abs_diff(solver.solve(b), base->solve(b)), 1e-12);
+}
+
+TEST(Woodbury, ColumnCachePersistsAcrossUpdateSets) {
+  Rng rng(12);
+  const DenseMatrix a0 = random_diag_dominant(12, rng);
+  DiagonalUpdateSolver solver(std::make_shared<LuFactorization>(a0));
+  solver.set_updates({{1, 1.0}, {2, 1.0}});
+  EXPECT_EQ(solver.cached_columns(), 2u);
+  solver.set_updates({{2, 2.0}, {3, 1.0}});
+  EXPECT_EQ(solver.cached_columns(), 3u);  // node 2 reused, node 3 added
+}
+
+TEST(Woodbury, RejectsOutOfRangeNode) {
+  Rng rng(13);
+  DiagonalUpdateSolver solver(
+      std::make_shared<LuFactorization>(random_diag_dominant(4, rng)));
+  EXPECT_THROW(solver.set_updates({{4, 1.0}}), precondition_error);
+}
+
+// -------------------------------------------------------------- systolic
+class SystolicSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SystolicSizes, MatchesSoftwareMatvec) {
+  Rng rng(GetParam() + 41);
+  const std::size_t n = GetParam();
+  BandMatrix a(n, std::min<std::size_t>(2, n - 1),
+               std::min<std::size_t>(1, n - 1));
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      if (a.in_band(r, c)) a.at(r, c) = rng.uniform(-1, 1);
+  const Vector x = random_vector(n, rng);
+  Vector y_ref(n);
+  a.matvec(x, y_ref);
+  const auto run = systolic_band_matvec(a, x);
+  EXPECT_LT(max_abs_diff(run.y, y_ref), 1e-14);
+  EXPECT_EQ(run.pe_count, a.lower_bandwidth() + a.upper_bandwidth() + 1);
+  // Last output drains within n + width cycles.
+  EXPECT_LE(run.cycles, n + run.pe_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SystolicSizes,
+                         ::testing::Values(2, 3, 18, 54, 200));
+
+TEST(SystolicCost, PaperNumbers) {
+  SystolicCostModel m;  // defaults: M=18, K=3, 8-bit
+  EXPECT_EQ(m.multiplier_count(), 54u);
+  // 16-bit reference scaled quadratically to 8-bit.
+  EXPECT_NEAR(m.multiplier_area_mm2(), 0.057 * 0.25, 1e-12);
+  EXPECT_NEAR(m.total_area_mm2(), 54 * 0.057 * 0.25, 1e-9);
+  EXPECT_LT(m.area_overhead(), 0.017);  // paper: < 1.7%
+  EXPECT_GT(m.power_w(), 0.0);
+  EXPECT_LT(m.power_w() / 125.9, 0.017);
+}
+
+}  // namespace
+}  // namespace tecfan::linalg

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "power/breakdown.h"
+#include "power/dvfs.h"
+#include "power/dynamic.h"
+#include "power/fan.h"
+#include "power/leakage.h"
+#include "thermal/floorplan.h"
+#include "util/error.h"
+
+namespace tecfan::power {
+namespace {
+
+// ------------------------------------------------------------------- fan
+TEST(Fan, DynatronAnchorsMatchPaper) {
+  const FanModel fan = FanModel::dynatron_r16();
+  EXPECT_EQ(fan.level_count(), 8);
+  EXPECT_NEAR(fan.power_w(0), 14.4, 1e-9);  // paper: 14.4 W at level 1
+  EXPECT_NEAR(fan.power_w(1), 3.8, 0.05);   // paper: 3.8 W at level 2
+}
+
+TEST(Fan, CubicPowerLaw) {
+  const FanModel fan = FanModel::dynatron_r16();
+  for (int l = 0; l < fan.level_count(); ++l) {
+    const double rpm_ratio = fan.level(l).rpm / fan.level(0).rpm;
+    EXPECT_NEAR(fan.power_w(l), 14.4 * std::pow(rpm_ratio, 3.0), 1e-9);
+  }
+}
+
+TEST(Fan, AirflowProportionalToRpm) {
+  const FanModel fan = FanModel::dynatron_r16();
+  for (int l = 1; l < fan.level_count(); ++l) {
+    EXPECT_LT(fan.airflow_cfm(l), fan.airflow_cfm(l - 1));
+    EXPECT_NEAR(fan.airflow_cfm(l) / fan.airflow_cfm(0),
+                fan.level(l).rpm / fan.level(0).rpm, 1e-9);
+  }
+}
+
+TEST(Fan, LevelBoundsChecked) {
+  const FanModel fan = FanModel::dynatron_r16();
+  EXPECT_THROW(fan.level(-1), precondition_error);
+  EXPECT_THROW(fan.level(8), precondition_error);
+  EXPECT_EQ(fan.slowest_level(), 7);
+}
+
+TEST(Fan, RejectsUnorderedLevels) {
+  EXPECT_THROW(FanModel({{1000, 10, 1.0}, {2000, 20, 2.0}}),
+               precondition_error);
+  EXPECT_THROW(FanModel({{2000, 20, 1.0}, {1000, 10, 2.0}}),
+               precondition_error);
+  EXPECT_THROW(FanModel({}), precondition_error);
+}
+
+// ------------------------------------------------------------------ dvfs
+TEST(Dvfs, SccTableShape) {
+  const DvfsTable t = DvfsTable::scc();
+  EXPECT_EQ(t.level_count(), 6);
+  EXPECT_NEAR(t.frequency_hz(0), 1.0e9, 1);
+  EXPECT_NEAR(t.level(0).vdd, 1.10, 1e-9);
+  for (int l = 1; l < t.level_count(); ++l) {
+    EXPECT_LT(t.frequency_hz(l), t.frequency_hz(l - 1));
+    EXPECT_LE(t.level(l).vdd, t.level(l - 1).vdd);
+  }
+}
+
+TEST(Dvfs, DynScaleIsEq7) {
+  const DvfsTable t = DvfsTable::scc();
+  // Eq. (7): (F_new/F_old) * (V_new/V_old)^2.
+  const double expected =
+      (0.9e9 / 1.0e9) * (1.05 / 1.10) * (1.05 / 1.10);
+  EXPECT_NEAR(t.dyn_scale(0, 1), expected, 1e-12);
+  EXPECT_NEAR(t.dyn_scale(1, 0), 1.0 / expected, 1e-12);
+  EXPECT_DOUBLE_EQ(t.dyn_scale(3, 3), 1.0);
+}
+
+TEST(Dvfs, FreqScaleIsEq11) {
+  const DvfsTable t = DvfsTable::scc();
+  EXPECT_NEAR(t.freq_scale(0, 5), 0.533, 1e-9);
+  EXPECT_NEAR(t.freq_scale(5, 0) * t.freq_scale(0, 5), 1.0, 1e-12);
+}
+
+TEST(Dvfs, SuperlinearPowerReductionAtLinearPerformanceCost) {
+  // The paper's DVFS motivation: dynamic power drops much faster than
+  // frequency (f * V(f)^2, ~f^1.8 over this table's voltage range).
+  const DvfsTable t = DvfsTable::scc();
+  const int bottom = t.slowest_level();
+  EXPECT_LT(t.dyn_scale(0, bottom),
+            std::pow(t.freq_scale(0, bottom), 1.5));
+}
+
+TEST(Dvfs, ValidationRejectsBadTables) {
+  EXPECT_THROW(DvfsTable({}), precondition_error);
+  EXPECT_THROW(DvfsTable({{1e9, 1.0}, {2e9, 1.1}}), precondition_error);
+  EXPECT_THROW(DvfsTable({{2e9, 1.0}, {1e9, 1.1}}), precondition_error);
+  EXPECT_THROW(DvfsTable::scc().level(6), precondition_error);
+}
+
+// --------------------------------------------------------------- leakage
+TEST(Leakage, LinearModelIsEq6) {
+  LinearLeakageModel m;
+  m.p_tdp_leak_w = 20.0;
+  m.t_tdp_k = 363.15;
+  m.alpha_w_per_k = 0.25;
+  // At T_TDP the chip leaks exactly P_TDPleak, distributed by area.
+  EXPECT_NEAR(m.chip_leakage_w(363.15), 20.0, 1e-12);
+  EXPECT_NEAR(m.component_leakage_w(0.1, 363.15), 2.0, 1e-12);
+  // Linear slope above and below.
+  EXPECT_NEAR(m.chip_leakage_w(373.15), 22.5, 1e-12);
+  EXPECT_NEAR(m.chip_leakage_w(343.15), 15.0, 1e-12);
+}
+
+TEST(Leakage, LinearClampsAtZero) {
+  LinearLeakageModel m;
+  m.p_tdp_leak_w = 1.0;
+  m.alpha_w_per_k = 1.0;
+  EXPECT_DOUBLE_EQ(m.chip_leakage_w(m.t_tdp_k - 100.0), 0.0);
+}
+
+TEST(Leakage, QuadraticMatchedTangentAtTdp) {
+  const LinearLeakageModel lin;
+  const QuadraticLeakageModel quad =
+      QuadraticLeakageModel::matched_to(lin, 2.5e-3);
+  // Same value at T_TDP.
+  EXPECT_NEAR(quad.chip_leakage_w(lin.t_tdp_k), lin.p_tdp_leak_w, 1e-9);
+  // Same slope (finite difference).
+  const double h = 0.01;
+  const double slope_quad = (quad.chip_leakage_w(lin.t_tdp_k + h) -
+                             quad.chip_leakage_w(lin.t_tdp_k - h)) /
+                            (2 * h);
+  EXPECT_NEAR(slope_quad, lin.alpha_w_per_k, 1e-6);
+}
+
+TEST(Leakage, QuadraticConvexAboveTangentLine) {
+  // Leakage is convex in temperature: the linear Eq. (6) model, tangent at
+  // the TDP point, underestimates the quadratic plant everywhere else —
+  // the controller-vs-plant leakage mismatch is one-sided.
+  const LinearLeakageModel lin;
+  const QuadraticLeakageModel quad = QuadraticLeakageModel::matched_to(lin);
+  for (double t = 320.0; t < 380.0; t += 5.0) {
+    const double tangent =
+        lin.p_tdp_leak_w + lin.alpha_w_per_k * (t - lin.t_tdp_k);
+    EXPECT_GE(quad.chip_leakage_w(t), tangent - 1e-9);
+  }
+}
+
+TEST(Leakage, AreaFractionGuarded) {
+  const LinearLeakageModel lin;
+  EXPECT_THROW(lin.component_leakage_w(1.5, 350.0), precondition_error);
+  EXPECT_THROW(lin.component_leakage_w(-0.1, 350.0), precondition_error);
+}
+
+// --------------------------------------------------------------- dynamic
+TEST(Dynamic, ComponentPowerScalesLinearly) {
+  const DynamicPowerModel m = DynamicPowerModel::scc_calibrated();
+  const thermal::Floorplan fp = thermal::Floorplan::scc(1, 1);
+  const auto& comp = fp.component(
+      fp.index_of(0, thermal::ComponentKind::kFpMul));
+  const double base = m.component_power_w(comp, 0.5, 1.0, 1.0);
+  EXPECT_GT(base, 0.0);
+  EXPECT_NEAR(m.component_power_w(comp, 1.0, 1.0, 1.0), 2 * base, 1e-12);
+  EXPECT_NEAR(m.component_power_w(comp, 0.5, 0.5, 1.0), base / 2, 1e-12);
+  EXPECT_NEAR(m.component_power_w(comp, 0.5, 1.0, 3.0), 3 * base, 1e-12);
+  EXPECT_DOUBLE_EQ(m.component_power_w(comp, 0.0, 1.0, 1.0), 0.0);
+}
+
+TEST(Dynamic, LogicDenserThanCaches) {
+  const DynamicPowerModel m = DynamicPowerModel::scc_calibrated();
+  EXPECT_GT(m.density_w_per_m2(thermal::ComponentKind::kFpMul),
+            m.density_w_per_m2(thermal::ComponentKind::kL2));
+  EXPECT_GT(m.density_w_per_m2(thermal::ComponentKind::kIntExec),
+            m.density_w_per_m2(thermal::ComponentKind::kVoltReg));
+}
+
+TEST(Dynamic, PeakChipPowerIsPlausible) {
+  const DynamicPowerModel m = DynamicPowerModel::scc_calibrated();
+  const thermal::Floorplan fp = thermal::Floorplan::scc();
+  const double peak = m.peak_chip_power_w(fp);
+  // All components at activity 1 and top DVFS: same order as the SCC's
+  // measured full-chip power.
+  EXPECT_GT(peak, 60.0);
+  EXPECT_LT(peak, 250.0);
+}
+
+TEST(Dynamic, InputValidation) {
+  const DynamicPowerModel m = DynamicPowerModel::scc_calibrated();
+  const thermal::Floorplan fp = thermal::Floorplan::scc(1, 1);
+  const auto& comp = fp.component(0);
+  EXPECT_THROW(m.component_power_w(comp, 1.5, 1.0, 1.0), precondition_error);
+  EXPECT_THROW(m.component_power_w(comp, 0.5, -1.0, 1.0),
+               precondition_error);
+}
+
+// ------------------------------------------------------------- breakdown
+TEST(Breakdown, BucketsSumCorrectly) {
+  PowerBreakdown p;
+  p.dynamic_w = 100;
+  p.leakage_w = 20;
+  p.tec_w = 3;
+  p.fan_w = 14;
+  EXPECT_DOUBLE_EQ(p.chip_w(), 120);
+  EXPECT_DOUBLE_EQ(p.cooling_w(), 17);
+  EXPECT_DOUBLE_EQ(p.total_w(), 137);
+  PowerBreakdown q = p;
+  q += p;
+  EXPECT_DOUBLE_EQ(q.total_w(), 274);
+}
+
+}  // namespace
+}  // namespace tecfan::power

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/exhaustive_policies.h"
+#include "core/reactive_policies.h"
+#include "core/tecfan_policy.h"
+#include "perf/wikipedia_trace.h"
+#include "sim/server_system.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace tecfan::sim {
+namespace {
+
+std::shared_ptr<const ServerThermalModel> model() {
+  static auto m = std::make_shared<const ServerThermalModel>();
+  return m;
+}
+
+ServerConfig short_config(double seconds = 40.0) {
+  ServerConfig cfg;
+  cfg.duration_s = seconds;
+  cfg.max_extra_s = 30.0;
+  return cfg;
+}
+
+// ------------------------------------------------------------- thermal
+TEST(ServerThermal, ZeroPowerIsAmbient) {
+  const std::vector<double> p(4, 0.0);
+  const std::vector<std::uint8_t> off(4, 0);
+  const auto t = model()->steady(p, off, 30.0);
+  for (double v : t) EXPECT_NEAR(v, model()->params().ambient_k, 1e-9);
+}
+
+TEST(ServerThermal, PowerRaisesCoreAboveSpreaderAboveSink) {
+  const std::vector<double> p(4, 12.0);
+  const std::vector<std::uint8_t> off(4, 0);
+  const auto t = model()->steady(p, off, 40.0);
+  EXPECT_GT(t[model()->core_node(0)], t[model()->spreader_node()]);
+  EXPECT_GT(t[model()->spreader_node()], t[model()->sink_node()]);
+  EXPECT_GT(t[model()->sink_node()], model()->params().ambient_k);
+}
+
+TEST(ServerThermal, TecCoolsItsCore) {
+  const std::vector<double> p(4, 12.0);
+  std::vector<std::uint8_t> tec(4, 0);
+  const auto t_off = model()->steady(p, tec, 40.0);
+  tec[2] = 1;
+  const auto t_on = model()->steady(p, tec, 40.0);
+  EXPECT_LT(t_on[model()->core_node(2)], t_off[model()->core_node(2)] - 1.0);
+  // Other cores barely move (slightly warmer from rejected heat).
+  EXPECT_NEAR(t_on[model()->core_node(0)], t_off[model()->core_node(0)],
+              1.0);
+}
+
+TEST(ServerThermal, FasterAirflowCools) {
+  const std::vector<double> p(4, 12.0);
+  const std::vector<std::uint8_t> off(4, 0);
+  const auto slow = model()->steady(p, off, 9.6);
+  const auto fast = model()->steady(p, off, 60.0);
+  EXPECT_LT(fast[model()->core_node(0)], slow[model()->core_node(0)] - 2.0);
+}
+
+TEST(ServerThermal, TransientConvergesToSteady) {
+  const std::vector<double> p(4, 10.0);
+  const std::vector<std::uint8_t> off(4, 0);
+  const auto ts = model()->steady(p, off, 30.0);
+  linalg::Vector t(ServerThermalModel::kNodes, model()->params().ambient_k);
+  for (int i = 0; i < 600; ++i) t = model()->step(t, p, off, 30.0, 1.0);
+  EXPECT_LT(max_abs_diff(t, ts), 0.05);
+}
+
+TEST(ServerThermal, TecPowerFollowsEq9) {
+  const auto& prm = model()->params();
+  linalg::Vector t(ServerThermalModel::kNodes, 330.0);
+  t[model()->hot_node(1)] = 345.0;
+  t[model()->cold_node(1)] = 325.0;
+  const double expected =
+      prm.tec_r_ohm * prm.tec_current_a * prm.tec_current_a +
+      prm.tec_alpha_v_per_k * prm.tec_current_a * 20.0;
+  EXPECT_NEAR(model()->tec_power_w(t, 1, true), expected, 1e-12);
+  EXPECT_DOUBLE_EQ(model()->tec_power_w(t, 1, false), 0.0);
+}
+
+TEST(ServerThermal, LeakageLinearInTemperature) {
+  const auto& prm = model()->params();
+  EXPECT_NEAR(model()->leakage_w(prm.leak_ref_k), prm.leak_base_w, 1e-12);
+  EXPECT_NEAR(model()->leakage_w(prm.leak_ref_k + 10.0),
+              prm.leak_base_w + 10.0 * prm.leak_alpha_w_per_k, 1e-12);
+  EXPECT_DOUBLE_EQ(model()->leakage_w(0.0), 0.0);  // clamped
+}
+
+TEST(ServerThermal, TausSeparateCoreAndSinkScales) {
+  const auto& taus = model()->taus();
+  EXPECT_LT(taus[model()->core_node(0)], 5.0);
+  EXPECT_GT(taus[model()->sink_node()], 20.0);
+}
+
+// ------------------------------------------------------------- planning
+TEST(ServerPlanning, PredictionRespondsToAllKnobs) {
+  ServerPlanningModel planner(model(), ServerConfig{});
+  ServerPlanningModel::Observation obs;
+  obs.core_temps_k.assign(4, 338.0);
+  obs.demand.assign(4, 0.55);
+  obs.applied = core::KnobState::initial(4, 4, 2);
+  planner.observe(obs);
+
+  const core::Prediction base = planner.predict_steady(obs.applied);
+  core::KnobState faster_fan = obs.applied;
+  faster_fan.fan_level = 0;
+  EXPECT_LT(planner.predict_steady(faster_fan).max_temp_k(),
+            base.max_temp_k());
+  core::KnobState throttled = obs.applied;
+  throttled.dvfs = {2, 2, 2, 2};
+  const core::Prediction pt = planner.predict_steady(throttled);
+  EXPECT_LT(pt.max_temp_k(), base.max_temp_k());
+  EXPECT_LT(pt.power.dynamic_w, base.power.dynamic_w);
+  core::KnobState cooled = obs.applied;
+  cooled.tec_on = {1, 1, 1, 1};
+  EXPECT_LT(planner.predict_steady(cooled).max_temp_k(), base.max_temp_k());
+}
+
+TEST(ServerPlanning, ServedIpsSaturatesWithDemand) {
+  ServerConfig cfg;
+  ServerPlanningModel planner(model(), cfg);
+  ServerPlanningModel::Observation obs;
+  obs.core_temps_k.assign(4, 330.0);
+  obs.demand.assign(4, 0.3);  // light load
+  obs.applied = core::KnobState::initial(4, 4, 0);
+  planner.observe(obs);
+  core::KnobState top = obs.applied;
+  core::KnobState mid = obs.applied;
+  mid.dvfs = {1, 1, 1, 1};
+  // At light load both serve everything: same served IPS, less capacity.
+  const auto p_top = planner.predict(top);
+  const auto p_mid = planner.predict(mid);
+  EXPECT_NEAR(p_top.ips, p_mid.ips, 1);
+  EXPECT_GT(p_top.capacity_ips, p_mid.capacity_ips);
+}
+
+TEST(ServerPlanning, SpotMappingIsPerCore) {
+  ServerPlanningModel planner(model(), ServerConfig{});
+  EXPECT_EQ(planner.spot_count(), 4u);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(planner.core_of_spot(s), static_cast<int>(s));
+    ASSERT_EQ(planner.tecs_over(s).size(), 1u);
+    EXPECT_EQ(planner.tecs_over(s)[0], s);
+  }
+}
+
+// ------------------------------------------------------------ simulator
+TEST(ServerSimulator, ShortRunProducesSaneMetrics) {
+  perf::WikipediaTrace trace;
+  ServerSimulator sim(short_config());
+  core::FanOnlyPolicy policy;  // static knobs
+  const RunResult r = sim.run(policy, trace);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.avg_power.dynamic_w, 10.0);
+  EXPECT_LT(r.avg_power.dynamic_w, 80.0);
+  EXPECT_GT(r.avg_ips, 0.0);
+  EXPECT_EQ(r.workload, "wikipedia");
+  EXPECT_NEAR(r.energy_j, r.avg_total_power_w() * r.exec_time_s,
+              0.05 * r.energy_j);
+}
+
+TEST(ServerSimulator, DeterministicRuns) {
+  perf::WikipediaTrace trace;
+  ServerSimulator sim(short_config());
+  core::TecFanPolicy p1, p2;
+  const RunResult a = sim.run(p1, trace);
+  const RunResult b = sim.run(p2, trace);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+  EXPECT_DOUBLE_EQ(a.peak_temp_k, b.peak_temp_k);
+}
+
+TEST(ServerSimulator, RecordsIpsAndCapacityTraces) {
+  perf::WikipediaTrace trace;
+  ServerSimulator sim(short_config());
+  core::FanOnlyPolicy policy;
+  const RunResult r = sim.run(policy, trace);
+  (void)r;
+  ASSERT_FALSE(sim.last_ips_trace().empty());
+  ASSERT_FALSE(sim.last_capacity_trace().empty());
+  EXPECT_EQ(sim.last_ips_trace().size(), sim.last_capacity_trace().size());
+  // At top DVFS the capacity is 4 cores x peak ips.
+  EXPECT_NEAR(sim.last_capacity_trace()[0],
+              4.0 * sim.config().core_model.peak_ips, 1);
+  // Served never exceeds capacity.
+  for (std::size_t i = 0; i < sim.last_ips_trace().size(); ++i)
+    EXPECT_LE(sim.last_ips_trace()[i], sim.last_capacity_trace()[i] + 1e-6);
+}
+
+TEST(ServerSimulator, BacklogExtendsExecutionWhenSaturated) {
+  perf::WikipediaTrace trace;
+  ServerConfig cfg = short_config(60.0);
+  ServerSimulator sim(cfg);
+  // Pin everything at the slowest DVFS level: capacity < peak demand, so
+  // backlog forms and drains after the trace window.
+  class SlowestPolicy final : public core::Policy {
+   public:
+    std::string_view name() const override { return "slowest"; }
+    core::KnobState decide(core::PlanningModel& m,
+                           const core::KnobState& cur) override {
+      core::KnobState k = cur;
+      for (auto& d : k.dvfs) d = m.dvfs_level_count() - 1;
+      return k;
+    }
+  } slow;
+  const RunResult r = sim.run(slow, trace);
+  core::FanOnlyPolicy fast;
+  const RunResult rf = sim.run(fast, trace);
+  EXPECT_GE(r.exec_time_s, rf.exec_time_s);
+  EXPECT_LT(r.avg_power.dynamic_w, rf.avg_power.dynamic_w);
+}
+
+TEST(ServerSimulator, OraclePolicySavesEnergyOverOftec) {
+  // The Fig. 7 headline, on a short window for test runtime.
+  perf::WikipediaTrace trace;
+  ServerConfig cfg = short_config(30.0);
+  ServerSimulator sim(cfg);
+  core::PolicyOptions popt;
+  popt.manage_fan = true;
+  popt.fan_period_intervals = cfg.fan_period_intervals;
+  core::ExhaustiveOptions xopt;
+  xopt.base = popt;
+  core::OftecPolicy oftec(xopt);
+  const RunResult r_oftec = sim.run(oftec, trace);
+  core::OraclePolicy oracle(xopt);
+  const RunResult r_oracle = sim.run(oracle, trace);
+  core::TecFanPolicy tecfan(popt);
+  const RunResult r_tecfan = sim.run(tecfan, trace);
+  EXPECT_LT(r_oracle.energy_j, r_oftec.energy_j);
+  EXPECT_LT(r_tecfan.energy_j, r_oftec.energy_j);
+  EXPECT_LE(r_oracle.energy_j, r_tecfan.energy_j * 1.02);
+}
+
+}  // namespace
+}  // namespace tecfan::sim

@@ -1,0 +1,361 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "core/reactive_policies.h"
+#include "core/tecfan_policy.h"
+#include "perf/splash2.h"
+#include "sim/chip_simulator.h"
+#include "sim/defaults.h"
+#include "sim/experiment.h"
+#include "sim/trace_io.h"
+#include "util/csv.h"
+#include "util/error.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace tecfan::sim {
+namespace {
+
+// All mechanics tests run on a 2x2 chip for speed; the full 4x4 calibration
+// lives in integration_test.cpp.
+ChipModels& small_models() {
+  static ChipModels m = make_chip_models(2, 2);
+  return m;
+}
+
+ChipSimulator& small_simulator() {
+  static ChipSimulator sim(small_models());
+  return sim;
+}
+
+perf::WorkloadPtr small_workload(const std::string& bench = "cholesky") {
+  static std::map<std::string, perf::WorkloadPtr> cache;
+  auto it = cache.find(bench);
+  if (it != cache.end()) return it->second;
+  auto wl = perf::make_splash_workload(bench, 4,
+                                       small_models().thermal->floorplan(),
+                                       small_models().dynamic,
+                                       small_models().leak_quad);
+  cache[bench] = wl;
+  return wl;
+}
+
+// ---------------------------------------------------------------- defaults
+TEST(Defaults, ModelBundleIsConsistent) {
+  const ChipModels& m = small_models();
+  ASSERT_NE(m.thermal, nullptr);
+  EXPECT_EQ(m.thermal->floorplan().core_count(), 4);
+  // The quadratic plant model is matched to the linear controller model.
+  EXPECT_NEAR(m.leak_quad.chip_leakage_w(m.leak_linear.t_tdp_k),
+              m.leak_linear.p_tdp_leak_w, 1e-9);
+}
+
+// -------------------------------------------------------------- simulator
+TEST(ChipSimulator, EquilibriumIsSelfConsistent) {
+  auto wl = small_workload();
+  const auto knobs = core::KnobState::initial(
+      4, small_models().thermal->tec_count(), 0);
+  const linalg::Vector t = small_simulator().equilibrium(*wl, knobs);
+  EXPECT_EQ(t.size(), small_models().thermal->node_count());
+  for (double v : t) {
+    EXPECT_GT(v, small_models().thermal->ambient_k() - 1e-6);
+    EXPECT_LT(v, celsius_to_kelvin(150.0));
+  }
+}
+
+TEST(ChipSimulator, BaseRunCompletesOnSchedule) {
+  auto wl = small_workload();
+  core::FanOnlyPolicy policy;
+  RunConfig cfg;
+  cfg.threshold_k = 1e6;
+  cfg.fan_level = 0;
+  const RunResult r = small_simulator().run(policy, *wl, cfg);
+  EXPECT_TRUE(r.completed);
+  // Completion within a few control intervals of the Table I time
+  // (interval quantization + phase noise): cholesky/4t is 57.2 ms.
+  EXPECT_NEAR(r.exec_time_s * 1e3, 57.2, 6.0);
+  EXPECT_GT(r.energy_j, 0.0);
+  EXPECT_GT(r.avg_ips, 0.0);
+  EXPECT_EQ(r.policy, "Fan-only");
+}
+
+TEST(ChipSimulator, RunsAreDeterministic) {
+  auto wl = small_workload();
+  core::FanTecPolicy p1, p2;
+  RunConfig cfg;
+  cfg.threshold_k = celsius_to_kelvin(70.0);
+  cfg.fan_level = 1;
+  const RunResult a = small_simulator().run(p1, *wl, cfg);
+  const RunResult b = small_simulator().run(p2, *wl, cfg);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+  EXPECT_DOUBLE_EQ(a.peak_temp_k, b.peak_temp_k);
+  EXPECT_DOUBLE_EQ(a.exec_time_s, b.exec_time_s);
+  EXPECT_DOUBLE_EQ(a.violation_frac, b.violation_frac);
+}
+
+TEST(ChipSimulator, EnergyEqualsAvgPowerTimesTime) {
+  auto wl = small_workload();
+  core::FanOnlyPolicy policy;
+  RunConfig cfg;
+  cfg.threshold_k = 1e6;
+  cfg.fan_level = 2;
+  const RunResult r = small_simulator().run(policy, *wl, cfg);
+  // Completion can land mid-interval; energy integrates full intervals, so
+  // compare using the trace length.
+  const double sim_time =
+      static_cast<double>(r.trace.size()) *
+      small_simulator().control_period_s();
+  EXPECT_NEAR(r.energy_j, r.avg_total_power_w() * sim_time,
+              0.01 * r.energy_j);
+}
+
+TEST(ChipSimulator, SlowerFanRaisesTemperature) {
+  auto wl = small_workload();
+  RunConfig cfg;
+  cfg.threshold_k = 1e6;
+  double prev_peak = 0.0;
+  for (int level : {0, 3, 6}) {
+    core::FanOnlyPolicy policy;
+    cfg.fan_level = level;
+    const RunResult r = small_simulator().run(policy, *wl, cfg);
+    EXPECT_GT(r.peak_temp_k, prev_peak);
+    prev_peak = r.peak_temp_k;
+  }
+}
+
+TEST(ChipSimulator, ThrottlingExtendsExecution) {
+  auto wl = small_workload();
+  RunConfig cfg;
+  // Threshold low enough that Fan+DVFS must throttle hard.
+  core::FanOnlyPolicy base_policy;
+  cfg.threshold_k = 1e6;
+  cfg.fan_level = 0;
+  const RunResult base = small_simulator().run(base_policy, *wl, cfg);
+
+  core::FanDvfsPolicy dvfs_policy;
+  cfg.threshold_k = base.peak_temp_k - 6.0;
+  cfg.fan_level = 4;
+  cfg.max_sim_time_s = 2.0;
+  const RunResult throttled = small_simulator().run(dvfs_policy, *wl, cfg);
+  EXPECT_TRUE(throttled.completed);
+  EXPECT_GT(throttled.exec_time_s, base.exec_time_s * 1.05);
+  EXPECT_LT(throttled.avg_power.dynamic_w, base.avg_power.dynamic_w);
+}
+
+TEST(ChipSimulator, ViolationFractionIsPerComponentSample) {
+  auto wl = small_workload();
+  core::FanOnlyPolicy policy;
+  RunConfig cfg;
+  cfg.fan_level = 0;
+  // Threshold below every die temperature: every sample violates.
+  cfg.threshold_k = small_models().thermal->ambient_k();
+  const RunResult all = small_simulator().run(policy, *wl, cfg);
+  EXPECT_NEAR(all.violation_frac, 1.0, 1e-9);
+  // Threshold above everything: none do.
+  core::FanOnlyPolicy policy2;
+  cfg.threshold_k = 1e6;
+  const RunResult none = small_simulator().run(policy2, *wl, cfg);
+  EXPECT_DOUBLE_EQ(none.violation_frac, 0.0);
+}
+
+TEST(ChipSimulator, TraceRecordsEveryInterval) {
+  auto wl = small_workload();
+  core::FanOnlyPolicy policy;
+  RunConfig cfg;
+  cfg.threshold_k = 1e6;
+  cfg.fan_level = 0;
+  cfg.record_trace = true;
+  const RunResult r = small_simulator().run(policy, *wl, cfg);
+  ASSERT_FALSE(r.trace.empty());
+  EXPECT_NEAR(static_cast<double>(r.trace.size()) *
+                  small_simulator().control_period_s(),
+              r.exec_time_s, small_simulator().control_period_s() + 1e-9);
+  for (std::size_t i = 1; i < r.trace.size(); ++i)
+    EXPECT_GT(r.trace[i].time_s, r.trace[i - 1].time_s);
+
+  core::FanOnlyPolicy policy2;
+  cfg.record_trace = false;
+  EXPECT_TRUE(small_simulator().run(policy2, *wl, cfg).trace.empty());
+}
+
+TEST(ChipSimulator, FanFixedUnlessPolicyManagesIt) {
+  auto wl = small_workload();
+  // TECfan with fan management enabled would move the fan; the harness
+  // pins it when policy_manages_fan is false.
+  core::PolicyOptions opt;
+  opt.manage_fan = true;
+  opt.fan_period_intervals = 1;
+  core::TecFanPolicy policy(opt);
+  RunConfig cfg;
+  cfg.threshold_k = 1e6;  // cool: fan loop would slow the fan to minimum
+  cfg.fan_level = 0;
+  cfg.policy_manages_fan = false;
+  cfg.record_trace = true;
+  const RunResult r = small_simulator().run(policy, *wl, cfg);
+  for (const auto& rec : r.trace) EXPECT_EQ(rec.fan_level, 0);
+
+  core::TecFanPolicy policy2(opt);
+  cfg.policy_manages_fan = true;
+  const RunResult r2 = small_simulator().run(policy2, *wl, cfg);
+  EXPECT_GT(r2.trace.back().fan_level, 0);
+}
+
+TEST(ChipSimulator, MaxSimTimeCapsRunaways) {
+  auto wl = small_workload();
+  core::FanOnlyPolicy policy;
+  RunConfig cfg;
+  cfg.threshold_k = 1e6;
+  cfg.fan_level = 0;
+  cfg.max_sim_time_s = 0.004;  // far less than the ~58 ms workload
+  const RunResult r = small_simulator().run(policy, *wl, cfg);
+  EXPECT_FALSE(r.completed);
+  EXPECT_NEAR(r.exec_time_s, 0.004, 1e-9);
+}
+
+TEST(ChipSimulator, SensorNoiseChangesControlButStaysSeeded) {
+  auto wl = small_workload();
+  RunConfig cfg;
+  core::FanTecPolicy p1, p2;
+  cfg.threshold_k = celsius_to_kelvin(69.0);
+  cfg.fan_level = 1;
+  cfg.sensor_noise_k = 0.3;
+  const RunResult a = small_simulator().run(p1, *wl, cfg);
+  const RunResult b = small_simulator().run(p2, *wl, cfg);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);  // same seed, same run
+}
+
+// -------------------------------------------------------------- experiment
+TEST(Experiment, BaseScenarioUsesTopEverything) {
+  auto wl = small_workload();
+  const RunResult base = measure_base_scenario(small_simulator(), *wl);
+  EXPECT_TRUE(base.completed);
+  EXPECT_EQ(base.fan_level, 0);
+  EXPECT_EQ(base.policy, "base");
+  EXPECT_DOUBLE_EQ(base.violation_frac, 0.0);  // unconstrained measurement
+  EXPECT_DOUBLE_EQ(base.avg_dvfs, 0.0);
+}
+
+TEST(Experiment, SweepPicksSlowestHoldingLevel) {
+  auto wl = small_workload();
+  const RunResult base = measure_base_scenario(small_simulator(), *wl);
+  SweepOptions opts;
+  opts.threshold_k = base.peak_temp_k;
+  // Fan-only holds only at the fastest level (threshold == its own peak).
+  SweepResult sw = run_with_fan_sweep(
+      small_simulator(), [] { return std::make_unique<core::FanOnlyPolicy>(); },
+      *wl, opts);
+  EXPECT_EQ(sw.chosen.fan_level, 0);
+  // It scanned from the slowest level up to 0.
+  EXPECT_EQ(sw.per_level.size(),
+            static_cast<std::size_t>(small_models().fan.level_count()));
+}
+
+TEST(Experiment, SweepAcceptsRegulatingPolicyAtSlowLevels) {
+  auto wl = small_workload();
+  const RunResult base = measure_base_scenario(small_simulator(), *wl);
+  SweepOptions opts;
+  opts.threshold_k = base.peak_temp_k;
+  // Fan+DVFS can regulate anywhere: picks the slowest level.
+  SweepResult sw = run_with_fan_sweep(
+      small_simulator(),
+      [] { return std::make_unique<core::FanDvfsPolicy>(); }, *wl, opts);
+  EXPECT_EQ(sw.chosen.fan_level, small_models().fan.level_count() - 1);
+  EXPECT_EQ(sw.per_level.size(), 1u);  // first scanned level passed
+}
+
+TEST(Experiment, MeanDvfsBoundRestrictsChoice) {
+  auto wl = small_workload();
+  const RunResult base = measure_base_scenario(small_simulator(), *wl);
+  SweepOptions opts;
+  opts.threshold_k = base.peak_temp_k;
+  opts.max_mean_dvfs = 0.0;  // no throttling allowed at all
+  SweepResult sw = run_with_fan_sweep(
+      small_simulator(),
+      [] { return std::make_unique<core::FanDvfsPolicy>(); }, *wl, opts);
+  // With throttling forbidden, Fan+DVFS behaves like Fan-only: only the
+  // fastest level qualifies.
+  EXPECT_EQ(sw.chosen.fan_level, 0);
+}
+
+TEST(Experiment, SweepRequiresThreshold) {
+  auto wl = small_workload();
+  SweepOptions opts;  // threshold unset
+  EXPECT_THROW(
+      run_with_fan_sweep(
+          small_simulator(),
+          [] { return std::make_unique<core::FanOnlyPolicy>(); }, *wl, opts),
+      precondition_error);
+}
+
+TEST(ChipSimulator, TecEngageDelayDeratesFirstSubstep) {
+  // With an (exaggerated) engage delay above half a substep, a device's
+  // first substep is held off: cooling engages later, energy differs.
+  auto wl = small_workload();
+  RunConfig cfg;
+  cfg.threshold_k = celsius_to_kelvin(69.0);
+  cfg.fan_level = 1;
+  core::FanTecPolicy p1, p2;
+  cfg.tec_engage_delay_s = 0.0;
+  const RunResult instant = small_simulator().run(p1, *wl, cfg);
+  cfg.tec_engage_delay_s = 400e-6;  // ~0.8 of a 500 us substep
+  const RunResult delayed = small_simulator().run(p2, *wl, cfg);
+  EXPECT_GE(delayed.peak_temp_k, instant.peak_temp_k - 1e-9);
+  // The paper's real 20 us delay is negligible at this substep length.
+  core::FanTecPolicy p3;
+  cfg.tec_engage_delay_s = 20e-6;
+  const RunResult paper = small_simulator().run(p3, *wl, cfg);
+  EXPECT_DOUBLE_EQ(paper.energy_j, instant.energy_j);
+}
+
+// ---------------------------------------------------------------- trace io
+TEST(TraceIo, TraceRoundTrips) {
+  auto wl = small_workload();
+  core::FanTecPolicy policy;
+  RunConfig cfg;
+  cfg.threshold_k = celsius_to_kelvin(70.0);
+  cfg.fan_level = 1;
+  cfg.record_trace = true;
+  const RunResult r = small_simulator().run(policy, *wl, cfg);
+  ASSERT_FALSE(r.trace.empty());
+  std::ostringstream os;
+  write_trace_csv(os, r);
+  const auto back = read_trace_csv(os.str());
+  ASSERT_EQ(back.size(), r.trace.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_NEAR(back[i].time_s, r.trace[i].time_s, 1e-9);
+    EXPECT_NEAR(back[i].peak_temp_k, r.trace[i].peak_temp_k, 1e-6);
+    EXPECT_EQ(back[i].fan_level, r.trace[i].fan_level);
+    EXPECT_EQ(back[i].tecs_on, r.trace[i].tecs_on);
+    EXPECT_EQ(back[i].violation, r.trace[i].violation);
+  }
+}
+
+TEST(TraceIo, SummaryCsvHasOneRowPerRun) {
+  auto wl = small_workload();
+  core::FanOnlyPolicy policy;
+  RunConfig cfg;
+  cfg.threshold_k = 1e6;
+  cfg.fan_level = 0;
+  std::vector<RunResult> results;
+  results.push_back(small_simulator().run(policy, *wl, cfg));
+  cfg.fan_level = 3;
+  core::FanOnlyPolicy policy2;
+  results.push_back(small_simulator().run(policy2, *wl, cfg));
+  std::ostringstream os;
+  write_summary_csv(os, results);
+  const auto rows = parse_csv(os.str());
+  ASSERT_EQ(rows.size(), 3u);  // header + 2 runs
+  EXPECT_EQ(rows[1][0], "Fan-only");
+  EXPECT_EQ(rows[2][2], "3");
+}
+
+TEST(TraceIo, RejectsForeignCsv) {
+  EXPECT_THROW(read_trace_csv("a,b,c\n1,2,3\n"), precondition_error);
+  EXPECT_THROW(read_trace_csv(""), precondition_error);
+}
+
+}  // namespace
+}  // namespace tecfan::sim

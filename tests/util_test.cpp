@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/error.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace tecfan {
+namespace {
+
+// ---------------------------------------------------------------- units
+TEST(Units, CelsiusKelvinRoundTrip) {
+  EXPECT_DOUBLE_EQ(celsius_to_kelvin(0.0), 273.15);
+  EXPECT_DOUBLE_EQ(kelvin_to_celsius(celsius_to_kelvin(85.3)), 85.3);
+  EXPECT_DOUBLE_EQ(celsius_to_kelvin(-273.15), 0.0);
+}
+
+TEST(Units, GeometryConversions) {
+  EXPECT_DOUBLE_EQ(mm_to_m(2.6), 2.6e-3);
+  EXPECT_DOUBLE_EQ(mm2_to_m2(9.36), 9.36e-6);
+  EXPECT_NEAR(cfm_to_m3s(60.0), 0.0283, 1e-3);
+}
+
+// ----------------------------------------------------------------- error
+TEST(Error, RequireThrowsPreconditionError) {
+  EXPECT_THROW(TECFAN_REQUIRE(false, "nope"), precondition_error);
+  EXPECT_NO_THROW(TECFAN_REQUIRE(true, ""));
+}
+
+TEST(Error, AssertThrowsInvariantError) {
+  EXPECT_THROW(TECFAN_ASSERT(1 == 2, "bug"), invariant_error);
+}
+
+TEST(Error, MessagesCarryContext) {
+  try {
+    TECFAN_REQUIRE(false, "the widget broke");
+    FAIL() << "should have thrown";
+  } catch (const precondition_error& e) {
+    EXPECT_NE(std::string(e.what()).find("the widget broke"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("util_test.cpp"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------------------- rng
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng r(11);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(r.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(13);
+  RunningStats s;
+  for (int i = 0; i < 40000; ++i) s.add(r.normal(3.0, 2.0));
+  EXPECT_NEAR(s.mean(), 3.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, BelowIsUnbiasedAndInRange) {
+  Rng r(17);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 70000; ++i) ++counts[r.below(7)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 450);
+}
+
+TEST(Rng, BelowRejectsZero) {
+  Rng r(1);
+  EXPECT_THROW(r.below(0), precondition_error);
+}
+
+TEST(Rng, ForkIsIndependentAndStable) {
+  Rng base(99);
+  Rng f1 = base.fork(1);
+  Rng f2 = base.fork(2);
+  Rng f1_again = base.fork(1);
+  EXPECT_EQ(f1.next_u64(), f1_again.next_u64());
+  EXPECT_NE(f1.next_u64(), f2.next_u64());
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+  EXPECT_THROW(r.uniform(5.0, -2.0), precondition_error);
+}
+
+// ----------------------------------------------------------------- stats
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  RunningStats s;
+  const std::vector<double> xs = {1.0, 2.5, -3.0, 7.25, 0.0, 4.5};
+  for (double x : xs) s.add(x);
+  EXPECT_NEAR(s.mean(), mean(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.25);
+  double var = 0.0;
+  for (double x : xs) var += (x - s.mean()) * (x - s.mean());
+  var /= xs.size() - 1;
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a, b, all;
+  Rng r(21);
+  for (int i = 0; i < 500; ++i) {
+    const double x = r.normal();
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25);
+  EXPECT_THROW(percentile({}, 50), precondition_error);
+  EXPECT_THROW(percentile(xs, 101), precondition_error);
+}
+
+TEST(Stats, RmseAndMaxAbsDiff) {
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {1, 4, 3};
+  EXPECT_NEAR(rmse(a, b), std::sqrt(4.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 2.0);
+  EXPECT_DOUBLE_EQ(rmse(a, a), 0.0);
+}
+
+TEST(Stats, MinMaxGuards) {
+  EXPECT_THROW(max_of({}), precondition_error);
+  EXPECT_THROW(min_of({}), precondition_error);
+  const std::vector<double> xs = {3.0, -1.0, 2.0};
+  EXPECT_DOUBLE_EQ(max_of(xs), 3.0);
+  EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
+  EXPECT_DOUBLE_EQ(sum(xs), 4.0);
+}
+
+// ------------------------------------------------------------------- csv
+TEST(Csv, SimpleRoundTrip) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"a", "b", "c"});
+  w.write_row({"1", "2", "3"});
+  const auto rows = parse_csv(os.str());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(Csv, QuotingRoundTrip) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"has,comma", "has\"quote", "has\nnewline", "plain"});
+  const auto rows = parse_csv(os.str());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "has,comma");
+  EXPECT_EQ(rows[0][1], "has\"quote");
+  EXPECT_EQ(rows[0][2], "has\nnewline");
+  EXPECT_EQ(rows[0][3], "plain");
+}
+
+TEST(Csv, EmptyCellsPreserved) {
+  const auto rows = parse_csv("a,,c\n,,\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].size(), 3u);
+  EXPECT_EQ(rows[0][1], "");
+  EXPECT_EQ(rows[1].size(), 3u);
+}
+
+TEST(Csv, FormatDoubleCompact) {
+  EXPECT_EQ(format_double(1.5), "1.5");
+  EXPECT_EQ(format_double(0.0), "0");
+  EXPECT_EQ(format_double(1234567.0, 4), "1.235e+06");
+}
+
+// ----------------------------------------------------------------- table
+TEST(TextTable, RendersAlignedGrid) {
+  TextTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row("y", {2.5}, 1);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| 2.5"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), precondition_error);
+}
+
+TEST(TextTable, RenderBeforeHeaderThrows) {
+  TextTable t;
+  EXPECT_THROW(t.render(), precondition_error);
+}
+
+TEST(Heatmap, DimsAndClamping) {
+  const std::vector<double> v = {0.0, 0.5, 1.0, 2.0};
+  const std::string out = render_heatmap(v, 2, 0.0, 1.0);
+  // Two rows, each 2 cells x 2 chars + newline.
+  EXPECT_EQ(out.size(), 2u * (2 * 2 + 1));
+  EXPECT_THROW(render_heatmap(v, 3, 0.0, 1.0), precondition_error);
+}
+
+// -------------------------------------------------------------- parallel
+TEST(Parallel, ComputesAllIndices) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, ZeroIterationsIsNoop) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Parallel, PropagatesException) {
+  EXPECT_THROW(parallel_for(8,
+                            [](std::size_t i) {
+                              if (i == 3) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST(Parallel, WorkerOverride) {
+  set_parallel_workers(2);
+  EXPECT_EQ(parallel_workers(), 2u);
+  set_parallel_workers(0);
+  EXPECT_GE(parallel_workers(), 1u);
+}
+
+}  // namespace
+}  // namespace tecfan

@@ -1,0 +1,23 @@
+#include <cstdio>
+#include "perf/splash2.h"
+#include "sim/chip_simulator.h"
+#include "sim/experiment.h"
+#include "util/units.h"
+
+int main() {
+  using namespace tecfan;
+  sim::ChipModels models = sim::make_default_chip_models();
+  sim::ChipSimulator simulator(models);
+  std::printf("%-10s %3s | %7s %7s | %6s %6s | %6s %6s\n",
+              "bench", "thr", "t_paper", "t_meas", "P_pap", "P_meas", "T_pap", "T_meas");
+  for (const auto& c : perf::table1_cases()) {
+    auto wl = std::make_shared<perf::SyntheticSplash>(c, models.thermal->floorplan(),
+                                                      models.dynamic, models.leak_quad);
+    sim::RunResult base = sim::measure_base_scenario(simulator, *wl);
+    std::printf("%-10s %3d | %7.2f %7.2f | %6.1f %6.1f | %6.2f %6.2f\n",
+                c.benchmark.c_str(), c.threads, c.time_ms, base.exec_time_s*1e3,
+                c.power_w, base.avg_power.chip_w(),
+                c.peak_temp_c, kelvin_to_celsius(base.peak_temp_k));
+  }
+  return 0;
+}

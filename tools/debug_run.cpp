@@ -1,0 +1,47 @@
+#include <cstdio>
+#include <string>
+#include "core/tecfan_policy.h"
+#include "core/reactive_policies.h"
+#include "perf/splash2.h"
+#include "sim/chip_simulator.h"
+#include "sim/experiment.h"
+#include "util/units.h"
+
+int main(int argc, char** argv) {
+  using namespace tecfan;
+  const std::string bench = argc > 1 ? argv[1] : "cholesky";
+  const int threads = argc > 2 ? std::atoi(argv[2]) : 16;
+  const int fan = argc > 3 ? std::atoi(argv[3]) : 1;
+  const std::string pol = argc > 4 ? argv[4] : "tecfan";
+
+  sim::ChipModels models = sim::make_default_chip_models();
+  sim::ChipSimulator simulator(models);
+  auto wl = perf::make_splash_workload(bench, threads, models.thermal->floorplan(),
+                                       models.dynamic, models.leak_quad);
+  sim::RunResult base = sim::measure_base_scenario(simulator, *wl);
+  std::printf("base peak %.2f C power %.1f W time %.1f ms\n",
+              kelvin_to_celsius(base.peak_temp_k), base.avg_power.chip_w(),
+              base.exec_time_s*1e3);
+
+  core::PolicyPtr p;
+  if (pol == "tecfan") p = std::make_unique<core::TecFanPolicy>();
+  else if (pol == "fantec") p = std::make_unique<core::FanTecPolicy>();
+  else if (pol == "fandvfs") p = std::make_unique<core::FanDvfsPolicy>();
+  else p = std::make_unique<core::FanOnlyPolicy>();
+
+  sim::RunConfig rc;
+  rc.threshold_k = base.peak_temp_k;
+  rc.fan_level = fan;
+  rc.record_trace = true;
+  sim::RunResult r = simulator.run(*p, *wl, rc);
+  std::printf("%s fan=%d: time %.1f ms viol %.1f%% peak %.2f C power %.1f W (tec %.2f) energy %.3f J\n",
+              r.policy.c_str(), fan, r.exec_time_s*1e3, 100*r.violation_frac,
+              kelvin_to_celsius(r.peak_temp_k), r.avg_total_power_w(), r.avg_power.tec_w, r.energy_j);
+  for (size_t i = 0; i < r.trace.size(); i += 1) {
+    const auto& rec = r.trace[i];
+    std::printf("  t=%5.1fms peak=%.2fC tecs=%zu dvfs=%.2f ips=%.2fG viol=%d\n",
+                rec.time_s*1e3, kelvin_to_celsius(rec.peak_temp_k), rec.tecs_on,
+                rec.mean_dvfs, rec.ips/1e9, rec.violation ? 1 : 0);
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include <cstdio>
+#include <memory>
+#include "core/exhaustive_policies.h"
+#include "core/tecfan_policy.h"
+#include "perf/wikipedia_trace.h"
+#include "sim/server_system.h"
+#include "util/units.h"
+
+using namespace tecfan;
+
+static void report(const char* tag, const sim::RunResult& r, const sim::RunResult* ref) {
+  double p=r.avg_total_power_w(), e=r.energy_j, d=r.exec_time_s, edp=r.edp();
+  if (ref) {
+    std::printf("%-9s delay %.3f power %.3f energy %.3f edp %.3f | peak %.2fC viol %.2f%% fan %d\n",
+      tag, d/ref->exec_time_s, p/ref->avg_total_power_w(), e/ref->energy_j, edp/ref->edp(),
+      kelvin_to_celsius(r.peak_temp_k), 100*r.violation_frac, r.fan_level);
+  } else {
+    std::printf("%-9s delay %.1fs power %.2fW energy %.0fJ | peak %.2fC viol %.2f%% fan %d dvfs %.2f tec? \n",
+      tag, d, p, e, kelvin_to_celsius(r.peak_temp_k), 100*r.violation_frac, r.fan_level, 0.0);
+  }
+}
+
+int main() {
+  perf::WikipediaTrace trace;
+  std::printf("trace mean demand (40min) = %.4f\n", trace.mean_demand_40min());
+  sim::ServerConfig cfg;
+  cfg.record_trace = false;
+  sim::ServerSimulator simulator(cfg);
+
+  core::PolicyOptions popt; popt.manage_fan = true; popt.fan_period_intervals = cfg.fan_period_intervals;
+  core::ExhaustiveOptions xopt; xopt.base = popt;
+
+  core::OftecPolicy oftec(xopt);
+  sim::RunResult r_oftec = simulator.run(oftec, trace);
+  report("OFTEC", r_oftec, nullptr);
+
+  core::TecFanPolicy tecfan(popt);
+  sim::RunResult r_tecfan = simulator.run(tecfan, trace);
+  auto ref_ips = std::make_shared<std::vector<double>>(simulator.last_capacity_trace());
+  report("TECfan", r_tecfan, &r_oftec);
+
+  core::OraclePolicy oracle(xopt);
+  sim::RunResult r_oracle = simulator.run(oracle, trace);
+  report("Oracle", r_oracle, &r_oftec);
+
+  core::OraclePPolicy oraclep(xopt, ref_ips);
+  sim::RunResult r_oraclep = simulator.run(oraclep, trace);
+  report("Oracle-P", r_oraclep, &r_oftec);
+  report("OFTEC/n", r_oftec, &r_oftec);
+  return 0;
+}

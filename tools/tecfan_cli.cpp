@@ -1,0 +1,199 @@
+// tecfan_cli — run any (policy, workload, fan configuration) from the
+// command line and emit results as a table or CSV (trace or summary).
+//
+//   tecfan_cli --policy tecfan --workload cholesky --threads 16
+//   tecfan_cli --policy fan+dvfs --workload lu --fan 7 --csv trace
+//   tecfan_cli --policy tecfan --workload radix --sweep --csv summary
+//   tecfan_cli --list
+//
+// Policies: fan-only, fan+tec, fan+dvfs, dvfs+tec, tecfan, tecfan-chipwide.
+// Workloads: the Table I benchmarks plus the extended set (barnes, ocean,
+// radix). Without --fan, the Sec. IV-C sweep picks the level; with --fan N
+// the run is pinned to that level.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/reactive_policies.h"
+#include "core/tecfan_policy.h"
+#include "perf/splash2.h"
+#include "sim/chip_simulator.h"
+#include "sim/experiment.h"
+#include "sim/trace_io.h"
+#include "util/csv.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace tecfan;
+
+struct Args {
+  std::string policy = "tecfan";
+  std::string workload = "cholesky";
+  int threads = 16;
+  int fan = -1;  // -1: sweep
+  std::string csv;  // "", "trace", "summary"
+  bool list = false;
+  bool help = false;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: tecfan_cli [--policy P] [--workload W] [--threads N]\n"
+      "                  [--fan L] [--csv trace|summary] [--list]\n"
+      "  P: fan-only fan+tec fan+dvfs dvfs+tec tecfan tecfan-chipwide\n"
+      "  W: cholesky fmm volrend water lu barnes ocean radix\n");
+}
+
+bool parse(int argc, char** argv, Args& out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](int& i) -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (a == "--policy") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.policy = v;
+    } else if (a == "--workload") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.workload = v;
+    } else if (a == "--threads") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.threads = std::atoi(v);
+    } else if (a == "--fan") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.fan = std::atoi(v);
+    } else if (a == "--sweep") {
+      out.fan = -1;
+    } else if (a == "--csv") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.csv = v;
+    } else if (a == "--list") {
+      out.list = true;
+    } else if (a == "--help" || a == "-h") {
+      out.help = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+core::PolicyPtr make_policy(const std::string& name) {
+  if (name == "fan-only") return std::make_unique<core::FanOnlyPolicy>();
+  if (name == "fan+tec") return std::make_unique<core::FanTecPolicy>();
+  if (name == "fan+dvfs") return std::make_unique<core::FanDvfsPolicy>();
+  if (name == "dvfs+tec") return std::make_unique<core::DvfsTecPolicy>();
+  if (name == "tecfan") return std::make_unique<core::TecFanPolicy>();
+  if (name == "tecfan-chipwide") {
+    core::PolicyOptions opt;
+    opt.chip_wide_dvfs = true;
+    return std::make_unique<core::TecFanPolicy>(opt);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, args) || args.help) {
+    usage();
+    return args.help ? 0 : 2;
+  }
+  if (args.list) {
+    std::printf("Table I cases:\n");
+    for (const auto& c : perf::table1_cases())
+      std::printf("  %-10s %2d threads  (%.1f ms, %.1f W, %.2f C)\n",
+                  c.benchmark.c_str(), c.threads, c.time_ms, c.power_w,
+                  c.peak_temp_c);
+    std::printf("Extended (estimated) cases:\n");
+    for (const auto& c : perf::extended_cases())
+      std::printf("  %-10s %2d threads  (estimated anchors)\n",
+                  c.benchmark.c_str(), c.threads);
+    return 0;
+  }
+
+  sim::ChipModels models = sim::make_default_chip_models();
+  sim::ChipSimulator simulator(models);
+  perf::WorkloadPtr workload;
+  try {
+    workload = perf::make_splash_workload(args.workload, args.threads,
+                                          models.thermal->floorplan(),
+                                          models.dynamic, models.leak_quad);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  auto factory = [&] { return make_policy(args.policy); };
+  if (!factory()) {
+    std::fprintf(stderr, "error: unknown policy '%s'\n",
+                 args.policy.c_str());
+    usage();
+    return 2;
+  }
+
+  const sim::RunResult base =
+      sim::measure_base_scenario(simulator, *workload);
+  sim::RunResult run;
+  if (args.fan >= 0) {
+    if (args.fan >= models.fan.level_count()) {
+      std::fprintf(stderr, "error: fan level out of range (0..%d)\n",
+                   models.fan.level_count() - 1);
+      return 2;
+    }
+    sim::RunConfig cfg;
+    cfg.threshold_k = base.peak_temp_k;
+    cfg.fan_level = args.fan;
+    cfg.max_sim_time_s = 2.0;
+    auto policy = factory();
+    run = simulator.run(*policy, *workload, cfg);
+  } else {
+    sim::SweepOptions opts;
+    opts.threshold_k = base.peak_temp_k;
+    opts.record_trace = true;
+    if (args.policy.rfind("tecfan", 0) == 0) opts.max_mean_dvfs = 0.5;
+    run = sim::run_with_fan_sweep(simulator, factory, *workload, opts)
+              .chosen;
+  }
+
+  if (args.csv == "trace") {
+    sim::write_trace_csv(std::cout, run);
+    return 0;
+  }
+  if (args.csv == "summary") {
+    sim::write_summary_csv(std::cout, {base, run});
+    return 0;
+  }
+
+  TextTable t;
+  t.set_header({"metric", "base", run.policy});
+  t.add_row({"fan level", "0", std::to_string(run.fan_level)});
+  t.add_row({"time (ms)", format_double(base.exec_time_s * 1e3, 4),
+             format_double(run.exec_time_s * 1e3, 4)});
+  t.add_row({"power (W)", format_double(base.avg_total_power_w(), 4),
+             format_double(run.avg_total_power_w(), 4)});
+  t.add_row({"energy (J)", format_double(base.energy_j, 4),
+             format_double(run.energy_j, 4)});
+  t.add_row({"EDP (J s)", format_double(base.edp(), 4),
+             format_double(run.edp(), 4)});
+  t.add_row({"peak T (C)",
+             format_double(kelvin_to_celsius(base.peak_temp_k), 4),
+             format_double(kelvin_to_celsius(run.peak_temp_k), 4)});
+  t.add_row({"violations (%)", "0",
+             format_double(100.0 * run.violation_frac, 3)});
+  t.add_row({"avg DVFS level", "0", format_double(run.avg_dvfs, 3)});
+  std::printf("%s", t.render().c_str());
+  return 0;
+}
