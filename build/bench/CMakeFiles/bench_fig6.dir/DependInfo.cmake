@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6.cpp" "bench/CMakeFiles/bench_fig6.dir/bench_fig6.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6.dir/bench_fig6.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tecfan_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tecfan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/tecfan_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/tecfan_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/tecfan_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/tecfan_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tecfan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

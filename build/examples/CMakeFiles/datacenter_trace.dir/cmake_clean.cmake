@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_trace.dir/datacenter_trace.cpp.o"
+  "CMakeFiles/datacenter_trace.dir/datacenter_trace.cpp.o.d"
+  "datacenter_trace"
+  "datacenter_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

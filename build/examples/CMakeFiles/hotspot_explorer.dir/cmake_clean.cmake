@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_explorer.dir/hotspot_explorer.cpp.o"
+  "CMakeFiles/hotspot_explorer.dir/hotspot_explorer.cpp.o.d"
+  "hotspot_explorer"
+  "hotspot_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chip_planning_model.cpp" "src/core/CMakeFiles/tecfan_core.dir/chip_planning_model.cpp.o" "gcc" "src/core/CMakeFiles/tecfan_core.dir/chip_planning_model.cpp.o.d"
+  "/root/repo/src/core/dynamic_fan_policy.cpp" "src/core/CMakeFiles/tecfan_core.dir/dynamic_fan_policy.cpp.o" "gcc" "src/core/CMakeFiles/tecfan_core.dir/dynamic_fan_policy.cpp.o.d"
+  "/root/repo/src/core/exhaustive_policies.cpp" "src/core/CMakeFiles/tecfan_core.dir/exhaustive_policies.cpp.o" "gcc" "src/core/CMakeFiles/tecfan_core.dir/exhaustive_policies.cpp.o.d"
+  "/root/repo/src/core/fast_planning_model.cpp" "src/core/CMakeFiles/tecfan_core.dir/fast_planning_model.cpp.o" "gcc" "src/core/CMakeFiles/tecfan_core.dir/fast_planning_model.cpp.o.d"
+  "/root/repo/src/core/hw_cost.cpp" "src/core/CMakeFiles/tecfan_core.dir/hw_cost.cpp.o" "gcc" "src/core/CMakeFiles/tecfan_core.dir/hw_cost.cpp.o.d"
+  "/root/repo/src/core/planning.cpp" "src/core/CMakeFiles/tecfan_core.dir/planning.cpp.o" "gcc" "src/core/CMakeFiles/tecfan_core.dir/planning.cpp.o.d"
+  "/root/repo/src/core/reactive_policies.cpp" "src/core/CMakeFiles/tecfan_core.dir/reactive_policies.cpp.o" "gcc" "src/core/CMakeFiles/tecfan_core.dir/reactive_policies.cpp.o.d"
+  "/root/repo/src/core/tecfan_policy.cpp" "src/core/CMakeFiles/tecfan_core.dir/tecfan_policy.cpp.o" "gcc" "src/core/CMakeFiles/tecfan_core.dir/tecfan_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/tecfan_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/tecfan_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/tecfan_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/tecfan_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tecfan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tecfan_core.dir/chip_planning_model.cpp.o"
+  "CMakeFiles/tecfan_core.dir/chip_planning_model.cpp.o.d"
+  "CMakeFiles/tecfan_core.dir/dynamic_fan_policy.cpp.o"
+  "CMakeFiles/tecfan_core.dir/dynamic_fan_policy.cpp.o.d"
+  "CMakeFiles/tecfan_core.dir/exhaustive_policies.cpp.o"
+  "CMakeFiles/tecfan_core.dir/exhaustive_policies.cpp.o.d"
+  "CMakeFiles/tecfan_core.dir/fast_planning_model.cpp.o"
+  "CMakeFiles/tecfan_core.dir/fast_planning_model.cpp.o.d"
+  "CMakeFiles/tecfan_core.dir/hw_cost.cpp.o"
+  "CMakeFiles/tecfan_core.dir/hw_cost.cpp.o.d"
+  "CMakeFiles/tecfan_core.dir/planning.cpp.o"
+  "CMakeFiles/tecfan_core.dir/planning.cpp.o.d"
+  "CMakeFiles/tecfan_core.dir/reactive_policies.cpp.o"
+  "CMakeFiles/tecfan_core.dir/reactive_policies.cpp.o.d"
+  "CMakeFiles/tecfan_core.dir/tecfan_policy.cpp.o"
+  "CMakeFiles/tecfan_core.dir/tecfan_policy.cpp.o.d"
+  "libtecfan_core.a"
+  "libtecfan_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tecfan_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

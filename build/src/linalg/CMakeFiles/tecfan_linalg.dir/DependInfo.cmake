@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/banded.cpp" "src/linalg/CMakeFiles/tecfan_linalg.dir/banded.cpp.o" "gcc" "src/linalg/CMakeFiles/tecfan_linalg.dir/banded.cpp.o.d"
+  "/root/repo/src/linalg/cholesky.cpp" "src/linalg/CMakeFiles/tecfan_linalg.dir/cholesky.cpp.o" "gcc" "src/linalg/CMakeFiles/tecfan_linalg.dir/cholesky.cpp.o.d"
+  "/root/repo/src/linalg/iterative.cpp" "src/linalg/CMakeFiles/tecfan_linalg.dir/iterative.cpp.o" "gcc" "src/linalg/CMakeFiles/tecfan_linalg.dir/iterative.cpp.o.d"
+  "/root/repo/src/linalg/lu.cpp" "src/linalg/CMakeFiles/tecfan_linalg.dir/lu.cpp.o" "gcc" "src/linalg/CMakeFiles/tecfan_linalg.dir/lu.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/linalg/CMakeFiles/tecfan_linalg.dir/matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/tecfan_linalg.dir/matrix.cpp.o.d"
+  "/root/repo/src/linalg/ordering.cpp" "src/linalg/CMakeFiles/tecfan_linalg.dir/ordering.cpp.o" "gcc" "src/linalg/CMakeFiles/tecfan_linalg.dir/ordering.cpp.o.d"
+  "/root/repo/src/linalg/sparse.cpp" "src/linalg/CMakeFiles/tecfan_linalg.dir/sparse.cpp.o" "gcc" "src/linalg/CMakeFiles/tecfan_linalg.dir/sparse.cpp.o.d"
+  "/root/repo/src/linalg/systolic.cpp" "src/linalg/CMakeFiles/tecfan_linalg.dir/systolic.cpp.o" "gcc" "src/linalg/CMakeFiles/tecfan_linalg.dir/systolic.cpp.o.d"
+  "/root/repo/src/linalg/woodbury.cpp" "src/linalg/CMakeFiles/tecfan_linalg.dir/woodbury.cpp.o" "gcc" "src/linalg/CMakeFiles/tecfan_linalg.dir/woodbury.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tecfan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

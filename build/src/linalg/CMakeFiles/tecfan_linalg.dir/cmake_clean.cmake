@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tecfan_linalg.dir/banded.cpp.o"
+  "CMakeFiles/tecfan_linalg.dir/banded.cpp.o.d"
+  "CMakeFiles/tecfan_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/tecfan_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/tecfan_linalg.dir/iterative.cpp.o"
+  "CMakeFiles/tecfan_linalg.dir/iterative.cpp.o.d"
+  "CMakeFiles/tecfan_linalg.dir/lu.cpp.o"
+  "CMakeFiles/tecfan_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/tecfan_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/tecfan_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/tecfan_linalg.dir/ordering.cpp.o"
+  "CMakeFiles/tecfan_linalg.dir/ordering.cpp.o.d"
+  "CMakeFiles/tecfan_linalg.dir/sparse.cpp.o"
+  "CMakeFiles/tecfan_linalg.dir/sparse.cpp.o.d"
+  "CMakeFiles/tecfan_linalg.dir/systolic.cpp.o"
+  "CMakeFiles/tecfan_linalg.dir/systolic.cpp.o.d"
+  "CMakeFiles/tecfan_linalg.dir/woodbury.cpp.o"
+  "CMakeFiles/tecfan_linalg.dir/woodbury.cpp.o.d"
+  "libtecfan_linalg.a"
+  "libtecfan_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tecfan_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

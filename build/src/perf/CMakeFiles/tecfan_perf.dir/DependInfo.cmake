@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/server_model.cpp" "src/perf/CMakeFiles/tecfan_perf.dir/server_model.cpp.o" "gcc" "src/perf/CMakeFiles/tecfan_perf.dir/server_model.cpp.o.d"
+  "/root/repo/src/perf/splash2.cpp" "src/perf/CMakeFiles/tecfan_perf.dir/splash2.cpp.o" "gcc" "src/perf/CMakeFiles/tecfan_perf.dir/splash2.cpp.o.d"
+  "/root/repo/src/perf/wikipedia_trace.cpp" "src/perf/CMakeFiles/tecfan_perf.dir/wikipedia_trace.cpp.o" "gcc" "src/perf/CMakeFiles/tecfan_perf.dir/wikipedia_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/power/CMakeFiles/tecfan_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/tecfan_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tecfan_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/tecfan_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

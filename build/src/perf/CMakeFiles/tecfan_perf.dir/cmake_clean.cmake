@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tecfan_perf.dir/server_model.cpp.o"
+  "CMakeFiles/tecfan_perf.dir/server_model.cpp.o.d"
+  "CMakeFiles/tecfan_perf.dir/splash2.cpp.o"
+  "CMakeFiles/tecfan_perf.dir/splash2.cpp.o.d"
+  "CMakeFiles/tecfan_perf.dir/wikipedia_trace.cpp.o"
+  "CMakeFiles/tecfan_perf.dir/wikipedia_trace.cpp.o.d"
+  "libtecfan_perf.a"
+  "libtecfan_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tecfan_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/dvfs.cpp" "src/power/CMakeFiles/tecfan_power.dir/dvfs.cpp.o" "gcc" "src/power/CMakeFiles/tecfan_power.dir/dvfs.cpp.o.d"
+  "/root/repo/src/power/dynamic.cpp" "src/power/CMakeFiles/tecfan_power.dir/dynamic.cpp.o" "gcc" "src/power/CMakeFiles/tecfan_power.dir/dynamic.cpp.o.d"
+  "/root/repo/src/power/fan.cpp" "src/power/CMakeFiles/tecfan_power.dir/fan.cpp.o" "gcc" "src/power/CMakeFiles/tecfan_power.dir/fan.cpp.o.d"
+  "/root/repo/src/power/leakage.cpp" "src/power/CMakeFiles/tecfan_power.dir/leakage.cpp.o" "gcc" "src/power/CMakeFiles/tecfan_power.dir/leakage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/thermal/CMakeFiles/tecfan_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tecfan_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/tecfan_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tecfan_power.dir/dvfs.cpp.o"
+  "CMakeFiles/tecfan_power.dir/dvfs.cpp.o.d"
+  "CMakeFiles/tecfan_power.dir/dynamic.cpp.o"
+  "CMakeFiles/tecfan_power.dir/dynamic.cpp.o.d"
+  "CMakeFiles/tecfan_power.dir/fan.cpp.o"
+  "CMakeFiles/tecfan_power.dir/fan.cpp.o.d"
+  "CMakeFiles/tecfan_power.dir/leakage.cpp.o"
+  "CMakeFiles/tecfan_power.dir/leakage.cpp.o.d"
+  "libtecfan_power.a"
+  "libtecfan_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tecfan_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtecfan_power.a"
+)

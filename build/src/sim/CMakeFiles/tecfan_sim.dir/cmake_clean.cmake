@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tecfan_sim.dir/chip_simulator.cpp.o"
+  "CMakeFiles/tecfan_sim.dir/chip_simulator.cpp.o.d"
+  "CMakeFiles/tecfan_sim.dir/defaults.cpp.o"
+  "CMakeFiles/tecfan_sim.dir/defaults.cpp.o.d"
+  "CMakeFiles/tecfan_sim.dir/experiment.cpp.o"
+  "CMakeFiles/tecfan_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/tecfan_sim.dir/server_system.cpp.o"
+  "CMakeFiles/tecfan_sim.dir/server_system.cpp.o.d"
+  "CMakeFiles/tecfan_sim.dir/trace_io.cpp.o"
+  "CMakeFiles/tecfan_sim.dir/trace_io.cpp.o.d"
+  "libtecfan_sim.a"
+  "libtecfan_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tecfan_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/core_estimator.cpp" "src/thermal/CMakeFiles/tecfan_thermal.dir/core_estimator.cpp.o" "gcc" "src/thermal/CMakeFiles/tecfan_thermal.dir/core_estimator.cpp.o.d"
+  "/root/repo/src/thermal/floorplan.cpp" "src/thermal/CMakeFiles/tecfan_thermal.dir/floorplan.cpp.o" "gcc" "src/thermal/CMakeFiles/tecfan_thermal.dir/floorplan.cpp.o.d"
+  "/root/repo/src/thermal/grid_model.cpp" "src/thermal/CMakeFiles/tecfan_thermal.dir/grid_model.cpp.o" "gcc" "src/thermal/CMakeFiles/tecfan_thermal.dir/grid_model.cpp.o.d"
+  "/root/repo/src/thermal/network.cpp" "src/thermal/CMakeFiles/tecfan_thermal.dir/network.cpp.o" "gcc" "src/thermal/CMakeFiles/tecfan_thermal.dir/network.cpp.o.d"
+  "/root/repo/src/thermal/package.cpp" "src/thermal/CMakeFiles/tecfan_thermal.dir/package.cpp.o" "gcc" "src/thermal/CMakeFiles/tecfan_thermal.dir/package.cpp.o.d"
+  "/root/repo/src/thermal/solvers.cpp" "src/thermal/CMakeFiles/tecfan_thermal.dir/solvers.cpp.o" "gcc" "src/thermal/CMakeFiles/tecfan_thermal.dir/solvers.cpp.o.d"
+  "/root/repo/src/thermal/tec_device.cpp" "src/thermal/CMakeFiles/tecfan_thermal.dir/tec_device.cpp.o" "gcc" "src/thermal/CMakeFiles/tecfan_thermal.dir/tec_device.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/tecfan_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tecfan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

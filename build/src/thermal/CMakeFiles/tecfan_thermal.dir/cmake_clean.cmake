@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tecfan_thermal.dir/core_estimator.cpp.o"
+  "CMakeFiles/tecfan_thermal.dir/core_estimator.cpp.o.d"
+  "CMakeFiles/tecfan_thermal.dir/floorplan.cpp.o"
+  "CMakeFiles/tecfan_thermal.dir/floorplan.cpp.o.d"
+  "CMakeFiles/tecfan_thermal.dir/grid_model.cpp.o"
+  "CMakeFiles/tecfan_thermal.dir/grid_model.cpp.o.d"
+  "CMakeFiles/tecfan_thermal.dir/network.cpp.o"
+  "CMakeFiles/tecfan_thermal.dir/network.cpp.o.d"
+  "CMakeFiles/tecfan_thermal.dir/package.cpp.o"
+  "CMakeFiles/tecfan_thermal.dir/package.cpp.o.d"
+  "CMakeFiles/tecfan_thermal.dir/solvers.cpp.o"
+  "CMakeFiles/tecfan_thermal.dir/solvers.cpp.o.d"
+  "CMakeFiles/tecfan_thermal.dir/tec_device.cpp.o"
+  "CMakeFiles/tecfan_thermal.dir/tec_device.cpp.o.d"
+  "libtecfan_thermal.a"
+  "libtecfan_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tecfan_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tecfan_util.dir/csv.cpp.o"
+  "CMakeFiles/tecfan_util.dir/csv.cpp.o.d"
+  "CMakeFiles/tecfan_util.dir/logging.cpp.o"
+  "CMakeFiles/tecfan_util.dir/logging.cpp.o.d"
+  "CMakeFiles/tecfan_util.dir/parallel.cpp.o"
+  "CMakeFiles/tecfan_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/tecfan_util.dir/rng.cpp.o"
+  "CMakeFiles/tecfan_util.dir/rng.cpp.o.d"
+  "CMakeFiles/tecfan_util.dir/stats.cpp.o"
+  "CMakeFiles/tecfan_util.dir/stats.cpp.o.d"
+  "CMakeFiles/tecfan_util.dir/table.cpp.o"
+  "CMakeFiles/tecfan_util.dir/table.cpp.o.d"
+  "libtecfan_util.a"
+  "libtecfan_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tecfan_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

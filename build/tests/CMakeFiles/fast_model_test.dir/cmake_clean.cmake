@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_model_test.dir/fast_model_test.cpp.o"
+  "CMakeFiles/fast_model_test.dir/fast_model_test.cpp.o.d"
+  "fast_model_test"
+  "fast_model_test.pdb"
+  "fast_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

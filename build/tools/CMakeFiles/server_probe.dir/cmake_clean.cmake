@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_probe.dir/server_probe.cpp.o"
+  "CMakeFiles/server_probe.dir/server_probe.cpp.o.d"
+  "server_probe"
+  "server_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tecfan_cli.dir/tecfan_cli.cpp.o"
+  "CMakeFiles/tecfan_cli.dir/tecfan_cli.cpp.o.d"
+  "tecfan_cli"
+  "tecfan_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tecfan_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
