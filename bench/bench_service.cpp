@@ -1,0 +1,89 @@
+// Micro-benchmarks (google-benchmark) for the serving path: protocol
+// parse/canonicalize, LRU cache lookup, and a cached request through the
+// full Server::handle front-end. loadgen (tools/loadgen.cpp) measures the
+// same path end-to-end over TCP with concurrency; this pins down the
+// per-component costs.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "service/request.h"
+#include "service/result_cache.h"
+#include "service/server.h"
+
+namespace {
+
+using namespace tecfan;
+
+const char* kLine = "equilibrium workload=cholesky threads=16 fan=2 tec=on";
+
+void BM_ParseRequest(benchmark::State& state) {
+  for (auto _ : state) {
+    auto parsed = service::parse_request(kLine);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_ParseRequest);
+
+void BM_CanonicalKey(benchmark::State& state) {
+  const auto parsed = service::parse_request(kLine);
+  for (auto _ : state) {
+    std::string key = service::canonical_key(parsed.request);
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_CanonicalKey);
+
+void BM_CacheHit(benchmark::State& state) {
+  service::ResultCache cache(1024);
+  const auto parsed = service::parse_request(kLine);
+  const std::string key = service::canonical_key(parsed.request);
+  cache.put(key, "ok peak_t_k=367.64 peak_t_c=94.49 fan_w=2.53");
+  for (auto _ : state) {
+    auto hit = cache.get(key);
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_CacheHit);
+
+void BM_ServerCachedRequest(benchmark::State& state) {
+  // One server for the whole benchmark: the first handle() solves the
+  // equilibrium, every timed iteration is the cached serving path
+  // (canonicalize + cache lookup + response parse).
+  static service::Server* server = [] {
+    service::ServerOptions options;
+    options.workers = 1;
+    return new service::Server(options);
+  }();
+  const auto parsed = service::parse_request(kLine);
+  service::Response warm = server->handle(parsed.request);
+  if (warm.status != service::Response::Status::kOk) {
+    state.SkipWithError("warmup request failed");
+    return;
+  }
+  for (auto _ : state) {
+    service::Response r = server->handle(parsed.request);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ServerCachedRequest);
+
+void BM_ServerCachedLine(benchmark::State& state) {
+  // The string-in/string-out path the daemon runs per request line.
+  static service::Server* server = [] {
+    service::ServerOptions options;
+    options.workers = 1;
+    return new service::Server(options);
+  }();
+  bool quit = false;
+  std::string warm = server->handle_line(kLine, &quit);
+  for (auto _ : state) {
+    std::string reply = server->handle_line(kLine, &quit);
+    benchmark::DoNotOptimize(reply);
+  }
+}
+BENCHMARK(BM_ServerCachedLine);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then the service-layer
+# tests again under ThreadSanitizer to catch races in the tecfand
+# queue/pool/cache serving path.
+#
+#   scripts/tier1.sh            # both stages
+#   SKIP_TSAN=1 scripts/tier1.sh  # plain build+ctest only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B build -S .
+cmake --build build -j"$JOBS"
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
+  cmake -B build-tsan -S . -DTECFAN_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j"$JOBS" --target service_test
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan --output-on-failure -R 'Protocol|ResultCache|TaskQueue|WorkerPool|Server'
+fi

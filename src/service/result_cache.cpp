@@ -1,0 +1,76 @@
+#include "service/result_cache.h"
+
+#include <functional>
+
+#include "util/error.h"
+
+namespace tecfan::service {
+
+ResultCache::ResultCache(std::size_t capacity, std::size_t shards) {
+  TECFAN_REQUIRE(capacity > 0, "cache capacity must be positive");
+  TECFAN_REQUIRE(shards > 0, "cache shard count must be positive");
+  shards = std::min(shards, capacity);
+  per_shard_capacity_ = (capacity + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+ResultCache::Shard& ResultCache::shard_for(const std::string& key) {
+  const std::size_t h = std::hash<std::string>{}(key);
+  return *shards_[h % shards_.size()];
+}
+
+std::optional<std::string> ResultCache::get(const std::string& key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->second;
+}
+
+void ResultCache::put(const std::string& key, std::string value) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.emplace_front(key, std::move(value));
+  shard.index.emplace(key, shard.lru.begin());
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.capacity = per_shard_capacity_ * shards_.size();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    s.size += shard->lru.size();
+  }
+  return s;
+}
+
+void ResultCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+}  // namespace tecfan::service

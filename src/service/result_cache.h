@@ -1,0 +1,78 @@
+// Sharded LRU cache for serialized responses.
+//
+// Every compute request (equilibrium / run / sweep / table1) is
+// deterministic — same canonical key, same result — and costs milliseconds
+// to seconds of simulation, so the serving path caches the serialized
+// response payload keyed by the canonical request line. Sharding by key
+// hash keeps lock hold times short when many session threads hit the cache
+// at once; hit/miss/eviction counters feed the `stats` request and the
+// loadgen report.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tecfan::service {
+
+class ResultCache {
+ public:
+  /// `capacity` is the total entry budget across all shards (minimum one
+  /// entry per shard is enforced); `shards` must be positive.
+  explicit ResultCache(std::size_t capacity, std::size_t shards = 8);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Lookup; refreshes the entry's recency on hit.
+  std::optional<std::string> get(const std::string& key);
+
+  /// Insert or overwrite; evicts the shard's least recently used entry
+  /// when the shard is at capacity.
+  void put(const std::string& key, std::string value);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t size = 0;      // current entries across shards
+    std::size_t capacity = 0;  // total entry budget
+    double hit_rate() const {
+      const double total = static_cast<double>(hits + misses);
+      return total > 0 ? static_cast<double>(hits) / total : 0.0;
+    }
+  };
+  Stats stats() const;
+
+  void clear();
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recently used. Entries are (key, value).
+    std::list<std::pair<std::string, std::string>> lru;
+    std::unordered_map<
+        std::string,
+        std::list<std::pair<std::string, std::string>>::iterator>
+        index;
+  };
+
+  Shard& shard_for(const std::string& key);
+
+  std::size_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace tecfan::service

@@ -1,0 +1,517 @@
+#include "service/server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <future>
+#include <istream>
+#include <ostream>
+
+#include "core/reactive_policies.h"
+#include "core/tecfan_policy.h"
+#include "perf/splash2.h"
+#include "sim/experiment.h"
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace tecfan::service {
+namespace {
+
+core::PolicyPtr make_policy(const std::string& name) {
+  if (name == "fan-only") return std::make_unique<core::FanOnlyPolicy>();
+  if (name == "fan+tec") return std::make_unique<core::FanTecPolicy>();
+  if (name == "fan+dvfs") return std::make_unique<core::FanDvfsPolicy>();
+  if (name == "dvfs+tec") return std::make_unique<core::DvfsTecPolicy>();
+  if (name == "tecfan") return std::make_unique<core::TecFanPolicy>();
+  if (name == "tecfan-chipwide") {
+    core::PolicyOptions opt;
+    opt.chip_wide_dvfs = true;
+    return std::make_unique<core::TecFanPolicy>(opt);
+  }
+  return nullptr;
+}
+
+void add_run_fields(Response& r, const sim::RunResult& run) {
+  r.add("fan_level", static_cast<std::uint64_t>(run.fan_level));
+  r.add("time_ms", run.exec_time_s * 1e3);
+  r.add("energy_j", run.energy_j);
+  r.add("edp_js", run.edp());
+  r.add("avg_power_w", run.avg_total_power_w());
+  r.add("peak_t_c", kelvin_to_celsius(run.peak_temp_k));
+  r.add("mean_peak_t_c", kelvin_to_celsius(run.mean_peak_temp_k));
+  r.add("violations_pct", 100.0 * run.violation_frac);
+  r.add("avg_dvfs", run.avg_dvfs);
+  r.add("completed", std::string(run.completed ? "1" : "0"));
+}
+
+}  // namespace
+
+/// Per-thread compute state: the simulator's solvers keep factorization
+/// caches, so a Session is used by one compute at a time.
+struct Server::Session {
+  explicit Session(const ServerOptions& options)
+      : models(options.tiles_x == 4 && options.tiles_y == 4
+                   ? sim::make_default_chip_models()
+                   : sim::make_chip_models(options.tiles_x, options.tiles_y)),
+        simulator(models) {}
+
+  perf::WorkloadPtr workload(const std::string& name, int threads) {
+    const std::string key = name + "/" + std::to_string(threads);
+    auto it = workloads.find(key);
+    if (it != workloads.end()) return it->second;
+    auto wl = perf::make_splash_workload(name, threads,
+                                         models.thermal->floorplan(),
+                                         models.dynamic, models.leak_quad);
+    workloads.emplace(key, wl);
+    return wl;
+  }
+
+  sim::ChipModels models;
+  sim::ChipSimulator simulator;
+  std::map<std::string, perf::WorkloadPtr> workloads;
+};
+
+class Server::SessionLease {
+ public:
+  SessionLease(Server& server, std::unique_ptr<Session> session)
+      : server_(server), session_(std::move(session)) {}
+  ~SessionLease() {
+    std::lock_guard<std::mutex> lock(server_.sessions_mu_);
+    server_.idle_sessions_.push_back(std::move(session_));
+  }
+  SessionLease(const SessionLease&) = delete;
+  SessionLease& operator=(const SessionLease&) = delete;
+
+  Session& operator*() { return *session_; }
+
+ private:
+  Server& server_;
+  std::unique_ptr<Session> session_;
+};
+
+Server::Server(ServerOptions options)
+    : options_(options),
+      cache_(options.cache_capacity),
+      pool_(options.workers, options.queue_capacity),
+      started_at_(std::chrono::steady_clock::now()) {}
+
+Server::~Server() { stop(); }
+
+Server::SessionLease Server::acquire_session() {
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (!idle_sessions_.empty()) {
+      auto session = std::move(idle_sessions_.back());
+      idle_sessions_.pop_back();
+      return SessionLease(*this, std::move(session));
+    }
+  }
+  // Built outside the lock: model construction factors the base matrices.
+  return SessionLease(*this, std::make_unique<Session>(options_));
+}
+
+Response Server::handle(const Request& request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  switch (request.kind) {
+    case RequestKind::kPing: {
+      Response r;
+      r.add("pong", std::string("1"));
+      return r;
+    }
+    case RequestKind::kQuit: {
+      Response r;
+      r.add("bye", std::string("1"));
+      return r;
+    }
+    case RequestKind::kStats:
+      return stats_response();
+    default:
+      break;
+  }
+
+  const std::string key = canonical_key(request);
+  if (auto hit = cache_.get(key)) {
+    Response r = parse_response(*hit);
+    r.cached = true;
+    return r;
+  }
+  Response r = execute(request);
+  if (r.status == Response::Status::kOk) {
+    cache_.put(key, serialize_response(r));
+  } else {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return r;
+}
+
+Response Server::dispatch(const Request& request) {
+  // Serving fast path: answer cache hits on the session thread, without a
+  // queue round-trip.
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const std::string key = canonical_key(request);
+  if (auto hit = cache_.get(key)) {
+    Response r = parse_response(*hit);
+    r.cached = true;
+    return r;
+  }
+
+  auto deadline = std::chrono::steady_clock::time_point::max();
+  const double deadline_ms = request.deadline_ms > 0
+                                 ? request.deadline_ms
+                                 : options_.default_deadline_ms;
+  if (deadline_ms > 0)
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::microseconds(
+                   static_cast<std::int64_t>(deadline_ms * 1e3));
+
+  auto promise = std::make_shared<std::promise<Response>>();
+  auto future = promise->get_future();
+  const bool accepted = pool_.submit(
+      [this, request, promise] {
+        Response r = execute(request);
+        if (r.status == Response::Status::kOk) {
+          cache_.put(canonical_key(request), serialize_response(r));
+        } else {
+          errors_.fetch_add(1, std::memory_order_relaxed);
+        }
+        promise->set_value(std::move(r));
+      },
+      [this, promise] {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        promise->set_value(Response::make_error("deadline exceeded"));
+      },
+      deadline);
+  if (!accepted) return Response::make_busy();
+  return future.get();
+}
+
+Response Server::execute(const Request& request) {
+  computes_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    SessionLease lease = acquire_session();
+    Session& session = *lease;
+    switch (request.kind) {
+      case RequestKind::kEquilibrium:
+        return do_equilibrium(session, request);
+      case RequestKind::kRun:
+        return do_run(session, request);
+      case RequestKind::kSweep:
+        return do_sweep(session, request);
+      case RequestKind::kTable1:
+        return do_table1(session, request);
+      default:
+        return Response::make_error("not a compute request");
+    }
+  } catch (const std::exception& e) {
+    return Response::make_error(e.what());
+  }
+}
+
+sim::RunResult Server::base_scenario(Session& session,
+                                     const perf::Workload& wl) {
+  const std::string key = std::string(wl.name()) + "/" +
+                          std::to_string(wl.thread_count());
+  {
+    std::lock_guard<std::mutex> lock(base_mu_);
+    auto it = base_results_.find(key);
+    if (it != base_results_.end()) return it->second;
+  }
+  sim::RunResult base = sim::measure_base_scenario(session.simulator, wl,
+                                                   options_.max_sim_time_s);
+  base.trace.clear();  // the anchor numbers are all we keep
+  std::lock_guard<std::mutex> lock(base_mu_);
+  return base_results_.emplace(key, std::move(base)).first->second;
+}
+
+Response Server::do_equilibrium(Session& session, const Request& request) {
+  const auto& models = session.models;
+  if (request.fan >= models.fan.level_count())
+    return Response::make_error("fan level out of range (0.." +
+                                std::to_string(models.fan.level_count() - 1) +
+                                ")");
+  if (request.dvfs >= models.dvfs.level_count())
+    return Response::make_error("dvfs level out of range (0.." +
+                                std::to_string(models.dvfs.level_count() - 1) +
+                                ")");
+  auto wl = session.workload(request.workload, request.threads);
+  const auto& thermal = *models.thermal;
+  core::KnobState knobs = core::KnobState::initial(
+      thermal.floorplan().core_count(), thermal.tec_count(), request.fan);
+  for (int& d : knobs.dvfs) d = request.dvfs;
+  for (auto& on : knobs.tec_on) on = request.tec_on ? 1 : 0;
+
+  const linalg::Vector temps = session.simulator.equilibrium(*wl, knobs);
+  double peak = 0.0;
+  for (std::size_t c = 0; c < thermal.component_count(); ++c)
+    peak = std::max(peak, temps[c]);
+
+  Response r;
+  r.add("peak_t_k", peak);
+  r.add("peak_t_c", kelvin_to_celsius(peak));
+  r.add("fan_w", models.fan.power_w(request.fan));
+  return r;
+}
+
+Response Server::do_run(Session& session, const Request& request) {
+  const auto& models = session.models;
+  if (request.fan >= models.fan.level_count())
+    return Response::make_error("fan level out of range (0.." +
+                                std::to_string(models.fan.level_count() - 1) +
+                                ")");
+  core::PolicyPtr policy = make_policy(request.policy);
+  if (!policy)
+    return Response::make_error("unknown policy '" + request.policy + "'");
+  auto wl = session.workload(request.workload, request.threads);
+  const sim::RunResult base = base_scenario(session, *wl);
+
+  sim::RunConfig cfg;
+  cfg.threshold_k = base.peak_temp_k;
+  cfg.fan_level = request.fan;
+  cfg.max_sim_time_s = options_.max_sim_time_s;
+  cfg.record_trace = false;
+  const sim::RunResult run = session.simulator.run(*policy, *wl, cfg);
+
+  Response r;
+  r.add("policy", std::string(run.policy));
+  r.add("workload", std::string(run.workload));
+  r.add("threshold_c", kelvin_to_celsius(base.peak_temp_k));
+  add_run_fields(r, run);
+  return r;
+}
+
+Response Server::do_sweep(Session& session, const Request& request) {
+  core::PolicyPtr probe = make_policy(request.policy);
+  if (!probe)
+    return Response::make_error("unknown policy '" + request.policy + "'");
+  auto wl = session.workload(request.workload, request.threads);
+  const sim::RunResult base = base_scenario(session, *wl);
+
+  sim::SweepOptions opts;
+  opts.threshold_k = base.peak_temp_k;
+  opts.max_sim_time_s = options_.max_sim_time_s;
+  opts.record_trace = false;
+  // TECfan's sweep emulates its higher-level fan loop (see
+  // sim/experiment.h): only marginal DVFS engagement qualifies a level.
+  if (request.policy.rfind("tecfan", 0) == 0) opts.max_mean_dvfs = 0.5;
+
+  const std::string policy_name = request.policy;
+  const sim::SweepResult sweep = sim::run_with_fan_sweep(
+      session.simulator, [&policy_name] { return make_policy(policy_name); },
+      *wl, opts);
+
+  Response r;
+  r.add("policy", std::string(sweep.chosen.policy));
+  r.add("workload", std::string(sweep.chosen.workload));
+  r.add("threshold_c", kelvin_to_celsius(base.peak_temp_k));
+  r.add("levels_tried", static_cast<std::uint64_t>(sweep.per_level.size()));
+  add_run_fields(r, sweep.chosen);
+  return r;
+}
+
+Response Server::do_table1(Session& session, const Request& request) {
+  const perf::Table1Case& paper =
+      perf::table1_case(request.workload, request.threads);
+  auto wl = session.workload(request.workload, request.threads);
+  const sim::RunResult base = base_scenario(session, *wl);
+
+  Response r;
+  r.add("workload", paper.benchmark);
+  r.add("threads", static_cast<std::uint64_t>(paper.threads));
+  r.add("instructions", paper.instructions);
+  r.add("paper_time_ms", paper.time_ms);
+  r.add("meas_time_ms", base.exec_time_s * 1e3);
+  r.add("paper_power_w", paper.power_w);
+  r.add("meas_power_w", base.avg_power.chip_w());
+  r.add("paper_peak_c", paper.peak_temp_c);
+  r.add("meas_peak_c", kelvin_to_celsius(base.peak_temp_k));
+  return r;
+}
+
+Response Server::stats_response() const {
+  const Stats s = stats();
+  Response r;
+  r.add("uptime_s", s.uptime_s);
+  r.add("requests", s.requests);
+  r.add("computes", s.computes);
+  r.add("errors", s.errors);
+  r.add("cache_hits", s.cache.hits);
+  r.add("cache_misses", s.cache.misses);
+  r.add("cache_evictions", s.cache.evictions);
+  r.add("cache_size", static_cast<std::uint64_t>(s.cache.size));
+  r.add("cache_hit_rate", s.cache.hit_rate());
+  r.add("pool_executed", s.pool.executed);
+  r.add("pool_expired", s.pool.expired);
+  r.add("pool_rejected", s.pool.rejected);
+  r.add("pool_queued", static_cast<std::uint64_t>(s.pool.queued));
+  r.add("workers", static_cast<std::uint64_t>(s.pool.workers));
+  return r;
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.computes = computes_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.cache = cache_.stats();
+  s.pool = pool_.stats();
+  s.uptime_s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - started_at_)
+                   .count();
+  return s;
+}
+
+std::string Server::handle_line(const std::string& line, bool* quit) {
+  if (quit) *quit = false;
+  ParsedRequest parsed = parse_request(line);
+  if (!parsed.ok) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return serialize_response(Response::make_error(parsed.error));
+  }
+  const Request& request = parsed.request;
+  if (request.kind == RequestKind::kQuit && quit) *quit = true;
+  if (request.is_compute())
+    return serialize_response(dispatch(request));
+  return serialize_response(handle(request));
+}
+
+void Server::serve_pipe(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    bool quit = false;
+    out << handle_line(line, &quit) << '\n' << std::flush;
+    if (quit) break;
+  }
+}
+
+std::uint16_t Server::bind_listen(std::uint16_t port) {
+  TECFAN_REQUIRE(listen_fd_.load() < 0, "already listening");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  TECFAN_REQUIRE(fd >= 0, "socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw precondition_error(std::string("bind() failed: ") +
+                             std::strerror(errno));
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    throw precondition_error(std::string("listen() failed: ") +
+                             std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  listen_fd_.store(fd);
+  bound_port_.store(ntohs(addr.sin_port));
+  return bound_port_.load();
+}
+
+void Server::serve() {
+  const int listen_fd = listen_fd_.load();
+  TECFAN_REQUIRE(listen_fd >= 0, "call bind_listen() before serve()");
+  {
+    std::lock_guard<std::mutex> lock(serve_mu_);
+    serve_running_ = true;
+  }
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) break;
+      if (errno == EINTR) continue;
+      break;  // listening socket gone
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      break;
+    }
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] {
+      std::string acc;
+      char buf[4096];
+      bool quit = false;
+      while (!quit && !stopping_.load()) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) break;
+        acc.append(buf, static_cast<std::size_t>(n));
+        std::size_t start = 0;
+        for (;;) {
+          const std::size_t nl = acc.find('\n', start);
+          if (nl == std::string::npos) break;
+          std::string line = acc.substr(start, nl - start);
+          start = nl + 1;
+          if (!line.empty() && line.back() == '\r') line.pop_back();
+          if (line.empty()) continue;
+          std::string reply = handle_line(line, &quit);
+          reply += '\n';
+          std::size_t sent = 0;
+          while (sent < reply.size()) {
+            const ssize_t w =
+                ::send(fd, reply.data() + sent, reply.size() - sent, 0);
+            if (w <= 0) {
+              quit = true;
+              break;
+            }
+            sent += static_cast<std::size_t>(w);
+          }
+          if (quit) break;
+        }
+        acc.erase(0, start);
+      }
+      // Deregister before closing so stop() never shuts down a recycled
+      // descriptor number. (stop() joins outside conns_mu_, so taking the
+      // lock here cannot deadlock.)
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        conn_fds_.erase(
+            std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+            conn_fds_.end());
+      }
+      ::close(fd);
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(serve_mu_);
+    serve_running_ = false;
+  }
+  serve_cv_.notify_all();
+}
+
+void Server::stop() {
+  stopping_.store(true);
+  const int listen_fd = listen_fd_.exchange(-1);
+  if (listen_fd >= 0) {
+    // Wake the accept loop, wait for it to leave, then reclaim the fd
+    // (closing while serve() is still inside accept() would race).
+    ::shutdown(listen_fd, SHUT_RDWR);
+    {
+      std::unique_lock<std::mutex> lock(serve_mu_);
+      serve_cv_.wait(lock, [this] { return !serve_running_; });
+    }
+    ::close(listen_fd);
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    conn_fds_.clear();
+    threads.swap(conn_threads_);
+  }
+  for (auto& t : threads)
+    if (t.joinable()) t.join();
+  pool_.shutdown(true);
+}
+
+}  // namespace tecfan::service

@@ -1,0 +1,153 @@
+// tecfand session front-end.
+//
+// The Server owns the expensive state — per-session ChipSimulator/model
+// instances, the base-scenario threshold cache, the result cache, and the
+// worker pool — and exposes the planning stack as a request/response
+// service:
+//
+//   * handle() executes one request synchronously (used by worker threads,
+//     tests and the micro-bench),
+//   * serve_pipe() is the stdin/stdout daemon mode: one request line in,
+//     one response line out, until `quit` or EOF,
+//   * bind_listen()/serve() is the local TCP mode: one thread per accepted
+//     connection, each running the same line protocol; compute requests go
+//     through the bounded worker pool, so a saturated daemon answers `busy`
+//     instead of queueing unboundedly.
+//
+// ChipSimulator is stateful (its solvers keep factorization caches), so
+// each concurrently-running compute gets a Session — simulator + workload
+// cache — checked out of a small pool; sessions are created lazily and
+// reused, never shared between threads.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/request.h"
+#include "service/result_cache.h"
+#include "service/worker_pool.h"
+#include "sim/chip_simulator.h"
+
+namespace tecfan::service {
+
+struct ServerOptions {
+  std::size_t workers = 2;
+  std::size_t queue_capacity = 64;
+  std::size_t cache_capacity = 4096;
+  /// Tile grid of the served scenario (tests use small grids; the default
+  /// is the calibrated 4x4 SCC chip).
+  int tiles_x = 4;
+  int tiles_y = 4;
+  /// Simulated-time safety cap passed to runs and sweeps.
+  double max_sim_time_s = 2.0;
+  /// Deadline applied to requests that do not carry their own
+  /// deadline_ms; 0 = none.
+  double default_deadline_ms = 0.0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Execute one request to completion on the calling thread (cache
+  /// consulted first; control kinds answered inline).
+  Response handle(const Request& request);
+
+  /// Parse and execute one request line; returns the response line.
+  /// Sets *quit when the line was a `quit` request.
+  std::string handle_line(const std::string& line, bool* quit = nullptr);
+
+  /// Pipe mode: serve request lines from `in`, one response line per
+  /// request on `out`, until EOF or `quit`. Compute requests run on the
+  /// worker pool (so deadlines and backpressure behave as in TCP mode).
+  void serve_pipe(std::istream& in, std::ostream& out);
+
+  /// Bind a loopback listening socket; port 0 picks an ephemeral port.
+  /// Returns the bound port. Call before serve().
+  std::uint16_t bind_listen(std::uint16_t port);
+
+  /// Accept loop; returns after stop(). One thread per connection.
+  void serve();
+
+  /// Stop the accept loop and open connections, drain the worker pool.
+  void stop();
+
+  std::uint16_t bound_port() const { return bound_port_.load(); }
+
+  struct Stats {
+    std::uint64_t requests = 0;   // request lines accepted (any kind)
+    std::uint64_t computes = 0;   // cache misses actually simulated
+    std::uint64_t errors = 0;     // error responses produced
+    ResultCache::Stats cache;
+    WorkerPool::Stats pool;
+    double uptime_s = 0.0;
+  };
+  Stats stats() const;
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Session;
+  class SessionLease;
+
+  SessionLease acquire_session();
+
+  /// Dispatch a parsed compute request through the worker pool and wait
+  /// for its response (busy / deadline answered without computing).
+  Response dispatch(const Request& request);
+
+  Response execute(const Request& request);  // cache-filling slow path
+  Response do_equilibrium(Session& session, const Request& request);
+  Response do_run(Session& session, const Request& request);
+  Response do_sweep(Session& session, const Request& request);
+  Response do_table1(Session& session, const Request& request);
+  Response stats_response() const;
+
+  /// Base-scenario anchor (Table I protocol) for a workload, memoized:
+  /// peak temperature defines the run/sweep threshold.
+  sim::RunResult base_scenario(Session& session, const perf::Workload& wl);
+
+  ServerOptions options_;
+  ResultCache cache_;
+  WorkerPool pool_;
+
+  std::mutex sessions_mu_;
+  std::vector<std::unique_ptr<Session>> idle_sessions_;
+
+  std::mutex base_mu_;
+  std::map<std::string, sim::RunResult> base_results_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> computes_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::chrono::steady_clock::time_point started_at_;
+
+  // TCP state. listen_fd_ is handed from bind_listen() to serve() and
+  // reclaimed by stop(), which may run on a different thread; the
+  // serve_running_ handshake keeps stop() from closing the socket while
+  // the accept loop still uses it.
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<std::uint16_t> bound_port_{0};
+  std::atomic<bool> stopping_{false};
+  std::mutex serve_mu_;
+  std::condition_variable serve_cv_;
+  bool serve_running_ = false;
+  std::mutex conns_mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace tecfan::service

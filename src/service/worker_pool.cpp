@@ -1,0 +1,84 @@
+#include "service/worker_pool.h"
+
+#include <mutex>
+
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace tecfan::service {
+
+WorkerPool::WorkerPool(std::size_t workers, std::size_t queue_capacity)
+    : queue_(queue_capacity) {
+  TECFAN_REQUIRE(workers > 0, "worker pool needs at least one worker");
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+WorkerPool::~WorkerPool() { shutdown(true); }
+
+bool WorkerPool::submit(std::function<void()> run,
+                        std::function<void()> on_expired,
+                        std::chrono::steady_clock::time_point deadline) {
+  Task task;
+  task.run = std::move(run);
+  task.expire = std::move(on_expired);
+  task.deadline = deadline;
+  if (!queue_.try_push(std::move(task))) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void WorkerPool::shutdown(bool drain) {
+  if (shut_down_.exchange(true)) return;
+  if (!drain) {
+    // Cancel the backlog first so poppers see an empty, closed queue.
+    for (Task& task : queue_.drain()) {
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      if (task.expire) task.expire();
+    }
+  }
+  queue_.close();
+  for (auto& t : threads_)
+    if (t.joinable()) t.join();
+  if (drain) return;
+  // Tasks that raced into the queue between drain() and close() still get
+  // drained by the workers above (they run; acceptable for a drop shutdown).
+}
+
+WorkerPool::Stats WorkerPool::stats() const {
+  Stats s;
+  s.executed = executed_.load(std::memory_order_relaxed);
+  s.expired = expired_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.queued = queue_.size();
+  s.workers = threads_.size();
+  return s;
+}
+
+void WorkerPool::worker_loop() {
+  for (;;) {
+    std::optional<Task> task = queue_.pop();
+    if (!task) return;  // closed and drained
+    if (task->expired(std::chrono::steady_clock::now())) {
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      if (task->expire) task->expire();
+      continue;
+    }
+    try {
+      task->run();
+    } catch (const std::exception& e) {
+      // Tasks are expected to capture their own failures into a response;
+      // anything escaping here is a service-layer bug worth logging, but
+      // must not take the worker down.
+      TECFAN_LOG_ERROR << "service task threw: " << e.what();
+    } catch (...) {
+      TECFAN_LOG_ERROR << "service task threw a non-std exception";
+    }
+    executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace tecfan::service

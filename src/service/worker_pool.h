@@ -1,0 +1,68 @@
+// Persistent worker pool for the serving path.
+//
+// A fixed set of threads started once at daemon boot pulls tasks from a
+// bounded TaskQueue. submit() applies backpressure (returns false when the
+// queue is full) rather than blocking the session thread, and tasks whose
+// deadline expired while queued have their `expire` continuation run on a
+// worker instead of the work itself. Shutdown is graceful by default:
+// accepted tasks finish, then the threads join. A drop shutdown cancels the
+// backlog by running each queued task's expire continuation.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "service/task_queue.h"
+
+namespace tecfan::service {
+
+class WorkerPool {
+ public:
+  WorkerPool(std::size_t workers, std::size_t queue_capacity);
+  /// Graceful shutdown (drain).
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueue work; `deadline` of time_point::max() means none. Returns
+  /// false — and counts a rejection — when the pool is saturated or shut
+  /// down; the caller is expected to answer `busy`.
+  bool submit(std::function<void()> run, std::function<void()> on_expired = {},
+              std::chrono::steady_clock::time_point deadline =
+                  std::chrono::steady_clock::time_point::max());
+
+  /// Stop accepting work and join the workers. With drain=true every
+  /// accepted task still runs; with drain=false queued tasks are cancelled
+  /// via their expire continuation (in-flight tasks always finish).
+  /// Idempotent; called by the destructor with drain=true.
+  void shutdown(bool drain = true);
+
+  struct Stats {
+    std::uint64_t executed = 0;  // tasks whose run() completed
+    std::uint64_t expired = 0;   // tasks expired (deadline or cancelled)
+    std::uint64_t rejected = 0;  // submits refused by backpressure
+    std::size_t queued = 0;      // tasks currently waiting
+    std::size_t workers = 0;
+  };
+  Stats stats() const;
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+ private:
+  void worker_loop();
+
+  TaskQueue queue_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> shut_down_{false};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+};
+
+}  // namespace tecfan::service

@@ -4,6 +4,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "sim/metrics.h"
 

@@ -13,9 +13,17 @@
 namespace tecfan {
 
 /// Number of workers parallel_for will use (>= 1).
+///
+/// Thread safety: the override is a single process-global atomic, so this
+/// may be called concurrently with set_parallel_workers and with running
+/// parallel_for calls from any thread (the tecfand service invokes
+/// parallel_for from its pool workers). A parallel_for that already
+/// started keeps the worker count it sampled.
 std::size_t parallel_workers();
 
 /// Override the worker count (0 restores the hardware default).
+/// Safe to call concurrently with parallel_workers()/parallel_for(); only
+/// loops that start afterwards observe the new value.
 void set_parallel_workers(std::size_t n);
 
 /// Invoke body(i) for i in [0, n), possibly concurrently.

@@ -1,0 +1,472 @@
+// Tests for the tecfand service layer: protocol parse/serialize, the
+// sharded LRU result cache, worker-pool backpressure and shutdown, and an
+// end-to-end pipe-mode session asserting a repeated equilibrium request is
+// served from the cache without re-solving.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "service/request.h"
+#include "service/result_cache.h"
+#include "service/server.h"
+#include "service/task_queue.h"
+#include "service/worker_pool.h"
+
+namespace {
+
+using namespace tecfan::service;
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------- protocol
+
+TEST(Protocol, ParseFillsDefaults) {
+  const ParsedRequest p = parse_request("equilibrium");
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.request.kind, RequestKind::kEquilibrium);
+  EXPECT_EQ(p.request.workload, "cholesky");
+  EXPECT_EQ(p.request.threads, 16);
+  EXPECT_EQ(p.request.fan, 0);
+  EXPECT_EQ(p.request.dvfs, 0);
+  EXPECT_FALSE(p.request.tec_on);
+  EXPECT_EQ(p.request.deadline_ms, 0.0);
+}
+
+TEST(Protocol, ParseReadsEveryField) {
+  const ParsedRequest p = parse_request(
+      "equilibrium workload=LU threads=4 fan=3 dvfs=2 tec=on deadline_ms=50");
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.request.workload, "lu");  // names are lower-cased
+  EXPECT_EQ(p.request.threads, 4);
+  EXPECT_EQ(p.request.fan, 3);
+  EXPECT_EQ(p.request.dvfs, 2);
+  EXPECT_TRUE(p.request.tec_on);
+  EXPECT_DOUBLE_EQ(p.request.deadline_ms, 50.0);
+}
+
+TEST(Protocol, CanonicalKeyIsOrderAndCaseIndependent) {
+  const ParsedRequest a =
+      parse_request("equilibrium workload=cholesky fan=2 threads=16 tec=off");
+  const ParsedRequest b =
+      parse_request("EQUILIBRIUM tec=false THREADS=16 FAN=2 Workload=CHOLESKY");
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_EQ(canonical_key(a.request), canonical_key(b.request));
+}
+
+TEST(Protocol, CanonicalKeyExcludesDeadline) {
+  ParsedRequest a = parse_request("run policy=tecfan workload=lu fan=1");
+  ParsedRequest b =
+      parse_request("run policy=tecfan workload=lu fan=1 deadline_ms=25");
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_EQ(canonical_key(a.request), canonical_key(b.request));
+}
+
+TEST(Protocol, CanonicalKeyRoundTrips) {
+  for (const char* line :
+       {"equilibrium workload=fmm threads=16 fan=4 dvfs=1 tec=on",
+        "run policy=fan+dvfs workload=volrend threads=16 fan=2",
+        "sweep policy=tecfan workload=water threads=4",
+        "table1 workload=cholesky threads=16"}) {
+    const ParsedRequest p = parse_request(line);
+    ASSERT_TRUE(p.ok) << line << ": " << p.error;
+    const std::string key = canonical_key(p.request);
+    const ParsedRequest again = parse_request(key);
+    ASSERT_TRUE(again.ok) << key << ": " << again.error;
+    EXPECT_EQ(canonical_key(again.request), key) << line;
+  }
+}
+
+TEST(Protocol, RejectsMalformedInput) {
+  for (const char* line : {
+           "",                              // empty
+           "   ",                           // whitespace only
+           "bogus",                         // unknown kind
+           "workload=lu",                   // key before kind
+           "equilibrium fan=abc",           // non-integer level
+           "equilibrium fan=-1",            // negative level
+           "equilibrium fan=3x",            // trailing junk
+           "equilibrium tec=maybe",         // bad boolean
+           "equilibrium threads=0",         // non-positive threads
+           "equilibrium workload=",         // empty value
+           "equilibrium frobnicate=1",      // unknown key for kind
+           "run dvfs=1",                    // key not valid for `run`
+           "ping extra=1",                  // control kinds take no keys
+           "run policy",                    // stray bare token
+           "run policy=\"tec",              // unterminated quote
+           "equilibrium deadline_ms=-5",    // negative deadline
+       }) {
+    const ParsedRequest p = parse_request(line);
+    EXPECT_FALSE(p.ok) << "accepted: '" << line << "'";
+    EXPECT_FALSE(p.error.empty()) << line;
+  }
+}
+
+TEST(Protocol, ResponseRoundTrips) {
+  Response r;
+  r.add("peak_t_c", 89.25);
+  r.add("note", std::string("two words"));
+  r.add("tricky", std::string("a \"quoted\" \\ value"));
+  const Response back = parse_response(serialize_response(r));
+  EXPECT_EQ(back.status, Response::Status::kOk);
+  EXPECT_EQ(back.field("peak_t_c"), std::optional<std::string>("89.25"));
+  EXPECT_EQ(back.field("note"), std::optional<std::string>("two words"));
+  EXPECT_EQ(back.field("tricky"),
+            std::optional<std::string>("a \"quoted\" \\ value"));
+
+  const Response cached_back = [] {
+    Response c;
+    c.cached = true;
+    c.add("x", std::uint64_t{7});
+    return parse_response(serialize_response(c));
+  }();
+  EXPECT_TRUE(cached_back.cached);
+
+  const Response err = parse_response(
+      serialize_response(Response::make_error("fan level out of range")));
+  EXPECT_EQ(err.status, Response::Status::kError);
+  EXPECT_EQ(err.error, "fan level out of range");
+
+  EXPECT_EQ(parse_response("busy").status, Response::Status::kBusy);
+  EXPECT_EQ(parse_response("???").status, Response::Status::kError);
+}
+
+// ------------------------------------------------------------------ cache
+
+TEST(ResultCache, HitMissAndCounters) {
+  ResultCache cache(8, 2);
+  EXPECT_FALSE(cache.get("a"));
+  cache.put("a", "1");
+  auto hit = cache.get("a");
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(*hit, "1");
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.size, 1u);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.5);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2, 1);  // single shard, two entries
+  cache.put("a", "1");
+  cache.put("b", "2");
+  ASSERT_TRUE(cache.get("a"));  // refresh `a`; `b` is now LRU
+  cache.put("c", "3");          // evicts `b`
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(cache.get("b"));
+  EXPECT_TRUE(cache.get("a"));
+  EXPECT_TRUE(cache.get("c"));
+}
+
+TEST(ResultCache, OverwriteDoesNotEvict) {
+  ResultCache cache(2, 1);
+  cache.put("a", "1");
+  cache.put("b", "2");
+  cache.put("a", "updated");
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(*cache.get("a"), "updated");
+  EXPECT_TRUE(cache.get("b"));
+}
+
+TEST(ResultCache, CanonicalizedRequestsShareAnEntry) {
+  ResultCache cache(16);
+  const ParsedRequest a =
+      parse_request("equilibrium fan=1 workload=lu threads=16");
+  const ParsedRequest b =
+      parse_request("equilibrium threads=16 workload=LU fan=1 deadline_ms=9");
+  ASSERT_TRUE(a.ok && b.ok);
+  cache.put(canonical_key(a.request), "result");
+  auto hit = cache.get(canonical_key(b.request));
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(*hit, "result");
+}
+
+TEST(ResultCache, ClearEmptiesEveryShard) {
+  ResultCache cache(64, 4);
+  for (int i = 0; i < 32; ++i)
+    cache.put("key" + std::to_string(i), "v");
+  EXPECT_GT(cache.stats().size, 0u);
+  cache.clear();
+  EXPECT_EQ(cache.stats().size, 0u);
+}
+
+// ------------------------------------------------------------- queue/pool
+
+TEST(TaskQueue, BoundedAndClosable) {
+  TaskQueue q(2);
+  Task t;
+  t.run = [] {};
+  EXPECT_TRUE(q.try_push(t));
+  EXPECT_TRUE(q.try_push(t));
+  EXPECT_FALSE(q.try_push(t));  // full
+  EXPECT_EQ(q.size(), 2u);
+  q.close();
+  EXPECT_FALSE(q.try_push(t));  // closed
+  EXPECT_TRUE(q.pop());         // drains the backlog first...
+  EXPECT_TRUE(q.pop());
+  EXPECT_FALSE(q.pop());  // ...then reports closed-and-empty
+}
+
+// A simple open/close gate for holding a worker in-flight.
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  bool entered = false;
+
+  void wait_open() {
+    std::unique_lock<std::mutex> lock(mu);
+    entered = true;
+    cv.notify_all();
+    cv.wait(lock, [this] { return open; });
+  }
+  void wait_entered() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return entered; });
+  }
+  void release() {
+    std::lock_guard<std::mutex> lock(mu);
+    open = true;
+    cv.notify_all();
+  }
+};
+
+TEST(WorkerPool, BackpressureRejectsWhenSaturated) {
+  WorkerPool pool(1, 2);
+  Gate gate;
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.submit([&] {
+    gate.wait_open();
+    ++ran;
+  }));
+  gate.wait_entered();  // worker is busy; queue is empty
+  ASSERT_TRUE(pool.submit([&] { ++ran; }));
+  ASSERT_TRUE(pool.submit([&] { ++ran; }));
+  EXPECT_FALSE(pool.submit([&] { ++ran; }));  // queue full -> busy
+  EXPECT_FALSE(pool.submit([&] { ++ran; }));
+  EXPECT_EQ(pool.stats().rejected, 2u);
+  gate.release();
+  pool.shutdown(true);
+  EXPECT_EQ(ran.load(), 3);
+  EXPECT_EQ(pool.stats().executed, 3u);
+}
+
+TEST(WorkerPool, GracefulShutdownDrainsAcceptedWork) {
+  std::atomic<int> ran{0};
+  {
+    WorkerPool pool(2, 16);
+    for (int i = 0; i < 8; ++i)
+      ASSERT_TRUE(pool.submit([&] {
+        std::this_thread::sleep_for(1ms);
+        ++ran;
+      }));
+    pool.shutdown(true);
+    EXPECT_EQ(pool.stats().executed, 8u);
+  }
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(WorkerPool, DropShutdownCancelsBacklog) {
+  WorkerPool pool(1, 8);
+  Gate gate;
+  std::atomic<int> ran{0};
+  std::atomic<int> cancelled{0};
+  ASSERT_TRUE(pool.submit([&] { gate.wait_open(); }));
+  gate.wait_entered();
+  for (int i = 0; i < 4; ++i)
+    ASSERT_TRUE(pool.submit([&] { ++ran; }, [&] { ++cancelled; }));
+  EXPECT_EQ(pool.stats().queued, 4u);
+
+  std::thread stopper([&] { pool.shutdown(false); });
+  // The backlog is cancelled synchronously inside shutdown, before the
+  // join; the in-flight task is still held at the gate.
+  while (pool.stats().expired < 4u) std::this_thread::sleep_for(1ms);
+  EXPECT_EQ(cancelled.load(), 4);
+  EXPECT_EQ(ran.load(), 0);
+  gate.release();
+  stopper.join();
+}
+
+TEST(WorkerPool, ExpiredDeadlineRunsExpireContinuation) {
+  WorkerPool pool(1, 4);
+  std::atomic<int> ran{0};
+  std::atomic<int> expired{0};
+  ASSERT_TRUE(pool.submit([&] { ++ran; }, [&] { ++expired; },
+                          std::chrono::steady_clock::now() - 1ms));
+  pool.shutdown(true);
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(expired.load(), 1);
+  EXPECT_EQ(pool.stats().expired, 1u);
+}
+
+TEST(WorkerPool, ManyProducersOneConsumerStaysConsistent) {
+  WorkerPool pool(2, 64);
+  std::atomic<int> ran{0};
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p)
+    producers.emplace_back([&] {
+      for (int i = 0; i < 64; ++i)
+        if (pool.submit([&] { ++ran; })) ++accepted;
+    });
+  for (auto& t : producers) t.join();
+  pool.shutdown(true);
+  EXPECT_EQ(ran.load(), accepted.load());
+  const auto s = pool.stats();
+  EXPECT_EQ(s.executed, static_cast<std::uint64_t>(accepted.load()));
+  EXPECT_EQ(s.executed + s.rejected, 256u);
+}
+
+// ------------------------------------------------------------- end-to-end
+
+ServerOptions small_server_options() {
+  ServerOptions o;
+  o.tiles_x = 2;
+  o.tiles_y = 2;
+  o.workers = 2;
+  o.queue_capacity = 8;
+  o.cache_capacity = 64;
+  o.max_sim_time_s = 0.05;
+  return o;
+}
+
+TEST(ServerPipe, CachedEquilibriumIsServedWithoutResolving) {
+  Server server(small_server_options());
+  std::istringstream in(
+      "equilibrium workload=water threads=4 fan=1\n"
+      "equilibrium threads=4 fan=1 workload=WATER\n"
+      "stats\n"
+      "quit\n");
+  std::ostringstream out;
+  server.serve_pipe(in, out);
+
+  std::istringstream lines(out.str());
+  std::string l1, l2, l3, l4;
+  ASSERT_TRUE(std::getline(lines, l1));
+  ASSERT_TRUE(std::getline(lines, l2));
+  ASSERT_TRUE(std::getline(lines, l3));
+  ASSERT_TRUE(std::getline(lines, l4));
+
+  const Response first = parse_response(l1);
+  const Response second = parse_response(l2);
+  ASSERT_EQ(first.status, Response::Status::kOk) << l1;
+  ASSERT_EQ(second.status, Response::Status::kOk) << l2;
+  EXPECT_FALSE(first.cached);
+  EXPECT_TRUE(second.cached) << l2;
+  EXPECT_EQ(first.field("peak_t_c"), second.field("peak_t_c"));
+
+  // The repeat must not have re-solved: exactly one compute, one hit.
+  const Response stats = parse_response(l3);
+  EXPECT_EQ(stats.field("computes"), std::optional<std::string>("1"));
+  EXPECT_EQ(stats.field("cache_hits"), std::optional<std::string>("1"));
+
+  const Response bye = parse_response(l4);
+  EXPECT_EQ(bye.field("bye"), std::optional<std::string>("1"));
+}
+
+TEST(ServerPipe, MalformedLinesGetErrorsAndSessionContinues) {
+  Server server(small_server_options());
+  std::istringstream in(
+      "garbage\n"
+      "ping\n"
+      "quit\n");
+  std::ostringstream out;
+  server.serve_pipe(in, out);
+  std::istringstream lines(out.str());
+  std::string l1, l2;
+  ASSERT_TRUE(std::getline(lines, l1));
+  ASSERT_TRUE(std::getline(lines, l2));
+  EXPECT_EQ(parse_response(l1).status, Response::Status::kError);
+  EXPECT_EQ(parse_response(l2).field("pong"),
+            std::optional<std::string>("1"));
+}
+
+TEST(Server, RunRequestProducesMetricsAndCaches) {
+  Server server(small_server_options());
+  Request req;
+  req.kind = RequestKind::kRun;
+  req.workload = "water";
+  req.threads = 4;
+  req.policy = "fan-only";
+  req.fan = 1;
+  const Response r = server.handle(req);
+  ASSERT_EQ(r.status, Response::Status::kOk) << r.error;
+  EXPECT_FALSE(r.cached);
+  EXPECT_TRUE(r.field("energy_j"));
+  EXPECT_TRUE(r.field("time_ms"));
+  EXPECT_TRUE(r.field("peak_t_c"));
+  const Response again = server.handle(req);
+  ASSERT_EQ(again.status, Response::Status::kOk);
+  EXPECT_TRUE(again.cached);
+  EXPECT_EQ(r.field("energy_j"), again.field("energy_j"));
+}
+
+TEST(Server, UnknownPolicyAndWorkloadAreErrors) {
+  Server server(small_server_options());
+  Request req;
+  req.kind = RequestKind::kRun;
+  req.workload = "water";
+  req.threads = 4;
+  req.policy = "frobnicate";
+  EXPECT_EQ(server.handle(req).status, Response::Status::kError);
+
+  Request bad_wl;
+  bad_wl.kind = RequestKind::kEquilibrium;
+  bad_wl.workload = "doom";
+  bad_wl.threads = 4;
+  EXPECT_EQ(server.handle(bad_wl).status, Response::Status::kError);
+  EXPECT_EQ(server.stats().errors, 2u);
+}
+
+TEST(ServerTcp, RoundTripAndConcurrentClients) {
+  Server server(small_server_options());
+  const std::uint16_t port = server.bind_listen(0);
+  std::thread serving([&server] { server.serve(); });
+
+  auto client_session = [port](int salt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    const std::string req = "equilibrium workload=water threads=4 fan=" +
+                            std::to_string(salt % 2) + "\nquit\n";
+    ASSERT_EQ(::send(fd, req.data(), req.size(), 0),
+              static_cast<ssize_t>(req.size()));
+    std::string acc;
+    char buf[1024];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      acc.append(buf, static_cast<std::size_t>(n));
+      if (std::count(acc.begin(), acc.end(), '\n') >= 2) break;
+    }
+    ::close(fd);
+    std::istringstream lines(acc);
+    std::string l1;
+    ASSERT_TRUE(std::getline(lines, l1));
+    EXPECT_EQ(parse_response(l1).status, Response::Status::kOk) << l1;
+  };
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c)
+    clients.emplace_back([&client_session, c] { client_session(c); });
+  for (auto& t : clients) t.join();
+
+  server.stop();
+  serving.join();
+  EXPECT_GE(server.stats().requests, 6u);  // 3 x (equilibrium + quit)
+}
+
+}  // namespace

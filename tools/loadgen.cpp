@@ -1,0 +1,325 @@
+// loadgen — closed-loop load generator for tecfand, the serving-path
+// benchmark.
+//
+// Opens C connections to a local tecfand (or spawns an in-process server
+// when --port is not given), drives each connection closed-loop over a
+// repeated-key request working set, and reports throughput, p50/p99
+// latency, and the daemon's cache hit rate. Results go to stdout and, in
+// minimal JSON, to BENCH_serving.json (--out to override).
+//
+//   loadgen                              # in-process server, 4 conns, 3 s
+//   loadgen --port 7411 --connections 8 --duration-s 10
+//   loadgen --keys 32 --no-warmup       # larger working set, cold cache
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/request.h"
+#include "service/server.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace tecfan;
+using Clock = std::chrono::steady_clock;
+
+struct Args {
+  int port = -1;  // -1: spawn in-process
+  int connections = 4;
+  double duration_s = 3.0;
+  int keys = 8;
+  bool warmup = true;
+  std::string out = "BENCH_serving.json";
+  bool help = false;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: loadgen [--port N] [--connections C] [--duration-s S]\n"
+      "               [--keys K] [--no-warmup] [--out FILE]\n"
+      "  --port N         target an external tecfand (default: in-process)\n"
+      "  --connections C  closed-loop client connections (default 4)\n"
+      "  --duration-s S   measured interval (default 3)\n"
+      "  --keys K         distinct equilibrium requests in the set (8)\n"
+      "  --no-warmup      skip the cache-priming pass\n"
+      "  --out FILE       JSON report path (BENCH_serving.json)\n");
+}
+
+bool parse(int argc, char** argv, Args& out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](int& i) -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--port") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.port = std::atoi(v);
+    } else if (a == "--connections") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.connections = std::atoi(v);
+    } else if (a == "--duration-s") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.duration_s = std::atof(v);
+    } else if (a == "--keys") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.keys = std::atoi(v);
+    } else if (a == "--no-warmup") {
+      out.warmup = false;
+    } else if (a == "--out") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.out = v;
+    } else if (a == "--help" || a == "-h") {
+      out.help = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      return false;
+    }
+  }
+  return out.connections > 0 && out.duration_s > 0 && out.keys > 0;
+}
+
+/// Blocking line-protocol client over a loopback TCP connection.
+class Client {
+ public:
+  bool connect_to(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
+    return true;
+  }
+
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  /// Send one request line, wait for the response line; empty on error.
+  std::string round_trip(const std::string& line) {
+    std::string msg = line;
+    msg += '\n';
+    std::size_t sent = 0;
+    while (sent < msg.size()) {
+      const ssize_t w = ::send(fd_, msg.data() + sent, msg.size() - sent, 0);
+      if (w <= 0) return {};
+      sent += static_cast<std::size_t>(w);
+    }
+    for (;;) {
+      const std::size_t nl = acc_.find('\n');
+      if (nl != std::string::npos) {
+        std::string reply = acc_.substr(0, nl);
+        acc_.erase(0, nl + 1);
+        return reply;
+      }
+      char buf[4096];
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) return {};
+      acc_.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string acc_;
+};
+
+/// The repeated-key working set: equilibrium points across the benchmark x
+/// fan-level x TEC grid (deterministic, so every repeat is a cache hit).
+std::vector<std::string> request_set(int keys) {
+  const std::vector<std::string> workloads = {"cholesky", "lu", "fmm",
+                                              "volrend"};
+  std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(keys));
+  for (int k = 0; k < keys; ++k) {
+    const std::string& wl = workloads[static_cast<std::size_t>(k) %
+                                      workloads.size()];
+    const int fan = (k / static_cast<int>(workloads.size())) % 8;
+    const bool tec = (k / 32) % 2 != 0;
+    out.push_back("equilibrium workload=" + wl +
+                  " threads=16 fan=" + std::to_string(fan) +
+                  (tec ? " tec=on" : ""));
+  }
+  return out;
+}
+
+double get_field(const service::Response& r, const char* key) {
+  if (auto v = r.field(key)) return std::atof(v->c_str());
+  return 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, args) || args.help) {
+    usage();
+    return args.help ? 0 : 2;
+  }
+
+  // Spawn an in-process server unless pointed at an external daemon.
+  std::unique_ptr<service::Server> local;
+  std::thread serve_thread;
+  std::uint16_t port = 0;
+  if (args.port < 0) {
+    service::ServerOptions options;
+    options.workers = 2;
+    local = std::make_unique<service::Server>(options);
+    port = local->bind_listen(0);
+    serve_thread = std::thread([&local] { local->serve(); });
+    std::fprintf(stderr, "loadgen: in-process tecfand on port %u\n", port);
+  } else {
+    port = static_cast<std::uint16_t>(args.port);
+  }
+
+  const std::vector<std::string> requests = request_set(args.keys);
+
+  // Warmup: prime every key once so the measured interval exercises the
+  // serving path, not the simulator.
+  if (args.warmup) {
+    Client warm;
+    if (!warm.connect_to(port)) {
+      std::fprintf(stderr, "loadgen: cannot connect to port %u\n", port);
+      return 1;
+    }
+    const auto t0 = Clock::now();
+    for (const auto& r : requests) {
+      const std::string reply = warm.round_trip(r);
+      const service::Response resp = service::parse_response(reply);
+      if (resp.status != service::Response::Status::kOk) {
+        std::fprintf(stderr, "loadgen: warmup request failed: %s\n",
+                     reply.c_str());
+        return 1;
+      }
+    }
+    std::fprintf(stderr, "loadgen: warmed %zu keys in %.2f s\n",
+                 requests.size(),
+                 std::chrono::duration<double>(Clock::now() - t0).count());
+  }
+
+  // Measured closed-loop interval.
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(args.connections));
+  std::vector<std::uint64_t> busies(static_cast<std::size_t>(args.connections),
+                                    0);
+  std::vector<std::thread> clients;
+  const auto start = Clock::now();
+  for (int c = 0; c < args.connections; ++c) {
+    clients.emplace_back([&, c] {
+      Client client;
+      if (!client.connect_to(port)) return;
+      auto& lat = latencies[static_cast<std::size_t>(c)];
+      std::size_t i = static_cast<std::size_t>(c);  // stagger the rotation
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string& req = requests[i++ % requests.size()];
+        const auto t0 = Clock::now();
+        const std::string reply = client.round_trip(req);
+        const auto t1 = Clock::now();
+        if (reply.empty()) break;
+        if (reply == "busy") {
+          ++busies[static_cast<std::size_t>(c)];
+          continue;
+        }
+        lat.push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(args.duration_s));
+  stop.store(true);
+  for (auto& t : clients) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<double> all;
+  std::uint64_t busy_total = 0;
+  for (const auto& per_conn : latencies)
+    all.insert(all.end(), per_conn.begin(), per_conn.end());
+  for (std::uint64_t b : busies) busy_total += b;
+  if (all.empty()) {
+    std::fprintf(stderr, "loadgen: no requests completed\n");
+    return 1;
+  }
+
+  // Server-side cache statistics.
+  double hit_rate = 0.0, cache_hits = 0.0, cache_misses = 0.0;
+  {
+    Client statc;
+    if (statc.connect_to(port)) {
+      const service::Response stats =
+          service::parse_response(statc.round_trip("stats"));
+      hit_rate = get_field(stats, "cache_hit_rate");
+      cache_hits = get_field(stats, "cache_hits");
+      cache_misses = get_field(stats, "cache_misses");
+      statc.round_trip("quit");
+    }
+  }
+
+  const double throughput = static_cast<double>(all.size()) / elapsed;
+  const double p50 = percentile(all, 50.0);
+  const double p99 = percentile(all, 99.0);
+  const double mean_us = mean(all);
+
+  std::printf("== serving-path benchmark (loadgen) ==\n");
+  std::printf("connections       %d\n", args.connections);
+  std::printf("distinct keys     %d\n", args.keys);
+  std::printf("duration          %.2f s\n", elapsed);
+  std::printf("requests          %zu\n", all.size());
+  std::printf("busy rejections   %llu\n",
+              static_cast<unsigned long long>(busy_total));
+  std::printf("throughput        %.0f req/s\n", throughput);
+  std::printf("latency mean      %.1f us\n", mean_us);
+  std::printf("latency p50       %.1f us\n", p50);
+  std::printf("latency p99       %.1f us\n", p99);
+  std::printf("cache hit rate    %.1f %%\n", 100.0 * hit_rate);
+
+  std::ofstream json(args.out);
+  if (json) {
+    json.precision(6);
+    json << "{\n"
+         << "  \"bench\": \"serving\",\n"
+         << "  \"connections\": " << args.connections << ",\n"
+         << "  \"distinct_keys\": " << args.keys << ",\n"
+         << "  \"duration_s\": " << elapsed << ",\n"
+         << "  \"requests\": " << all.size() << ",\n"
+         << "  \"busy_rejections\": " << busy_total << ",\n"
+         << "  \"throughput_rps\": " << throughput << ",\n"
+         << "  \"latency_mean_us\": " << mean_us << ",\n"
+         << "  \"latency_p50_us\": " << p50 << ",\n"
+         << "  \"latency_p99_us\": " << p99 << ",\n"
+         << "  \"cache_hits\": " << cache_hits << ",\n"
+         << "  \"cache_misses\": " << cache_misses << ",\n"
+         << "  \"cache_hit_rate\": " << hit_rate << "\n"
+         << "}\n";
+    std::fprintf(stderr, "loadgen: wrote %s\n", args.out.c_str());
+  }
+
+  if (local) {
+    local->stop();
+    if (serve_thread.joinable()) serve_thread.join();
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+// tecfand — the thermal-planning daemon.
+//
+// Serves the line protocol of service/request.h over stdin/stdout (pipe
+// mode, the default when stdin is not a TTY or --pipe is given) or a local
+// TCP socket (--port N; N=0 picks an ephemeral port, printed on startup).
+//
+//   tecfand --pipe                      # stdin/stdout session
+//   tecfand --port 7411                 # loopback TCP daemon
+//   tecfand --port 0 --workers 4        # ephemeral port, bigger pool
+//
+// Example session:
+//
+//   $ ./build/tools/tecfand --pipe
+//   equilibrium workload=cholesky threads=16 fan=2
+//   ok peak_t_k=... peak_t_c=... fan_w=...
+//   stats
+//   ok uptime_s=... cache_hits=... ...
+//   quit
+//   ok bye=1
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "service/server.h"
+
+namespace {
+
+struct Args {
+  bool pipe = false;
+  int port = -1;  // -1: not set
+  std::size_t workers = 2;
+  std::size_t queue = 64;
+  std::size_t cache = 4096;
+  double deadline_ms = 0.0;
+  bool help = false;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: tecfand [--pipe | --port N] [--workers N] [--queue N]\n"
+               "               [--cache N] [--deadline-ms X]\n"
+               "  --pipe          serve stdin/stdout (default)\n"
+               "  --port N        serve loopback TCP on port N (0 = ephemeral)\n"
+               "  --workers N     worker pool size (default 2)\n"
+               "  --queue N       pending-request bound before `busy` (64)\n"
+               "  --cache N       result cache capacity in entries (4096)\n"
+               "  --deadline-ms X default per-request deadline (0 = none)\n");
+}
+
+bool parse(int argc, char** argv, Args& out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](int& i) -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--pipe") {
+      out.pipe = true;
+    } else if (a == "--port") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.port = std::atoi(v);
+    } else if (a == "--workers") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.workers = static_cast<std::size_t>(std::atoi(v));
+    } else if (a == "--queue") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.queue = static_cast<std::size_t>(std::atoi(v));
+    } else if (a == "--cache") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.cache = static_cast<std::size_t>(std::atoi(v));
+    } else if (a == "--deadline-ms") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.deadline_ms = std::atof(v);
+    } else if (a == "--help" || a == "-h") {
+      out.help = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, args) || args.help) {
+    usage();
+    return args.help ? 0 : 2;
+  }
+  if (args.pipe && args.port >= 0) {
+    std::fprintf(stderr, "error: --pipe and --port are exclusive\n");
+    return 2;
+  }
+  if (args.workers == 0 || args.queue == 0 || args.cache == 0) {
+    std::fprintf(stderr, "error: --workers/--queue/--cache must be > 0\n");
+    return 2;
+  }
+
+  tecfan::service::ServerOptions options;
+  options.workers = args.workers;
+  options.queue_capacity = args.queue;
+  options.cache_capacity = args.cache;
+  options.default_deadline_ms = args.deadline_ms;
+  tecfan::service::Server server(options);
+
+  if (args.port >= 0) {
+    const std::uint16_t port =
+        server.bind_listen(static_cast<std::uint16_t>(args.port));
+    std::fprintf(stderr, "tecfand: listening on 127.0.0.1:%u (%zu workers)\n",
+                 port, args.workers);
+    std::fflush(stderr);
+    server.serve();
+    return 0;
+  }
+
+  server.serve_pipe(std::cin, std::cout);
+  return 0;
+}
