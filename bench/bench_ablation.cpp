@@ -82,7 +82,8 @@ int main() {
     t.set_header({"control period", "delay", "energy", "EDP", "peak C",
                   "viol %"});
     for (double period_ms : {1.0, 2.0, 4.0, 8.0}) {
-      sim::ChipSimulator simulator(bench.models, period_ms * 1e-3, 4);
+      sim::ChipSimulator simulator(
+          sim::make_chip_engine(bench.models(), period_ms * 1e-3, 4));
       core::TecFanPolicy p;
       sim::RunConfig cfg;
       cfg.threshold_k = tth;
@@ -103,16 +104,15 @@ int main() {
     TextTable t;
     t.set_header({"TEC current", "Fan+TEC peak C @L2", "TEC W", "viol %"});
     for (double amps : {2.0, 4.0, 6.0, 8.0}) {
-      sim::ChipModels models = bench.models;
+      sim::ChipModels models = bench.models();
       thermal::TecParameters tec;  // defaults
       tec.drive_current_a = amps;
       thermal::PackageParameters pkg;
       models.thermal = std::make_shared<const thermal::ChipThermalModel>(
           thermal::Floorplan::scc(), pkg, tec);
-      sim::ChipSimulator simulator(models);
-      auto wl2 = perf::make_splash_workload(
-          "cholesky", 16, models.thermal->floorplan(), models.dynamic,
-          models.leak_quad);
+      const sim::ChipEnginePtr custom = sim::make_chip_engine(models);
+      sim::ChipSimulator simulator(custom);
+      auto wl2 = custom->workload("cholesky", 16);
       core::FanTecPolicy p;
       sim::RunConfig cfg;
       cfg.threshold_k = tth;

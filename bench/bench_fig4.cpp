@@ -35,8 +35,8 @@ int main() {
     sim::RunResult only_l2 = run_at(fan_only, 1);
     sim::RunResult tec_l2 = run_at(fan_tec, 1);
 
-    const double fan_w_l1 = bench.models.fan.power_w(0);
-    const double fan_w_l2 = bench.models.fan.power_w(1);
+    const double fan_w_l1 = bench.models().fan.power_w(0);
+    const double fan_w_l2 = bench.models().fan.power_w(1);
     t.add_row({std::string(wl->name()), fmt(to_c(tth), 4),
                fmt(to_c(base.peak_temp_k), 4),
                fmt(to_c(only_l2.peak_temp_k), 4),
@@ -50,6 +50,6 @@ int main() {
       "\nExpected shape: Fan-only at level 2 exceeds T_th by a few kelvin;\n"
       "Fan+TEC at level 2 restores roughly level-1 cooling at a fraction of\n"
       "the cooling power (%.1f W fan level 1 vs ~%.1f W fan level 2 + TEC).\n",
-      bench.models.fan.power_w(0), bench.models.fan.power_w(1) + 2.0);
+      bench.models().fan.power_w(0), bench.models().fan.power_w(1) + 2.0);
   return 0;
 }

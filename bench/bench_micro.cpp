@@ -14,7 +14,8 @@
 #include "linalg/systolic.h"
 #include "linalg/woodbury.h"
 #include "thermal/core_estimator.h"
-#include "sim/defaults.h"
+#include "sim/chip_engine.h"
+#include "sim/chip_simulator.h"
 #include "thermal/solvers.h"
 #include "util/rng.h"
 
@@ -22,10 +23,12 @@ namespace {
 
 using namespace tecfan;
 
-const sim::ChipModels& models() {
-  static const sim::ChipModels m = sim::make_default_chip_models();
-  return m;
+const sim::ChipEnginePtr& engine() {
+  static const sim::ChipEnginePtr e = sim::make_default_chip_engine();
+  return e;
 }
+
+const sim::ChipModels& models() { return engine()->models(); }
 
 linalg::Vector uniform_power(double watts_per_component) {
   return linalg::Vector(models().thermal->component_count(),
@@ -48,7 +51,7 @@ void BM_DenseLuFactor(benchmark::State& state) {
 BENCHMARK(BM_DenseLuFactor)->Arg(64)->Arg(256)->Arg(608);
 
 void BM_SteadySolveBase(benchmark::State& state) {
-  thermal::SteadyStateSolver solver(models().thermal);
+  thermal::SteadyStateSolver solver(engine()->thermal());
   const auto cooling = models().thermal->make_cooling_state(60.0);
   const linalg::Vector p = uniform_power(0.4);
   for (auto _ : state) {
@@ -59,7 +62,7 @@ void BM_SteadySolveBase(benchmark::State& state) {
 BENCHMARK(BM_SteadySolveBase);
 
 void BM_SteadySolveWithTecs(benchmark::State& state) {
-  thermal::SteadyStateSolver solver(models().thermal);
+  thermal::SteadyStateSolver solver(engine()->thermal());
   auto cooling = models().thermal->make_cooling_state(60.0);
   const auto n_on = static_cast<std::size_t>(state.range(0));
   for (std::size_t t = 0; t < n_on; ++t) cooling.tec_on[t] = 1;
@@ -74,7 +77,7 @@ void BM_SteadySolveWithTecs(benchmark::State& state) {
 BENCHMARK(BM_SteadySolveWithTecs)->Arg(8)->Arg(32)->Arg(144);
 
 void BM_TransientStep(benchmark::State& state) {
-  thermal::TransientSolver solver(models().thermal, 0.5e-3);
+  thermal::TransientSolver solver(engine()->thermal());
   const auto cooling = models().thermal->make_cooling_state(60.0);
   const linalg::Vector p = uniform_power(0.4);
   linalg::Vector temps(models().thermal->node_count(), 330.0);
@@ -85,15 +88,27 @@ void BM_TransientStep(benchmark::State& state) {
 }
 BENCHMARK(BM_TransientStep);
 
+void BM_SimulatorConstruct(benchmark::State& state) {
+  // The engine/workspace split's payoff: a per-thread simulator over a
+  // shared engine is microseconds, vs the ~ms-scale base factorizations
+  // the engine paid once (outside the timed loop).
+  const sim::ChipEnginePtr& shared = engine();
+  for (auto _ : state) {
+    sim::ChipSimulator simulator(shared);
+    benchmark::DoNotOptimize(simulator.control_period_s());
+  }
+}
+BENCHMARK(BM_SimulatorConstruct);
+
 void BM_WoodburyVsRefactor(benchmark::State& state) {
   // Toggle one TEC: Woodbury update + solve vs full refactor.
   const bool use_woodbury = state.range(0) != 0;
   const auto& model = *models().thermal;
   const linalg::Vector q =
       model.assemble_rhs(uniform_power(0.4), model.make_cooling_state(60.0));
-  auto base = std::make_shared<linalg::LuFactorization>(
+  auto op = std::make_shared<const linalg::FactoredOperator>(
       model.base_conductance().to_dense());
-  linalg::DiagonalUpdateSolver updater(base);
+  linalg::UpdateWorkspace updater(op);
   std::size_t which = 0;
   for (auto _ : state) {
     auto cooling = model.make_cooling_state(60.0);
@@ -117,7 +132,7 @@ void BM_PlannerPredict(benchmark::State& state) {
   core::ChipPlanningModel::Config cfg;
   cfg.fan = models().fan;
   cfg.dvfs = models().dvfs;
-  core::ChipPlanningModel planner(models().thermal, cfg);
+  core::ChipPlanningModel planner(engine()->thermal(), cfg);
   const auto& model = *models().thermal;
   core::ChipPlanningModel::Observation obs;
   obs.comp_temps_k.assign(model.component_count(), 350.0);
@@ -142,7 +157,7 @@ void BM_FastPlannerPredict(benchmark::State& state) {
   core::ChipPlanningModel::Config cfg;
   cfg.fan = models().fan;
   cfg.dvfs = models().dvfs;
-  core::FastChipPlanningModel planner(models().thermal, cfg);
+  core::FastChipPlanningModel planner(engine()->thermal(), cfg);
   const auto& model = *models().thermal;
   core::ChipPlanningModel::Observation obs;
   obs.comp_temps_k.assign(model.component_count(), 350.0);

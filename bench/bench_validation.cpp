@@ -19,7 +19,7 @@ int main() {
   using namespace tecfan;
   sim::ChipModels models = sim::make_default_chip_models();
   auto block = models.thermal;
-  thermal::SteadyStateSolver solver(block);
+  thermal::SteadyStateSolver solver(thermal::make_thermal_engine(block));
   const thermal::GridThermalModel grid(thermal::Floorplan::scc(),
                                        thermal::PackageParameters{}, 52, 72);
 

@@ -48,13 +48,13 @@ inline std::vector<std::string> fig56_benchmarks() {
 }
 
 struct ChipBench {
-  sim::ChipModels models = sim::make_default_chip_models();
-  sim::ChipSimulator simulator{models};
+  sim::ChipEnginePtr engine = sim::make_default_chip_engine();
+  sim::ChipSimulator simulator{engine};
+
+  const sim::ChipModels& models() const { return engine->models(); }
 
   perf::WorkloadPtr workload(const std::string& name, int threads) {
-    return perf::make_splash_workload(name, threads,
-                                      models.thermal->floorplan(),
-                                      models.dynamic, models.leak_quad);
+    return engine->workload(name, threads);
   }
 };
 

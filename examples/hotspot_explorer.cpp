@@ -63,12 +63,11 @@ int main(int argc, char** argv) {
   const std::string benchmark = argc > 1 ? argv[1] : "cholesky";
   const int threads = argc > 2 ? std::atoi(argv[2]) : 16;
 
-  sim::ChipModels models = sim::make_default_chip_models();
-  const auto& model = *models.thermal;
-  sim::ChipSimulator simulator(models);
-  auto wl = perf::make_splash_workload(benchmark, threads,
-                                       model.floorplan(), models.dynamic,
-                                       models.leak_quad);
+  // One shared engine; the simulator is a cheap workspace over it.
+  const sim::ChipEnginePtr engine = sim::make_default_chip_engine();
+  const auto& model = *engine->models().thermal;
+  sim::ChipSimulator simulator(engine);
+  auto wl = engine->workload(benchmark, threads);
 
   const auto base_knobs =
       core::KnobState::initial(model.floorplan().core_count(),

@@ -23,11 +23,10 @@ int main(int argc, char** argv) {
   const std::string benchmark = argc > 1 ? argv[1] : "cholesky";
   const int threads = argc > 2 ? std::atoi(argv[2]) : 16;
 
-  sim::ChipModels models = sim::make_default_chip_models();
-  sim::ChipSimulator simulator(models);
-  const auto workload = perf::make_splash_workload(
-      benchmark, threads, models.thermal->floorplan(), models.dynamic,
-      models.leak_quad);
+  // One shared engine; the simulator is a cheap workspace over it.
+  const sim::ChipEnginePtr engine = sim::make_default_chip_engine();
+  sim::ChipSimulator simulator(engine);
+  const auto workload = engine->workload(benchmark, threads);
 
   const sim::RunResult base = sim::measure_base_scenario(simulator, *workload);
   std::printf("base: %.1f ms, %.1f W chip, peak %.2f C (threshold)\n\n",

@@ -23,11 +23,11 @@ int main(int argc, char** argv) {
   const std::string benchmark = argc > 1 ? argv[1] : "cholesky";
   const int threads = argc > 2 ? std::atoi(argv[2]) : 16;
 
-  sim::ChipModels models = sim::make_default_chip_models();
-  sim::ChipSimulator simulator(models);
-  const auto workload = perf::make_splash_workload(
-      benchmark, threads, models.thermal->floorplan(), models.dynamic,
-      models.leak_quad);
+  // The engine is the expensive, immutable half (models + factorizations);
+  // the simulator is a cheap per-thread workspace over it.
+  const sim::ChipEnginePtr engine = sim::make_default_chip_engine();
+  sim::ChipSimulator simulator(engine);
+  const auto workload = engine->workload(benchmark, threads);
   const auto& spec = perf::table1_case(benchmark, threads);
 
   std::printf("== base scenario (fan level 1, top DVFS, TECs off) ==\n");

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Static analysis gate: clang-tidy over the library sources with the checks
+# in .clang-tidy (bugprone-*, performance-*, misc-const-correctness — the
+# last one guards the engine/workspace const discipline). Skips gracefully
+# when clang-tidy is not installed so tier-1 stays runnable in minimal
+# containers.
+#
+#   scripts/lint.sh             # lint src/
+#   scripts/lint.sh path a.cpp  # lint specific files
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-tidy > /dev/null 2>&1; then
+  echo "lint: clang-tidy not found; skipping static analysis" >&2
+  exit 0
+fi
+
+# clang-tidy needs a compilation database; generate one if absent.
+if [[ ! -f build/compile_commands.json ]]; then
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+fi
+
+FILES=("$@")
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  mapfile -t FILES < <(find src -name '*.cpp' | sort)
+fi
+
+clang-tidy -p build --quiet "${FILES[@]}"

@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite, then the service-layer
-# tests again under ThreadSanitizer to catch races in the tecfand
-# queue/pool/cache serving path.
+# Tier-1 verification: full build + test suite, then the shared-engine and
+# service-layer tests again under ThreadSanitizer. The TSan leg is what pins
+# the engine/workspace split: SharedOperator and SharedEngine drive one
+# immutable engine from several threads, so any mutation hiding behind the
+# const facade is reported as a data race.
 #
-#   scripts/tier1.sh            # both stages
+#   scripts/tier1.sh              # all stages
 #   SKIP_TSAN=1 scripts/tier1.sh  # plain build+ctest only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
+
+scripts/lint.sh
 
 cmake -B build -S .
 cmake --build build -j"$JOBS"
@@ -17,7 +21,9 @@ ctest --test-dir build --output-on-failure -j"$JOBS"
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   cmake -B build-tsan -S . -DTECFAN_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-tsan -j"$JOBS" --target service_test
+  cmake --build build-tsan -j"$JOBS" \
+    --target linalg_test sim_test service_test
   TSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir build-tsan --output-on-failure -R 'Protocol|ResultCache|TaskQueue|WorkerPool|Server'
+    ctest --test-dir build-tsan --output-on-failure \
+    -R 'SharedOperator|SharedEngine|Protocol|ResultCache|TaskQueue|WorkerPool|Server'
 fi

@@ -3,16 +3,25 @@
 #include <utility>
 
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace tecfan::core {
+namespace {
+
+std::shared_ptr<const thermal::ThermalEngine> require_engine(
+    std::shared_ptr<const thermal::ThermalEngine> engine) {
+  TECFAN_REQUIRE(engine != nullptr, "ChipPlanningModel requires an engine");
+  return engine;
+}
+
+}  // namespace
 
 ChipPlanningModel::ChipPlanningModel(
-    std::shared_ptr<const thermal::ChipThermalModel> model, Config config)
-    : model_(std::move(model)),
+    std::shared_ptr<const thermal::ThermalEngine> engine, Config config)
+    : engine_(require_engine(std::move(engine))),
+      model_(engine_->model_ptr()),
       config_(std::move(config)),
-      solver_(model_) {
-  TECFAN_REQUIRE(model_ != nullptr, "ChipPlanningModel requires a model");
-}
+      solver_(engine_) {}
 
 void ChipPlanningModel::reset() {
   state_estimate_.clear();
@@ -148,6 +157,24 @@ Prediction ChipPlanningModel::predict_detailed(
       *model_, steady, state_estimate_, config_.control_period_s);
   if (blended_nodes_out) *blended_nodes_out = next;
   return finish_prediction(knobs, eval, std::move(next));
+}
+
+std::vector<Prediction> ChipPlanningModel::predict_batch(
+    std::span<const KnobState> knobs) {
+  TECFAN_REQUIRE(has_observation_, "predict_batch before first observe()");
+  std::vector<Prediction> out(knobs.size());
+  parallel_for(knobs.size(), [&](std::size_t i) {
+    // Each candidate gets its own workspace over the shared engine, so
+    // evaluations are independent and match the serial predict() bit for
+    // bit (same operator, same update arithmetic).
+    thermal::SteadyStateSolver solver(engine_);
+    CandidateEval eval = evaluate_power(knobs[i]);
+    linalg::Vector steady = solver.solve(eval.comp_power, eval.cooling);
+    linalg::Vector next = thermal::exponential_step(
+        *model_, steady, state_estimate_, config_.control_period_s);
+    out[i] = finish_prediction(knobs[i], eval, std::move(next));
+  });
+  return out;
 }
 
 const ChipPlanningModel::Observation&

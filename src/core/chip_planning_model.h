@@ -16,6 +16,8 @@
 #pragma once
 
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "core/planning.h"
 #include "power/dvfs.h"
@@ -43,7 +45,10 @@ class ChipPlanningModel final : public PlanningModel {
     KnobState applied;                // knobs in effect during that interval
   };
 
-  ChipPlanningModel(std::shared_ptr<const thermal::ChipThermalModel> model,
+  /// Borrows `engine`'s steady factorization (a steady-only engine is
+  /// enough); constructing a planner is therefore cheap, and any number of
+  /// planners can share one engine across threads.
+  ChipPlanningModel(std::shared_ptr<const thermal::ThermalEngine> engine,
                     Config config);
 
   /// Feed the interval's measurements; must be called before decide()/
@@ -69,6 +74,12 @@ class ChipPlanningModel final : public PlanningModel {
   double threshold_k() const override { return config_.threshold_k; }
   Prediction predict(const KnobState& knobs) override;
   Prediction predict_steady(const KnobState& knobs) override;
+
+  /// Evaluate many candidate knob settings, fanning out over
+  /// util/parallel.h workers. Each worker borrows its own solver workspace
+  /// from the shared engine, so results are bit-exact with calling
+  /// predict() serially on each candidate.
+  std::vector<Prediction> predict_batch(std::span<const KnobState> knobs);
 
   /// predict() variant that also exposes the steady-state node vector
   /// (Eq. 1 solution) and the blended next-interval node vector (Eq. 5)
@@ -99,6 +110,7 @@ class ChipPlanningModel final : public PlanningModel {
                                const CandidateEval& eval,
                                linalg::Vector node_temps) const;
 
+  std::shared_ptr<const thermal::ThermalEngine> engine_;
   std::shared_ptr<const thermal::ChipThermalModel> model_;
   Config config_;
   thermal::SteadyStateSolver solver_;

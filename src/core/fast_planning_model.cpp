@@ -5,11 +5,20 @@
 #include "util/error.h"
 
 namespace tecfan::core {
+namespace {
+
+std::shared_ptr<const thermal::ChipThermalModel> require_engine_model(
+    const std::shared_ptr<const thermal::ThermalEngine>& engine) {
+  TECFAN_REQUIRE(engine != nullptr, "FastChipPlanningModel requires an engine");
+  return engine->model_ptr();
+}
+
+}  // namespace
 
 FastChipPlanningModel::FastChipPlanningModel(
-    std::shared_ptr<const thermal::ChipThermalModel> model, Config config)
-    : model_(model), exact_(model, std::move(config)) {
-  TECFAN_REQUIRE(model_ != nullptr, "FastChipPlanningModel requires a model");
+    std::shared_ptr<const thermal::ThermalEngine> engine, Config config)
+    : model_(require_engine_model(engine)),
+      exact_(std::move(engine), std::move(config)) {
   estimators_.reserve(
       static_cast<std::size_t>(model_->floorplan().core_count()));
   for (int n = 0; n < model_->floorplan().core_count(); ++n)

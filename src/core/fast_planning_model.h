@@ -32,8 +32,10 @@ class FastChipPlanningModel final : public PlanningModel {
   using Config = ChipPlanningModel::Config;
   using Observation = ChipPlanningModel::Observation;
 
+  /// Borrows `engine`'s steady factorization like the exact model; the
+  /// per-core estimators factor their own small banded systems.
   FastChipPlanningModel(
-      std::shared_ptr<const thermal::ChipThermalModel> model, Config config);
+      std::shared_ptr<const thermal::ThermalEngine> engine, Config config);
 
   void observe(const Observation& obs);
   void reset();

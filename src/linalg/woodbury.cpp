@@ -5,30 +5,70 @@
 #include "util/error.h"
 
 namespace tecfan::linalg {
+namespace {
 
-DiagonalUpdateSolver::DiagonalUpdateSolver(
-    std::shared_ptr<const LuFactorization> base)
-    : base_(std::move(base)) {
-  TECFAN_REQUIRE(base_ && base_->valid(),
-                 "DiagonalUpdateSolver requires a valid base factorization");
-}
-
-const Vector& DiagonalUpdateSolver::inverse_column(std::size_t node) {
-  auto it = column_cache_.find(node);
-  if (it != column_cache_.end()) return it->second;
-  Vector e(base_->size(), 0.0);
+Vector solve_unit_column(const LuFactorization& base, std::size_t node) {
+  Vector e(base.size(), 0.0);
   e[node] = 1.0;
-  auto [ins, _] = column_cache_.emplace(node, base_->solve(e));
-  return ins->second;
+  return base.solve(e);
 }
 
-void DiagonalUpdateSolver::set_updates(
+}  // namespace
+
+FactoredOperator::FactoredOperator(DenseMatrix a0,
+                                   std::span<const std::size_t> warm_nodes)
+    : base_(std::move(a0)) {
+  TECFAN_REQUIRE(base_.valid(),
+                 "FactoredOperator requires a nonempty, factorable matrix");
+  for (const std::size_t node : warm_nodes) {
+    TECFAN_REQUIRE(node < base_.size(), "warm node out of range");
+    if (warm_.contains(node)) continue;
+    warm_.emplace(node, solve_unit_column(base_, node));
+  }
+}
+
+const Vector& FactoredOperator::inverse_column(std::size_t node) const {
+  TECFAN_REQUIRE(node < base_.size(), "update node out of range");
+  // Warm columns are written once in the constructor and never touched
+  // again, so this lookup is safe from any number of threads.
+  if (auto it = warm_.find(node); it != warm_.end()) return it->second;
+  // References into an unordered_map survive rehashing, so a column handed
+  // out here stays valid while later misses grow the overflow map.
+  std::lock_guard<std::mutex> lock(overflow_mu_);
+  if (auto it = overflow_.find(node); it != overflow_.end()) return it->second;
+  return overflow_.emplace(node, solve_unit_column(base_, node)).first->second;
+}
+
+std::size_t FactoredOperator::overflow_columns() const {
+  std::lock_guard<std::mutex> lock(overflow_mu_);
+  return overflow_.size();
+}
+
+std::size_t FactoredOperator::memory_bytes() const {
+  const std::size_t n = base_.size();
+  std::size_t columns = warm_.size();
+  {
+    std::lock_guard<std::mutex> lock(overflow_mu_);
+    columns += overflow_.size();
+  }
+  // LU matrix + permutation + cached columns; bookkeeping overhead ignored.
+  return n * n * sizeof(double) + n * sizeof(std::size_t) +
+         columns * n * sizeof(double);
+}
+
+UpdateWorkspace::UpdateWorkspace(std::shared_ptr<const FactoredOperator> op)
+    : op_(std::move(op)) {
+  TECFAN_REQUIRE(op_ && op_->valid(),
+                 "UpdateWorkspace requires a valid factored operator");
+}
+
+void UpdateWorkspace::set_updates(
     const std::vector<std::pair<std::size_t, double>>& updates) {
-  TECFAN_REQUIRE(base_, "set_updates before binding a base factorization");
+  TECFAN_REQUIRE(op_, "set_updates before binding a factored operator");
   // Accumulate duplicates and drop zeros (a toggled-then-untoggled knob).
   std::map<std::size_t, double> acc;
   for (const auto& [node, delta] : updates) {
-    TECFAN_REQUIRE(node < base_->size(), "update node out of range");
+    TECFAN_REQUIRE(node < op_->size(), "update node out of range");
     acc[node] += delta;
   }
   nodes_.clear();
@@ -46,7 +86,7 @@ void DiagonalUpdateSolver::set_updates(
   }
   columns_.reserve(k);
   for (std::size_t i = 0; i < k; ++i)
-    columns_.push_back(&inverse_column(nodes_[i]));
+    columns_.push_back(&op_->inverse_column(nodes_[i]));
 
   DenseMatrix s(k, k);
   for (std::size_t a = 0; a < k; ++a) {
@@ -57,20 +97,27 @@ void DiagonalUpdateSolver::set_updates(
   capacitance_ = LuFactorization(std::move(s));
 }
 
-Vector DiagonalUpdateSolver::solve(std::span<const double> b) const {
-  TECFAN_REQUIRE(base_, "solve before binding a base factorization");
-  Vector y = base_->solve(b);
+Vector UpdateWorkspace::solve(std::span<const double> b) {
+  TECFAN_REQUIRE(op_, "solve before binding a factored operator");
+  Vector y = op_->solve_base(b);
   const std::size_t k = nodes_.size();
   if (k == 0) return y;
-  Vector rhs(k);
-  for (std::size_t a = 0; a < k; ++a) rhs[a] = y[nodes_[a]];
-  const Vector z = capacitance_.solve(rhs);
+  rhs_scratch_.resize(k);
+  for (std::size_t a = 0; a < k; ++a) rhs_scratch_[a] = y[nodes_[a]];
+  const Vector z = capacitance_.solve(rhs_scratch_);
   for (std::size_t a = 0; a < k; ++a) {
     const Vector& col = *columns_[a];
     const double za = z[a];
     for (std::size_t i = 0; i < y.size(); ++i) y[i] -= col[i] * za;
   }
   return y;
+}
+
+std::size_t UpdateWorkspace::memory_bytes() const {
+  const std::size_t k = nodes_.size();
+  return k * k * sizeof(double) +
+         k * (sizeof(std::size_t) + sizeof(double) + sizeof(Vector*)) +
+         rhs_scratch_.capacity() * sizeof(double);
 }
 
 }  // namespace tecfan::linalg

@@ -1,4 +1,5 @@
-// Sherman–Morrison–Woodbury solver for diagonal low-rank updates.
+// Sherman–Morrison–Woodbury solver for diagonal low-rank updates, split
+// into an immutable shared operator and a per-thread workspace.
 //
 // Every runtime knob in TECfan perturbs the thermal system matrix only on
 // its diagonal: toggling a TEC adds ±alpha*I Peltier terms to its two face
@@ -10,10 +11,23 @@
 // the deltas. Columns of A0^{-1} U depend only on the node index, so they
 // are cached across intervals: after warm-up a knob change costs one small
 // k x k factorization instead of an O(n^3) refactor.
+//
+// The split:
+//   * FactoredOperator — the expensive, immutable part: the base LU plus
+//     the A0^{-1} e_i column cache. The update-able node set is known up
+//     front (TEC faces, sink nodes), so callers pre-warm those columns at
+//     construction and every later read is lock-free; columns for nodes
+//     outside the warm set fall back to a small mutex-protected overflow
+//     map. One FactoredOperator serves any number of threads.
+//   * UpdateWorkspace — the cheap, per-thread part: the current update set,
+//     its k x k capacitance factorization, and solve scratch. Constructing
+//     one costs a few small allocations, never a base refactor.
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -23,34 +37,74 @@
 
 namespace tecfan::linalg {
 
-class DiagonalUpdateSolver {
+class FactoredOperator {
  public:
-  DiagonalUpdateSolver() = default;
+  /// Factor A0 and pre-warm the A0^{-1} e_i columns for `warm_nodes`
+  /// (deduplicated; out-of-range nodes are rejected). Warmed columns are
+  /// immutable afterwards, so reads need no synchronization.
+  explicit FactoredOperator(DenseMatrix a0,
+                            std::span<const std::size_t> warm_nodes = {});
 
-  /// Bind to a base factorization (shared so several solvers can reuse it).
-  explicit DiagonalUpdateSolver(std::shared_ptr<const LuFactorization> base);
+  FactoredOperator(const FactoredOperator&) = delete;
+  FactoredOperator& operator=(const FactoredOperator&) = delete;
+
+  std::size_t size() const { return base_.size(); }
+  bool valid() const { return base_.valid(); }
+
+  /// Solve A0 x = b (no diagonal update).
+  Vector solve_base(std::span<const double> b) const { return base_.solve(b); }
+
+  /// A0^{-1} e_node. Thread-safe: warm columns are read lock-free; a miss
+  /// computes the column under the overflow lock (references stay valid for
+  /// the operator's lifetime either way).
+  const Vector& inverse_column(std::size_t node) const;
+
+  std::size_t warmed_columns() const { return warm_.size(); }
+  /// Columns computed on demand past the warm set (locked reads).
+  std::size_t overflow_columns() const;
+
+  /// Rough resident footprint: LU storage plus cached columns. Used by the
+  /// serving layer to report engine-vs-workspace memory.
+  std::size_t memory_bytes() const;
+
+ private:
+  LuFactorization base_;
+  std::unordered_map<std::size_t, Vector> warm_;  // immutable after ctor
+  mutable std::mutex overflow_mu_;
+  mutable std::unordered_map<std::size_t, Vector> overflow_;
+};
+
+class UpdateWorkspace {
+ public:
+  UpdateWorkspace() = default;
+
+  /// Bind to a shared operator; many workspaces may share one.
+  explicit UpdateWorkspace(std::shared_ptr<const FactoredOperator> op);
 
   /// Replace the current update set {(node, delta)}; deltas of zero are
   /// dropped, duplicate nodes are accumulated. Rebuilds the capacitance
-  /// (k x k) system; O(k) base solves on first sight of each node.
+  /// (k x k) system from the operator's cached columns.
   void set_updates(const std::vector<std::pair<std::size_t, double>>& updates);
 
   /// Solve (A0 + sum_i delta_i e_i e_i^T) x = b for the current update set.
-  Vector solve(std::span<const double> b) const;
+  /// Deliberately non-const: reuses the workspace's scratch buffers.
+  Vector solve(std::span<const double> b);
 
-  std::size_t base_size() const { return base_ ? base_->size() : 0; }
+  const FactoredOperator& op() const { return *op_; }
+  std::size_t base_size() const { return op_ ? op_->size() : 0; }
   std::size_t update_rank() const { return nodes_.size(); }
-  std::size_t cached_columns() const { return column_cache_.size(); }
+
+  /// Rough footprint of the mutable per-thread state (capacitance LU plus
+  /// scratch) — the counterpart of FactoredOperator::memory_bytes().
+  std::size_t memory_bytes() const;
 
  private:
-  const Vector& inverse_column(std::size_t node);
-
-  std::shared_ptr<const LuFactorization> base_;
-  std::unordered_map<std::size_t, Vector> column_cache_;  // A0^{-1} e_node
+  std::shared_ptr<const FactoredOperator> op_;
   std::vector<std::size_t> nodes_;
   std::vector<double> deltas_;
-  std::vector<const Vector*> columns_;  // cache entries for nodes_
+  std::vector<const Vector*> columns_;  // operator cache entries for nodes_
   LuFactorization capacitance_;         // LU of (D^{-1} + U^T A0^{-1} U)
+  Vector rhs_scratch_;
 };
 
 }  // namespace tecfan::linalg

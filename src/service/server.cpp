@@ -51,69 +51,20 @@ void add_run_fields(Response& r, const sim::RunResult& run) {
 
 }  // namespace
 
-/// Per-thread compute state: the simulator's solvers keep factorization
-/// caches, so a Session is used by one compute at a time.
-struct Server::Session {
-  explicit Session(const ServerOptions& options)
-      : models(options.tiles_x == 4 && options.tiles_y == 4
-                   ? sim::make_default_chip_models()
-                   : sim::make_chip_models(options.tiles_x, options.tiles_y)),
-        simulator(models) {}
-
-  perf::WorkloadPtr workload(const std::string& name, int threads) {
-    const std::string key = name + "/" + std::to_string(threads);
-    auto it = workloads.find(key);
-    if (it != workloads.end()) return it->second;
-    auto wl = perf::make_splash_workload(name, threads,
-                                         models.thermal->floorplan(),
-                                         models.dynamic, models.leak_quad);
-    workloads.emplace(key, wl);
-    return wl;
-  }
-
-  sim::ChipModels models;
-  sim::ChipSimulator simulator;
-  std::map<std::string, perf::WorkloadPtr> workloads;
-};
-
-class Server::SessionLease {
- public:
-  SessionLease(Server& server, std::unique_ptr<Session> session)
-      : server_(server), session_(std::move(session)) {}
-  ~SessionLease() {
-    std::lock_guard<std::mutex> lock(server_.sessions_mu_);
-    server_.idle_sessions_.push_back(std::move(session_));
-  }
-  SessionLease(const SessionLease&) = delete;
-  SessionLease& operator=(const SessionLease&) = delete;
-
-  Session& operator*() { return *session_; }
-
- private:
-  Server& server_;
-  std::unique_ptr<Session> session_;
-};
+std::size_t default_worker_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return 2;
+  return std::clamp<std::size_t>(hw, 2, 16);
+}
 
 Server::Server(ServerOptions options)
     : options_(options),
+      engine_(sim::make_chip_engine(options.tiles_x, options.tiles_y)),
       cache_(options.cache_capacity),
       pool_(options.workers, options.queue_capacity),
       started_at_(std::chrono::steady_clock::now()) {}
 
 Server::~Server() { stop(); }
-
-Server::SessionLease Server::acquire_session() {
-  {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
-    if (!idle_sessions_.empty()) {
-      auto session = std::move(idle_sessions_.back());
-      idle_sessions_.pop_back();
-      return SessionLease(*this, std::move(session));
-    }
-  }
-  // Built outside the lock: model construction factors the base matrices.
-  return SessionLease(*this, std::make_unique<Session>(options_));
-}
 
 Response Server::handle(const Request& request) {
   requests_.fetch_add(1, std::memory_order_relaxed);
@@ -193,26 +144,41 @@ Response Server::dispatch(const Request& request) {
 Response Server::execute(const Request& request) {
   computes_.fetch_add(1, std::memory_order_relaxed);
   try {
-    SessionLease lease = acquire_session();
-    Session& session = *lease;
+    // Per-compute workspace over the shared engine: microseconds to build,
+    // nothing mutable crosses threads.
+    sim::ChipSimulator simulator(engine_);
+    Response r;
     switch (request.kind) {
       case RequestKind::kEquilibrium:
-        return do_equilibrium(session, request);
+        r = do_equilibrium(simulator, request);
+        break;
       case RequestKind::kRun:
-        return do_run(session, request);
+        r = do_run(simulator, request);
+        break;
       case RequestKind::kSweep:
-        return do_sweep(session, request);
+        r = do_sweep(simulator, request);
+        break;
       case RequestKind::kTable1:
-        return do_table1(session, request);
+        r = do_table1(simulator, request);
+        break;
       default:
         return Response::make_error("not a compute request");
     }
+    // Record the largest workspace any compute needed (stats/loadgen use
+    // this as the per-worker marginal memory cost).
+    std::size_t seen = workspace_bytes_.load(std::memory_order_relaxed);
+    const std::size_t now = simulator.workspace_bytes();
+    while (now > seen &&
+           !workspace_bytes_.compare_exchange_weak(
+               seen, now, std::memory_order_relaxed)) {
+    }
+    return r;
   } catch (const std::exception& e) {
     return Response::make_error(e.what());
   }
 }
 
-sim::RunResult Server::base_scenario(Session& session,
+sim::RunResult Server::base_scenario(sim::ChipSimulator& simulator,
                                      const perf::Workload& wl) {
   const std::string key = std::string(wl.name()) + "/" +
                           std::to_string(wl.thread_count());
@@ -221,15 +187,16 @@ sim::RunResult Server::base_scenario(Session& session,
     auto it = base_results_.find(key);
     if (it != base_results_.end()) return it->second;
   }
-  sim::RunResult base = sim::measure_base_scenario(session.simulator, wl,
-                                                   options_.max_sim_time_s);
+  sim::RunResult base =
+      sim::measure_base_scenario(simulator, wl, options_.max_sim_time_s);
   base.trace.clear();  // the anchor numbers are all we keep
   std::lock_guard<std::mutex> lock(base_mu_);
   return base_results_.emplace(key, std::move(base)).first->second;
 }
 
-Response Server::do_equilibrium(Session& session, const Request& request) {
-  const auto& models = session.models;
+Response Server::do_equilibrium(sim::ChipSimulator& simulator,
+                                const Request& request) {
+  const auto& models = engine_->models();
   if (request.fan >= models.fan.level_count())
     return Response::make_error("fan level out of range (0.." +
                                 std::to_string(models.fan.level_count() - 1) +
@@ -238,14 +205,14 @@ Response Server::do_equilibrium(Session& session, const Request& request) {
     return Response::make_error("dvfs level out of range (0.." +
                                 std::to_string(models.dvfs.level_count() - 1) +
                                 ")");
-  auto wl = session.workload(request.workload, request.threads);
+  auto wl = engine_->workload(request.workload, request.threads);
   const auto& thermal = *models.thermal;
   core::KnobState knobs = core::KnobState::initial(
       thermal.floorplan().core_count(), thermal.tec_count(), request.fan);
   for (int& d : knobs.dvfs) d = request.dvfs;
   for (auto& on : knobs.tec_on) on = request.tec_on ? 1 : 0;
 
-  const linalg::Vector temps = session.simulator.equilibrium(*wl, knobs);
+  const linalg::Vector temps = simulator.equilibrium(*wl, knobs);
   double peak = 0.0;
   for (std::size_t c = 0; c < thermal.component_count(); ++c)
     peak = std::max(peak, temps[c]);
@@ -257,8 +224,9 @@ Response Server::do_equilibrium(Session& session, const Request& request) {
   return r;
 }
 
-Response Server::do_run(Session& session, const Request& request) {
-  const auto& models = session.models;
+Response Server::do_run(sim::ChipSimulator& simulator,
+                        const Request& request) {
+  const auto& models = engine_->models();
   if (request.fan >= models.fan.level_count())
     return Response::make_error("fan level out of range (0.." +
                                 std::to_string(models.fan.level_count() - 1) +
@@ -266,15 +234,15 @@ Response Server::do_run(Session& session, const Request& request) {
   core::PolicyPtr policy = make_policy(request.policy);
   if (!policy)
     return Response::make_error("unknown policy '" + request.policy + "'");
-  auto wl = session.workload(request.workload, request.threads);
-  const sim::RunResult base = base_scenario(session, *wl);
+  auto wl = engine_->workload(request.workload, request.threads);
+  const sim::RunResult base = base_scenario(simulator, *wl);
 
   sim::RunConfig cfg;
   cfg.threshold_k = base.peak_temp_k;
   cfg.fan_level = request.fan;
   cfg.max_sim_time_s = options_.max_sim_time_s;
   cfg.record_trace = false;
-  const sim::RunResult run = session.simulator.run(*policy, *wl, cfg);
+  const sim::RunResult run = simulator.run(*policy, *wl, cfg);
 
   Response r;
   r.add("policy", std::string(run.policy));
@@ -284,12 +252,13 @@ Response Server::do_run(Session& session, const Request& request) {
   return r;
 }
 
-Response Server::do_sweep(Session& session, const Request& request) {
+Response Server::do_sweep(sim::ChipSimulator& simulator,
+                          const Request& request) {
   core::PolicyPtr probe = make_policy(request.policy);
   if (!probe)
     return Response::make_error("unknown policy '" + request.policy + "'");
-  auto wl = session.workload(request.workload, request.threads);
-  const sim::RunResult base = base_scenario(session, *wl);
+  auto wl = engine_->workload(request.workload, request.threads);
+  const sim::RunResult base = base_scenario(simulator, *wl);
 
   sim::SweepOptions opts;
   opts.threshold_k = base.peak_temp_k;
@@ -301,8 +270,8 @@ Response Server::do_sweep(Session& session, const Request& request) {
 
   const std::string policy_name = request.policy;
   const sim::SweepResult sweep = sim::run_with_fan_sweep(
-      session.simulator, [&policy_name] { return make_policy(policy_name); },
-      *wl, opts);
+      simulator, [&policy_name] { return make_policy(policy_name); }, *wl,
+      opts);
 
   Response r;
   r.add("policy", std::string(sweep.chosen.policy));
@@ -313,11 +282,12 @@ Response Server::do_sweep(Session& session, const Request& request) {
   return r;
 }
 
-Response Server::do_table1(Session& session, const Request& request) {
+Response Server::do_table1(sim::ChipSimulator& simulator,
+                           const Request& request) {
   const perf::Table1Case& paper =
       perf::table1_case(request.workload, request.threads);
-  auto wl = session.workload(request.workload, request.threads);
-  const sim::RunResult base = base_scenario(session, *wl);
+  auto wl = engine_->workload(request.workload, request.threads);
+  const sim::RunResult base = base_scenario(simulator, *wl);
 
   Response r;
   r.add("workload", paper.benchmark);
@@ -349,6 +319,8 @@ Response Server::stats_response() const {
   r.add("pool_rejected", s.pool.rejected);
   r.add("pool_queued", static_cast<std::uint64_t>(s.pool.queued));
   r.add("workers", static_cast<std::uint64_t>(s.pool.workers));
+  r.add("engine_bytes", static_cast<std::uint64_t>(s.engine_bytes));
+  r.add("workspace_bytes", static_cast<std::uint64_t>(s.workspace_bytes));
   return r;
 }
 
@@ -359,6 +331,8 @@ Server::Stats Server::stats() const {
   s.errors = errors_.load(std::memory_order_relaxed);
   s.cache = cache_.stats();
   s.pool = pool_.stats();
+  s.engine_bytes = engine_->memory_bytes();
+  s.workspace_bytes = workspace_bytes_.load(std::memory_order_relaxed);
   s.uptime_s = std::chrono::duration<double>(
                    std::chrono::steady_clock::now() - started_at_)
                    .count();

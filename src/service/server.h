@@ -1,9 +1,13 @@
-// tecfand session front-end.
+// tecfand front-end over one shared chip engine.
 //
-// The Server owns the expensive state — per-session ChipSimulator/model
-// instances, the base-scenario threshold cache, the result cache, and the
-// worker pool — and exposes the planning stack as a request/response
-// service:
+// The Server owns the expensive state once — a single const sim::ChipEngine
+// (models, base factorizations, calibrated workloads) shared by every
+// worker — plus the base-scenario threshold cache, the result cache, and
+// the worker pool. Each compute constructs a throwaway per-thread
+// ChipSimulator workspace over the engine (microseconds, no
+// refactorization), so worker count scales without duplicating the
+// ~600x600 factored systems and nothing stateful is ever shared between
+// threads.
 //
 //   * handle() executes one request synchronously (used by worker threads,
 //     tests and the micro-bench),
@@ -13,16 +17,12 @@
 //     connection, each running the same line protocol; compute requests go
 //     through the bounded worker pool, so a saturated daemon answers `busy`
 //     instead of queueing unboundedly.
-//
-// ChipSimulator is stateful (its solvers keep factorization caches), so
-// each concurrently-running compute gets a Session — simulator + workload
-// cache — checked out of a small pool; sessions are created lazily and
-// reused, never shared between threads.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -35,12 +35,17 @@
 #include "service/request.h"
 #include "service/result_cache.h"
 #include "service/worker_pool.h"
+#include "sim/chip_engine.h"
 #include "sim/chip_simulator.h"
 
 namespace tecfan::service {
 
+/// Worker-pool size matched to the machine: hardware_concurrency clamped to
+/// [2, 16] (0 — unknown — falls back to 2).
+std::size_t default_worker_count();
+
 struct ServerOptions {
-  std::size_t workers = 2;
+  std::size_t workers = default_worker_count();
   std::size_t queue_capacity = 64;
   std::size_t cache_capacity = 4096;
   /// Tile grid of the served scenario (tests use small grids; the default
@@ -94,38 +99,39 @@ class Server {
     ResultCache::Stats cache;
     WorkerPool::Stats pool;
     double uptime_s = 0.0;
+    /// Shared factored state (one copy regardless of worker count).
+    std::size_t engine_bytes = 0;
+    /// Largest per-compute workspace observed so far (per worker, not
+    /// shared).
+    std::size_t workspace_bytes = 0;
   };
   Stats stats() const;
 
   const ServerOptions& options() const { return options_; }
+  const sim::ChipEngine& engine() const { return *engine_; }
 
  private:
-  struct Session;
-  class SessionLease;
-
-  SessionLease acquire_session();
-
   /// Dispatch a parsed compute request through the worker pool and wait
   /// for its response (busy / deadline answered without computing).
   Response dispatch(const Request& request);
 
   Response execute(const Request& request);  // cache-filling slow path
-  Response do_equilibrium(Session& session, const Request& request);
-  Response do_run(Session& session, const Request& request);
-  Response do_sweep(Session& session, const Request& request);
-  Response do_table1(Session& session, const Request& request);
+  Response do_equilibrium(sim::ChipSimulator& simulator,
+                          const Request& request);
+  Response do_run(sim::ChipSimulator& simulator, const Request& request);
+  Response do_sweep(sim::ChipSimulator& simulator, const Request& request);
+  Response do_table1(sim::ChipSimulator& simulator, const Request& request);
   Response stats_response() const;
 
   /// Base-scenario anchor (Table I protocol) for a workload, memoized:
   /// peak temperature defines the run/sweep threshold.
-  sim::RunResult base_scenario(Session& session, const perf::Workload& wl);
+  sim::RunResult base_scenario(sim::ChipSimulator& simulator,
+                               const perf::Workload& wl);
 
   ServerOptions options_;
+  sim::ChipEnginePtr engine_;
   ResultCache cache_;
   WorkerPool pool_;
-
-  std::mutex sessions_mu_;
-  std::vector<std::unique_ptr<Session>> idle_sessions_;
 
   std::mutex base_mu_;
   std::map<std::string, sim::RunResult> base_results_;
@@ -133,6 +139,7 @@ class Server {
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> computes_{0};
   std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::size_t> workspace_bytes_{0};  // max observed
   std::chrono::steady_clock::time_point started_at_;
 
   // TCP state. listen_fd_ is handed from bind_listen() to serve() and

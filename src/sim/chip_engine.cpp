@@ -1,0 +1,54 @@
+#include "sim/chip_engine.h"
+
+#include "perf/splash2.h"
+#include "util/error.h"
+
+namespace tecfan::sim {
+
+ChipEngine::ChipEngine(ChipModels models, double control_period_s,
+                       int substeps)
+    : models_(std::move(models)),
+      control_period_s_(control_period_s),
+      substeps_(substeps) {
+  TECFAN_REQUIRE(models_.thermal != nullptr, "ChipEngine requires a model");
+  TECFAN_REQUIRE(control_period_s_ > 0 && substeps_ > 0,
+                 "control period and substeps must be positive");
+  thermal_ = thermal::make_thermal_engine(models_.thermal,
+                                          control_period_s_ / substeps_);
+}
+
+perf::WorkloadPtr ChipEngine::workload(const std::string& name,
+                                       int threads) const {
+  const std::string key = name + "/" + std::to_string(threads);
+  {
+    std::lock_guard<std::mutex> lock(workloads_mu_);
+    auto it = workloads_.find(key);
+    if (it != workloads_.end()) return it->second;
+  }
+  // Built outside the lock (workload calibration solves a few systems);
+  // a racing duplicate build is harmless — first insert wins.
+  auto wl = perf::make_splash_workload(name, threads,
+                                       models_.thermal->floorplan(),
+                                       models_.dynamic, models_.leak_quad);
+  std::lock_guard<std::mutex> lock(workloads_mu_);
+  return workloads_.emplace(key, std::move(wl)).first->second;
+}
+
+ChipEnginePtr make_chip_engine(ChipModels models, double control_period_s,
+                               int substeps) {
+  return std::make_shared<const ChipEngine>(std::move(models),
+                                            control_period_s, substeps);
+}
+
+ChipEnginePtr make_chip_engine(int tiles_x, int tiles_y,
+                               double control_period_s, int substeps) {
+  return make_chip_engine(make_chip_models(tiles_x, tiles_y),
+                          control_period_s, substeps);
+}
+
+ChipEnginePtr make_default_chip_engine(double control_period_s, int substeps) {
+  return make_chip_engine(make_default_chip_models(), control_period_s,
+                          substeps);
+}
+
+}  // namespace tecfan::sim

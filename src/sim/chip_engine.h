@@ -1,0 +1,76 @@
+// ChipEngine: the immutable, shareable half of the simulator.
+//
+// Building a chip scenario is expensive — assembling the RC network and
+// factoring its ~600x600 base matrices — while everything a run mutates
+// (Woodbury update sets, temperature state, policy state) is cheap. The
+// engine owns the expensive part once: the calibrated model bundle, a
+// ThermalEngine holding both base factorizations (steady + implicit-Euler
+// transient at the control substep), and a memoized calibrated-workload
+// cache. Any number of ChipSimulator workspaces — one per thread — share a
+// single const engine and are constructed in microseconds.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "perf/workload.h"
+#include "sim/defaults.h"
+#include "thermal/solvers.h"
+
+namespace tecfan::sim {
+
+class ChipEngine {
+ public:
+  /// control_period: lower-level interval (paper: 2 ms); substeps: implicit
+  /// Euler steps per interval. The transient operator is factored at
+  /// control_period / substeps.
+  explicit ChipEngine(ChipModels models, double control_period_s = 2e-3,
+                      int substeps = 4);
+
+  ChipEngine(const ChipEngine&) = delete;
+  ChipEngine& operator=(const ChipEngine&) = delete;
+
+  const ChipModels& models() const { return models_; }
+  const std::shared_ptr<const thermal::ThermalEngine>& thermal() const {
+    return thermal_;
+  }
+  double control_period_s() const { return control_period_s_; }
+  int substeps() const { return substeps_; }
+
+  /// Calibrated SPLASH-2 workload, memoized by (name, threads). Thread-safe;
+  /// throws on unknown benchmarks.
+  perf::WorkloadPtr workload(const std::string& name, int threads) const;
+
+  /// Rough resident footprint of the shared factored state.
+  std::size_t memory_bytes() const { return thermal_->memory_bytes(); }
+
+ private:
+  ChipModels models_;
+  double control_period_s_;
+  int substeps_;
+  std::shared_ptr<const thermal::ThermalEngine> thermal_;
+
+  mutable std::mutex workloads_mu_;
+  mutable std::map<std::string, perf::WorkloadPtr> workloads_;
+};
+
+using ChipEnginePtr = std::shared_ptr<const ChipEngine>;
+
+/// Engine over an explicit model bundle.
+ChipEnginePtr make_chip_engine(ChipModels models,
+                               double control_period_s = 2e-3,
+                               int substeps = 4);
+
+/// Engine over make_chip_models(tiles_x, tiles_y).
+ChipEnginePtr make_chip_engine(int tiles_x, int tiles_y,
+                               double control_period_s = 2e-3,
+                               int substeps = 4);
+
+/// The calibrated default: 4x4 SCC floorplan, Table-I-anchored models.
+ChipEnginePtr make_default_chip_engine(double control_period_s = 2e-3,
+                                       int substeps = 4);
+
+}  // namespace tecfan::sim

@@ -10,23 +10,25 @@ namespace tecfan::sim {
 
 using core::KnobState;
 
-ChipSimulator::ChipSimulator(ChipModels models, double control_period_s,
-                             int substeps)
-    : models_(std::move(models)),
-      control_period_s_(control_period_s),
-      substeps_(substeps),
-      plant_(models_.thermal, control_period_s / substeps),
-      steady_(models_.thermal) {
-  TECFAN_REQUIRE(models_.thermal != nullptr, "simulator requires a model");
-  TECFAN_REQUIRE(control_period_s > 0 && substeps > 0,
-                 "control period and substeps must be positive");
+namespace {
+
+ChipEnginePtr require_engine(ChipEnginePtr engine) {
+  TECFAN_REQUIRE(engine != nullptr, "simulator requires an engine");
+  return engine;
 }
+
+}  // namespace
+
+ChipSimulator::ChipSimulator(ChipEnginePtr engine)
+    : engine_(require_engine(std::move(engine))),
+      plant_(engine_->thermal()),
+      steady_(engine_->thermal()) {}
 
 linalg::Vector ChipSimulator::dynamic_power(
     const perf::Workload& workload, const KnobState& knobs, double time_s,
     const std::vector<std::uint8_t>& finished,
     double finished_activity) const {
-  const auto& fp = models_.thermal->floorplan();
+  const auto& fp = models().thermal->floorplan();
   linalg::Vector dyn(fp.component_count(), 0.0);
   const double scale = workload.power_scale();
   for (std::size_t c = 0; c < fp.component_count(); ++c) {
@@ -34,8 +36,8 @@ linalg::Vector ChipSimulator::dynamic_power(
     const auto core = static_cast<std::size_t>(comp.core);
     double act = workload.activity(comp.core, comp.kind, time_s);
     if (finished[core]) act *= finished_activity;
-    const double dvfs_scale = models_.dvfs.dyn_scale(0, knobs.dvfs[core]);
-    dyn[c] = models_.dynamic.component_power_w(comp, act, dvfs_scale, scale);
+    const double dvfs_scale = models().dvfs.dyn_scale(0, knobs.dvfs[core]);
+    dyn[c] = models().dynamic.component_power_w(comp, act, dvfs_scale, scale);
   }
   return dyn;
 }
@@ -43,13 +45,13 @@ linalg::Vector ChipSimulator::dynamic_power(
 void ChipSimulator::add_leakage(const linalg::Vector& node_temps,
                                 linalg::Vector& comp_power,
                                 double* leak_total) const {
-  const auto& fp = models_.thermal->floorplan();
+  const auto& fp = models().thermal->floorplan();
   const double chip_area = fp.chip_area();
   double total = 0.0;
   for (std::size_t c = 0; c < fp.component_count(); ++c) {
-    const double leak = models_.leak_quad.component_leakage_w(
+    const double leak = models().leak_quad.component_leakage_w(
         fp.component(c).rect.area() / chip_area,
-        node_temps[models_.thermal->die_node(c)]);
+        node_temps[models().thermal->die_node(c)]);
     comp_power[c] += leak;
     total += leak;
   }
@@ -59,10 +61,10 @@ void ChipSimulator::add_leakage(const linalg::Vector& node_temps,
 linalg::Vector ChipSimulator::equilibrium(const perf::Workload& workload,
                                           const KnobState& knobs,
                                           double time_s) {
-  const auto& model = *models_.thermal;
+  const auto& model = *models().thermal;
   thermal::CoolingState cooling;
   cooling.tec_on = knobs.tec_on;
-  cooling.airflow_cfm = models_.fan.airflow_cfm(knobs.fan_level);
+  cooling.airflow_cfm = models().fan.airflow_cfm(knobs.fan_level);
 
   std::vector<std::uint8_t> finished(
       static_cast<std::size_t>(model.floorplan().core_count()), 0);
@@ -88,20 +90,22 @@ linalg::Vector ChipSimulator::equilibrium(const perf::Workload& workload,
 RunResult ChipSimulator::run(core::Policy& policy,
                              const perf::Workload& workload,
                              const RunConfig& config) {
-  const auto& model = *models_.thermal;
+  const auto& model = *models().thermal;
   const auto& fp = model.floorplan();
   const int cores = fp.core_count();
   const std::size_t n_comp = model.component_count();
-  const double dt = control_period_s_;
+  const double dt = control_period_s();
   const double sub_dt = plant_.dt();
 
   core::ChipPlanningModel::Config planner_cfg;
-  planner_cfg.leakage = models_.leak_linear;
-  planner_cfg.fan = models_.fan;
-  planner_cfg.dvfs = models_.dvfs;
+  planner_cfg.leakage = models().leak_linear;
+  planner_cfg.fan = models().fan;
+  planner_cfg.dvfs = models().dvfs;
   planner_cfg.threshold_k = config.threshold_k;
   planner_cfg.control_period_s = dt;
-  core::ChipPlanningModel planner(models_.thermal, planner_cfg);
+  // Borrows the engine's steady factorization: the planner is a per-run
+  // workspace, so building one here costs no refactorization.
+  core::ChipPlanningModel planner(engine_->thermal(), planner_cfg);
 
   policy.reset();
   Rng noise(config.noise_seed);
@@ -167,8 +171,8 @@ RunResult ChipSimulator::run(core::Policy& policy,
     // --- Plant interval ---
     thermal::CoolingState cooling;
     cooling.tec_on = knobs.tec_on;
-    cooling.airflow_cfm = models_.fan.airflow_cfm(knobs.fan_level);
-    const double fan_w = models_.fan.power_w(knobs.fan_level);
+    cooling.airflow_cfm = models().fan.airflow_cfm(knobs.fan_level);
+    const double fan_w = models().fan.power_w(knobs.fan_level);
 
     // Peltier engage delay: a device switched on this interval pumps for
     // only (substep - delay) of its first substep; model by holding it off
@@ -189,7 +193,7 @@ RunResult ChipSimulator::run(core::Policy& policy,
     for (double v : dyn) dyn_total += v;
 
     power::PowerBreakdown interval_power;
-    for (int s = 0; s < substeps_; ++s) {
+    for (int s = 0; s < engine_->substeps(); ++s) {
       const thermal::CoolingState& step_cooling =
           (s == 0) ? first_substep_cooling : cooling;
       linalg::Vector power = dyn;
@@ -197,10 +201,10 @@ RunResult ChipSimulator::run(core::Policy& policy,
       add_leakage(temps, power, &leak_total);
       const double tec_w = model.total_tec_power(temps, step_cooling);
       temps = plant_.step(temps, power, step_cooling);
-      interval_power.dynamic_w += dyn_total / substeps_;
-      interval_power.leakage_w += leak_total / substeps_;
-      interval_power.tec_w += tec_w / substeps_;
-      interval_power.fan_w += fan_w / substeps_;
+      interval_power.dynamic_w += dyn_total / engine_->substeps();
+      interval_power.leakage_w += leak_total / engine_->substeps();
+      interval_power.tec_w += tec_w / engine_->substeps();
+      interval_power.fan_w += fan_w / engine_->substeps();
       energy += (dyn_total + leak_total + tec_w + fan_w) * sub_dt;
     }
 
@@ -211,7 +215,7 @@ RunResult ChipSimulator::run(core::Policy& policy,
       double ips = 0.0;
       if (workload.core_active(n) && !finished[ni]) {
         ips = workload.base_ips_per_core() *
-              models_.dvfs.freq_scale(0, knobs.dvfs[ni]) *
+              models().dvfs.freq_scale(0, knobs.dvfs[ni]) *
               workload.ips_factor(n, t);
         retired[ni] += ips * dt;
         if (retired[ni] >= budget) {

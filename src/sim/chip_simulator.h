@@ -11,6 +11,12 @@
 //   5. accounts energy, instructions (Eq. 11 scaling), and violations.
 // The run ends when every active core has retired its instruction budget
 // (per-core barrier semantics: the slowest core defines the delay).
+//
+// ChipSimulator is the cheap, per-thread half of the engine/workspace
+// split: it borrows a shared const ChipEngine (models + factorizations +
+// calibrated workloads) and adds only its own solver workspaces, so
+// constructing one costs microseconds and N threads can run N simulators
+// over one engine concurrently, bit-exact with the single-threaded path.
 #pragma once
 
 #include <memory>
@@ -18,7 +24,7 @@
 #include "core/chip_planning_model.h"
 #include "core/policy.h"
 #include "perf/workload.h"
-#include "sim/defaults.h"
+#include "sim/chip_engine.h"
 #include "sim/metrics.h"
 #include "thermal/solvers.h"
 
@@ -47,16 +53,21 @@ struct RunConfig {
 
 class ChipSimulator {
  public:
-  /// control_period: lower-level interval (paper: 2 ms); substeps: implicit
-  /// Euler steps per interval.
-  explicit ChipSimulator(ChipModels models, double control_period_s = 2e-3,
-                         int substeps = 4);
+  /// Per-thread workspace over a shared engine; cheap to construct.
+  explicit ChipSimulator(ChipEnginePtr engine);
 
   RunResult run(core::Policy& policy, const perf::Workload& workload,
                 const RunConfig& config);
 
-  double control_period_s() const { return control_period_s_; }
-  const ChipModels& models() const { return models_; }
+  double control_period_s() const { return engine_->control_period_s(); }
+  const ChipModels& models() const { return engine_->models(); }
+  const ChipEngine& engine() const { return *engine_; }
+
+  /// Mutable per-thread footprint (solver workspaces); the counterpart of
+  /// ChipEngine::memory_bytes().
+  std::size_t workspace_bytes() const {
+    return plant_.workspace_bytes() + steady_.workspace_bytes();
+  }
 
   /// Steady-state node temperatures with the temperature-leakage fixed point
   /// (iterated until the peak moves < 0.5 K, the paper's criterion), at a
@@ -78,9 +89,7 @@ class ChipSimulator {
   void add_leakage(const linalg::Vector& node_temps,
                    linalg::Vector& comp_power, double* leak_total) const;
 
-  ChipModels models_;
-  double control_period_s_;
-  int substeps_;
+  ChipEnginePtr engine_;
   thermal::TransientSolver plant_;
   thermal::SteadyStateSolver steady_;
 };

@@ -7,32 +7,64 @@
 namespace tecfan::thermal {
 namespace {
 
-std::shared_ptr<const linalg::LuFactorization> factor_base_g(
-    const ChipThermalModel& model) {
-  return std::make_shared<linalg::LuFactorization>(
-      model.base_conductance().to_dense());
-}
-
-std::shared_ptr<const linalg::LuFactorization> factor_base_transient(
-    const ChipThermalModel& model, double dt) {
-  linalg::DenseMatrix a = model.base_conductance().to_dense();
-  const auto& c = model.capacitance();
-  for (std::size_t i = 0; i < a.rows(); ++i) a(i, i) += c[i] / dt;
-  return std::make_shared<linalg::LuFactorization>(std::move(a));
+/// Every node diagonal_updates() can ever touch: TEC cold/hot faces and the
+/// sink convection nodes. Pre-warming exactly this set makes later
+/// inverse_column() reads lock-free for all knob settings.
+std::vector<std::size_t> updatable_nodes(const ChipThermalModel& model) {
+  std::vector<std::size_t> nodes;
+  nodes.reserve(2 * model.tec_count() + model.tile_count());
+  for (std::size_t t = 0; t < model.tec_count(); ++t) {
+    nodes.push_back(model.tec_cold_node(t));
+    nodes.push_back(model.tec_hot_node(t));
+  }
+  for (std::size_t tile = 0; tile < model.tile_count(); ++tile)
+    nodes.push_back(model.sink_node(tile));
+  return nodes;
 }
 
 }  // namespace
 
+ThermalEngine::ThermalEngine(std::shared_ptr<const ChipThermalModel> model,
+                             double transient_dt_s)
+    : model_(std::move(model)), transient_dt_s_(transient_dt_s) {
+  TECFAN_REQUIRE(model_ != nullptr, "ThermalEngine requires a model");
+  TECFAN_REQUIRE(transient_dt_s_ >= 0.0,
+                 "ThermalEngine transient dt must be non-negative");
+  const std::vector<std::size_t> warm = updatable_nodes(*model_);
+  steady_ = std::make_shared<const linalg::FactoredOperator>(
+      model_->base_conductance().to_dense(), warm);
+  if (transient_dt_s_ > 0.0) {
+    linalg::DenseMatrix a = model_->base_conductance().to_dense();
+    const auto& c = model_->capacitance();
+    for (std::size_t i = 0; i < a.rows(); ++i)
+      a(i, i) += c[i] / transient_dt_s_;
+    transient_ = std::make_shared<const linalg::FactoredOperator>(
+        std::move(a), warm);
+  }
+}
+
+std::size_t ThermalEngine::memory_bytes() const {
+  std::size_t bytes = steady_->memory_bytes();
+  if (transient_) bytes += transient_->memory_bytes();
+  return bytes;
+}
+
+std::shared_ptr<const ThermalEngine> make_thermal_engine(
+    std::shared_ptr<const ChipThermalModel> model, double transient_dt_s) {
+  return std::make_shared<const ThermalEngine>(std::move(model),
+                                               transient_dt_s);
+}
+
 SteadyStateSolver::SteadyStateSolver(
-    std::shared_ptr<const ChipThermalModel> model)
-    : model_(std::move(model)) {
-  TECFAN_REQUIRE(model_ != nullptr, "SteadyStateSolver requires a model");
-  updater_ = linalg::DiagonalUpdateSolver(factor_base_g(*model_));
+    std::shared_ptr<const ThermalEngine> engine)
+    : engine_(std::move(engine)) {
+  TECFAN_REQUIRE(engine_ != nullptr, "SteadyStateSolver requires an engine");
+  updater_ = linalg::UpdateWorkspace(engine_->steady_operator());
 }
 
 void SteadyStateSolver::refresh_updates(const CoolingState& state) {
   if (state_cached_ && state == cached_state_) return;
-  updater_.set_updates(model_->diagonal_updates(state));
+  updater_.set_updates(engine_->model().diagonal_updates(state));
   cached_state_ = state;
   state_cached_ = true;
 }
@@ -40,20 +72,21 @@ void SteadyStateSolver::refresh_updates(const CoolingState& state) {
 linalg::Vector SteadyStateSolver::solve(std::span<const double> comp_power_w,
                                         const CoolingState& state) {
   refresh_updates(state);
-  return updater_.solve(model_->assemble_rhs(comp_power_w, state));
+  return updater_.solve(engine_->model().assemble_rhs(comp_power_w, state));
 }
 
-TransientSolver::TransientSolver(std::shared_ptr<const ChipThermalModel> model,
-                                 double dt)
-    : model_(std::move(model)), dt_(dt) {
-  TECFAN_REQUIRE(model_ != nullptr, "TransientSolver requires a model");
-  TECFAN_REQUIRE(dt_ > 0.0, "TransientSolver dt must be positive");
-  updater_ = linalg::DiagonalUpdateSolver(factor_base_transient(*model_, dt_));
+TransientSolver::TransientSolver(std::shared_ptr<const ThermalEngine> engine)
+    : engine_(std::move(engine)) {
+  TECFAN_REQUIRE(engine_ != nullptr, "TransientSolver requires an engine");
+  TECFAN_REQUIRE(engine_->has_transient(),
+                 "TransientSolver requires an engine built with a transient "
+                 "substep length");
+  updater_ = linalg::UpdateWorkspace(engine_->transient_operator());
 }
 
 void TransientSolver::refresh_updates(const CoolingState& state) {
   if (state_cached_ && state == cached_state_) return;
-  updater_.set_updates(model_->diagonal_updates(state));
+  updater_.set_updates(engine_->model().diagonal_updates(state));
   cached_state_ = state;
   state_cached_ = true;
 }
@@ -61,13 +94,15 @@ void TransientSolver::refresh_updates(const CoolingState& state) {
 linalg::Vector TransientSolver::step(std::span<const double> temps_k,
                                      std::span<const double> comp_power_w,
                                      const CoolingState& state) {
-  TECFAN_REQUIRE(temps_k.size() == model_->node_count(),
+  const ChipThermalModel& model = engine_->model();
+  TECFAN_REQUIRE(temps_k.size() == model.node_count(),
                  "transient step temps size mismatch");
   refresh_updates(state);
-  linalg::Vector rhs = model_->assemble_rhs(comp_power_w, state);
-  const auto& c = model_->capacitance();
+  linalg::Vector rhs = model.assemble_rhs(comp_power_w, state);
+  const auto& c = model.capacitance();
+  const double dt = engine_->transient_dt_s();
   for (std::size_t i = 0; i < rhs.size(); ++i)
-    rhs[i] += c[i] / dt_ * temps_k[i];
+    rhs[i] += c[i] / dt * temps_k[i];
   return updater_.solve(rhs);
 }
 
@@ -77,7 +112,7 @@ linalg::Vector TransientSolver::advance(linalg::Vector temps_k,
                                         double duration_s) {
   TECFAN_REQUIRE(duration_s > 0.0, "advance duration must be positive");
   const auto steps =
-      static_cast<std::size_t>(std::ceil(duration_s / dt_ - 1e-9));
+      static_cast<std::size_t>(std::ceil(duration_s / dt() - 1e-9));
   for (std::size_t s = 0; s < steps; ++s)
     temps_k = step(temps_k, comp_power_w, state);
   return temps_k;

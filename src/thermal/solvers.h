@@ -1,15 +1,23 @@
-// Steady-state and transient solvers over the chip thermal network.
+// Steady-state and transient solvers over the chip thermal network, built
+// on the engine/workspace split.
 //
-// Both solvers factor the *base* system matrix once (G0 for steady state,
-// C/dt + G0 for implicit-Euler transient) and absorb every knob change —
-// TEC Peltier terms, fan convection — as a Woodbury diagonal update, so a
-// control decision costs triangular solves instead of refactorizations.
+// ThermalEngine owns the immutable, shareable state: the base factorization
+// of G0 for steady state and (optionally) of C/dt + G0 for implicit-Euler
+// transient stepping, with the A0^{-1} e_i columns for every node a knob
+// can touch (TEC faces, sink nodes) pre-warmed at construction. One engine
+// serves any number of threads.
+//
+// SteadyStateSolver and TransientSolver are light per-thread workspaces
+// over a shared engine: each holds its own Woodbury update set and cooling
+// state memo, so knob changes cost triangular solves plus a k x k
+// factorization, never a base refactor — and constructing a solver costs
+// microseconds, not an O(n^3) factorization.
 //
 // SteadyStateSolver implements Eq. (1): G(k) Ts(k) = P(k).
 // TransientSolver is the plant ("ground truth", playing HotSpot's role):
 // implicit Euler on C dT/dt = -G T + q, unconditionally stable for the stiff
 // die/sink time-constant split (~ms vs ~30 s).
-// ExponentialEstimator is the paper's Eq. (5): the per-node exponential
+// exponential_step is the paper's Eq. (5): the per-node exponential
 // interpolation toward steady state that the *controllers* use; its
 // approximation error versus TransientSolver is what produces the small
 // runtime temperature violations of Fig. 5(b).
@@ -18,38 +26,84 @@
 #include <memory>
 #include <span>
 
-#include "linalg/lu.h"
 #include "linalg/woodbury.h"
 #include "thermal/network.h"
 
 namespace tecfan::thermal {
 
+class ThermalEngine {
+ public:
+  /// Factor the base matrices for `model`. transient_dt_s > 0 additionally
+  /// builds the implicit-Euler operator at that substep length; 0 builds a
+  /// steady-only engine (enough for planning models).
+  explicit ThermalEngine(std::shared_ptr<const ChipThermalModel> model,
+                         double transient_dt_s = 0.0);
+
+  ThermalEngine(const ThermalEngine&) = delete;
+  ThermalEngine& operator=(const ThermalEngine&) = delete;
+
+  const ChipThermalModel& model() const { return *model_; }
+  const std::shared_ptr<const ChipThermalModel>& model_ptr() const {
+    return model_;
+  }
+
+  bool has_transient() const { return transient_ != nullptr; }
+  double transient_dt_s() const { return transient_dt_s_; }
+
+  const std::shared_ptr<const linalg::FactoredOperator>& steady_operator()
+      const {
+    return steady_;
+  }
+  const std::shared_ptr<const linalg::FactoredOperator>& transient_operator()
+      const {
+    return transient_;
+  }
+
+  /// Rough resident footprint of the shared factored state.
+  std::size_t memory_bytes() const;
+
+ private:
+  std::shared_ptr<const ChipThermalModel> model_;
+  double transient_dt_s_ = 0.0;
+  std::shared_ptr<const linalg::FactoredOperator> steady_;
+  std::shared_ptr<const linalg::FactoredOperator> transient_;
+};
+
+/// Convenience factory: shared engine over `model`.
+std::shared_ptr<const ThermalEngine> make_thermal_engine(
+    std::shared_ptr<const ChipThermalModel> model, double transient_dt_s = 0.0);
+
 class SteadyStateSolver {
  public:
-  explicit SteadyStateSolver(std::shared_ptr<const ChipThermalModel> model);
+  explicit SteadyStateSolver(std::shared_ptr<const ThermalEngine> engine);
 
   /// Node temperatures (kelvin) solving G T = q for the given component
   /// powers and cooling state.
   linalg::Vector solve(std::span<const double> comp_power_w,
                        const CoolingState& state);
 
-  const ChipThermalModel& model() const { return *model_; }
+  const ChipThermalModel& model() const { return engine_->model(); }
+  const ThermalEngine& engine() const { return *engine_; }
+
+  /// Mutable per-thread footprint (Woodbury workspace).
+  std::size_t workspace_bytes() const { return updater_.memory_bytes(); }
 
  private:
   void refresh_updates(const CoolingState& state);
 
-  std::shared_ptr<const ChipThermalModel> model_;
-  linalg::DiagonalUpdateSolver updater_;
+  std::shared_ptr<const ThermalEngine> engine_;
+  linalg::UpdateWorkspace updater_;
   CoolingState cached_state_;
   bool state_cached_ = false;
 };
 
 class TransientSolver {
  public:
-  /// dt: integration substep length in seconds.
-  TransientSolver(std::shared_ptr<const ChipThermalModel> model, double dt);
+  /// Requires an engine built with transient_dt_s > 0; the substep length
+  /// is the engine's.
+  explicit TransientSolver(std::shared_ptr<const ThermalEngine> engine);
 
-  double dt() const { return dt_; }
+  double dt() const { return engine_->transient_dt_s(); }
 
   /// One implicit-Euler step: returns T(t+dt) from T(t).
   linalg::Vector step(std::span<const double> temps_k,
@@ -63,12 +117,14 @@ class TransientSolver {
                          std::span<const double> comp_power_w,
                          const CoolingState& state, double duration_s);
 
+  /// Mutable per-thread footprint (Woodbury workspace).
+  std::size_t workspace_bytes() const { return updater_.memory_bytes(); }
+
  private:
   void refresh_updates(const CoolingState& state);
 
-  std::shared_ptr<const ChipThermalModel> model_;
-  double dt_;
-  linalg::DiagonalUpdateSolver updater_;
+  std::shared_ptr<const ThermalEngine> engine_;
+  linalg::UpdateWorkspace updater_;
   CoolingState cached_state_;
   bool state_cached_ = false;
 };

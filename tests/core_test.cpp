@@ -12,6 +12,7 @@
 #include "core/reactive_policies.h"
 #include "core/tecfan_policy.h"
 #include "sim/defaults.h"
+#include "thermal/solvers.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -534,13 +535,25 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RandomScenarios,
                          ::testing::Range<std::uint64_t>(1, 21));
 
 // ------------------------------------------------------------- planning
+// One 2x2 model bundle + thermal engine shared by the planner tests; each
+// planner is a cheap workspace over the engine's factorization.
+const sim::ChipModels& planning_models() {
+  static const sim::ChipModels m = sim::make_chip_models(2, 2);
+  return m;
+}
+
+const std::shared_ptr<const thermal::ThermalEngine>& planning_engine() {
+  static const auto e = thermal::make_thermal_engine(planning_models().thermal);
+  return e;
+}
+
 TEST(ChipPlanningModel, ObserveThenPredictRoundTrip) {
-  static const sim::ChipModels models = sim::make_chip_models(2, 2);
+  const sim::ChipModels& models = planning_models();
   ChipPlanningModel::Config cfg;
   cfg.fan = models.fan;
   cfg.dvfs = models.dvfs;
   cfg.leakage = models.leak_linear;
-  ChipPlanningModel planner(models.thermal, cfg);
+  ChipPlanningModel planner(planning_engine(), cfg);
   EXPECT_THROW(planner.predict(KnobState::initial(4, 36)),
                precondition_error);
 
@@ -561,11 +574,11 @@ TEST(ChipPlanningModel, ObserveThenPredictRoundTrip) {
 }
 
 TEST(ChipPlanningModel, Eq7ScalingAppliedPerCore) {
-  static const sim::ChipModels models = sim::make_chip_models(2, 2);
+  const sim::ChipModels& models = planning_models();
   ChipPlanningModel::Config cfg;
   cfg.fan = models.fan;
   cfg.dvfs = models.dvfs;
-  ChipPlanningModel planner(models.thermal, cfg);
+  ChipPlanningModel planner(planning_engine(), cfg);
   ChipPlanningModel::Observation obs;
   const std::size_t n = models.thermal->component_count();
   obs.comp_temps_k.assign(n, 350.0);
@@ -587,12 +600,12 @@ TEST(ChipPlanningModel, Eq7ScalingAppliedPerCore) {
 }
 
 TEST(ChipPlanningModel, PredictionRespondsToKnobs) {
-  static const sim::ChipModels models = sim::make_chip_models(2, 2);
+  const sim::ChipModels& models = planning_models();
   ChipPlanningModel::Config cfg;
   cfg.fan = models.fan;
   cfg.dvfs = models.dvfs;
   cfg.control_period_s = 1.0;  // long interval: prediction ~ steady state
-  ChipPlanningModel planner(models.thermal, cfg);
+  ChipPlanningModel planner(planning_engine(), cfg);
   ChipPlanningModel::Observation obs;
   const std::size_t n = models.thermal->component_count();
   obs.comp_temps_k.assign(n, 355.0);
@@ -611,6 +624,42 @@ TEST(ChipPlanningModel, PredictionRespondsToKnobs) {
   KnobState tec_on = obs.applied;
   for (auto& b : tec_on.tec_on) b = 1;
   EXPECT_LT(planner.predict(tec_on).max_temp_k(), base.max_temp_k());
+}
+
+TEST(ChipPlanningModel, PredictBatchMatchesSequentialPredict) {
+  const sim::ChipModels& models = planning_models();
+  ChipPlanningModel::Config cfg;
+  cfg.fan = models.fan;
+  cfg.dvfs = models.dvfs;
+  ChipPlanningModel planner(planning_engine(), cfg);
+  ChipPlanningModel::Observation obs;
+  const std::size_t n = models.thermal->component_count();
+  obs.comp_temps_k.assign(n, 352.0);
+  obs.comp_dyn_power_w.assign(n, 0.35);
+  obs.core_ips.assign(4, 1.1e9);
+  obs.applied = KnobState::initial(4, 36, 1);
+  planner.observe(obs);
+
+  std::vector<KnobState> candidates;
+  for (int fan = 0; fan < 4; ++fan) {
+    KnobState k = KnobState::initial(4, 36, fan);
+    k.dvfs[static_cast<std::size_t>(fan) % 4] = fan;
+    k.tec_on[static_cast<std::size_t>(fan)] = fan % 2;
+    candidates.push_back(k);
+  }
+  // Batch evaluation fans out over worker threads (each with its own
+  // solver workspace) but must agree bit-for-bit with predict().
+  const std::vector<Prediction> batch = planner.predict_batch(candidates);
+  ASSERT_EQ(batch.size(), candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const Prediction one = planner.predict(candidates[i]);
+    EXPECT_EQ(batch[i].ips, one.ips);
+    EXPECT_EQ(batch[i].power.dynamic_w, one.power.dynamic_w);
+    EXPECT_EQ(batch[i].power.leakage_w, one.power.leakage_w);
+    ASSERT_EQ(batch[i].spot_temps_k.size(), one.spot_temps_k.size());
+    for (std::size_t sp = 0; sp < one.spot_temps_k.size(); ++sp)
+      EXPECT_EQ(batch[i].spot_temps_k[sp], one.spot_temps_k[sp]);
+  }
 }
 
 // --------------------------------------------------------------- hw cost

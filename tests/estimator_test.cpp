@@ -122,7 +122,7 @@ TEST(CoreEstimatorTest, ExactWhenBoundaryIsTruth) {
   // With boundary temperatures taken from the true global solution, the
   // conditioned solve must reproduce the global solution on local nodes.
   auto model = model22();
-  thermal::SteadyStateSolver global(model);
+  thermal::SteadyStateSolver global(thermal::make_thermal_engine(model));
   linalg::Vector power(model->component_count(), 0.3);
   power[model->floorplan().index_of(1, thermal::ComponentKind::kFpMul)] =
       1.2;
@@ -161,7 +161,7 @@ TEST(CoreEstimatorTest, StaleBoundaryGivesSmallBiasOnly) {
   // With slightly stale boundary temperatures (0.5 K off), the local
   // estimate moves by the same order — no amplification.
   auto model = model22();
-  thermal::SteadyStateSolver global(model);
+  thermal::SteadyStateSolver global(thermal::make_thermal_engine(model));
   const linalg::Vector power(model->component_count(), 0.35);
   const thermal::CoolingState cooling = model->make_cooling_state(40.0);
   const linalg::Vector truth = global.solve(power, cooling);
@@ -181,7 +181,7 @@ TEST(CoreEstimatorTest, StaleBoundaryGivesSmallBiasOnly) {
 
 TEST(CoreEstimatorTest, TecActivationCoolsLocally) {
   auto model = model22();
-  thermal::SteadyStateSolver global(model);
+  thermal::SteadyStateSolver global(thermal::make_thermal_engine(model));
   const linalg::Vector power(model->component_count(), 0.4);
   const thermal::CoolingState cooling = model->make_cooling_state(40.0);
   const linalg::Vector truth = global.solve(power, cooling);

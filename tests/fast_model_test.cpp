@@ -9,6 +9,7 @@
 #include "core/fast_planning_model.h"
 #include "core/tecfan_policy.h"
 #include "sim/defaults.h"
+#include "thermal/solvers.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -18,6 +19,11 @@ namespace {
 const sim::ChipModels& models() {
   static const sim::ChipModels m = sim::make_chip_models(2, 2);
   return m;
+}
+
+const std::shared_ptr<const thermal::ThermalEngine>& engine() {
+  static const auto e = thermal::make_thermal_engine(models().thermal);
+  return e;
 }
 
 ChipPlanningModel::Config config() {
@@ -45,8 +51,8 @@ ChipPlanningModel::Observation observation(int fan_level = 1) {
 }
 
 struct Pair {
-  ChipPlanningModel exact{models().thermal, config()};
-  FastChipPlanningModel fast{models().thermal, config()};
+  ChipPlanningModel exact{engine(), config()};
+  FastChipPlanningModel fast{engine(), config()};
 
   explicit Pair(const ChipPlanningModel::Observation& obs) {
     exact.observe(obs);
@@ -153,7 +159,7 @@ TEST(FastModel, InterfaceDelegatesToExact) {
 }
 
 TEST(FastModel, PredictBeforeObserveThrows) {
-  FastChipPlanningModel fast(models().thermal, config());
+  FastChipPlanningModel fast(engine(), config());
   EXPECT_THROW(fast.predict(KnobState::initial(4, 36)), precondition_error);
 }
 

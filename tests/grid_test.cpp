@@ -85,7 +85,7 @@ TEST(GridModel, CrossValidatesBlockModel) {
   // the block model's per-component temperatures track the fine grid's
   // within a few kelvin, and the peaks agree.
   auto block = block22();
-  thermal::SteadyStateSolver solver(block);
+  thermal::SteadyStateSolver solver(thermal::make_thermal_engine(block));
   linalg::Vector p(block->component_count(), 0.0);
   for (std::size_t i = 0; i < block->component_count(); ++i) {
     const auto kind = block->floorplan().component(i).kind;

@@ -8,6 +8,7 @@
 #include "core/reactive_policies.h"
 #include "core/tecfan_policy.h"
 #include "perf/splash2.h"
+#include "sim/chip_engine.h"
 #include "sim/chip_simulator.h"
 #include "sim/experiment.h"
 #include "util/units.h"
@@ -15,20 +16,23 @@
 namespace tecfan::sim {
 namespace {
 
+const ChipEnginePtr& engine() {
+  static const ChipEnginePtr e = make_default_chip_engine();
+  return e;
+}
+
 ChipModels& models() {
-  static ChipModels m = make_default_chip_models();
+  static ChipModels m = engine()->models();
   return m;
 }
 
 ChipSimulator& simulator() {
-  static ChipSimulator sim(models());
+  static ChipSimulator sim(engine());
   return sim;
 }
 
 perf::WorkloadPtr workload(const std::string& bench, int threads) {
-  return perf::make_splash_workload(bench, threads,
-                                    models().thermal->floorplan(),
-                                    models().dynamic, models().leak_quad);
+  return engine()->workload(bench, threads);
 }
 
 struct BaselineBundle {

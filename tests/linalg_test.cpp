@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "linalg/banded.h"
 #include "linalg/cholesky.h"
@@ -355,14 +358,17 @@ TEST(Banded, OutOfBandReadsZero) {
 }
 
 // -------------------------------------------------------------- woodbury
+std::shared_ptr<const FactoredOperator> factor(const DenseMatrix& a0) {
+  return std::make_shared<const FactoredOperator>(a0);
+}
+
 class WoodburyRanks : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(WoodburyRanks, MatchesDirectRefactor) {
   Rng rng(GetParam() * 19 + 2);
   const std::size_t n = 40;
   const DenseMatrix a0 = random_diag_dominant(n, rng);
-  auto base = std::make_shared<LuFactorization>(a0);
-  DiagonalUpdateSolver solver(base);
+  UpdateWorkspace solver(factor(a0));
 
   std::vector<std::pair<std::size_t, double>> updates;
   DenseMatrix a1 = a0;
@@ -386,8 +392,7 @@ TEST(Woodbury, DuplicateNodesAccumulate) {
   Rng rng(9);
   const std::size_t n = 10;
   const DenseMatrix a0 = random_diag_dominant(n, rng);
-  auto base = std::make_shared<LuFactorization>(a0);
-  DiagonalUpdateSolver solver(base);
+  UpdateWorkspace solver(factor(a0));
   solver.set_updates({{3, 1.0}, {3, 2.0}});
   EXPECT_EQ(solver.update_rank(), 1u);
   DenseMatrix a1 = a0;
@@ -400,29 +405,90 @@ TEST(Woodbury, DuplicateNodesAccumulate) {
 TEST(Woodbury, CancellingDeltaIsIdentity) {
   Rng rng(10);
   const DenseMatrix a0 = random_diag_dominant(8, rng);
-  auto base = std::make_shared<LuFactorization>(a0);
-  DiagonalUpdateSolver solver(base);
+  auto op = factor(a0);
+  UpdateWorkspace solver(op);
   solver.set_updates({{2, 1.5}, {2, -1.5}});
   EXPECT_EQ(solver.update_rank(), 0u);
   const Vector b = random_vector(8, rng);
-  EXPECT_LT(max_abs_diff(solver.solve(b), base->solve(b)), 1e-12);
+  EXPECT_LT(max_abs_diff(solver.solve(b), op->solve_base(b)), 1e-12);
 }
 
-TEST(Woodbury, ColumnCachePersistsAcrossUpdateSets) {
+TEST(Woodbury, WarmColumnsAreSharedOverflowIsCounted) {
   Rng rng(12);
   const DenseMatrix a0 = random_diag_dominant(12, rng);
-  DiagonalUpdateSolver solver(std::make_shared<LuFactorization>(a0));
+  // Nodes 1 and 2 pre-warmed at construction; node 3 is an overflow column
+  // computed on first use.
+  const std::vector<std::size_t> warm = {1, 2};
+  auto op = std::make_shared<const FactoredOperator>(a0, warm);
+  EXPECT_EQ(op->warmed_columns(), 2u);
+  EXPECT_EQ(op->overflow_columns(), 0u);
+  UpdateWorkspace solver(op);
   solver.set_updates({{1, 1.0}, {2, 1.0}});
-  EXPECT_EQ(solver.cached_columns(), 2u);
+  EXPECT_EQ(op->overflow_columns(), 0u);
   solver.set_updates({{2, 2.0}, {3, 1.0}});
-  EXPECT_EQ(solver.cached_columns(), 3u);  // node 2 reused, node 3 added
+  EXPECT_EQ(op->overflow_columns(), 1u);  // node 3 added lazily
+  // A second workspace reuses the same cached columns.
+  UpdateWorkspace other(op);
+  other.set_updates({{3, 0.5}});
+  EXPECT_EQ(op->overflow_columns(), 1u);
 }
 
 TEST(Woodbury, RejectsOutOfRangeNode) {
   Rng rng(13);
-  DiagonalUpdateSolver solver(
-      std::make_shared<LuFactorization>(random_diag_dominant(4, rng)));
+  UpdateWorkspace solver(factor(random_diag_dominant(4, rng)));
   EXPECT_THROW(solver.set_updates({{4, 1.0}}), precondition_error);
+  EXPECT_THROW(UpdateWorkspace{nullptr}, precondition_error);
+  const DenseMatrix a0 = random_diag_dominant(4, rng);
+  const std::vector<std::size_t> bad_warm = {4};
+  EXPECT_THROW(FactoredOperator(a0, bad_warm), precondition_error);
+}
+
+// Regression test for the const-correctness bug the engine/workspace split
+// fixes: two threads share one FactoredOperator (the engine half) through
+// private workspaces, including a cold column that both threads demand
+// concurrently. Built with -fsanitize=thread in the tier-1 TSan leg, any
+// mutation behind the const facade is reported as a data race; results must
+// also match the single-threaded answer bit for bit.
+TEST(SharedOperator, ConcurrentWorkspacesAreRaceFreeAndBitExact) {
+  Rng rng(77);
+  const std::size_t n = 32;
+  const DenseMatrix a0 = random_diag_dominant(n, rng);
+  const std::vector<std::size_t> warm = {2, 5};
+  auto op = std::make_shared<const FactoredOperator>(a0, warm);
+  const Vector b = random_vector(n, rng);
+  // Node 9 is deliberately NOT pre-warmed: both threads race to fault it
+  // into the overflow cache.
+  const std::vector<std::pair<std::size_t, double>> updates = {
+      {2, 1.25}, {5, -0.3}, {9, 2.0}};
+
+  UpdateWorkspace reference(op);
+  reference.set_updates(updates);
+  const Vector expect = reference.solve(b);
+
+  constexpr int kThreads = 4;
+  constexpr int kRepeats = 8;
+  std::vector<Vector> results(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+      threads.emplace_back([&, i] {
+        UpdateWorkspace ws(op);
+        Vector x;
+        for (int r = 0; r < kRepeats; ++r) {
+          ws.set_updates(updates);
+          x = ws.solve(b);
+        }
+        results[static_cast<std::size_t>(i)] = std::move(x);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  for (const Vector& x : results) {
+    ASSERT_EQ(x.size(), expect.size());
+    for (std::size_t k = 0; k < n; ++k) EXPECT_EQ(x[k], expect[k]);
+  }
+  EXPECT_EQ(op->overflow_columns(), 1u);
 }
 
 // -------------------------------------------------------------- systolic

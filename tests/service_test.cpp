@@ -14,6 +14,7 @@
 #include <mutex>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include "service/request.h"
 #include "service/result_cache.h"
@@ -424,6 +425,48 @@ TEST(Server, UnknownPolicyAndWorkloadAreErrors) {
   bad_wl.threads = 4;
   EXPECT_EQ(server.handle(bad_wl).status, Response::Status::kError);
   EXPECT_EQ(server.stats().errors, 2u);
+}
+
+TEST(Server, DefaultWorkerCountIsClamped) {
+  const std::size_t n = default_worker_count();
+  EXPECT_GE(n, 2u);
+  EXPECT_LE(n, 16u);
+}
+
+// Eight workers, one engine: every compute builds a throwaway simulator
+// over the server's single shared ChipEngine. Run under TSan in the tier-1
+// leg this is the service-layer proof of the engine/workspace split.
+TEST(Server, EightWorkersShareOneEngine) {
+  ServerOptions opts = small_server_options();
+  opts.workers = 8;
+  opts.queue_capacity = 32;
+  Server server(opts);
+  ASSERT_GT(server.engine().memory_bytes(), 0u);
+
+  constexpr int kClients = 8;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  std::atomic<int> failures{0};
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&server, &failures, i] {
+      Request req;
+      req.kind = RequestKind::kEquilibrium;
+      req.workload = "water";
+      req.threads = 4;
+      req.fan = i % 7;  // distinct knobs: mostly cache misses, all computes
+      const Response r = server.handle(req);
+      if (r.status != Response::Status::kOk) failures.fetch_add(1);
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const Server::Stats s = server.stats();
+  EXPECT_GT(s.computes, 0u);
+  // The shared engine dominates; per-worker scratch is a small fraction.
+  EXPECT_GT(s.engine_bytes, 0u);
+  EXPECT_GT(s.workspace_bytes, 0u);
+  EXPECT_GT(s.engine_bytes, s.workspace_bytes);
 }
 
 TEST(ServerTcp, RoundTripAndConcurrentClients) {

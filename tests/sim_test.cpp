@@ -3,10 +3,13 @@
 #include <map>
 #include <memory>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "core/reactive_policies.h"
 #include "core/tecfan_policy.h"
 #include "perf/splash2.h"
+#include "sim/chip_engine.h"
 #include "sim/chip_simulator.h"
 #include "sim/defaults.h"
 #include "sim/experiment.h"
@@ -20,14 +23,20 @@ namespace tecfan::sim {
 namespace {
 
 // All mechanics tests run on a 2x2 chip for speed; the full 4x4 calibration
-// lives in integration_test.cpp.
+// lives in integration_test.cpp. One shared engine serves every simulator
+// the tests construct — that sharing is itself under test.
+const ChipEnginePtr& small_engine() {
+  static const ChipEnginePtr e = make_chip_engine(2, 2);
+  return e;
+}
+
 ChipModels& small_models() {
-  static ChipModels m = make_chip_models(2, 2);
+  static ChipModels m = small_engine()->models();
   return m;
 }
 
 ChipSimulator& small_simulator() {
-  static ChipSimulator sim(small_models());
+  static ChipSimulator sim(small_engine());
   return sim;
 }
 
@@ -355,6 +364,68 @@ TEST(TraceIo, SummaryCsvHasOneRowPerRun) {
 TEST(TraceIo, RejectsForeignCsv) {
   EXPECT_THROW(read_trace_csv("a,b,c\n1,2,3\n"), precondition_error);
   EXPECT_THROW(read_trace_csv(""), precondition_error);
+}
+
+// ---------------------------------------------------------- shared engine
+TEST(SharedEngine, SimulatorsAreCheapViewsOverOneEngine) {
+  ChipSimulator a(small_engine());
+  ChipSimulator b(small_engine());
+  EXPECT_EQ(&a.models(), &b.models());
+  EXPECT_EQ(&a.engine(), &b.engine());
+  // Per-simulator scratch is a small fraction of the shared factorizations.
+  EXPECT_GT(small_engine()->memory_bytes(), 4 * a.workspace_bytes());
+  EXPECT_THROW(ChipSimulator{nullptr}, precondition_error);
+}
+
+// N threads each build their own simulator over ONE shared engine and run
+// the same workload; every thread must reproduce the single-threaded result
+// bit for bit. Run under TSan (tier1.sh builds this test with
+// -fsanitize=thread) this also pins the engine's const-correctness: any
+// hidden mutation through the shared factorizations is a reported race.
+TEST(SharedEngine, CrossThreadRunsAreBitExact) {
+  auto wl = small_workload();
+  RunConfig cfg;
+  cfg.threshold_k = celsius_to_kelvin(70.0);
+  cfg.fan_level = 1;
+
+  // Single-threaded reference.
+  ChipSimulator reference(small_engine());
+  core::FanTecPolicy ref_policy;
+  const RunResult expect = reference.run(ref_policy, *wl, cfg);
+  const linalg::Vector expect_eq = reference.equilibrium(
+      *wl, core::KnobState::initial(4, small_models().thermal->tec_count(),
+                                    cfg.fan_level));
+
+  constexpr int kThreads = 4;
+  std::vector<RunResult> results(kThreads);
+  std::vector<linalg::Vector> equilibria(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+      threads.emplace_back([&, i] {
+        ChipSimulator simulator(small_engine());
+        core::FanTecPolicy policy;
+        results[static_cast<std::size_t>(i)] = simulator.run(policy, *wl, cfg);
+        equilibria[static_cast<std::size_t>(i)] = simulator.equilibrium(
+            *wl, core::KnobState::initial(
+                     4, small_models().thermal->tec_count(), cfg.fan_level));
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  for (int i = 0; i < kThreads; ++i) {
+    const RunResult& r = results[static_cast<std::size_t>(i)];
+    EXPECT_EQ(r.energy_j, expect.energy_j) << "thread " << i;
+    EXPECT_EQ(r.peak_temp_k, expect.peak_temp_k) << "thread " << i;
+    EXPECT_EQ(r.exec_time_s, expect.exec_time_s) << "thread " << i;
+    EXPECT_EQ(r.violation_frac, expect.violation_frac) << "thread " << i;
+    const linalg::Vector& eq = equilibria[static_cast<std::size_t>(i)];
+    ASSERT_EQ(eq.size(), expect_eq.size());
+    for (std::size_t n = 0; n < eq.size(); ++n)
+      EXPECT_EQ(eq[n], expect_eq[n]) << "thread " << i << " node " << n;
+  }
 }
 
 }  // namespace

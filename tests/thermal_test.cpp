@@ -28,6 +28,12 @@ std::shared_ptr<const ChipThermalModel> full_model() {
   return model;
 }
 
+// One engine per model/dt combination the solver tests need; solvers built
+// on them are cheap per-test workspaces.
+std::shared_ptr<const ThermalEngine> small_engine(double dt_s = 0.0) {
+  return make_thermal_engine(small_model(), dt_s);
+}
+
 linalg::Vector uniform_power(const ChipThermalModel& m, double watts) {
   return linalg::Vector(m.component_count(), watts);
 }
@@ -277,7 +283,7 @@ TEST(Network, CapacitancesPositiveAndSinkDominant) {
 
 // --------------------------------------------------------------- solvers
 TEST(SteadySolver, ZeroPowerGivesAmbientEverywhere) {
-  SteadyStateSolver solver(small_model());
+  SteadyStateSolver solver(small_engine());
   const auto& m = *small_model();
   const auto t = solver.solve(uniform_power(m, 0.0), m.make_cooling_state());
   for (double v : t) EXPECT_NEAR(v, m.ambient_k(), 1e-6);
@@ -285,7 +291,7 @@ TEST(SteadySolver, ZeroPowerGivesAmbientEverywhere) {
 
 TEST(SteadySolver, EnergyConservation) {
   // Total heat in == total heat out through convection.
-  SteadyStateSolver solver(small_model());
+  SteadyStateSolver solver(small_engine());
   const auto& m = *small_model();
   const double p_comp = 0.4;
   const CoolingState s = m.make_cooling_state(40.0);
@@ -300,7 +306,7 @@ TEST(SteadySolver, EnergyConservation) {
 }
 
 TEST(SteadySolver, LinearSuperpositionWithoutTecs) {
-  SteadyStateSolver solver(small_model());
+  SteadyStateSolver solver(small_engine());
   const auto& m = *small_model();
   const CoolingState s = m.make_cooling_state(40.0);
   const auto t1 = solver.solve(uniform_power(m, 0.2), s);
@@ -311,7 +317,7 @@ TEST(SteadySolver, LinearSuperpositionWithoutTecs) {
 }
 
 TEST(SteadySolver, MoreAirflowIsCooler) {
-  SteadyStateSolver solver(small_model());
+  SteadyStateSolver solver(small_engine());
   const auto& m = *small_model();
   const auto p = uniform_power(m, 0.4);
   double prev_peak = 1e9;
@@ -324,7 +330,7 @@ TEST(SteadySolver, MoreAirflowIsCooler) {
 }
 
 TEST(SteadySolver, HeatedComponentIsLocallyHottest) {
-  SteadyStateSolver solver(small_model());
+  SteadyStateSolver solver(small_engine());
   const auto& m = *small_model();
   linalg::Vector p = uniform_power(m, 0.05);
   const std::size_t hot = m.floorplan().index_of(1, ComponentKind::kFpMul);
@@ -338,7 +344,7 @@ TEST(SteadySolver, HeatedComponentIsLocallyHottest) {
 }
 
 TEST(SteadySolver, TecOnCoolsItsColdFaceAndHotSpot) {
-  SteadyStateSolver solver(small_model());
+  SteadyStateSolver solver(small_engine());
   const auto& m = *small_model();
   linalg::Vector p = uniform_power(m, 0.2);
   const std::size_t hot = m.floorplan().index_of(0, ComponentKind::kFpMul);
@@ -358,7 +364,7 @@ TEST(SteadySolver, TecOnCoolsItsColdFaceAndHotSpot) {
 TEST(SteadySolver, TecReliefSaturates) {
   // Doubling the device count engaged near one spot must yield less than
   // double the relief (back-conduction saturation).
-  SteadyStateSolver solver(small_model());
+  SteadyStateSolver solver(small_engine());
   const auto& m = *small_model();
   linalg::Vector p = uniform_power(m, 0.2);
   const std::size_t hot = m.floorplan().index_of(0, ComponentKind::kFpMul);
@@ -381,7 +387,7 @@ TEST(SteadySolver, TecReliefSaturates) {
 }
 
 TEST(SteadySolver, TecElectricalPowerPositiveWhenPumping) {
-  SteadyStateSolver solver(small_model());
+  SteadyStateSolver solver(small_engine());
   const auto& m = *small_model();
   linalg::Vector p = uniform_power(m, 0.3);
   CoolingState s = m.make_cooling_state(40.0);
@@ -395,25 +401,24 @@ TEST(SteadySolver, TecElectricalPowerPositiveWhenPumping) {
 }
 
 TEST(TransientSolver, ConvergesToSteadyState) {
-  auto model = small_model();
-  SteadyStateSolver steady(model);
-  TransientSolver transient(model, 0.5e-3);
-  const auto& m = *model;
+  const auto engine = small_engine(0.5e-3);
+  SteadyStateSolver steady(engine);
+  TransientSolver transient(engine);
+  const auto& m = engine->model();
   const auto p = uniform_power(m, 0.3);
   const CoolingState s = m.make_cooling_state(40.0);
   const auto ts = steady.solve(p, s);
   linalg::Vector t(m.node_count(), m.ambient_k());
   // March 20 simulated minutes (sink tau ~ 30 s) with big implicit steps;
   // implicit Euler's fixed point is exactly the steady solution.
-  TransientSolver coarse(model, 2.0);
+  TransientSolver coarse(small_engine(2.0));
   for (int i = 0; i < 600; ++i) t = coarse.step(t, p, s);
   EXPECT_LT(max_abs_diff(t, ts), 0.05);
 }
 
 TEST(TransientSolver, MonotoneApproachFromCold) {
-  auto model = small_model();
-  TransientSolver transient(model, 1e-3);
-  const auto& m = *model;
+  TransientSolver transient(small_engine(1e-3));
+  const auto& m = *small_model();
   const auto p = uniform_power(m, 0.3);
   const CoolingState s = m.make_cooling_state(40.0);
   linalg::Vector t(m.node_count(), m.ambient_k());
@@ -427,10 +432,10 @@ TEST(TransientSolver, MonotoneApproachFromCold) {
 }
 
 TEST(TransientSolver, DieRespondsWithinMilliseconds) {
-  auto model = small_model();
-  TransientSolver transient(model, 0.5e-3);
-  const auto& m = *model;
-  SteadyStateSolver steady(model);
+  const auto engine = small_engine(0.5e-3);
+  TransientSolver transient(engine);
+  const auto& m = engine->model();
+  SteadyStateSolver steady(engine);
   const auto p = uniform_power(m, 0.4);
   const CoolingState s = m.make_cooling_state(40.0);
   const auto ts = steady.solve(p, s);
@@ -448,9 +453,9 @@ TEST(TransientSolver, DieRespondsWithinMilliseconds) {
 }
 
 TEST(TransientSolver, AdvanceMatchesRepeatedSteps) {
-  auto model = small_model();
-  TransientSolver a(model, 1e-3), b(model, 1e-3);
-  const auto& m = *model;
+  const auto engine = small_engine(1e-3);
+  TransientSolver a(engine), b(engine);
+  const auto& m = engine->model();
   const auto p = uniform_power(m, 0.25);
   const CoolingState s = m.make_cooling_state(20.0);
   linalg::Vector t1(m.node_count(), m.ambient_k());
@@ -480,10 +485,10 @@ TEST(ExponentialStep, InterpolatesBetweenStates) {
 TEST(ExponentialStep, TracksTransientSolverForDieNodes) {
   // Eq. (5) is the controller's approximation of the implicit-Euler plant;
   // over one control interval the die-node error should be small (< 1 K).
-  auto model = small_model();
-  SteadyStateSolver steady(model);
-  TransientSolver plant(model, 0.5e-3);
-  const auto& m = *model;
+  const auto engine = small_engine(0.5e-3);
+  SteadyStateSolver steady(engine);
+  TransientSolver plant(engine);
+  const auto& m = engine->model();
   linalg::Vector p = uniform_power(m, 0.3);
   const CoolingState s = m.make_cooling_state(40.0);
   linalg::Vector t0 = steady.solve(p, s);
@@ -500,8 +505,25 @@ TEST(ExponentialStep, TracksTransientSolverForDieNodes) {
     EXPECT_NEAR(t_est[m.die_node(c)], t_plant[m.die_node(c)], 1.5);
 }
 
+TEST(ThermalEngine, StatesItsConfiguration) {
+  const auto steady_only = small_engine();
+  EXPECT_FALSE(steady_only->has_transient());
+  EXPECT_GT(steady_only->memory_bytes(), 0u);
+  const auto both = small_engine(1e-3);
+  EXPECT_TRUE(both->has_transient());
+  EXPECT_DOUBLE_EQ(both->transient_dt_s(), 1e-3);
+  // The transient factorization roughly doubles the engine's footprint.
+  EXPECT_GT(both->memory_bytes(), steady_only->memory_bytes());
+}
+
+TEST(ThermalEngine, PreconditionsAreEnforced) {
+  EXPECT_THROW(make_thermal_engine(nullptr), precondition_error);
+  EXPECT_THROW(TransientSolver{small_engine()}, precondition_error);
+  EXPECT_THROW(SteadyStateSolver{nullptr}, precondition_error);
+}
+
 TEST(FullModel, SteadySolveSaneTemperatures) {
-  SteadyStateSolver solver(full_model());
+  SteadyStateSolver solver(make_thermal_engine(full_model()));
   const auto& m = *full_model();
   // ~125 W chip in the base cooling configuration.
   const double per_comp = 125.0 / m.component_count();

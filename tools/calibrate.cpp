@@ -6,8 +6,9 @@
 
 int main() {
   using namespace tecfan;
-  sim::ChipModels models = sim::make_default_chip_models();
-  sim::ChipSimulator simulator(models);
+  const sim::ChipEnginePtr engine = sim::make_default_chip_engine();
+  const sim::ChipModels& models = engine->models();
+  sim::ChipSimulator simulator(engine);
   std::printf("%-10s %3s | %7s %7s | %6s %6s | %6s %6s\n",
               "bench", "thr", "t_paper", "t_meas", "P_pap", "P_meas", "T_pap", "T_meas");
   for (const auto& c : perf::table1_cases()) {

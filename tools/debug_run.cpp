@@ -14,8 +14,9 @@ int main(int argc, char** argv) {
   const int fan = argc > 3 ? std::atoi(argv[3]) : 1;
   const std::string pol = argc > 4 ? argv[4] : "tecfan";
 
-  sim::ChipModels models = sim::make_default_chip_models();
-  sim::ChipSimulator simulator(models);
+  const sim::ChipEnginePtr engine = sim::make_default_chip_engine();
+  const sim::ChipModels& models = engine->models();
+  sim::ChipSimulator simulator(engine);
   auto wl = perf::make_splash_workload(bench, threads, models.thermal->floorplan(),
                                        models.dynamic, models.leak_quad);
   sim::RunResult base = sim::measure_base_scenario(simulator, *wl);

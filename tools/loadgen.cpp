@@ -38,6 +38,9 @@ struct Args {
   int connections = 4;
   double duration_s = 3.0;
   int keys = 8;
+  std::size_t workers = service::default_worker_count();
+  std::size_t queue = 64;
+  std::size_t cache = 4096;
   bool warmup = true;
   std::string out = "BENCH_serving.json";
   bool help = false;
@@ -47,11 +50,16 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: loadgen [--port N] [--connections C] [--duration-s S]\n"
-      "               [--keys K] [--no-warmup] [--out FILE]\n"
+      "               [--keys K] [--workers N] [--queue N] [--cache N]\n"
+      "               [--no-warmup] [--out FILE]\n"
       "  --port N         target an external tecfand (default: in-process)\n"
       "  --connections C  closed-loop client connections (default 4)\n"
       "  --duration-s S   measured interval (default 3)\n"
       "  --keys K         distinct equilibrium requests in the set (8)\n"
+      "  --workers N      in-process worker pool size (default: hardware\n"
+      "                   threads, clamped to [2,16])\n"
+      "  --queue N        in-process pending-request bound (64)\n"
+      "  --cache N        in-process result cache capacity (4096)\n"
       "  --no-warmup      skip the cache-priming pass\n"
       "  --out FILE       JSON report path (BENCH_serving.json)\n");
 }
@@ -78,6 +86,18 @@ bool parse(int argc, char** argv, Args& out) {
       const char* v = next(i);
       if (!v) return false;
       out.keys = std::atoi(v);
+    } else if (a == "--workers") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.workers = static_cast<std::size_t>(std::atoi(v));
+    } else if (a == "--queue") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.queue = static_cast<std::size_t>(std::atoi(v));
+    } else if (a == "--cache") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.cache = static_cast<std::size_t>(std::atoi(v));
     } else if (a == "--no-warmup") {
       out.warmup = false;
     } else if (a == "--out") {
@@ -91,7 +111,20 @@ bool parse(int argc, char** argv, Args& out) {
       return false;
     }
   }
-  return out.connections > 0 && out.duration_s > 0 && out.keys > 0;
+  return out.connections > 0 && out.duration_s > 0 && out.keys > 0 &&
+         out.workers > 0 && out.queue > 0 && out.cache > 0;
+}
+
+/// Resident set size of this process (which, with the in-process server, is
+/// the whole serving stack) from /proc/self/statm; 0 if unreadable.
+std::size_t process_rss_bytes() {
+  std::ifstream statm("/proc/self/statm");
+  if (!statm) return 0;
+  std::size_t vm_pages = 0, rss_pages = 0;
+  statm >> vm_pages >> rss_pages;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  if (page <= 0) return 0;
+  return rss_pages * static_cast<std::size_t>(page);
 }
 
 /// Blocking line-protocol client over a loopback TCP connection.
@@ -185,11 +218,14 @@ int main(int argc, char** argv) {
   std::uint16_t port = 0;
   if (args.port < 0) {
     service::ServerOptions options;
-    options.workers = 2;
+    options.workers = args.workers;
+    options.queue_capacity = args.queue;
+    options.cache_capacity = args.cache;
     local = std::make_unique<service::Server>(options);
     port = local->bind_listen(0);
     serve_thread = std::thread([&local] { local->serve(); });
-    std::fprintf(stderr, "loadgen: in-process tecfand on port %u\n", port);
+    std::fprintf(stderr, "loadgen: in-process tecfand on port %u (%zu workers)\n",
+                 port, args.workers);
   } else {
     port = static_cast<std::uint16_t>(args.port);
   }
@@ -264,8 +300,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // Server-side cache statistics.
+  // Server-side cache and memory statistics.
   double hit_rate = 0.0, cache_hits = 0.0, cache_misses = 0.0;
+  double workers = 0.0, engine_bytes = 0.0, workspace_bytes = 0.0;
   {
     Client statc;
     if (statc.connect_to(port)) {
@@ -274,9 +311,13 @@ int main(int argc, char** argv) {
       hit_rate = get_field(stats, "cache_hit_rate");
       cache_hits = get_field(stats, "cache_hits");
       cache_misses = get_field(stats, "cache_misses");
+      workers = get_field(stats, "workers");
+      engine_bytes = get_field(stats, "engine_bytes");
+      workspace_bytes = get_field(stats, "workspace_bytes");
       statc.round_trip("quit");
     }
   }
+  const std::size_t rss_bytes = process_rss_bytes();
 
   const double throughput = static_cast<double>(all.size()) / elapsed;
   const double p50 = percentile(all, 50.0);
@@ -295,6 +336,15 @@ int main(int argc, char** argv) {
   std::printf("latency p50       %.1f us\n", p50);
   std::printf("latency p99       %.1f us\n", p99);
   std::printf("cache hit rate    %.1f %%\n", 100.0 * hit_rate);
+  std::printf("workers           %.0f\n", workers);
+  std::printf("engine memory     %.2f MiB (shared, one copy)\n",
+              engine_bytes / (1024.0 * 1024.0));
+  std::printf("workspace memory  %.1f KiB (per worker, max observed)\n",
+              workspace_bytes / 1024.0);
+  if (rss_bytes > 0)
+    std::printf("process RSS       %.1f MiB%s\n",
+                static_cast<double>(rss_bytes) / (1024.0 * 1024.0),
+                args.port < 0 ? " (loadgen + in-process server)" : "");
 
   std::ofstream json(args.out);
   if (json) {
@@ -312,7 +362,11 @@ int main(int argc, char** argv) {
          << "  \"latency_p99_us\": " << p99 << ",\n"
          << "  \"cache_hits\": " << cache_hits << ",\n"
          << "  \"cache_misses\": " << cache_misses << ",\n"
-         << "  \"cache_hit_rate\": " << hit_rate << "\n"
+         << "  \"cache_hit_rate\": " << hit_rate << ",\n"
+         << "  \"workers\": " << workers << ",\n"
+         << "  \"engine_bytes\": " << engine_bytes << ",\n"
+         << "  \"workspace_bytes\": " << workspace_bytes << ",\n"
+         << "  \"process_rss_bytes\": " << rss_bytes << "\n"
          << "}\n";
     std::fprintf(stderr, "loadgen: wrote %s\n", args.out.c_str());
   }

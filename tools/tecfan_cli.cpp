@@ -125,8 +125,9 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  sim::ChipModels models = sim::make_default_chip_models();
-  sim::ChipSimulator simulator(models);
+  const sim::ChipEnginePtr engine = sim::make_default_chip_engine();
+  const sim::ChipModels& models = engine->models();
+  sim::ChipSimulator simulator(engine);
   perf::WorkloadPtr workload;
   try {
     workload = perf::make_splash_workload(args.workload, args.threads,

@@ -29,7 +29,7 @@ namespace {
 struct Args {
   bool pipe = false;
   int port = -1;  // -1: not set
-  std::size_t workers = 2;
+  std::size_t workers = tecfan::service::default_worker_count();
   std::size_t queue = 64;
   std::size_t cache = 4096;
   double deadline_ms = 0.0;
@@ -42,7 +42,8 @@ void usage() {
                "               [--cache N] [--deadline-ms X]\n"
                "  --pipe          serve stdin/stdout (default)\n"
                "  --port N        serve loopback TCP on port N (0 = ephemeral)\n"
-               "  --workers N     worker pool size (default 2)\n"
+               "  --workers N     worker pool size (default: hardware threads,\n"
+               "                  clamped to [2,16])\n"
                "  --queue N       pending-request bound before `busy` (64)\n"
                "  --cache N       result cache capacity in entries (4096)\n"
                "  --deadline-ms X default per-request deadline (0 = none)\n");
