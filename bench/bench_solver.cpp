@@ -1,0 +1,292 @@
+// Dense vs RCM-permuted-banded backend comparison for the shared engines:
+// engine construction (base factorization + warm-column pre-fill), the
+// service's cache-miss compute (throwaway simulator + leakage fixed point),
+// predict_batch planning throughput, and transient plant stepping. Writes
+// BENCH_solver.json (--out to override); scripts/bench.sh runs this from a
+// Release build together with the loadgen miss-path run.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/chip_planning_model.h"
+#include "sim/chip_engine.h"
+#include "sim/chip_simulator.h"
+#include "thermal/solvers.h"
+
+namespace {
+
+using namespace tecfan;
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+/// Median wall time of `reps` calls to fn, in seconds.
+template <typename Fn>
+double median_seconds(int reps, Fn&& fn) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const double t0 = now_seconds();
+    fn();
+    times.push_back(now_seconds() - t0);
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+const char* backend_name(linalg::SolveBackend b) {
+  return b == linalg::SolveBackend::kDense ? "dense" : "banded";
+}
+
+core::KnobState miss_knobs(const thermal::ChipThermalModel& model, bool tec) {
+  core::KnobState knobs = core::KnobState::initial(
+      model.floorplan().core_count(), model.tec_count(), /*fan_level=*/2);
+  for (int& d : knobs.dvfs) d = 1;
+  for (auto& on : knobs.tec_on) on = tec ? 1 : 0;
+  return knobs;
+}
+
+struct BackendNumbers {
+  double construct_ms = 0.0;
+  double predict_cold_ms = 0.0;
+  double miss_tec_off_ms = 0.0;
+  double miss_tec_on_ms = 0.0;
+  double batch_candidates_per_s = 0.0;
+  double transient_step_us = 0.0;
+  std::size_t engine_bytes = 0;
+};
+
+BackendNumbers measure(linalg::SolveBackend backend,
+                       const sim::ChipModels& models) {
+  BackendNumbers out;
+  const double dt = 2e-3 / 4;
+
+  out.construct_ms = 1e3 * median_seconds(5, [&] {
+    const thermal::ThermalEngine engine(models.thermal, dt, backend);
+    if (engine.memory_bytes() == 0) std::abort();
+  });
+
+  sim::ChipEnginePtr engine =
+      sim::make_chip_engine(models, 2e-3, 4, backend);
+  out.engine_bytes = engine->memory_bytes();
+  auto wl = engine->workload("cholesky", 16);
+
+  // The serving cache-miss path: a throwaway per-request simulator plus the
+  // temperature-leakage fixed point (Server::do_equilibrium).
+  const auto& thermal_model = *models.thermal;
+  for (const bool tec : {false, true}) {
+    const core::KnobState knobs = miss_knobs(thermal_model, tec);
+    const double ms = 1e3 * median_seconds(9, [&] {
+      sim::ChipSimulator simulator(engine);
+      const linalg::Vector temps = simulator.equilibrium(*wl, knobs);
+      if (temps.empty()) std::abort();
+    });
+    (tec ? out.miss_tec_on_ms : out.miss_tec_off_ms) = ms;
+  }
+
+  core::ChipPlanningModel::Config cfg;
+  cfg.fan = models.fan;
+  cfg.dvfs = models.dvfs;
+  core::ChipPlanningModel::Observation obs;
+  obs.comp_temps_k.assign(thermal_model.component_count(), 350.0);
+  obs.comp_dyn_power_w.assign(thermal_model.component_count(), 0.35);
+  obs.core_ips.assign(16, 1.3e9);
+  obs.applied = core::KnobState::initial(16, thermal_model.tec_count());
+
+  // Cold-miss predict: the first predict() against a cooling state nobody
+  // has solved yet (empty per-planner memo), i.e. the marginal cost a
+  // worker pays per un-memoized candidate. Planner construction and the
+  // observe() bootstrap are per-request setup shared by both backends and
+  // sit outside the timed region. The candidate engages every 8th TEC —
+  // the same stride-pattern family the predict_batch sweep fans out over.
+  {
+    core::KnobState cand = obs.applied;
+    cand.fan_level = 2;
+    for (int& d : cand.dvfs) d = 2;
+    for (std::size_t dev = 0; dev < cand.tec_on.size(); dev += 8)
+      cand.tec_on[dev] = 1;
+    core::KnobState warmup = cand;
+    warmup.fan_level = 3;  // distinct cooling state: warms caches, not the memo
+    std::vector<double> times;
+    for (int rep = 0; rep < 25; ++rep) {
+      core::ChipPlanningModel planner(engine->thermal(), cfg);
+      planner.observe(obs);
+      if (!(planner.predict(warmup).max_temp_k() > 0.0)) std::abort();
+      const double t0 = now_seconds();
+      const core::Prediction pred = planner.predict(cand);
+      times.push_back(now_seconds() - t0);
+      if (!(pred.max_temp_k() > 0.0)) std::abort();
+    }
+    std::sort(times.begin(), times.end());
+    out.predict_cold_ms = 1e3 * times[times.size() / 2];
+  }
+
+  // predict_batch planning throughput over a mixed candidate sweep (the
+  // TECfan policy's per-interval fan-out).
+  {
+    core::ChipPlanningModel planner(engine->thermal(), cfg);
+    planner.observe(obs);
+
+    std::vector<core::KnobState> candidates;
+    for (int fan = 0; fan < 4; ++fan)
+      for (int dvfs = 0; dvfs < 4; ++dvfs)
+        for (std::size_t t = 0; t < 8; ++t) {
+          core::KnobState k = obs.applied;
+          k.fan_level = fan;
+          for (int& d : k.dvfs) d = dvfs;
+          for (std::size_t dev = t; dev < k.tec_on.size(); dev += 8)
+            k.tec_on[dev] = 1;
+          candidates.push_back(std::move(k));
+        }
+    const double s = median_seconds(5, [&] {
+      auto preds = planner.predict_batch(candidates);
+      if (preds.size() != candidates.size()) std::abort();
+    });
+    out.batch_candidates_per_s = static_cast<double>(candidates.size()) / s;
+  }
+
+  // Transient plant stepping (the inner loop of ChipSimulator::run).
+  {
+    thermal::TransientSolver plant(engine->thermal());
+    const core::KnobState knobs = miss_knobs(thermal_model, true);
+    thermal::CoolingState cooling = thermal_model.make_cooling_state(
+        models.fan.airflow_cfm(knobs.fan_level));
+    cooling.tec_on = knobs.tec_on;
+    linalg::Vector power(thermal_model.component_count(), 0.4);
+    linalg::Vector temps(thermal_model.node_count(), 320.0);
+    constexpr int kSteps = 200;
+    const double s = median_seconds(5, [&] {
+      for (int i = 0; i < kSteps; ++i)
+        temps = plant.step(temps, power, cooling);
+    });
+    out.transient_step_us = 1e6 * s / kSteps;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_solver.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const sim::ChipModels models = sim::make_default_chip_models();
+  const std::size_t n = models.thermal->node_count();
+
+  // Equivalence spot check: the committed numbers should never come from
+  // backends that disagree.
+  double max_dt_k = 0.0;
+  {
+    sim::ChipEnginePtr dense =
+        sim::make_chip_engine(models, 2e-3, 4, linalg::SolveBackend::kDense);
+    sim::ChipEnginePtr banded =
+        sim::make_chip_engine(models, 2e-3, 4, linalg::SolveBackend::kBanded);
+    auto wl = dense->workload("cholesky", 16);
+    for (const bool tec : {false, true}) {
+      const core::KnobState knobs = miss_knobs(*models.thermal, tec);
+      sim::ChipSimulator a(dense);
+      sim::ChipSimulator b(banded);
+      const linalg::Vector ta = a.equilibrium(*wl, knobs);
+      const linalg::Vector tb = b.equilibrium(*wl, knobs);
+      for (std::size_t i = 0; i < ta.size(); ++i)
+        max_dt_k = std::max(max_dt_k, std::abs(ta[i] - tb[i]));
+    }
+  }
+
+  BackendNumbers nums[2];
+  const linalg::SolveBackend backends[2] = {linalg::SolveBackend::kDense,
+                                            linalg::SolveBackend::kBanded};
+  for (int i = 0; i < 2; ++i) nums[i] = measure(backends[i], models);
+
+  const std::size_t bandwidth =
+      sim::make_chip_engine(models, 2e-3, 4, linalg::SolveBackend::kBanded)
+          ->thermal()
+          ->bandwidth();
+
+  std::printf("== bench_solver: %zu-node chip network, RCM bandwidth %zu ==\n",
+              n, bandwidth);
+  std::printf("backend equivalence: max |dT| = %.3g K\n", max_dt_k);
+  std::printf("%-28s %12s %12s %8s\n", "metric", "dense", "banded", "ratio");
+  const auto row = [&](const char* name, double d, double b,
+                       bool higher_is_better) {
+    std::printf("%-28s %12.4f %12.4f %7.2fx\n", name, d, b,
+                higher_is_better ? b / d : d / b);
+  };
+  row("engine construct (ms)", nums[0].construct_ms, nums[1].construct_ms,
+      false);
+  row("cold-miss predict (ms)", nums[0].predict_cold_ms,
+      nums[1].predict_cold_ms, false);
+  row("serving miss eq off (ms)", nums[0].miss_tec_off_ms,
+      nums[1].miss_tec_off_ms, false);
+  row("serving miss eq on (ms)", nums[0].miss_tec_on_ms,
+      nums[1].miss_tec_on_ms, false);
+  row("predict_batch (cand/s)", nums[0].batch_candidates_per_s,
+      nums[1].batch_candidates_per_s, true);
+  row("transient step (us)", nums[0].transient_step_us,
+      nums[1].transient_step_us, false);
+  std::printf("engine bytes: dense %.2f MiB, banded %.2f MiB\n",
+              static_cast<double>(nums[0].engine_bytes) / (1024.0 * 1024.0),
+              static_cast<double>(nums[1].engine_bytes) / (1024.0 * 1024.0));
+
+  std::ofstream json(out_path);
+  if (!json) {
+    std::fprintf(stderr, "bench_solver: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  json.precision(6);
+  json << "{\n"
+       << "  \"bench\": \"solver\",\n"
+       << "  \"nodes\": " << n << ",\n"
+       << "  \"rcm_half_bandwidth\": " << bandwidth << ",\n"
+       << "  \"equivalence_max_dt_k\": " << max_dt_k << ",\n";
+  for (int i = 0; i < 2; ++i) {
+    const char* b = backend_name(backends[i]);
+    json << "  \"" << b << "\": {\n"
+         << "    \"engine_construct_ms\": " << nums[i].construct_ms << ",\n"
+         << "    \"cold_miss_predict_ms\": " << nums[i].predict_cold_ms
+         << ",\n"
+         << "    \"serving_miss_equilibrium_tec_off_ms\": "
+         << nums[i].miss_tec_off_ms << ",\n"
+         << "    \"serving_miss_equilibrium_tec_on_ms\": "
+         << nums[i].miss_tec_on_ms << ",\n"
+         << "    \"predict_batch_candidates_per_s\": "
+         << nums[i].batch_candidates_per_s << ",\n"
+         << "    \"transient_step_us\": " << nums[i].transient_step_us << ",\n"
+         << "    \"engine_bytes\": " << nums[i].engine_bytes << "\n"
+         << "  },\n";
+  }
+  json << "  \"speedup\": {\n"
+       << "    \"engine_construct\": "
+       << nums[0].construct_ms / nums[1].construct_ms << ",\n"
+       << "    \"cold_miss_predict\": "
+       << nums[0].predict_cold_ms / nums[1].predict_cold_ms << ",\n"
+       << "    \"serving_miss_equilibrium_tec_off\": "
+       << nums[0].miss_tec_off_ms / nums[1].miss_tec_off_ms << ",\n"
+       << "    \"serving_miss_equilibrium_tec_on\": "
+       << nums[0].miss_tec_on_ms / nums[1].miss_tec_on_ms << ",\n"
+       << "    \"predict_batch\": "
+       << nums[1].batch_candidates_per_s / nums[0].batch_candidates_per_s
+       << ",\n"
+       << "    \"transient_step\": "
+       << nums[0].transient_step_us / nums[1].transient_step_us << "\n"
+       << "  }\n"
+       << "}\n";
+  std::fprintf(stderr, "bench_solver: wrote %s\n", out_path.c_str());
+  return 0;
+}

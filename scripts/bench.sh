@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Refresh the committed benchmark numbers from a Release build.
+#
+#   BENCH_solver.json  — dense vs RCM-permuted-banded backend comparison
+#                        (engine construction, cold-miss predict, serving
+#                        miss equilibrium, predict_batch, transient step)
+#   BENCH_serving.json — tecfand miss-path run: the request working set is
+#                        much larger than the result cache and warm-up is
+#                        off, so nearly every request pays the cache-miss
+#                        compute the banded backend accelerates
+#
+#   scripts/bench.sh                 # both benchmarks, 3 s loadgen run
+#   DURATION_S=10 scripts/bench.sh   # longer serving interval
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j"$JOBS" --target bench_solver loadgen
+
+./build-release/bench/bench_solver --out BENCH_solver.json
+
+./build-release/tools/loadgen \
+  --keys 1024 --cache 128 --no-warmup \
+  --duration-s "${DURATION_S:-3}" \
+  --out BENCH_serving.json

@@ -25,5 +25,5 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
     --target linalg_test sim_test service_test
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure \
-    -R 'SharedOperator|SharedEngine|Protocol|ResultCache|TaskQueue|WorkerPool|Server'
+    -R 'SharedOperator|SharedEngine|Protocol|ResultCache|TaskQueue|WorkerPool|Server|BackendEquivalence'
 fi

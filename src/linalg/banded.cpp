@@ -1,6 +1,8 @@
 #include "linalg/banded.h"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 #include <utility>
 
 #include "util/error.h"
@@ -70,49 +72,234 @@ DenseMatrix BandMatrix::to_dense() const {
   return m;
 }
 
-BandLu::BandLu(BandMatrix a) : a_(std::move(a)) {
-  const std::size_t n = a_.size();
-  const std::size_t kl = a_.lower_bandwidth();
-  const std::size_t ku = a_.upper_bandwidth();
-  for (std::size_t k = 0; k < n; ++k) {
-    const double piv = a_.get(k, k);
-    if (std::abs(piv) < 1e-300)
-      throw numerical_error("BandLu: zero pivot at " + std::to_string(k) +
-                            " (matrix not diagonally dominant?)");
-    const std::size_t r1 = std::min(n - 1, k + kl);
-    for (std::size_t r = k + 1; r <= r1 && r < n; ++r) {
-      const double m = a_.get(r, k) / piv;
-      if (m == 0.0) continue;
-      a_.at(r, k) = m;
-      const std::size_t c1 = std::min(n - 1, k + ku);
-      for (std::size_t c = k + 1; c <= c1; ++c)
-        a_.at(r, c) = a_.get(r, c) - m * a_.get(k, c);
+BandLu::BandLu(const BandMatrix& a)
+    : n_(a.size()),
+      kl_(a.lower_bandwidth()),
+      ku_(a.upper_bandwidth()),
+      ldab_(2 * kl_ + ku_ + 1),
+      f_(ldab_ * n_, 0.0),
+      piv_(n_, 0) {
+  const std::size_t kuf = kl_ + ku_;  // bandwidth of U after pivoting
+  for (std::size_t r = 0; r < n_; ++r) {
+    const std::size_t c0 = (r > kl_) ? r - kl_ : 0;
+    const std::size_t c1 = std::min(n_ - 1, r + ku_);
+    for (std::size_t c = c0; c <= c1; ++c)
+      f_[c * ldab_ + kuf + r - c] = a.get(r, c);
+  }
+  for (std::size_t k = 0; k < n_; ++k) {
+    const std::size_t rmax = std::min(n_ - 1, k + kl_);
+    // Column k of the active submatrix is contiguous: entry (k + i, k) is
+    // colk[i] for i in [0, rmax - k].
+    double* colk = &f_[k * ldab_ + kuf];
+    std::size_t p = 0;
+    double best = std::abs(colk[0]);
+    for (std::size_t i = 1; i <= rmax - k; ++i) {
+      const double v = std::abs(colk[i]);
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    if (best == 0.0)
+      throw numerical_error("BandLu: matrix is singular at column " +
+                            std::to_string(k));
+    piv_[k] = k + p;
+    const std::size_t cmax = std::min(n_ - 1, k + kuf);
+    if (p != 0) {
+      // Swap rows k and k+p across the remaining columns. Both rows stay
+      // inside the expanded band because p <= kl_.
+      for (std::size_t c = k; c <= cmax; ++c) {
+        double* col = &f_[c * ldab_ + kuf - c];
+        std::swap(col[k], col[k + p]);
+      }
+    }
+    const double inv = 1.0 / colk[0];
+    for (std::size_t i = 1; i <= rmax - k; ++i) colk[i] *= inv;
+    // Rank-1 update, column by column so the inner loop is contiguous.
+    for (std::size_t c = k + 1; c <= cmax; ++c) {
+      double* col = &f_[c * ldab_ + kuf - c];
+      const double ukc = col[k];
+      if (ukc == 0.0) continue;
+      for (std::size_t r = k + 1; r <= rmax; ++r)
+        col[r] -= colk[r - k] * ukc;
     }
   }
 }
 
 Vector BandLu::solve(std::span<const double> b) const {
-  TECFAN_REQUIRE(valid(), "solve on empty factorization");
-  TECFAN_REQUIRE(b.size() == size(), "solve rhs size mismatch");
-  const std::size_t n = size();
-  const std::size_t kl = a_.lower_bandwidth();
-  const std::size_t ku = a_.upper_bandwidth();
+  TECFAN_REQUIRE(b.size() == n_, "solve rhs size mismatch");
   Vector x(b.begin(), b.end());
-  // L y = b (unit lower within the band).
-  for (std::size_t r = 0; r < n; ++r) {
-    const std::size_t c0 = (r > kl) ? r - kl : 0;
-    double s = x[r];
-    for (std::size_t c = c0; c < r; ++c) s -= a_.get(r, c) * x[c];
-    x[r] = s;
-  }
-  // U x = y.
-  for (std::size_t ri = n; ri-- > 0;) {
-    const std::size_t c1 = std::min(n - 1, ri + ku);
-    double s = x[ri];
-    for (std::size_t c = ri + 1; c <= c1; ++c) s -= a_.get(ri, c) * x[c];
-    x[ri] = s / a_.get(ri, ri);
-  }
+  solve_in_place(x);
   return x;
+}
+
+void BandLu::solve_in_place(std::span<double> x) const {
+  TECFAN_REQUIRE(valid(), "solve on empty factorization");
+  TECFAN_REQUIRE(x.size() == n_, "solve rhs size mismatch");
+  const std::size_t kuf = kl_ + ku_;
+  // x := L^{-1} P x.
+  for (std::size_t k = 0; k < n_; ++k) {
+    if (piv_[k] != k) std::swap(x[k], x[piv_[k]]);
+    const double xk = x[k];
+    if (xk == 0.0) continue;
+    const double* col = &f_[k * ldab_ + kuf - k];
+    const std::size_t rmax = std::min(n_ - 1, k + kl_);
+    for (std::size_t r = k + 1; r <= rmax; ++r) x[r] -= col[r] * xk;
+  }
+  // x := U^{-1} x, column sweeps (column j of U is contiguous in f_).
+  for (std::size_t j = n_; j-- > 0;) {
+    const double* col = &f_[j * ldab_ + kuf - j];
+    const double xj = x[j] / col[j];
+    x[j] = xj;
+    if (xj == 0.0) continue;
+    const std::size_t r0 = (j > kuf) ? j - kuf : 0;
+    for (std::size_t r = r0; r < j; ++r) x[r] -= col[r] * xj;
+  }
+}
+
+void BandLu::solve_multi(DenseMatrix& b) const {
+  TECFAN_REQUIRE(valid(), "solve on empty factorization");
+  TECFAN_REQUIRE(b.rows() == n_, "solve_multi rhs row count mismatch");
+  const std::size_t m = b.cols();
+  if (m == 0) return;
+  const std::size_t kuf = kl_ + ku_;
+  // Process right-hand sides in blocks: the elimination loops then stream
+  // the factor once per block while every inner loop runs contiguously
+  // across the block's columns (b is row-major).
+  constexpr std::size_t kBlock = 48;
+  for (std::size_t j0 = 0; j0 < m; j0 += kBlock) {
+    const std::size_t jw = std::min(kBlock, m - j0);
+    for (std::size_t k = 0; k < n_; ++k) {
+      double* bk = &b(k, j0);
+      if (piv_[k] != k) {
+        double* bp = &b(piv_[k], j0);
+        for (std::size_t t = 0; t < jw; ++t) std::swap(bk[t], bp[t]);
+      }
+      const double* col = &f_[k * ldab_ + kuf - k];
+      const std::size_t rmax = std::min(n_ - 1, k + kl_);
+      for (std::size_t r = k + 1; r <= rmax; ++r) {
+        const double l = col[r];
+        if (l == 0.0) continue;
+        double* br = &b(r, j0);
+        for (std::size_t t = 0; t < jw; ++t) br[t] -= l * bk[t];
+      }
+    }
+    for (std::size_t j = n_; j-- > 0;) {
+      const double* col = &f_[j * ldab_ + kuf - j];
+      double* bj = &b(j, j0);
+      const double inv = 1.0 / col[j];
+      for (std::size_t t = 0; t < jw; ++t) bj[t] *= inv;
+      const std::size_t r0 = (j > kuf) ? j - kuf : 0;
+      for (std::size_t r = r0; r < j; ++r) {
+        const double u = col[r];
+        if (u == 0.0) continue;
+        double* br = &b(r, j0);
+        for (std::size_t t = 0; t < jw; ++t) br[t] -= u * bj[t];
+      }
+    }
+  }
+}
+
+BandCholesky::BandCholesky(const BandMatrix& a)
+    : n_(a.size()), kd_(a.lower_bandwidth()), f_((a.lower_bandwidth() + 1) * n_, 0.0) {
+  TECFAN_REQUIRE(a.lower_bandwidth() == a.upper_bandwidth(),
+                 "BandCholesky requires a symmetric band");
+  const std::size_t ld = kd_ + 1;
+  for (std::size_t c = 0; c < n_; ++c) {
+    const std::size_t rmax = std::min(n_ - 1, c + kd_);
+    for (std::size_t r = c; r <= rmax; ++r)
+      f_[c * ld + (r - c)] = a.get(r, c);
+  }
+  for (std::size_t j = 0; j < n_; ++j) {
+    double* colj = &f_[j * ld];
+    const std::size_t m = std::min(kd_, n_ - 1 - j);  // rows below the pivot
+    const double d = colj[0];
+    if (!(d > 0.0))
+      throw numerical_error("BandCholesky: matrix is not positive definite "
+                            "at column " +
+                            std::to_string(j));
+    const double ljj = std::sqrt(d);
+    colj[0] = ljj;
+    const double inv = 1.0 / ljj;
+    for (std::size_t i = 1; i <= m; ++i) colj[i] *= inv;
+    // Trailing update, column by column: both the read of colj and the
+    // write to colc run contiguously down the band.
+    for (std::size_t c = j + 1; c <= j + m; ++c) {
+      double* colc = &f_[c * ld];
+      const double ljc = colj[c - j];
+      if (ljc == 0.0) continue;
+      for (std::size_t r = c; r <= j + m; ++r)
+        colc[r - c] -= colj[r - j] * ljc;
+    }
+  }
+}
+
+Vector BandCholesky::solve(std::span<const double> b) const {
+  TECFAN_REQUIRE(b.size() == n_, "solve rhs size mismatch");
+  Vector x(b.begin(), b.end());
+  solve_in_place(x);
+  return x;
+}
+
+void BandCholesky::solve_in_place(std::span<double> x) const {
+  TECFAN_REQUIRE(valid(), "solve on empty factorization");
+  TECFAN_REQUIRE(x.size() == n_, "solve rhs size mismatch");
+  const std::size_t ld = kd_ + 1;
+  // x := L^{-1} x, column sweeps.
+  for (std::size_t j = 0; j < n_; ++j) {
+    const double* colj = &f_[j * ld];
+    const double xj = x[j] / colj[0];
+    x[j] = xj;
+    if (xj == 0.0) continue;
+    const std::size_t m = std::min(kd_, n_ - 1 - j);
+    for (std::size_t i = 1; i <= m; ++i) x[j + i] -= colj[i] * xj;
+  }
+  // x := L^{-T} x, row sweeps (column j of L is row j of L^T, contiguous).
+  for (std::size_t j = n_; j-- > 0;) {
+    const double* colj = &f_[j * ld];
+    const std::size_t m = std::min(kd_, n_ - 1 - j);
+    double s = x[j];
+    for (std::size_t i = 1; i <= m; ++i) s -= colj[i] * x[j + i];
+    x[j] = s / colj[0];
+  }
+}
+
+void BandCholesky::solve_multi(DenseMatrix& b) const {
+  TECFAN_REQUIRE(valid(), "solve on empty factorization");
+  TECFAN_REQUIRE(b.rows() == n_, "solve_multi rhs row count mismatch");
+  const std::size_t m = b.cols();
+  if (m == 0) return;
+  const std::size_t ld = kd_ + 1;
+  constexpr std::size_t kBlock = 48;
+  for (std::size_t j0 = 0; j0 < m; j0 += kBlock) {
+    const std::size_t jw = std::min(kBlock, m - j0);
+    for (std::size_t j = 0; j < n_; ++j) {
+      const double* colj = &f_[j * ld];
+      double* bj = &b(j, j0);
+      const double inv = 1.0 / colj[0];
+      for (std::size_t t = 0; t < jw; ++t) bj[t] *= inv;
+      const std::size_t rows = std::min(kd_, n_ - 1 - j);
+      for (std::size_t i = 1; i <= rows; ++i) {
+        const double l = colj[i];
+        if (l == 0.0) continue;
+        double* br = &b(j + i, j0);
+        for (std::size_t t = 0; t < jw; ++t) br[t] -= l * bj[t];
+      }
+    }
+    for (std::size_t j = n_; j-- > 0;) {
+      const double* colj = &f_[j * ld];
+      double* bj = &b(j, j0);
+      const std::size_t rows = std::min(kd_, n_ - 1 - j);
+      for (std::size_t i = 1; i <= rows; ++i) {
+        const double l = colj[i];
+        if (l == 0.0) continue;
+        const double* br = &b(j + i, j0);
+        for (std::size_t t = 0; t < jw; ++t) bj[t] -= l * br[t];
+      }
+      const double inv = 1.0 / colj[0];
+      for (std::size_t t = 0; t < jw; ++t) bj[t] *= inv;
+    }
+  }
 }
 
 }  // namespace tecfan::linalg

@@ -29,10 +29,16 @@ CholeskyFactorization::CholeskyFactorization(const DenseMatrix& a) {
 }
 
 Vector CholeskyFactorization::solve(std::span<const double> b) const {
-  TECFAN_REQUIRE(valid(), "solve on empty factorization");
   TECFAN_REQUIRE(b.size() == size(), "solve rhs size mismatch");
-  const std::size_t n = size();
   Vector x(b.begin(), b.end());
+  solve_in_place(x);
+  return x;
+}
+
+void CholeskyFactorization::solve_in_place(std::span<double> x) const {
+  TECFAN_REQUIRE(valid(), "solve on empty factorization");
+  TECFAN_REQUIRE(x.size() == size(), "solve rhs size mismatch");
+  const std::size_t n = size();
   // L y = b.
   for (std::size_t r = 0; r < n; ++r) {
     const double* row = &l_.data()[r * n];
@@ -46,7 +52,6 @@ Vector CholeskyFactorization::solve(std::span<const double> b) const {
     for (std::size_t r = ri + 1; r < n; ++r) s -= l_(r, ri) * x[r];
     x[ri] = s / l_(ri, ri);
   }
-  return x;
 }
 
 }  // namespace tecfan::linalg

@@ -1,9 +1,10 @@
 // Dense Cholesky factorization for symmetric positive-definite systems.
 //
-// With all TECs off the thermal conductance matrix is SPD, and Cholesky is
-// ~2x cheaper than LU. The steady-state solver picks Cholesky or LU based on
-// whether Peltier terms are active; Cholesky is also the validation oracle
-// for the iterative solvers in tests.
+// The base conductance matrix (all TECs off — Peltier terms enter only as
+// later diagonal updates) is SPD, and Cholesky is ~2x cheaper to factor
+// than LU: FactoredOperator's dense backend picks Cholesky when the base
+// matrix is exactly symmetric and falls back to LU otherwise. Cholesky is
+// also the validation oracle for the iterative solvers in tests.
 #pragma once
 
 #include "linalg/matrix.h"
@@ -23,6 +24,9 @@ class CholeskyFactorization {
 
   /// Solve A x = b.
   Vector solve(std::span<const double> b) const;
+
+  /// Allocation-free solve: x holds b on entry and the solution on exit.
+  void solve_in_place(std::span<double> x) const;
 
  private:
   DenseMatrix l_;

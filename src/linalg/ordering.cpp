@@ -26,6 +26,72 @@ std::vector<std::vector<std::size_t>> sparsity_graph(const SparseMatrix& a) {
   return graph;
 }
 
+namespace {
+
+/// BFS from `start` over unvisited nodes; fills `level` (distance from
+/// start, only for the reached nodes) and returns the nodes of the deepest
+/// level. `scratch` is the reached-node list, for resetting `level`.
+std::vector<std::size_t> bfs_last_level(
+    const std::vector<std::vector<std::size_t>>& graph,
+    const std::vector<bool>& visited, std::size_t start,
+    std::vector<std::size_t>& level, std::size_t* eccentricity) {
+  std::vector<std::size_t> frontier{start};
+  level[start] = 0;
+  std::vector<std::size_t> last = frontier;
+  std::size_t depth = 0;
+  while (!frontier.empty()) {
+    std::vector<std::size_t> next;
+    for (const std::size_t v : frontier)
+      for (const std::size_t u : graph[v])
+        if (!visited[u] && level[u] == graph.size()) {
+          level[u] = depth + 1;
+          next.push_back(u);
+        }
+    if (!next.empty()) {
+      ++depth;
+      last = next;
+    }
+    frontier = std::move(next);
+  }
+  *eccentricity = depth;
+  return last;
+}
+
+/// George–Liu pseudo-peripheral node of the component containing `seed`:
+/// repeatedly jump to a minimum-degree node of the deepest BFS level while
+/// the eccentricity keeps growing. Starting Cuthill–McKee from such an
+/// endpoint (instead of an arbitrary minimum-degree node, which may sit in
+/// the middle of the graph) is what keeps grid-like networks — the chip's
+/// die/spreader/sink stack — at a small bandwidth.
+std::size_t pseudo_peripheral(const std::vector<std::vector<std::size_t>>& graph,
+                              const std::vector<bool>& visited,
+                              std::size_t seed) {
+  const std::size_t n = graph.size();
+  std::vector<std::size_t> level(n, n);
+  std::size_t node = seed;
+  std::size_t ecc = 0;
+  bool first = true;
+  for (;;) {
+    std::fill(level.begin(), level.end(), n);
+    std::size_t new_ecc = 0;
+    const std::vector<std::size_t> last =
+        bfs_last_level(graph, visited, node, level, &new_ecc);
+    if (!first && new_ecc <= ecc) return node;
+    first = false;
+    ecc = new_ecc;
+    if (ecc == 0) return node;  // isolated node
+    std::size_t candidate = last.front();
+    for (const std::size_t v : last)
+      if (graph[v].size() < graph[candidate].size() ||
+          (graph[v].size() == graph[candidate].size() && v < candidate))
+        candidate = v;
+    if (candidate == node) return node;
+    node = candidate;
+  }
+}
+
+}  // namespace
+
 std::vector<std::size_t> reverse_cuthill_mckee(
     const std::vector<std::vector<std::size_t>>& graph) {
   const std::size_t n = graph.size();
@@ -36,12 +102,14 @@ std::vector<std::size_t> reverse_cuthill_mckee(
   auto degree = [&](std::size_t v) { return graph[v].size(); };
 
   for (;;) {
-    // Start each component from its minimum-degree unvisited node.
-    std::size_t start = n;
+    // Start each component from a pseudo-peripheral node, seeded at its
+    // minimum-degree unvisited node.
+    std::size_t seed = n;
     for (std::size_t v = 0; v < n; ++v)
-      if (!visited[v] && (start == n || degree(v) < degree(start)))
-        start = v;
-    if (start == n) break;
+      if (!visited[v] && (seed == n || degree(v) < degree(seed)))
+        seed = v;
+    if (seed == n) break;
+    const std::size_t start = pseudo_peripheral(graph, visited, seed);
 
     std::queue<std::size_t> queue;
     queue.push(start);
@@ -56,9 +124,12 @@ std::vector<std::size_t> reverse_cuthill_mckee(
           visited[u] = true;
           next.push_back(u);
         }
+      // Degree order with an index tie-break so the permutation (and
+      // everything factored through it) is deterministic.
       std::sort(next.begin(), next.end(),
                 [&](std::size_t a, std::size_t b) {
-                  return degree(a) < degree(b);
+                  return degree(a) != degree(b) ? degree(a) < degree(b)
+                                                : a < b;
                 });
       for (std::size_t u : next) queue.push(u);
     }

@@ -13,17 +13,34 @@
 // k x k factorization instead of an O(n^3) refactor.
 //
 // The split:
-//   * FactoredOperator — the expensive, immutable part: the base LU plus
-//     the A0^{-1} e_i column cache. The update-able node set is known up
-//     front (TEC faces, sink nodes), so callers pre-warm those columns at
-//     construction and every later read is lock-free; columns for nodes
-//     outside the warm set fall back to a small mutex-protected overflow
-//     map. One FactoredOperator serves any number of threads.
+//   * FactoredOperator — the expensive, immutable part: the base
+//     factorization plus the A0^{-1} e_i column cache. The update-able node
+//     set is known up front (TEC faces, sink nodes), so callers pre-warm
+//     those columns at construction and every later read is lock-free;
+//     columns for nodes outside the warm set are published through per-node
+//     atomic slots (double-checked locking: first use computes under a
+//     mutex, every later read is lock-free). One FactoredOperator serves
+//     any number of threads.
 //   * UpdateWorkspace — the cheap, per-thread part: the current update set,
 //     its k x k capacitance factorization, and solve scratch. Constructing
 //     one costs a few small allocations, never a base refactor.
+//
+// Backends. The paper's Sec. III-E observation — thermal influence is
+// local, so the conductance matrix is by nature a band matrix — applies to
+// the full chip network, not just the per-core estimator. When constructed
+// from a SparseMatrix, FactoredOperator reorders the system with reverse
+// Cuthill–McKee (linalg/ordering.h) and factors it as a banded LU in
+// O(n·b²) instead of dense O(n³); every solve then costs O(n·b) instead of
+// O(n²), and the warm columns are produced by one blocked multi-RHS banded
+// solve. The permutation is applied inside solve_base (gather rhs, banded
+// solve, scatter solution), so callers and workspaces are oblivious to the
+// ordering. The dense path (Cholesky when the base matrix is exactly
+// symmetric, LU otherwise) is kept both as an explicit backend choice and
+// as the automatic fallback when RCM finds no useful band structure
+// (4·b > n, e.g. a dense coupling row).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <mutex>
@@ -32,46 +49,102 @@
 #include <utility>
 #include <vector>
 
+#include "linalg/banded.h"
+#include "linalg/cholesky.h"
 #include "linalg/lu.h"
 #include "linalg/matrix.h"
+#include "linalg/sparse.h"
 
 namespace tecfan::linalg {
 
+/// Base-factorization backend selection for FactoredOperator.
+enum class SolveBackend {
+  kAuto,    // banded when the RCM bandwidth is small enough, else dense
+  kDense,   // dense Cholesky (exactly symmetric base) or LU
+  kBanded,  // RCM-permuted band Cholesky/LU regardless of bandwidth
+};
+
 class FactoredOperator {
  public:
-  /// Factor A0 and pre-warm the A0^{-1} e_i columns for `warm_nodes`
-  /// (deduplicated; out-of-range nodes are rejected). Warmed columns are
-  /// immutable afterwards, so reads need no synchronization.
+  /// Dense backend: factor A0 and pre-warm the A0^{-1} e_i columns for
+  /// `warm_nodes` (deduplicated; out-of-range nodes are rejected). Warmed
+  /// columns are immutable afterwards, so reads need no synchronization.
   explicit FactoredOperator(DenseMatrix a0,
                             std::span<const std::size_t> warm_nodes = {});
+
+  /// Backend-selecting form: RCM-reorder the sparsity pattern, factor in
+  /// banded form when profitable (see SolveBackend), and pre-warm all
+  /// `warm_nodes` columns with one blocked multi-RHS solve.
+  explicit FactoredOperator(const SparseMatrix& a0,
+                            std::span<const std::size_t> warm_nodes = {},
+                            SolveBackend backend = SolveBackend::kAuto);
 
   FactoredOperator(const FactoredOperator&) = delete;
   FactoredOperator& operator=(const FactoredOperator&) = delete;
 
-  std::size_t size() const { return base_.size(); }
-  bool valid() const { return base_.valid(); }
+  std::size_t size() const { return n_; }
+  bool valid() const { return n_ > 0; }
+
+  /// True when the banded backend is active.
+  bool banded() const { return band_.valid() || band_chol_.valid(); }
+  /// RCM half-bandwidth of the permuted base matrix (0 for dense).
+  std::size_t bandwidth() const {
+    return banded() ? band_base_.lower_bandwidth() : 0;
+  }
+  /// Permuted base matrix (banded backend only): B = P A0 P^T with
+  /// B(i, j) = A0(perm[i], perm[j]). UpdateWorkspace copies this to
+  /// refactor directly when an update set is too large for Woodbury.
+  const BandMatrix& band_base() const;
+  /// RCM permutation, new index -> old node (empty for dense).
+  std::span<const std::size_t> permutation() const { return perm_; }
+  /// Inverse permutation, old node -> new index (empty for dense).
+  std::span<const std::size_t> positions() const { return pos_; }
 
   /// Solve A0 x = b (no diagonal update).
-  Vector solve_base(std::span<const double> b) const { return base_.solve(b); }
+  Vector solve_base(std::span<const double> b) const;
 
-  /// A0^{-1} e_node. Thread-safe: warm columns are read lock-free; a miss
-  /// computes the column under the overflow lock (references stay valid for
-  /// the operator's lifetime either way).
+  /// A0^{-1} e_node. Thread-safe: warm columns are read lock-free; a cold
+  /// node computes its column once under a lock and publishes it through an
+  /// atomic slot, so every later read — including of other threads' columns
+  /// — is lock-free (references stay valid for the operator's lifetime).
   const Vector& inverse_column(std::size_t node) const;
 
   std::size_t warmed_columns() const { return warm_.size(); }
-  /// Columns computed on demand past the warm set (locked reads).
-  std::size_t overflow_columns() const;
+  /// Columns computed on demand past the warm set.
+  std::size_t overflow_columns() const {
+    return cold_count_.load(std::memory_order_acquire);
+  }
 
-  /// Rough resident footprint: LU storage plus cached columns. Used by the
-  /// serving layer to report engine-vs-workspace memory.
+  /// Rough resident footprint: factor storage plus cached columns. Used by
+  /// the serving layer to report engine-vs-workspace memory.
   std::size_t memory_bytes() const;
 
  private:
-  LuFactorization base_;
+  void init_dense(DenseMatrix a0);
+  void warm_columns(std::span<const std::size_t> warm_nodes);
+  Vector solve_unit_column(std::size_t node) const;
+
+  std::size_t n_ = 0;
+  // Dense backend (one of the two is valid): Cholesky for exactly
+  // symmetric base matrices, LU otherwise.
+  LuFactorization lu_;
+  CholeskyFactorization chol_;
+  // Banded backend: RCM-permuted base matrix and its factorization — band
+  // Cholesky when the base is positive definite (the thermal conductance
+  // matrices are), pivoted banded LU otherwise. Only one is valid.
+  BandLu band_;
+  BandCholesky band_chol_;
+  BandMatrix band_base_;
+  std::vector<std::size_t> perm_;  // new index -> old node
+  std::vector<std::size_t> pos_;   // old node -> new index
+
   std::unordered_map<std::size_t, Vector> warm_;  // immutable after ctor
-  mutable std::mutex overflow_mu_;
-  mutable std::unordered_map<std::size_t, Vector> overflow_;
+  // Cold columns: one atomic publication slot per node plus a lock that
+  // only serializes first-time computes (double-checked locking).
+  mutable std::unique_ptr<std::atomic<const Vector*>[]> cold_;
+  mutable std::mutex cold_mu_;
+  mutable std::vector<std::unique_ptr<const Vector>> cold_storage_;
+  mutable std::atomic<std::size_t> cold_count_{0};
 };
 
 class UpdateWorkspace {
@@ -82,8 +155,12 @@ class UpdateWorkspace {
   explicit UpdateWorkspace(std::shared_ptr<const FactoredOperator> op);
 
   /// Replace the current update set {(node, delta)}; deltas of zero are
-  /// dropped, duplicate nodes are accumulated. Rebuilds the capacitance
-  /// (k x k) system from the operator's cached columns.
+  /// dropped, duplicate nodes are accumulated. Small sets rebuild the
+  /// k x k capacitance system from the operator's cached columns; on a
+  /// banded operator, sets large enough that the Woodbury bookkeeping
+  /// would cost more than an O(n·b²) banded refactor (k³/3 > n·b·2b, e.g.
+  /// every TEC toggled) refactor A0 + D directly instead — the update is
+  /// diagonal, so the permuted band structure is unchanged.
   void set_updates(const std::vector<std::pair<std::size_t, double>>& updates);
 
   /// Solve (A0 + sum_i delta_i e_i e_i^T) x = b for the current update set.
@@ -93,18 +170,27 @@ class UpdateWorkspace {
   const FactoredOperator& op() const { return *op_; }
   std::size_t base_size() const { return op_ ? op_->size() : 0; }
   std::size_t update_rank() const { return nodes_.size(); }
+  /// True when the current update set is absorbed by a direct banded
+  /// refactor instead of the Woodbury identity.
+  bool refactored() const { return mode_ == Mode::kRefactor; }
 
-  /// Rough footprint of the mutable per-thread state (capacitance LU plus
-  /// scratch) — the counterpart of FactoredOperator::memory_bytes().
+  /// Rough footprint of the mutable per-thread state (capacitance LU or
+  /// banded refactor plus scratch) — the counterpart of
+  /// FactoredOperator::memory_bytes().
   std::size_t memory_bytes() const;
 
  private:
+  enum class Mode { kBase, kWoodbury, kRefactor };
+
   std::shared_ptr<const FactoredOperator> op_;
+  Mode mode_ = Mode::kBase;
   std::vector<std::size_t> nodes_;
   std::vector<double> deltas_;
   std::vector<const Vector*> columns_;  // operator cache entries for nodes_
   LuFactorization capacitance_;         // LU of (D^{-1} + U^T A0^{-1} U)
+  BandLu refactored_;                   // banded LU of P (A0 + D) P^T
   Vector rhs_scratch_;
+  Vector perm_scratch_;
 };
 
 }  // namespace tecfan::linalg

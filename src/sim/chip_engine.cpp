@@ -6,15 +6,15 @@
 namespace tecfan::sim {
 
 ChipEngine::ChipEngine(ChipModels models, double control_period_s,
-                       int substeps)
+                       int substeps, linalg::SolveBackend backend)
     : models_(std::move(models)),
       control_period_s_(control_period_s),
       substeps_(substeps) {
   TECFAN_REQUIRE(models_.thermal != nullptr, "ChipEngine requires a model");
   TECFAN_REQUIRE(control_period_s_ > 0 && substeps_ > 0,
                  "control period and substeps must be positive");
-  thermal_ = thermal::make_thermal_engine(models_.thermal,
-                                          control_period_s_ / substeps_);
+  thermal_ = thermal::make_thermal_engine(
+      models_.thermal, control_period_s_ / substeps_, backend);
 }
 
 perf::WorkloadPtr ChipEngine::workload(const std::string& name,
@@ -35,20 +35,22 @@ perf::WorkloadPtr ChipEngine::workload(const std::string& name,
 }
 
 ChipEnginePtr make_chip_engine(ChipModels models, double control_period_s,
-                               int substeps) {
-  return std::make_shared<const ChipEngine>(std::move(models),
-                                            control_period_s, substeps);
+                               int substeps, linalg::SolveBackend backend) {
+  return std::make_shared<const ChipEngine>(
+      std::move(models), control_period_s, substeps, backend);
 }
 
 ChipEnginePtr make_chip_engine(int tiles_x, int tiles_y,
-                               double control_period_s, int substeps) {
+                               double control_period_s, int substeps,
+                               linalg::SolveBackend backend) {
   return make_chip_engine(make_chip_models(tiles_x, tiles_y),
-                          control_period_s, substeps);
+                          control_period_s, substeps, backend);
 }
 
-ChipEnginePtr make_default_chip_engine(double control_period_s, int substeps) {
+ChipEnginePtr make_default_chip_engine(double control_period_s, int substeps,
+                                       linalg::SolveBackend backend) {
   return make_chip_engine(make_default_chip_models(), control_period_s,
-                          substeps);
+                          substeps, backend);
 }
 
 }  // namespace tecfan::sim

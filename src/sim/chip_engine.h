@@ -26,9 +26,11 @@ class ChipEngine {
  public:
   /// control_period: lower-level interval (paper: 2 ms); substeps: implicit
   /// Euler steps per interval. The transient operator is factored at
-  /// control_period / substeps.
-  explicit ChipEngine(ChipModels models, double control_period_s = 2e-3,
-                      int substeps = 4);
+  /// control_period / substeps. `backend` selects the base-factorization
+  /// path (default: RCM-permuted banded with dense fallback).
+  explicit ChipEngine(
+      ChipModels models, double control_period_s = 2e-3, int substeps = 4,
+      linalg::SolveBackend backend = linalg::SolveBackend::kAuto);
 
   ChipEngine(const ChipEngine&) = delete;
   ChipEngine& operator=(const ChipEngine&) = delete;
@@ -60,17 +62,19 @@ class ChipEngine {
 using ChipEnginePtr = std::shared_ptr<const ChipEngine>;
 
 /// Engine over an explicit model bundle.
-ChipEnginePtr make_chip_engine(ChipModels models,
-                               double control_period_s = 2e-3,
-                               int substeps = 4);
+ChipEnginePtr make_chip_engine(
+    ChipModels models, double control_period_s = 2e-3, int substeps = 4,
+    linalg::SolveBackend backend = linalg::SolveBackend::kAuto);
 
 /// Engine over make_chip_models(tiles_x, tiles_y).
-ChipEnginePtr make_chip_engine(int tiles_x, int tiles_y,
-                               double control_period_s = 2e-3,
-                               int substeps = 4);
+ChipEnginePtr make_chip_engine(
+    int tiles_x, int tiles_y, double control_period_s = 2e-3,
+    int substeps = 4,
+    linalg::SolveBackend backend = linalg::SolveBackend::kAuto);
 
 /// The calibrated default: 4x4 SCC floorplan, Table-I-anchored models.
-ChipEnginePtr make_default_chip_engine(double control_period_s = 2e-3,
-                                       int substeps = 4);
+ChipEnginePtr make_default_chip_engine(
+    double control_period_s = 2e-3, int substeps = 4,
+    linalg::SolveBackend backend = linalg::SolveBackend::kAuto);
 
 }  // namespace tecfan::sim

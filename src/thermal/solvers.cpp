@@ -25,21 +25,31 @@ std::vector<std::size_t> updatable_nodes(const ChipThermalModel& model) {
 }  // namespace
 
 ThermalEngine::ThermalEngine(std::shared_ptr<const ChipThermalModel> model,
-                             double transient_dt_s)
+                             double transient_dt_s,
+                             linalg::SolveBackend backend)
     : model_(std::move(model)), transient_dt_s_(transient_dt_s) {
   TECFAN_REQUIRE(model_ != nullptr, "ThermalEngine requires a model");
   TECFAN_REQUIRE(transient_dt_s_ >= 0.0,
                  "ThermalEngine transient dt must be non-negative");
   const std::vector<std::size_t> warm = updatable_nodes(*model_);
   steady_ = std::make_shared<const linalg::FactoredOperator>(
-      model_->base_conductance().to_dense(), warm);
+      model_->base_conductance(), warm, backend);
   if (transient_dt_s_ > 0.0) {
-    linalg::DenseMatrix a = model_->base_conductance().to_dense();
+    // The implicit-Euler operator G0 + C/dt differs from G0 only on the
+    // diagonal, so it shares G0's sparsity (and RCM ordering quality).
+    const linalg::SparseMatrix& g0 = model_->base_conductance();
+    linalg::SparseBuilder builder(g0.rows(), g0.cols());
+    const auto offsets = g0.row_offsets();
+    const auto cols = g0.col_indices();
+    const auto vals = g0.values();
+    for (std::size_t r = 0; r < g0.rows(); ++r)
+      for (std::size_t idx = offsets[r]; idx < offsets[r + 1]; ++idx)
+        builder.add(r, cols[idx], vals[idx]);
     const auto& c = model_->capacitance();
-    for (std::size_t i = 0; i < a.rows(); ++i)
-      a(i, i) += c[i] / transient_dt_s_;
+    for (std::size_t i = 0; i < g0.rows(); ++i)
+      builder.add_to_diagonal(i, c[i] / transient_dt_s_);
     transient_ = std::make_shared<const linalg::FactoredOperator>(
-        std::move(a), warm);
+        builder.build(), warm, backend);
   }
 }
 
@@ -50,9 +60,10 @@ std::size_t ThermalEngine::memory_bytes() const {
 }
 
 std::shared_ptr<const ThermalEngine> make_thermal_engine(
-    std::shared_ptr<const ChipThermalModel> model, double transient_dt_s) {
+    std::shared_ptr<const ChipThermalModel> model, double transient_dt_s,
+    linalg::SolveBackend backend) {
   return std::make_shared<const ThermalEngine>(std::move(model),
-                                               transient_dt_s);
+                                               transient_dt_s, backend);
 }
 
 SteadyStateSolver::SteadyStateSolver(

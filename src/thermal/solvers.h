@@ -35,9 +35,14 @@ class ThermalEngine {
  public:
   /// Factor the base matrices for `model`. transient_dt_s > 0 additionally
   /// builds the implicit-Euler operator at that substep length; 0 builds a
-  /// steady-only engine (enough for planning models).
-  explicit ThermalEngine(std::shared_ptr<const ChipThermalModel> model,
-                         double transient_dt_s = 0.0);
+  /// steady-only engine (enough for planning models). `backend` selects the
+  /// base factorization: the default (kAuto) RCM-reorders the network and
+  /// factors banded — O(n·b²) instead of O(n³), O(n·b) per solve — falling
+  /// back to dense only if the reordered bandwidth is not worth it.
+  explicit ThermalEngine(
+      std::shared_ptr<const ChipThermalModel> model,
+      double transient_dt_s = 0.0,
+      linalg::SolveBackend backend = linalg::SolveBackend::kAuto);
 
   ThermalEngine(const ThermalEngine&) = delete;
   ThermalEngine& operator=(const ThermalEngine&) = delete;
@@ -59,6 +64,11 @@ class ThermalEngine {
     return transient_;
   }
 
+  /// True when the base operators use the RCM-permuted banded backend.
+  bool banded() const { return steady_->banded(); }
+  /// RCM half-bandwidth of the permuted network (0 on the dense backend).
+  std::size_t bandwidth() const { return steady_->bandwidth(); }
+
   /// Rough resident footprint of the shared factored state.
   std::size_t memory_bytes() const;
 
@@ -71,7 +81,8 @@ class ThermalEngine {
 
 /// Convenience factory: shared engine over `model`.
 std::shared_ptr<const ThermalEngine> make_thermal_engine(
-    std::shared_ptr<const ChipThermalModel> model, double transient_dt_s = 0.0);
+    std::shared_ptr<const ChipThermalModel> model, double transient_dt_s = 0.0,
+    linalg::SolveBackend backend = linalg::SolveBackend::kAuto);
 
 class SteadyStateSolver {
  public:

@@ -93,6 +93,54 @@ TEST(Rcm, HandlesDisconnectedComponents) {
   EXPECT_EQ(perm.size(), 6u);
 }
 
+TEST(Rcm, SingleNodeAndEmptyGraphs) {
+  EXPECT_TRUE(linalg::reverse_cuthill_mckee(
+                  std::vector<std::vector<std::size_t>>{})
+                  .empty());
+  const auto one = linalg::reverse_cuthill_mckee(
+      std::vector<std::vector<std::size_t>>(1));
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0u);
+}
+
+TEST(Rcm, IsolatedNodesAmongComponentsAreAllOrdered) {
+  // Two path components plus two isolated nodes: every node must appear
+  // exactly once, and each path must still get bandwidth 1.
+  std::vector<std::vector<std::size_t>> graph(8);
+  graph[1] = {3};
+  graph[3] = {1, 6};
+  graph[6] = {3};
+  graph[2] = {7};
+  graph[7] = {2};
+  const auto perm = linalg::reverse_cuthill_mckee(graph);
+  ASSERT_EQ(perm.size(), 8u);
+  std::vector<bool> seen(8, false);
+  for (const std::size_t p : perm) {
+    ASSERT_LT(p, 8u);
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+  EXPECT_LE(linalg::bandwidth_under(graph, perm), 2u);
+}
+
+// Regression pin for the serving-path banded backend: if a floorplan or
+// network-builder change (or an RCM regression) pushes the default
+// 16-core chip's reordered half-bandwidth past the FactoredOperator
+// viability cutoff (3b < n), engines silently fall back to dense and the
+// BENCH_solver numbers no longer describe the shipped configuration.
+// Measured today: b = 173 of n = 608 (the 16 spreader hub nodes, degree
+// ~30, put a structural floor under the bandwidth).
+TEST(Rcm, DefaultChipNetworkBandwidthStaysBandable) {
+  const ChipThermalModel model(Floorplan::scc(4, 4),
+                               thermal::PackageParameters{},
+                               thermal::TecParameters{});
+  const auto graph = linalg::sparsity_graph(model.base_conductance());
+  const auto perm = linalg::reverse_cuthill_mckee(graph);
+  const std::size_t bw = linalg::bandwidth_under(graph, perm);
+  EXPECT_LE(bw, 200u);
+  EXPECT_LT(3 * bw, model.node_count());
+}
+
 TEST(Rcm, PermuteSymmetricRoundTrip) {
   Rng rng(3);
   linalg::DenseMatrix a(5, 5);

@@ -357,6 +357,167 @@ TEST(Banded, OutOfBandReadsZero) {
   EXPECT_THROW(a.at(0, 4), precondition_error);
 }
 
+// --------------------------------------------------------------- band lu
+BandMatrix random_band(std::size_t n, std::size_t kl, std::size_t ku,
+                       Rng& rng, bool diag_dominant = true) {
+  BandMatrix a(n, kl, ku);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      if (a.in_band(r, c)) a.at(r, c) = rng.uniform(-1.0, 1.0);
+  if (diag_dominant)
+    for (std::size_t r = 0; r < n; ++r)
+      a.at(r, r) = static_cast<double>(kl + ku) + 2.0;
+  return a;
+}
+
+class BandLuWidths
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(BandLuWidths, MatchesDenseLu) {
+  const auto [kl, ku] = GetParam();
+  Rng rng(kl * 31 + ku + 5);
+  const std::size_t n = 30;
+  const BandMatrix a = random_band(n, kl, ku, rng);
+  const BandLu lu(a);
+  const Vector b = random_vector(n, rng);
+  const Vector x = lu.solve(b);
+  const Vector x_dense = LuFactorization(a.to_dense()).solve(b);
+  EXPECT_LT(max_abs_diff(x, x_dense), 1e-10);
+  EXPECT_LT(residual_norm(a.to_dense(), x, b), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, BandLuWidths,
+    ::testing::Values(std::make_pair(0, 0), std::make_pair(1, 0),
+                      std::make_pair(0, 2), std::make_pair(1, 1),
+                      std::make_pair(4, 2), std::make_pair(7, 7)));
+
+TEST(BandLu, PivotsThroughZeroLeadingDiagonal) {
+  // a(0,0) = 0 forces a row interchange at the very first elimination
+  // step; an unpivoted factorization would divide by zero.
+  BandMatrix a(4, 1, 1);
+  a.at(0, 0) = 0.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 1.0;
+  a.at(1, 2) = -1.0;
+  a.at(2, 1) = 0.5;
+  a.at(2, 2) = 3.0;
+  a.at(2, 3) = 1.0;
+  a.at(3, 2) = -2.0;
+  a.at(3, 3) = 1.5;
+  const BandLu lu(a);
+  const Vector b = {1.0, -2.0, 0.5, 3.0};
+  const Vector x = lu.solve(b);
+  EXPECT_LT(residual_norm(a.to_dense(), x, b), 1e-12);
+}
+
+TEST(BandLu, SingularMatrixThrows) {
+  BandMatrix a(3, 1, 1);  // column 1 is identically zero
+  a.at(0, 0) = 1.0;
+  a.at(2, 2) = 1.0;
+  EXPECT_THROW(BandLu{a}, numerical_error);
+}
+
+TEST(BandLu, SolveInPlaceMatchesSolve) {
+  Rng rng(21);
+  const std::size_t n = 25;
+  const BandMatrix a = random_band(n, 3, 2, rng);
+  const BandLu lu(a);
+  const Vector b = random_vector(n, rng);
+  const Vector x = lu.solve(b);
+  Vector y = b;
+  lu.solve_in_place(y);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(y[i], x[i]);
+}
+
+TEST(BandLu, SolveMultiMatchesPerColumnSolves) {
+  Rng rng(22);
+  const std::size_t n = 31;
+  const BandMatrix a = random_band(n, 4, 3, rng);
+  const BandLu lu(a);
+  // More right-hand sides than the solve_multi block width, so the test
+  // crosses a block boundary.
+  const std::size_t m = 101;
+  DenseMatrix b(n, m);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < m; ++c) b(r, c) = rng.uniform(-2.0, 2.0);
+  DenseMatrix solved = b;
+  lu.solve_multi(solved);
+  // The blocked kernel scales by a precomputed reciprocal where the
+  // single-RHS path divides, so agreement is to rounding, not bit-exact.
+  for (std::size_t c = 0; c < m; ++c) {
+    Vector rhs(n);
+    for (std::size_t r = 0; r < n; ++r) rhs[r] = b(r, c);
+    const Vector x = lu.solve(rhs);
+    for (std::size_t r = 0; r < n; ++r)
+      EXPECT_NEAR(solved(r, c), x[r], 1e-12);
+  }
+}
+
+// --------------------------------------------------------- band cholesky
+BandMatrix random_spd_band(std::size_t n, std::size_t kd, Rng& rng) {
+  BandMatrix a(n, kd, kd);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < r; ++c)
+      if (a.in_band(r, c)) {
+        const double v = rng.uniform(-1.0, 1.0);
+        a.at(r, c) = v;
+        a.at(c, r) = v;
+      }
+  for (std::size_t r = 0; r < n; ++r)
+    a.at(r, r) = 2.0 * static_cast<double>(kd) + 2.0;
+  return a;
+}
+
+TEST(BandCholesky, MatchesDenseCholeskyOnSpdBand) {
+  Rng rng(31);
+  const std::size_t n = 28;
+  const BandMatrix a = random_spd_band(n, 4, rng);
+  const BandCholesky chol(a);
+  const Vector b = random_vector(n, rng);
+  const Vector x = chol.solve(b);
+  const Vector x_dense = CholeskyFactorization(a.to_dense()).solve(b);
+  EXPECT_LT(max_abs_diff(x, x_dense), 1e-11);
+  EXPECT_LT(residual_norm(a.to_dense(), x, b), 1e-11);
+}
+
+TEST(BandCholesky, RejectsIndefiniteAndAsymmetricBands) {
+  BandMatrix indefinite(3, 1, 1);
+  indefinite.at(0, 0) = 1.0;
+  indefinite.at(1, 1) = -2.0;  // negative pivot
+  indefinite.at(2, 2) = 1.0;
+  EXPECT_THROW(BandCholesky{indefinite}, numerical_error);
+  const BandMatrix lopsided(4, 2, 1);  // kl != ku cannot be symmetric
+  EXPECT_THROW(BandCholesky{lopsided}, precondition_error);
+}
+
+TEST(BandCholesky, SolveVariantsAgree) {
+  Rng rng(32);
+  const std::size_t n = 26;
+  const BandMatrix a = random_spd_band(n, 3, rng);
+  const BandCholesky chol(a);
+  const std::size_t m = 53;  // crosses the solve_multi block width
+  DenseMatrix b(n, m);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < m; ++c) b(r, c) = rng.uniform(-2.0, 2.0);
+  DenseMatrix solved = b;
+  chol.solve_multi(solved);
+  for (std::size_t c = 0; c < m; ++c) {
+    Vector rhs(n);
+    for (std::size_t r = 0; r < n; ++r) rhs[r] = b(r, c);
+    Vector in_place = rhs;
+    chol.solve_in_place(in_place);
+    const Vector x = chol.solve(rhs);
+    for (std::size_t r = 0; r < n; ++r) {
+      EXPECT_EQ(in_place[r], x[r]);  // solve() delegates to solve_in_place
+      // The blocked kernel scales by a reciprocal where the single-RHS
+      // path divides: agreement is to rounding, not bit-exact.
+      EXPECT_NEAR(solved(r, c), x[r], 1e-12);
+    }
+  }
+}
+
 // -------------------------------------------------------------- woodbury
 std::shared_ptr<const FactoredOperator> factor(const DenseMatrix& a0) {
   return std::make_shared<const FactoredOperator>(a0);
@@ -460,6 +621,148 @@ TEST(SharedOperator, ConcurrentWorkspacesAreRaceFreeAndBitExact) {
   // into the overflow cache.
   const std::vector<std::pair<std::size_t, double>> updates = {
       {2, 1.25}, {5, -0.3}, {9, 2.0}};
+
+  UpdateWorkspace reference(op);
+  reference.set_updates(updates);
+  const Vector expect = reference.solve(b);
+
+  constexpr int kThreads = 4;
+  constexpr int kRepeats = 8;
+  std::vector<Vector> results(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+      threads.emplace_back([&, i] {
+        UpdateWorkspace ws(op);
+        Vector x;
+        for (int r = 0; r < kRepeats; ++r) {
+          ws.set_updates(updates);
+          x = ws.solve(b);
+        }
+        results[static_cast<std::size_t>(i)] = std::move(x);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  for (const Vector& x : results) {
+    ASSERT_EQ(x.size(), expect.size());
+    for (std::size_t k = 0; k < n; ++k) EXPECT_EQ(x[k], expect[k]);
+  }
+  EXPECT_EQ(op->overflow_columns(), 1u);
+}
+
+// ---------------------------------------------------- backend equivalence
+/// A small RC-style network: a conductance path with a few cross links and
+/// a ground term per node. Symmetric positive definite and genuinely
+/// banded after RCM, like the chip thermal matrices.
+SparseMatrix path_network(std::size_t n, Rng& rng) {
+  SparseBuilder b(n, n);
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    b.add_conductance(i, i + 1, rng.uniform(0.5, 2.0));
+  for (std::size_t i = 0; i + 4 < n; i += 3)
+    b.add_conductance(i, i + 4, rng.uniform(0.1, 0.6));
+  for (std::size_t i = 0; i < n; ++i)
+    b.add_to_diagonal(i, rng.uniform(0.2, 1.0));
+  return b.build();
+}
+
+TEST(BackendEquivalence, BandedOperatorMatchesDense) {
+  Rng rng(55);
+  const std::size_t n = 40;
+  const SparseMatrix a0 = path_network(n, rng);
+  const std::vector<std::size_t> warm = {3, 7, 21};
+  const FactoredOperator dense(a0, warm, SolveBackend::kDense);
+  auto banded = std::make_shared<const FactoredOperator>(
+      a0, warm, SolveBackend::kBanded);
+  ASSERT_FALSE(dense.banded());
+  ASSERT_TRUE(banded->banded());
+  EXPECT_GT(banded->bandwidth(), 0u);
+  EXPECT_LT(banded->bandwidth(), n / 3);
+  // The permutation is a valid reordering of all nodes.
+  std::vector<bool> seen(n, false);
+  for (const std::size_t p : banded->permutation()) {
+    ASSERT_LT(p, n);
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+
+  const Vector b = random_vector(n, rng);
+  EXPECT_LT(max_abs_diff(dense.solve_base(b), banded->solve_base(b)), 1e-9);
+  for (const std::size_t node : warm)
+    EXPECT_LT(max_abs_diff(dense.inverse_column(node),
+                           banded->inverse_column(node)),
+              1e-9);
+
+  // Diagonal updates through both backends (Woodbury on top of either
+  // base factorization) stay within the equivalence tolerance too.
+  auto dense_op = std::make_shared<const FactoredOperator>(
+      a0, warm, SolveBackend::kDense);
+  UpdateWorkspace dense_ws(dense_op);
+  UpdateWorkspace banded_ws(banded);
+  const std::vector<std::pair<std::size_t, double>> updates = {
+      {3, 1.5}, {7, -0.25}, {21, 4.0}};
+  dense_ws.set_updates(updates);
+  banded_ws.set_updates(updates);
+  EXPECT_LT(max_abs_diff(dense_ws.solve(b), banded_ws.solve(b)), 1e-9);
+}
+
+TEST(BackendEquivalence, AutoFallsBackToDenseOnWideBands) {
+  // A complete graph has bandwidth n-1 under every ordering; kAuto must
+  // reject the band and keep the dense factorization.
+  Rng rng(56);
+  const std::size_t n = 12;
+  SparseBuilder b(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      b.add_conductance(i, j, rng.uniform(0.1, 1.0));
+  for (std::size_t i = 0; i < n; ++i) b.add_to_diagonal(i, 0.5);
+  const SparseMatrix a0 = b.build();
+  const FactoredOperator op(a0, {}, SolveBackend::kAuto);
+  EXPECT_FALSE(op.banded());
+  EXPECT_EQ(op.bandwidth(), 0u);
+  // A narrow network under the same policy picks the band.
+  const SparseMatrix narrow = path_network(24, rng);
+  const FactoredOperator auto_op(narrow, {}, SolveBackend::kAuto);
+  EXPECT_TRUE(auto_op.banded());
+}
+
+TEST(BackendEquivalence, AsymmetricSparseBaseUsesBandLu) {
+  // A non-symmetric base cannot use band Cholesky; the pivoted band LU
+  // must still produce the right answer.
+  Rng rng(57);
+  const std::size_t n = 30;
+  SparseBuilder b(n, n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    b.add(i, i + 1, rng.uniform(-0.5, 0.5));
+    b.add(i + 1, i, rng.uniform(-0.5, 0.5));
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    b.add(i, i, 3.0 + rng.uniform(0.0, 1.0));
+  const SparseMatrix a0 = b.build();
+  ASSERT_GT(a0.asymmetry(), 0.0);
+  const FactoredOperator banded(a0, {}, SolveBackend::kBanded);
+  ASSERT_TRUE(banded.banded());
+  const Vector rhs = random_vector(n, rng);
+  const Vector x = banded.solve_base(rhs);
+  EXPECT_LT(residual_norm(a0.to_dense(), x, rhs), 1e-10);
+}
+
+// Banded twin of the dense concurrency test above: the permuted-band
+// backend shares the same cold-column publication path, and the TSan leg
+// must prove it race-free with the solve arithmetic bit-exact across
+// workspaces.
+TEST(SharedOperator, BandedBackendIsRaceFreeAndBitExact) {
+  Rng rng(78);
+  const std::size_t n = 36;
+  const SparseMatrix a0 = path_network(n, rng);
+  const std::vector<std::size_t> warm = {2, 5};
+  auto op = std::make_shared<const FactoredOperator>(a0, warm,
+                                                     SolveBackend::kBanded);
+  ASSERT_TRUE(op->banded());
+  const Vector b = random_vector(n, rng);
+  const std::vector<std::pair<std::size_t, double>> updates = {
+      {2, 1.25}, {5, -0.3}, {9, 2.0}};  // node 9 is a cold column
 
   UpdateWorkspace reference(op);
   reference.set_updates(updates);

@@ -53,6 +53,19 @@ perf::WorkloadPtr small_workload(const std::string& bench = "cholesky") {
 }
 
 // ---------------------------------------------------------------- defaults
+TEST(Defaults, FullEngineUsesBandedBackend) {
+  // kAuto resolves to the RCM-permuted band factorization for the 16-core
+  // chip (the 2x2 test model correctly stays dense — its bandwidth is too
+  // wide relative to its size); the dense path remains an explicit
+  // override.
+  const ChipEnginePtr full = make_chip_engine(4, 4);
+  EXPECT_TRUE(full->thermal()->banded());
+  const ChipEnginePtr dense =
+      make_chip_engine(4, 4, 2e-3, 4, linalg::SolveBackend::kDense);
+  EXPECT_FALSE(dense->thermal()->banded());
+  EXPECT_FALSE(small_engine()->thermal()->banded());
+}
+
 TEST(Defaults, ModelBundleIsConsistent) {
   const ChipModels& m = small_models();
   ASSERT_NE(m.thermal, nullptr);

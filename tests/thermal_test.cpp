@@ -522,6 +522,56 @@ TEST(ThermalEngine, PreconditionsAreEnforced) {
   EXPECT_THROW(SteadyStateSolver{nullptr}, precondition_error);
 }
 
+TEST(ThermalEngine, DefaultBackendIsBandedForChipModels) {
+  // kAuto must land on the permuted-band path for the 16-core chip — the
+  // configuration every benchmark number describes. (The 2x2 test model is
+  // small enough that the cost model correctly keeps it dense.)
+  const auto engine = make_thermal_engine(full_model());
+  EXPECT_TRUE(engine->banded());
+  EXPECT_GT(engine->bandwidth(), 0u);
+  EXPECT_LT(3 * engine->bandwidth(), full_model()->node_count());
+  EXPECT_FALSE(
+      make_thermal_engine(full_model(), 0.0, linalg::SolveBackend::kDense)
+          ->banded());
+}
+
+// The acceptance gate for the banded default: dense and banded engines
+// must agree within 1e-9 K on the full 16-core model across a sweep of
+// airflow levels and TEC patterns, for steady-state solves and transient
+// steps alike.
+TEST(BackendEquivalence, EnginesAgreeAcrossKnobSweep) {
+  const double dt = 5e-4;
+  const auto dense =
+      make_thermal_engine(full_model(), dt, linalg::SolveBackend::kDense);
+  const auto banded =
+      make_thermal_engine(full_model(), dt, linalg::SolveBackend::kBanded);
+  ASSERT_FALSE(dense->banded());
+  ASSERT_TRUE(banded->banded());
+  const auto& m = *full_model();
+  SteadyStateSolver steady_dense(dense);
+  SteadyStateSolver steady_banded(banded);
+  TransientSolver plant_dense(dense);
+  TransientSolver plant_banded(banded);
+  const linalg::Vector power = uniform_power(m, 0.4);
+
+  for (const double airflow : {0.0, 25.0, 60.0}) {
+    for (int pattern = 0; pattern < 3; ++pattern) {
+      CoolingState state = m.make_cooling_state(airflow);
+      for (std::size_t t = 0; t < state.tec_on.size(); ++t)
+        state.tec_on[t] =
+            pattern == 0 ? 0 : (pattern == 1 ? 1 : (t % 3 == 0 ? 1 : 0));
+      const auto xd = steady_dense.solve(power, state);
+      const auto xb = steady_banded.solve(power, state);
+      EXPECT_LT(max_abs_diff(xd, xb), 1e-9)
+          << "steady airflow=" << airflow << " pattern=" << pattern;
+      const auto yd = plant_dense.step(xd, power, state);
+      const auto yb = plant_banded.step(xb, power, state);
+      EXPECT_LT(max_abs_diff(yd, yb), 1e-9)
+          << "transient airflow=" << airflow << " pattern=" << pattern;
+    }
+  }
+}
+
 TEST(FullModel, SteadySolveSaneTemperatures) {
   SteadyStateSolver solver(make_thermal_engine(full_model()));
   const auto& m = *full_model();

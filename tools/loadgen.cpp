@@ -180,7 +180,11 @@ class Client {
 };
 
 /// The repeated-key working set: equilibrium points across the benchmark x
-/// fan-level x TEC grid (deterministic, so every repeat is a cache hit).
+/// fan-level x DVFS x TEC x thread-count grid (deterministic, so repeats
+/// of a key are cache hits). The grid yields 4 x 8 x 4 x 2 x 2 = 1024
+/// distinct requests; asking for more keys wraps around. Small key counts
+/// stay on the original benchmark x fan corner so historical
+/// BENCH_serving.json runs remain comparable.
 std::vector<std::string> request_set(int keys) {
   const std::vector<std::string> workloads = {"cholesky", "lu", "fmm",
                                               "volrend"};
@@ -190,9 +194,13 @@ std::vector<std::string> request_set(int keys) {
     const std::string& wl = workloads[static_cast<std::size_t>(k) %
                                       workloads.size()];
     const int fan = (k / static_cast<int>(workloads.size())) % 8;
-    const bool tec = (k / 32) % 2 != 0;
+    const int dvfs = (k / 32) % 4;
+    const bool tec = (k / 128) % 2 != 0;
+    const int threads = (k / 256) % 2 != 0 ? 8 : 16;
     out.push_back("equilibrium workload=" + wl +
-                  " threads=16 fan=" + std::to_string(fan) +
+                  " threads=" + std::to_string(threads) +
+                  " fan=" + std::to_string(fan) +
+                  " dvfs=" + std::to_string(dvfs) +
                   (tec ? " tec=on" : ""));
   }
   return out;
