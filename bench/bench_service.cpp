@@ -1,8 +1,10 @@
 // Micro-benchmarks (google-benchmark) for the serving path: protocol
-// parse/canonicalize, LRU cache lookup, and a cached request through the
-// full Server::handle front-end. loadgen (tools/loadgen.cpp) measures the
-// same path end-to-end over TCP with concurrency; this pins down the
-// per-component costs.
+// parse/canonicalize, LRU cache lookup, a cached request through the full
+// Server::handle front-end, and the telemetry primitives (histogram
+// record, percentile extraction, `metrics` verb dump) so the cost of
+// instrumenting every request stays visibly cheap. loadgen
+// (tools/loadgen.cpp) measures the same path end-to-end over TCP with
+// concurrency; this pins down the per-component costs.
 #include <benchmark/benchmark.h>
 
 #include <string>
@@ -10,6 +12,7 @@
 #include "service/request.h"
 #include "service/result_cache.h"
 #include "service/server.h"
+#include "util/metrics.h"
 
 namespace {
 
@@ -83,6 +86,49 @@ void BM_ServerCachedLine(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ServerCachedLine);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  // The per-span cost the serving path pays for each stage measurement.
+  LatencyHistogram hist;
+  double us = 0.1;
+  for (auto _ : state) {
+    hist.record_us(us);
+    us = us < 1e6 ? us * 1.7 : 0.1;  // sweep the bucket range
+    benchmark::DoNotOptimize(hist);
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramPercentile(benchmark::State& state) {
+  LatencyHistogram hist;
+  for (int i = 0; i < 100000; ++i)
+    hist.record_us(0.3 * static_cast<double>(i % 5000));
+  const auto snap = hist.snapshot();
+  for (auto _ : state) {
+    double p99 = snap.percentile(99.0);
+    benchmark::DoNotOptimize(p99);
+  }
+}
+BENCHMARK(BM_HistogramPercentile);
+
+void BM_MetricsVerb(benchmark::State& state) {
+  // Full `metrics` dump over the line protocol (registry snapshot,
+  // percentile extraction for every stage, bucket serialization).
+  static service::Server* server = [] {
+    service::ServerOptions options;
+    options.workers = 1;
+    return new service::Server(options);
+  }();
+  bool quit = false;
+  const auto parsed = service::parse_request(kLine);
+  server->handle(parsed.request);  // populate the histograms
+  server->handle_line(kLine, &quit);
+  for (auto _ : state) {
+    std::string reply = server->handle_line("metrics", &quit);
+    benchmark::DoNotOptimize(reply);
+  }
+}
+BENCHMARK(BM_MetricsVerb);
 
 }  // namespace
 

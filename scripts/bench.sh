@@ -7,7 +7,11 @@
 #   BENCH_serving.json — tecfand miss-path run: the request working set is
 #                        much larger than the result cache and warm-up is
 #                        off, so nearly every request pays the cache-miss
-#                        compute the banded backend accelerates
+#                        compute the banded backend accelerates. The run
+#                        also embeds the server-side per-stage latency
+#                        histograms (`metrics` verb) and fails if the
+#                        server-reported hit p99 disagrees with the
+#                        client-observed one (--check-p99).
 #
 #   scripts/bench.sh                 # both benchmarks, 3 s loadgen run
 #   DURATION_S=10 scripts/bench.sh   # longer serving interval
@@ -24,4 +28,5 @@ cmake --build build-release -j"$JOBS" --target bench_solver loadgen
 ./build-release/tools/loadgen \
   --keys 1024 --cache 128 --no-warmup \
   --duration-s "${DURATION_S:-3}" \
+  --check-p99 \
   --out BENCH_serving.json

@@ -94,14 +94,14 @@ bool parse_int(const std::string& value, int& out) {
   return ec == std::errc() && ptr == last;
 }
 
+// Locale-independent: std::stod honours LC_NUMERIC, so under e.g. a German
+// locale "0.5" stops parsing at the '.' and deadline_ms misparses. The
+// from_chars FP overload always uses the C locale's decimal point.
 bool parse_double(const std::string& value, double& out) {
-  try {
-    std::size_t pos = 0;
-    out = std::stod(value, &pos);
-    return pos == value.size();
-  } catch (const std::exception&) {
-    return false;
-  }
+  const char* first = value.data();
+  const char* last = value.data() + value.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc() && ptr == last;
 }
 
 bool parse_bool(const std::string& value, bool& out) {
@@ -121,6 +121,7 @@ std::optional<RequestKind> kind_from_name(std::string_view name) {
   const std::string n = to_lower(name);
   if (n == "ping") return RequestKind::kPing;
   if (n == "stats") return RequestKind::kStats;
+  if (n == "metrics") return RequestKind::kMetrics;
   if (n == "quit") return RequestKind::kQuit;
   if (n == "equilibrium") return RequestKind::kEquilibrium;
   if (n == "run") return RequestKind::kRun;
@@ -134,6 +135,7 @@ bool key_allowed(RequestKind kind, const std::string& key) {
   switch (kind) {
     case RequestKind::kPing:
     case RequestKind::kStats:
+    case RequestKind::kMetrics:
     case RequestKind::kQuit:
       return false;
     case RequestKind::kEquilibrium:
@@ -165,6 +167,8 @@ std::string_view kind_name(RequestKind kind) {
       return "ping";
     case RequestKind::kStats:
       return "stats";
+    case RequestKind::kMetrics:
+      return "metrics";
     case RequestKind::kQuit:
       return "quit";
     case RequestKind::kEquilibrium:
@@ -248,6 +252,7 @@ std::string canonical_key(const Request& request) {
   switch (request.kind) {
     case RequestKind::kPing:
     case RequestKind::kStats:
+    case RequestKind::kMetrics:
     case RequestKind::kQuit:
       break;
     case RequestKind::kEquilibrium:

@@ -7,7 +7,7 @@
 //   run policy=tecfan workload=lu threads=16 fan=3
 //   sweep policy=fan+dvfs workload=fmm threads=16
 //   table1 workload=water threads=4
-//   ping | stats | quit
+//   ping | stats | metrics | quit
 //
 // A response is one line: `ok key=value ...`, `busy`, or
 // `error msg="..."`. Values containing spaces are double-quoted with
@@ -32,6 +32,7 @@ namespace tecfan::service {
 enum class RequestKind {
   kPing,
   kStats,
+  kMetrics,
   kQuit,
   kEquilibrium,
   kRun,

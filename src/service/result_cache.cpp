@@ -6,7 +6,8 @@
 
 namespace tecfan::service {
 
-ResultCache::ResultCache(std::size_t capacity, std::size_t shards) {
+ResultCache::ResultCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity) {
   TECFAN_REQUIRE(capacity > 0, "cache capacity must be positive");
   TECFAN_REQUIRE(shards > 0, "cache shard count must be positive");
   shards = std::min(shards, capacity);
@@ -57,7 +58,9 @@ ResultCache::Stats ResultCache::stats() const {
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
-  s.capacity = per_shard_capacity_ * shards_.size();
+  // The configured budget, not per_shard_capacity_ * shards: per-shard
+  // rounding would over-report (e.g. 1000 over 16 shards as 1008).
+  s.capacity = capacity_;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     s.size += shard->lru.size();

@@ -68,6 +68,9 @@ class ResultCache {
 
   Shard& shard_for(const std::string& key);
 
+  /// The capacity the caller asked for; stats() reports this, while
+  /// eviction enforces the rounded-up per-shard budget.
+  std::size_t capacity_ = 0;
   std::size_t per_shard_capacity_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> hits_{0};

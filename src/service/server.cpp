@@ -6,6 +6,8 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <future>
 #include <istream>
@@ -61,7 +63,14 @@ Server::Server(ServerOptions options)
     : options_(options),
       engine_(sim::make_chip_engine(options.tiles_x, options.tiles_y)),
       cache_(options.cache_capacity),
-      pool_(options.workers, options.queue_capacity),
+      hist_parse_(&metrics_.histogram("parse")),
+      hist_cache_probe_(&metrics_.histogram("cache_probe")),
+      hist_queue_wait_(&metrics_.histogram("queue_wait")),
+      hist_compute_(&metrics_.histogram("compute")),
+      hist_serialize_(&metrics_.histogram("serialize")),
+      hist_e2e_hit_(&metrics_.histogram("e2e_hit")),
+      hist_e2e_miss_(&metrics_.histogram("e2e_miss")),
+      pool_(options.workers, options.queue_capacity, hist_queue_wait_),
       started_at_(std::chrono::steady_clock::now()) {}
 
 Server::~Server() { stop(); }
@@ -81,16 +90,21 @@ Response Server::handle(const Request& request) {
     }
     case RequestKind::kStats:
       return stats_response();
+    case RequestKind::kMetrics:
+      return metrics_response();
     default:
       break;
   }
 
+  ScopedLatencyTimer probe(hist_cache_probe_);
   const std::string key = canonical_key(request);
   if (auto hit = cache_.get(key)) {
+    probe.stop();
     Response r = parse_response(*hit);
     r.cached = true;
     return r;
   }
+  probe.stop();
   Response r = execute(request);
   if (r.status == Response::Status::kOk) {
     cache_.put(key, serialize_response(r));
@@ -104,12 +118,15 @@ Response Server::dispatch(const Request& request) {
   // Serving fast path: answer cache hits on the session thread, without a
   // queue round-trip.
   requests_.fetch_add(1, std::memory_order_relaxed);
+  ScopedLatencyTimer probe(hist_cache_probe_);
   const std::string key = canonical_key(request);
   if (auto hit = cache_.get(key)) {
+    probe.stop();
     Response r = parse_response(*hit);
     r.cached = true;
     return r;
   }
+  probe.stop();
 
   auto deadline = std::chrono::steady_clock::time_point::max();
   const double deadline_ms = request.deadline_ms > 0
@@ -143,6 +160,9 @@ Response Server::dispatch(const Request& request) {
 
 Response Server::execute(const Request& request) {
   computes_.fetch_add(1, std::memory_order_relaxed);
+  // The compute span covers workspace construction, the simulation itself
+  // and response assembly — everything between dequeue and serialize.
+  ScopedLatencyTimer span(hist_compute_);
   try {
     // Per-compute workspace over the shared engine: microseconds to build,
     // nothing mutable crosses threads.
@@ -315,12 +335,46 @@ Response Server::stats_response() const {
   r.add("cache_size", static_cast<std::uint64_t>(s.cache.size));
   r.add("cache_hit_rate", s.cache.hit_rate());
   r.add("pool_executed", s.pool.executed);
+  r.add("pool_failed", s.pool.failed);
   r.add("pool_expired", s.pool.expired);
   r.add("pool_rejected", s.pool.rejected);
   r.add("pool_queued", static_cast<std::uint64_t>(s.pool.queued));
   r.add("workers", static_cast<std::uint64_t>(s.pool.workers));
   r.add("engine_bytes", static_cast<std::uint64_t>(s.engine_bytes));
   r.add("workspace_bytes", static_cast<std::uint64_t>(s.workspace_bytes));
+  return r;
+}
+
+Response Server::metrics_response() const {
+  Response r;
+  char buf[32];
+  const auto fmt = [&buf](double v) -> std::string {
+    if (std::isinf(v)) return "inf";
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+    return buf;
+  };
+  for (const auto& [name, snap] : metrics_.histograms()) {
+    r.add(name + "_count", snap.count);
+    r.add(name + "_p50_us", snap.percentile(50.0));
+    r.add(name + "_p90_us", snap.percentile(90.0));
+    r.add(name + "_p99_us", snap.percentile(99.0));
+    r.add(name + "_p999_us", snap.percentile(99.9));
+    r.add(name + "_mean_us", snap.mean_us());
+    r.add(name + "_max_us", snap.max_us);
+    // Non-empty buckets as `upper_bound_us:count` pairs — the full
+    // distribution, not just the extracted percentiles.
+    std::string buckets;
+    for (std::size_t i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+      if (snap.buckets[i] == 0) continue;
+      if (!buckets.empty()) buckets += ',';
+      buckets += fmt(LatencyHistogram::bucket_upper_us(i));
+      buckets += ':';
+      buckets += std::to_string(snap.buckets[i]);
+    }
+    r.add(name + "_buckets", buckets);
+  }
+  for (const auto& [name, value] : metrics_.counters()) r.add(name, value);
+  for (const auto& [name, value] : metrics_.gauges()) r.add(name, value);
   return r;
 }
 
@@ -340,8 +394,14 @@ Server::Stats Server::stats() const {
 }
 
 std::string Server::handle_line(const std::string& line, bool* quit) {
+  // Adjacent spans share clock reads (line start doubles as the parse
+  // start, the serialize end doubles as the end-to-end end) to keep the
+  // per-line instrumentation cost down.
+  const auto line_start = std::chrono::steady_clock::now();
   if (quit) *quit = false;
+  ScopedLatencyTimer parse_span(hist_parse_, line_start);
   ParsedRequest parsed = parse_request(line);
+  parse_span.stop();
   if (!parsed.ok) {
     requests_.fetch_add(1, std::memory_order_relaxed);
     errors_.fetch_add(1, std::memory_order_relaxed);
@@ -349,9 +409,20 @@ std::string Server::handle_line(const std::string& line, bool* quit) {
   }
   const Request& request = parsed.request;
   if (request.kind == RequestKind::kQuit && quit) *quit = true;
-  if (request.is_compute())
-    return serialize_response(dispatch(request));
-  return serialize_response(handle(request));
+  const Response response =
+      request.is_compute() ? dispatch(request) : handle(request);
+  const auto serialize_start = std::chrono::steady_clock::now();
+  std::string reply = serialize_response(response);
+  const auto line_end = std::chrono::steady_clock::now();
+  hist_serialize_->record(line_end - serialize_start);
+  // Hit/miss-split end-to-end span: only successful compute requests, so
+  // busy/error outcomes (tracked by counters) cannot skew the latency
+  // story.
+  if (request.is_compute() && response.status == Response::Status::kOk) {
+    (response.cached ? hist_e2e_hit_ : hist_e2e_miss_)
+        ->record(line_end - line_start);
+  }
+  return reply;
 }
 
 void Server::serve_pipe(std::istream& in, std::ostream& out) {

@@ -37,6 +37,7 @@
 #include "service/worker_pool.h"
 #include "sim/chip_engine.h"
 #include "sim/chip_simulator.h"
+#include "util/metrics.h"
 
 namespace tecfan::service {
 
@@ -95,7 +96,8 @@ class Server {
   struct Stats {
     std::uint64_t requests = 0;   // request lines accepted (any kind)
     std::uint64_t computes = 0;   // cache misses actually simulated
-    std::uint64_t errors = 0;     // error responses produced
+    std::uint64_t errors = 0;     // error responses produced (incl. failed
+                                  // computes and expired deadlines)
     ResultCache::Stats cache;
     WorkerPool::Stats pool;
     double uptime_s = 0.0;
@@ -110,6 +112,17 @@ class Server {
   const ServerOptions& options() const { return options_; }
   const sim::ChipEngine& engine() const { return *engine_; }
 
+  /// Per-stage serving-path telemetry. Histograms (all in microseconds):
+  ///   parse       — request line to parsed request (handle_line)
+  ///   cache_probe — canonical key build + result-cache lookup
+  ///   queue_wait  — worker-pool submit to dequeue (measured by the pool)
+  ///   compute     — workspace construction + simulation + response build
+  ///   serialize   — response struct to wire line
+  ///   e2e_hit     — whole handle_line span of ok cached compute requests
+  ///   e2e_miss    — whole handle_line span of ok computed requests
+  /// The `metrics` protocol verb dumps the same registry over the wire.
+  const MetricsRegistry& metrics() const { return metrics_; }
+
  private:
   /// Dispatch a parsed compute request through the worker pool and wait
   /// for its response (busy / deadline answered without computing).
@@ -122,6 +135,7 @@ class Server {
   Response do_sweep(sim::ChipSimulator& simulator, const Request& request);
   Response do_table1(sim::ChipSimulator& simulator, const Request& request);
   Response stats_response() const;
+  Response metrics_response() const;
 
   /// Base-scenario anchor (Table I protocol) for a workload, memoized:
   /// peak temperature defines the run/sweep threshold.
@@ -131,6 +145,16 @@ class Server {
   ServerOptions options_;
   sim::ChipEnginePtr engine_;
   ResultCache cache_;
+  // Declared (and so initialized) before pool_: the pool records its
+  // queue-wait span into a histogram owned by this registry.
+  MetricsRegistry metrics_;
+  LatencyHistogram* hist_parse_;
+  LatencyHistogram* hist_cache_probe_;
+  LatencyHistogram* hist_queue_wait_;
+  LatencyHistogram* hist_compute_;
+  LatencyHistogram* hist_serialize_;
+  LatencyHistogram* hist_e2e_hit_;
+  LatencyHistogram* hist_e2e_miss_;
   WorkerPool pool_;
 
   std::mutex base_mu_;

@@ -31,6 +31,9 @@ struct Task {
   /// steady_clock deadline; time_point::max() means none.
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
+  /// Stamped by WorkerPool::submit; dequeue-side telemetry measures the
+  /// queue-wait span (submit to dequeue) from it.
+  std::chrono::steady_clock::time_point enqueued_at{};
 
   bool expired(std::chrono::steady_clock::time_point now) const {
     return deadline < now;

@@ -7,8 +7,9 @@
 
 namespace tecfan::service {
 
-WorkerPool::WorkerPool(std::size_t workers, std::size_t queue_capacity)
-    : queue_(queue_capacity) {
+WorkerPool::WorkerPool(std::size_t workers, std::size_t queue_capacity,
+                       LatencyHistogram* queue_wait)
+    : queue_(queue_capacity), queue_wait_(queue_wait) {
   TECFAN_REQUIRE(workers > 0, "worker pool needs at least one worker");
   threads_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i)
@@ -24,6 +25,7 @@ bool WorkerPool::submit(std::function<void()> run,
   task.run = std::move(run);
   task.expire = std::move(on_expired);
   task.deadline = deadline;
+  task.enqueued_at = std::chrono::steady_clock::now();
   if (!queue_.try_push(std::move(task))) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     return false;
@@ -33,24 +35,27 @@ bool WorkerPool::submit(std::function<void()> run,
 
 void WorkerPool::shutdown(bool drain) {
   if (shut_down_.exchange(true)) return;
+  // Close before touching the backlog: once closed, no submit can be
+  // accepted, so a drop shutdown cannot race a late push past the
+  // cancellation sweep (it would have run silently after the drain).
+  queue_.close();
   if (!drain) {
-    // Cancel the backlog first so poppers see an empty, closed queue.
     for (Task& task : queue_.drain()) {
       expired_.fetch_add(1, std::memory_order_relaxed);
       if (task.expire) task.expire();
     }
+    // Queued tasks a worker popped between close() and drain() still run;
+    // they were accepted before the shutdown and the in-flight guarantee
+    // covers them.
   }
-  queue_.close();
   for (auto& t : threads_)
     if (t.joinable()) t.join();
-  if (drain) return;
-  // Tasks that raced into the queue between drain() and close() still get
-  // drained by the workers above (they run; acceptable for a drop shutdown).
 }
 
 WorkerPool::Stats WorkerPool::stats() const {
   Stats s;
   s.executed = executed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
   s.expired = expired_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.queued = queue_.size();
@@ -62,22 +67,26 @@ void WorkerPool::worker_loop() {
   for (;;) {
     std::optional<Task> task = queue_.pop();
     if (!task) return;  // closed and drained
-    if (task->expired(std::chrono::steady_clock::now())) {
+    const auto now = std::chrono::steady_clock::now();
+    if (queue_wait_) queue_wait_->record(now - task->enqueued_at);
+    if (task->expired(now)) {
       expired_.fetch_add(1, std::memory_order_relaxed);
       if (task->expire) task->expire();
       continue;
     }
     try {
       task->run();
+      executed_.fetch_add(1, std::memory_order_relaxed);
     } catch (const std::exception& e) {
       // Tasks are expected to capture their own failures into a response;
       // anything escaping here is a service-layer bug worth logging, but
-      // must not take the worker down.
+      // must not take the worker down — and must not count as executed.
+      failed_.fetch_add(1, std::memory_order_relaxed);
       TECFAN_LOG_ERROR << "service task threw: " << e.what();
     } catch (...) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
       TECFAN_LOG_ERROR << "service task threw a non-std exception";
     }
-    executed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

@@ -5,8 +5,14 @@
 // queue is full) rather than blocking the session thread, and tasks whose
 // deadline expired while queued have their `expire` continuation run on a
 // worker instead of the work itself. Shutdown is graceful by default:
-// accepted tasks finish, then the threads join. A drop shutdown cancels the
-// backlog by running each queued task's expire continuation.
+// accepted tasks finish, then the threads join. A drop shutdown closes the
+// queue first (so no late submit can slip past the cancellation) and then
+// cancels the backlog by running each queued task's expire continuation.
+//
+// Counter discipline: every submit() ends in exactly one of
+// executed / failed / expired / rejected, so
+//   executed + failed + expired + rejected == total submits
+// holds at quiescence (the conservation law the service tests pin).
 #pragma once
 
 #include <atomic>
@@ -18,12 +24,17 @@
 #include <vector>
 
 #include "service/task_queue.h"
+#include "util/metrics.h"
 
 namespace tecfan::service {
 
 class WorkerPool {
  public:
-  WorkerPool(std::size_t workers, std::size_t queue_capacity);
+  /// `queue_wait` (optional) receives the submit-to-dequeue latency of
+  /// every task a worker picks up, expired or not; it must outlive the
+  /// pool.
+  WorkerPool(std::size_t workers, std::size_t queue_capacity,
+             LatencyHistogram* queue_wait = nullptr);
   /// Graceful shutdown (drain).
   ~WorkerPool();
 
@@ -44,7 +55,8 @@ class WorkerPool {
   void shutdown(bool drain = true);
 
   struct Stats {
-    std::uint64_t executed = 0;  // tasks whose run() completed
+    std::uint64_t executed = 0;  // tasks whose run() returned normally
+    std::uint64_t failed = 0;    // tasks whose run() threw
     std::uint64_t expired = 0;   // tasks expired (deadline or cancelled)
     std::uint64_t rejected = 0;  // submits refused by backpressure
     std::size_t queued = 0;      // tasks currently waiting
@@ -58,9 +70,11 @@ class WorkerPool {
   void worker_loop();
 
   TaskQueue queue_;
+  LatencyHistogram* queue_wait_;  // may be null
   std::vector<std::thread> threads_;
   std::atomic<bool> shut_down_{false};
   std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> expired_{0};
   std::atomic<std::uint64_t> rejected_{0};
 };

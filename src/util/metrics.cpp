@@ -1,0 +1,164 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace tecfan {
+
+namespace {
+
+// Bucket upper bounds, computed once; bucket_index then needs no exp2 or
+// log2 on the record path.
+const std::array<double, LatencyHistogram::kBucketCount>& bucket_bounds() {
+  static const auto table = [] {
+    std::array<double, LatencyHistogram::kBucketCount> t{};
+    for (std::size_t i = 0; i + 1 < LatencyHistogram::kBucketCount; ++i)
+      t[i] = LatencyHistogram::kFirstBoundUs *
+             std::exp2(static_cast<double>(i) / 4.0);
+    t[LatencyHistogram::kBucketCount - 1] =
+        std::numeric_limits<double>::infinity();
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+double LatencyHistogram::bucket_upper_us(std::size_t i) {
+  if (i >= kBucketCount) return std::numeric_limits<double>::infinity();
+  return bucket_bounds()[i];
+}
+
+std::size_t LatencyHistogram::bucket_index(double us) {
+  if (!(us > kFirstBoundUs)) return 0;  // also catches NaN and negatives
+  // Smallest i with bound(i) >= us. bound(4e) = first * 2^e, so the
+  // answer lies in [4e, 4e+4] for e = floor(log2(us / first)) — read e
+  // straight off the exponent bits and walk at most four table entries.
+  // (floor may land one octave high when the division rounds up across a
+  // power of two; the octave below still starts strictly under `us`, so
+  // the start index never overshoots the answer.)
+  const double r = us / kFirstBoundUs;  // > 1, so normal (or +inf)
+  std::uint64_t bits;
+  std::memcpy(&bits, &r, sizeof bits);
+  const auto e = static_cast<std::size_t>((bits >> 52) & 0x7ff) - 1023;
+  std::size_t i = 4 * e;
+  if (i >= kBucketCount - 1) return kBucketCount - 1;
+  const auto& bounds = bucket_bounds();
+  while (i + 1 < kBucketCount && bounds[i] < us) ++i;
+  return i;
+}
+
+std::size_t LatencyHistogram::stripe_index() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned id = next.fetch_add(1);
+  return id % kStripes;
+}
+
+void LatencyHistogram::record_us(double us) {
+  if (us < 0.0 || std::isnan(us)) us = 0.0;
+  Stripe& stripe = stripes_[stripe_index()];
+  stripe.buckets[bucket_index(us)].fetch_add(1, std::memory_order_relaxed);
+  stripe.sum_us.fetch_add(us, std::memory_order_relaxed);
+  double seen = stripe.max_us.load(std::memory_order_relaxed);
+  while (us > seen && !stripe.max_us.compare_exchange_weak(
+                          seen, us, std::memory_order_relaxed)) {
+  }
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot s;
+  for (const Stripe& stripe : stripes_) {
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      const std::uint64_t n = stripe.buckets[i].load(std::memory_order_relaxed);
+      s.buckets[i] += n;
+      s.count += n;
+    }
+    s.sum_us += stripe.sum_us.load(std::memory_order_relaxed);
+    s.max_us =
+        std::max(s.max_us, stripe.max_us.load(std::memory_order_relaxed));
+  }
+  return s;
+}
+
+void LatencyHistogram::Snapshot::merge(const Snapshot& other) {
+  for (std::size_t i = 0; i < kBucketCount; ++i)
+    buckets[i] += other.buckets[i];
+  count += other.count;
+  sum_us += other.sum_us;
+  max_us = std::max(max_us, other.max_us);
+}
+
+double LatencyHistogram::Snapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target =
+      std::max(1.0, (p / 100.0) * static_cast<double>(count));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    if (buckets[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    const double lo = i == 0 ? 0.0 : bucket_upper_us(i - 1);
+    double hi = bucket_upper_us(i);
+    // The overflow bucket (and any bucket the observed maximum falls
+    // inside) clamps to the recorded max rather than the nominal bound.
+    if (!(hi < max_us)) hi = std::max(lo, max_us);
+    const double frac =
+        (target - before) / static_cast<double>(buckets[i]);
+    return lo + (hi - lo) * frac;
+  }
+  return max_us;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::counters()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, LatencyHistogram::Snapshot>>
+MetricsRegistry::histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, LatencyHistogram::Snapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_)
+    out.emplace_back(name, h->snapshot());
+  return out;
+}
+
+}  // namespace tecfan

@@ -1,0 +1,174 @@
+// Lock-cheap serving-path metrics: monotonic counters, gauges, and
+// fixed-bucket log-scale latency histograms.
+//
+// Recording is wait-free on the hot path — a Counter::inc or
+// LatencyHistogram::record_us touches a few relaxed atomics, so the
+// serving layer can instrument every request without a lock and without
+// per-thread aggregation machinery. The histogram is internally striped
+// (kStripes cache-line-aligned copies, picked by a thread-local id) so
+// concurrent session threads do not ping-pong the same bucket lines;
+// reading merges the stripes into a point-in-time Snapshot that supports
+// merging across histograms and percentile extraction by linear
+// interpolation inside the matched bucket.
+//
+// Bucket layout: kBucketCount geometric buckets with four sub-buckets per
+// octave (consecutive upper bounds differ by 2^(1/4) ≈ 1.19, so a
+// percentile read is exact to within one bucket, < ~9% around the
+// geometric midpoint). The first bucket catches everything at or below
+// kFirstBoundUs = 0.1 us and the last bucket is an unbounded overflow
+// whose percentile reads clamp to the recorded maximum; the finite range
+// therefore spans 0.1 us .. ~19 s, covering sub-microsecond cache probes
+// and multi-second sweep computes in one layout.
+//
+// The MetricsRegistry hands out get-or-create named instruments with
+// stable addresses (registration takes a mutex once; the returned
+// reference is then used lock-free), and dump-side accessors return
+// name-sorted snapshots for the `metrics` protocol verb and periodic
+// logging.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tecfan {
+
+/// Monotonic event counter (wait-free, relaxed).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket log-scale latency histogram; see the file comment for the
+/// bucket layout. Thread-safe for concurrent recorders and readers.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBucketCount = 112;
+  static constexpr double kFirstBoundUs = 0.1;
+  static constexpr std::size_t kStripes = 8;
+
+  /// Inclusive upper bound of bucket `i` in microseconds; the last bucket
+  /// returns +infinity.
+  static double bucket_upper_us(std::size_t i);
+
+  /// Index of the bucket a value lands in (values <= 0 land in bucket 0).
+  static std::size_t bucket_index(double us);
+
+  void record_us(double us);
+  void record(std::chrono::steady_clock::duration elapsed) {
+    record_us(std::chrono::duration<double, std::micro>(elapsed).count());
+  }
+
+  /// Point-in-time copy; mergeable and interrogable without touching the
+  /// live histogram again.
+  struct Snapshot {
+    std::array<std::uint64_t, kBucketCount> buckets{};
+    std::uint64_t count = 0;
+    double sum_us = 0.0;
+    double max_us = 0.0;
+
+    void merge(const Snapshot& other);
+
+    /// Linear-interpolation percentile, p in [0, 100]; 0 when empty. The
+    /// overflow bucket clamps to the recorded maximum.
+    double percentile(double p) const;
+    double mean_us() const {
+      return count ? sum_us / static_cast<double>(count) : 0.0;
+    }
+  };
+  Snapshot snapshot() const;
+
+ private:
+  // One stripe per recorder group: the bucket array plus the running
+  // sum/max, aligned so two stripes never share a cache line. The count
+  // is derived from the buckets at snapshot time (every record increments
+  // exactly one bucket), saving an atomic RMW per record.
+  struct alignas(64) Stripe {
+    std::array<std::atomic<std::uint64_t>, kBucketCount> buckets{};
+    std::atomic<double> sum_us{0.0};
+    std::atomic<double> max_us{0.0};
+  };
+  static std::size_t stripe_index();
+
+  std::array<Stripe, kStripes> stripes_{};
+};
+
+/// Records the elapsed time between construction and stop()/destruction
+/// into a histogram (no-op on a null histogram).
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(LatencyHistogram* histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+  /// Starts from a caller-supplied timestamp so adjacent spans can share
+  /// one clock read.
+  ScopedLatencyTimer(LatencyHistogram* histogram,
+                     std::chrono::steady_clock::time_point start)
+      : histogram_(histogram), start_(start) {}
+  ~ScopedLatencyTimer() { stop(); }
+
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+  void stop() {
+    if (!histogram_) return;
+    histogram_->record(std::chrono::steady_clock::now() - start_);
+    histogram_ = nullptr;
+  }
+
+ private:
+  LatencyHistogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Named instrument registry. counter()/gauge()/histogram() get-or-create
+/// under a mutex and return references that stay valid for the registry's
+/// lifetime; the dump accessors return name-sorted snapshots.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  LatencyHistogram& histogram(const std::string& name);
+
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+  std::vector<std::pair<std::string, LatencyHistogram::Snapshot>> histograms()
+      const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace tecfan

@@ -10,11 +10,16 @@
 
 #include <atomic>
 #include <chrono>
+#include <clocale>
 #include <condition_variable>
 #include <mutex>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "util/metrics.h"
 
 #include "service/request.h"
 #include "service/result_cache.h"
@@ -110,6 +115,40 @@ TEST(Protocol, RejectsMalformedInput) {
   }
 }
 
+TEST(Protocol, MetricsKindParses) {
+  const ParsedRequest p = parse_request("metrics");
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.request.kind, RequestKind::kMetrics);
+  EXPECT_FALSE(p.request.is_compute());
+  EXPECT_EQ(kind_name(RequestKind::kMetrics), "metrics");
+  // Control kinds take no keys (deadline_ms stays allowed).
+  EXPECT_FALSE(parse_request("metrics workload=lu").ok);
+  EXPECT_TRUE(parse_request("metrics deadline_ms=5").ok);
+}
+
+// Regression: parse_double used locale-dependent std::stod, so under a
+// comma-decimal LC_NUMERIC locale "deadline_ms=0.5" stopped parsing at
+// the '.' and was rejected. from_chars is locale-independent.
+TEST(Protocol, DeadlineParsingIsLocaleIndependent) {
+  const char* current = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string saved = current ? current : "C";
+  bool switched = false;
+  for (const char* name : {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8",
+                           "fr_FR.utf8", "de_DE", "fr_FR"}) {
+    if (std::setlocale(LC_NUMERIC, name)) {
+      switched = true;
+      break;
+    }
+  }
+  // The assertions hold with or without a comma-decimal locale installed;
+  // with one, they are the actual regression.
+  const ParsedRequest p = parse_request("equilibrium deadline_ms=0.5");
+  EXPECT_TRUE(p.ok) << p.error << (switched ? " (comma-decimal locale)" : "");
+  EXPECT_DOUBLE_EQ(p.request.deadline_ms, 0.5);
+  EXPECT_FALSE(parse_request("equilibrium deadline_ms=0,5").ok);
+  std::setlocale(LC_NUMERIC, saved.c_str());
+}
+
 TEST(Protocol, ResponseRoundTrips) {
   Response r;
   r.add("peak_t_c", 89.25);
@@ -188,6 +227,15 @@ TEST(ResultCache, CanonicalizedRequestsShareAnEntry) {
   auto hit = cache.get(canonical_key(b.request));
   ASSERT_TRUE(hit);
   EXPECT_EQ(*hit, "result");
+}
+
+// Regression: stats().capacity reported per_shard_capacity * shards, so
+// 1000 entries over 16 shards (ceil -> 63 each) read back as 1008.
+TEST(ResultCache, ReportsRequestedCapacityDespiteShardRounding) {
+  EXPECT_EQ(ResultCache(1000, 16).stats().capacity, 1000u);
+  EXPECT_EQ(ResultCache(10, 4).stats().capacity, 10u);
+  EXPECT_EQ(ResultCache(3, 8).stats().capacity, 3u);  // shards clamp to 3
+  EXPECT_EQ(ResultCache(4096, 8).stats().capacity, 4096u);
 }
 
 TEST(ResultCache, ClearEmptiesEveryShard) {
@@ -308,6 +356,107 @@ TEST(WorkerPool, ExpiredDeadlineRunsExpireContinuation) {
   EXPECT_EQ(pool.stats().expired, 1u);
 }
 
+// Regression: worker_loop incremented `executed` even when run() threw,
+// so a crashing task was indistinguishable from a served one.
+TEST(WorkerPool, ThrowingTasksCountAsFailedNotExecuted) {
+  WorkerPool pool(1, 8);
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.submit([&] { ++ran; }));
+  ASSERT_TRUE(pool.submit([] { throw std::runtime_error("task boom"); }));
+  ASSERT_TRUE(pool.submit([] { throw 42; }));  // non-std exception path
+  ASSERT_TRUE(pool.submit([&] { ++ran; }));
+  pool.shutdown(true);
+  EXPECT_EQ(ran.load(), 2);
+  const auto s = pool.stats();
+  EXPECT_EQ(s.executed, 2u);
+  EXPECT_EQ(s.failed, 2u);
+  EXPECT_EQ(s.expired, 0u);
+  EXPECT_EQ(s.rejected, 0u);
+}
+
+TEST(WorkerPool, RecordsQueueWaitIntoHistogram) {
+  tecfan::LatencyHistogram queue_wait;
+  {
+    WorkerPool pool(2, 16, &queue_wait);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 6; ++i)
+      ASSERT_TRUE(pool.submit([&] { ++ran; }));
+    pool.shutdown(true);
+    EXPECT_EQ(ran.load(), 6);
+  }
+  // Every dequeued task contributes one sample, expired ones included.
+  const auto snap = queue_wait.snapshot();
+  EXPECT_EQ(snap.count, 6u);
+  EXPECT_GE(snap.max_us, 0.0);
+}
+
+// Conservation law: every submit() ends in exactly one of executed /
+// failed / expired / rejected — including submits racing a drop shutdown
+// (the queue is closed before the backlog sweep, so a late push is
+// rejected rather than silently run). Runs under TSan in the tier-1 leg.
+TEST(WorkerPool, CountersConserveEverySubmitUnderDropShutdown) {
+  for (int round = 0; round < 3; ++round) {
+    WorkerPool pool(3, 8);
+    std::atomic<std::uint64_t> submits{0};
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 300;
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&pool, &submits, p] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          auto deadline = std::chrono::steady_clock::time_point::max();
+          if (i % 11 == 0)
+            deadline = std::chrono::steady_clock::now() -
+                       std::chrono::milliseconds(1);  // expires in queue
+          const bool throws = (p + i) % 149 == 0;
+          pool.submit(
+              [throws] {
+                if (throws) throw std::runtime_error("conservation boom");
+              },
+              [] {}, deadline);
+          submits.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    // Drop-shutdown races the producers on every round.
+    std::thread dropper([&pool] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      pool.shutdown(false);
+    });
+    for (auto& t : producers) t.join();
+    dropper.join();
+    const auto s = pool.stats();
+    EXPECT_EQ(s.executed + s.failed + s.expired + s.rejected, submits.load())
+        << "executed=" << s.executed << " failed=" << s.failed
+        << " expired=" << s.expired << " rejected=" << s.rejected;
+    EXPECT_EQ(s.queued, 0u);
+  }
+}
+
+// Regression for the drop-shutdown race: shutdown(false) must close the
+// queue before cancelling the backlog, so once any expiry has been
+// observed no further submit can be accepted (it would have run after
+// the cancellation sweep under the old drain-then-close order).
+TEST(WorkerPool, DropShutdownClosesQueueBeforeCancelling) {
+  WorkerPool pool(1, 8);
+  Gate gate;
+  std::atomic<int> cancelled{0};
+  ASSERT_TRUE(pool.submit([&] { gate.wait_open(); }));
+  gate.wait_entered();
+  for (int i = 0; i < 3; ++i)
+    ASSERT_TRUE(pool.submit([] {}, [&] { ++cancelled; }));
+
+  std::thread stopper([&] { pool.shutdown(false); });
+  while (pool.stats().expired < 3u) std::this_thread::sleep_for(1ms);
+  EXPECT_EQ(cancelled.load(), 3);
+  // The backlog has been cancelled, so the queue must already be closed.
+  EXPECT_FALSE(pool.submit([] {}));
+  EXPECT_EQ(pool.stats().rejected, 1u);
+  gate.release();
+  stopper.join();
+}
+
 TEST(WorkerPool, ManyProducersOneConsumerStaysConsistent) {
   WorkerPool pool(2, 64);
   std::atomic<int> ran{0};
@@ -408,6 +557,70 @@ TEST(Server, RunRequestProducesMetricsAndCaches) {
   ASSERT_EQ(again.status, Response::Status::kOk);
   EXPECT_TRUE(again.cached);
   EXPECT_EQ(r.field("energy_j"), again.field("energy_j"));
+}
+
+// The serving-path telemetry end to end: a pipe session with a miss, a
+// hit and a `metrics` request must produce per-stage histograms whose
+// counts match what the session actually did, with the cached path
+// reading far below the computed path.
+TEST(Server, MetricsVerbReportsStageHistograms) {
+  Server server(small_server_options());
+  std::istringstream in(
+      "equilibrium workload=water threads=4 fan=1\n"
+      "equilibrium workload=water threads=4 fan=1\n"
+      "metrics\n"
+      "stats\n"
+      "quit\n");
+  std::ostringstream out;
+  server.serve_pipe(in, out);
+
+  std::istringstream lines(out.str());
+  std::string l1, l2, l3, l4;
+  ASSERT_TRUE(std::getline(lines, l1));
+  ASSERT_TRUE(std::getline(lines, l2));
+  ASSERT_TRUE(std::getline(lines, l3));
+  ASSERT_TRUE(std::getline(lines, l4));
+  const Response metrics = parse_response(l3);
+  ASSERT_EQ(metrics.status, Response::Status::kOk) << l3;
+
+  const auto field_double = [&metrics](const std::string& key) {
+    auto v = metrics.field(key);
+    EXPECT_TRUE(v) << "missing field " << key;
+    return v ? std::stod(*v) : -1.0;
+  };
+  // 5 lines parsed, 1 compute dispatched through the pool, 2 cache
+  // probes (1 miss + 1 hit), every response serialized.
+  EXPECT_GE(field_double("parse_count"), 3.0);
+  EXPECT_EQ(field_double("cache_probe_count"), 2.0);
+  EXPECT_EQ(field_double("queue_wait_count"), 1.0);
+  EXPECT_EQ(field_double("compute_count"), 1.0);
+  EXPECT_GE(field_double("serialize_count"), 2.0);
+  EXPECT_EQ(field_double("e2e_hit_count"), 1.0);
+  EXPECT_EQ(field_double("e2e_miss_count"), 1.0);
+  // The cached round trip skips the simulator entirely: its end-to-end
+  // latency must sit far below the computed one.
+  EXPECT_LT(field_double("e2e_hit_p50_us"), field_double("e2e_miss_p50_us"));
+  // Percentile extraction is wired through (p50 <= p99 <= max).
+  EXPECT_LE(field_double("compute_p50_us"), field_double("compute_p99_us"));
+  EXPECT_LE(field_double("compute_p99_us"),
+            field_double("compute_max_us") * 1.2);
+  // The bucket dump carries the full distribution: `upper_us:count`.
+  const auto buckets = metrics.field("compute_buckets");
+  ASSERT_TRUE(buckets);
+  EXPECT_NE(buckets->find(':'), std::string::npos);
+  // Server::metrics() exposes the same registry programmatically.
+  bool saw_compute = false;
+  for (const auto& [name, snap] : server.metrics().histograms())
+    if (name == "compute") {
+      saw_compute = true;
+      EXPECT_EQ(snap.count, 1u);
+    }
+  EXPECT_TRUE(saw_compute);
+
+  // stats grew the pool_failed counter (counter audit).
+  const Response stats = parse_response(l4);
+  ASSERT_EQ(stats.status, Response::Status::kOk) << l4;
+  EXPECT_EQ(stats.field("pool_failed"), std::optional<std::string>("0"));
 }
 
 TEST(Server, UnknownPolicyAndWorkloadAreErrors) {

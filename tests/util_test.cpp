@@ -4,10 +4,12 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "util/csv.h"
 #include "util/error.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -279,6 +281,162 @@ TEST(Parallel, WorkerOverride) {
   EXPECT_EQ(parallel_workers(), 2u);
   set_parallel_workers(0);
   EXPECT_GE(parallel_workers(), 1u);
+}
+
+// --------------------------------------------------------------- metrics
+TEST(Metrics, CounterAndGaugeBasics) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(3.25);
+  EXPECT_DOUBLE_EQ(g.value(), 3.25);
+}
+
+TEST(Metrics, HistogramBucketBoundsAreMonotone) {
+  double prev = 0.0;
+  for (std::size_t i = 0; i + 1 < LatencyHistogram::kBucketCount; ++i) {
+    const double bound = LatencyHistogram::bucket_upper_us(i);
+    EXPECT_GT(bound, prev) << "bucket " << i;
+    prev = bound;
+  }
+  EXPECT_TRUE(std::isinf(
+      LatencyHistogram::bucket_upper_us(LatencyHistogram::kBucketCount - 1)));
+  // Every value lands in the bucket whose bound covers it.
+  for (double us : {0.0, 0.05, 0.1, 1.0, 37.5, 1e4, 1e6, 1e9}) {
+    const std::size_t i = LatencyHistogram::bucket_index(us);
+    EXPECT_GE(LatencyHistogram::bucket_upper_us(i), us);
+    if (i > 0) {
+      EXPECT_LT(LatencyHistogram::bucket_upper_us(i - 1), us);
+    }
+  }
+}
+
+TEST(Metrics, EmptyHistogramReadsZero) {
+  const auto snap = LatencyHistogram{}.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(99.9), 0.0);
+  EXPECT_DOUBLE_EQ(snap.mean_us(), 0.0);
+}
+
+TEST(Metrics, HistogramSingleValueStaysWithinBucketResolution) {
+  LatencyHistogram hist;
+  hist.record_us(100.0);
+  const auto snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.max_us, 100.0);
+  // One geometric bucket spans a factor of 2^(1/4): any percentile of a
+  // single sample must read inside that bucket.
+  for (double p : {50.0, 90.0, 99.0, 99.9}) {
+    EXPECT_GT(snap.percentile(p), 100.0 / 1.2) << p;
+    EXPECT_LE(snap.percentile(p), 100.0 * 1.2) << p;
+  }
+}
+
+TEST(Metrics, HistogramPercentilesTrackUniformSamples) {
+  LatencyHistogram hist;
+  for (int i = 1; i <= 10000; ++i) hist.record_us(static_cast<double>(i));
+  const auto snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 10000u);
+  EXPECT_NEAR(snap.mean_us(), 5000.5, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max_us, 10000.0);
+  EXPECT_NEAR(snap.percentile(50.0), 5000.0, 0.1 * 5000.0);
+  EXPECT_NEAR(snap.percentile(90.0), 9000.0, 0.1 * 9000.0);
+  EXPECT_NEAR(snap.percentile(99.0), 9900.0, 0.1 * 9900.0);
+  // Percentiles are monotone and bounded by the recorded maximum.
+  double prev = 0.0;
+  for (double p : {10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    const double v = snap.percentile(p);
+    EXPECT_GE(v, prev);
+    EXPECT_LE(v, snap.max_us);
+    prev = v;
+  }
+}
+
+TEST(Metrics, HistogramOverflowBucketClampsToRecordedMax) {
+  LatencyHistogram hist;
+  hist.record_us(5e8);  // 500 s, beyond the finite bucket range
+  const auto snap = hist.snapshot();
+  EXPECT_DOUBLE_EQ(snap.percentile(99.0), 5e8);
+  EXPECT_DOUBLE_EQ(snap.max_us, 5e8);
+}
+
+TEST(Metrics, HistogramMergeMatchesCombinedRecording) {
+  LatencyHistogram low, high, combined;
+  for (int i = 1; i <= 500; ++i) {
+    low.record_us(static_cast<double>(i));
+    combined.record_us(static_cast<double>(i));
+  }
+  for (int i = 501; i <= 1000; ++i) {
+    high.record_us(static_cast<double>(i));
+    combined.record_us(static_cast<double>(i));
+  }
+  auto merged = low.snapshot();
+  merged.merge(high.snapshot());
+  const auto expected = combined.snapshot();
+  EXPECT_EQ(merged.count, expected.count);
+  EXPECT_DOUBLE_EQ(merged.sum_us, expected.sum_us);
+  EXPECT_DOUBLE_EQ(merged.max_us, expected.max_us);
+  EXPECT_EQ(merged.buckets, expected.buckets);
+  for (double p : {50.0, 90.0, 99.0})
+    EXPECT_DOUBLE_EQ(merged.percentile(p), expected.percentile(p));
+}
+
+TEST(Metrics, RegistryHandsOutStableNamedInstruments) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("requests");
+  Counter& b = registry.counter("requests");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(registry.counters().size(), 1u);
+  EXPECT_EQ(registry.counters()[0].second, 3u);
+
+  LatencyHistogram& h = registry.histogram("parse");
+  h.record_us(2.0);
+  EXPECT_EQ(&registry.histogram("parse"), &h);
+  const auto hists = registry.histograms();
+  ASSERT_EQ(hists.size(), 1u);
+  EXPECT_EQ(hists[0].first, "parse");
+  EXPECT_EQ(hists[0].second.count, 1u);
+
+  registry.gauge("load").set(0.5);
+  EXPECT_DOUBLE_EQ(registry.gauges()[0].second, 0.5);
+}
+
+// Concurrent recorders against one registry: relaxed atomics must not
+// lose events, and get-or-create must be safe against racing lookups.
+// Runs under TSan in the tier-1 leg.
+TEST(MetricsRegistry, ConcurrentRecordersStayExact) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        registry.counter("events").inc();
+        registry.histogram("span").record_us(
+            static_cast<double>(1 + (t * kPerThread + i) % 1000));
+        if (i % 64 == 0) registry.gauge("load").set(static_cast<double>(t));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(registry.counters()[0].second,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const auto snap = registry.histograms()[0].second;
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+  EXPECT_DOUBLE_EQ(snap.max_us, 1000.0);
 }
 
 }  // namespace

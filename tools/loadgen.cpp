@@ -42,6 +42,7 @@ struct Args {
   std::size_t queue = 64;
   std::size_t cache = 4096;
   bool warmup = true;
+  bool check_p99 = false;
   std::string out = "BENCH_serving.json";
   bool help = false;
 };
@@ -51,7 +52,7 @@ void usage() {
       stderr,
       "usage: loadgen [--port N] [--connections C] [--duration-s S]\n"
       "               [--keys K] [--workers N] [--queue N] [--cache N]\n"
-      "               [--no-warmup] [--out FILE]\n"
+      "               [--no-warmup] [--check-p99] [--out FILE]\n"
       "  --port N         target an external tecfand (default: in-process)\n"
       "  --connections C  closed-loop client connections (default 4)\n"
       "  --duration-s S   measured interval (default 3)\n"
@@ -61,6 +62,8 @@ void usage() {
       "  --queue N        in-process pending-request bound (64)\n"
       "  --cache N        in-process result cache capacity (4096)\n"
       "  --no-warmup      skip the cache-priming pass\n"
+      "  --check-p99      exit non-zero when the server-side e2e hit p99\n"
+      "                   disagrees with the client-side hit p99\n"
       "  --out FILE       JSON report path (BENCH_serving.json)\n");
 }
 
@@ -100,6 +103,8 @@ bool parse(int argc, char** argv, Args& out) {
       out.cache = static_cast<std::size_t>(std::atoi(v));
     } else if (a == "--no-warmup") {
       out.warmup = false;
+    } else if (a == "--check-p99") {
+      out.check_p99 = true;
     } else if (a == "--out") {
       const char* v = next(i);
       if (!v) return false;
@@ -211,6 +216,38 @@ double get_field(const service::Response& r, const char* key) {
   return 0.0;
 }
 
+/// The serving-path stage histograms the server exports via `metrics`,
+/// in pipeline order (see Server::metrics()).
+const char* const kStages[] = {"parse",     "cache_probe", "queue_wait",
+                               "compute",   "serialize",   "e2e_hit",
+                               "e2e_miss"};
+
+/// One stage's summary pulled out of a `metrics` response.
+struct StageSummary {
+  double count = 0.0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double mean_us = 0.0;
+  double max_us = 0.0;
+  std::string buckets;  // "upper_us:count,..." (may be empty)
+};
+
+StageSummary stage_summary(const service::Response& metrics,
+                           const std::string& stage) {
+  StageSummary s;
+  s.count = get_field(metrics, (stage + "_count").c_str());
+  s.p50_us = get_field(metrics, (stage + "_p50_us").c_str());
+  s.p90_us = get_field(metrics, (stage + "_p90_us").c_str());
+  s.p99_us = get_field(metrics, (stage + "_p99_us").c_str());
+  s.p999_us = get_field(metrics, (stage + "_p999_us").c_str());
+  s.mean_us = get_field(metrics, (stage + "_mean_us").c_str());
+  s.max_us = get_field(metrics, (stage + "_max_us").c_str());
+  if (auto b = metrics.field(stage + "_buckets")) s.buckets = *b;
+  return s;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -263,19 +300,25 @@ int main(int argc, char** argv) {
                  std::chrono::duration<double>(Clock::now() - t0).count());
   }
 
-  // Measured closed-loop interval.
+  // Measured closed-loop interval. Replies are classified client-side:
+  // `ok cached=1 ...` round trips are cache hits, plain `ok` are misses,
+  // so the client-side percentiles can be cross-checked against the
+  // server's hit/miss-split e2e histograms.
+  struct PerConn {
+    std::vector<double> all;   // every completed (non-busy) round trip
+    std::vector<double> hit;   // ok, served from the result cache
+    std::vector<double> miss;  // ok, computed
+    std::uint64_t busy = 0;
+  };
   std::atomic<bool> stop{false};
-  std::vector<std::vector<double>> latencies(
-      static_cast<std::size_t>(args.connections));
-  std::vector<std::uint64_t> busies(static_cast<std::size_t>(args.connections),
-                                    0);
+  std::vector<PerConn> per_conn(static_cast<std::size_t>(args.connections));
   std::vector<std::thread> clients;
   const auto start = Clock::now();
   for (int c = 0; c < args.connections; ++c) {
     clients.emplace_back([&, c] {
       Client client;
       if (!client.connect_to(port)) return;
-      auto& lat = latencies[static_cast<std::size_t>(c)];
+      PerConn& mine = per_conn[static_cast<std::size_t>(c)];
       std::size_t i = static_cast<std::size_t>(c);  // stagger the rotation
       while (!stop.load(std::memory_order_relaxed)) {
         const std::string& req = requests[i++ % requests.size()];
@@ -284,11 +327,17 @@ int main(int argc, char** argv) {
         const auto t1 = Clock::now();
         if (reply.empty()) break;
         if (reply == "busy") {
-          ++busies[static_cast<std::size_t>(c)];
+          ++mine.busy;
           continue;
         }
-        lat.push_back(
-            std::chrono::duration<double, std::micro>(t1 - t0).count());
+        const double us =
+            std::chrono::duration<double, std::micro>(t1 - t0).count();
+        mine.all.push_back(us);
+        if (reply.rfind("ok cached=1", 0) == 0) {
+          mine.hit.push_back(us);
+        } else if (reply.rfind("ok", 0) == 0) {
+          mine.miss.push_back(us);
+        }
       }
     });
   }
@@ -298,19 +347,25 @@ int main(int argc, char** argv) {
   const double elapsed =
       std::chrono::duration<double>(Clock::now() - start).count();
 
-  std::vector<double> all;
+  std::vector<double> all, hits, misses;
   std::uint64_t busy_total = 0;
-  for (const auto& per_conn : latencies)
-    all.insert(all.end(), per_conn.begin(), per_conn.end());
-  for (std::uint64_t b : busies) busy_total += b;
+  for (const auto& conn : per_conn) {
+    all.insert(all.end(), conn.all.begin(), conn.all.end());
+    hits.insert(hits.end(), conn.hit.begin(), conn.hit.end());
+    misses.insert(misses.end(), conn.miss.begin(), conn.miss.end());
+    busy_total += conn.busy;
+  }
   if (all.empty()) {
     std::fprintf(stderr, "loadgen: no requests completed\n");
     return 1;
   }
 
-  // Server-side cache and memory statistics.
+  // Server-side cache/memory statistics and the per-stage latency
+  // histograms accumulated during the run.
   double hit_rate = 0.0, cache_hits = 0.0, cache_misses = 0.0;
   double workers = 0.0, engine_bytes = 0.0, workspace_bytes = 0.0;
+  service::Response server_metrics;
+  bool have_metrics = false;
   {
     Client statc;
     if (statc.connect_to(port)) {
@@ -322,6 +377,9 @@ int main(int argc, char** argv) {
       workers = get_field(stats, "workers");
       engine_bytes = get_field(stats, "engine_bytes");
       workspace_bytes = get_field(stats, "workspace_bytes");
+      server_metrics = service::parse_response(statc.round_trip("metrics"));
+      have_metrics =
+          server_metrics.status == service::Response::Status::kOk;
       statc.round_trip("quit");
     }
   }
@@ -331,6 +389,26 @@ int main(int argc, char** argv) {
   const double p50 = percentile(all, 50.0);
   const double p99 = percentile(all, 99.0);
   const double mean_us = mean(all);
+  const double client_hit_p50 = hits.empty() ? 0.0 : percentile(hits, 50.0);
+  const double client_hit_p99 = hits.empty() ? 0.0 : percentile(hits, 99.0);
+  const double client_miss_p50 =
+      misses.empty() ? 0.0 : percentile(misses, 50.0);
+  const double client_miss_p99 =
+      misses.empty() ? 0.0 : percentile(misses, 99.0);
+
+  // Cross-check: the server's e2e_hit span is a strict subset of the
+  // client's hit round trip, so its p99 must not exceed the client-side
+  // hit p99 plus slack for histogram bucket resolution (~19% per bucket)
+  // and scheduling jitter. A violation means the spans are mislabelled or
+  // a stage is unaccounted for.
+  const StageSummary server_hit =
+      have_metrics ? stage_summary(server_metrics, "e2e_hit") : StageSummary{};
+  const bool crosscheck_applicable = have_metrics && !hits.empty() &&
+                                     server_hit.count > 0;
+  const double crosscheck_bound_us = client_hit_p99 * 1.25 + 10.0;
+  const bool crosscheck_pass =
+      crosscheck_applicable && server_hit.p99_us > 0.0 &&
+      server_hit.p99_us <= crosscheck_bound_us;
 
   std::printf("== serving-path benchmark (loadgen) ==\n");
   std::printf("connections       %d\n", args.connections);
@@ -343,8 +421,28 @@ int main(int argc, char** argv) {
   std::printf("latency mean      %.1f us\n", mean_us);
   std::printf("latency p50       %.1f us\n", p50);
   std::printf("latency p99       %.1f us\n", p99);
+  if (!hits.empty())
+    std::printf("hit p50/p99       %.1f / %.1f us (%zu round trips)\n",
+                client_hit_p50, client_hit_p99, hits.size());
+  if (!misses.empty())
+    std::printf("miss p50/p99      %.1f / %.1f us (%zu round trips)\n",
+                client_miss_p50, client_miss_p99, misses.size());
   std::printf("cache hit rate    %.1f %%\n", 100.0 * hit_rate);
   std::printf("workers           %.0f\n", workers);
+  if (have_metrics) {
+    std::printf("server stages     (count / p50 / p99 / max us)\n");
+    for (const char* stage : kStages) {
+      const StageSummary s = stage_summary(server_metrics, stage);
+      if (s.count == 0) continue;
+      std::printf("  %-12s    %.0f / %.1f / %.1f / %.1f\n", stage, s.count,
+                  s.p50_us, s.p99_us, s.max_us);
+    }
+  }
+  if (crosscheck_applicable)
+    std::printf("p99 cross-check   server e2e_hit %.1f us vs client hit "
+                "%.1f us (bound %.1f us) [%s]\n",
+                server_hit.p99_us, client_hit_p99, crosscheck_bound_us,
+                crosscheck_pass ? "ok" : "FAIL");
   std::printf("engine memory     %.2f MiB (shared, one copy)\n",
               engine_bytes / (1024.0 * 1024.0));
   std::printf("workspace memory  %.1f KiB (per worker, max observed)\n",
@@ -368,13 +466,46 @@ int main(int argc, char** argv) {
          << "  \"latency_mean_us\": " << mean_us << ",\n"
          << "  \"latency_p50_us\": " << p50 << ",\n"
          << "  \"latency_p99_us\": " << p99 << ",\n"
+         << "  \"client_hits\": " << hits.size() << ",\n"
+         << "  \"client_misses\": " << misses.size() << ",\n"
+         << "  \"latency_hit_p50_us\": " << client_hit_p50 << ",\n"
+         << "  \"latency_hit_p99_us\": " << client_hit_p99 << ",\n"
+         << "  \"latency_miss_p50_us\": " << client_miss_p50 << ",\n"
+         << "  \"latency_miss_p99_us\": " << client_miss_p99 << ",\n"
          << "  \"cache_hits\": " << cache_hits << ",\n"
          << "  \"cache_misses\": " << cache_misses << ",\n"
          << "  \"cache_hit_rate\": " << hit_rate << ",\n"
          << "  \"workers\": " << workers << ",\n"
          << "  \"engine_bytes\": " << engine_bytes << ",\n"
          << "  \"workspace_bytes\": " << workspace_bytes << ",\n"
-         << "  \"process_rss_bytes\": " << rss_bytes << "\n"
+         << "  \"process_rss_bytes\": " << rss_bytes << ",\n";
+    json << "  \"p99_crosscheck\": {\n"
+         << "    \"applicable\": " << (crosscheck_applicable ? "true" : "false")
+         << ",\n"
+         << "    \"server_e2e_hit_p99_us\": " << server_hit.p99_us << ",\n"
+         << "    \"client_hit_p99_us\": " << client_hit_p99 << ",\n"
+         << "    \"bound_us\": " << crosscheck_bound_us << ",\n"
+         << "    \"pass\": " << (crosscheck_pass ? "true" : "false") << "\n"
+         << "  },\n";
+    json << "  \"server_metrics\": {";
+    bool first = true;
+    for (const char* stage : kStages) {
+      const StageSummary s =
+          have_metrics ? stage_summary(server_metrics, stage) : StageSummary{};
+      json << (first ? "\n" : ",\n");
+      first = false;
+      json << "    \"" << stage << "\": {\n"
+           << "      \"count\": " << s.count << ",\n"
+           << "      \"p50_us\": " << s.p50_us << ",\n"
+           << "      \"p90_us\": " << s.p90_us << ",\n"
+           << "      \"p99_us\": " << s.p99_us << ",\n"
+           << "      \"p999_us\": " << s.p999_us << ",\n"
+           << "      \"mean_us\": " << s.mean_us << ",\n"
+           << "      \"max_us\": " << s.max_us << ",\n"
+           << "      \"buckets\": \"" << s.buckets << "\"\n"
+           << "    }";
+    }
+    json << "\n  }\n"
          << "}\n";
     std::fprintf(stderr, "loadgen: wrote %s\n", args.out.c_str());
   }
@@ -382,6 +513,14 @@ int main(int argc, char** argv) {
   if (local) {
     local->stop();
     if (serve_thread.joinable()) serve_thread.join();
+  }
+  if (args.check_p99 && !crosscheck_pass) {
+    std::fprintf(stderr,
+                 crosscheck_applicable
+                     ? "loadgen: p99 cross-check FAILED\n"
+                     : "loadgen: p99 cross-check has no data (no cache-hit "
+                       "round trips or no server metrics)\n");
+    return 1;
   }
   return 0;
 }

@@ -17,12 +17,16 @@
 //   ok uptime_s=... cache_hits=... ...
 //   quit
 //   ok bye=1
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "service/server.h"
+#include "util/metrics.h"
 
 namespace {
 
@@ -33,6 +37,7 @@ struct Args {
   std::size_t queue = 64;
   std::size_t cache = 4096;
   double deadline_ms = 0.0;
+  double metrics_interval_s = 0.0;  // 0 = no periodic logging
   bool help = false;
 };
 
@@ -40,13 +45,36 @@ void usage() {
   std::fprintf(stderr,
                "usage: tecfand [--pipe | --port N] [--workers N] [--queue N]\n"
                "               [--cache N] [--deadline-ms X]\n"
+               "               [--metrics-interval S]\n"
                "  --pipe          serve stdin/stdout (default)\n"
                "  --port N        serve loopback TCP on port N (0 = ephemeral)\n"
                "  --workers N     worker pool size (default: hardware threads,\n"
                "                  clamped to [2,16])\n"
                "  --queue N       pending-request bound before `busy` (64)\n"
                "  --cache N       result cache capacity in entries (4096)\n"
-               "  --deadline-ms X default per-request deadline (0 = none)\n");
+               "  --deadline-ms X default per-request deadline (0 = none)\n"
+               "  --metrics-interval S\n"
+               "                  log per-stage latency percentiles to stderr\n"
+               "                  every S seconds (0 = off)\n");
+}
+
+/// One stderr line summarizing every non-empty stage histogram.
+void log_metrics(const tecfan::service::Server& server) {
+  std::string line = "tecfand metrics:";
+  bool any = false;
+  for (const auto& [name, snap] : server.metrics().histograms()) {
+    if (snap.count == 0) continue;
+    any = true;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  " %s(n=%llu p50=%.1fus p99=%.1fus max=%.1fus)", name.c_str(),
+                  static_cast<unsigned long long>(snap.count),
+                  snap.percentile(50.0), snap.percentile(99.0), snap.max_us);
+    line += buf;
+  }
+  if (!any) line += " (no samples yet)";
+  std::fprintf(stderr, "%s\n", line.c_str());
+  std::fflush(stderr);
 }
 
 bool parse(int argc, char** argv, Args& out) {
@@ -77,6 +105,10 @@ bool parse(int argc, char** argv, Args& out) {
       const char* v = next(i);
       if (!v) return false;
       out.deadline_ms = std::atof(v);
+    } else if (a == "--metrics-interval") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.metrics_interval_s = std::atof(v);
     } else if (a == "--help" || a == "-h") {
       out.help = true;
     } else {
@@ -111,6 +143,30 @@ int main(int argc, char** argv) {
   options.default_deadline_ms = args.deadline_ms;
   tecfan::service::Server server(options);
 
+  // Periodic telemetry: a sampling thread that logs per-stage percentiles
+  // to stderr, independent of (and in the same format as) the `metrics`
+  // protocol verb.
+  std::atomic<bool> stop_metrics{false};
+  std::thread metrics_logger;
+  if (args.metrics_interval_s > 0) {
+    metrics_logger = std::thread([&server, &stop_metrics,
+                                  interval = args.metrics_interval_s] {
+      const auto step = std::chrono::duration<double>(interval);
+      auto next = std::chrono::steady_clock::now() + step;
+      while (!stop_metrics.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        if (std::chrono::steady_clock::now() < next) continue;
+        next += std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(step);
+        log_metrics(server);
+      }
+    });
+  }
+  const auto stop_logger = [&stop_metrics, &metrics_logger] {
+    stop_metrics.store(true);
+    if (metrics_logger.joinable()) metrics_logger.join();
+  };
+
   if (args.port >= 0) {
     const std::uint16_t port =
         server.bind_listen(static_cast<std::uint16_t>(args.port));
@@ -118,9 +174,11 @@ int main(int argc, char** argv) {
                  port, args.workers);
     std::fflush(stderr);
     server.serve();
+    stop_logger();
     return 0;
   }
 
   server.serve_pipe(std::cin, std::cout);
+  stop_logger();
   return 0;
 }
