@@ -1,0 +1,351 @@
+// Cluster serving benchmark: direct tecfand vs tecrouter over fleets of
+// 1 / 2 / 4 in-process backends, on the cached and miss paths, plus a
+// failover run that kills a backend mid-stream and counts client-visible
+// errors (must be zero). Every scenario drives the fleet through real
+// loopback TCP with the same pooled line-protocol client, so the router
+// column pays its true forwarding cost. Also asserts routed replies are
+// bit-identical to direct serving. Writes BENCH_cluster.json (--out to
+// override); scripts/bench.sh runs this from a Release build.
+//
+// Numbers are recorded honestly for the machine they ran on: on a single
+// core the fleet shares one CPU, so routed throughput measures router
+// overhead, not horizontal scaling — the `cores` field says which story
+// the file tells.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/backend_client.h"
+#include "cluster/router.h"
+#include "service/framing.h"
+#include "service/request.h"
+#include "service/server.h"
+
+namespace {
+
+using namespace tecfan;
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+service::ServerOptions backend_options() {
+  service::ServerOptions o;
+  o.tiles_x = 2;
+  o.tiles_y = 2;
+  o.workers = 2;
+  o.queue_capacity = 32;
+  o.cache_capacity = 512;
+  o.max_sim_time_s = 0.05;
+  return o;
+}
+
+/// All distinct compute lines the bench draws from (128 combinations).
+/// The backends run the small 2x2-tile model (4 cores), so only the
+/// 4-thread Table I workloads are valid there.
+std::vector<std::string> request_corpus() {
+  const char* workloads[] = {"water", "cholesky", "lu", "fmm"};
+  std::vector<std::string> lines;
+  for (int dvfs = 0; dvfs < 4; ++dvfs)
+    for (int fan = 0; fan < 8; ++fan)
+      for (const char* wl : workloads)
+        lines.push_back("equilibrium workload=" + std::string(wl) +
+                        " threads=4 fan=" + std::to_string(fan) +
+                        " dvfs=" + std::to_string(dvfs));
+  return lines;
+}
+
+struct PathNumbers {
+  double rps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+};
+
+double percentile(std::vector<double>& us, double p) {
+  if (us.empty()) return 0.0;
+  std::sort(us.begin(), us.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(us.size() - 1) + 0.5);
+  return us[std::min(idx, us.size() - 1)];
+}
+
+/// Drive `lines` through the port with `threads` pooled clients; each
+/// client cycles its slice until `duration_s` elapses (duration_s <= 0:
+/// exactly one pass, for miss-path runs where a repeat would be a hit).
+PathNumbers drive(std::uint16_t port, const std::vector<std::string>& lines,
+                  int threads, double duration_s) {
+  std::vector<std::vector<double>> lat(static_cast<std::size_t>(threads));
+  std::vector<std::uint64_t> errs(static_cast<std::size_t>(threads), 0);
+  std::vector<std::thread> workers;
+  const double t0 = now_seconds();
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      cluster::BackendClient client(port);
+      auto& samples = lat[static_cast<std::size_t>(t)];
+      const auto deadline_for = [] {
+        return std::chrono::steady_clock::now() + std::chrono::seconds(60);
+      };
+      std::size_t i = static_cast<std::size_t>(t);
+      for (;;) {
+        if (duration_s > 0) {
+          if (now_seconds() - t0 >= duration_s) break;
+        } else if (i >= lines.size()) {
+          break;  // one pass over this thread's slice
+        }
+        const std::string& line = lines[i % lines.size()];
+        i += static_cast<std::size_t>(threads);
+        const double s = now_seconds();
+        const auto reply = client.round_trip(line, deadline_for());
+        samples.push_back(1e6 * (now_seconds() - s));
+        if (!reply || reply->rfind("ok", 0) != 0)
+          ++errs[static_cast<std::size_t>(t)];
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double elapsed = now_seconds() - t0;
+
+  PathNumbers out;
+  std::vector<double> all;
+  for (auto& v : lat) {
+    out.requests += v.size();
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  for (const std::uint64_t e : errs) out.errors += e;
+  out.rps = elapsed > 0 ? static_cast<double>(out.requests) / elapsed : 0.0;
+  out.p50_us = percentile(all, 50.0);
+  out.p99_us = percentile(all, 99.0);
+  return out;
+}
+
+/// An in-process fleet member with its accept loop running.
+struct Backend {
+  Backend() : server(std::make_unique<service::Server>(backend_options())) {
+    port = server->bind_listen(0);
+    thread = std::thread([this] { server->serve(); });
+  }
+  ~Backend() { kill(); }
+  void kill() {
+    if (server) server->stop();
+    if (thread.joinable()) thread.join();
+    server.reset();
+  }
+  std::unique_ptr<service::Server> server;
+  std::uint16_t port = 0;
+  std::thread thread;
+};
+
+struct Scenario {
+  std::string name;
+  std::size_t backends = 0;  // 0: direct, no router
+  PathNumbers cached;
+  PathNumbers miss;
+};
+
+Scenario run_scenario(std::size_t n_backends, int client_threads,
+                      double duration_s,
+                      const std::vector<std::string>& cached_lines,
+                      const std::vector<std::string>& miss_lines) {
+  Scenario out;
+  out.backends = n_backends;
+  out.name = n_backends == 0 ? "direct"
+                             : "router_" + std::to_string(n_backends);
+
+  std::vector<std::unique_ptr<Backend>> fleet;
+  const std::size_t fleet_size = std::max<std::size_t>(n_backends, 1);
+  for (std::size_t b = 0; b < fleet_size; ++b)
+    fleet.push_back(std::make_unique<Backend>());
+
+  std::unique_ptr<cluster::Router> router;
+  std::thread router_thread;
+  std::uint16_t port = fleet[0]->port;
+  if (n_backends > 0) {
+    cluster::RouterOptions opts;
+    for (const auto& b : fleet) opts.backend_ports.push_back(b->port);
+    router = std::make_unique<cluster::Router>(opts);
+    port = router->bind_listen(0);
+    router_thread = std::thread([&router] { router->serve(); });
+  }
+
+  // Miss path first (single pass over unique keys: every request is a
+  // cold compute), then warm the cached set once and time the hit loop.
+  out.miss = drive(port, miss_lines, client_threads, /*duration_s=*/0.0);
+  (void)drive(port, cached_lines, 1, /*duration_s=*/0.0);  // warm-up
+  out.cached = drive(port, cached_lines, client_threads, duration_s);
+
+  if (router) {
+    router->stop();
+    router_thread.join();
+  }
+  return out;
+}
+
+struct FailoverNumbers {
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t backends_up_after = 0;
+};
+
+/// Two-backend fleet; backend 0 is killed mid-stream. Clients must see
+/// zero errors: the router fails its keys over to the survivor.
+FailoverNumbers run_failover(int client_threads, double duration_s,
+                             const std::vector<std::string>& cached_lines) {
+  FailoverNumbers out;
+  std::vector<std::unique_ptr<Backend>> fleet;
+  fleet.push_back(std::make_unique<Backend>());
+  fleet.push_back(std::make_unique<Backend>());
+  cluster::RouterOptions opts;
+  opts.backend_ports = {fleet[0]->port, fleet[1]->port};
+  opts.health.interval_s = 0.05;
+  cluster::Router router(opts);
+  const std::uint16_t port = router.bind_listen(0);
+  std::thread serving([&router] { router.serve(); });
+
+  (void)drive(port, cached_lines, 1, 0.0);  // warm both shards
+
+  std::thread killer([&fleet, duration_s] {
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        std::max(0.05, duration_s / 3.0)));
+    fleet[0]->kill();
+  });
+  const PathNumbers path = drive(port, cached_lines, client_threads,
+                                 duration_s);
+  killer.join();
+  out.requests = path.requests;
+  out.errors = path.errors;
+  out.failovers = router.stats().failovers;
+  out.backends_up_after = router.health().up_count();
+  router.stop();
+  serving.join();
+  return out;
+}
+
+/// Routed replies must be byte-for-byte what a direct server answers.
+bool check_bit_identical(const std::vector<std::string>& lines) {
+  Backend b0, b1;
+  cluster::RouterOptions opts;
+  opts.backend_ports = {b0.port, b1.port};
+  cluster::Router router(opts);
+  service::Server direct(backend_options());
+  bool identical = true;
+  for (int pass = 0; pass < 2; ++pass) {  // miss pass, then hit pass
+    for (const auto& line : lines) {
+      const std::string routed = router.handle_line(line);
+      bool quit = false;
+      const std::string local = direct.handle_line(line, &quit);
+      if (routed != local) {
+        identical = false;
+        std::fprintf(stderr, "bench_cluster: reply mismatch for '%s'\n",
+                     line.c_str());
+      }
+    }
+  }
+  return identical;
+}
+
+void write_path(std::ofstream& json, const char* name,
+                const PathNumbers& p, bool last) {
+  json << "    \"" << name << "\": {\"rps\": " << p.rps
+       << ", \"p50_us\": " << p.p50_us << ", \"p99_us\": " << p.p99_us
+       << ", \"requests\": " << p.requests << ", \"errors\": " << p.errors
+       << "}" << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_cluster.json";
+  double duration_s = 1.5;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--duration-s" && i + 1 < argc) {
+      duration_s = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--out FILE] [--duration-s X]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  service::ignore_sigpipe();
+
+  const auto corpus = request_corpus();
+  const std::vector<std::string> cached_lines(corpus.begin(),
+                                              corpus.begin() + 32);
+  const std::vector<std::string> miss_lines(corpus.begin() + 32,
+                                            corpus.begin() + 96);
+  const int client_threads = 2;
+
+  std::fprintf(stderr, "bench_cluster: bit-identical check...\n");
+  const bool identical = check_bit_identical(cached_lines);
+
+  std::vector<Scenario> scenarios;
+  for (const std::size_t backends : {std::size_t{0}, std::size_t{1},
+                                     std::size_t{2}, std::size_t{4}}) {
+    std::fprintf(stderr, "bench_cluster: scenario %s...\n",
+                 backends == 0
+                     ? "direct"
+                     : ("router_" + std::to_string(backends)).c_str());
+    scenarios.push_back(run_scenario(backends, client_threads, duration_s,
+                                     cached_lines, miss_lines));
+  }
+
+  std::fprintf(stderr, "bench_cluster: failover...\n");
+  const FailoverNumbers failover =
+      run_failover(client_threads, duration_s, cached_lines);
+
+  std::ofstream json(out_path);
+  if (!json) {
+    std::fprintf(stderr, "bench_cluster: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  json.precision(6);
+  json << "{\n"
+       << "  \"machine\": {\"cores\": "
+       << std::thread::hardware_concurrency() << "},\n"
+       << "  \"config\": {\"duration_s\": " << duration_s
+       << ", \"client_threads\": " << client_threads
+       << ", \"cached_keys\": " << cached_lines.size()
+       << ", \"miss_requests\": " << miss_lines.size() << "},\n"
+       << "  \"bit_identical\": " << (identical ? "true" : "false") << ",\n"
+       << "  \"scenarios\": {\n";
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& s = scenarios[i];
+    json << "  \"" << s.name << "\": {\n"
+         << "    \"backends\": " << s.backends << ",\n";
+    write_path(json, "cached", s.cached, false);
+    write_path(json, "miss", s.miss, true);
+    json << "  }" << (i + 1 < scenarios.size() ? ",\n" : "\n");
+  }
+  json << "  },\n"
+       << "  \"failover\": {\"requests\": " << failover.requests
+       << ", \"client_visible_errors\": " << failover.errors
+       << ", \"router_failovers\": " << failover.failovers
+       << ", \"backends_up_after\": " << failover.backends_up_after
+       << "}\n"
+       << "}\n";
+  json.close();
+  std::fprintf(stderr, "bench_cluster: wrote %s\n", out_path.c_str());
+  if (!identical || failover.errors != 0) {
+    std::fprintf(stderr,
+                 "bench_cluster: FAILED (identical=%d, failover errors=%llu)\n",
+                 identical ? 1 : 0,
+                 static_cast<unsigned long long>(failover.errors));
+    return 1;
+  }
+  return 0;
+}

@@ -12,8 +12,16 @@
 #                        histograms (`metrics` verb) and fails if the
 #                        server-reported hit p99 disagrees with the
 #                        client-observed one (--check-p99).
+#   BENCH_cluster.json — direct tecfand vs tecrouter over 1/2/4 in-process
+#                        backends (cached + miss paths over loopback TCP),
+#                        a bit-identical routed-vs-direct reply check, and
+#                        a failover run killing a backend mid-stream
+#                        (client-visible errors must be zero). The file
+#                        records the core count: on one core the router
+#                        column measures forwarding overhead, not
+#                        horizontal scaling.
 #
-#   scripts/bench.sh                 # both benchmarks, 3 s loadgen run
+#   scripts/bench.sh                 # all benchmarks, 3 s loadgen run
 #   DURATION_S=10 scripts/bench.sh   # longer serving interval
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -21,7 +29,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-release -j"$JOBS" --target bench_solver loadgen
+cmake --build build-release -j"$JOBS" --target bench_solver bench_cluster loadgen
 
 ./build-release/bench/bench_solver --out BENCH_solver.json
 
@@ -30,3 +38,7 @@ cmake --build build-release -j"$JOBS" --target bench_solver loadgen
   --duration-s "${DURATION_S:-3}" \
   --check-p99 \
   --out BENCH_serving.json
+
+./build-release/bench/bench_cluster \
+  --duration-s "${CLUSTER_DURATION_S:-1.5}" \
+  --out BENCH_cluster.json

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite, then the shared-engine and
-# service-layer tests again under ThreadSanitizer. The TSan leg is what pins
-# the engine/workspace split: SharedOperator and SharedEngine drive one
-# immutable engine from several threads, so any mutation hiding behind the
-# const facade is reported as a data race.
+# Tier-1 verification: full build + test suite, then the shared-engine,
+# service-layer, and cluster tests again under ThreadSanitizer. The TSan leg
+# is what pins the engine/workspace split (SharedOperator and SharedEngine
+# drive one immutable engine from several threads, so any mutation hiding
+# behind the const facade is reported as a data race) and the cluster smoke
+# leg (ClusterSmoke runs a 2-backend in-process fleet behind the router:
+# routed hit/miss correctness, hedging, and failover on backend death).
 #
 #   scripts/tier1.sh              # all stages
 #   SKIP_TSAN=1 scripts/tier1.sh  # plain build+ctest only
@@ -22,8 +24,8 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   cmake -B build-tsan -S . -DTECFAN_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j"$JOBS" \
-    --target linalg_test sim_test service_test util_test
+    --target linalg_test sim_test service_test util_test cluster_test
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure \
-    -R 'SharedOperator|SharedEngine|Protocol|ResultCache|TaskQueue|WorkerPool|Server|BackendEquivalence|Metrics'
+    -R 'SharedOperator|SharedEngine|Protocol|ResultCache|TaskQueue|WorkerPool|Server|BackendEquivalence|Metrics|ShardMap|BackendClient|HealthMonitor|ClusterSmoke'
 fi

@@ -1,0 +1,133 @@
+#include "cluster/backend_client.h"
+
+#include <unistd.h>
+
+#include <utility>
+
+namespace tecfan::cluster {
+
+BackendClient::BackendClient(std::uint16_t port, std::size_t max_idle)
+    : port_(port), max_idle_(max_idle) {}
+
+BackendClient::~BackendClient() { close_idle(); }
+
+BackendClient::Lease& BackendClient::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    abandon();
+    owner_ = other.owner_;
+    fd_ = other.fd_;
+    reader_ = std::move(other.reader_);
+    other.owner_ = nullptr;
+    other.fd_ = -1;
+    other.reader_.reset(-1);
+  }
+  return *this;
+}
+
+bool BackendClient::Lease::send_line(const std::string& line) {
+  if (fd_ < 0) return false;
+  std::string msg = line;
+  msg += '\n';
+  return service::send_all(fd_, msg);
+}
+
+bool BackendClient::Lease::reply_ready(
+    std::chrono::steady_clock::time_point deadline) {
+  if (fd_ < 0) return false;
+  if (reader_.has_line()) return true;
+  return service::wait_readable(fd_, deadline);
+}
+
+std::optional<std::string> BackendClient::Lease::read_line(
+    std::chrono::steady_clock::time_point deadline) {
+  if (fd_ < 0) return std::nullopt;
+  return reader_.read_line(deadline);
+}
+
+void BackendClient::Lease::release() {
+  if (fd_ < 0) return;
+  if (owner_) {
+    owner_->give_back(fd_, std::move(reader_));
+  } else {
+    ::close(fd_);
+  }
+  fd_ = -1;
+  reader_.reset(-1);
+  owner_ = nullptr;
+}
+
+void BackendClient::Lease::abandon() {
+  if (fd_ < 0) return;
+  if (owner_) {
+    std::lock_guard<std::mutex> lock(owner_->mu_);
+    ++owner_->abandons_;
+  }
+  ::close(fd_);
+  fd_ = -1;
+  reader_.reset(-1);
+  owner_ = nullptr;
+}
+
+BackendClient::Lease BackendClient::lease() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!idle_.empty()) {
+      PooledConn conn = std::move(idle_.back());
+      idle_.pop_back();
+      ++reuses_;
+      Lease l(this, conn.fd);
+      l.reader_ = std::move(conn.reader);
+      return l;
+    }
+  }
+  const int fd = service::connect_loopback(port_);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd < 0) {
+    ++dial_failures_;
+    return Lease{};
+  }
+  ++dials_;
+  return Lease(this, fd);
+}
+
+std::optional<std::string> BackendClient::round_trip(
+    const std::string& line, std::chrono::steady_clock::time_point deadline) {
+  Lease l = lease();
+  if (!l.valid()) return std::nullopt;
+  if (!l.send_line(line)) return std::nullopt;  // dtor abandons
+  auto reply = l.read_line(deadline);
+  if (reply) l.release();
+  return reply;
+}
+
+void BackendClient::give_back(int fd, service::LineReader reader) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (idle_.size() < max_idle_) {
+    idle_.push_back({fd, std::move(reader)});
+    return;
+  }
+  ++abandons_;
+  ::close(fd);
+}
+
+BackendClient::Stats BackendClient::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.dials = dials_;
+  s.dial_failures = dial_failures_;
+  s.reuses = reuses_;
+  s.abandons = abandons_;
+  s.idle = idle_.size();
+  return s;
+}
+
+void BackendClient::close_idle() {
+  std::vector<PooledConn> drop;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    drop.swap(idle_);
+  }
+  for (auto& conn : drop) ::close(conn.fd);
+}
+
+}  // namespace tecfan::cluster

@@ -1,0 +1,122 @@
+// Pooled, reconnecting line-protocol client for one tecfand backend.
+//
+// The router keeps one BackendClient per fleet member. Connections are
+// pooled: a request leases an idle connection (or dials a new one when
+// the pool is empty), does its send/receive, and releases the connection
+// back to the pool on clean completion. Any error — dial failure, EPIPE
+// on send, peer close, or a deadline expiring mid-read — abandons the
+// connection instead of returning it, because a late reply arriving on a
+// reused connection would answer the wrong request. Reconnection is
+// therefore implicit: the next lease simply dials again.
+//
+// round_trip() is the common blocking path; the Lease type exposes the
+// send / wait / read steps separately so the router can hedge (send on a
+// second backend mid-wait and take whichever reply lands first).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/framing.h"
+
+namespace tecfan::cluster {
+
+class BackendClient {
+ public:
+  /// `port` is the backend's loopback TCP port; `max_idle` bounds the
+  /// number of pooled (idle) connections kept for reuse.
+  explicit BackendClient(std::uint16_t port, std::size_t max_idle = 4);
+  ~BackendClient();
+
+  BackendClient(const BackendClient&) = delete;
+  BackendClient& operator=(const BackendClient&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// One leased connection. Move-only; releases or abandons exactly once.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept { *this = std::move(other); }
+    Lease& operator=(Lease&& other) noexcept;
+    ~Lease() { abandon(); }  // unreleased leases are not safe to reuse
+
+    /// False when the dial failed (no backend listening).
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /// Send one request line ('\n' appended). False on connection error.
+    bool send_line(const std::string& line);
+
+    /// True when a reply line is buffered or the socket is readable.
+    bool reply_ready(std::chrono::steady_clock::time_point deadline);
+
+    /// Read one reply line, blocking until `deadline`. nullopt on error,
+    /// peer close, or timeout (the lease is then only fit to abandon()).
+    std::optional<std::string> read_line(
+        std::chrono::steady_clock::time_point deadline);
+
+    /// Return the connection to the pool. Only call after every sent
+    /// request has had its reply read.
+    void release();
+
+    /// Close the connection (also the destructor's behavior).
+    void abandon();
+
+   private:
+    friend class BackendClient;
+    Lease(BackendClient* owner, int fd) : owner_(owner), fd_(fd) {
+      reader_.reset(fd);
+    }
+
+    BackendClient* owner_ = nullptr;
+    int fd_ = -1;
+    service::LineReader reader_;
+  };
+
+  /// Lease an idle pooled connection or dial a new one. Check valid().
+  Lease lease();
+
+  /// Send `line` and wait for the reply. nullopt on connection failure or
+  /// when `deadline` passes first.
+  std::optional<std::string> round_trip(
+      const std::string& line,
+      std::chrono::steady_clock::time_point deadline =
+          std::chrono::steady_clock::time_point::max());
+
+  struct Stats {
+    std::uint64_t dials = 0;        // connections established
+    std::uint64_t dial_failures = 0;
+    std::uint64_t reuses = 0;       // leases served from the pool
+    std::uint64_t abandons = 0;     // connections dropped on error/timeout
+    std::size_t idle = 0;           // currently pooled connections
+  };
+  Stats stats() const;
+
+  /// Close every pooled connection (in-flight leases are unaffected).
+  void close_idle();
+
+ private:
+  struct PooledConn {
+    int fd;
+    service::LineReader reader;
+  };
+
+  void give_back(int fd, service::LineReader reader);
+
+  const std::uint16_t port_;
+  const std::size_t max_idle_;
+  mutable std::mutex mu_;
+  std::vector<PooledConn> idle_;
+  std::uint64_t dials_ = 0;
+  std::uint64_t dial_failures_ = 0;
+  std::uint64_t reuses_ = 0;
+  std::uint64_t abandons_ = 0;
+};
+
+}  // namespace tecfan::cluster

@@ -1,0 +1,458 @@
+#include "cluster/router.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "service/framing.h"
+#include "util/error.h"
+
+namespace tecfan::cluster {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using service::Request;
+using service::RequestKind;
+using service::Response;
+
+Clock::time_point deadline_from_ms(Clock::time_point start, double ms) {
+  if (ms <= 0) return Clock::time_point::max();
+  return start + std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double, std::milli>(ms));
+}
+
+/// Locale-independent %g formatting for the re-attached deadline_ms
+/// parameter (the backend parses it with from_chars).
+std::string format_ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", ms);
+  return buf;
+}
+
+}  // namespace
+
+Router::Router(RouterOptions options)
+    : options_(std::move(options)),
+      shards_(options_.backend_ports.size(), options_.virtual_nodes),
+      hist_route_(&metrics_.histogram("route")),
+      hist_backend_wait_(&metrics_.histogram("backend_wait")),
+      hist_e2e_hit_(&metrics_.histogram("e2e_hit")),
+      hist_e2e_miss_(&metrics_.histogram("e2e_miss")) {
+  TECFAN_REQUIRE(!options_.backend_ports.empty(),
+                 "Router needs at least one backend port");
+  clients_.reserve(options_.backend_ports.size());
+  std::vector<BackendClient*> raw;
+  for (const std::uint16_t port : options_.backend_ports) {
+    clients_.push_back(
+        std::make_unique<BackendClient>(port, options_.pool_size));
+    raw.push_back(clients_.back().get());
+  }
+  health_ = std::make_unique<HealthMonitor>(std::move(raw), options_.health);
+  if (options_.hedge_ms > 0)
+    hedge_delay_us_.store(options_.hedge_ms * 1e3,
+                          std::memory_order_relaxed);
+  else if (options_.hedge_ms == 0)
+    hedge_delay_us_.store(options_.hedge_ceil_ms * 1e3,
+                          std::memory_order_relaxed);
+  health_->start();
+}
+
+Router::~Router() { stop(); }
+
+double Router::current_hedge_delay_us() const {
+  if (options_.hedge_ms < 0) return 0.0;
+  return hedge_delay_us_.load(std::memory_order_relaxed);
+}
+
+void Router::refresh_hedge_delay() {
+  // Auto mode only: derive the delay from the observed miss-path e2e p99
+  // so hedges fire for tail stragglers, not for the median compute.
+  const LatencyHistogram::Snapshot snap = hist_e2e_miss_->snapshot();
+  if (snap.count < 32) return;  // keep the conservative ceiling
+  const double p99_us = snap.percentile(99.0);
+  const double clamped = std::clamp(p99_us, options_.hedge_floor_ms * 1e3,
+                                    options_.hedge_ceil_ms * 1e3);
+  hedge_delay_us_.store(clamped, std::memory_order_relaxed);
+}
+
+std::optional<std::string> Router::forward(std::size_t backend,
+                                           const std::string& wire,
+                                           Clock::time_point deadline) {
+  ScopedLatencyTimer wait_span(hist_backend_wait_);
+  auto reply = clients_[backend]->round_trip(wire, deadline);
+  if (reply) {
+    health_->report_success(backend);
+  } else {
+    wait_span.stop();
+    health_->report_failure(backend);
+  }
+  return reply;
+}
+
+std::optional<std::string> Router::forward_hedged(std::size_t b1,
+                                                  std::size_t b2,
+                                                  const std::string& wire,
+                                                  Clock::time_point deadline,
+                                                  bool* hedge_won) {
+  const auto start = Clock::now();
+  BackendClient::Lease primary = clients_[b1]->lease();
+  if (!primary.valid() || !primary.send_line(wire)) {
+    health_->report_failure(b1);
+    failovers_.fetch_add(1, std::memory_order_relaxed);
+    return forward(b2, wire, deadline);
+  }
+
+  const double delay_us = current_hedge_delay_us();
+  const auto hedge_at = std::min(
+      deadline, start + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double, std::micro>(
+                                delay_us)));
+  if (primary.reply_ready(hedge_at)) {
+    // Fast path: the primary answered before the hedge timer (cache hits
+    // and healthy misses land here).
+    auto reply = primary.read_line(deadline);
+    hist_backend_wait_->record(Clock::now() - start);
+    if (reply) {
+      primary.release();
+      health_->report_success(b1);
+      return reply;
+    }
+    health_->report_failure(b1);
+    failovers_.fetch_add(1, std::memory_order_relaxed);
+    return forward(b2, wire, deadline);
+  }
+
+  // Hedge: same canonical line to the ring replica; first answer wins.
+  // The loser's connection is abandoned (its late reply would desync the
+  // pool), and the loser still fills its own cache shard — wasted compute
+  // is the price of the tail cut.
+  hedges_.fetch_add(1, std::memory_order_relaxed);
+  BackendClient::Lease hedge = clients_[b2]->lease();
+  bool hedge_alive = hedge.valid() && hedge.send_line(wire);
+  if (!hedge_alive) health_->report_failure(b2);
+  bool primary_alive = true;
+
+  while (primary_alive || hedge_alive) {
+    const auto now = Clock::now();
+    if (now >= deadline) break;
+    // Buffered-line / instant-readability checks first, then one blocking
+    // poll across both sockets.
+    const bool p_ready = primary_alive && primary.reply_ready(now);
+    const bool h_ready = !p_ready && hedge_alive && hedge.reply_ready(now);
+    if (p_ready || h_ready) {
+      BackendClient::Lease& winner = p_ready ? primary : hedge;
+      const std::size_t winner_backend = p_ready ? b1 : b2;
+      auto reply = winner.read_line(deadline);
+      if (reply) {
+        hist_backend_wait_->record(Clock::now() - start);
+        winner.release();
+        health_->report_success(winner_backend);
+        if (!p_ready) {
+          hedge_wins_.fetch_add(1, std::memory_order_relaxed);
+          if (hedge_won) *hedge_won = true;
+        }
+        return reply;
+      }
+      health_->report_failure(winner_backend);
+      if (p_ready)
+        primary_alive = false;
+      else
+        hedge_alive = false;
+      continue;
+    }
+    pollfd pfds[2];
+    nfds_t n = 0;
+    if (primary_alive) pfds[n++] = {primary.fd(), POLLIN, 0};
+    if (hedge_alive) pfds[n++] = {hedge.fd(), POLLIN, 0};
+    if (n == 0) break;
+    int timeout_ms = -1;
+    if (deadline != Clock::time_point::max()) {
+      const auto remaining = deadline - Clock::now();
+      timeout_ms =
+          remaining <= Clock::duration::zero()
+              ? 0
+              : static_cast<int>(
+                    std::chrono::duration_cast<std::chrono::milliseconds>(
+                        remaining)
+                        .count()) +
+                    1;
+    }
+    const int rc = ::poll(pfds, n, timeout_ms);
+    if (rc == 0) break;                       // deadline
+    if (rc < 0 && errno != EINTR) break;
+  }
+  // Neither side produced a reply before the deadline (or both died).
+  if (primary_alive) health_->report_failure(b1);
+  return std::nullopt;
+}
+
+std::string Router::route_compute(const Request& request,
+                                  Clock::time_point line_start,
+                                  bool* hedge_won) {
+  routed_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::string key = service::canonical_key(request);
+  std::string wire = key;
+  if (request.deadline_ms > 0)
+    wire += " deadline_ms=" + format_ms(request.deadline_ms);
+
+  const auto now = Clock::now();
+  const double deadline_ms = request.deadline_ms > 0
+                                 ? request.deadline_ms
+                                 : options_.backend_deadline_ms;
+  const auto deadline = deadline_from_ms(now, deadline_ms);
+
+  // Failover order: the owner, then the distinct ring successors. Down
+  // backends are filtered out up front; when the whole fleet looks down
+  // the full chain is attempted anyway (the monitor may be stale, and a
+  // traffic-path success marks the backend up again).
+  const std::vector<std::size_t> chain = shards_.replica_chain(key);
+  std::vector<std::size_t> candidates;
+  candidates.reserve(chain.size());
+  for (const std::size_t b : chain)
+    if (health_->up(b)) candidates.push_back(b);
+  if (candidates.empty()) candidates = chain;
+  hist_route_->record(Clock::now() - line_start);
+
+  const bool hedging =
+      options_.hedge_ms >= 0 && current_hedge_delay_us() > 0;
+  std::size_t i = 0;
+  while (i < candidates.size()) {
+    std::optional<std::string> reply;
+    if (hedging && i + 1 < candidates.size()) {
+      reply = forward_hedged(candidates[i], candidates[i + 1], wire,
+                             deadline, hedge_won);
+      i += 2;  // a hedged attempt consumes both fleet members
+    } else {
+      reply = forward(candidates[i], wire, deadline);
+      i += 1;
+    }
+    if (reply) return *reply;
+    failovers_.fetch_add(1, std::memory_order_relaxed);
+  }
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  return serialize_response(
+      Response::make_error("no backend available"));
+}
+
+std::string Router::stats_response_line() const {
+  Response r;
+  r.add("name", std::string("tecrouter"));
+  r.add("pid", static_cast<std::uint64_t>(::getpid()));
+  const Stats s = stats();
+  r.add("backends", static_cast<std::uint64_t>(s.backends));
+  r.add("backends_up", static_cast<std::uint64_t>(s.backends_up));
+  r.add("virtual_nodes",
+        static_cast<std::uint64_t>(shards_.virtual_nodes()));
+  r.add("requests", s.requests);
+  r.add("routed", s.routed);
+  r.add("local", s.local);
+  r.add("failovers", s.failovers);
+  r.add("hedges", s.hedges);
+  r.add("hedge_wins", s.hedge_wins);
+  r.add("errors", s.errors);
+  r.add("hedge_delay_us", current_hedge_delay_us());
+  for (std::size_t b = 0; b < clients_.size(); ++b) {
+    const std::string prefix = "backend" + std::to_string(b) + "_";
+    const HealthMonitor::BackendHealth h = health_->health(b);
+    r.add(prefix + "port",
+          static_cast<std::uint64_t>(clients_[b]->port()));
+    r.add(prefix + "up", std::string(h.up ? "1" : "0"));
+    r.add(prefix + "probes", h.probes);
+    r.add(prefix + "probe_failures", h.probe_failures);
+    r.add(prefix + "markdowns", h.markdowns);
+    r.add(prefix + "rtt_us", h.last_rtt_us);
+  }
+  return serialize_response(r);
+}
+
+std::string Router::handle_line(const std::string& line, bool* quit) {
+  const auto line_start = Clock::now();
+  if (quit) *quit = false;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  const service::ParsedRequest parsed = service::parse_request(line);
+  if (!parsed.ok) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return serialize_response(Response::make_error(parsed.error));
+  }
+  const Request& request = parsed.request;
+
+  if (!request.is_compute()) {
+    local_.fetch_add(1, std::memory_order_relaxed);
+    switch (request.kind) {
+      case RequestKind::kPing: {
+        Response r;
+        r.add("pong", std::string("1"));
+        return serialize_response(r);
+      }
+      case RequestKind::kQuit: {
+        if (quit) *quit = true;
+        Response r;
+        r.add("bye", std::string("1"));
+        return serialize_response(r);
+      }
+      case RequestKind::kStats:
+        return stats_response_line();
+      case RequestKind::kMetrics:
+        return serialize_response(service::metrics_to_response(metrics_));
+      default:
+        break;
+    }
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return serialize_response(Response::make_error("unhandled verb"));
+  }
+
+  bool hedge_won = false;
+  const std::string reply = route_compute(request, line_start, &hedge_won);
+  // Hit/miss-split end-to-end span, mirroring the backend Server: replies
+  // are forwarded verbatim, so `ok cached=1` identifies a shard-cache hit.
+  if (reply.rfind("ok cached=1", 0) == 0) {
+    hist_e2e_hit_->record(Clock::now() - line_start);
+  } else if (reply.rfind("ok", 0) == 0) {
+    hist_e2e_miss_->record(Clock::now() - line_start);
+    // Periodically re-derive the auto hedge delay from the miss tail.
+    if (options_.hedge_ms == 0 &&
+        hedge_refresh_countdown_.fetch_add(1, std::memory_order_relaxed) %
+                kHedgeRefreshPeriod ==
+            kHedgeRefreshPeriod - 1) {
+      refresh_hedge_delay();
+    }
+  }
+  return reply;
+}
+
+Router::Stats Router::stats() const {
+  Stats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.routed = routed_.load(std::memory_order_relaxed);
+  s.local = local_.load(std::memory_order_relaxed);
+  s.failovers = failovers_.load(std::memory_order_relaxed);
+  s.hedges = hedges_.load(std::memory_order_relaxed);
+  s.hedge_wins = hedge_wins_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.backends = clients_.size();
+  s.backends_up = health_->up_count();
+  return s;
+}
+
+std::uint16_t Router::bind_listen(std::uint16_t port) {
+  TECFAN_REQUIRE(listen_fd_.load() < 0, "already listening");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  TECFAN_REQUIRE(fd >= 0, "socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw precondition_error(std::string("bind() failed: ") +
+                             std::strerror(errno));
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    throw precondition_error(std::string("listen() failed: ") +
+                             std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  listen_fd_.store(fd);
+  bound_port_.store(ntohs(addr.sin_port));
+  return bound_port_.load();
+}
+
+void Router::serve() {
+  const int listen_fd = listen_fd_.load();
+  if (listen_fd < 0) {
+    // stop() may win the race against a serve() thread that was just
+    // launched; that is a clean no-op, not a programming error.
+    TECFAN_REQUIRE(stopping_.load(), "call bind_listen() before serve()");
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(serve_mu_);
+    if (stopping_.load()) return;  // stop() already reclaimed the socket
+    serve_running_ = true;
+  }
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) break;
+      if (errno == EINTR) continue;
+      break;  // listening socket gone
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      break;
+    }
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] {
+      service::LineReader reader(fd);
+      bool quit = false;
+      while (!quit && !stopping_.load()) {
+        auto line = reader.read_line();
+        if (!line) break;
+        if (line->empty()) continue;
+        std::string reply = handle_line(*line, &quit);
+        reply += '\n';
+        if (!service::send_all(fd, reply)) break;
+      }
+      // Deregister before closing so stop() never shuts down a recycled
+      // descriptor number.
+      {
+        std::lock_guard<std::mutex> lock2(conns_mu_);
+        conn_fds_.erase(
+            std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+            conn_fds_.end());
+      }
+      ::close(fd);
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(serve_mu_);
+    serve_running_ = false;
+  }
+  serve_cv_.notify_all();
+}
+
+void Router::stop() {
+  int listen_fd;
+  {
+    // Same handshake as service::Server::stop(): stopping_ flips under
+    // serve_mu_ so a racing serve() either sees it and returns or
+    // registers serve_running_ first and is woken by the shutdown().
+    std::lock_guard<std::mutex> lock(serve_mu_);
+    stopping_.store(true);
+    listen_fd = listen_fd_.exchange(-1);
+  }
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
+    {
+      std::unique_lock<std::mutex> lock(serve_mu_);
+      serve_cv_.wait(lock, [this] { return !serve_running_; });
+    }
+    ::close(listen_fd);
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    conn_fds_.clear();
+    threads.swap(conn_threads_);
+  }
+  for (auto& t : threads)
+    if (t.joinable()) t.join();
+  if (health_) health_->stop();
+}
+
+}  // namespace tecfan::cluster

@@ -1,0 +1,176 @@
+// tecrouter — sharding + replication front-end over a tecfand fleet.
+//
+// Clients speak the service/request.h line protocol to the router exactly
+// as they would to a single tecfand; the router speaks the same protocol
+// to its backends. Per request line:
+//
+//   * control verbs (ping/stats/metrics/quit) are answered locally —
+//     `stats` reports fleet topology and health, `metrics` dumps the
+//     router's own per-stage histograms (route / backend_wait / e2e) in
+//     the same wire format as a backend;
+//   * compute verbs (equilibrium/run/sweep/table1) are routed by the
+//     canonical cache key through the ShardMap ring, so each backend's
+//     ResultCache sees a disjoint, stable slice of the key space and
+//     fleet-wide effective cache capacity scales linearly;
+//   * a down backend (HealthMonitor markdown, or a forward failure
+//     observed on the traffic path) is skipped: the request fails over to
+//     the next distinct backend along the ring, and the keys come back to
+//     the owner automatically once it is marked up again;
+//   * optionally, a request whose reply has not arrived after a
+//     p99-derived delay is hedged: the same canonical line is sent to the
+//     ring replica and the first answer wins. Cache hits return in
+//     microseconds and never reach the hedge timer — hedging is
+//     effectively a miss-path tail cutter.
+//
+// Responses are forwarded verbatim (bit-identical to direct serving);
+// only router-generated errors (`no backend available`, parse errors) are
+// produced locally.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/backend_client.h"
+#include "cluster/health_monitor.h"
+#include "cluster/shard_map.h"
+#include "service/request.h"
+#include "util/metrics.h"
+
+namespace tecfan::cluster {
+
+struct RouterOptions {
+  /// Loopback TCP ports of the tecfand backends (one fleet member each).
+  std::vector<std::uint16_t> backend_ports;
+  /// Virtual nodes per backend on the consistent-hash ring.
+  std::size_t virtual_nodes = ShardMap::kDefaultVirtualNodes;
+  /// Idle connections pooled per backend.
+  std::size_t pool_size = 8;
+  /// Per-forward deadline when the client request carries none; 0 = none.
+  /// (A forward that times out counts as a backend failure and fails
+  /// over.)
+  double backend_deadline_ms = 0.0;
+  /// Hedged retry: <0 disables; 0 derives the delay from the router's
+  /// observed e2e p99 (clamped to [hedge_floor_ms, hedge_ceil_ms]); >0 is
+  /// a fixed delay in ms.
+  double hedge_ms = -1.0;
+  double hedge_floor_ms = 1.0;
+  double hedge_ceil_ms = 200.0;
+  HealthMonitor::Options health;
+};
+
+class Router {
+ public:
+  explicit Router(RouterOptions options);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Parse and execute one request line; returns the response line. Sets
+  /// *quit when the line was a `quit` request (per-connection, local).
+  std::string handle_line(const std::string& line, bool* quit = nullptr);
+
+  /// Bind a loopback listening socket; port 0 picks an ephemeral port.
+  std::uint16_t bind_listen(std::uint16_t port);
+
+  /// Accept loop; returns after stop(). One thread per connection, same
+  /// session framing as service::Server.
+  void serve();
+
+  /// Stop the accept loop, open connections, and the health monitor.
+  void stop();
+
+  std::uint16_t bound_port() const { return bound_port_.load(); }
+
+  const ShardMap& shards() const { return shards_; }
+  HealthMonitor& health() { return *health_; }
+  const HealthMonitor& health() const { return *health_; }
+
+  struct Stats {
+    std::uint64_t requests = 0;    // request lines accepted (any kind)
+    std::uint64_t routed = 0;      // compute forwards attempted
+    std::uint64_t local = 0;       // control verbs answered locally
+    std::uint64_t failovers = 0;   // forwards retried on another backend
+    std::uint64_t hedges = 0;      // hedge requests actually sent
+    std::uint64_t hedge_wins = 0;  // hedges whose reply arrived first
+    std::uint64_t errors = 0;      // router-generated error responses
+    std::size_t backends = 0;
+    std::size_t backends_up = 0;
+  };
+  Stats stats() const;
+
+  /// Cluster per-stage telemetry (microseconds):
+  ///   route        — parse + canonical key + ring/health backend choice
+  ///   backend_wait — forward send to reply line complete (per attempt)
+  ///   e2e_hit      — whole handle_line span, reply was `ok cached=1`
+  ///   e2e_miss     — whole handle_line span, reply was computed `ok`
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// The hedge delay a compute forward would use right now (us); 0 when
+  /// hedging is disabled. Exposed for tests and the stats verb.
+  double current_hedge_delay_us() const;
+
+ private:
+  std::string route_compute(const service::Request& request,
+                            std::chrono::steady_clock::time_point line_start,
+                            bool* hedge_won);
+  /// Forward `wire` to backend b, one attempt. nullopt on failure.
+  std::optional<std::string> forward(std::size_t backend,
+                                     const std::string& wire,
+                                     std::chrono::steady_clock::time_point
+                                         deadline);
+  /// Hedged forward: primary attempt on `b1`, hedge on `b2` after the
+  /// hedge delay, first reply wins.
+  std::optional<std::string> forward_hedged(
+      std::size_t b1, std::size_t b2, const std::string& wire,
+      std::chrono::steady_clock::time_point deadline, bool* hedge_won);
+  std::string stats_response_line() const;
+  void refresh_hedge_delay();
+
+  RouterOptions options_;
+  ShardMap shards_;
+  std::vector<std::unique_ptr<BackendClient>> clients_;
+  std::unique_ptr<HealthMonitor> health_;
+
+  MetricsRegistry metrics_;
+  LatencyHistogram* hist_route_;
+  LatencyHistogram* hist_backend_wait_;
+  LatencyHistogram* hist_e2e_hit_;
+  LatencyHistogram* hist_e2e_miss_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> routed_{0};
+  std::atomic<std::uint64_t> local_{0};
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> hedges_{0};
+  std::atomic<std::uint64_t> hedge_wins_{0};
+  std::atomic<std::uint64_t> errors_{0};
+
+  /// Cached p99-derived hedge delay (us), refreshed every
+  /// kHedgeRefreshPeriod routed requests (a histogram snapshot is too
+  /// expensive per request).
+  static constexpr std::uint64_t kHedgeRefreshPeriod = 256;
+  std::atomic<double> hedge_delay_us_{0.0};
+  std::atomic<std::uint64_t> hedge_refresh_countdown_{0};
+
+  // TCP accept state, same shape as service::Server.
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<std::uint16_t> bound_port_{0};
+  std::atomic<bool> stopping_{false};
+  std::mutex serve_mu_;
+  std::condition_variable serve_cv_;
+  bool serve_running_ = false;
+  std::mutex conns_mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace tecfan::cluster

@@ -1,0 +1,78 @@
+#include "cluster/shard_map.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/error.h"
+
+namespace tecfan::cluster {
+
+std::uint64_t stable_hash(std::string_view s) {
+  // FNV-1a 64-bit.
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+ShardMap::ShardMap(std::size_t backend_count, std::size_t virtual_nodes)
+    : backend_count_(backend_count), virtual_nodes_(virtual_nodes) {
+  TECFAN_REQUIRE(backend_count >= 1, "ShardMap needs at least one backend");
+  TECFAN_REQUIRE(virtual_nodes >= 1,
+                 "ShardMap needs at least one virtual node per backend");
+  ring_.reserve(backend_count * virtual_nodes);
+  for (std::size_t b = 0; b < backend_count; ++b) {
+    for (std::size_t v = 0; v < virtual_nodes; ++v) {
+      // The label (not the index) is hashed so a backend's points are
+      // independent of fleet size: backend 2's points are the same in a
+      // 3-backend and a 5-backend ring, which is what bounds key movement
+      // when the fleet grows.
+      const std::string label =
+          "backend-" + std::to_string(b) + "#" + std::to_string(v);
+      ring_.push_back({stable_hash(label), static_cast<std::uint32_t>(b)});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const VirtualNode& a, const VirtualNode& b) {
+              if (a.point != b.point) return a.point < b.point;
+              return a.backend < b.backend;  // deterministic tie-break
+            });
+}
+
+std::size_t ShardMap::ring_index(std::string_view key) const {
+  const std::uint64_t h = stable_hash(key);
+  // First point at or after h, wrapping to the ring start.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const VirtualNode& node, std::uint64_t value) {
+        return node.point < value;
+      });
+  if (it == ring_.end()) it = ring_.begin();
+  return static_cast<std::size_t>(it - ring_.begin());
+}
+
+std::size_t ShardMap::owner(std::string_view key) const {
+  return ring_[ring_index(key)].backend;
+}
+
+std::vector<std::size_t> ShardMap::replica_chain(
+    std::string_view key, std::size_t max_backends) const {
+  if (max_backends == 0 || max_backends > backend_count_)
+    max_backends = backend_count_;
+  std::vector<std::size_t> chain;
+  chain.reserve(max_backends);
+  std::vector<bool> seen(backend_count_, false);
+  std::size_t i = ring_index(key);
+  for (std::size_t step = 0;
+       step < ring_.size() && chain.size() < max_backends; ++step) {
+    const std::size_t b = ring_[(i + step) % ring_.size()].backend;
+    if (seen[b]) continue;
+    seen[b] = true;
+    chain.push_back(b);
+  }
+  return chain;
+}
+
+}  // namespace tecfan::cluster

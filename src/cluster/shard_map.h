@@ -1,0 +1,71 @@
+// Consistent-hash shard map over canonical request keys.
+//
+// The router partitions the compute-request key space (the canonical
+// cache key from service/request.h) across N tecfand backends with a
+// fixed virtual-node hash ring: each backend owns kVirtualNodes points on
+// a 64-bit ring, and a key belongs to the backend owning the first point
+// at or after the key's hash (wrapping). Two properties matter for the
+// fleet:
+//
+//   * Disjoint, stable slices — a key always routes to the same backend
+//     (the hash is FNV-1a, fixed across processes and platforms, NOT
+//     std::hash), so each backend's ResultCache sees a disjoint shard of
+//     the key space and fleet-wide effective cache capacity scales
+//     linearly with backend count.
+//   * Minimal movement — adding or removing one backend remaps only the
+//     ring arcs adjacent to its virtual nodes (~1/N of keys), so growing
+//     the fleet does not invalidate every backend's cache.
+//
+// replica_chain() yields the ring-successor order used for failover and
+// hedging: the first entry is the owner, the next entries are the
+// distinct backends whose virtual nodes follow on the ring.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace tecfan::cluster {
+
+/// FNV-1a 64-bit — stable across processes, platforms, and builds (the
+/// ring layout must agree between router restarts and fleet members).
+std::uint64_t stable_hash(std::string_view s);
+
+class ShardMap {
+ public:
+  static constexpr std::size_t kDefaultVirtualNodes = 64;
+
+  /// Ring over backends [0, backend_count) with `virtual_nodes` points
+  /// per backend. backend_count must be >= 1.
+  explicit ShardMap(std::size_t backend_count,
+                    std::size_t virtual_nodes = kDefaultVirtualNodes);
+
+  std::size_t backend_count() const { return backend_count_; }
+  std::size_t virtual_nodes() const { return virtual_nodes_; }
+
+  /// The backend owning `key` (first virtual node at or after the key's
+  /// hash, wrapping).
+  std::size_t owner(std::string_view key) const;
+
+  /// Owner followed by the distinct backends next along the ring, at most
+  /// `max_backends` entries (0 = all backends). The order is the failover
+  /// order: when the owner is down its keys re-route to chain[1], etc.
+  std::vector<std::size_t> replica_chain(std::string_view key,
+                                         std::size_t max_backends = 0) const;
+
+ private:
+  struct VirtualNode {
+    std::uint64_t point;
+    std::uint32_t backend;
+  };
+
+  /// Index into ring_ of the virtual node owning `key`.
+  std::size_t ring_index(std::string_view key) const;
+
+  std::size_t backend_count_;
+  std::size_t virtual_nodes_;
+  std::vector<VirtualNode> ring_;  // sorted by point
+};
+
+}  // namespace tecfan::cluster

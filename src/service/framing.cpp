@@ -1,0 +1,100 @@
+#include "service/framing.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tecfan::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Remaining milliseconds until `deadline` for poll(): -1 = no deadline,
+/// 0 = already past (poll returns immediately).
+int poll_timeout_ms(Clock::time_point deadline) {
+  if (deadline == Clock::time_point::max()) return -1;
+  const auto remaining = deadline - Clock::now();
+  if (remaining <= Clock::duration::zero()) return 0;
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
+          .count();
+  // Round up so a sub-millisecond remainder still waits one tick instead
+  // of spinning.
+  return static_cast<int>(ms) + 1;
+}
+
+}  // namespace
+
+void ignore_sigpipe() { ::signal(SIGPIPE, SIG_IGN); }
+
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t w = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (w == 0) return false;
+    sent += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool wait_readable(int fd, Clock::time_point deadline) {
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, poll_timeout_ms(deadline));
+    if (rc > 0) return (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+    if (rc == 0) return false;  // deadline
+    if (errno != EINTR) return false;
+  }
+}
+
+bool LineReader::has_line() const {
+  return acc_.find('\n') != std::string::npos;
+}
+
+std::optional<std::string> LineReader::read_line(Clock::time_point deadline) {
+  for (;;) {
+    const std::size_t nl = acc_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = acc_.substr(0, nl);
+      acc_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    if (fd_ < 0) return std::nullopt;
+    if (!wait_readable(fd_, deadline)) return std::nullopt;
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return std::nullopt;
+    }
+    if (n == 0) return std::nullopt;  // peer closed
+    acc_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace tecfan::service

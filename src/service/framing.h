@@ -1,0 +1,67 @@
+// Socket framing helpers for the line protocol, shared by the server-side
+// session loops (service::Server), the cluster router and its backend
+// clients (src/cluster/), and the tools (loadgen, tecrouter).
+//
+// Everything here is loopback-TCP plumbing for "one request line in, one
+// response line out": connect, send a whole buffer, and incrementally
+// split received bytes into lines. All writes use MSG_NOSIGNAL so a peer
+// that disappears mid-response surfaces as an EPIPE error return instead
+// of a process-killing SIGPIPE; daemon mains additionally call
+// ignore_sigpipe() to cover any stray write paths.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace tecfan::service {
+
+/// Process-wide SIGPIPE -> SIG_IGN (idempotent). Call from daemon mains;
+/// library code relies on MSG_NOSIGNAL instead so embedding processes keep
+/// their own signal disposition.
+void ignore_sigpipe();
+
+/// Blocking connect to 127.0.0.1:port. Returns the connected fd, or -1.
+int connect_loopback(std::uint16_t port);
+
+/// Send the whole buffer (MSG_NOSIGNAL, EINTR-retrying). False when the
+/// peer is gone or the socket errors; the caller owns closing the fd.
+bool send_all(int fd, std::string_view data);
+
+/// Incremental newline splitter over a socket: feeds recv() bytes into an
+/// internal buffer and hands back one line at a time with the trailing
+/// '\n' (and any '\r') stripped. The reader never owns the fd.
+class LineReader {
+ public:
+  LineReader() = default;
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  int fd() const { return fd_; }
+  void reset(int fd) {
+    fd_ = fd;
+    acc_.clear();
+  }
+
+  /// True when a complete line is already buffered (no syscall needed).
+  bool has_line() const;
+
+  /// Next line, blocking until one arrives, the peer closes (nullopt), or
+  /// `deadline` passes (nullopt; the connection should then be abandoned —
+  /// a late reply would desynchronize request/response pairing).
+  std::optional<std::string> read_line(
+      std::chrono::steady_clock::time_point deadline =
+          std::chrono::steady_clock::time_point::max());
+
+ private:
+  int fd_ = -1;
+  std::string acc_;
+};
+
+/// Wait until `fd` is readable or `deadline` passes; true when readable.
+/// (poll()-based; EINTR-retrying.)
+bool wait_readable(int fd,
+                   std::chrono::steady_clock::time_point deadline);
+
+}  // namespace tecfan::service

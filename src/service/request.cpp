@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <cmath>
+#include <cstdio>
 #include <sstream>
 
 #include "util/error.h"
+#include "util/metrics.h"
 
 namespace tecfan::service {
 namespace {
@@ -347,6 +350,39 @@ Response parse_response(std::string_view line) {
       r.add(tok.key, tok.value);
     }
   }
+  return r;
+}
+
+Response metrics_to_response(const MetricsRegistry& registry) {
+  Response r;
+  char buf[32];
+  const auto fmt = [&buf](double v) -> std::string {
+    if (std::isinf(v)) return "inf";
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+    return buf;
+  };
+  for (const auto& [name, snap] : registry.histograms()) {
+    r.add(name + "_count", snap.count);
+    r.add(name + "_p50_us", snap.percentile(50.0));
+    r.add(name + "_p90_us", snap.percentile(90.0));
+    r.add(name + "_p99_us", snap.percentile(99.0));
+    r.add(name + "_p999_us", snap.percentile(99.9));
+    r.add(name + "_mean_us", snap.mean_us());
+    r.add(name + "_max_us", snap.max_us);
+    // Non-empty buckets as `upper_bound_us:count` pairs — the full
+    // distribution, not just the extracted percentiles.
+    std::string buckets;
+    for (std::size_t i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+      if (snap.buckets[i] == 0) continue;
+      if (!buckets.empty()) buckets += ',';
+      buckets += fmt(LatencyHistogram::bucket_upper_us(i));
+      buckets += ':';
+      buckets += std::to_string(snap.buckets[i]);
+    }
+    r.add(name + "_buckets", buckets);
+  }
+  for (const auto& [name, value] : registry.counters()) r.add(name, value);
+  for (const auto& [name, value] : registry.gauges()) r.add(name, value);
   return r;
 }
 

@@ -27,6 +27,10 @@
 #include <utility>
 #include <vector>
 
+namespace tecfan {
+class MetricsRegistry;
+}
+
 namespace tecfan::service {
 
 enum class RequestKind {
@@ -117,5 +121,11 @@ std::string serialize_response(const Response& response);
 /// Parse a response line produced by serialize_response (used by loadgen
 /// and the tests; malformed lines come back as kError with a message).
 Response parse_response(std::string_view line);
+
+/// The `metrics` verb's wire form of a registry: per-histogram
+/// count/p50/p90/p99/p999/mean/max plus the non-empty buckets as
+/// `upper_us:count` pairs, then counters and gauges. Shared by the tecfand
+/// Server and the cluster Router so fleet tooling parses one format.
+Response metrics_to_response(const MetricsRegistry& registry);
 
 }  // namespace tecfan::service

@@ -16,10 +16,18 @@
 #include "core/reactive_policies.h"
 #include "core/tecfan_policy.h"
 #include "perf/splash2.h"
+#include "service/framing.h"
 #include "sim/experiment.h"
 #include "util/error.h"
 #include "util/logging.h"
 #include "util/units.h"
+
+// Build identification for the `stats` verb (git describe at configure
+// time; see src/service/CMakeLists.txt). Lets fleet operators and the
+// cluster health monitor tell replicas apart.
+#ifndef TECFAN_BUILD_INFO
+#define TECFAN_BUILD_INFO "unknown"
+#endif
 
 namespace tecfan::service {
 namespace {
@@ -325,6 +333,14 @@ Response Server::do_table1(sim::ChipSimulator& simulator,
 Response Server::stats_response() const {
   const Stats s = stats();
   Response r;
+  // Replica identification first: name/pid/build/backend let the cluster
+  // layer and operators tell otherwise-identical fleet members apart.
+  r.add("name", options_.instance_name.empty() ? std::string("tecfand")
+                                               : options_.instance_name);
+  r.add("pid", static_cast<std::uint64_t>(::getpid()));
+  r.add("build", std::string(TECFAN_BUILD_INFO));
+  r.add("solve_backend",
+        std::string(engine_->thermal()->banded() ? "banded" : "dense"));
   r.add("uptime_s", s.uptime_s);
   r.add("requests", s.requests);
   r.add("computes", s.computes);
@@ -346,36 +362,7 @@ Response Server::stats_response() const {
 }
 
 Response Server::metrics_response() const {
-  Response r;
-  char buf[32];
-  const auto fmt = [&buf](double v) -> std::string {
-    if (std::isinf(v)) return "inf";
-    std::snprintf(buf, sizeof(buf), "%.4g", v);
-    return buf;
-  };
-  for (const auto& [name, snap] : metrics_.histograms()) {
-    r.add(name + "_count", snap.count);
-    r.add(name + "_p50_us", snap.percentile(50.0));
-    r.add(name + "_p90_us", snap.percentile(90.0));
-    r.add(name + "_p99_us", snap.percentile(99.0));
-    r.add(name + "_p999_us", snap.percentile(99.9));
-    r.add(name + "_mean_us", snap.mean_us());
-    r.add(name + "_max_us", snap.max_us);
-    // Non-empty buckets as `upper_bound_us:count` pairs — the full
-    // distribution, not just the extracted percentiles.
-    std::string buckets;
-    for (std::size_t i = 0; i < LatencyHistogram::kBucketCount; ++i) {
-      if (snap.buckets[i] == 0) continue;
-      if (!buckets.empty()) buckets += ',';
-      buckets += fmt(LatencyHistogram::bucket_upper_us(i));
-      buckets += ':';
-      buckets += std::to_string(snap.buckets[i]);
-    }
-    r.add(name + "_buckets", buckets);
-  }
-  for (const auto& [name, value] : metrics_.counters()) r.add(name, value);
-  for (const auto& [name, value] : metrics_.gauges()) r.add(name, value);
-  return r;
+  return metrics_to_response(metrics_);
 }
 
 Server::Stats Server::stats() const {
@@ -465,9 +452,15 @@ std::uint16_t Server::bind_listen(std::uint16_t port) {
 
 void Server::serve() {
   const int listen_fd = listen_fd_.load();
-  TECFAN_REQUIRE(listen_fd >= 0, "call bind_listen() before serve()");
+  if (listen_fd < 0) {
+    // stop() may win the race against a serve() thread that was just
+    // launched; that is a clean no-op, not a programming error.
+    TECFAN_REQUIRE(stopping_.load(), "call bind_listen() before serve()");
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(serve_mu_);
+    if (stopping_.load()) return;  // stop() already reclaimed the socket
     serve_running_ = true;
   }
   for (;;) {
@@ -501,16 +494,10 @@ void Server::serve() {
           if (line.empty()) continue;
           std::string reply = handle_line(line, &quit);
           reply += '\n';
-          std::size_t sent = 0;
-          while (sent < reply.size()) {
-            const ssize_t w =
-                ::send(fd, reply.data() + sent, reply.size() - sent, 0);
-            if (w <= 0) {
-              quit = true;
-              break;
-            }
-            sent += static_cast<std::size_t>(w);
-          }
+          // MSG_NOSIGNAL via send_all: a client that closed mid-response
+          // ends this session with EPIPE instead of killing the daemon
+          // with SIGPIPE.
+          if (!send_all(fd, reply)) quit = true;
           if (quit) break;
         }
         acc.erase(0, start);
@@ -535,8 +522,15 @@ void Server::serve() {
 }
 
 void Server::stop() {
-  stopping_.store(true);
-  const int listen_fd = listen_fd_.exchange(-1);
+  int listen_fd;
+  {
+    // stopping_ flips under serve_mu_ so a serve() thread that has not
+    // yet registered serve_running_ either sees the flag and returns or
+    // registers first and is then woken by the shutdown() below.
+    std::lock_guard<std::mutex> lock(serve_mu_);
+    stopping_.store(true);
+    listen_fd = listen_fd_.exchange(-1);
+  }
   if (listen_fd >= 0) {
     // Wake the accept loop, wait for it to leave, then reclaim the fd
     // (closing while serve() is still inside accept() would race).

@@ -58,6 +58,10 @@ struct ServerOptions {
   /// Deadline applied to requests that do not carry their own
   /// deadline_ms; 0 = none.
   double default_deadline_ms = 0.0;
+  /// Operator-visible replica name reported by the `stats` verb (tecfand
+  /// --name); empty = unnamed. The cluster health monitor and operators
+  /// use it to tell fleet members apart.
+  std::string instance_name;
 };
 
 class Server {

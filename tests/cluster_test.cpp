@@ -1,0 +1,577 @@
+// Tests for the cluster layer: the consistent-hash ShardMap, the pooled
+// BackendClient, HealthMonitor markdown/recovery, and end-to-end router
+// smoke tests (routed responses bit-identical to direct serving, disjoint
+// backend cache shards, transparent failover when a backend dies). The
+// ClusterSmoke suite runs real in-process Server fleets and is included
+// in the tier-1 TSan leg.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/backend_client.h"
+#include "cluster/health_monitor.h"
+#include "cluster/router.h"
+#include "cluster/shard_map.h"
+#include "service/framing.h"
+#include "service/request.h"
+#include "service/server.h"
+
+namespace {
+
+using namespace tecfan;
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------- shard map
+
+std::vector<std::string> sample_keys(std::size_t n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  const char* workloads[] = {"water", "cholesky", "lu", "fmm", "volrend"};
+  std::size_t i = 0;
+  while (keys.size() < n) {
+    service::Request r;
+    r.kind = service::RequestKind::kEquilibrium;
+    r.workload = workloads[i % 5];
+    r.threads = (i / 5) % 2 ? 16 : 4;
+    r.fan = static_cast<int>(i % 8);
+    r.dvfs = static_cast<int>((i / 8) % 4);
+    keys.push_back(service::canonical_key(r));
+    ++i;
+    if (i > 10 * n) break;  // workload/fan/dvfs grid exhausted
+  }
+  return keys;
+}
+
+TEST(ShardMap, HashIsStableAcrossProcessesAndBuilds) {
+  // FNV-1a 64 golden values: the ring layout must never depend on
+  // std::hash or the build, or a router restart remaps every key.
+  EXPECT_EQ(cluster::stable_hash(""), 14695981039346656037ull);
+  EXPECT_EQ(cluster::stable_hash("a"), 12638187200555641996ull);
+  EXPECT_EQ(cluster::stable_hash("backend-0#0"),
+            cluster::stable_hash(std::string("backend-0#0")));
+  EXPECT_NE(cluster::stable_hash("backend-0#0"),
+            cluster::stable_hash("backend-0#1"));
+}
+
+TEST(ShardMap, OwnerIsDeterministicAcrossInstances) {
+  const cluster::ShardMap a(4), b(4);
+  for (const auto& key : sample_keys(64)) {
+    EXPECT_EQ(a.owner(key), b.owner(key)) << key;
+    EXPECT_LT(a.owner(key), 4u);
+  }
+}
+
+TEST(ShardMap, EveryBackendOwnsAShare) {
+  const cluster::ShardMap map(4, 64);
+  const auto keys = sample_keys(320);
+  std::map<std::size_t, std::size_t> share;
+  for (const auto& key : keys) ++share[map.owner(key)];
+  ASSERT_EQ(share.size(), 4u);  // no empty shard with 64 vnodes
+  for (const auto& [backend, count] : share) {
+    // Loose balance bounds: FNV + 64 vnodes keeps shards within a few x.
+    EXPECT_GE(count, keys.size() / 20) << "backend " << backend;
+    EXPECT_LE(count, keys.size() * 6 / 10) << "backend " << backend;
+  }
+}
+
+TEST(ShardMap, ReplicaChainIsDistinctAndStartsAtOwner) {
+  const cluster::ShardMap map(4);
+  for (const auto& key : sample_keys(32)) {
+    const auto chain = map.replica_chain(key);
+    ASSERT_EQ(chain.size(), 4u);
+    EXPECT_EQ(chain[0], map.owner(key));
+    std::set<std::size_t> distinct(chain.begin(), chain.end());
+    EXPECT_EQ(distinct.size(), 4u) << key;
+
+    const auto truncated = map.replica_chain(key, 2);
+    ASSERT_EQ(truncated.size(), 2u);
+    EXPECT_EQ(truncated[0], chain[0]);
+    EXPECT_EQ(truncated[1], chain[1]);
+  }
+}
+
+TEST(ShardMap, FleetGrowthMovesOnlyAMinorityOfKeys) {
+  // Consistent hashing's point: going 4 -> 5 backends should move ~1/5 of
+  // keys (to the new backend only), not reshuffle everything. Allow
+  // generous slack for virtual-node variance.
+  const cluster::ShardMap before(4), after(5);
+  const auto keys = sample_keys(320);
+  std::size_t moved = 0, moved_elsewhere = 0;
+  for (const auto& key : keys) {
+    const std::size_t a = before.owner(key), b = after.owner(key);
+    if (a != b) {
+      ++moved;
+      if (b != 4) ++moved_elsewhere;  // moved to an OLD backend: forbidden
+    }
+  }
+  EXPECT_EQ(moved_elsewhere, 0u);
+  EXPECT_LT(moved, keys.size() / 2);
+  EXPECT_GT(moved, 0u);  // the new backend did take some share
+}
+
+// ----------------------------------------------------------- backend client
+
+service::ServerOptions small_server_options() {
+  service::ServerOptions o;
+  o.tiles_x = 2;
+  o.tiles_y = 2;
+  o.workers = 2;
+  o.queue_capacity = 8;
+  o.cache_capacity = 64;
+  o.max_sim_time_s = 0.05;
+  return o;
+}
+
+/// A Server bound to an ephemeral port with its accept loop running.
+struct LiveServer {
+  explicit LiveServer(service::ServerOptions options = small_server_options())
+      : server(std::make_unique<service::Server>(options)) {
+    port = server->bind_listen(0);
+    thread = std::thread([this] { server->serve(); });
+  }
+  ~LiveServer() { shutdown(); }
+  void shutdown() {
+    if (server) server->stop();
+    if (thread.joinable()) thread.join();
+  }
+  /// Stop and destroy the server, closing its listening port (the fleet
+  /// member "dies"; the port stays free for the failover tests).
+  void kill() {
+    shutdown();
+    server.reset();
+  }
+
+  std::unique_ptr<service::Server> server;
+  std::uint16_t port = 0;
+  std::thread thread;
+};
+
+/// A listening socket that accepts connections and reads forever but
+/// never replies — a backend that dials fine yet stalls every request.
+struct SilentBackend {
+  SilentBackend() {
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(listen_fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    EXPECT_EQ(::listen(listen_fd, 16), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                            &len),
+              0);
+    port = ntohs(addr.sin_port);
+    thread = std::thread([this] {
+      while (!stop.load()) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) break;  // listen_fd closed by the destructor
+        std::lock_guard<std::mutex> lock(mu);
+        conn_fds.push_back(fd);
+      }
+    });
+  }
+  ~SilentBackend() {
+    stop.store(true);
+    ::shutdown(listen_fd, SHUT_RDWR);
+    ::close(listen_fd);
+    if (thread.joinable()) thread.join();
+    for (const int fd : conn_fds) ::close(fd);
+  }
+
+  int listen_fd = -1;
+  std::uint16_t port = 0;
+  std::atomic<bool> stop{false};
+  std::mutex mu;
+  std::vector<int> conn_fds;
+  std::thread thread;
+};
+
+/// Bind-then-close: a loopback port with nothing listening on it.
+std::uint16_t dead_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  ::close(fd);
+  return ntohs(addr.sin_port);
+}
+
+TEST(BackendClient, RoundTripReusesPooledConnections) {
+  LiveServer backend;
+  cluster::BackendClient client(backend.port);
+
+  const auto r1 = client.round_trip("ping");
+  ASSERT_TRUE(r1);
+  EXPECT_EQ(r1->rfind("ok", 0), 0u) << *r1;
+  const auto r2 = client.round_trip("ping");
+  ASSERT_TRUE(r2);
+  EXPECT_EQ(*r1, *r2);
+
+  const auto s = client.stats();
+  EXPECT_EQ(s.dials, 1u);  // second round trip reused the pooled conn
+  EXPECT_EQ(s.reuses, 1u);
+  EXPECT_EQ(s.abandons, 0u);
+  EXPECT_EQ(s.idle, 1u);
+
+  client.close_idle();
+  EXPECT_EQ(client.stats().idle, 0u);
+}
+
+TEST(BackendClient, DialFailureIsACleanMiss) {
+  cluster::BackendClient client(dead_port());
+  auto lease = client.lease();
+  EXPECT_FALSE(lease.valid());
+  EXPECT_FALSE(client.round_trip("ping",
+                                 std::chrono::steady_clock::now() + 100ms));
+  EXPECT_GE(client.stats().dial_failures, 2u);
+  EXPECT_EQ(client.stats().idle, 0u);
+}
+
+TEST(BackendClient, DeadlineTimeoutAbandonsTheConnection) {
+  // The backend accepts and stalls: the read must time out at the
+  // deadline and the connection must NOT go back to the pool (a late
+  // reply on a reused connection would answer the wrong request).
+  SilentBackend backend;
+  cluster::BackendClient client(backend.port);
+  const auto reply = client.round_trip(
+      "ping", std::chrono::steady_clock::now() + 50ms);
+  EXPECT_FALSE(reply);
+  const auto s = client.stats();
+  EXPECT_EQ(s.dials, 1u);
+  EXPECT_EQ(s.abandons, 1u);
+  EXPECT_EQ(s.idle, 0u);
+}
+
+// ------------------------------------------------------------ health monitor
+
+TEST(HealthMonitor, TrafficReportsMarkDownAndRecover) {
+  // No monitor thread: pure traffic-path observations.
+  cluster::BackendClient client(dead_port());
+  cluster::HealthMonitor::Options opts;
+  opts.down_after = 2;
+  cluster::HealthMonitor monitor({&client}, opts);
+
+  EXPECT_TRUE(monitor.up(0));  // optimistic start
+  monitor.report_failure(0);
+  EXPECT_TRUE(monitor.up(0));  // one failure is not a markdown
+  monitor.report_failure(0);
+  EXPECT_FALSE(monitor.up(0));
+  EXPECT_EQ(monitor.up_count(), 0u);
+  EXPECT_EQ(monitor.health(0).markdowns, 1u);
+
+  monitor.report_success(0);  // first success marks up immediately
+  EXPECT_TRUE(monitor.up(0));
+  EXPECT_EQ(monitor.up_count(), 1u);
+}
+
+TEST(HealthMonitor, ProbesMarkDeadBackendDownAndLiveBackendUp) {
+  LiveServer live;
+  cluster::BackendClient up_client(live.port);
+  cluster::BackendClient down_client(dead_port());
+
+  cluster::HealthMonitor::Options opts;
+  opts.interval_s = 0.01;
+  opts.down_after = 2;
+  opts.ping_timeout_ms = 200.0;
+  cluster::HealthMonitor monitor({&up_client, &down_client}, opts);
+  monitor.start();
+
+  monitor.probe_now();
+  monitor.probe_now();  // second consecutive failure => markdown
+
+  EXPECT_TRUE(monitor.up(0));
+  EXPECT_FALSE(monitor.up(1));
+  EXPECT_EQ(monitor.up_count(), 1u);
+
+  const auto healthy = monitor.health(0);
+  EXPECT_GE(healthy.probes, 2u);
+  EXPECT_EQ(healthy.probe_failures, 0u);
+  EXPECT_GT(healthy.last_rtt_us, 0.0);
+  const auto dead = monitor.health(1);
+  EXPECT_GE(dead.probe_failures, 2u);
+  EXPECT_EQ(dead.markdowns, 1u);
+  monitor.stop();
+}
+
+TEST(HealthMonitor, RestartedBackendIsMarkedUpAgain) {
+  auto backend = std::make_unique<LiveServer>();
+  const std::uint16_t port = backend->port;
+  cluster::BackendClient client(port);
+
+  cluster::HealthMonitor::Options opts;
+  opts.interval_s = 0.01;
+  opts.down_after = 1;
+  opts.backoff_base_s = 0.01;
+  opts.backoff_max_s = 0.05;
+  cluster::HealthMonitor monitor({&client}, opts);
+  monitor.start();
+  monitor.probe_now();
+  ASSERT_TRUE(monitor.up(0));
+
+  backend->kill();
+  client.close_idle();  // pooled conns to the dead server are stale
+  monitor.probe_now();
+  ASSERT_FALSE(monitor.up(0));
+
+  // Same port, new process (well, new Server): the monitor must notice.
+  service::Server revived(small_server_options());
+  ASSERT_EQ(revived.bind_listen(port), port);
+  std::thread serving([&revived] { revived.serve(); });
+  for (int i = 0; i < 100 && !monitor.up(0); ++i) monitor.probe_now();
+  EXPECT_TRUE(monitor.up(0));
+  monitor.stop();
+  revived.stop();
+  serving.join();
+}
+
+// ------------------------------------------------------------ router smoke
+
+cluster::RouterOptions router_options(
+    const std::vector<std::uint16_t>& ports) {
+  cluster::RouterOptions o;
+  o.backend_ports = ports;
+  o.health.interval_s = 0.05;
+  o.health.ping_timeout_ms = 500.0;
+  return o;
+}
+
+std::vector<std::string> distinct_requests(std::size_t n) {
+  std::vector<std::string> lines;
+  for (std::size_t i = 0; i < n; ++i)
+    lines.push_back("equilibrium workload=water threads=4 fan=" +
+                    std::to_string(i % 7) + " dvfs=" + std::to_string(i / 7));
+  return lines;
+}
+
+TEST(ClusterSmoke, ControlVerbsAreAnsweredLocally) {
+  LiveServer b0, b1;
+  cluster::Router router(router_options({b0.port, b1.port}));
+
+  bool quit = false;
+  const auto pong = service::parse_response(router.handle_line("ping", &quit));
+  EXPECT_EQ(pong.field("pong"), std::optional<std::string>("1"));
+  EXPECT_FALSE(quit);
+
+  const auto stats =
+      service::parse_response(router.handle_line("stats", &quit));
+  ASSERT_EQ(stats.status, service::Response::Status::kOk);
+  EXPECT_EQ(stats.field("name"), std::optional<std::string>("tecrouter"));
+  EXPECT_EQ(stats.field("backends"), std::optional<std::string>("2"));
+  EXPECT_EQ(stats.field("backend0_port"),
+            std::optional<std::string>(std::to_string(b0.port)));
+
+  const auto bye = service::parse_response(router.handle_line("quit", &quit));
+  EXPECT_EQ(bye.field("bye"), std::optional<std::string>("1"));
+  EXPECT_TRUE(quit);
+
+  // None of those touched a backend.
+  EXPECT_EQ(router.stats().routed, 0u);
+  EXPECT_EQ(router.stats().local, 3u);
+}
+
+TEST(ClusterSmoke, RoutedRepliesAreBitIdenticalToDirectServing) {
+  LiveServer b0, b1;
+  cluster::Router router(router_options({b0.port, b1.port}));
+  service::Server direct(small_server_options());  // reference: no fleet
+
+  const auto requests = distinct_requests(8);
+  std::vector<std::string> first_pass;
+  for (const auto& line : requests) {
+    const std::string routed = router.handle_line(line);
+    const auto parsed = service::parse_response(routed);
+    ASSERT_EQ(parsed.status, service::Response::Status::kOk) << routed;
+    EXPECT_FALSE(parsed.cached) << routed;
+
+    // Same solver, same floorplan => the routed reply must match a direct
+    // Server field for field (the fleet is an implementation detail).
+    const auto ref = direct.handle(
+        service::parse_request(line).request);
+    EXPECT_EQ(parsed.field("peak_t_c"), ref.field("peak_t_c")) << line;
+    EXPECT_EQ(parsed.field("peak_t_k"), ref.field("peak_t_k")) << line;
+    first_pass.push_back(routed);
+  }
+
+  // Second pass: every reply is a cache hit on its owning shard, and the
+  // payload matches the miss-path reply except for the cached flag.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const std::string routed = router.handle_line(requests[i]);
+    const auto parsed = service::parse_response(routed);
+    ASSERT_EQ(parsed.status, service::Response::Status::kOk) << routed;
+    EXPECT_TRUE(parsed.cached) << routed;
+    const auto miss = service::parse_response(first_pass[i]);
+    EXPECT_EQ(parsed.field("peak_t_c"), miss.field("peak_t_c"));
+    EXPECT_EQ(parsed.field("energy_j"), miss.field("energy_j"));
+  }
+
+  // Sharding is disjoint: each key computed exactly once fleet-wide, on
+  // the backend the ShardMap names as its owner.
+  const auto s0 = b0.server->stats(), s1 = b1.server->stats();
+  EXPECT_EQ(s0.computes + s1.computes, requests.size());
+  EXPECT_EQ(s0.cache.hits + s1.cache.hits, requests.size());
+  std::size_t owned0 = 0;
+  for (const auto& line : requests)
+    if (router.shards().owner(service::canonical_key(
+            service::parse_request(line).request)) == 0)
+      ++owned0;
+  EXPECT_EQ(s0.computes, owned0);
+
+  const auto rs = router.stats();
+  EXPECT_EQ(rs.routed, 2 * requests.size());
+  EXPECT_EQ(rs.failovers, 0u);
+  EXPECT_EQ(rs.errors, 0u);
+}
+
+TEST(ClusterSmoke, FailoverOnBackendDeathIsInvisibleToClients) {
+  LiveServer b0, b1;
+  auto opts = router_options({b0.port, b1.port});
+  opts.health.down_after = 2;
+  cluster::Router router(opts);
+
+  // Find a request owned by each backend, then warm both.
+  std::string owned_by[2];
+  for (const auto& line : distinct_requests(16)) {
+    const auto key =
+        service::canonical_key(service::parse_request(line).request);
+    owned_by[router.shards().owner(key)] = line;
+  }
+  ASSERT_FALSE(owned_by[0].empty());
+  ASSERT_FALSE(owned_by[1].empty());
+  for (const auto& line : owned_by)
+    ASSERT_EQ(service::parse_response(router.handle_line(line)).status,
+              service::Response::Status::kOk);
+
+  // Kill backend 0. The next request for its key must fail over to
+  // backend 1 with NO client-visible error: the traffic path reports the
+  // failure and the retry lands on the replica.
+  b0.kill();
+  const auto failed_over =
+      service::parse_response(router.handle_line(owned_by[0]));
+  EXPECT_EQ(failed_over.status, service::Response::Status::kOk)
+      << failed_over.error;
+  EXPECT_GE(router.stats().failovers, 1u);
+  EXPECT_EQ(router.stats().errors, 0u);
+
+  // Health converges: probes mark the dead backend down, after which its
+  // keys route straight to the replica with no per-request retry.
+  router.health().probe_now();
+  router.health().probe_now();
+  EXPECT_FALSE(router.health().up(0));
+  const std::uint64_t failovers_before = router.stats().failovers;
+  const auto rerouted =
+      service::parse_response(router.handle_line(owned_by[0]));
+  EXPECT_EQ(rerouted.status, service::Response::Status::kOk);
+  EXPECT_TRUE(rerouted.cached);  // the replica computed it during failover
+  EXPECT_EQ(router.stats().failovers, failovers_before);
+  EXPECT_EQ(router.stats().errors, 0u);
+
+  // The survivor still answers its own keys.
+  EXPECT_EQ(service::parse_response(router.handle_line(owned_by[1])).status,
+            service::Response::Status::kOk);
+}
+
+TEST(ClusterSmoke, AllBackendsDownYieldsAnErrorNotAHang) {
+  auto opts = router_options({dead_port()});
+  opts.health.down_after = 1;
+  cluster::Router router(opts);
+  router.health().probe_now();
+  EXPECT_EQ(router.health().up_count(), 0u);
+
+  const auto r = service::parse_response(
+      router.handle_line("equilibrium workload=water threads=4 fan=1"));
+  EXPECT_EQ(r.status, service::Response::Status::kError);
+  EXPECT_NE(r.error.find("no backend"), std::string::npos) << r.error;
+  EXPECT_GE(router.stats().errors, 1u);
+}
+
+TEST(ClusterSmoke, HedgeFiresWhenThePrimaryStalls) {
+  // Primary shard: accepts and never answers. Replica: a real server.
+  // With a fixed 10ms hedge delay the router must answer from the replica
+  // while the primary is still silent.
+  SilentBackend stalled;
+  LiveServer live;
+  auto opts = router_options({stalled.port, live.port});
+  opts.hedge_ms = 10.0;
+  opts.health.interval_s = 30.0;   // keep probes out of the way
+  opts.health.down_after = 1000;   // the stalled backend must stay "up"
+  cluster::Router router(opts);
+
+  // A request whose canonical key is owned by the stalled backend.
+  std::string stalled_line;
+  for (const auto& line : distinct_requests(32)) {
+    const auto key =
+        service::canonical_key(service::parse_request(line).request);
+    if (router.shards().owner(key) == 0) {
+      stalled_line = line;
+      break;
+    }
+  }
+  ASSERT_FALSE(stalled_line.empty());
+  EXPECT_GT(router.current_hedge_delay_us(), 0.0);
+
+  const auto r = service::parse_response(router.handle_line(stalled_line));
+  EXPECT_EQ(r.status, service::Response::Status::kOk) << r.error;
+  const auto rs = router.stats();
+  EXPECT_GE(rs.hedges, 1u);
+  EXPECT_GE(rs.hedge_wins, 1u);
+  EXPECT_EQ(rs.errors, 0u);
+}
+
+TEST(ClusterSmoke, TcpEndToEndThroughTheRouter) {
+  LiveServer b0, b1;
+  cluster::Router router(router_options({b0.port, b1.port}));
+  const std::uint16_t port = router.bind_listen(0);
+  std::thread serving([&router] { router.serve(); });
+
+  // Concurrent client sessions through the router's TCP front door, each
+  // reusing the line protocol exactly as against a single tecfand.
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([port, c, &failures] {
+      cluster::BackendClient conn(port);  // plain line-protocol client
+      for (int i = 0; i < 4; ++i) {
+        const auto reply = conn.round_trip(
+            "equilibrium workload=water threads=4 fan=" +
+                std::to_string((c + i) % 7),
+            std::chrono::steady_clock::now() + 30s);
+        if (!reply || reply->rfind("ok", 0) != 0) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  router.stop();
+  serving.join();
+  EXPECT_GE(router.stats().requests, 12u);
+  // The router's own per-stage histograms saw every routed request.
+  bool saw_route = false;
+  for (const auto& [name, snap] : router.metrics().histograms())
+    if (name == "route") {
+      saw_route = true;
+      EXPECT_GE(snap.count, 12u);
+    }
+  EXPECT_TRUE(saw_route);
+}
+
+}  // namespace

@@ -725,4 +725,126 @@ TEST(ServerTcp, RoundTripAndConcurrentClients) {
   EXPECT_GE(server.stats().requests, 6u);  // 3 x (equilibrium + quit)
 }
 
+int connect_to(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+// Regression: a client that pipelines requests and disconnects without
+// reading leaves the connection thread writing into a closed socket.
+// Library sends use MSG_NOSIGNAL, so that must surface as a per-session
+// error, not a SIGPIPE that kills the whole daemon (the gtest process
+// here). Before the fix this test dies with SIGPIPE.
+TEST(ServerTcp, ClientDisconnectMidWriteDoesNotKillTheServer) {
+  Server server(small_server_options());
+  const std::uint16_t port = server.bind_listen(0);
+  std::thread serving([&server] { server.serve(); });
+
+  for (int round = 0; round < 4; ++round) {
+    const int fd = connect_to(port);
+    // `stats` replies are long enough to still be in flight when the
+    // close lands; pipeline many so writes keep hitting the dead socket.
+    std::string burst;
+    for (int i = 0; i < 64; ++i) burst += "stats\n";
+    (void)::send(fd, burst.data(), burst.size(), MSG_NOSIGNAL);
+    ::close(fd);  // vanish without reading a single reply
+  }
+
+  // The daemon must still be alive and serving fresh connections.
+  const int fd = connect_to(port);
+  const std::string req = "ping\nquit\n";
+  ASSERT_EQ(::send(fd, req.data(), req.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(req.size()));
+  std::string acc;
+  char buf[256];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    acc.append(buf, static_cast<std::size_t>(n));
+    if (std::count(acc.begin(), acc.end(), '\n') >= 2) break;
+  }
+  ::close(fd);
+  EXPECT_EQ(parse_response(acc.substr(0, acc.find('\n')))
+                .field("pong"),
+            std::optional<std::string>("1"))
+      << acc;
+  server.stop();
+  serving.join();
+}
+
+// ---------------------------------------------------------- server lifecycle
+
+TEST(ServerLifecycle, EphemeralPortCanBeReboundAfterStop) {
+  std::uint16_t port = 0;
+  {
+    Server first(small_server_options());
+    port = first.bind_listen(0);
+    ASSERT_GT(port, 0u);
+    std::thread serving([&first] { first.serve(); });
+    first.stop();
+    serving.join();
+  }
+  // The listening socket is fully released: the same port binds again
+  // (SO_REUSEADDR covers the TIME_WAIT tail).
+  Server second(small_server_options());
+  ASSERT_EQ(second.bind_listen(port), port);
+  std::thread serving([&second] { second.serve(); });
+  const int fd = connect_to(port);
+  const std::string req = "ping\nquit\n";
+  ASSERT_EQ(::send(fd, req.data(), req.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(req.size()));
+  char buf[128];
+  EXPECT_GT(::recv(fd, buf, sizeof(buf), 0), 0);
+  ::close(fd);
+  second.stop();
+  serving.join();
+}
+
+TEST(ServerLifecycle, StopRacingServeShutsDownCleanly) {
+  // stop() may land before, during, or after the accept loop settles;
+  // every interleaving must return from serve() and join cleanly.
+  for (int round = 0; round < 5; ++round) {
+    Server server(small_server_options());
+    server.bind_listen(0);
+    std::thread serving([&server] { server.serve(); });
+    if (round > 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(50 * round));
+    server.stop();
+    serving.join();
+  }
+}
+
+TEST(ServerLifecycle, StopDrainsInFlightConnections) {
+  Server server(small_server_options());
+  const std::uint16_t port = server.bind_listen(0);
+  std::thread serving([&server] { server.serve(); });
+
+  // One idle session and one with a partial (unterminated) request line
+  // buffered: stop() must close both and return, not wait for the line
+  // to complete.
+  const int idle_fd = connect_to(port);
+  const int partial_fd = connect_to(port);
+  const std::string partial = "equilibrium workload=water";  // no '\n'
+  ASSERT_EQ(::send(partial_fd, partial.data(), partial.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(partial.size()));
+  std::this_thread::sleep_for(20ms);  // let the conn threads pick them up
+
+  server.stop();
+  serving.join();
+
+  // Both clients observe EOF (connection closed server-side), not a hang.
+  char buf[64];
+  EXPECT_LE(::recv(idle_fd, buf, sizeof(buf), 0), 0);
+  EXPECT_LE(::recv(partial_fd, buf, sizeof(buf), 0), 0);
+  ::close(idle_fd);
+  ::close(partial_fd);
+}
+
 }  // namespace

@@ -10,20 +10,31 @@
 //   loadgen                              # in-process server, 4 conns, 3 s
 //   loadgen --port 7411 --connections 8 --duration-s 10
 //   loadgen --keys 32 --no-warmup       # larger working set, cold cache
+//
+// Fleet mode (--router) spawns N in-process tecfand backends plus a
+// tecrouter front-end and drives the router, so sharded serving can be
+// compared against direct serving with the same flags:
+//
+//   loadgen --router --backends 4        # 4-shard fleet behind a router
+//   loadgen --router --backends 2 --hedge-ms 0   # with auto-p99 hedging
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "cluster/router.h"
+#include "service/framing.h"
 #include "service/request.h"
 #include "service/server.h"
 #include "util/stats.h"
@@ -41,6 +52,9 @@ struct Args {
   std::size_t workers = service::default_worker_count();
   std::size_t queue = 64;
   std::size_t cache = 4096;
+  bool router = false;  // fleet mode: backends + tecrouter in-process
+  int backends = 2;
+  double hedge_ms = -1.0;
   bool warmup = true;
   bool check_p99 = false;
   std::string out = "BENCH_serving.json";
@@ -52,15 +66,23 @@ void usage() {
       stderr,
       "usage: loadgen [--port N] [--connections C] [--duration-s S]\n"
       "               [--keys K] [--workers N] [--queue N] [--cache N]\n"
+      "               [--router] [--backends N] [--hedge-ms X]\n"
       "               [--no-warmup] [--check-p99] [--out FILE]\n"
-      "  --port N         target an external tecfand (default: in-process)\n"
+      "  --port N         target an external tecfand or tecrouter\n"
+      "                   (default: in-process)\n"
       "  --connections C  closed-loop client connections (default 4)\n"
       "  --duration-s S   measured interval (default 3)\n"
       "  --keys K         distinct equilibrium requests in the set (8)\n"
-      "  --workers N      in-process worker pool size (default: hardware\n"
+      "  --workers N      in-process worker pool size, total across the\n"
+      "                   fleet in --router mode (default: hardware\n"
       "                   threads, clamped to [2,16])\n"
       "  --queue N        in-process pending-request bound (64)\n"
-      "  --cache N        in-process result cache capacity (4096)\n"
+      "  --cache N        in-process result cache capacity per backend\n"
+      "                   (4096)\n"
+      "  --router         fleet mode: spawn --backends in-process tecfand\n"
+      "                   servers plus a tecrouter and drive the router\n"
+      "  --backends N     fleet size for --router (default 2)\n"
+      "  --hedge-ms X     router hedged retry: -1 off, 0 auto-p99, >0 fixed\n"
       "  --no-warmup      skip the cache-priming pass\n"
       "  --check-p99      exit non-zero when the server-side e2e hit p99\n"
       "                   disagrees with the client-side hit p99\n"
@@ -101,6 +123,16 @@ bool parse(int argc, char** argv, Args& out) {
       const char* v = next(i);
       if (!v) return false;
       out.cache = static_cast<std::size_t>(std::atoi(v));
+    } else if (a == "--router") {
+      out.router = true;
+    } else if (a == "--backends") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.backends = std::atoi(v);
+    } else if (a == "--hedge-ms") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.hedge_ms = std::atof(v);
     } else if (a == "--no-warmup") {
       out.warmup = false;
     } else if (a == "--check-p99") {
@@ -116,8 +148,13 @@ bool parse(int argc, char** argv, Args& out) {
       return false;
     }
   }
+  if (out.router && out.port >= 0) {
+    std::fprintf(stderr, "error: --router spawns its own fleet; drop --port\n");
+    return false;
+  }
   return out.connections > 0 && out.duration_s > 0 && out.keys > 0 &&
-         out.workers > 0 && out.queue > 0 && out.cache > 0;
+         out.workers > 0 && out.queue > 0 && out.cache > 0 &&
+         out.backends > 0;
 }
 
 /// Resident set size of this process (which, with the in-process server, is
@@ -132,23 +169,15 @@ std::size_t process_rss_bytes() {
   return rss_pages * static_cast<std::size_t>(page);
 }
 
-/// Blocking line-protocol client over a loopback TCP connection.
+/// Blocking line-protocol client over a loopback TCP connection
+/// (service/framing.h does the socket work: MSG_NOSIGNAL sends, buffered
+/// line reads).
 class Client {
  public:
   bool connect_to(std::uint16_t port) {
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd_ < 0) return false;
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(port);
-    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-        0) {
-      ::close(fd_);
-      fd_ = -1;
-      return false;
-    }
-    return true;
+    fd_ = service::connect_loopback(port);
+    reader_.reset(fd_);
+    return fd_ >= 0;
   }
 
   ~Client() {
@@ -159,29 +188,13 @@ class Client {
   std::string round_trip(const std::string& line) {
     std::string msg = line;
     msg += '\n';
-    std::size_t sent = 0;
-    while (sent < msg.size()) {
-      const ssize_t w = ::send(fd_, msg.data() + sent, msg.size() - sent, 0);
-      if (w <= 0) return {};
-      sent += static_cast<std::size_t>(w);
-    }
-    for (;;) {
-      const std::size_t nl = acc_.find('\n');
-      if (nl != std::string::npos) {
-        std::string reply = acc_.substr(0, nl);
-        acc_.erase(0, nl + 1);
-        return reply;
-      }
-      char buf[4096];
-      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
-      if (n <= 0) return {};
-      acc_.append(buf, static_cast<std::size_t>(n));
-    }
+    if (!service::send_all(fd_, msg)) return {};
+    return reader_.read_line().value_or(std::string{});
   }
 
  private:
   int fd_ = -1;
-  std::string acc_;
+  service::LineReader reader_;
 };
 
 /// The repeated-key working set: equilibrium points across the benchmark x
@@ -217,10 +230,11 @@ double get_field(const service::Response& r, const char* key) {
 }
 
 /// The serving-path stage histograms the server exports via `metrics`,
-/// in pipeline order (see Server::metrics()).
-const char* const kStages[] = {"parse",     "cache_probe", "queue_wait",
-                               "compute",   "serialize",   "e2e_hit",
-                               "e2e_miss"};
+/// in pipeline order (see Server::metrics()), plus the cluster stages a
+/// tecrouter exports (zero-count and skipped when targeting a tecfand).
+const char* const kStages[] = {"parse",        "cache_probe", "queue_wait",
+                               "compute",      "serialize",   "route",
+                               "backend_wait", "e2e_hit",     "e2e_miss"};
 
 /// One stage's summary pulled out of a `metrics` response.
 struct StageSummary {
@@ -257,22 +271,54 @@ int main(int argc, char** argv) {
     return args.help ? 0 : 2;
   }
 
-  // Spawn an in-process server unless pointed at an external daemon.
-  std::unique_ptr<service::Server> local;
-  std::thread serve_thread;
+  service::ignore_sigpipe();
+
+  // Spawn the in-process serving stack unless pointed at an external
+  // daemon: one tecfand (default), or --backends tecfand shards plus a
+  // tecrouter front-end (--router). The fleet splits the worker budget so
+  // direct and routed runs compare at equal total worker count.
+  std::vector<std::unique_ptr<service::Server>> fleet;
+  std::vector<std::thread> fleet_threads;
+  std::unique_ptr<cluster::Router> router;
+  std::thread router_thread;
   std::uint16_t port = 0;
-  if (args.port < 0) {
-    service::ServerOptions options;
-    options.workers = args.workers;
-    options.queue_capacity = args.queue;
-    options.cache_capacity = args.cache;
-    local = std::make_unique<service::Server>(options);
-    port = local->bind_listen(0);
-    serve_thread = std::thread([&local] { local->serve(); });
-    std::fprintf(stderr, "loadgen: in-process tecfand on port %u (%zu workers)\n",
-                 port, args.workers);
-  } else {
+  if (args.port >= 0) {
     port = static_cast<std::uint16_t>(args.port);
+  } else {
+    const std::size_t n = args.router
+                              ? static_cast<std::size_t>(args.backends)
+                              : 1;
+    const std::size_t workers_each =
+        std::max<std::size_t>(1, args.workers / n);
+    std::vector<std::uint16_t> backend_ports;
+    for (std::size_t b = 0; b < n; ++b) {
+      service::ServerOptions options;
+      options.workers = workers_each;
+      options.queue_capacity = args.queue;
+      options.cache_capacity = args.cache;
+      options.instance_name = "shard" + std::to_string(b);
+      fleet.push_back(std::make_unique<service::Server>(options));
+      backend_ports.push_back(fleet.back()->bind_listen(0));
+      fleet_threads.emplace_back(
+          [srv = fleet.back().get()] { srv->serve(); });
+    }
+    if (args.router) {
+      cluster::RouterOptions options;
+      options.backend_ports = backend_ports;
+      options.hedge_ms = args.hedge_ms;
+      router = std::make_unique<cluster::Router>(options);
+      port = router->bind_listen(0);
+      router_thread = std::thread([&router] { router->serve(); });
+      std::fprintf(stderr,
+                   "loadgen: in-process tecrouter on port %u over %zu "
+                   "backends (%zu workers each)\n",
+                   port, n, workers_each);
+    } else {
+      port = backend_ports.front();
+      std::fprintf(stderr,
+                   "loadgen: in-process tecfand on port %u (%zu workers)\n",
+                   port, args.workers);
+    }
   }
 
   const std::vector<std::string> requests = request_set(args.keys);
@@ -361,9 +407,12 @@ int main(int argc, char** argv) {
   }
 
   // Server-side cache/memory statistics and the per-stage latency
-  // histograms accumulated during the run.
+  // histograms accumulated during the run. In router mode the protocol
+  // `stats` verb answers with fleet topology, so the cache/memory numbers
+  // are aggregated straight from the in-process backend shards instead.
   double hit_rate = 0.0, cache_hits = 0.0, cache_misses = 0.0;
   double workers = 0.0, engine_bytes = 0.0, workspace_bytes = 0.0;
+  double router_failovers = 0.0, router_hedges = 0.0;
   service::Response server_metrics;
   bool have_metrics = false;
   {
@@ -377,11 +426,29 @@ int main(int argc, char** argv) {
       workers = get_field(stats, "workers");
       engine_bytes = get_field(stats, "engine_bytes");
       workspace_bytes = get_field(stats, "workspace_bytes");
+      router_failovers = get_field(stats, "failovers");
+      router_hedges = get_field(stats, "hedges");
       server_metrics = service::parse_response(statc.round_trip("metrics"));
       have_metrics =
           server_metrics.status == service::Response::Status::kOk;
       statc.round_trip("quit");
     }
+  }
+  if (router) {
+    cache_hits = cache_misses = 0.0;
+    workers = engine_bytes = workspace_bytes = 0.0;
+    for (const auto& srv : fleet) {
+      const service::Server::Stats s = srv->stats();
+      cache_hits += static_cast<double>(s.cache.hits);
+      cache_misses += static_cast<double>(s.cache.misses);
+      workers += static_cast<double>(s.pool.workers);
+      engine_bytes += static_cast<double>(s.engine_bytes);
+      workspace_bytes =
+          std::max(workspace_bytes, static_cast<double>(s.workspace_bytes));
+    }
+    hit_rate = cache_hits + cache_misses > 0
+                   ? cache_hits / (cache_hits + cache_misses)
+                   : 0.0;
   }
   const std::size_t rss_bytes = process_rss_bytes();
 
@@ -411,6 +478,16 @@ int main(int argc, char** argv) {
       server_hit.p99_us <= crosscheck_bound_us;
 
   std::printf("== serving-path benchmark (loadgen) ==\n");
+  std::printf("mode              %s\n",
+              router ? "router" : (args.port >= 0 ? "external" : "direct"));
+  if (router) {
+    const cluster::Router::Stats rs = router->stats();
+    std::printf("fleet             %zu backends (%zu up), %llu failovers, "
+                "%llu hedges\n",
+                rs.backends, rs.backends_up,
+                static_cast<unsigned long long>(rs.failovers),
+                static_cast<unsigned long long>(rs.hedges));
+  }
   std::printf("connections       %d\n", args.connections);
   std::printf("distinct keys     %d\n", args.keys);
   std::printf("duration          %.2f s\n", elapsed);
@@ -457,6 +534,12 @@ int main(int argc, char** argv) {
     json.precision(6);
     json << "{\n"
          << "  \"bench\": \"serving\",\n"
+         << "  \"mode\": \""
+         << (router ? "router" : (args.port >= 0 ? "external" : "direct"))
+         << "\",\n"
+         << "  \"backends\": " << (router ? args.backends : 1) << ",\n"
+         << "  \"router_failovers\": " << router_failovers << ",\n"
+         << "  \"router_hedges\": " << router_hedges << ",\n"
          << "  \"connections\": " << args.connections << ",\n"
          << "  \"distinct_keys\": " << args.keys << ",\n"
          << "  \"duration_s\": " << elapsed << ",\n"
@@ -510,10 +593,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "loadgen: wrote %s\n", args.out.c_str());
   }
 
-  if (local) {
-    local->stop();
-    if (serve_thread.joinable()) serve_thread.join();
+  if (router) {
+    router->stop();
+    if (router_thread.joinable()) router_thread.join();
   }
+  for (auto& srv : fleet) srv->stop();
+  for (auto& t : fleet_threads)
+    if (t.joinable()) t.join();
   if (args.check_p99 && !crosscheck_pass) {
     std::fprintf(stderr,
                  crosscheck_applicable

@@ -25,6 +25,7 @@
 #include <string>
 #include <thread>
 
+#include "service/framing.h"
 #include "service/server.h"
 #include "util/metrics.h"
 
@@ -38,13 +39,14 @@ struct Args {
   std::size_t cache = 4096;
   double deadline_ms = 0.0;
   double metrics_interval_s = 0.0;  // 0 = no periodic logging
+  std::string name;  // replica name reported by `stats`
   bool help = false;
 };
 
 void usage() {
   std::fprintf(stderr,
                "usage: tecfand [--pipe | --port N] [--workers N] [--queue N]\n"
-               "               [--cache N] [--deadline-ms X]\n"
+               "               [--cache N] [--deadline-ms X] [--name S]\n"
                "               [--metrics-interval S]\n"
                "  --pipe          serve stdin/stdout (default)\n"
                "  --port N        serve loopback TCP on port N (0 = ephemeral)\n"
@@ -53,6 +55,8 @@ void usage() {
                "  --queue N       pending-request bound before `busy` (64)\n"
                "  --cache N       result cache capacity in entries (4096)\n"
                "  --deadline-ms X default per-request deadline (0 = none)\n"
+               "  --name S        replica name reported by the stats verb\n"
+               "                  (fleet members behind tecrouter)\n"
                "  --metrics-interval S\n"
                "                  log per-stage latency percentiles to stderr\n"
                "                  every S seconds (0 = off)\n");
@@ -109,6 +113,10 @@ bool parse(int argc, char** argv, Args& out) {
       const char* v = next(i);
       if (!v) return false;
       out.metrics_interval_s = std::atof(v);
+    } else if (a == "--name") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.name = v;
     } else if (a == "--help" || a == "-h") {
       out.help = true;
     } else {
@@ -136,11 +144,16 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // A client that disconnects mid-response must cost one session, not the
+  // daemon: library sends use MSG_NOSIGNAL, and this covers stray paths.
+  tecfan::service::ignore_sigpipe();
+
   tecfan::service::ServerOptions options;
   options.workers = args.workers;
   options.queue_capacity = args.queue;
   options.cache_capacity = args.cache;
   options.default_deadline_ms = args.deadline_ms;
+  options.instance_name = args.name;
   tecfan::service::Server server(options);
 
   // Periodic telemetry: a sampling thread that logs per-stage percentiles

@@ -1,0 +1,162 @@
+// tecrouter — sharding + replication front-end over a tecfand fleet.
+//
+// Speaks the tecfand line protocol to clients on a loopback TCP port and
+// fans compute requests out to N backends by consistent-hashed canonical
+// key (see src/cluster/). Start the fleet first, then the router:
+//
+//   tecfand --port 7411 &  tecfand --port 7412 &
+//   tecrouter --port 7400 --backends 7411,7412
+//   loadgen --port 7400            # clients can't tell it's a fleet
+//
+//   tecrouter --port 0 --backends 7411,7412 --hedge-ms 0
+//                                  # ephemeral port, auto p99 hedging
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cluster/router.h"
+#include "service/framing.h"
+
+namespace {
+
+using namespace tecfan;
+
+struct Args {
+  int port = -1;
+  std::vector<std::uint16_t> backends;
+  std::size_t vnodes = cluster::ShardMap::kDefaultVirtualNodes;
+  std::size_t pool = 8;
+  double deadline_ms = 0.0;
+  double hedge_ms = -1.0;
+  double health_interval_s = 0.1;
+  bool help = false;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: tecrouter --port N --backends P1,P2,... [--vnodes N]\n"
+      "                 [--pool N] [--deadline-ms X] [--hedge-ms X]\n"
+      "                 [--health-interval S]\n"
+      "  --port N           client-facing loopback port (0 = ephemeral)\n"
+      "  --backends P1,P2   comma-separated tecfand ports (the fleet)\n"
+      "  --vnodes N         virtual nodes per backend on the hash ring (64)\n"
+      "  --pool N           pooled connections per backend (8)\n"
+      "  --deadline-ms X    per-forward deadline when the client sends none\n"
+      "                     (0 = none; timeouts fail over to the replica)\n"
+      "  --hedge-ms X       hedged retry delay: -1 off (default), 0 = derive\n"
+      "                     from observed e2e p99, >0 fixed delay in ms\n"
+      "  --health-interval S  backend ping period in seconds (0.1)\n");
+}
+
+bool parse_ports(const std::string& list, std::vector<std::uint16_t>& out) {
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string tok =
+        list.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (tok.empty()) return false;
+    const int p = std::atoi(tok.c_str());
+    if (p <= 0 || p > 65535) return false;
+    out.push_back(static_cast<std::uint16_t>(p));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return !out.empty();
+}
+
+bool parse(int argc, char** argv, Args& out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](int& i) -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--port") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.port = std::atoi(v);
+    } else if (a == "--backends") {
+      const char* v = next(i);
+      if (!v || !parse_ports(v, out.backends)) return false;
+    } else if (a == "--vnodes") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.vnodes = static_cast<std::size_t>(std::atoi(v));
+    } else if (a == "--pool") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.pool = static_cast<std::size_t>(std::atoi(v));
+    } else if (a == "--deadline-ms") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.deadline_ms = std::atof(v);
+    } else if (a == "--hedge-ms") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.hedge_ms = std::atof(v);
+    } else if (a == "--health-interval") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.health_interval_s = std::atof(v);
+    } else if (a == "--help" || a == "-h") {
+      out.help = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, args) || args.help) {
+    usage();
+    return args.help ? 0 : 2;
+  }
+  if (args.port < 0 || args.backends.empty()) {
+    std::fprintf(stderr, "error: --port and --backends are required\n");
+    usage();
+    return 2;
+  }
+  if (args.vnodes == 0 || args.pool == 0 || args.health_interval_s <= 0) {
+    std::fprintf(stderr,
+                 "error: --vnodes/--pool/--health-interval must be > 0\n");
+    return 2;
+  }
+
+  // A backend vanishing mid-response must surface as an error return on
+  // that one forward, never as a router-killing SIGPIPE.
+  tecfan::service::ignore_sigpipe();
+
+  cluster::RouterOptions options;
+  options.backend_ports = args.backends;
+  options.virtual_nodes = args.vnodes;
+  options.pool_size = args.pool;
+  options.backend_deadline_ms = args.deadline_ms;
+  options.hedge_ms = args.hedge_ms;
+  options.health.interval_s = args.health_interval_s;
+  cluster::Router router(options);
+
+  const std::uint16_t port =
+      router.bind_listen(static_cast<std::uint16_t>(args.port));
+  std::string fleet;
+  for (const std::uint16_t p : args.backends) {
+    if (!fleet.empty()) fleet += ',';
+    fleet += std::to_string(p);
+  }
+  std::fprintf(stderr,
+               "tecrouter: listening on 127.0.0.1:%u, fleet [%s] "
+               "(%zu vnodes/backend, hedge %s)\n",
+               port, fleet.c_str(), args.vnodes,
+               args.hedge_ms < 0    ? "off"
+               : args.hedge_ms == 0 ? "auto-p99"
+                                    : "fixed");
+  std::fflush(stderr);
+  router.serve();
+  return 0;
+}
