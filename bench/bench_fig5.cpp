@@ -27,7 +27,7 @@ int main() {
       sim::SweepOptions opts;
       opts.threshold_k = base.peak_temp_k;
       opts.max_mean_dvfs = entry.max_mean_dvfs;
-      sim::SweepResult sw = sim::run_with_fan_sweep(bench.simulator,
+      sim::SweepResult sw = sim::run_with_fan_sweep(bench.engine,
                                                     entry.make, *wl, opts);
       prow.push_back(fmt(to_c(sw.chosen.peak_temp_k), 4));
       vrow.push_back(fmt(100.0 * sw.chosen.violation_frac, 3));

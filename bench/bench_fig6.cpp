@@ -32,7 +32,7 @@ int main() {
       sim::SweepOptions opts;
       opts.threshold_k = base.peak_temp_k;
       opts.max_mean_dvfs = entry.max_mean_dvfs;
-      sim::SweepResult sw = sim::run_with_fan_sweep(bench.simulator,
+      sim::SweepResult sw = sim::run_with_fan_sweep(bench.engine,
                                                     entry.make, *wl, opts);
       const sim::RunResult& r = sw.chosen;
       const double vals[4] = {

@@ -1,0 +1,250 @@
+// Control-layer throughput over the shared ControlEngine: per-policy
+// decision rates on the 4-core server model, and the full-sweep
+// (DVFS x TEC x fan = 32768 candidate) evaluation in three modes —
+// per-candidate scalar predict(), chunked evaluate_batch over the flat
+// ActionSet on one worker, and the same batch fanned out over all
+// util/parallel workers. The three modes must pick the same winner
+// bit-for-bit (the batch path is exact, not approximate); the acceptance
+// bar is parallel-batch >= 2x scalar. Writes BENCH_policy.json (--out to
+// override); scripts/bench.sh runs this from a Release build.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/control_engine.h"
+#include "core/exhaustive_policies.h"
+#include "core/policy_factory.h"
+#include "sim/server_system.h"
+#include "util/parallel.h"
+
+namespace {
+
+using namespace tecfan;
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+/// Median wall time of `reps` calls to fn, in seconds.
+template <typename Fn>
+double median_seconds(int reps, Fn&& fn) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const double t0 = now_seconds();
+    fn();
+    times.push_back(now_seconds() - t0);
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+struct Harness {
+  sim::ServerConfig config;
+  std::shared_ptr<const sim::ServerThermalModel> thermal;
+  sim::ServerPlanningModel model;
+  core::ControlEnginePtr engine;
+
+  Harness()
+      : thermal(std::make_shared<const sim::ServerThermalModel>(
+            config.thermal)),
+        model(thermal, config),
+        engine(core::make_control_engine(
+            core::ControlDims{4, 4, config.dvfs.level_count(),
+                              config.fan.level_count()},
+            config.dvfs, config.fan)) {
+    // A fixed mid-load observation near the threshold: decisions have real
+    // work to do (some knobs move) but the scenario is deterministic.
+    sim::ServerPlanningModel::Observation obs;
+    obs.core_temps_k.resize(4);
+    obs.demand.resize(4);
+    for (int n = 0; n < 4; ++n) {
+      obs.core_temps_k[static_cast<std::size_t>(n)] =
+          config.threshold_k - 4.0 + 1.5 * n;
+      obs.demand[static_cast<std::size_t>(n)] = 0.35 + 0.1 * n;
+    }
+    obs.applied = core::KnobState::initial(4, 4, /*fan_level=*/5);
+    model.observe(obs);
+  }
+};
+
+struct PolicyRate {
+  std::string name;
+  double decisions_per_s = 0.0;
+};
+
+/// Winner of an exhaustive EPI scan (the Oracle objective) — used to check
+/// the three sweep modes agree bit-for-bit.
+struct SweepWinner {
+  std::size_t index = static_cast<std::size_t>(-1);
+  double epi = std::numeric_limits<double>::infinity();
+  bool valid = false;
+
+  void consider(std::size_t i, const core::Prediction& p, double tth) {
+    if (p.max_temp_k() > tth) return;
+    if (!valid || p.epi() < epi) {
+      index = i;
+      epi = p.epi();
+      valid = true;
+    }
+  }
+
+  bool operator==(const SweepWinner& o) const {
+    return index == o.index && epi == o.epi && valid == o.valid;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_policy.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+  }
+
+  Harness h;
+  const core::KnobState start = core::KnobState::initial(4, 4, 5);
+
+  // ---- Per-policy decision rates --------------------------------------
+  std::vector<PolicyRate> rates;
+  const char* policy_names[] = {"fan+tec",     "fan+dvfs", "dvfs+tec",
+                                "dynamic-fan", "tecfan",   "tecfan-chipwide"};
+  for (const char* name : policy_names) {
+    core::PolicyPtr policy = core::make_named_policy(name, h.engine);
+    if (!policy) continue;
+    // Steady-state decide loop (the per-interval serving cost); warm once.
+    core::KnobState knobs = start;
+    knobs = policy->decide(h.model, knobs);
+    constexpr int kDecisions = 200;
+    const double s = median_seconds(5, [&] {
+      for (int i = 0; i < kDecisions; ++i)
+        knobs = policy->decide(h.model, knobs);
+    });
+    rates.push_back({name, kDecisions / s});
+  }
+  // Exhaustives decide much slower (32768-candidate fan turns); measure a
+  // fan-cadence decision each interval so the rate reflects the full scan.
+  for (const char* name : {"oracle", "oftec"}) {
+    core::ExhaustiveOptions opt;
+    opt.base.manage_fan = true;
+    opt.base.fan_period_intervals = 1;  // every decision is a full fan scan
+    core::PolicyPtr policy;
+    if (std::strcmp(name, "oracle") == 0)
+      policy = std::make_unique<core::OraclePolicy>(h.engine, opt);
+    else
+      policy = std::make_unique<core::OftecPolicy>(h.engine, opt);
+    core::KnobState knobs = start;
+    knobs = policy->decide(h.model, knobs);
+    constexpr int kDecisions = 5;
+    const double s = median_seconds(3, [&] {
+      for (int i = 0; i < kDecisions; ++i)
+        knobs = policy->decide(h.model, knobs);
+    });
+    rates.push_back({name, kDecisions / s});
+  }
+
+  // ---- Full-sweep evaluation: scalar vs batch vs parallel batch -------
+  const auto set = h.engine->actions(core::ActionSpec{true, true});
+  const std::size_t candidates = set->size();
+  const double tth = h.config.threshold_k;
+  constexpr std::size_t kChunk = 8192;
+
+  SweepWinner scalar_win, batch_win, parallel_win;
+  const double scalar_s = median_seconds(3, [&] {
+    scalar_win = SweepWinner{};
+    core::KnobState knobs = start;
+    for (std::size_t i = 0; i < candidates; ++i) {
+      set->materialize(i, knobs);
+      scalar_win.consider(i, h.model.predict(knobs), tth);
+    }
+  });
+
+  auto batched = [&](SweepWinner& win) {
+    win = SweepWinner{};
+    std::vector<core::Prediction> batch;
+    for (std::size_t b = 0; b < candidates; b += kChunk) {
+      const std::size_t e = std::min(candidates, b + kChunk);
+      h.model.evaluate_batch(set->slice(b, e), start, batch);
+      for (std::size_t i = b; i < e; ++i)
+        win.consider(i, batch[i - b], tth);
+    }
+  };
+  const std::size_t hw_workers = parallel_workers();
+  set_parallel_workers(1);
+  const double batch_s = median_seconds(3, [&] { batched(batch_win); });
+  set_parallel_workers(0);  // restore the hardware default
+  const double parallel_s = median_seconds(3, [&] { batched(parallel_win); });
+
+  if (!(scalar_win == batch_win) || !(scalar_win == parallel_win)) {
+    std::fprintf(stderr,
+                 "bench_policy: sweep modes disagree (scalar idx=%zu "
+                 "batch idx=%zu parallel idx=%zu)\n",
+                 scalar_win.index, batch_win.index, parallel_win.index);
+    return 1;
+  }
+
+  const double speedup_batch = scalar_s / batch_s;
+  const double speedup_parallel = scalar_s / parallel_s;
+
+  std::printf("== control-layer benchmark (bench_policy) ==\n");
+  std::printf("server model      4 cores, 4 TECs, %d DVFS, %d fan levels\n",
+              h.config.dvfs.level_count(), h.config.fan.level_count());
+  std::printf("policy decision rates (decisions/s):\n");
+  for (const auto& r : rates)
+    std::printf("  %-16s %.0f\n", r.name.c_str(), r.decisions_per_s);
+  std::printf("full sweep        %zu candidates (DVFS x TEC x fan)\n",
+              candidates);
+  std::printf("  scalar          %.1f ms (%.0f cand/s)\n", 1e3 * scalar_s,
+              candidates / scalar_s);
+  std::printf("  batch x1        %.1f ms (%.0f cand/s, %.2fx)\n",
+              1e3 * batch_s, candidates / batch_s, speedup_batch);
+  std::printf("  batch x%-2zu       %.1f ms (%.0f cand/s, %.2fx)\n",
+              hw_workers, 1e3 * parallel_s, candidates / parallel_s,
+              speedup_parallel);
+  std::printf("  winner          idx=%zu epi=%.6g (all modes agree)\n",
+              scalar_win.index, scalar_win.epi);
+
+  std::ofstream json(out_path);
+  if (json) {
+    json.precision(6);
+    json << "{\n"
+         << "  \"bench\": \"policy\",\n"
+         << "  \"policies\": {";
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      json << (i ? ",\n" : "\n") << "    \"" << rates[i].name
+           << "\": {\"decisions_per_s\": " << rates[i].decisions_per_s
+           << "}";
+    }
+    json << "\n  },\n"
+         << "  \"sweep\": {\n"
+         << "    \"candidates\": " << candidates << ",\n"
+         << "    \"workers\": " << hw_workers << ",\n"
+         << "    \"scalar_ms\": " << 1e3 * scalar_s << ",\n"
+         << "    \"batch_ms\": " << 1e3 * batch_s << ",\n"
+         << "    \"parallel_batch_ms\": " << 1e3 * parallel_s << ",\n"
+         << "    \"scalar_candidates_per_s\": " << candidates / scalar_s
+         << ",\n"
+         << "    \"batch_candidates_per_s\": " << candidates / batch_s
+         << ",\n"
+         << "    \"parallel_candidates_per_s\": " << candidates / parallel_s
+         << ",\n"
+         << "    \"speedup_batch\": " << speedup_batch << ",\n"
+         << "    \"speedup_parallel_batch\": " << speedup_parallel << ",\n"
+         << "    \"modes_bit_identical\": true,\n"
+         << "    \"meets_2x_bar\": "
+         << (speedup_parallel >= 2.0 ? "true" : "false") << "\n"
+         << "  }\n"
+         << "}\n";
+    std::fprintf(stderr, "bench_policy: wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

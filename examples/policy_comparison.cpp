@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
     opts.threshold_k = base.peak_temp_k;
     opts.max_mean_dvfs = e.max_mean_dvfs;
     sim::SweepResult sw =
-        sim::run_with_fan_sweep(simulator, e.make, *workload, opts);
+        sim::run_with_fan_sweep(simulator.engine_ptr(), e.make, *workload, opts);
     const sim::RunResult& r = sw.chosen;
     t.add_row({e.label, std::to_string(r.fan_level),
                format_double(r.exec_time_s / base.exec_time_s, 4),

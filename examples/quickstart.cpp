@@ -47,8 +47,9 @@ int main(int argc, char** argv) {
   sim::SweepOptions sweep_opts;
   sweep_opts.threshold_k = base.peak_temp_k;
   sim::SweepResult sweep = sim::run_with_fan_sweep(
-      simulator, [] { return std::make_unique<core::TecFanPolicy>(); },
-      *workload, sweep_opts);
+      simulator.engine_ptr(),
+      [] { return std::make_unique<core::TecFanPolicy>(); }, *workload,
+      sweep_opts);
   const sim::RunResult& r = sweep.chosen;
 
   TextTable u;

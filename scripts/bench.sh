@@ -4,14 +4,21 @@
 #   BENCH_solver.json  — dense vs RCM-permuted-banded backend comparison
 #                        (engine construction, cold-miss predict, serving
 #                        miss equilibrium, predict_batch, transient step)
+#   BENCH_policy.json  — control-layer throughput over the shared
+#                        ControlEngine: per-policy decisions/s on the
+#                        4-core server model and the full 32768-candidate
+#                        sweep evaluated scalar vs batch vs parallel-batch
+#                        (all three must pick the same winner bit-exactly).
 #   BENCH_serving.json — tecfand miss-path run: the request working set is
 #                        much larger than the result cache and warm-up is
 #                        off, so nearly every request pays the cache-miss
-#                        compute the banded backend accelerates. The run
-#                        also embeds the server-side per-stage latency
-#                        histograms (`metrics` verb) and fails if the
-#                        server-reported hit p99 disagrees with the
-#                        client-observed one (--check-p99).
+#                        compute the banded backend accelerates. The key
+#                        grid now mixes run/sweep requests in with the
+#                        equilibrium ones (reported per kind under
+#                        "kind_split"), the run embeds the server-side
+#                        per-stage latency histograms (`metrics` verb), and
+#                        it fails if the server-reported hit p99 disagrees
+#                        with the client-observed one (--check-p99).
 #   BENCH_cluster.json — direct tecfand vs tecrouter over 1/2/4 in-process
 #                        backends (cached + miss paths over loopback TCP),
 #                        a bit-identical routed-vs-direct reply check, and
@@ -29,9 +36,11 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-release -j"$JOBS" --target bench_solver bench_cluster loadgen
+cmake --build build-release -j"$JOBS" --target bench_solver bench_policy bench_cluster loadgen
 
 ./build-release/bench/bench_solver --out BENCH_solver.json
+
+./build-release/bench/bench_policy --out BENCH_policy.json
 
 ./build-release/tools/loadgen \
   --keys 1024 --cache 128 --no-warmup \

@@ -7,8 +7,13 @@
 # leg (ClusterSmoke runs a 2-backend in-process fleet behind the router:
 # routed hit/miss correctness, hedging, and failover on backend death).
 #
+# The ASan+UBSan leg re-runs the control/planning/serving suites (the
+# batch-evaluation path moves candidate scratch across worker threads, the
+# classic place for lifetime bugs that a plain build never trips).
+#
 #   scripts/tier1.sh              # all stages
-#   SKIP_TSAN=1 scripts/tier1.sh  # plain build+ctest only
+#   SKIP_TSAN=1 scripts/tier1.sh  # skip the TSan leg
+#   SKIP_ASAN=1 scripts/tier1.sh  # skip the ASan+UBSan leg
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,5 +32,15 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
     --target linalg_test sim_test service_test util_test cluster_test
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure \
-    -R 'SharedOperator|SharedEngine|Protocol|ResultCache|TaskQueue|WorkerPool|Server|BackendEquivalence|Metrics|ShardMap|BackendClient|HealthMonitor|ClusterSmoke'
+    -R 'SharedOperator|SharedEngine|SharedControlEngine|Protocol|ResultCache|TaskQueue|WorkerPool|Server|BackendEquivalence|Metrics|ShardMap|BackendClient|HealthMonitor|ClusterSmoke'
+fi
+
+if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
+  cmake -B build-asan -S . -DTECFAN_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j"$JOBS" \
+    --target core_test sim_test service_test policy_equivalence_test
+  ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-asan --output-on-failure -j"$JOBS" \
+    -R 'ControlEngine|ChipPlanningModel|PolicyEquivalence|TecFan|Oracle|Oftec|Reactive|DynamicFan|Protocol|Server|Sweep'
 fi

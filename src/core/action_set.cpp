@@ -1,0 +1,78 @@
+#include "core/action_set.h"
+
+#include <functional>
+
+#include "util/error.h"
+
+namespace tecfan::core {
+namespace {
+
+std::size_t enumerated_count(const ControlDims& dims,
+                             const ActionSpec& spec) {
+  std::size_t count = std::size_t{1} << dims.tecs;
+  if (spec.include_dvfs)
+    for (int c = 0; c < dims.cores; ++c)
+      count *= static_cast<std::size_t>(dims.dvfs_levels);
+  if (spec.include_fan) count *= static_cast<std::size_t>(dims.fan_levels);
+  return count;
+}
+
+}  // namespace
+
+ActionSet::ActionSet(const ControlDims& dims, const ActionSpec& spec)
+    : dims_(dims), spec_(spec) {
+  TECFAN_REQUIRE(dims.cores > 0 && dims.dvfs_levels > 0 &&
+                     dims.fan_levels > 0,
+                 "ActionSet requires positive dimensions");
+  TECFAN_REQUIRE(dims.tecs < 64, "TEC mask must fit 64 bits");
+  TECFAN_REQUIRE(dims.dvfs_levels <= 255 && dims.fan_levels <= 255,
+                 "knob levels must fit a byte");
+  count_ = enumerated_count(dims, spec);
+
+  const auto cores = static_cast<std::size_t>(dims.cores);
+  if (spec.include_dvfs) dvfs_.reserve(count_ * cores);
+  tec_on_.reserve(count_ * dims.tecs);
+  if (spec.include_fan) fan_.reserve(count_);
+
+  // Same nesting as the legacy exhaustive recursion: fan outermost, DVFS
+  // with core 0 slowest-varying, TEC mask innermost.
+  const std::uint64_t tec_combos = std::uint64_t{1} << dims.tecs;
+  std::vector<std::uint8_t> dvfs_row(cores, 0);
+  int fan_lvl = 0;
+
+  std::function<void(std::size_t)> dvfs_rec = [&](std::size_t core) {
+    if (core == cores || !spec.include_dvfs) {
+      for (std::uint64_t mask = 0; mask < tec_combos; ++mask) {
+        if (spec.include_dvfs)
+          dvfs_.insert(dvfs_.end(), dvfs_row.begin(), dvfs_row.end());
+        for (std::size_t t = 0; t < dims_.tecs; ++t)
+          tec_on_.push_back((mask >> t) & 1u ? 1 : 0);
+        if (spec.include_fan)
+          fan_.push_back(static_cast<std::uint8_t>(fan_lvl));
+      }
+      return;
+    }
+    for (int lvl = 0; lvl < dims_.dvfs_levels; ++lvl) {
+      dvfs_row[core] = static_cast<std::uint8_t>(lvl);
+      dvfs_rec(core + 1);
+    }
+  };
+
+  const int fan_span = spec.include_fan ? dims.fan_levels : 1;
+  for (fan_lvl = 0; fan_lvl < fan_span; ++fan_lvl) dvfs_rec(0);
+  TECFAN_REQUIRE(tec_on_.size() == count_ * dims_.tecs,
+                 "ActionSet enumeration miscounted");
+}
+
+void ActionSet::materialize(std::size_t i, KnobState& out) const {
+  const auto cores = static_cast<std::size_t>(dims_.cores);
+  if (spec_.include_dvfs) {
+    const std::uint8_t* row = dvfs_.data() + i * cores;
+    for (std::size_t c = 0; c < cores; ++c) out.dvfs[c] = row[c];
+  }
+  const std::uint8_t* tec = tec_on_.data() + i * dims_.tecs;
+  for (std::size_t t = 0; t < dims_.tecs; ++t) out.tec_on[t] = tec[t];
+  if (spec_.include_fan) out.fan_level = fan_[i];
+}
+
+}  // namespace tecfan::core

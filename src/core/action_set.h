@@ -1,0 +1,113 @@
+// Flat SoA enumeration of the controller's action space.
+//
+// An ActionSet holds every candidate the exhaustive policies and the
+// full-sweep benchmarks consider: the cross product of TEC on/off masks,
+// per-core DVFS assignments and (optionally) fan levels. Candidates are
+// stored structure-of-arrays (one contiguous byte lane per knob dimension)
+// so batch evaluation walks memory linearly and a candidate is
+// materialized into a KnobState with three memcpy-shaped loops.
+//
+// The enumeration order is load-bearing: it replicates the recursion the
+// pre-engine exhaustive baselines used (fan level slowest-varying, then
+// DVFS with core 0 outermost, TEC mask fastest-varying), and the policies'
+// first-strictly-better tie-breaking means any reordering would change
+// decisions. ControlEngineOrderMatchesLegacyRecursion pins it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/actions.h"
+
+namespace tecfan::core {
+
+/// Which knob dimensions an enumeration spans. TEC states are always
+/// enumerated; DVFS and fan are optional (OFTEC pins DVFS, and the fan
+/// only joins on the higher-level cadence). Dimensions not covered keep
+/// whatever the evaluation template carries.
+struct ActionSpec {
+  bool include_dvfs = true;
+  bool include_fan = false;
+
+  bool operator==(const ActionSpec&) const = default;
+  bool operator<(const ActionSpec& o) const {
+    return include_dvfs != o.include_dvfs ? include_dvfs < o.include_dvfs
+                                          : include_fan < o.include_fan;
+  }
+};
+
+/// Knob-space dimensions an ActionSet (and ControlEngine) is built for.
+struct ControlDims {
+  int cores = 0;
+  std::size_t tecs = 0;
+  int dvfs_levels = 0;
+  int fan_levels = 0;
+
+  bool operator==(const ControlDims&) const = default;
+};
+
+class ActionSet {
+ public:
+  /// Enumerates the full cross product for `spec`; size() candidates.
+  /// Levels must fit a byte and the TEC mask a 64-bit word (the built-in
+  /// models are far below both).
+  ActionSet(const ControlDims& dims, const ActionSpec& spec);
+
+  std::size_t size() const { return count_; }
+  const ControlDims& dims() const { return dims_; }
+  const ActionSpec& spec() const { return spec_; }
+  bool has_dvfs() const { return spec_.include_dvfs; }
+  bool has_fan() const { return spec_.include_fan; }
+
+  /// Overwrite the dimensions this set covers in `out` (which must already
+  /// be sized for dims(); uncovered dimensions are left untouched, so the
+  /// caller's template supplies them).
+  void materialize(std::size_t i, KnobState& out) const;
+
+  /// Candidate i's TEC lane packed as a bit mask (bit t = device t) —
+  /// lets batch evaluators group candidates by cooling configuration
+  /// without materializing a full KnobState. Fits: dims().tecs < 64.
+  std::uint64_t tec_mask(std::size_t i) const {
+    const std::uint8_t* lane = tec_on_.data() + i * dims_.tecs;
+    std::uint64_t mask = 0;
+    for (std::size_t t = 0; t < dims_.tecs; ++t)
+      if (lane[t]) mask |= std::uint64_t{1} << t;
+    return mask;
+  }
+
+  /// Candidate i's fan level, or `fallback` when the set has no fan lane
+  /// (the evaluation template supplies the level, as in materialize).
+  int fan_level(std::size_t i, int fallback) const {
+    return spec_.include_fan ? static_cast<int>(fan_[i]) : fallback;
+  }
+
+  /// A contiguous candidate range [begin, end) — the unit of batch
+  /// evaluation (PlanningModel::evaluate_batch).
+  struct Slice {
+    const ActionSet* set = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+
+    std::size_t size() const { return end - begin; }
+  };
+  Slice all() const { return {this, 0, count_}; }
+  Slice slice(std::size_t begin, std::size_t end) const {
+    return {this, begin, end};
+  }
+
+  std::size_t memory_bytes() const {
+    return dvfs_.capacity() + tec_on_.capacity() + fan_.capacity();
+  }
+
+ private:
+  ControlDims dims_;
+  ActionSpec spec_;
+  std::size_t count_ = 0;
+  // SoA lanes, candidate-major. Unused lanes stay empty.
+  std::vector<std::uint8_t> dvfs_;    // count * cores when has_dvfs()
+  std::vector<std::uint8_t> tec_on_;  // count * tecs
+  std::vector<std::uint8_t> fan_;     // count when has_fan()
+};
+
+}  // namespace tecfan::core

@@ -177,6 +177,26 @@ std::vector<Prediction> ChipPlanningModel::predict_batch(
   return out;
 }
 
+void ChipPlanningModel::evaluate_batch(const ActionSet::Slice& slice,
+                                       const KnobState& base,
+                                       std::vector<Prediction>& out) {
+  TECFAN_REQUIRE(has_observation_, "evaluate_batch before first observe()");
+  out.resize(slice.size());
+  parallel_for(slice.size(), [&](std::size_t i) {
+    // Same per-candidate independence as predict_batch: a private solver
+    // workspace over the shared engine keeps results bit-exact with the
+    // serial predict() loop.
+    thermal::SteadyStateSolver solver(engine_);
+    KnobState knobs = base;
+    slice.set->materialize(slice.begin + i, knobs);
+    CandidateEval eval = evaluate_power(knobs);
+    linalg::Vector steady = solver.solve(eval.comp_power, eval.cooling);
+    linalg::Vector next = thermal::exponential_step(
+        *model_, steady, state_estimate_, config_.control_period_s);
+    out[i] = finish_prediction(knobs, eval, std::move(next));
+  });
+}
+
 const ChipPlanningModel::Observation&
 ChipPlanningModel::last_observation() const {
   TECFAN_REQUIRE(has_observation_, "no observation yet");

@@ -81,6 +81,12 @@ class ChipPlanningModel final : public PlanningModel {
   /// predict() serially on each candidate.
   std::vector<Prediction> predict_batch(std::span<const KnobState> knobs);
 
+  /// Flat-ActionSet batch evaluation, parallelized the same way as
+  /// predict_batch (one independent SteadyStateSolver workspace per
+  /// candidate); bit-exact with the serial default.
+  void evaluate_batch(const ActionSet::Slice& slice, const KnobState& base,
+                      std::vector<Prediction>& out) override;
+
   /// predict() variant that also exposes the steady-state node vector
   /// (Eq. 1 solution) and the blended next-interval node vector (Eq. 5)
   /// behind the prediction — the anchors of the incremental per-core model.

@@ -1,0 +1,135 @@
+#include "core/control_engine.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace tecfan::core {
+namespace {
+
+void require_dims(const ControlDims& dims) {
+  TECFAN_REQUIRE(dims.cores > 0 && dims.dvfs_levels > 0 &&
+                     dims.fan_levels > 0,
+                 "ControlEngine requires positive dimensions");
+}
+
+}  // namespace
+
+ControlEngine::ControlEngine(const ControlDims& dims) : dims_(dims) {
+  require_dims(dims);
+}
+
+ControlEngine::ControlEngine(const ControlDims& dims,
+                             const power::DvfsTable& dvfs,
+                             const power::FanModel& fan)
+    : dims_(dims) {
+  require_dims(dims);
+  TECFAN_REQUIRE(dvfs.level_count() == dims.dvfs_levels &&
+                     fan.level_count() == dims.fan_levels,
+                 "ControlEngine tables must match the declared dimensions");
+  const auto m = static_cast<std::size_t>(dims.dvfs_levels);
+  dyn_scale_.resize(m * m);
+  freq_scale_.resize(m * m);
+  for (int from = 0; from < dims.dvfs_levels; ++from)
+    for (int to = 0; to < dims.dvfs_levels; ++to) {
+      dyn_scale_[static_cast<std::size_t>(from) * m +
+                 static_cast<std::size_t>(to)] = dvfs.dyn_scale(from, to);
+      freq_scale_[static_cast<std::size_t>(from) * m +
+                  static_cast<std::size_t>(to)] = dvfs.freq_scale(from, to);
+    }
+  fan_power_w_.resize(static_cast<std::size_t>(dims.fan_levels));
+  fan_airflow_cfm_.resize(static_cast<std::size_t>(dims.fan_levels));
+  for (int lvl = 0; lvl < dims.fan_levels; ++lvl) {
+    fan_power_w_[static_cast<std::size_t>(lvl)] = fan.power_w(lvl);
+    fan_airflow_cfm_[static_cast<std::size_t>(lvl)] = fan.airflow_cfm(lvl);
+  }
+}
+
+bool ControlEngine::matches(const PlanningModel& model) const {
+  return dims_.cores == model.core_count() &&
+         dims_.tecs == model.tec_count() &&
+         dims_.dvfs_levels == model.dvfs_level_count() &&
+         dims_.fan_levels == model.fan_level_count();
+}
+
+double ControlEngine::dyn_scale(int from, int to) const {
+  TECFAN_REQUIRE(has_tables(), "engine built without scaling tables");
+  return dyn_scale_[static_cast<std::size_t>(from) *
+                        static_cast<std::size_t>(dims_.dvfs_levels) +
+                    static_cast<std::size_t>(to)];
+}
+
+double ControlEngine::freq_scale(int from, int to) const {
+  TECFAN_REQUIRE(has_tables(), "engine built without scaling tables");
+  return freq_scale_[static_cast<std::size_t>(from) *
+                         static_cast<std::size_t>(dims_.dvfs_levels) +
+                     static_cast<std::size_t>(to)];
+}
+
+double ControlEngine::fan_power_w(int lvl) const {
+  TECFAN_REQUIRE(has_tables(), "engine built without scaling tables");
+  return fan_power_w_[static_cast<std::size_t>(lvl)];
+}
+
+double ControlEngine::fan_airflow_cfm(int lvl) const {
+  TECFAN_REQUIRE(has_tables(), "engine built without scaling tables");
+  return fan_airflow_cfm_[static_cast<std::size_t>(lvl)];
+}
+
+std::size_t ControlEngine::action_count(const ActionSpec& spec) const {
+  // Same saturating arithmetic as the legacy candidate_count guard: the
+  // 16-core chip's 2^36 TEC masks must compare safely against bounds.
+  double count = std::pow(2.0, static_cast<double>(dims_.tecs));
+  if (spec.include_dvfs)
+    count *= std::pow(static_cast<double>(dims_.dvfs_levels),
+                      static_cast<double>(dims_.cores));
+  if (spec.include_fan) count *= dims_.fan_levels;
+  return count > 1e18 ? static_cast<std::size_t>(-1)
+                      : static_cast<std::size_t>(count);
+}
+
+std::shared_ptr<const ActionSet> ControlEngine::actions(
+    const ActionSpec& spec) const {
+  {
+    std::lock_guard<std::mutex> lock(actions_mu_);
+    auto it = actions_.find(spec);
+    if (it != actions_.end()) return it->second;
+  }
+  TECFAN_REQUIRE(action_count(spec) <= kMaxEnumerable,
+                 "action space exceeds the enumerable bound");
+  // Built outside the lock (enumeration can be large); a racing duplicate
+  // build is harmless — first insert wins, like ChipEngine::workload.
+  auto set = std::make_shared<const ActionSet>(dims_, spec);
+  std::lock_guard<std::mutex> lock(actions_mu_);
+  return actions_.emplace(spec, std::move(set)).first->second;
+}
+
+std::size_t ControlEngine::memory_bytes() const {
+  std::size_t bytes =
+      (dyn_scale_.capacity() + freq_scale_.capacity() +
+       fan_power_w_.capacity() + fan_airflow_cfm_.capacity()) *
+      sizeof(double);
+  std::lock_guard<std::mutex> lock(actions_mu_);
+  for (const auto& [spec, set] : actions_) bytes += set->memory_bytes();
+  return bytes;
+}
+
+ControlEnginePtr make_control_engine(const PlanningModel& model) {
+  return std::make_shared<const ControlEngine>(
+      ControlDims{model.core_count(), model.tec_count(),
+                  model.dvfs_level_count(), model.fan_level_count()});
+}
+
+ControlEnginePtr make_control_engine(const ControlDims& dims,
+                                     const power::DvfsTable& dvfs,
+                                     const power::FanModel& fan) {
+  return std::make_shared<const ControlEngine>(dims, dvfs, fan);
+}
+
+ControlEnginePtr ensure_control_engine(ControlEnginePtr engine,
+                                       const PlanningModel& model) {
+  if (engine && engine->matches(model)) return engine;
+  return make_control_engine(model);
+}
+
+}  // namespace tecfan::core

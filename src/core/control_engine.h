@@ -1,0 +1,137 @@
+// ControlEngine / PolicyWorkspace: the engine/workspace split for the
+// control layer, mirroring linalg::FactoredOperator + UpdateWorkspace and
+// sim::ChipEngine + ChipSimulator.
+//
+// The engine is the immutable, thread-safe half: the knob-space dimensions,
+// the precomputed Eq. (6)/(7)/(11) scaling tables (fan electrical power and
+// airflow per level, the M x M dynamic-power and frequency ratios between
+// DVFS operating points), and the memoized flat ActionSet enumerations the
+// exhaustive baselines and full-sweep benchmarks batch-evaluate. One engine
+// is built per chip scenario (sim::ChipEngine owns one) and shared by every
+// concurrent policy instance — across the tecfand worker pool and hence
+// across a tecrouter fleet.
+//
+// The workspace is the cheap, per-thread half: interval counters and the
+// scratch buffers a single policy's decide() reuses between intervals.
+// Policies hold an engine pointer plus one workspace, and their decision
+// logic lives in stateless strategy functions over (engine, workspace,
+// model) — see tecfan_policy.h / exhaustive_policies.h.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/action_set.h"
+#include "core/planning.h"
+#include "power/dvfs.h"
+#include "power/fan.h"
+
+namespace tecfan::core {
+
+class ControlEngine {
+ public:
+  /// Hard cap on candidates actions() will materialize, protecting against
+  /// pointing an enumeration at the 16-core chip (2^36 TEC masks). The
+  /// exhaustive policies apply their own, tighter max_candidates bound
+  /// before calling actions().
+  static constexpr std::size_t kMaxEnumerable = std::size_t{1} << 22;
+
+  /// Dimensions-only engine: enumerations work, scaling tables are absent
+  /// (has_tables() == false). What policies build lazily when handed a
+  /// bare PlanningModel.
+  explicit ControlEngine(const ControlDims& dims);
+
+  /// Full engine with the Eq. (6)/(7)/(11) tables precomputed from the
+  /// scenario's DVFS and fan models.
+  ControlEngine(const ControlDims& dims, const power::DvfsTable& dvfs,
+                const power::FanModel& fan);
+
+  ControlEngine(const ControlEngine&) = delete;
+  ControlEngine& operator=(const ControlEngine&) = delete;
+
+  const ControlDims& dims() const { return dims_; }
+  int cores() const { return dims_.cores; }
+  std::size_t tecs() const { return dims_.tecs; }
+  int dvfs_levels() const { return dims_.dvfs_levels; }
+  int fan_levels() const { return dims_.fan_levels; }
+
+  /// True when this engine was built for `model`'s knob space.
+  bool matches(const PlanningModel& model) const;
+
+  // -- Precomputed scaling tables ----------------------------------------
+  bool has_tables() const { return !dyn_scale_.empty(); }
+  /// Eq. (7): dynamic-power ratio moving DVFS `from` -> `to`.
+  double dyn_scale(int from, int to) const;
+  /// Eq. (11): frequency (performance) ratio moving `from` -> `to`.
+  double freq_scale(int from, int to) const;
+  /// Fan electrical power / airflow at a level (Eq. (6) fan bucket).
+  double fan_power_w(int lvl) const;
+  double fan_airflow_cfm(int lvl) const;
+
+  // -- Enumerated action spaces ------------------------------------------
+  /// Candidate count for `spec` without materializing anything; saturates
+  /// (like the legacy guard) instead of overflowing on huge TEC counts.
+  std::size_t action_count(const ActionSpec& spec) const;
+
+  /// The enumerated flat action space for `spec`, memoized per engine so
+  /// repeated decisions (and concurrent policies) share one copy.
+  /// Thread-safe; throws precondition_error above kMaxEnumerable.
+  std::shared_ptr<const ActionSet> actions(const ActionSpec& spec) const;
+
+  /// Rough resident footprint: tables plus memoized enumerations.
+  std::size_t memory_bytes() const;
+
+ private:
+  ControlDims dims_;
+  // Row-major [from][to] over dvfs_levels; empty without tables.
+  std::vector<double> dyn_scale_;
+  std::vector<double> freq_scale_;
+  std::vector<double> fan_power_w_;
+  std::vector<double> fan_airflow_cfm_;
+
+  mutable std::mutex actions_mu_;
+  mutable std::map<ActionSpec, std::shared_ptr<const ActionSet>> actions_;
+};
+
+using ControlEnginePtr = std::shared_ptr<const ControlEngine>;
+
+/// Dimensions-only engine over a model's knob space.
+ControlEnginePtr make_control_engine(const PlanningModel& model);
+
+/// Full engine with scaling tables.
+ControlEnginePtr make_control_engine(const ControlDims& dims,
+                                     const power::DvfsTable& dvfs,
+                                     const power::FanModel& fan);
+
+/// Reuse `engine` when it was built for `model`'s knob space; otherwise
+/// build a dims-only engine. The lazy path for policies constructed bare
+/// (tests, tools) and the guard for policies handed a mismatched engine.
+ControlEnginePtr ensure_control_engine(ControlEnginePtr engine,
+                                       const PlanningModel& model);
+
+/// Per-thread mutable policy state: interval counters plus the scratch a
+/// decide() reuses across intervals so steady-state decisions allocate
+/// nothing. One workspace per policy instance; never shared.
+struct PolicyWorkspace {
+  int interval = 0;
+  /// predict() calls issued by the last decide() (overhead benches).
+  std::size_t predictions = 0;
+  /// Batch candidates evaluated by the last decide() (exhaustives).
+  std::size_t candidates = 0;
+
+  KnobState cand;
+  KnobState trial;
+  KnobState chosen;
+  std::vector<Prediction> batch;
+
+  void reset() {
+    interval = 0;
+    predictions = 0;
+    candidates = 0;
+  }
+};
+
+}  // namespace tecfan::core

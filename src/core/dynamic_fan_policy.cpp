@@ -3,17 +3,15 @@
 #include <algorithm>
 
 namespace tecfan::core {
+namespace strategies {
 
-DynamicFanPolicy::DynamicFanPolicy(PolicyOptions options)
-    : options_(options) {}
-
-KnobState DynamicFanPolicy::decide(PlanningModel& model,
-                                   const KnobState& current) {
+KnobState dynamic_fan_decide(const PolicyOptions& options,
+                             PolicyWorkspace& ws, PlanningModel& model,
+                             const KnobState& current) {
   KnobState next = current;
   const bool fan_turn =
-      options_.manage_fan &&
-      interval_ % options_.fan_period_intervals == 0;
-  ++interval_;
+      options.manage_fan && ws.interval % options.fan_period_intervals == 0;
+  ++ws.interval;
   if (!fan_turn) return next;
 
   const auto& temps = model.sensed_temps();
@@ -22,11 +20,21 @@ KnobState DynamicFanPolicy::decide(PlanningModel& model,
   for (double t : temps) peak = std::max(peak, t);
   if (peak > tth) {
     next.fan_level = std::max(0, next.fan_level - 1);  // speed up
-  } else if (peak < tth - options_.fan_margin_k) {
+  } else if (peak < tth - options.fan_margin_k) {
     next.fan_level =
         std::min(model.fan_level_count() - 1, next.fan_level + 1);
   }
   return next;
+}
+
+}  // namespace strategies
+
+DynamicFanPolicy::DynamicFanPolicy(PolicyOptions options)
+    : options_(options) {}
+
+KnobState DynamicFanPolicy::decide(PlanningModel& model,
+                                   const KnobState& current) {
+  return strategies::dynamic_fan_decide(options_, ws_, model, current);
 }
 
 }  // namespace tecfan::core

@@ -6,21 +6,29 @@
 // one level when everything sits below the threshold by a margin.
 #pragma once
 
+#include "core/control_engine.h"
 #include "core/policy.h"
 
 namespace tecfan::core {
+
+namespace strategies {
+/// One Dynamic-fan decision; mutates only the workspace interval counter.
+KnobState dynamic_fan_decide(const PolicyOptions& options,
+                             PolicyWorkspace& ws, PlanningModel& model,
+                             const KnobState& current);
+}  // namespace strategies
 
 class DynamicFanPolicy final : public Policy {
  public:
   explicit DynamicFanPolicy(PolicyOptions options = {.manage_fan = true});
 
   std::string_view name() const override { return "Dynamic-fan"; }
-  void reset() override { interval_ = 0; }
+  void reset() override { ws_.reset(); }
   KnobState decide(PlanningModel& model, const KnobState& current) override;
 
  private:
   PolicyOptions options_;
-  int interval_ = 0;
+  PolicyWorkspace ws_;
 };
 
 }  // namespace tecfan::core

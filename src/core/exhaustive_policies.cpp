@@ -1,79 +1,54 @@
 #include "core/exhaustive_policies.h"
 
-#include <cmath>
-#include <functional>
+#include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "util/error.h"
 
 namespace tecfan::core {
+namespace strategies {
 namespace {
 
-/// Enumerate all TEC masks and DVFS level assignments over a template knob
-/// state, invoking visit(knobs) for each. The fan level of the template is
-/// left untouched.
-void enumerate_tec_dvfs(const PlanningModel& model, KnobState knobs,
-                        bool include_dvfs,
-                        const std::function<void(const KnobState&)>& visit) {
-  const std::size_t n_tec = model.tec_count();
-  const auto cores = static_cast<std::size_t>(model.core_count());
-  const int levels = model.dvfs_level_count();
-  const std::uint64_t tec_combos = 1ull << n_tec;
+/// Candidates per evaluate_batch call: bounds the Prediction scratch (a few
+/// MB at the server model's spot counts) without giving up batch locality.
+constexpr std::size_t kBatchChunk = 8192;
 
-  std::function<void(std::size_t)> dvfs_rec = [&](std::size_t core) {
-    if (core == cores || !include_dvfs) {
-      for (std::uint64_t mask = 0; mask < tec_combos; ++mask) {
-        for (std::size_t t = 0; t < n_tec; ++t)
-          knobs.tec_on[t] = (mask >> t) & 1u ? 1 : 0;
-        visit(knobs);
-      }
-      return;
+/// Walk the whole enumeration for `spec` through chunked batch evaluation,
+/// invoking scan(knobs, prediction) for every candidate in enumeration
+/// order. `tmpl` supplies the dimensions `spec` does not cover.
+template <typename Scan>
+void scan_actions(const ControlEngine& engine, const ActionSpec& spec,
+                  PolicyWorkspace& ws, PlanningModel& model,
+                  const KnobState& tmpl, Scan&& scan) {
+  const std::shared_ptr<const ActionSet> set = engine.actions(spec);
+  KnobState knobs = tmpl;
+  for (std::size_t b = 0; b < set->size(); b += kBatchChunk) {
+    const std::size_t e = std::min(set->size(), b + kBatchChunk);
+    model.evaluate_batch(set->slice(b, e), tmpl, ws.batch);
+    for (std::size_t i = 0; i < e - b; ++i) {
+      set->materialize(b + i, knobs);
+      scan(knobs, ws.batch[i]);
     }
-    for (int lvl = 0; lvl < levels; ++lvl) {
-      knobs.dvfs[core] = lvl;
-      dvfs_rec(core + 1);
-    }
-  };
-  dvfs_rec(0);
-}
-
-std::size_t candidate_count(const PlanningModel& model, bool include_dvfs,
-                            bool include_fan) {
-  double count = std::pow(2.0, static_cast<double>(model.tec_count()));
-  if (include_dvfs)
-    count *= std::pow(static_cast<double>(model.dvfs_level_count()),
-                      static_cast<double>(model.core_count()));
-  if (include_fan) count *= model.fan_level_count();
-  return count > 1e18 ? static_cast<std::size_t>(-1)
-                      : static_cast<std::size_t>(count);
+  }
 }
 
 }  // namespace
 
-OraclePolicy::OraclePolicy(ExhaustiveOptions options)
-    : options_(options) {}
-
-void OraclePolicy::reset() {
-  interval_ = 0;
-  candidates_ = 0;
-}
-
-double OraclePolicy::ips_floor(int) const { return 0.0; }
-
-KnobState OraclePolicy::decide(PlanningModel& model,
-                               const KnobState& current) {
+KnobState oracle_decide(const ControlEngine& engine,
+                        const ExhaustiveOptions& options, double ips_floor,
+                        PolicyWorkspace& ws, PlanningModel& model,
+                        const KnobState& current) {
   const bool fan_turn =
-      options_.base.manage_fan &&
-      interval_ % options_.base.fan_period_intervals == 0;
-  TECFAN_REQUIRE(
-      candidate_count(model, /*include_dvfs=*/true, fan_turn) <=
-          options_.max_candidates,
-      "Oracle search space exceeds the configured bound");
+      options.base.manage_fan &&
+      ws.interval % options.base.fan_period_intervals == 0;
+  const ActionSpec spec{/*include_dvfs=*/true, /*include_fan=*/fan_turn};
+  TECFAN_REQUIRE(engine.action_count(spec) <= options.max_candidates,
+                 "Oracle search space exceeds the configured bound");
 
-  const double tth = model.threshold_k() - options_.base.constraint_margin_k;
-  const double floor = ips_floor(interval_);
-  ++interval_;
-  candidates_ = 0;
+  const double tth = model.threshold_k() - options.base.constraint_margin_k;
+  ++ws.interval;
+  ws.candidates = 0;
 
   KnobState best = current;
   double best_epi = std::numeric_limits<double>::infinity();
@@ -81,39 +56,99 @@ KnobState OraclePolicy::decide(PlanningModel& model,
   KnobState coolest = current;
   double coolest_t = std::numeric_limits<double>::infinity();
 
-  auto visit = [&](const KnobState& k) {
-    ++candidates_;
-    const Prediction p = model.predict(k);
-    const double t = p.max_temp_k();
-    if (t < coolest_t) {
-      coolest_t = t;
-      coolest = k;
-    }
-    if (t > tth) return;
-    if (p.capacity_ips + 1e-9 < floor) return;
-    if (!best_valid || p.epi() < best_epi) {
-      best_epi = p.epi();
-      best = k;
-      best_valid = true;
-    }
-  };
-
-  KnobState tmpl = current;
-  if (fan_turn) {
-    for (int lvl = 0; lvl < model.fan_level_count(); ++lvl) {
-      tmpl.fan_level = lvl;
-      enumerate_tec_dvfs(model, tmpl, /*include_dvfs=*/true, visit);
-    }
-  } else {
-    enumerate_tec_dvfs(model, tmpl, /*include_dvfs=*/true, visit);
-  }
+  scan_actions(engine, spec, ws, model, current,
+               [&](const KnobState& k, const Prediction& p) {
+                 ++ws.candidates;
+                 const double t = p.max_temp_k();
+                 if (t < coolest_t) {
+                   coolest_t = t;
+                   coolest = k;
+                 }
+                 if (t > tth) return;
+                 if (p.capacity_ips + 1e-9 < ips_floor) return;
+                 if (!best_valid || p.epi() < best_epi) {
+                   best_epi = p.epi();
+                   best = k;
+                   best_valid = true;
+                 }
+               });
   return best_valid ? best : coolest;
+}
+
+KnobState oftec_decide(const ControlEngine& engine,
+                       const ExhaustiveOptions& options, PolicyWorkspace& ws,
+                       PlanningModel& model, const KnobState& current) {
+  const bool fan_turn =
+      options.base.manage_fan &&
+      ws.interval % options.base.fan_period_intervals == 0;
+  ++ws.interval;
+  const ActionSpec spec{/*include_dvfs=*/false, /*include_fan=*/fan_turn};
+  TECFAN_REQUIRE(engine.action_count(spec) <= options.max_candidates,
+                 "OFTEC search space exceeds the configured bound");
+
+  const double tth = model.threshold_k() - options.base.constraint_margin_k;
+  KnobState best = current;
+  // OFTEC never adapts DVFS: cores stay at the top level.
+  for (auto& d : best.dvfs) d = 0;
+  double best_cooling = std::numeric_limits<double>::infinity();
+  bool best_valid = false;
+  KnobState coolest = best;
+  double coolest_t = std::numeric_limits<double>::infinity();
+  ws.candidates = 0;
+
+  scan_actions(engine, spec, ws, model, best,
+               [&](const KnobState& k, const Prediction& p) {
+                 ++ws.candidates;
+                 const double t = p.max_temp_k();
+                 if (t < coolest_t) {
+                   coolest_t = t;
+                   coolest = k;
+                 }
+                 if (t > tth) return;
+                 // OFTEC's objective: cooling power plus the leakage it
+                 // influences through temperature ([8] is leakage-aware).
+                 const double cooling = p.power.cooling_w() + p.power.leakage_w;
+                 if (!best_valid || cooling < best_cooling) {
+                   best_cooling = cooling;
+                   best = k;
+                   best_valid = true;
+                 }
+               });
+  return best_valid ? best : coolest;
+}
+
+}  // namespace strategies
+
+OraclePolicy::OraclePolicy(ExhaustiveOptions options) : options_(options) {}
+
+OraclePolicy::OraclePolicy(ControlEnginePtr engine, ExhaustiveOptions options)
+    : options_(options), engine_(std::move(engine)) {}
+
+void OraclePolicy::reset() { ws_.reset(); }
+
+double OraclePolicy::ips_floor(int) const { return 0.0; }
+
+KnobState OraclePolicy::decide(PlanningModel& model,
+                               const KnobState& current) {
+  engine_ = ensure_control_engine(std::move(engine_), model);
+  const double floor = ips_floor(ws_.interval);
+  return strategies::oracle_decide(*engine_, options_, floor, ws_, model,
+                                   current);
 }
 
 OraclePPolicy::OraclePPolicy(
     ExhaustiveOptions options,
     std::shared_ptr<const std::vector<double>> reference_ips)
     : OraclePolicy(options), reference_ips_(std::move(reference_ips)) {
+  TECFAN_REQUIRE(reference_ips_ != nullptr,
+                 "Oracle-P requires a reference IPS trajectory");
+}
+
+OraclePPolicy::OraclePPolicy(
+    ControlEnginePtr engine, ExhaustiveOptions options,
+    std::shared_ptr<const std::vector<double>> reference_ips)
+    : OraclePolicy(std::move(engine), options),
+      reference_ips_(std::move(reference_ips)) {
   TECFAN_REQUIRE(reference_ips_ != nullptr,
                  "Oracle-P requires a reference IPS trajectory");
 }
@@ -127,56 +162,15 @@ double OraclePPolicy::ips_floor(int interval) const {
 
 OftecPolicy::OftecPolicy(ExhaustiveOptions options) : options_(options) {}
 
-void OftecPolicy::reset() { interval_ = 0; }
+OftecPolicy::OftecPolicy(ControlEnginePtr engine, ExhaustiveOptions options)
+    : options_(options), engine_(std::move(engine)) {}
+
+void OftecPolicy::reset() { ws_.reset(); }
 
 KnobState OftecPolicy::decide(PlanningModel& model,
                               const KnobState& current) {
-  const bool fan_turn =
-      options_.base.manage_fan &&
-      interval_ % options_.base.fan_period_intervals == 0;
-  ++interval_;
-  TECFAN_REQUIRE(
-      candidate_count(model, /*include_dvfs=*/false, fan_turn) <=
-          options_.max_candidates,
-      "OFTEC search space exceeds the configured bound");
-
-  const double tth = model.threshold_k() - options_.base.constraint_margin_k;
-  KnobState best = current;
-  // OFTEC never adapts DVFS: cores stay at the top level.
-  for (auto& d : best.dvfs) d = 0;
-  double best_cooling = std::numeric_limits<double>::infinity();
-  bool best_valid = false;
-  KnobState coolest = best;
-  double coolest_t = std::numeric_limits<double>::infinity();
-
-  auto visit = [&](const KnobState& k) {
-    const Prediction p = model.predict(k);
-    const double t = p.max_temp_k();
-    if (t < coolest_t) {
-      coolest_t = t;
-      coolest = k;
-    }
-    if (t > tth) return;
-    // OFTEC's objective: cooling power plus the leakage it influences
-    // through temperature ([8] is leakage-aware).
-    const double cooling = p.power.cooling_w() + p.power.leakage_w;
-    if (!best_valid || cooling < best_cooling) {
-      best_cooling = cooling;
-      best = k;
-      best_valid = true;
-    }
-  };
-
-  KnobState tmpl = best;
-  if (fan_turn) {
-    for (int lvl = 0; lvl < model.fan_level_count(); ++lvl) {
-      tmpl.fan_level = lvl;
-      enumerate_tec_dvfs(model, tmpl, /*include_dvfs=*/false, visit);
-    }
-  } else {
-    enumerate_tec_dvfs(model, tmpl, /*include_dvfs=*/false, visit);
-  }
-  return best_valid ? best : coolest;
+  engine_ = ensure_control_engine(std::move(engine_), model);
+  return strategies::oftec_decide(*engine_, options_, ws_, model, current);
 }
 
 }  // namespace tecfan::core

@@ -15,13 +15,21 @@
 //           (Sec. V-A), as we do.
 //
 // These policies are only meant for small configuration spaces (the paper's
-// 4-core setup); construction enforces a search-space bound.
+// 4-core setup); every decision enforces a search-space bound.
+//
+// Structure: the search runs over the ControlEngine's memoized flat
+// ActionSet in chunked PlanningModel::evaluate_batch calls (parallel on
+// models that override it), then scans the predictions in enumeration
+// order with the same first-strictly-better comparisons the old
+// per-candidate recursion used — decisions are bit-exact with it. The
+// policy classes are thin adapters: shared engine pointer + one workspace.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/control_engine.h"
 #include "core/policy.h"
 
 namespace tecfan::core {
@@ -33,15 +41,35 @@ struct ExhaustiveOptions {
   std::size_t max_candidates = 1u << 20;
 };
 
+namespace strategies {
+
+/// One Oracle decision: enumerate DVFS x TEC (x fan on the cadence),
+/// minimize EPI subject to the temperature constraint and `ips_floor`.
+/// Mutates only `ws` (interval/candidate counters, batch scratch).
+KnobState oracle_decide(const ControlEngine& engine,
+                        const ExhaustiveOptions& options, double ips_floor,
+                        PolicyWorkspace& ws, PlanningModel& model,
+                        const KnobState& current);
+
+/// One OFTEC decision: DVFS pinned to the top level, enumerate TEC (x fan
+/// on the cadence), minimize cooling + leakage power under the constraint.
+KnobState oftec_decide(const ControlEngine& engine,
+                       const ExhaustiveOptions& options, PolicyWorkspace& ws,
+                       PlanningModel& model, const KnobState& current);
+
+}  // namespace strategies
+
 class OraclePolicy : public Policy {
  public:
   explicit OraclePolicy(ExhaustiveOptions options = {});
+  explicit OraclePolicy(ControlEnginePtr engine,
+                        ExhaustiveOptions options = {});
 
   std::string_view name() const override { return "Oracle"; }
   void reset() override;
   KnobState decide(PlanningModel& model, const KnobState& current) override;
 
-  std::size_t last_candidate_count() const { return candidates_; }
+  std::size_t last_candidate_count() const { return ws_.candidates; }
 
  protected:
   /// Performance floor for the decision at `interval` (Oracle-P); returns 0
@@ -51,8 +79,8 @@ class OraclePolicy : public Policy {
   ExhaustiveOptions options_;
 
  private:
-  int interval_ = 0;
-  std::size_t candidates_ = 0;
+  ControlEnginePtr engine_;
+  PolicyWorkspace ws_;
 };
 
 class OraclePPolicy final : public OraclePolicy {
@@ -62,6 +90,8 @@ class OraclePPolicy final : public OraclePolicy {
   /// run); Oracle-P may not fall below it, giving it exactly TECfan's
   /// performance posture.
   OraclePPolicy(ExhaustiveOptions options,
+                std::shared_ptr<const std::vector<double>> reference_ips);
+  OraclePPolicy(ControlEnginePtr engine, ExhaustiveOptions options,
                 std::shared_ptr<const std::vector<double>> reference_ips);
 
   std::string_view name() const override { return "Oracle-P"; }
@@ -76,6 +106,8 @@ class OraclePPolicy final : public OraclePolicy {
 class OftecPolicy final : public Policy {
  public:
   explicit OftecPolicy(ExhaustiveOptions options = {});
+  explicit OftecPolicy(ControlEnginePtr engine,
+                       ExhaustiveOptions options = {});
 
   std::string_view name() const override { return "OFTEC"; }
   void reset() override;
@@ -83,7 +115,8 @@ class OftecPolicy final : public Policy {
 
  private:
   ExhaustiveOptions options_;
-  int interval_ = 0;
+  ControlEnginePtr engine_;
+  PolicyWorkspace ws_;
 };
 
 }  // namespace tecfan::core

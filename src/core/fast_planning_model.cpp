@@ -67,6 +67,19 @@ void FastChipPlanningModel::observe(const Observation& obs) {
     baseline_core_ips_[n] = obs.core_ips[n];
 }
 
+void FastChipPlanningModel::evaluate_batch(const ActionSet::Slice& slice,
+                                           const KnobState& base,
+                                           std::vector<Prediction>& out) {
+  TECFAN_REQUIRE(has_observation_,
+                 "evaluate_batch before first observe()");
+  out.resize(slice.size());
+  KnobState knobs = base;
+  for (std::size_t i = 0; i < slice.size(); ++i) {
+    slice.set->materialize(slice.begin + i, knobs);
+    out[i] = predict(knobs);
+  }
+}
+
 std::vector<int> FastChipPlanningModel::changed_cores(
     const KnobState& knobs) const {
   std::vector<int> changed;

@@ -63,6 +63,14 @@ class FastChipPlanningModel final : public PlanningModel {
     return exact_.predict_steady(knobs);  // fan-cadence path stays global
   }
 
+  /// Serial flat-ActionSet batch: each candidate goes through the normal
+  /// incremental predict() path. The incremental/global counters, the
+  /// shared baseline and the exact model's solver workspace make this
+  /// model single-threaded by design, and a ~14 us per-core solve is far
+  /// below util/parallel's fork-join grain anyway.
+  void evaluate_batch(const ActionSet::Slice& slice, const KnobState& base,
+                      std::vector<Prediction>& out) override;
+
   /// How many predict() calls took the incremental per-core path (vs the
   /// global fallback) since the last reset — for the overhead benches.
   std::size_t incremental_predictions() const { return incremental_; }

@@ -15,4 +15,17 @@ double Prediction::epi() const {
   return power.total_w() / ips;
 }
 
+void PlanningModel::evaluate_batch(const ActionSet::Slice& slice,
+                                   const KnobState& base,
+                                   std::vector<Prediction>& out) {
+  // Reference implementation and the bit-exactness contract: one serial
+  // predict() per candidate, in slice order.
+  out.resize(slice.size());
+  KnobState knobs = base;
+  for (std::size_t i = 0; i < slice.size(); ++i) {
+    slice.set->materialize(slice.begin + i, knobs);
+    out[i] = predict(knobs);
+  }
+}
+
 }  // namespace tecfan::core

@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/action_set.h"
 #include "core/actions.h"
 #include "linalg/matrix.h"
 #include "power/breakdown.h"
@@ -67,6 +68,22 @@ class PlanningModel {
   /// higher-level fan loop evaluates, since the fan time constant spans many
   /// control intervals.
   virtual Prediction predict_steady(const KnobState& knobs) = 0;
+
+  /// Batch candidate evaluation: predict every candidate in `slice`, each
+  /// materialized over the `base` template (dimensions the ActionSet does
+  /// not cover — e.g. the fan level outside the fan cadence — come from
+  /// `base`). On return, out[i] is the prediction for candidate
+  /// slice.begin + i.
+  ///
+  /// Contract: results MUST be bit-exact with calling predict() serially
+  /// on each materialized candidate in slice order — the exhaustive
+  /// policies' first-strictly-better tie-breaking depends on it. The
+  /// default implementation is that serial loop; ChipPlanningModel
+  /// parallelizes it over util/parallel workers with an independent solver
+  /// workspace per candidate.
+  virtual void evaluate_batch(const ActionSet::Slice& slice,
+                              const KnobState& base,
+                              std::vector<Prediction>& out);
 };
 
 }  // namespace tecfan::core

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 namespace tecfan::core {
-namespace detail {
+namespace strategies {
 
 void apply_tec_rule(const PlanningModel& model, KnobState& knobs,
                     double off_margin_k) {
@@ -51,7 +51,7 @@ void apply_dvfs_rule(const PlanningModel& model, KnobState& knobs,
   }
 }
 
-}  // namespace detail
+}  // namespace strategies
 
 KnobState FanOnlyPolicy::decide(PlanningModel&, const KnobState& current) {
   return current;
@@ -63,7 +63,7 @@ FanTecPolicy::FanTecPolicy(double off_margin_k)
 KnobState FanTecPolicy::decide(PlanningModel& model,
                                const KnobState& current) {
   KnobState next = current;
-  detail::apply_tec_rule(model, next, off_margin_k_);
+  strategies::apply_tec_rule(model, next, off_margin_k_);
   return next;
 }
 
@@ -73,7 +73,7 @@ FanDvfsPolicy::FanDvfsPolicy(double up_margin_k)
 KnobState FanDvfsPolicy::decide(PlanningModel& model,
                                 const KnobState& current) {
   KnobState next = current;
-  detail::apply_dvfs_rule(model, next, up_margin_k_);
+  strategies::apply_dvfs_rule(model, next, up_margin_k_);
   return next;
 }
 
@@ -83,8 +83,8 @@ DvfsTecPolicy::DvfsTecPolicy(double tec_off_margin_k)
 KnobState DvfsTecPolicy::decide(PlanningModel& model,
                                 const KnobState& current) {
   KnobState next = current;
-  detail::apply_tec_rule(model, next, tec_off_margin_k_);
-  detail::apply_dvfs_rule(model, next, 2.0);
+  strategies::apply_tec_rule(model, next, tec_off_margin_k_);
+  strategies::apply_dvfs_rule(model, next, 2.0);
   return next;
 }
 

@@ -11,9 +11,21 @@
 //            paper's illustration of why uncoordinated knobs interfere).
 #pragma once
 
+#include "core/control_engine.h"
 #include "core/policy.h"
 
 namespace tecfan::core {
+
+namespace strategies {
+/// The Fan+TEC device rule, applied to `knobs` in place: a TEC turns on
+/// when any covered spot exceeds T_th, off when all sit below the
+/// hysteresis margin. Stateless — reads only sensed temperatures.
+void apply_tec_rule(const PlanningModel& model, KnobState& knobs,
+                    double off_margin_k);
+/// The Fan+DVFS per-core rule, applied to `knobs` in place.
+void apply_dvfs_rule(const PlanningModel& model, KnobState& knobs,
+                     double up_margin_k);
+}  // namespace strategies
 
 class FanOnlyPolicy final : public Policy {
  public:
@@ -62,12 +74,9 @@ class DvfsTecPolicy final : public Policy {
 };
 
 namespace detail {
-/// Apply the Fan+TEC device rule to `knobs` in place.
-void apply_tec_rule(const PlanningModel& model, KnobState& knobs,
-                    double off_margin_k);
-/// Apply the Fan+DVFS per-core rule to `knobs` in place.
-void apply_dvfs_rule(const PlanningModel& model, KnobState& knobs,
-                     double up_margin_k);
+// Old home of the reactive rules; forwarders kept for source compat.
+using strategies::apply_dvfs_rule;
+using strategies::apply_tec_rule;
 }  // namespace detail
 
 }  // namespace tecfan::core

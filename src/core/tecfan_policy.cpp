@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "util/error.h"
 
 namespace tecfan::core {
+namespace strategies {
 namespace {
 
 /// Tracks the best (lowest-EPI) constraint-satisfying configuration seen.
@@ -24,49 +26,32 @@ struct BestTracker {
   }
 };
 
-}  // namespace
-
-TecFanPolicy::TecFanPolicy(PolicyOptions options) : options_(options) {}
-
-void TecFanPolicy::reset() {
-  interval_ = 0;
-  predictions_ = 0;
-}
-
-Prediction TecFanPolicy::predict(PlanningModel& model, const KnobState& k) {
-  ++predictions_;
+Prediction predict(PolicyWorkspace& ws, PlanningModel& model,
+                   const KnobState& k) {
+  ++ws.predictions;
   return model.predict(k);
 }
 
-KnobState TecFanPolicy::decide(PlanningModel& model,
-                               const KnobState& current) {
-  predictions_ = 0;
-  KnobState cand = current;
-  if (options_.manage_fan && interval_ % options_.fan_period_intervals == 0)
-    cand.fan_level = fan_decision(model, cand);
-  ++interval_;
-  return lower_level(model, std::move(cand));
-}
-
-KnobState TecFanPolicy::lower_level(PlanningModel& model, KnobState cand) {
-  const double tth = model.threshold_k() - options_.constraint_margin_k;
-  const int cores = model.core_count();
-  const int slowest = model.dvfs_level_count() - 1;
+KnobState lower_level(const ControlEngine& engine,
+                      const PolicyOptions& options, PolicyWorkspace& ws,
+                      PlanningModel& model, KnobState cand) {
+  const double tth = model.threshold_k() - options.constraint_margin_k;
+  const int cores = engine.cores();
+  const int slowest = engine.dvfs_levels() - 1;
   BestTracker best;
 
-  Prediction pred = predict(model, cand);
+  Prediction pred = predict(ws, model, cand);
   best.consider(cand, pred, tth);
 
   // Guard: NL TEC toggles + N*M DVFS steps bounds the iteration count.
   const int max_iters =
-      static_cast<int>(model.tec_count()) +
-      cores * model.dvfs_level_count() + 4;
+      static_cast<int>(engine.tecs()) + cores * engine.dvfs_levels() + 4;
 
   if (pred.max_temp_k() > tth) {
     // ---- Hot iteration ----
     for (int it = 0; it < max_iters && pred.max_temp_k() > tth; ++it) {
       // 1. Prefer the TEC over the hottest violating spot that is still off.
-      std::size_t chosen_tec = model.tec_count();
+      std::size_t chosen_tec = engine.tecs();
       double hottest = tth;
       for (std::size_t s = 0; s < model.spot_count(); ++s) {
         const double t = pred.spot_temps_k[s];
@@ -79,9 +64,9 @@ KnobState TecFanPolicy::lower_level(PlanningModel& model, KnobState cand) {
           }
         }
       }
-      if (chosen_tec < model.tec_count()) {
+      if (chosen_tec < engine.tecs()) {
         cand.tec_on[chosen_tec] = 1;
-        pred = predict(model, cand);
+        pred = predict(ws, model, cand);
         best.consider(cand, pred, tth);
         continue;
       }
@@ -92,7 +77,7 @@ KnobState TecFanPolicy::lower_level(PlanningModel& model, KnobState cand) {
       Prediction chosen_pred;
       double best_epi = std::numeric_limits<double>::infinity();
       bool found = false;
-      if (options_.chip_wide_dvfs) {
+      if (options.chip_wide_dvfs) {
         KnobState trial = cand;
         bool moved = false;
         for (auto& d : trial.dvfs)
@@ -101,7 +86,7 @@ KnobState TecFanPolicy::lower_level(PlanningModel& model, KnobState cand) {
             moved = true;
           }
         if (moved) {
-          chosen_pred = predict(model, trial);
+          chosen_pred = predict(ws, model, trial);
           chosen = std::move(trial);
           found = true;
         }
@@ -111,7 +96,7 @@ KnobState TecFanPolicy::lower_level(PlanningModel& model, KnobState cand) {
           if (cand.dvfs[ni] >= slowest) continue;
           KnobState trial = cand;
           ++trial.dvfs[ni];
-          Prediction p = predict(model, trial);
+          Prediction p = predict(ws, model, trial);
           if (!found || p.epi() < best_epi) {
             best_epi = p.epi();
             chosen = std::move(trial);
@@ -146,7 +131,7 @@ KnobState TecFanPolicy::lower_level(PlanningModel& model, KnobState cand) {
     //    "select appropriate DVFS levels without degrading performance"
     //    (Sec. V-E) instead of pinning every core at the top.
     double best_epi = std::numeric_limits<double>::infinity();
-    if (options_.chip_wide_dvfs) {
+    if (options.chip_wide_dvfs) {
       KnobState trial = cand;
       bool moved = false;
       for (auto& d : trial.dvfs)
@@ -155,7 +140,7 @@ KnobState TecFanPolicy::lower_level(PlanningModel& model, KnobState cand) {
           moved = true;
         }
       if (moved) {
-        Prediction p = predict(model, trial);
+        Prediction p = predict(ws, model, trial);
         if (p.ips > pred.ips * (1.0 + 1e-9)) {
           chosen = std::move(trial);
           chosen_pred = std::move(p);
@@ -168,7 +153,7 @@ KnobState TecFanPolicy::lower_level(PlanningModel& model, KnobState cand) {
         if (cand.dvfs[ni] <= 0) continue;
         KnobState trial = cand;
         --trial.dvfs[ni];
-        Prediction p = predict(model, trial);
+        Prediction p = predict(ws, model, trial);
         if (p.ips <= pred.ips * (1.0 + 1e-9)) continue;
         if (!found || p.epi() < best_epi) {
           best_epi = p.epi();
@@ -181,7 +166,7 @@ KnobState TecFanPolicy::lower_level(PlanningModel& model, KnobState cand) {
     if (!found) {
       // 2. Every core at the top level: turn off the TEC over the coolest
       //    covered spot.
-      std::size_t chosen_tec = model.tec_count();
+      std::size_t chosen_tec = engine.tecs();
       double coolest = std::numeric_limits<double>::infinity();
       for (std::size_t s = 0; s < model.spot_count(); ++s) {
         const double t = pred.spot_temps_k[s];
@@ -194,10 +179,10 @@ KnobState TecFanPolicy::lower_level(PlanningModel& model, KnobState cand) {
           }
         }
       }
-      if (chosen_tec == model.tec_count()) break;  // nothing left to save
+      if (chosen_tec == engine.tecs()) break;  // nothing left to save
       chosen = cand;
       chosen.tec_on[chosen_tec] = 0;
-      chosen_pred = predict(model, chosen);
+      chosen_pred = predict(ws, model, chosen);
       found = true;
     }
     if (chosen_pred.max_temp_k() > tth) break;
@@ -207,10 +192,10 @@ KnobState TecFanPolicy::lower_level(PlanningModel& model, KnobState cand) {
   return cand;
 }
 
-int TecFanPolicy::fan_decision(PlanningModel& model,
-                               const KnobState& current) {
+int fan_decision(const ControlEngine& engine, const PolicyOptions& options,
+                 PlanningModel& model, const KnobState& current) {
   const double tth = model.threshold_k();
-  const int slowest = model.fan_level_count() - 1;
+  const int slowest = engine.fan_levels() - 1;
   KnobState trial = current;
   // Steady-state evaluation: speed up while hot, otherwise pick the slowest
   // level that keeps a margin below the threshold.
@@ -228,11 +213,39 @@ int TecFanPolicy::fan_decision(PlanningModel& model,
   while (lvl < slowest) {
     trial.fan_level = lvl + 1;
     if (model.predict_steady(trial).max_temp_k() >
-        tth - options_.fan_margin_k)
+        tth - options.fan_margin_k)
       break;
     ++lvl;
   }
   return lvl;
+}
+
+}  // namespace
+
+KnobState tecfan_decide(const ControlEngine& engine,
+                        const PolicyOptions& options, PolicyWorkspace& ws,
+                        PlanningModel& model, const KnobState& current) {
+  ws.predictions = 0;
+  KnobState cand = current;
+  if (options.manage_fan && ws.interval % options.fan_period_intervals == 0)
+    cand.fan_level = fan_decision(engine, options, model, cand);
+  ++ws.interval;
+  return lower_level(engine, options, ws, model, std::move(cand));
+}
+
+}  // namespace strategies
+
+TecFanPolicy::TecFanPolicy(PolicyOptions options) : options_(options) {}
+
+TecFanPolicy::TecFanPolicy(ControlEnginePtr engine, PolicyOptions options)
+    : engine_(std::move(engine)), options_(options) {}
+
+void TecFanPolicy::reset() { ws_.reset(); }
+
+KnobState TecFanPolicy::decide(PlanningModel& model,
+                               const KnobState& current) {
+  engine_ = ensure_control_engine(std::move(engine_), model);
+  return strategies::tecfan_decide(*engine_, options_, ws_, model, current);
 }
 
 }  // namespace tecfan::core

@@ -9,7 +9,7 @@
 //     one-level decrease yields the lowest predicted EPI — until the
 //     prediction clears the threshold or the knobs are exhausted.
 //   * Cool iteration (no predicted hot spot): step DVFS up — each step
-//     choosing the core whose one-level increase yields the lowest predicted
+//     choosing the core whose one-step increase yields the lowest predicted
 //     EPI — and, once every core is at the top level, turn off the TEC over
 //     the coolest covered spot; stop just before a predicted violation.
 // The applied configuration is the lowest-EPI one visited that satisfies
@@ -21,15 +21,40 @@
 //
 // Complexity is O(NL + N^2 M) per interval as derived in Sec. V-A: at most
 // NL TEC toggles and N M DVFS steps, each DVFS step comparing N candidates.
+//
+// Structure: the decision logic is the stateless strategy function
+// strategies::tecfan_decide over (ControlEngine, options, PolicyWorkspace,
+// model); the TecFanPolicy class is a thin adapter holding a shared engine
+// pointer and one private workspace. The iteration stays scalar — its
+// candidates are data-dependent one-step moves, not an enumerable set — so
+// only the counters and cadence live in the workspace.
 #pragma once
 
+#include "core/control_engine.h"
 #include "core/policy.h"
 
 namespace tecfan::core {
 
+namespace strategies {
+
+/// One TECfan decision: fan cadence (when options.manage_fan) plus the
+/// lower-level hot/cool iteration. Pure in everything except `ws` (interval
+/// counter, prediction counter) and the model's prediction scratch; safe to
+/// run concurrently against one shared engine with per-thread workspaces.
+/// `engine` must match `model`'s knob space.
+KnobState tecfan_decide(const ControlEngine& engine,
+                        const PolicyOptions& options, PolicyWorkspace& ws,
+                        PlanningModel& model, const KnobState& current);
+
+}  // namespace strategies
+
 class TecFanPolicy final : public Policy {
  public:
   explicit TecFanPolicy(PolicyOptions options = {});
+
+  /// Shares a prebuilt engine (e.g. sim::ChipEngine::control()); bare
+  /// construction builds a dims-only engine lazily on first decide().
+  explicit TecFanPolicy(ControlEnginePtr engine, PolicyOptions options = {});
 
   std::string_view name() const override { return "TECfan"; }
   void reset() override;
@@ -39,17 +64,12 @@ class TecFanPolicy final : public Policy {
 
   /// Number of predict() calls issued in the last decide() (for the
   /// overhead benchmarks).
-  std::size_t last_prediction_count() const { return predictions_; }
+  std::size_t last_prediction_count() const { return ws_.predictions; }
 
  private:
-  KnobState lower_level(PlanningModel& model, KnobState cand);
-  int fan_decision(PlanningModel& model, const KnobState& current);
-
-  Prediction predict(PlanningModel& model, const KnobState& k);
-
+  ControlEnginePtr engine_;
   PolicyOptions options_;
-  int interval_ = 0;
-  std::size_t predictions_ = 0;
+  PolicyWorkspace ws_;
 };
 
 }  // namespace tecfan::core

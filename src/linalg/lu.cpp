@@ -65,6 +65,15 @@ void LuFactorization::solve_in_place(std::span<double> x) const {
   solve_in_place_permuted(x);
 }
 
+void LuFactorization::solve_into(std::span<const double> b, Vector& x) const {
+  TECFAN_REQUIRE(valid(), "solve on empty factorization");
+  TECFAN_REQUIRE(b.size() == size(), "solve rhs size mismatch");
+  const std::size_t n = size();
+  x.resize(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  solve_in_place_permuted(x);
+}
+
 Vector LuFactorization::solve_transpose(std::span<const double> b) const {
   TECFAN_REQUIRE(valid(), "solve on empty factorization");
   TECFAN_REQUIRE(b.size() == size(), "solve rhs size mismatch");

@@ -33,6 +33,11 @@ class LuFactorization {
   /// Solve in place (x on entry is b).
   void solve_in_place(std::span<double> x) const;
 
+  /// Solve A x = b into a caller-owned buffer (resized as needed) without
+  /// temporaries — batch evaluation reuses one buffer per worker. Bit-exact
+  /// with solve().
+  void solve_into(std::span<const double> b, Vector& x) const;
+
   /// Determinant sign * |det| via the diagonal of U (may over/underflow for
   /// large systems; intended for small-matrix tests).
   double determinant() const;

@@ -13,8 +13,7 @@
 #include <istream>
 #include <ostream>
 
-#include "core/reactive_policies.h"
-#include "core/tecfan_policy.h"
+#include "core/policy_factory.h"
 #include "perf/splash2.h"
 #include "service/framing.h"
 #include "sim/experiment.h"
@@ -31,20 +30,6 @@
 
 namespace tecfan::service {
 namespace {
-
-core::PolicyPtr make_policy(const std::string& name) {
-  if (name == "fan-only") return std::make_unique<core::FanOnlyPolicy>();
-  if (name == "fan+tec") return std::make_unique<core::FanTecPolicy>();
-  if (name == "fan+dvfs") return std::make_unique<core::FanDvfsPolicy>();
-  if (name == "dvfs+tec") return std::make_unique<core::DvfsTecPolicy>();
-  if (name == "tecfan") return std::make_unique<core::TecFanPolicy>();
-  if (name == "tecfan-chipwide") {
-    core::PolicyOptions opt;
-    opt.chip_wide_dvfs = true;
-    return std::make_unique<core::TecFanPolicy>(opt);
-  }
-  return nullptr;
-}
 
 void add_run_fields(Response& r, const sim::RunResult& run) {
   r.add("fan_level", static_cast<std::uint64_t>(run.fan_level));
@@ -259,7 +244,11 @@ Response Server::do_run(sim::ChipSimulator& simulator,
     return Response::make_error("fan level out of range (0.." +
                                 std::to_string(models.fan.level_count() - 1) +
                                 ")");
-  core::PolicyPtr policy = make_policy(request.policy);
+  // Policies share the engine's ControlEngine: one thread's decide() only
+  // mutates its own workspace, so run requests stay allocation-light and
+  // safely concurrent across the worker pool.
+  core::PolicyPtr policy =
+      core::make_named_policy(request.policy, engine_->control());
   if (!policy)
     return Response::make_error("unknown policy '" + request.policy + "'");
   auto wl = engine_->workload(request.workload, request.threads);
@@ -282,7 +271,8 @@ Response Server::do_run(sim::ChipSimulator& simulator,
 
 Response Server::do_sweep(sim::ChipSimulator& simulator,
                           const Request& request) {
-  core::PolicyPtr probe = make_policy(request.policy);
+  core::PolicyPtr probe =
+      core::make_named_policy(request.policy, engine_->control());
   if (!probe)
     return Response::make_error("unknown policy '" + request.policy + "'");
   auto wl = engine_->workload(request.workload, request.threads);
@@ -296,10 +286,16 @@ Response Server::do_sweep(sim::ChipSimulator& simulator,
   // sim/experiment.h): only marginal DVFS engagement qualifies a level.
   if (request.policy.rfind("tecfan", 0) == 0) opts.max_mean_dvfs = 0.5;
 
+  // Like `equilibrium`, the sweep reuses the shared engine with throwaway
+  // per-level workspaces; each level's policy shares the ControlEngine too.
   const std::string policy_name = request.policy;
+  const core::ControlEnginePtr control = engine_->control();
   const sim::SweepResult sweep = sim::run_with_fan_sweep(
-      simulator, [&policy_name] { return make_policy(policy_name); }, *wl,
-      opts);
+      simulator.engine_ptr(),
+      [&policy_name, &control] {
+        return core::make_named_policy(policy_name, control);
+      },
+      *wl, opts);
 
   Response r;
   r.add("policy", std::string(sweep.chosen.policy));

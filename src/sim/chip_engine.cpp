@@ -15,6 +15,11 @@ ChipEngine::ChipEngine(ChipModels models, double control_period_s,
                  "control period and substeps must be positive");
   thermal_ = thermal::make_thermal_engine(
       models_.thermal, control_period_s_ / substeps_, backend);
+  control_ = core::make_control_engine(
+      core::ControlDims{models_.thermal->floorplan().core_count(),
+                        models_.thermal->tec_count(),
+                        models_.dvfs.level_count(), models_.fan.level_count()},
+      models_.dvfs, models_.fan);
 }
 
 perf::WorkloadPtr ChipEngine::workload(const std::string& name,

@@ -16,6 +16,7 @@
 #include <mutex>
 #include <string>
 
+#include "core/control_engine.h"
 #include "perf/workload.h"
 #include "sim/defaults.h"
 #include "thermal/solvers.h"
@@ -42,18 +43,27 @@ class ChipEngine {
   double control_period_s() const { return control_period_s_; }
   int substeps() const { return substeps_; }
 
+  /// The control-layer engine for this scenario's knob space: precomputed
+  /// Eq. (6)/(7)/(11) scaling tables plus the memoized action-space
+  /// enumerations. Shared — policies for concurrent runs (the tecfand
+  /// worker pool, parallel sweeps) all point here.
+  const core::ControlEnginePtr& control() const { return control_; }
+
   /// Calibrated SPLASH-2 workload, memoized by (name, threads). Thread-safe;
   /// throws on unknown benchmarks.
   perf::WorkloadPtr workload(const std::string& name, int threads) const;
 
   /// Rough resident footprint of the shared factored state.
-  std::size_t memory_bytes() const { return thermal_->memory_bytes(); }
+  std::size_t memory_bytes() const {
+    return thermal_->memory_bytes() + control_->memory_bytes();
+  }
 
  private:
   ChipModels models_;
   double control_period_s_;
   int substeps_;
   std::shared_ptr<const thermal::ThermalEngine> thermal_;
+  core::ControlEnginePtr control_;
 
   mutable std::mutex workloads_mu_;
   mutable std::map<std::string, perf::WorkloadPtr> workloads_;

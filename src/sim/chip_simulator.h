@@ -62,6 +62,9 @@ class ChipSimulator {
   double control_period_s() const { return engine_->control_period_s(); }
   const ChipModels& models() const { return engine_->models(); }
   const ChipEngine& engine() const { return *engine_; }
+  /// The shared engine itself — what sweep helpers fan out over when they
+  /// need to spin up sibling workspaces on other threads.
+  const ChipEnginePtr& engine_ptr() const { return engine_; }
 
   /// Mutable per-thread footprint (solver workspaces); the counterpart of
   /// ChipEngine::memory_bytes().

@@ -3,6 +3,7 @@
 #include "core/reactive_policies.h"
 #include "util/error.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace tecfan::sim {
 
@@ -20,23 +21,47 @@ RunResult measure_base_scenario(ChipSimulator& simulator,
   return res;
 }
 
-SweepResult run_with_fan_sweep(ChipSimulator& simulator,
+SweepResult run_with_fan_sweep(const ChipEnginePtr& engine,
                                const PolicyFactory& make_policy,
                                const perf::Workload& workload,
                                const SweepOptions& options) {
+  TECFAN_REQUIRE(engine != nullptr, "sweep requires an engine");
   TECFAN_REQUIRE(options.threshold_k > 0.0,
                  "sweep requires a positive threshold");
-  SweepResult sweep;
-  const int levels = simulator.models().fan.level_count();
-  bool have_choice = false;
-  for (int lvl = levels - 1; lvl >= 0; --lvl) {
+  const int levels = engine->models().fan.level_count();
+
+  // One throwaway workspace + policy per simulated level; runs at distinct
+  // levels are fully independent, which is what makes the parallel path
+  // bit-identical to the serial scan.
+  auto run_level = [&](int lvl) {
     RunConfig cfg;
     cfg.threshold_k = options.threshold_k;
     cfg.fan_level = lvl;
     cfg.max_sim_time_s = options.max_sim_time_s;
     cfg.record_trace = options.record_trace;
+    ChipSimulator simulator(engine);
     auto policy = make_policy();
-    RunResult res = simulator.run(*policy, workload, cfg);
+    return simulator.run(*policy, workload, cfg);
+  };
+
+  std::vector<RunResult> results(static_cast<std::size_t>(levels));
+  std::vector<std::uint8_t> ran(static_cast<std::size_t>(levels), 0);
+  if (options.parallel) {
+    // Speculatively simulate every level concurrently. The scan below still
+    // stops at the slowest passing level, so per_level matches the serial
+    // sweep; faster levels that would not have been tried are discarded.
+    parallel_for(static_cast<std::size_t>(levels), [&](std::size_t i) {
+      results[i] = run_level(static_cast<int>(i));
+      ran[i] = 1;
+    });
+  }
+
+  SweepResult sweep;
+  bool have_choice = false;
+  for (int lvl = levels - 1; lvl >= 0; --lvl) {
+    const auto li = static_cast<std::size_t>(lvl);
+    if (!ran[li]) results[li] = run_level(lvl);
+    RunResult& res = results[li];
     const bool ok = res.completed &&
                     res.mean_peak_temp_k <=
                         options.threshold_k + options.mean_peak_tolerance_k &&
@@ -44,7 +69,7 @@ SweepResult run_with_fan_sweep(ChipSimulator& simulator,
     TECFAN_LOG_DEBUG << "sweep " << res.policy << "/" << res.workload
                      << " fan=" << lvl << " viol=" << res.violation_frac
                      << (ok ? " PASS" : " fail");
-    sweep.per_level.push_back(res);
+    sweep.per_level.push_back(std::move(res));
     if (ok) {
       sweep.chosen = sweep.per_level.back();
       have_choice = true;
@@ -58,6 +83,14 @@ SweepResult run_with_fan_sweep(ChipSimulator& simulator,
                     << sweep.chosen.policy << "/" << sweep.chosen.workload;
   }
   return sweep;
+}
+
+SweepResult run_with_fan_sweep(ChipSimulator& simulator,
+                               const PolicyFactory& make_policy,
+                               const perf::Workload& workload,
+                               const SweepOptions& options) {
+  return run_with_fan_sweep(simulator.engine_ptr(), make_policy, workload,
+                            options);
 }
 
 }  // namespace tecfan::sim

@@ -39,6 +39,12 @@ struct SweepOptions {
   double max_mean_dvfs = 1e9;
   double max_sim_time_s = 1.0;
   bool record_trace = false;
+  /// Simulate the fan levels concurrently (one ChipSimulator + policy per
+  /// level over the shared engine) instead of serially. The reported sweep
+  /// is bit-identical to the serial scan — levels are still accepted
+  /// slowest-first and per_level records the same prefix — only wall clock
+  /// changes (slowest single run instead of the sum over tried levels).
+  bool parallel = true;
 };
 
 struct SweepResult {
@@ -48,7 +54,16 @@ struct SweepResult {
 
 /// Scan fan levels from slowest to fastest and keep the first (slowest)
 /// level whose violation fraction stays within bounds; falls back to the
-/// fastest level when none qualifies.
+/// fastest level when none qualifies. Takes the shared engine and builds a
+/// throwaway workspace per simulated level, so sweeps are safe to issue
+/// concurrently (the tecfand worker pool does) and can parallelize across
+/// levels (SweepOptions::parallel).
+SweepResult run_with_fan_sweep(const ChipEnginePtr& engine,
+                               const PolicyFactory& make_policy,
+                               const perf::Workload& workload,
+                               const SweepOptions& options);
+
+/// Convenience overload over an existing workspace's engine.
 SweepResult run_with_fan_sweep(ChipSimulator& simulator,
                                const PolicyFactory& make_policy,
                                const perf::Workload& workload,

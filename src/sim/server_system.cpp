@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <map>
 
 #include "linalg/lu.h"
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace tecfan::sim {
 namespace {
@@ -64,9 +67,23 @@ linalg::DenseMatrix ServerThermalModel::conductance(
 linalg::Vector ServerThermalModel::rhs(
     std::span<const double> core_power_w,
     std::span<const std::uint8_t> tec_on, double airflow_cfm) const {
+  return rhs_with(core_power_w, tec_on, conv_g(params_, airflow_cfm));
+}
+
+linalg::Vector ServerThermalModel::rhs_with(
+    std::span<const double> core_power_w,
+    std::span<const std::uint8_t> tec_on, double sink_g) const {
+  linalg::Vector q;
+  rhs_into(core_power_w, tec_on, sink_g, q);
+  return q;
+}
+
+void ServerThermalModel::rhs_into(std::span<const double> core_power_w,
+                                  std::span<const std::uint8_t> tec_on,
+                                  double sink_g, linalg::Vector& q) const {
   TECFAN_REQUIRE(core_power_w.size() == 4 && tec_on.size() == 4,
                  "need 4 cores");
-  linalg::Vector q(kNodes, 0.0);
+  q.assign(kNodes, 0.0);
   const auto& p = params_;
   const double joule =
       0.5 * p.tec_current_a * p.tec_current_a * p.tec_r_ohm;
@@ -77,15 +94,31 @@ linalg::Vector ServerThermalModel::rhs(
       q[hot_node(n)] += joule;
     }
   }
-  q[sink_node()] += conv_g(p, airflow_cfm) * p.ambient_k;
+  q[sink_node()] += sink_g * p.ambient_k;
+}
+
+double ServerThermalModel::sink_conv_g(double airflow_cfm) const {
+  return conv_g(params_, airflow_cfm);
+}
+
+linalg::LuFactorization ServerThermalModel::factor(
+    std::span<const std::uint8_t> tec_on, double airflow_cfm) const {
+  return linalg::LuFactorization(conductance(tec_on, airflow_cfm));
+}
+
+linalg::Vector ServerThermalModel::steady_from(
+    const linalg::LuFactorization& lu, std::span<const double> core_power_w,
+    std::span<const std::uint8_t> tec_on, double sink_g) const {
+  linalg::Vector q = rhs_with(core_power_w, tec_on, sink_g);
+  lu.solve_in_place(q);
   return q;
 }
 
 linalg::Vector ServerThermalModel::steady(
     std::span<const double> core_power_w,
     std::span<const std::uint8_t> tec_on, double airflow_cfm) const {
-  const linalg::LuFactorization lu(conductance(tec_on, airflow_cfm));
-  return lu.solve(rhs(core_power_w, tec_on, airflow_cfm));
+  return steady_from(factor(tec_on, airflow_cfm), core_power_w, tec_on,
+                     sink_conv_g(airflow_cfm));
 }
 
 linalg::Vector ServerThermalModel::step(std::span<const double> temps_k,
@@ -125,6 +158,9 @@ ServerPlanningModel::ServerPlanningModel(
   TECFAN_REQUIRE(thermal_ != nullptr, "ServerPlanningModel needs a model");
   tec_map_.resize(4);
   for (std::size_t s = 0; s < 4; ++s) tec_map_[s] = {s};
+  betas_.reserve(thermal_->taus().size());
+  for (double tau : thermal_->taus())
+    betas_.push_back(std::exp(-config_.control_period_s / tau));
 }
 
 void ServerPlanningModel::reset() {
@@ -164,40 +200,69 @@ void ServerPlanningModel::observe(const Observation& obs) {
   for (int n = 0; n < 4; ++n)
     state_estimate_[thermal_->core_node(n)] =
         obs.core_temps_k[static_cast<std::size_t>(n)];
+
+  const int levels = config_.dvfs.level_count();
+  level_terms_.assign(4 * static_cast<std::size_t>(levels), {});
+  leak_w_.assign(4, 0.0);
+  for (int n = 0; n < 4; ++n) {
+    const auto ni = static_cast<std::size_t>(n);
+    const double demand = last_.demand[ni];
+    leak_w_[ni] = thermal_->leakage_w(last_.core_temps_k[ni]);
+    for (int lvl = 0; lvl < levels; ++lvl) {
+      LevelTerms& lt =
+          level_terms_[ni * static_cast<std::size_t>(levels) +
+                       static_cast<std::size_t>(lvl)];
+      const double u =
+          config_.core_model.utilization(config_.dvfs, lvl, demand);
+      lt.dyn_w = config_.core_model.power_w(config_.dvfs, lvl, u);
+      lt.served_ips = config_.core_model.served(config_.dvfs, lvl, demand) *
+                      config_.core_model.peak_ips;
+      lt.capacity_ips =
+          config_.core_model.relative_capacity(config_.dvfs, lvl) *
+          config_.core_model.peak_ips;
+    }
+  }
   has_observation_ = true;
 }
 
 core::Prediction ServerPlanningModel::predict_impl(
     const core::KnobState& knobs, bool steady) {
   TECFAN_REQUIRE(has_observation_, "predict before observe()");
+  const double cfm = config_.fan.airflow_cfm(knobs.fan_level);
+  PredictScratch scratch;
+  return predict_from(knobs, thermal_->factor(knobs.tec_on, cfm),
+                      thermal_->sink_conv_g(cfm), steady, scratch);
+}
+
+core::Prediction ServerPlanningModel::predict_from(
+    const core::KnobState& knobs, const linalg::LuFactorization& lu,
+    double sink_g, bool steady, PredictScratch& scratch) {
   TECFAN_REQUIRE(knobs.dvfs.size() == 4 && knobs.tec_on.size() == 4,
                  "knob size mismatch");
-  std::vector<double> power(4, 0.0);
+  const auto levels = static_cast<std::size_t>(config_.dvfs.level_count());
+  std::vector<double>& power = scratch.power;
+  power.resize(4);
   double served_ips = 0.0;
   core::Prediction pred;
   pred.power = {};
   for (int n = 0; n < 4; ++n) {
     const auto ni = static_cast<std::size_t>(n);
-    const double demand = last_.demand[ni];  // assume demand persists
     const int lvl = knobs.dvfs[ni];
-    const double u = config_.core_model.utilization(config_.dvfs, lvl, demand);
-    const double dyn = config_.core_model.power_w(config_.dvfs, lvl, u);
-    const double leak = thermal_->leakage_w(last_.core_temps_k[ni]);
-    power[ni] = dyn + leak;
-    pred.power.dynamic_w += dyn;
+    const LevelTerms& lt =
+        level_terms_[ni * levels + static_cast<std::size_t>(lvl)];
+    const double leak = leak_w_[ni];
+    power[ni] = lt.dyn_w + leak;
+    pred.power.dynamic_w += lt.dyn_w;
     pred.power.leakage_w += leak;
-    served_ips += config_.core_model.served(config_.dvfs, lvl, demand) *
-                  config_.core_model.peak_ips;
-    pred.capacity_ips += config_.core_model.relative_capacity(config_.dvfs,
-                                                              lvl) *
-                         config_.core_model.peak_ips;
+    served_ips += lt.served_ips;
+    pred.capacity_ips += lt.capacity_ips;
   }
-  const double cfm = config_.fan.airflow_cfm(knobs.fan_level);
-  linalg::Vector node_temps = thermal_->steady(power, knobs.tec_on, cfm);
+  thermal_->rhs_into(power, knobs.tec_on, sink_g, scratch.q);
+  linalg::Vector& node_temps = scratch.x;
+  lu.solve_into(scratch.q, node_temps);
   if (!steady) {
-    const auto& tau = thermal_->taus();
     for (std::size_t i = 0; i < node_temps.size(); ++i) {
-      const double beta = std::exp(-config_.control_period_s / tau[i]);
+      const double beta = betas_[i];
       node_temps[i] =
           (1.0 - beta) * node_temps[i] + beta * state_estimate_[i];
     }
@@ -216,6 +281,67 @@ core::Prediction ServerPlanningModel::predict_impl(
 
 core::Prediction ServerPlanningModel::predict(const core::KnobState& knobs) {
   return predict_impl(knobs, /*steady=*/false);
+}
+
+void ServerPlanningModel::evaluate_batch(const core::ActionSet::Slice& slice,
+                                         const core::KnobState& base,
+                                         std::vector<core::Prediction>& out) {
+  TECFAN_REQUIRE(has_observation_, "evaluate_batch before observe()");
+  out.resize(slice.size());
+
+  // Phase 1: the conductance matrix only sees the cooling configuration
+  // (TEC mask, fan level), so collect the distinct configurations in the
+  // slice and factor each once. A full sweep has dvfs_levels^4 candidates
+  // per configuration; chunks that only vary DVFS share a single factor.
+  const std::size_t tecs = slice.set->dims().tecs;
+  std::vector<std::size_t> lu_of(slice.size());
+  std::vector<std::uint64_t> keys;
+  std::map<std::uint64_t, std::size_t> key_index;
+  std::uint64_t last_key = ~std::uint64_t{0};
+  std::size_t last_index = 0;
+  for (std::size_t i = 0; i < slice.size(); ++i) {
+    const std::uint64_t key =
+        (slice.set->tec_mask(slice.begin + i) << 8) |
+        static_cast<std::uint64_t>(
+            slice.set->fan_level(slice.begin + i, base.fan_level));
+    if (key != last_key) {  // runs of equal keys skip the map
+      last_index = key_index.emplace(key, keys.size()).first->second;
+      if (last_index == keys.size()) keys.push_back(key);
+      last_key = key;
+    }
+    lu_of[i] = last_index;
+  }
+  std::vector<linalg::LuFactorization> lus(keys.size());
+  std::vector<double> sink_gs(keys.size());
+  parallel_for(keys.size(), [&](std::size_t k) {
+    std::vector<std::uint8_t> tec_on(tecs, 0);
+    for (std::size_t t = 0; t < tecs; ++t)
+      tec_on[t] = (keys[k] >> (8 + t)) & 1u ? 1 : 0;
+    const double cfm =
+        config_.fan.airflow_cfm(static_cast<int>(keys[k] & 0xff));
+    lus[k] = thermal_->factor(tec_on, cfm);
+    sink_gs[k] = thermal_->sink_conv_g(cfm);
+  });
+
+  // Phase 2: independent per-candidate solves against the shared factors —
+  // bit-exact with predict() (the factorization is deterministic in the
+  // matrix, so sharing it cannot change a bit). Contiguous chunks, one per
+  // worker, so the KnobState template is copied once per worker rather
+  // than once per candidate.
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min(parallel_workers(), slice.size()));
+  const std::size_t chunk = (slice.size() + workers - 1) / workers;
+  parallel_for(workers, [&](std::size_t w) {
+    const std::size_t b = w * chunk;
+    const std::size_t e = std::min(slice.size(), b + chunk);
+    core::KnobState knobs = base;
+    PredictScratch scratch;
+    for (std::size_t i = b; i < e; ++i) {
+      slice.set->materialize(slice.begin + i, knobs);
+      out[i] = predict_from(knobs, lus[lu_of[i]], sink_gs[lu_of[i]],
+                            /*steady=*/false, scratch);
+    }
+  });
 }
 
 core::Prediction ServerPlanningModel::predict_steady(

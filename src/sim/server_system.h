@@ -11,6 +11,7 @@
 
 #include "core/planning.h"
 #include "core/policy.h"
+#include "linalg/lu.h"
 #include "perf/server_model.h"
 #include "perf/wikipedia_trace.h"
 #include "power/dvfs.h"
@@ -66,6 +67,32 @@ class ServerThermalModel {
                         std::span<const std::uint8_t> tec_on,
                         double airflow_cfm) const;
 
+  /// Factor the conductance system for one cooling configuration. The
+  /// matrix depends only on (tec_on, airflow) — not on power — so batch
+  /// evaluation shares one factorization across every DVFS assignment of
+  /// the same TEC mask and fan level (bit-exact with factoring per solve:
+  /// the factorization is deterministic in the matrix).
+  linalg::LuFactorization factor(std::span<const std::uint8_t> tec_on,
+                                 double airflow_cfm) const;
+
+  /// Sink->ambient convection conductance at an airflow — the only
+  /// airflow-dependent rhs term (a pow(), worth hoisting per fan level).
+  double sink_conv_g(double airflow_cfm) const;
+
+  /// steady() against a factorization from factor() and the matching
+  /// precomputed sink_conv_g (same (tec_on, airflow) as the factor).
+  linalg::Vector steady_from(const linalg::LuFactorization& lu,
+                             std::span<const double> core_power_w,
+                             std::span<const std::uint8_t> tec_on,
+                             double sink_g) const;
+
+  /// The rhs of steady_from's solve, into a caller-owned buffer (resized
+  /// as needed) — batch evaluation reuses one buffer per worker instead
+  /// of allocating per candidate.
+  void rhs_into(std::span<const double> core_power_w,
+                std::span<const std::uint8_t> tec_on, double sink_g,
+                linalg::Vector& q) const;
+
   /// One implicit-Euler step.
   linalg::Vector step(std::span<const double> temps_k,
                       std::span<const double> core_power_w,
@@ -86,6 +113,10 @@ class ServerThermalModel {
   linalg::Vector rhs(std::span<const double> core_power_w,
                      std::span<const std::uint8_t> tec_on,
                      double airflow_cfm) const;
+  /// rhs with the convection term already evaluated (see sink_conv_g).
+  linalg::Vector rhs_with(std::span<const double> core_power_w,
+                          std::span<const std::uint8_t> tec_on,
+                          double sink_g) const;
 
   ServerThermalParams params_;
   std::vector<double> caps_;
@@ -138,12 +169,52 @@ class ServerPlanningModel final : public core::PlanningModel {
   core::Prediction predict(const core::KnobState& knobs) override;
   core::Prediction predict_steady(const core::KnobState& knobs) override;
 
+  /// Flat-ActionSet batch, bit-exact with a serial predict() loop. Two
+  /// amortizations over the per-candidate path: the thermal factorization
+  /// is shared across every candidate with the same (TEC mask, fan level)
+  /// — a full sweep has dvfs^cores times fewer distinct cooling
+  /// configurations than candidates — and the independent per-candidate
+  /// solves run across util/parallel workers.
+  void evaluate_batch(const core::ActionSet::Slice& slice,
+                      const core::KnobState& base,
+                      std::vector<core::Prediction>& out) override;
+
  private:
   core::Prediction predict_impl(const core::KnobState& knobs, bool steady);
+  /// Reusable per-worker buffers for predict_from (per-core power and the
+  /// thermal solve vector) — keeps the batch inner loop allocation-free
+  /// apart from the returned Prediction.
+  struct PredictScratch {
+    std::vector<double> power;
+    linalg::Vector q;  // rhs
+    linalg::Vector x;  // solution / node temperatures
+  };
+
+  /// predict_impl against a pre-built factorization and sink conductance
+  /// for knobs' cooling configuration (see ServerThermalModel::factor).
+  core::Prediction predict_from(const core::KnobState& knobs,
+                                const linalg::LuFactorization& lu,
+                                double sink_g, bool steady,
+                                PredictScratch& scratch);
 
   std::shared_ptr<const ServerThermalModel> thermal_;
   ServerConfig config_;
   std::vector<std::vector<std::size_t>> tec_map_;
+  /// Eq. (5) interpolation weights exp(-dt / tau) per node — fixed by the
+  /// control period, hoisted out of the per-candidate transient step.
+  std::vector<double> betas_;
+  /// Per-(core, DVFS level) power/performance terms for the current
+  /// observation. Demand and sensed temperatures are fixed between
+  /// observe() calls, so candidate evaluation only varies the level —
+  /// the cache turns the per-candidate core-model walk into four lookups
+  /// (same expressions and summation order, so bit-exact).
+  struct LevelTerms {
+    double dyn_w = 0.0;
+    double served_ips = 0.0;
+    double capacity_ips = 0.0;
+  };
+  std::vector<LevelTerms> level_terms_;  // [core * dvfs_levels + lvl]
+  std::vector<double> leak_w_;           // per core
   linalg::Vector state_estimate_;
   Observation last_;
   bool has_observation_ = false;

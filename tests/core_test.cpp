@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <memory>
 
+#include "core/action_set.h"
 #include "core/actions.h"
 #include "core/chip_planning_model.h"
+#include "core/control_engine.h"
 #include "core/exhaustive_policies.h"
 #include "core/hw_cost.h"
 #include "core/planning.h"
@@ -656,6 +659,171 @@ TEST(ChipPlanningModel, PredictBatchMatchesSequentialPredict) {
     EXPECT_EQ(batch[i].ips, one.ips);
     EXPECT_EQ(batch[i].power.dynamic_w, one.power.dynamic_w);
     EXPECT_EQ(batch[i].power.leakage_w, one.power.leakage_w);
+    ASSERT_EQ(batch[i].spot_temps_k.size(), one.spot_temps_k.size());
+    for (std::size_t sp = 0; sp < one.spot_temps_k.size(); ++sp)
+      EXPECT_EQ(batch[i].spot_temps_k[sp], one.spot_temps_k[sp]);
+  }
+}
+
+// -------------------------------------------------------- control engine
+
+/// The recursion the pre-engine exhaustive baselines used, verbatim shape:
+/// fan outermost, DVFS with core 0 slowest-varying, TEC mask innermost.
+std::vector<KnobState> legacy_enumeration(const ControlDims& dims,
+                                          const ActionSpec& spec,
+                                          KnobState tmpl) {
+  std::vector<KnobState> out;
+  const std::uint64_t tec_combos = std::uint64_t{1} << dims.tecs;
+  std::function<void(std::size_t)> dvfs_rec = [&](std::size_t core) {
+    if (core == static_cast<std::size_t>(dims.cores) || !spec.include_dvfs) {
+      for (std::uint64_t mask = 0; mask < tec_combos; ++mask) {
+        for (std::size_t t = 0; t < dims.tecs; ++t)
+          tmpl.tec_on[t] = (mask >> t) & 1u ? 1 : 0;
+        out.push_back(tmpl);
+      }
+      return;
+    }
+    for (int lvl = 0; lvl < dims.dvfs_levels; ++lvl) {
+      tmpl.dvfs[core] = lvl;
+      dvfs_rec(core + 1);
+    }
+  };
+  const int fan_span = spec.include_fan ? dims.fan_levels : 1;
+  for (int lvl = 0; lvl < fan_span; ++lvl) {
+    if (spec.include_fan) tmpl.fan_level = lvl;
+    dvfs_rec(0);
+  }
+  return out;
+}
+
+TEST(ControlEngine, OrderMatchesLegacyRecursion) {
+  const ControlDims dims{2, 3, 3, 4};
+  const ControlEngine engine(dims);
+  // Template with non-default uncovered knobs so we can see what an
+  // enumeration is NOT allowed to touch.
+  KnobState tmpl = KnobState::initial(2, 3, /*fan_level=*/2);
+  tmpl.dvfs = {1, 2};
+  tmpl.tec_on = {1, 0, 1};
+
+  for (const bool with_dvfs : {true, false}) {
+    for (const bool with_fan : {true, false}) {
+      const ActionSpec spec{with_dvfs, with_fan};
+      const auto set = engine.actions(spec);
+      const std::vector<KnobState> expected =
+          legacy_enumeration(dims, spec, tmpl);
+      ASSERT_EQ(set->size(), expected.size())
+          << "dvfs=" << with_dvfs << " fan=" << with_fan;
+      EXPECT_EQ(engine.action_count(spec), expected.size());
+      KnobState got = tmpl;
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        got = tmpl;  // re-seed so untouched dimensions come from the template
+        set->materialize(i, got);
+        ASSERT_EQ(got, expected[i])
+            << "candidate " << i << " dvfs=" << with_dvfs
+            << " fan=" << with_fan;
+      }
+    }
+  }
+}
+
+TEST(ControlEngine, ActionCountSaturatesOnChipScale) {
+  // The 16-core chip: 2^36 TEC masks * 6^16 DVFS rows overflows any
+  // integer; the count must saturate like the legacy guard did instead of
+  // wrapping around to something small enough to pass a bound check.
+  const ControlEngine engine(ControlDims{16, 36, 6, 4});
+  const std::size_t full = engine.action_count(ActionSpec{true, true});
+  EXPECT_EQ(full, static_cast<std::size_t>(-1));
+  EXPECT_THROW(engine.actions(ActionSpec{true, true}), precondition_error);
+  // TEC-only is 2^36: representable but far above the enumerable cap.
+  EXPECT_EQ(engine.action_count(ActionSpec{false, false}),
+            std::size_t{1} << 36);
+  EXPECT_THROW(engine.actions(ActionSpec{false, false}), precondition_error);
+}
+
+TEST(ControlEngine, ActionsAreMemoizedPerSpec) {
+  const ControlEngine engine(ControlDims{2, 2, 2, 2});
+  const auto a = engine.actions(ActionSpec{true, false});
+  const auto b = engine.actions(ActionSpec{true, false});
+  EXPECT_EQ(a.get(), b.get());
+  const auto c = engine.actions(ActionSpec{true, true});
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_GE(engine.memory_bytes(), a->memory_bytes() + c->memory_bytes());
+}
+
+TEST(ControlEngine, TablesMatchSourceModels) {
+  const sim::ChipModels& models = planning_models();
+  const ControlDims dims{4, 36, models.dvfs.level_count(),
+                         models.fan.level_count()};
+  const ControlEnginePtr engine =
+      make_control_engine(dims, models.dvfs, models.fan);
+  ASSERT_TRUE(engine->has_tables());
+  for (int from = 0; from < dims.dvfs_levels; ++from)
+    for (int to = 0; to < dims.dvfs_levels; ++to) {
+      EXPECT_EQ(engine->dyn_scale(from, to), models.dvfs.dyn_scale(from, to));
+      EXPECT_EQ(engine->freq_scale(from, to),
+                models.dvfs.freq_scale(from, to));
+    }
+  for (int lvl = 0; lvl < dims.fan_levels; ++lvl) {
+    EXPECT_EQ(engine->fan_power_w(lvl), models.fan.power_w(lvl));
+    EXPECT_EQ(engine->fan_airflow_cfm(lvl), models.fan.airflow_cfm(lvl));
+  }
+  EXPECT_FALSE(ControlEngine(dims).has_tables());
+}
+
+TEST(ControlEngine, EnsureReusesMatchingEngineOnly) {
+  const sim::ChipModels& models = planning_models();
+  ChipPlanningModel::Config cfg;
+  cfg.fan = models.fan;
+  cfg.dvfs = models.dvfs;
+  ChipPlanningModel planner(planning_engine(), cfg);
+
+  const ControlEnginePtr matching = make_control_engine(planner);
+  ASSERT_TRUE(matching->matches(planner));
+  EXPECT_EQ(ensure_control_engine(matching, planner).get(), matching.get());
+
+  // A bare policy (no engine) gets a lazily-built dims-only engine...
+  const ControlEnginePtr built = ensure_control_engine(nullptr, planner);
+  ASSERT_NE(built, nullptr);
+  EXPECT_TRUE(built->matches(planner));
+  // ...and a mismatched engine (wrong knob space) is replaced, not reused.
+  const ControlEnginePtr wrong =
+      std::make_shared<const ControlEngine>(ControlDims{2, 2, 2, 2});
+  const ControlEnginePtr fixed = ensure_control_engine(wrong, planner);
+  EXPECT_NE(fixed.get(), wrong.get());
+  EXPECT_TRUE(fixed->matches(planner));
+}
+
+TEST(ChipPlanningModel, EvaluateBatchMatchesSerialPredict) {
+  const sim::ChipModels& models = planning_models();
+  ChipPlanningModel::Config cfg;
+  cfg.fan = models.fan;
+  cfg.dvfs = models.dvfs;
+  ChipPlanningModel planner(planning_engine(), cfg);
+  ChipPlanningModel::Observation obs;
+  const std::size_t n = models.thermal->component_count();
+  obs.comp_temps_k.assign(n, 351.0);
+  obs.comp_dyn_power_w.assign(n, 0.32);
+  obs.core_ips.assign(4, 1.15e9);
+  obs.applied = KnobState::initial(4, 36, 1);
+  planner.observe(obs);
+
+  // A reduced action space (first 4 TECs, fan) keeps the candidate count
+  // testable; materialize only touches the dimensions the set covers.
+  const ActionSet set(ControlDims{4, 4, models.dvfs.level_count(),
+                                  models.fan.level_count()},
+                      ActionSpec{false, true});
+  std::vector<Prediction> batch;
+  planner.evaluate_batch(set.all(), obs.applied, batch);
+  ASSERT_EQ(batch.size(), set.size());
+
+  KnobState knobs = obs.applied;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    set.materialize(i, knobs);
+    const Prediction one = planner.predict(knobs);
+    EXPECT_EQ(batch[i].ips, one.ips);
+    EXPECT_EQ(batch[i].power.dynamic_w, one.power.dynamic_w);
+    EXPECT_EQ(batch[i].power.leakage_w, one.power.leakage_w);
+    EXPECT_EQ(batch[i].power.fan_w, one.power.fan_w);
     ASSERT_EQ(batch[i].spot_temps_k.size(), one.spot_temps_k.size());
     for (std::size_t sp = 0; sp < one.spot_temps_k.size(); ++sp)
       EXPECT_EQ(batch[i].spot_temps_k[sp], one.spot_temps_k[sp]);

@@ -8,7 +8,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <clocale>
 #include <condition_variable>
@@ -17,9 +19,11 @@
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "util/metrics.h"
+#include "util/rng.h"
 
 #include "service/request.h"
 #include "service/result_cache.h"
@@ -87,6 +91,87 @@ TEST(Protocol, CanonicalKeyRoundTrips) {
     const ParsedRequest again = parse_request(key);
     ASSERT_TRUE(again.ok) << key << ": " << again.error;
     EXPECT_EQ(canonical_key(again.request), key) << line;
+  }
+}
+
+// Property test: for any valid compute request, the canonical key is a
+// fixed point — parsing it reproduces the request, and canonicalizing the
+// reparse reproduces the key byte-for-byte. Exercised over randomized
+// requests including names that need the quoting path.
+TEST(Protocol, CanonicalKeyRoundTripsOverRandomizedRequests) {
+  tecfan::Rng rng(20260808);
+  const RequestKind kinds[] = {RequestKind::kEquilibrium, RequestKind::kRun,
+                               RequestKind::kSweep, RequestKind::kTable1};
+  // Plain names plus ones whose canonical form must be quoted/escaped.
+  const char* names[] = {"cholesky",    "LU",           "Water",
+                         "two words",   "a\"quote",     "back\\slash",
+                         " lead-space", "tab\there",    "fmm"};
+  for (int trial = 0; trial < 500; ++trial) {
+    Request r;
+    r.kind = kinds[rng.below(4)];
+    r.workload = names[rng.below(sizeof(names) / sizeof(names[0]))];
+    r.policy = names[rng.below(sizeof(names) / sizeof(names[0]))];
+    r.threads = 1 + static_cast<int>(rng.below(64));
+    r.fan = static_cast<int>(rng.below(16));
+    r.dvfs = static_cast<int>(rng.below(8));
+    r.tec_on = rng.below(2) == 1;
+    r.deadline_ms = 0.0;  // excluded from the key by contract
+
+    const std::string key = canonical_key(r);
+    const ParsedRequest back = parse_request(key);
+    ASSERT_TRUE(back.ok) << "key not parseable: " << key << ": "
+                         << back.error;
+    EXPECT_EQ(back.request.kind, r.kind) << key;
+    EXPECT_EQ(canonical_key(back.request), key) << "trial " << trial;
+    // The key is canonical: the round-tripped request carries the
+    // lower-cased names the key itself shows.
+    EXPECT_EQ(back.request.workload,
+              [&r] {
+                std::string w = r.workload;
+                for (auto& ch : w)
+                  ch = static_cast<char>(
+                      std::tolower(static_cast<unsigned char>(ch)));
+                return w;
+              }())
+        << key;
+  }
+}
+
+// Every kind rejects exactly the keys outside its schema; deadline_ms is
+// the one cross-cutting key every kind accepts.
+TEST(Protocol, EachKindRejectsForeignKeys) {
+  const struct {
+    const char* kind;
+    std::vector<std::string> allowed;
+  } kinds[] = {
+      {"equilibrium", {"workload", "threads", "fan", "dvfs", "tec"}},
+      {"run", {"policy", "workload", "threads", "fan"}},
+      {"sweep", {"policy", "workload", "threads"}},
+      {"table1", {"workload", "threads"}},
+      {"ping", {}},
+      {"stats", {}},
+      {"metrics", {}},
+      {"quit", {}},
+  };
+  const std::vector<std::pair<std::string, std::string>> all_keys = {
+      {"workload", "lu"}, {"threads", "4"}, {"policy", "tecfan"},
+      {"fan", "1"},       {"dvfs", "1"},    {"tec", "on"},
+  };
+  for (const auto& k : kinds) {
+    for (const auto& [key, value] : all_keys) {
+      const std::string line = std::string(k.kind) + " " + key + "=" + value;
+      const bool allowed = std::find(k.allowed.begin(), k.allowed.end(),
+                                     key) != k.allowed.end();
+      const ParsedRequest p = parse_request(line);
+      EXPECT_EQ(p.ok, allowed) << line << ": " << p.error;
+      if (!allowed) {
+        EXPECT_NE(p.error.find("not valid for kind"), std::string::npos)
+            << line << ": " << p.error;
+      }
+    }
+    const ParsedRequest with_deadline =
+        parse_request(std::string(k.kind) + " deadline_ms=12.5");
+    EXPECT_TRUE(with_deadline.ok) << k.kind << ": " << with_deadline.error;
   }
 }
 
@@ -680,6 +765,44 @@ TEST(Server, EightWorkersShareOneEngine) {
   EXPECT_GT(s.engine_bytes, 0u);
   EXPECT_GT(s.workspace_bytes, 0u);
   EXPECT_GT(s.engine_bytes, s.workspace_bytes);
+}
+
+// Eight concurrent `run` requests, one shared ControlEngine: every policy
+// the factory builds borrows the engine the server's ChipEngine owns and
+// adds only its own PolicyWorkspace. Distinct (policy, workload, fan)
+// combos keep every client on the compute path. Run under TSan in the
+// tier-1 leg this is the control-layer proof of the engine/workspace
+// split.
+TEST(Server, SharedControlEngineAcrossConcurrentRuns) {
+  ServerOptions opts = small_server_options();
+  opts.workers = 8;
+  opts.queue_capacity = 32;
+  Server server(opts);
+  ASSERT_NE(server.engine().control(), nullptr);
+  ASSERT_GT(server.engine().control()->memory_bytes(), 0u);
+
+  const char* policies[] = {"fan-only", "fan+tec",     "fan+dvfs",
+                            "dvfs+tec", "dynamic-fan", "tecfan",
+                            "tecfan-chipwide", "tecfan"};
+  constexpr int kClients = 8;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  std::atomic<int> failures{0};
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&server, &failures, &policies, i] {
+      Request req;
+      req.kind = RequestKind::kRun;
+      req.workload = i % 2 == 0 ? "water" : "cholesky";
+      req.threads = 4;
+      req.policy = policies[i];
+      req.fan = i % 4;
+      const Response r = server.handle(req);
+      if (r.status != Response::Status::kOk) failures.fetch_add(1);
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(server.stats().computes, 0u);
 }
 
 TEST(ServerTcp, RoundTripAndConcurrentClients) {

@@ -49,6 +49,7 @@ struct Args {
   int connections = 4;
   double duration_s = 3.0;
   int keys = 8;
+  double sim_cap_s = 0.05;  // in-process ServerOptions.max_sim_time_s
   std::size_t workers = service::default_worker_count();
   std::size_t queue = 64;
   std::size_t cache = 4096;
@@ -65,14 +66,20 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: loadgen [--port N] [--connections C] [--duration-s S]\n"
-      "               [--keys K] [--workers N] [--queue N] [--cache N]\n"
-      "               [--router] [--backends N] [--hedge-ms X]\n"
+      "               [--keys K] [--sim-cap-s S] [--workers N] [--queue N]\n"
+      "               [--cache N] [--router] [--backends N] [--hedge-ms X]\n"
       "               [--no-warmup] [--check-p99] [--out FILE]\n"
       "  --port N         target an external tecfand or tecrouter\n"
       "                   (default: in-process)\n"
       "  --connections C  closed-loop client connections (default 4)\n"
       "  --duration-s S   measured interval (default 3)\n"
-      "  --keys K         distinct equilibrium requests in the set (8)\n"
+      "  --keys K         distinct requests in the working set (8).\n"
+      "                   Mostly equilibrium points; every 16th key is a\n"
+      "                   `run` and every 64th a `sweep`, so large sets\n"
+      "                   exercise all three compute kinds\n"
+      "  --sim-cap-s S    in-process simulated-time cap per run/sweep\n"
+      "                   level (0.05); keeps run/sweep keys serveable\n"
+      "                   at benchmark rates\n"
       "  --workers N      in-process worker pool size, total across the\n"
       "                   fleet in --router mode (default: hardware\n"
       "                   threads, clamped to [2,16])\n"
@@ -111,6 +118,10 @@ bool parse(int argc, char** argv, Args& out) {
       const char* v = next(i);
       if (!v) return false;
       out.keys = std::atoi(v);
+    } else if (a == "--sim-cap-s") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.sim_cap_s = std::atof(v);
     } else if (a == "--workers") {
       const char* v = next(i);
       if (!v) return false;
@@ -153,8 +164,8 @@ bool parse(int argc, char** argv, Args& out) {
     return false;
   }
   return out.connections > 0 && out.duration_s > 0 && out.keys > 0 &&
-         out.workers > 0 && out.queue > 0 && out.cache > 0 &&
-         out.backends > 0;
+         out.sim_cap_s > 0 && out.workers > 0 && out.queue > 0 &&
+         out.cache > 0 && out.backends > 0;
 }
 
 /// Resident set size of this process (which, with the in-process server, is
@@ -197,29 +208,66 @@ class Client {
   service::LineReader reader_;
 };
 
-/// The repeated-key working set: equilibrium points across the benchmark x
-/// fan-level x DVFS x TEC x thread-count grid (deterministic, so repeats
-/// of a key are cache hits). The grid yields 4 x 8 x 4 x 2 x 2 = 1024
-/// distinct requests; asking for more keys wraps around. Small key counts
-/// stay on the original benchmark x fan corner so historical
-/// BENCH_serving.json runs remain comparable.
-std::vector<std::string> request_set(int keys) {
+/// Compute kinds in the working set (indexes into per-kind latency
+/// buckets and the JSON kind_split).
+enum Kind { kEquilibrium = 0, kRun = 1, kSweep = 2 };
+const char* const kKindNames[] = {"equilibrium", "run", "sweep"};
+
+struct KeyedRequest {
+  std::string line;
+  Kind kind = kEquilibrium;
+};
+
+/// The repeated-key working set (deterministic, so repeats of a key are
+/// cache hits). Mostly equilibrium points across the benchmark x fan-level
+/// x DVFS x TEC x thread-count grid (4 x 8 x 4 x 2 x 2 = 1024 distinct
+/// requests); every 16th key is a policy `run` (4 policies x 4 workloads x
+/// 4 fan levels) and every 64th a fan `sweep` (4 policies x 4 workloads),
+/// so a --keys 1024 set measures all three compute kinds the daemon
+/// serves. Each kind advances through its own grid densely; small key
+/// counts (< 16) stay pure-equilibrium on the original benchmark x fan
+/// corner so historical BENCH_serving.json runs remain comparable.
+std::vector<KeyedRequest> request_set(int keys) {
   const std::vector<std::string> workloads = {"cholesky", "lu", "fmm",
                                               "volrend"};
-  std::vector<std::string> out;
+  // Reactive policies: cheap per-interval decisions, so run/sweep keys
+  // measure the serving path rather than a model-predictive search.
+  const std::vector<std::string> policies = {"fan-only", "fan+tec",
+                                             "fan+dvfs", "dvfs+tec"};
+  const auto wl = [&workloads](int i) {
+    return workloads[static_cast<std::size_t>(i) % workloads.size()];
+  };
+  std::vector<KeyedRequest> out;
   out.reserve(static_cast<std::size_t>(keys));
+  int eq = 0, run = 0, sweep = 0;
   for (int k = 0; k < keys; ++k) {
-    const std::string& wl = workloads[static_cast<std::size_t>(k) %
-                                      workloads.size()];
-    const int fan = (k / static_cast<int>(workloads.size())) % 8;
-    const int dvfs = (k / 32) % 4;
-    const bool tec = (k / 128) % 2 != 0;
-    const int threads = (k / 256) % 2 != 0 ? 8 : 16;
-    out.push_back("equilibrium workload=" + wl +
-                  " threads=" + std::to_string(threads) +
-                  " fan=" + std::to_string(fan) +
-                  " dvfs=" + std::to_string(dvfs) +
-                  (tec ? " tec=on" : ""));
+    if (k % 64 == 63) {
+      const int s = sweep++;
+      out.push_back({"sweep policy=" + policies[static_cast<std::size_t>(s) %
+                                                policies.size()] +
+                         " workload=" + wl(s / 4) + " threads=16",
+                     kSweep});
+    } else if (k % 16 == 15) {
+      const int r = run++;
+      out.push_back({"run policy=" + policies[static_cast<std::size_t>(r) %
+                                              policies.size()] +
+                         " workload=" + wl(r / 4) +
+                         " fan=" + std::to_string((r / 16) % 4) +
+                         " threads=16",
+                     kRun});
+    } else {
+      const int e = eq++;
+      const int fan = (e / static_cast<int>(workloads.size())) % 8;
+      const int dvfs = (e / 32) % 4;
+      const bool tec = (e / 128) % 2 != 0;
+      const int threads = (e / 256) % 2 != 0 ? 8 : 16;
+      out.push_back({"equilibrium workload=" + wl(e) +
+                         " threads=" + std::to_string(threads) +
+                         " fan=" + std::to_string(fan) +
+                         " dvfs=" + std::to_string(dvfs) +
+                         (tec ? " tec=on" : ""),
+                     kEquilibrium});
+    }
   }
   return out;
 }
@@ -296,6 +344,7 @@ int main(int argc, char** argv) {
       options.workers = workers_each;
       options.queue_capacity = args.queue;
       options.cache_capacity = args.cache;
+      options.max_sim_time_s = args.sim_cap_s;
       options.instance_name = "shard" + std::to_string(b);
       fleet.push_back(std::make_unique<service::Server>(options));
       backend_ports.push_back(fleet.back()->bind_listen(0));
@@ -321,7 +370,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::vector<std::string> requests = request_set(args.keys);
+  const std::vector<KeyedRequest> requests = request_set(args.keys);
 
   // Warmup: prime every key once so the measured interval exercises the
   // serving path, not the simulator.
@@ -333,7 +382,7 @@ int main(int argc, char** argv) {
     }
     const auto t0 = Clock::now();
     for (const auto& r : requests) {
-      const std::string reply = warm.round_trip(r);
+      const std::string reply = warm.round_trip(r.line);
       const service::Response resp = service::parse_response(reply);
       if (resp.status != service::Response::Status::kOk) {
         std::fprintf(stderr, "loadgen: warmup request failed: %s\n",
@@ -354,6 +403,7 @@ int main(int argc, char** argv) {
     std::vector<double> all;   // every completed (non-busy) round trip
     std::vector<double> hit;   // ok, served from the result cache
     std::vector<double> miss;  // ok, computed
+    std::vector<double> by_kind[3];  // split by request kind
     std::uint64_t busy = 0;
   };
   std::atomic<bool> stop{false};
@@ -367,9 +417,9 @@ int main(int argc, char** argv) {
       PerConn& mine = per_conn[static_cast<std::size_t>(c)];
       std::size_t i = static_cast<std::size_t>(c);  // stagger the rotation
       while (!stop.load(std::memory_order_relaxed)) {
-        const std::string& req = requests[i++ % requests.size()];
+        const KeyedRequest& req = requests[i++ % requests.size()];
         const auto t0 = Clock::now();
-        const std::string reply = client.round_trip(req);
+        const std::string reply = client.round_trip(req.line);
         const auto t1 = Clock::now();
         if (reply.empty()) break;
         if (reply == "busy") {
@@ -379,6 +429,7 @@ int main(int argc, char** argv) {
         const double us =
             std::chrono::duration<double, std::micro>(t1 - t0).count();
         mine.all.push_back(us);
+        mine.by_kind[req.kind].push_back(us);
         if (reply.rfind("ok cached=1", 0) == 0) {
           mine.hit.push_back(us);
         } else if (reply.rfind("ok", 0) == 0) {
@@ -394,11 +445,17 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(Clock::now() - start).count();
 
   std::vector<double> all, hits, misses;
+  std::vector<double> by_kind[3];
+  std::size_t keys_by_kind[3] = {0, 0, 0};
+  for (const auto& r : requests) ++keys_by_kind[r.kind];
   std::uint64_t busy_total = 0;
   for (const auto& conn : per_conn) {
     all.insert(all.end(), conn.all.begin(), conn.all.end());
     hits.insert(hits.end(), conn.hit.begin(), conn.hit.end());
     misses.insert(misses.end(), conn.miss.begin(), conn.miss.end());
+    for (int k = 0; k < 3; ++k)
+      by_kind[k].insert(by_kind[k].end(), conn.by_kind[k].begin(),
+                        conn.by_kind[k].end());
     busy_total += conn.busy;
   }
   if (all.empty()) {
@@ -504,6 +561,13 @@ int main(int argc, char** argv) {
   if (!misses.empty())
     std::printf("miss p50/p99      %.1f / %.1f us (%zu round trips)\n",
                 client_miss_p50, client_miss_p99, misses.size());
+  for (int k = 0; k < 3; ++k) {
+    if (by_kind[k].empty()) continue;
+    std::printf("%-11s p50/p99 %.1f / %.1f us (%zu round trips, %zu keys)\n",
+                kKindNames[k], percentile(by_kind[k], 50.0),
+                percentile(by_kind[k], 99.0), by_kind[k].size(),
+                keys_by_kind[k]);
+  }
   std::printf("cache hit rate    %.1f %%\n", 100.0 * hit_rate);
   std::printf("workers           %.0f\n", workers);
   if (have_metrics) {
@@ -555,6 +619,18 @@ int main(int argc, char** argv) {
          << "  \"latency_hit_p99_us\": " << client_hit_p99 << ",\n"
          << "  \"latency_miss_p50_us\": " << client_miss_p50 << ",\n"
          << "  \"latency_miss_p99_us\": " << client_miss_p99 << ",\n"
+         << "  \"kind_split\": {\n";
+    for (int k = 0; k < 3; ++k) {
+      const auto& v = by_kind[k];
+      json << "    \"" << kKindNames[k] << "\": {\n"
+           << "      \"keys\": " << keys_by_kind[k] << ",\n"
+           << "      \"requests\": " << v.size() << ",\n"
+           << "      \"p50_us\": " << (v.empty() ? 0.0 : percentile(v, 50.0))
+           << ",\n"
+           << "      \"p99_us\": " << (v.empty() ? 0.0 : percentile(v, 99.0))
+           << "\n    }" << (k + 1 < 3 ? ",\n" : "\n");
+    }
+    json << "  },\n"
          << "  \"cache_hits\": " << cache_hits << ",\n"
          << "  \"cache_misses\": " << cache_misses << ",\n"
          << "  \"cache_hit_rate\": " << hit_rate << ",\n"

@@ -6,7 +6,8 @@
 //   tecfan_cli --policy tecfan --workload radix --sweep --csv summary
 //   tecfan_cli --list
 //
-// Policies: fan-only, fan+tec, fan+dvfs, dvfs+tec, tecfan, tecfan-chipwide.
+// Policies: fan-only, fan+tec, fan+dvfs, dvfs+tec, dynamic-fan, tecfan,
+// tecfan-chipwide (core::make_named_policy is the registry).
 // Workloads: the Table I benchmarks plus the extended set (barnes, ocean,
 // radix). Without --fan, the Sec. IV-C sweep picks the level; with --fan N
 // the run is pinned to that level.
@@ -16,8 +17,7 @@
 #include <memory>
 #include <string>
 
-#include "core/reactive_policies.h"
-#include "core/tecfan_policy.h"
+#include "core/policy_factory.h"
 #include "perf/splash2.h"
 #include "sim/chip_simulator.h"
 #include "sim/experiment.h"
@@ -45,7 +45,8 @@ void usage() {
       stderr,
       "usage: tecfan_cli [--policy P] [--workload W] [--threads N]\n"
       "                  [--fan L] [--csv trace|summary] [--list]\n"
-      "  P: fan-only fan+tec fan+dvfs dvfs+tec tecfan tecfan-chipwide\n"
+      "  P: fan-only fan+tec fan+dvfs dvfs+tec dynamic-fan tecfan\n"
+      "     tecfan-chipwide\n"
       "  W: cholesky fmm volrend water lu barnes ocean radix\n");
 }
 
@@ -90,20 +91,6 @@ bool parse(int argc, char** argv, Args& out) {
   return true;
 }
 
-core::PolicyPtr make_policy(const std::string& name) {
-  if (name == "fan-only") return std::make_unique<core::FanOnlyPolicy>();
-  if (name == "fan+tec") return std::make_unique<core::FanTecPolicy>();
-  if (name == "fan+dvfs") return std::make_unique<core::FanDvfsPolicy>();
-  if (name == "dvfs+tec") return std::make_unique<core::DvfsTecPolicy>();
-  if (name == "tecfan") return std::make_unique<core::TecFanPolicy>();
-  if (name == "tecfan-chipwide") {
-    core::PolicyOptions opt;
-    opt.chip_wide_dvfs = true;
-    return std::make_unique<core::TecFanPolicy>(opt);
-  }
-  return nullptr;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -130,14 +117,16 @@ int main(int argc, char** argv) {
   sim::ChipSimulator simulator(engine);
   perf::WorkloadPtr workload;
   try {
-    workload = perf::make_splash_workload(args.workload, args.threads,
-                                          models.thermal->floorplan(),
-                                          models.dynamic, models.leak_quad);
+    workload = engine->workload(args.workload, args.threads);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
-  auto factory = [&] { return make_policy(args.policy); };
+  // Policies share the scenario's ControlEngine, same as the tecfand
+  // service; the CLI is just a single-request client of the same machinery.
+  auto factory = [&] {
+    return core::make_named_policy(args.policy, engine->control());
+  };
   if (!factory()) {
     std::fprintf(stderr, "error: unknown policy '%s'\n",
                  args.policy.c_str());
@@ -165,8 +154,7 @@ int main(int argc, char** argv) {
     opts.threshold_k = base.peak_temp_k;
     opts.record_trace = true;
     if (args.policy.rfind("tecfan", 0) == 0) opts.max_mean_dvfs = 0.5;
-    run = sim::run_with_fan_sweep(simulator, factory, *workload, opts)
-              .chosen;
+    run = sim::run_with_fan_sweep(engine, factory, *workload, opts).chosen;
   }
 
   if (args.csv == "trace") {
