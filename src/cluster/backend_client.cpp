@@ -6,8 +6,9 @@
 
 namespace tecfan::cluster {
 
-BackendClient::BackendClient(std::uint16_t port, std::size_t max_idle)
-    : port_(port), max_idle_(max_idle) {}
+BackendClient::BackendClient(std::uint16_t port, std::size_t max_idle,
+                             double dial_timeout_ms)
+    : port_(port), max_idle_(max_idle), dial_timeout_ms_(dial_timeout_ms) {}
 
 BackendClient::~BackendClient() { close_idle(); }
 
@@ -69,6 +70,11 @@ void BackendClient::Lease::abandon() {
 }
 
 BackendClient::Lease BackendClient::lease() {
+  return lease(std::chrono::steady_clock::time_point::max());
+}
+
+BackendClient::Lease BackendClient::lease(
+    std::chrono::steady_clock::time_point deadline) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!idle_.empty()) {
@@ -80,7 +86,12 @@ BackendClient::Lease BackendClient::lease() {
       return l;
     }
   }
-  const int fd = service::connect_loopback(port_);
+  auto dial_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(dial_timeout_ms_));
+  if (deadline < dial_deadline) dial_deadline = deadline;
+  const int fd = service::connect_loopback(port_, dial_deadline);
   std::lock_guard<std::mutex> lock(mu_);
   if (fd < 0) {
     ++dial_failures_;
@@ -92,7 +103,7 @@ BackendClient::Lease BackendClient::lease() {
 
 std::optional<std::string> BackendClient::round_trip(
     const std::string& line, std::chrono::steady_clock::time_point deadline) {
-  Lease l = lease();
+  Lease l = lease(deadline);
   if (!l.valid()) return std::nullopt;
   if (!l.send_line(line)) return std::nullopt;  // dtor abandons
   auto reply = l.read_line(deadline);

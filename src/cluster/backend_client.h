@@ -29,8 +29,14 @@ namespace tecfan::cluster {
 class BackendClient {
  public:
   /// `port` is the backend's loopback TCP port; `max_idle` bounds the
-  /// number of pooled (idle) connections kept for reuse.
-  explicit BackendClient(std::uint16_t port, std::size_t max_idle = 4);
+  /// number of pooled (idle) connections kept for reuse. Dials are
+  /// nonblocking connects bounded by `dial_timeout_ms` (and by the
+  /// caller's deadline when one is passed), so a SYN-blackholed backend
+  /// costs milliseconds instead of the kernel's SYN-retry default — this
+  /// keeps one dead backend from stalling the HealthMonitor's probes of
+  /// the others.
+  explicit BackendClient(std::uint16_t port, std::size_t max_idle = 4,
+                         double dial_timeout_ms = 250.0);
   ~BackendClient();
 
   BackendClient(const BackendClient&) = delete;
@@ -80,7 +86,10 @@ class BackendClient {
   };
 
   /// Lease an idle pooled connection or dial a new one. Check valid().
+  /// The dial is bounded by dial_timeout_ms, further capped by `deadline`
+  /// when given.
   Lease lease();
+  Lease lease(std::chrono::steady_clock::time_point deadline);
 
   /// Send `line` and wait for the reply. nullopt on connection failure or
   /// when `deadline` passes first.
@@ -111,6 +120,7 @@ class BackendClient {
 
   const std::uint16_t port_;
   const std::size_t max_idle_;
+  const double dial_timeout_ms_;
   mutable std::mutex mu_;
   std::vector<PooledConn> idle_;
   std::uint64_t dials_ = 0;

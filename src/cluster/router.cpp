@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "cluster/epoll_plane.h"
 #include "service/framing.h"
 #include "util/error.h"
 
@@ -49,8 +50,8 @@ Router::Router(RouterOptions options)
   clients_.reserve(options_.backend_ports.size());
   std::vector<BackendClient*> raw;
   for (const std::uint16_t port : options_.backend_ports) {
-    clients_.push_back(
-        std::make_unique<BackendClient>(port, options_.pool_size));
+    clients_.push_back(std::make_unique<BackendClient>(
+        port, options_.pool_size, options_.dial_timeout_ms));
     raw.push_back(clients_.back().get());
   }
   health_ = std::make_unique<HealthMonitor>(std::move(raw), options_.health);
@@ -272,45 +273,46 @@ std::string Router::stats_response_line() const {
   return serialize_response(r);
 }
 
-std::string Router::handle_line(const std::string& line, bool* quit) {
-  const auto line_start = Clock::now();
+std::optional<std::string> Router::handle_local(const std::string& line,
+                                                service::ParsedRequest* parsed,
+                                                bool* quit) {
   if (quit) *quit = false;
   requests_.fetch_add(1, std::memory_order_relaxed);
 
-  const service::ParsedRequest parsed = service::parse_request(line);
-  if (!parsed.ok) {
+  *parsed = service::parse_request(line);
+  if (!parsed->ok) {
     errors_.fetch_add(1, std::memory_order_relaxed);
-    return serialize_response(Response::make_error(parsed.error));
+    return serialize_response(Response::make_error(parsed->error));
   }
-  const Request& request = parsed.request;
+  const Request& request = parsed->request;
+  if (request.is_compute()) return std::nullopt;
 
-  if (!request.is_compute()) {
-    local_.fetch_add(1, std::memory_order_relaxed);
-    switch (request.kind) {
-      case RequestKind::kPing: {
-        Response r;
-        r.add("pong", std::string("1"));
-        return serialize_response(r);
-      }
-      case RequestKind::kQuit: {
-        if (quit) *quit = true;
-        Response r;
-        r.add("bye", std::string("1"));
-        return serialize_response(r);
-      }
-      case RequestKind::kStats:
-        return stats_response_line();
-      case RequestKind::kMetrics:
-        return serialize_response(service::metrics_to_response(metrics_));
-      default:
-        break;
+  local_.fetch_add(1, std::memory_order_relaxed);
+  switch (request.kind) {
+    case RequestKind::kPing: {
+      Response r;
+      r.add("pong", std::string("1"));
+      return serialize_response(r);
     }
-    errors_.fetch_add(1, std::memory_order_relaxed);
-    return serialize_response(Response::make_error("unhandled verb"));
+    case RequestKind::kQuit: {
+      if (quit) *quit = true;
+      Response r;
+      r.add("bye", std::string("1"));
+      return serialize_response(r);
+    }
+    case RequestKind::kStats:
+      return stats_response_line();
+    case RequestKind::kMetrics:
+      return serialize_response(service::metrics_to_response(metrics_));
+    default:
+      break;
   }
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  return serialize_response(Response::make_error("unhandled verb"));
+}
 
-  bool hedge_won = false;
-  const std::string reply = route_compute(request, line_start, &hedge_won);
+void Router::finish_compute(const std::string& reply,
+                            Clock::time_point line_start) {
   // Hit/miss-split end-to-end span, mirroring the backend Server: replies
   // are forwarded verbatim, so `ok cached=1` identifies a shard-cache hit.
   if (reply.rfind("ok cached=1", 0) == 0) {
@@ -325,6 +327,16 @@ std::string Router::handle_line(const std::string& line, bool* quit) {
       refresh_hedge_delay();
     }
   }
+}
+
+std::string Router::handle_line(const std::string& line, bool* quit) {
+  const auto line_start = Clock::now();
+  service::ParsedRequest parsed;
+  if (auto local = handle_local(line, &parsed, quit)) return *local;
+
+  bool hedge_won = false;
+  std::string reply = route_compute(parsed.request, line_start, &hedge_won);
+  finish_compute(reply, line_start);
   return reply;
 }
 
@@ -371,6 +383,37 @@ std::uint16_t Router::bind_listen(std::uint16_t port) {
 }
 
 void Router::serve() {
+  if (options_.data_plane == DataPlane::kEpoll)
+    serve_epoll();
+  else
+    serve_threads();
+}
+
+void Router::serve_epoll() {
+  const int listen_fd = listen_fd_.load();
+  if (listen_fd < 0) {
+    // stop() may win the race against a serve() thread that was just
+    // launched; that is a clean no-op, not a programming error.
+    TECFAN_REQUIRE(stopping_.load(), "call bind_listen() before serve()");
+    return;
+  }
+  EpollPlane plane(*this, listen_fd);
+  {
+    std::lock_guard<std::mutex> lock(serve_mu_);
+    if (stopping_.load()) return;  // stop() already reclaimed the socket
+    serve_running_ = true;
+    plane_ = &plane;
+  }
+  plane.run();
+  {
+    std::lock_guard<std::mutex> lock(serve_mu_);
+    serve_running_ = false;
+    plane_ = nullptr;
+  }
+  serve_cv_.notify_all();
+}
+
+void Router::serve_threads() {
   const int listen_fd = listen_fd_.load();
   if (listen_fd < 0) {
     // stop() may win the race against a serve() thread that was just
@@ -394,6 +437,7 @@ void Router::serve() {
       ::close(fd);
       break;
     }
+    service::set_tcp_nodelay(fd);
     std::lock_guard<std::mutex> lock(conns_mu_);
     conn_fds_.push_back(fd);
     conn_threads_.emplace_back([this, fd] {
@@ -434,6 +478,7 @@ void Router::stop() {
     std::lock_guard<std::mutex> lock(serve_mu_);
     stopping_.store(true);
     listen_fd = listen_fd_.exchange(-1);
+    if (plane_) plane_->request_stop();  // epoll plane: wake its loop
   }
   if (listen_fd >= 0) {
     ::shutdown(listen_fd, SHUT_RDWR);

@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,6 +46,19 @@
 #include "util/metrics.h"
 
 namespace tecfan::cluster {
+
+class EpollPlane;
+
+/// Which forwarding engine serve() runs.
+///
+///   * kEpoll — one event-loop thread, nonblocking state-machine sessions,
+///     requests pipelined over one persistent connection per backend,
+///     per-socket write batching (see epoll_plane.h). The default.
+///   * kThreads — one blocking thread per client session, one
+///     BackendClient lease (pool round trip) per forward. Kept for one
+///     release as the equivalence oracle: both planes must produce
+///     byte-identical response streams.
+enum class DataPlane { kEpoll, kThreads };
 
 struct RouterOptions {
   /// Loopback TCP ports of the tecfand backends (one fleet member each).
@@ -63,6 +77,12 @@ struct RouterOptions {
   double hedge_ms = -1.0;
   double hedge_floor_ms = 1.0;
   double hedge_ceil_ms = 200.0;
+  /// Bound on every backend dial (epoll-plane pipe connects and
+  /// BackendClient leases): a nonblocking connect() polled to this
+  /// deadline, so a SYN-blackholed backend costs milliseconds, not the
+  /// kernel's SYN-retry default.
+  double dial_timeout_ms = 250.0;
+  DataPlane data_plane = DataPlane::kEpoll;
   HealthMonitor::Options health;
 };
 
@@ -81,8 +101,9 @@ class Router {
   /// Bind a loopback listening socket; port 0 picks an ephemeral port.
   std::uint16_t bind_listen(std::uint16_t port);
 
-  /// Accept loop; returns after stop(). One thread per connection, same
-  /// session framing as service::Server.
+  /// Serve accepted connections until stop(). Runs the data plane chosen
+  /// in RouterOptions: the epoll event loop (default) or the legacy
+  /// thread-per-connection model.
   void serve();
 
   /// Stop the accept loop, open connections, and the health monitor.
@@ -119,6 +140,23 @@ class Router {
   double current_hedge_delay_us() const;
 
  private:
+  friend class EpollPlane;  // the event-driven data plane shares routing
+                            // state, counters, and histograms
+
+  /// Count the line, parse it, and answer control verbs and parse errors
+  /// locally. Returns the response line for those, nullopt for a compute
+  /// request (with *parsed filled in for the caller to route).
+  std::optional<std::string> handle_local(const std::string& line,
+                                          service::ParsedRequest* parsed,
+                                          bool* quit);
+  /// Record the e2e hit/miss span for a routed reply and periodically
+  /// re-derive the auto hedge delay. Shared by both data planes.
+  void finish_compute(const std::string& reply,
+                      std::chrono::steady_clock::time_point line_start);
+
+  void serve_threads();
+  void serve_epoll();
+
   std::string route_compute(const service::Request& request,
                             std::chrono::steady_clock::time_point line_start,
                             bool* hedge_won);
@@ -168,6 +206,8 @@ class Router {
   std::mutex serve_mu_;
   std::condition_variable serve_cv_;
   bool serve_running_ = false;
+  EpollPlane* plane_ = nullptr;  // live while serve_epoll() runs; under
+                                 // serve_mu_ so stop() can wake it
   std::mutex conns_mu_;
   std::vector<int> conn_fds_;
   std::vector<std::thread> conn_threads_;

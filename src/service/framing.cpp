@@ -1,9 +1,12 @@
 #include "service/framing.h"
 
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -28,21 +31,85 @@ int poll_timeout_ms(Clock::time_point deadline) {
   return static_cast<int>(ms) + 1;
 }
 
-}  // namespace
-
-void ignore_sigpipe() { ::signal(SIGPIPE, SIG_IGN); }
-
-int connect_loopback(std::uint16_t port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
+sockaddr_in loopback_addr(std::uint16_t port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  return addr;
+}
+
+}  // namespace
+
+void ignore_sigpipe() { ::signal(SIGPIPE, SIG_IGN); }
+
+void set_tcp_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+bool set_nonblocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int next = nonblocking ? (flags | O_NONBLOCK)
+                               : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, next) == 0;
+}
+
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const sockaddr_in addr = loopback_addr(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
     ::close(fd);
     return -1;
   }
+  set_tcp_nodelay(fd);
+  return fd;
+}
+
+int connect_loopback(std::uint16_t port, Clock::time_point deadline) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (!set_nonblocking(fd)) {
+    ::close(fd);
+    return -1;
+  }
+  const sockaddr_in addr = loopback_addr(port);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return -1;
+    }
+    // Wait for the three-way handshake (or a refusal) until the deadline.
+    for (;;) {
+      pollfd pfd{fd, POLLOUT, 0};
+      const int prc = ::poll(&pfd, 1, poll_timeout_ms(deadline));
+      if (prc > 0) break;
+      if (prc == 0 || errno != EINTR) {  // deadline or poll error
+        ::close(fd);
+        return -1;
+      }
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      ::close(fd);
+      return -1;
+    }
+  }
+  if (!set_nonblocking(fd, false)) {
+    ::close(fd);
+    return -1;
+  }
+  set_tcp_nodelay(fd);
   return fd;
 }
 
@@ -75,15 +142,18 @@ bool LineReader::has_line() const {
   return acc_.find('\n') != std::string::npos;
 }
 
+std::optional<std::string> LineReader::pop_line() {
+  const std::size_t nl = acc_.find('\n');
+  if (nl == std::string::npos) return std::nullopt;
+  std::string line = acc_.substr(0, nl);
+  acc_.erase(0, nl + 1);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return line;
+}
+
 std::optional<std::string> LineReader::read_line(Clock::time_point deadline) {
   for (;;) {
-    const std::size_t nl = acc_.find('\n');
-    if (nl != std::string::npos) {
-      std::string line = acc_.substr(0, nl);
-      acc_.erase(0, nl + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      return line;
-    }
+    if (auto line = pop_line()) return line;
     if (fd_ < 0) return std::nullopt;
     if (!wait_readable(fd_, deadline)) return std::nullopt;
     char buf[4096];
@@ -95,6 +165,58 @@ std::optional<std::string> LineReader::read_line(Clock::time_point deadline) {
     if (n == 0) return std::nullopt;  // peer closed
     acc_.append(buf, static_cast<std::size_t>(n));
   }
+}
+
+void WriteQueue::push(std::string chunk) {
+  if (chunk.empty()) return;
+  bytes_ += chunk.size();
+  chunks_.push_back(std::move(chunk));
+}
+
+WriteQueue::FlushResult WriteQueue::flush(int fd) {
+  while (!chunks_.empty()) {
+    iovec iov[kMaxIov];
+    std::size_t n = 0;
+    for (auto it = chunks_.begin(); it != chunks_.end() && n < kMaxIov;
+         ++it, ++n) {
+      const std::size_t skip = n == 0 ? front_offset_ : 0;
+      iov[n].iov_base = const_cast<char*>(it->data()) + skip;
+      iov[n].iov_len = it->size() - skip;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = n;
+    ssize_t w;
+    // sendmsg rather than writev: MSG_NOSIGNAL turns a peer that vanished
+    // mid-flush into an error return instead of SIGPIPE.
+    do {
+      w = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    } while (w < 0 && errno == EINTR);
+    if (w < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return FlushResult::kBlocked;
+      return FlushResult::kError;
+    }
+    bytes_ -= static_cast<std::size_t>(w);
+    std::size_t written = static_cast<std::size_t>(w);
+    while (written > 0) {
+      const std::size_t remaining = chunks_.front().size() - front_offset_;
+      if (written >= remaining) {
+        written -= remaining;
+        front_offset_ = 0;
+        chunks_.pop_front();
+      } else {
+        front_offset_ += written;
+        written = 0;
+      }
+    }
+  }
+  return FlushResult::kDrained;
+}
+
+void WriteQueue::clear() {
+  chunks_.clear();
+  front_offset_ = 0;
+  bytes_ = 0;
 }
 
 }  // namespace tecfan::service

@@ -8,10 +8,26 @@
 // that disappears mid-response surfaces as an EPIPE error return instead
 // of a process-killing SIGPIPE; daemon mains additionally call
 // ignore_sigpipe() to cover any stray write paths.
+//
+// Two usage styles coexist:
+//
+//   * Blocking (one request in flight per connection): connect_loopback +
+//     send_all + LineReader::read_line. Used by the tools, the pooled
+//     BackendClient, and the thread-per-session server loops.
+//   * Nonblocking (event-driven state machines): set_nonblocking +
+//     LineReader::append/pop_line to consume externally-recv()ed bytes,
+//     and WriteQueue to coalesce small response writes into one writev()
+//     per event-loop iteration. Used by the router's epoll data plane.
+//
+// Every connected socket gets TCP_NODELAY: the protocol is small
+// request/response lines, so Nagle coalescing only adds latency — batching
+// is done explicitly (WriteQueue) where it helps.
 #pragma once
 
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -23,8 +39,23 @@ namespace tecfan::service {
 /// their own signal disposition.
 void ignore_sigpipe();
 
-/// Blocking connect to 127.0.0.1:port. Returns the connected fd, or -1.
+/// Best-effort TCP_NODELAY (no-op on failure, e.g. non-TCP fds).
+void set_tcp_nodelay(int fd);
+
+/// O_NONBLOCK on/off. Returns false when fcntl fails.
+bool set_nonblocking(int fd, bool nonblocking = true);
+
+/// Blocking connect to 127.0.0.1:port. Returns the connected fd (with
+/// TCP_NODELAY set), or -1.
 int connect_loopback(std::uint16_t port);
+
+/// Like connect_loopback, but the dial itself is bounded: a nonblocking
+/// connect() polled until `deadline`. A SYN-blackholed peer (listener gone
+/// but packets silently dropped, or a full accept backlog) therefore costs
+/// at most the deadline instead of the kernel's SYN-retry default. The
+/// returned fd is switched back to blocking mode.
+int connect_loopback(std::uint16_t port,
+                     std::chrono::steady_clock::time_point deadline);
 
 /// Send the whole buffer (MSG_NOSIGNAL, EINTR-retrying). False when the
 /// peer is gone or the socket errors; the caller owns closing the fd.
@@ -33,6 +64,10 @@ bool send_all(int fd, std::string_view data);
 /// Incremental newline splitter over a socket: feeds recv() bytes into an
 /// internal buffer and hands back one line at a time with the trailing
 /// '\n' (and any '\r') stripped. The reader never owns the fd.
+///
+/// Nonblocking users recv() themselves (until EAGAIN), append() the bytes,
+/// and drain with pop_line(); blocking users call read_line(), which
+/// recv()s internally.
 class LineReader {
  public:
   LineReader() = default;
@@ -47,6 +82,13 @@ class LineReader {
   /// True when a complete line is already buffered (no syscall needed).
   bool has_line() const;
 
+  /// Feed externally-received bytes (nonblocking event-loop style).
+  void append(std::string_view data) { acc_.append(data); }
+
+  /// Next buffered line, or nullopt when no complete line is buffered.
+  /// Never touches the fd.
+  std::optional<std::string> pop_line();
+
   /// Next line, blocking until one arrives, the peer closes (nullopt), or
   /// `deadline` passes (nullopt; the connection should then be abandoned —
   /// a late reply would desynchronize request/response pairing).
@@ -57,6 +99,37 @@ class LineReader {
  private:
   int fd_ = -1;
   std::string acc_;
+};
+
+/// Per-socket pending-write queue for nonblocking connections. Small
+/// response/forward lines accumulate as chunks and flush() coalesces them
+/// into one gathered sendmsg() call (up to kMaxIov segments per syscall,
+/// MSG_NOSIGNAL), so an event-loop iteration that produced N lines for a
+/// socket pays one syscall, not N.
+class WriteQueue {
+ public:
+  enum class FlushResult {
+    kDrained,  // everything written, queue empty
+    kBlocked,  // socket would block; re-flush on writability
+    kError,    // peer gone / socket error; close the connection
+  };
+
+  void push(std::string chunk);
+  bool empty() const { return chunks_.empty(); }
+  std::size_t bytes() const { return bytes_; }
+
+  /// Write as much as possible to the (nonblocking) fd with one gathered
+  /// sendmsg() per kMaxIov chunks.
+  FlushResult flush(int fd);
+
+  void clear();
+
+ private:
+  static constexpr std::size_t kMaxIov = 64;
+
+  std::deque<std::string> chunks_;
+  std::size_t front_offset_ = 0;  // bytes of chunks_.front() already sent
+  std::size_t bytes_ = 0;         // total unsent bytes
 };
 
 /// Wait until `fd` is readable or `deadline` passes; true when readable.

@@ -1,0 +1,52 @@
+#include "service/request_grid.h"
+
+#include <cstddef>
+
+namespace tecfan::service {
+
+std::vector<GridRequest> request_grid(int keys) {
+  const std::vector<std::string> workloads = {"cholesky", "lu", "fmm",
+                                              "volrend"};
+  // Reactive policies: cheap per-interval decisions, so run/sweep keys
+  // measure the serving path rather than a model-predictive search.
+  const std::vector<std::string> policies = {"fan-only", "fan+tec",
+                                             "fan+dvfs", "dvfs+tec"};
+  const auto wl = [&workloads](int i) {
+    return workloads[static_cast<std::size_t>(i) % workloads.size()];
+  };
+  std::vector<GridRequest> out;
+  out.reserve(static_cast<std::size_t>(keys));
+  int eq = 0, run = 0, sweep = 0;
+  for (int k = 0; k < keys; ++k) {
+    if (k % 64 == 63) {
+      const int s = sweep++;
+      out.push_back({"sweep policy=" + policies[static_cast<std::size_t>(s) %
+                                                policies.size()] +
+                         " workload=" + wl(s / 4) + " threads=16",
+                     GridKind::kSweep});
+    } else if (k % 16 == 15) {
+      const int r = run++;
+      out.push_back({"run policy=" + policies[static_cast<std::size_t>(r) %
+                                              policies.size()] +
+                         " workload=" + wl(r / 4) +
+                         " fan=" + std::to_string((r / 16) % 4) +
+                         " threads=16",
+                     GridKind::kRun});
+    } else {
+      const int e = eq++;
+      const int fan = (e / static_cast<int>(workloads.size())) % 8;
+      const int dvfs = (e / 32) % 4;
+      const bool tec = (e / 128) % 2 != 0;
+      const int threads = (e / 256) % 2 != 0 ? 8 : 16;
+      out.push_back({"equilibrium workload=" + wl(e) +
+                         " threads=" + std::to_string(threads) +
+                         " fan=" + std::to_string(fan) +
+                         " dvfs=" + std::to_string(dvfs) +
+                         (tec ? " tec=on" : ""),
+                     GridKind::kEquilibrium});
+    }
+  }
+  return out;
+}
+
+}  // namespace tecfan::service

@@ -1,0 +1,33 @@
+// The deterministic repeated-key working set shared by loadgen and the
+// cluster benchmark (both need the same corpus so routed-vs-direct numbers
+// compare like for like).
+//
+// Mostly equilibrium points across the benchmark x fan-level x DVFS x TEC
+// x thread-count grid (4 x 8 x 4 x 2 x 2 = 1024 distinct requests); every
+// 16th key is a policy `run` (4 policies x 4 workloads x 4 fan levels) and
+// every 64th a fan `sweep` (4 policies x 4 workloads), so a 1024-key set
+// exercises all three compute kinds the daemon serves. Each kind advances
+// through its own grid densely; small key counts (< 16) stay
+// pure-equilibrium on the original benchmark x fan corner so historical
+// BENCH_serving.json runs remain comparable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tecfan::service {
+
+/// Compute kinds in the working set (indexes into per-kind latency
+/// buckets and loadgen's JSON kind_split).
+enum class GridKind { kEquilibrium = 0, kRun = 1, kSweep = 2 };
+
+struct GridRequest {
+  std::string line;  // request wire line (no trailing '\n')
+  GridKind kind = GridKind::kEquilibrium;
+};
+
+/// The first `keys` entries of the grid. Deterministic: the same `keys`
+/// always yields the same lines in the same order.
+std::vector<GridRequest> request_grid(int keys);
+
+}  // namespace tecfan::service

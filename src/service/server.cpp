@@ -470,6 +470,8 @@ void Server::serve() {
       ::close(fd);
       break;
     }
+    // Small request/response lines: Nagle coalescing only adds latency.
+    set_tcp_nodelay(fd);
     std::lock_guard<std::mutex> lock(conns_mu_);
     conn_fds_.push_back(fd);
     conn_threads_.emplace_back([this, fd] {

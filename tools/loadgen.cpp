@@ -36,6 +36,7 @@
 #include "cluster/router.h"
 #include "service/framing.h"
 #include "service/request.h"
+#include "service/request_grid.h"
 #include "service/server.h"
 #include "util/stats.h"
 
@@ -56,6 +57,7 @@ struct Args {
   bool router = false;  // fleet mode: backends + tecrouter in-process
   int backends = 2;
   double hedge_ms = -1.0;
+  cluster::DataPlane data_plane = cluster::DataPlane::kEpoll;
   bool warmup = true;
   bool check_p99 = false;
   std::string out = "BENCH_serving.json";
@@ -90,6 +92,8 @@ void usage() {
       "                   servers plus a tecrouter and drive the router\n"
       "  --backends N     fleet size for --router (default 2)\n"
       "  --hedge-ms X     router hedged retry: -1 off, 0 auto-p99, >0 fixed\n"
+      "  --data-plane P   router forwarding engine: epoll (default) or\n"
+      "                   threads (legacy thread-per-session oracle)\n"
       "  --no-warmup      skip the cache-priming pass\n"
       "  --check-p99      exit non-zero when the server-side e2e hit p99\n"
       "                   disagrees with the client-side hit p99\n"
@@ -144,6 +148,17 @@ bool parse(int argc, char** argv, Args& out) {
       const char* v = next(i);
       if (!v) return false;
       out.hedge_ms = std::atof(v);
+    } else if (a == "--data-plane") {
+      const char* v = next(i);
+      if (!v) return false;
+      if (std::string(v) == "epoll") {
+        out.data_plane = cluster::DataPlane::kEpoll;
+      } else if (std::string(v) == "threads") {
+        out.data_plane = cluster::DataPlane::kThreads;
+      } else {
+        std::fprintf(stderr, "unknown --data-plane: %s\n", v);
+        return false;
+      }
     } else if (a == "--no-warmup") {
       out.warmup = false;
     } else if (a == "--check-p99") {
@@ -208,69 +223,10 @@ class Client {
   service::LineReader reader_;
 };
 
-/// Compute kinds in the working set (indexes into per-kind latency
-/// buckets and the JSON kind_split).
-enum Kind { kEquilibrium = 0, kRun = 1, kSweep = 2 };
+/// JSON/report names for the shared request grid's compute kinds (indexes
+/// match service::GridKind; the grid itself lives in
+/// src/service/request_grid.* so bench_cluster drives the same corpus).
 const char* const kKindNames[] = {"equilibrium", "run", "sweep"};
-
-struct KeyedRequest {
-  std::string line;
-  Kind kind = kEquilibrium;
-};
-
-/// The repeated-key working set (deterministic, so repeats of a key are
-/// cache hits). Mostly equilibrium points across the benchmark x fan-level
-/// x DVFS x TEC x thread-count grid (4 x 8 x 4 x 2 x 2 = 1024 distinct
-/// requests); every 16th key is a policy `run` (4 policies x 4 workloads x
-/// 4 fan levels) and every 64th a fan `sweep` (4 policies x 4 workloads),
-/// so a --keys 1024 set measures all three compute kinds the daemon
-/// serves. Each kind advances through its own grid densely; small key
-/// counts (< 16) stay pure-equilibrium on the original benchmark x fan
-/// corner so historical BENCH_serving.json runs remain comparable.
-std::vector<KeyedRequest> request_set(int keys) {
-  const std::vector<std::string> workloads = {"cholesky", "lu", "fmm",
-                                              "volrend"};
-  // Reactive policies: cheap per-interval decisions, so run/sweep keys
-  // measure the serving path rather than a model-predictive search.
-  const std::vector<std::string> policies = {"fan-only", "fan+tec",
-                                             "fan+dvfs", "dvfs+tec"};
-  const auto wl = [&workloads](int i) {
-    return workloads[static_cast<std::size_t>(i) % workloads.size()];
-  };
-  std::vector<KeyedRequest> out;
-  out.reserve(static_cast<std::size_t>(keys));
-  int eq = 0, run = 0, sweep = 0;
-  for (int k = 0; k < keys; ++k) {
-    if (k % 64 == 63) {
-      const int s = sweep++;
-      out.push_back({"sweep policy=" + policies[static_cast<std::size_t>(s) %
-                                                policies.size()] +
-                         " workload=" + wl(s / 4) + " threads=16",
-                     kSweep});
-    } else if (k % 16 == 15) {
-      const int r = run++;
-      out.push_back({"run policy=" + policies[static_cast<std::size_t>(r) %
-                                              policies.size()] +
-                         " workload=" + wl(r / 4) +
-                         " fan=" + std::to_string((r / 16) % 4) +
-                         " threads=16",
-                     kRun});
-    } else {
-      const int e = eq++;
-      const int fan = (e / static_cast<int>(workloads.size())) % 8;
-      const int dvfs = (e / 32) % 4;
-      const bool tec = (e / 128) % 2 != 0;
-      const int threads = (e / 256) % 2 != 0 ? 8 : 16;
-      out.push_back({"equilibrium workload=" + wl(e) +
-                         " threads=" + std::to_string(threads) +
-                         " fan=" + std::to_string(fan) +
-                         " dvfs=" + std::to_string(dvfs) +
-                         (tec ? " tec=on" : ""),
-                     kEquilibrium});
-    }
-  }
-  return out;
-}
 
 double get_field(const service::Response& r, const char* key) {
   if (auto v = r.field(key)) return std::atof(v->c_str());
@@ -355,12 +311,15 @@ int main(int argc, char** argv) {
       cluster::RouterOptions options;
       options.backend_ports = backend_ports;
       options.hedge_ms = args.hedge_ms;
+      options.data_plane = args.data_plane;
       router = std::make_unique<cluster::Router>(options);
       port = router->bind_listen(0);
       router_thread = std::thread([&router] { router->serve(); });
       std::fprintf(stderr,
-                   "loadgen: in-process tecrouter on port %u over %zu "
-                   "backends (%zu workers each)\n",
+                   "loadgen: in-process tecrouter (%s data plane) on port "
+                   "%u over %zu backends (%zu workers each)\n",
+                   args.data_plane == cluster::DataPlane::kEpoll ? "epoll"
+                                                                 : "threads",
                    port, n, workers_each);
     } else {
       port = backend_ports.front();
@@ -370,7 +329,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::vector<KeyedRequest> requests = request_set(args.keys);
+  const std::vector<service::GridRequest> requests =
+      service::request_grid(args.keys);
 
   // Warmup: prime every key once so the measured interval exercises the
   // serving path, not the simulator.
@@ -417,7 +377,7 @@ int main(int argc, char** argv) {
       PerConn& mine = per_conn[static_cast<std::size_t>(c)];
       std::size_t i = static_cast<std::size_t>(c);  // stagger the rotation
       while (!stop.load(std::memory_order_relaxed)) {
-        const KeyedRequest& req = requests[i++ % requests.size()];
+        const service::GridRequest& req = requests[i++ % requests.size()];
         const auto t0 = Clock::now();
         const std::string reply = client.round_trip(req.line);
         const auto t1 = Clock::now();
@@ -429,7 +389,7 @@ int main(int argc, char** argv) {
         const double us =
             std::chrono::duration<double, std::micro>(t1 - t0).count();
         mine.all.push_back(us);
-        mine.by_kind[req.kind].push_back(us);
+        mine.by_kind[static_cast<int>(req.kind)].push_back(us);
         if (reply.rfind("ok cached=1", 0) == 0) {
           mine.hit.push_back(us);
         } else if (reply.rfind("ok", 0) == 0) {
@@ -447,7 +407,7 @@ int main(int argc, char** argv) {
   std::vector<double> all, hits, misses;
   std::vector<double> by_kind[3];
   std::size_t keys_by_kind[3] = {0, 0, 0};
-  for (const auto& r : requests) ++keys_by_kind[r.kind];
+  for (const auto& r : requests) ++keys_by_kind[static_cast<int>(r.kind)];
   std::uint64_t busy_total = 0;
   for (const auto& conn : per_conn) {
     all.insert(all.end(), conn.all.begin(), conn.all.end());
@@ -602,6 +562,12 @@ int main(int argc, char** argv) {
          << (router ? "router" : (args.port >= 0 ? "external" : "direct"))
          << "\",\n"
          << "  \"backends\": " << (router ? args.backends : 1) << ",\n"
+         << "  \"data_plane\": \""
+         << (router ? (args.data_plane == cluster::DataPlane::kEpoll
+                           ? "epoll"
+                           : "threads")
+                    : "n/a")
+         << "\",\n"
          << "  \"router_failovers\": " << router_failovers << ",\n"
          << "  \"router_hedges\": " << router_hedges << ",\n"
          << "  \"connections\": " << args.connections << ",\n"

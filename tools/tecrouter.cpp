@@ -30,6 +30,7 @@ struct Args {
   double deadline_ms = 0.0;
   double hedge_ms = -1.0;
   double health_interval_s = 0.1;
+  cluster::DataPlane data_plane = cluster::DataPlane::kEpoll;
   bool help = false;
 };
 
@@ -38,7 +39,7 @@ void usage() {
       stderr,
       "usage: tecrouter --port N --backends P1,P2,... [--vnodes N]\n"
       "                 [--pool N] [--deadline-ms X] [--hedge-ms X]\n"
-      "                 [--health-interval S]\n"
+      "                 [--health-interval S] [--data-plane P]\n"
       "  --port N           client-facing loopback port (0 = ephemeral)\n"
       "  --backends P1,P2   comma-separated tecfand ports (the fleet)\n"
       "  --vnodes N         virtual nodes per backend on the hash ring (64)\n"
@@ -47,7 +48,10 @@ void usage() {
       "                     (0 = none; timeouts fail over to the replica)\n"
       "  --hedge-ms X       hedged retry delay: -1 off (default), 0 = derive\n"
       "                     from observed e2e p99, >0 fixed delay in ms\n"
-      "  --health-interval S  backend ping period in seconds (0.1)\n");
+      "  --health-interval S  backend ping period in seconds (0.1)\n"
+      "  --data-plane P     forwarding engine: epoll (default, event loop\n"
+      "                     with backend pipelining) or threads (legacy\n"
+      "                     thread-per-session oracle)\n");
 }
 
 bool parse_ports(const std::string& list, std::vector<std::uint16_t>& out) {
@@ -57,7 +61,10 @@ bool parse_ports(const std::string& list, std::vector<std::uint16_t>& out) {
     const std::string tok =
         list.substr(start, comma == std::string::npos ? std::string::npos
                                                       : comma - start);
-    if (tok.empty()) return false;
+    if (tok.empty() ||
+        tok.find_first_not_of("0123456789") != std::string::npos) {
+      return false;  // reject host:port specs instead of atoi-truncating
+    }
     const int p = std::atoi(tok.c_str());
     if (p <= 0 || p > 65535) return false;
     out.push_back(static_cast<std::uint16_t>(p));
@@ -100,6 +107,17 @@ bool parse(int argc, char** argv, Args& out) {
       const char* v = next(i);
       if (!v) return false;
       out.health_interval_s = std::atof(v);
+    } else if (a == "--data-plane") {
+      const char* v = next(i);
+      if (!v) return false;
+      if (std::string(v) == "epoll") {
+        out.data_plane = cluster::DataPlane::kEpoll;
+      } else if (std::string(v) == "threads") {
+        out.data_plane = cluster::DataPlane::kThreads;
+      } else {
+        std::fprintf(stderr, "unknown --data-plane: %s\n", v);
+        return false;
+      }
     } else if (a == "--help" || a == "-h") {
       out.help = true;
     } else {
@@ -140,6 +158,7 @@ int main(int argc, char** argv) {
   options.backend_deadline_ms = args.deadline_ms;
   options.hedge_ms = args.hedge_ms;
   options.health.interval_s = args.health_interval_s;
+  options.data_plane = args.data_plane;
   cluster::Router router(options);
 
   const std::uint16_t port =
@@ -151,11 +170,13 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "tecrouter: listening on 127.0.0.1:%u, fleet [%s] "
-               "(%zu vnodes/backend, hedge %s)\n",
+               "(%zu vnodes/backend, hedge %s, %s data plane)\n",
                port, fleet.c_str(), args.vnodes,
                args.hedge_ms < 0    ? "off"
                : args.hedge_ms == 0 ? "auto-p99"
-                                    : "fixed");
+                                    : "fixed",
+               args.data_plane == cluster::DataPlane::kEpoll ? "epoll"
+                                                             : "threads");
   std::fflush(stderr);
   router.serve();
   return 0;
