@@ -38,9 +38,18 @@
 # overhead regression fails the bench run loudly instead of silently
 # shipping a slower committed number.
 #
+# It then runs a chaos storm (tools/chaos): seeded fault-injection phases
+# — refusals, blackholes, mid-line disconnects, short writes, slow-loris,
+# corrupted/truncated/unsolicited replies, latency spikes with hedging,
+# and a mixed storm — against a proxied router+fleet, asserting the five
+# storm invariants after every storm (src/testing/chaos_fleet.h). Any
+# violation fails the bench run and prints the storm seed to replay.
+#
 #   scripts/bench.sh                 # all benchmarks, 3 s loadgen run
 #   DURATION_S=10 scripts/bench.sh   # longer serving interval
 #   ROUTED_RATIO_FLOOR=0.7 scripts/bench.sh   # stricter router floor
+#   CHAOS_SECONDS=60 scripts/bench.sh         # longer chaos storm budget
+#   CHAOS_SECONDS=0.1 CHAOS_SEED=7 scripts/bench.sh  # quick seeded storm
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,7 +57,8 @@ JOBS="${JOBS:-$(nproc)}"
 ROUTED_RATIO_FLOOR="${ROUTED_RATIO_FLOOR:-0.6}"
 
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-release -j"$JOBS" --target bench_solver bench_policy bench_cluster loadgen
+cmake --build build-release -j"$JOBS" \
+  --target bench_solver bench_policy bench_cluster loadgen chaos
 
 ./build-release/bench/bench_solver --out BENCH_solver.json
 
@@ -83,3 +93,10 @@ if ratio < floor:
     sys.exit(f"bench.sh: FAIL — routed cached throughput is {ratio:.3f} of "
              f"direct, below the ROUTED_RATIO_FLOOR of {floor}")
 EOF
+
+# Chaos storm: the release-built router+fleet must hold the five storm
+# invariants under every fault class. A violating storm prints its seed;
+# replay with  tools/chaos --seed <base-seed> --phase <name>.
+./build-release/tools/chaos \
+  --chaos-seconds "${CHAOS_SECONDS:-20}" \
+  --seed "${CHAOS_SEED:-1}"

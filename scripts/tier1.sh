@@ -8,6 +8,11 @@
 # routed hit/miss correctness, hedging, and failover on backend death;
 # EventLoop/RouterPipeline/DataPlaneEquivalence drive the epoll data plane
 # from concurrent pipelined clients, backend death mid-pipeline included).
+# The Chaos suite also runs under TSan: seeded fault-injection storms
+# (refusals, blackholes, mid-line disconnects, short writes, corrupted and
+# truncated replies, latency spikes with hedging) through a proxied
+# router+fleet, asserting the five storm invariants from
+# src/testing/chaos_fleet.h under the race detector.
 #
 # The ASan+UBSan leg re-runs the control/planning/serving suites (the
 # batch-evaluation path moves candidate scratch across worker threads, the
@@ -31,10 +36,11 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   cmake -B build-tsan -S . -DTECFAN_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j"$JOBS" \
-    --target linalg_test sim_test service_test util_test cluster_test
+    --target linalg_test sim_test service_test util_test cluster_test \
+    chaos_test
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure \
-    -R 'SharedOperator|SharedEngine|SharedControlEngine|Protocol|ResultCache|TaskQueue|WorkerPool|Server|BackendEquivalence|Metrics|ShardMap|BackendClient|HealthMonitor|ClusterSmoke|EventLoop|RouterPipeline|DataPlaneEquivalence'
+    -R 'SharedOperator|SharedEngine|SharedControlEngine|Protocol|ResultCache|TaskQueue|WorkerPool|Server|BackendEquivalence|Metrics|ShardMap|BackendClient|HealthMonitor|ClusterSmoke|EventLoop|RouterPipeline|DataPlaneEquivalence|LineReader|WriteQueue|FaultInjector|Chaos'
 fi
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
@@ -44,5 +50,5 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
     --target core_test sim_test service_test policy_equivalence_test
   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-asan --output-on-failure -j"$JOBS" \
-    -R 'ControlEngine|ChipPlanningModel|PolicyEquivalence|TecFan|Oracle|Oftec|Reactive|DynamicFan|Protocol|Server|Sweep'
+    -R 'ControlEngine|ChipPlanningModel|PolicyEquivalence|TecFan|Oracle|Oftec|Reactive|DynamicFan|Protocol|Server|Sweep|LineReader|WriteQueue|FaultInjector'
 fi

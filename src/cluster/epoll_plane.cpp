@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "cluster/router.h"
+#include "service/fault_injection.h"
 
 namespace tecfan::cluster {
 namespace {
@@ -76,8 +77,12 @@ void EpollPlane::run() {
     }
     pipe.state = BackendPipe::State::kDown;
     pipe.inflight.clear();
+    pipe.stall_timer = 0;
+    pipe.dial_timer = 0;
   }
   pending_.clear();
+  router_.pending_gauge_.store(0, std::memory_order_relaxed);
+  router_.inflight_gauge_.store(0, std::memory_order_relaxed);
 }
 
 void EpollPlane::request_stop() { loop_.stop(); }
@@ -123,7 +128,8 @@ void EpollPlane::on_session_event(std::uint64_t id, std::uint32_t events) {
 
   char buf[16384];
   for (;;) {
-    const ssize_t n = ::recv(session.fd, buf, sizeof(buf), 0);
+    const ssize_t n =
+        service::faulted_recv(session.fd, buf, sizeof(buf), 0);
     if (n > 0) {
       session.reader.append({buf, static_cast<std::size_t>(n)});
       continue;
@@ -143,6 +149,19 @@ void EpollPlane::on_session_event(std::uint64_t id, std::uint32_t events) {
     if (!line) break;
     if (line->empty()) continue;
     dispatch_line(session, *line);
+  }
+
+  if (session.reader.overflowed() && !session.quit) {
+    // Protocol error: one clean error reply in order behind anything
+    // already pipelined, then the session stops reading (quit path) and
+    // closes once its backlog drains.
+    router_.errors_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t seq = session.next_seq++;
+    session.slots.emplace_back();
+    session.quit = true;
+    fill_slot(session, seq,
+              service::serialize_response(
+                  Response::make_error("request line too long")));
   }
 
   if (session.out.bytes() >= kPauseBytes) session.paused = true;
@@ -258,6 +277,18 @@ EpollPlane::BackendPipe* EpollPlane::ensure_pipe(std::size_t b) {
   BackendPipe& pipe = pipes_[b];
   if (pipe.state != BackendPipe::State::kDown) return &pipe;
 
+  // This raw nonblocking dial bypasses connect_loopback(), so it consults
+  // the fault injector itself: a refused decision behaves exactly like a
+  // synchronous ECONNREFUSED from the kernel.
+  if (service::FaultInjector* fi = service::active_fault_injector()) {
+    const service::FaultDecision d = service::settle_fault_delay(
+        fi->on_connect(router_.options_.backend_ports[b]));
+    if (d.kind == service::FaultDecision::Kind::kFail ||
+        d.kind == service::FaultDecision::Kind::kEof) {
+      return nullptr;
+    }
+  }
+
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return nullptr;
   service::set_nonblocking(fd);
@@ -332,7 +363,7 @@ void EpollPlane::on_pipe_event(std::size_t b, std::uint32_t events) {
   char buf[16384];
   bool dead = false;
   for (;;) {
-    const ssize_t n = ::recv(pipe.fd, buf, sizeof(buf), 0);
+    const ssize_t n = service::faulted_recv(pipe.fd, buf, sizeof(buf), 0);
     if (n > 0) {
       pipe.reader.append({buf, static_cast<std::size_t>(n)});
       continue;
@@ -359,8 +390,16 @@ void EpollPlane::on_pipe_event(std::size_t b, std::uint32_t events) {
     }
     const InFlight inflight = pipe.inflight.front();
     pipe.inflight.pop_front();
+    router_.inflight_gauge_.fetch_sub(1, std::memory_order_relaxed);
     handle_backend_reply(b, inflight, std::move(*line));
     if (pipe.fd < 0) return;  // a completion handler tore the pipe down
+  }
+
+  // A reply line longer than the reader cap is malformed framing, same as
+  // a non-protocol status token.
+  if (pipe.reader.overflowed()) {
+    on_pipe_error(b);
+    return;
   }
 
   if (dead) on_pipe_error(b);
@@ -377,6 +416,10 @@ void EpollPlane::on_pipe_error(std::size_t b) {
     loop_.cancel_timer(pipe.dial_timer);
     pipe.dial_timer = 0;
   }
+  if (pipe.stall_timer) {
+    loop_.cancel_timer(pipe.stall_timer);
+    pipe.stall_timer = 0;
+  }
   pipe.state = BackendPipe::State::kDown;
   pipe.reader.reset(-1);
   pipe.out.clear();
@@ -387,6 +430,8 @@ void EpollPlane::on_pipe_error(std::size_t b) {
   // the ring chain is distinct) and must not mutate the deque mid-walk.
   std::deque<InFlight> failed;
   failed.swap(pipe.inflight);
+  router_.inflight_gauge_.fetch_sub(failed.size(),
+                                    std::memory_order_relaxed);
   for (const InFlight& inflight : failed) {
     auto it = pending_.find(inflight.request_id);
     if (it == pending_.end()) continue;  // already answered elsewhere
@@ -479,6 +524,7 @@ void EpollPlane::route(Session& session, std::uint64_t seq,
 
   const std::uint64_t id = next_request_id_++;
   PendingRequest& pending = pending_[id];
+  router_.pending_gauge_.fetch_add(1, std::memory_order_relaxed);
   pending.id = id;
   pending.session_id = session.id;
   pending.slot_seq = seq;
@@ -518,13 +564,78 @@ std::optional<std::size_t> EpollPlane::send_attempt(PendingRequest& request) {
       router_.failovers_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
+    const auto now = Clock::now();
+    InFlight entry;
+    entry.request_id = request.id;
+    entry.entry_id = pipe->next_entry_id++;
+    entry.sent_at = now;
+    entry.expires_at = stall_expiry(now, request.deadline);
+    const bool was_empty = pipe->inflight.empty();
     pipe->out.push(request.wire);
-    pipe->inflight.push_back({request.id, Clock::now()});
+    pipe->inflight.push_back(entry);
+    router_.inflight_gauge_.fetch_add(1, std::memory_order_relaxed);
     mark_pipe_dirty(b);
     ++request.live_attempts;
+    // Arm the watchdog only when this entry became the FIFO front; pops
+    // never rearm (zero hot-path cost), so an armed timer may be for an
+    // already-completed front — on_pipe_stall re-checks and rearms.
+    if (was_empty) arm_pipe_stall(b);
     return b;
   }
   return std::nullopt;
+}
+
+EpollPlane::Clock::time_point EpollPlane::stall_expiry(
+    Clock::time_point now, Clock::time_point request_deadline) const {
+  if (request_deadline != Clock::time_point::max()) {
+    return request_deadline +
+           std::chrono::duration_cast<Clock::duration>(
+               std::chrono::duration<double, std::milli>(
+                   router_.options_.stall_grace_ms));
+  }
+  if (router_.options_.pipe_stall_ms <= 0) return Clock::time_point::max();
+  return now + std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double, std::milli>(
+                       router_.options_.pipe_stall_ms));
+}
+
+void EpollPlane::arm_pipe_stall(std::size_t b) {
+  BackendPipe& pipe = pipes_[b];
+  if (pipe.stall_timer) {
+    loop_.cancel_timer(pipe.stall_timer);
+    pipe.stall_timer = 0;
+  }
+  if (pipe.fd < 0 || pipe.inflight.empty()) return;
+  const InFlight& front = pipe.inflight.front();
+  if (front.expires_at == Clock::time_point::max()) return;
+  pipe.stall_timer = loop_.add_timer(
+      front.expires_at,
+      [this, b, eid = front.entry_id] {
+        pipes_[b].stall_timer = 0;
+        on_pipe_stall(b, eid);
+      });
+}
+
+void EpollPlane::on_pipe_stall(std::size_t b, std::uint64_t entry_id) {
+  BackendPipe& pipe = pipes_[b];
+  if (pipe.fd < 0) return;
+  if (pipe.inflight.empty()) return;  // drained since arming
+  if (pipe.inflight.front().entry_id != entry_id) {
+    // The front the timer was armed for completed; rearm for the current
+    // front (its expiry may already be past, in which case add_timer
+    // fires on the next loop iteration).
+    arm_pipe_stall(b);
+    return;
+  }
+  // The head reply is overdue. In-order pairing means nothing behind the
+  // head can complete either: the pipe accepted forwards and stopped
+  // replying (accept-then-blackhole, or a wedged backend). Report it and
+  // tear the pipe down — on_pipe_error fails the whole FIFO over the
+  // ring, which is also what reclaims hedge-loser entries whose requests
+  // completed long ago via the winner.
+  router_.pipe_stalls_.fetch_add(1, std::memory_order_relaxed);
+  router_.health_->report_failure(b);
+  on_pipe_error(b);
 }
 
 void EpollPlane::on_hedge_fire(std::uint64_t id) {
@@ -564,6 +675,7 @@ void EpollPlane::complete(std::uint64_t id, std::string reply) {
   if (it->second.deadline_timer)
     loop_.cancel_timer(it->second.deadline_timer);
   pending_.erase(it);
+  router_.pending_gauge_.fetch_sub(1, std::memory_order_relaxed);
 
   router_.finish_compute(reply, line_start);
 

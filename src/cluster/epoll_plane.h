@@ -34,6 +34,13 @@
 //     reuse — the loser's entry stays in its pipe FIFO and the reply is
 //     discarded on arrival (the request id no longer resolves), keeping
 //     the shared connection in sync.
+//   * No FIFO entry lives forever: a pipe whose head reply is overdue
+//     (request deadline + grace, or pipe_stall_ms for deadline-less
+//     requests) is declared stalled — in-order pairing means nothing
+//     behind the head can complete either — reported to health, torn
+//     down, and its whole FIFO failed over. This reclaims hedge losers
+//     parked on a blackholed backend, which complete successfully via
+//     the winner and therefore never trip their own deadline timer.
 //
 // Writes are coalesced: handlers append to per-socket WriteQueues and a
 // post-iteration hook flushes each dirty socket once (gathered sendmsg),
@@ -109,7 +116,14 @@ class EpollPlane {
   /// One forward awaiting its in-order response line on a pipe.
   struct InFlight {
     std::uint64_t request_id = 0;
+    /// Per-pipe monotone id: lets the stall timer verify the FIFO front
+    /// it armed for is still the front when it fires.
+    std::uint64_t entry_id = 0;
     Clock::time_point sent_at{};
+    /// When the head-of-line stall watchdog declares this entry overdue:
+    /// the request deadline plus grace, or sent_at + pipe_stall_ms for
+    /// deadline-less requests. max() = never.
+    Clock::time_point expires_at = Clock::time_point::max();
   };
 
   struct BackendPipe {
@@ -120,6 +134,11 @@ class EpollPlane {
     service::WriteQueue out;
     std::deque<InFlight> inflight;
     std::uint64_t dial_timer = 0;
+    /// Head-of-line stall watchdog (see arm_pipe_stall): a pipe that
+    /// accepted forwards but stopped replying is torn down instead of
+    /// holding its FIFO entries — hedge losers included — forever.
+    std::uint64_t stall_timer = 0;
+    std::uint64_t next_entry_id = 1;
     bool write_blocked = false;
     bool dirty = false;
   };
@@ -164,6 +183,15 @@ class EpollPlane {
                             std::string line);
   void flush_pipe(std::size_t b);
   void mark_pipe_dirty(std::size_t b);
+  /// (Re)arm the stall watchdog for the pipe's current FIFO front. At
+  /// most one timer per pipe: replies don't rearm it (hot-path cost
+  /// zero); a firing with a fresh front just rearms for that front.
+  void arm_pipe_stall(std::size_t b);
+  void on_pipe_stall(std::size_t b, std::uint64_t entry_id);
+  /// expires_at for a new FIFO entry (deadline + grace, or the
+  /// pipe_stall_ms bound for deadline-less requests).
+  Clock::time_point stall_expiry(Clock::time_point now,
+                                 Clock::time_point request_deadline) const;
 
   // Request lifecycle.
   void route(Session& session, std::uint64_t seq,

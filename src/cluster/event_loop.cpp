@@ -107,6 +107,12 @@ void EventLoop::run() {
   std::vector<epoll_event> events(64);
   while (!stop_requested_.load(std::memory_order_relaxed)) {
     fire_due_timers();
+    // Timer callbacks produce output too (deadline errors, stall-driven
+    // failovers): flush it BEFORE blocking. epoll_wait's timeout only
+    // wakes for the next timer; with none left and an idle peer the
+    // queued bytes would otherwise sit until unrelated traffic arrives —
+    // the chaos storms caught exactly that as a forever-stuck reply.
+    if (post_hook_) post_hook_();
     int n;
     do {
       n = ::epoll_wait(epoll_fd_, events.data(),

@@ -57,11 +57,36 @@ std::size_t HealthMonitor::up_count() const {
 }
 
 void HealthMonitor::report_failure(std::size_t backend) {
-  observe(backend, false);
+  BackendState& st = *state_[backend];
+  std::lock_guard<std::mutex> lock(st.obs_mu);
+  ++st.epoch;  // invalidate any probe in flight
+  apply_observation(st, false);
 }
 
 void HealthMonitor::report_success(std::size_t backend) {
-  observe(backend, true);
+  BackendState& st = *state_[backend];
+  std::lock_guard<std::mutex> lock(st.obs_mu);
+  ++st.epoch;
+  apply_observation(st, true);
+}
+
+std::uint64_t HealthMonitor::begin_probe(std::size_t backend) const {
+  BackendState& st = *state_[backend];
+  std::lock_guard<std::mutex> lock(st.obs_mu);
+  return st.epoch;
+}
+
+void HealthMonitor::finish_probe(std::size_t backend, bool ok,
+                                 std::uint64_t token) {
+  BackendState& st = *state_[backend];
+  std::lock_guard<std::mutex> lock(st.obs_mu);
+  if (st.epoch != token) {
+    // A traffic report landed while the probe was in flight; its fresher
+    // observation wins, whatever this probe saw.
+    st.stale_probes.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  apply_observation(st, ok);
 }
 
 void HealthMonitor::probe_now() {
@@ -88,6 +113,7 @@ HealthMonitor::BackendHealth HealthMonitor::health(std::size_t backend) const {
   h.probes = st.probes.load(std::memory_order_relaxed);
   h.probe_failures = st.probe_failures.load(std::memory_order_relaxed);
   h.markdowns = st.markdowns.load(std::memory_order_relaxed);
+  h.stale_probes = st.stale_probes.load(std::memory_order_relaxed);
   h.last_rtt_us = st.last_rtt_us.load(std::memory_order_relaxed);
   return h;
 }
@@ -147,6 +173,7 @@ void HealthMonitor::probe_round(Clock::time_point now) {
 bool HealthMonitor::ping(std::size_t backend) {
   BackendState& st = *state_[backend];
   st.probes.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t token = begin_probe(backend);
   const auto start = Clock::now();
   const auto deadline =
       start + seconds_to_duration(options_.ping_timeout_ms * 1e-3);
@@ -160,21 +187,18 @@ bool HealthMonitor::ping(std::size_t backend) {
   } else {
     st.probe_failures.fetch_add(1, std::memory_order_relaxed);
   }
-  observe(backend, ok);
+  finish_probe(backend, ok, token);
   return ok;
 }
 
-void HealthMonitor::observe(std::size_t backend, bool ok) {
-  BackendState& st = *state_[backend];
+void HealthMonitor::apply_observation(BackendState& st, bool ok) {
   if (ok) {
     // Mark-up is immediate: one good round trip proves the backend serves.
-    st.consecutive_failures.store(0, std::memory_order_relaxed);
+    st.consecutive_failures = 0;
     st.up.store(true, std::memory_order_release);
     return;
   }
-  const int failures =
-      st.consecutive_failures.fetch_add(1, std::memory_order_relaxed) + 1;
-  if (failures >= options_.down_after) {
+  if (++st.consecutive_failures >= options_.down_after) {
     if (st.up.exchange(false, std::memory_order_acq_rel))
       st.markdowns.fetch_add(1, std::memory_order_relaxed);
   }

@@ -13,6 +13,15 @@
 // also reports its own observations via report_failure()/report_success(),
 // so a backend that dies between probes is marked down by the traffic
 // that discovers it rather than one full probe period later.
+//
+// Traffic reports and probes race when a backend flaps faster than the
+// ping interval: a probe that started before the backend died can come
+// back `ok` after the traffic path already marked the backend down, and
+// would resurrect it with stale evidence. State transitions are therefore
+// monotonic per observation epoch: every traffic report advances the
+// backend's epoch, a probe snapshots the epoch before its round trip
+// (begin_probe) and its result is discarded (counted in stale_probes) if
+// the epoch moved while it was in flight (finish_probe).
 #pragma once
 
 #include <atomic>
@@ -62,8 +71,18 @@ class HealthMonitor {
 
   /// Traffic-path observations: a failed forward counts like a failed
   /// ping (accelerating markdown); a success resets the failure streak.
+  /// Either advances the backend's observation epoch, invalidating any
+  /// probe currently in flight.
   void report_failure(std::size_t backend);
   void report_success(std::size_t backend);
+
+  /// Probe-side epoch handshake, public so fault-injection tests can
+  /// interleave a probe with traffic reports deterministically: take a
+  /// token before the round trip, hand the result back with it. A result
+  /// whose token is stale (a traffic report landed in between) is
+  /// discarded — the probe observed a connection from before the report.
+  std::uint64_t begin_probe(std::size_t backend) const;
+  void finish_probe(std::size_t backend, bool ok, std::uint64_t token);
 
   /// Wake the monitor thread and run one probe round now, returning after
   /// the round completes (bounded by backend_count x ping timeout). Used
@@ -75,6 +94,7 @@ class HealthMonitor {
     std::uint64_t probes = 0;        // pings attempted
     std::uint64_t probe_failures = 0;
     std::uint64_t markdowns = 0;     // up -> down transitions
+    std::uint64_t stale_probes = 0;  // probe results discarded by epoch
     double last_rtt_us = 0.0;        // last successful ping round trip
   };
   BackendHealth health(std::size_t backend) const;
@@ -82,11 +102,17 @@ class HealthMonitor {
  private:
   struct BackendState {
     std::atomic<bool> up{true};
-    std::atomic<int> consecutive_failures{0};
     std::atomic<std::uint64_t> probes{0};
     std::atomic<std::uint64_t> probe_failures{0};
     std::atomic<std::uint64_t> markdowns{0};
+    std::atomic<std::uint64_t> stale_probes{0};
     std::atomic<double> last_rtt_us{0.0};
+    // State-transition fields, serialized by obs_mu (uncontended in the
+    // steady state: the traffic path and one monitor thread). `up` is
+    // additionally atomic so the route path reads it lock-free.
+    mutable std::mutex obs_mu;
+    std::uint64_t epoch = 0;
+    int consecutive_failures = 0;
     // Monitor-thread-only backoff bookkeeping.
     int backoff_exponent = 0;
     std::chrono::steady_clock::time_point next_probe{};
@@ -96,7 +122,8 @@ class HealthMonitor {
   /// Probe every backend whose next_probe has arrived; reschedule each.
   void probe_round(std::chrono::steady_clock::time_point now);
   bool ping(std::size_t backend);
-  void observe(std::size_t backend, bool ok);
+  /// Apply one observation under st.obs_mu (already held).
+  void apply_observation(BackendState& st, bool ok);
   double jitter_fraction();  // in [0, 0.25), monitor thread only
 
   std::vector<BackendClient*> backends_;

@@ -258,6 +258,9 @@ std::string Router::stats_response_line() const {
   r.add("hedges", s.hedges);
   r.add("hedge_wins", s.hedge_wins);
   r.add("errors", s.errors);
+  r.add("pipe_stalls", s.pipe_stalls);
+  r.add("pending", s.pending);
+  r.add("backend_inflight", s.backend_inflight);
   r.add("hedge_delay_us", current_hedge_delay_us());
   for (std::size_t b = 0; b < clients_.size(); ++b) {
     const std::string prefix = "backend" + std::to_string(b) + "_";
@@ -268,6 +271,7 @@ std::string Router::stats_response_line() const {
     r.add(prefix + "probes", h.probes);
     r.add(prefix + "probe_failures", h.probe_failures);
     r.add(prefix + "markdowns", h.markdowns);
+    r.add(prefix + "stale_probes", h.stale_probes);
     r.add(prefix + "rtt_us", h.last_rtt_us);
   }
   return serialize_response(r);
@@ -349,6 +353,9 @@ Router::Stats Router::stats() const {
   s.hedges = hedges_.load(std::memory_order_relaxed);
   s.hedge_wins = hedge_wins_.load(std::memory_order_relaxed);
   s.errors = errors_.load(std::memory_order_relaxed);
+  s.pipe_stalls = pipe_stalls_.load(std::memory_order_relaxed);
+  s.pending = pending_gauge_.load(std::memory_order_relaxed);
+  s.backend_inflight = inflight_gauge_.load(std::memory_order_relaxed);
   s.backends = clients_.size();
   s.backends_up = health_->up_count();
   return s;
@@ -445,7 +452,19 @@ void Router::serve_threads() {
       bool quit = false;
       while (!quit && !stopping_.load()) {
         auto line = reader.read_line();
-        if (!line) break;
+        if (!line) {
+          if (reader.overflowed()) {
+            errors_.fetch_add(1, std::memory_order_relaxed);
+            std::string reply = serialize_response(
+                Response::make_error("request line too long"));
+            reply += '\n';
+            service::send_all(fd, reply);
+            // Drain before the close: unread flood bytes would raise
+            // RST and discard the error reply client-side.
+            service::shutdown_drain(fd, std::chrono::milliseconds(250));
+          }
+          break;
+        }
         if (line->empty()) continue;
         std::string reply = handle_line(*line, &quit);
         reply += '\n';

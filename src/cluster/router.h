@@ -82,6 +82,17 @@ struct RouterOptions {
   /// deadline, so a SYN-blackholed backend costs milliseconds, not the
   /// kernel's SYN-retry default.
   double dial_timeout_ms = 250.0;
+  /// Epoll plane only: how long a deadline-less forward may sit at the
+  /// head of a backend pipe's FIFO before the pipe is declared stalled
+  /// (accept-then-blackhole), reported to health, torn down, and its
+  /// whole FIFO failed over. Forwards that carry a deadline use it (plus
+  /// stall_grace_ms) instead, so legitimately long computes are never cut
+  /// short. 0 disables the watchdog.
+  double pipe_stall_ms = 30000.0;
+  /// Grace added to a request's own deadline before its pipe is declared
+  /// stalled (the deadline timer answers the client; the watchdog only
+  /// reclaims the FIFO and the connection).
+  double stall_grace_ms = 250.0;
   DataPlane data_plane = DataPlane::kEpoll;
   HealthMonitor::Options health;
 };
@@ -123,6 +134,12 @@ class Router {
     std::uint64_t hedges = 0;      // hedge requests actually sent
     std::uint64_t hedge_wins = 0;  // hedges whose reply arrived first
     std::uint64_t errors = 0;      // router-generated error responses
+    std::uint64_t pipe_stalls = 0; // backend pipes torn down by watchdog
+    /// Leak gauges (epoll plane; always 0 on the thread plane). Both
+    /// must return to zero once traffic quiesces — the chaos tests pin
+    /// that after every storm.
+    std::uint64_t pending = 0;          // live PendingRequests
+    std::uint64_t backend_inflight = 0; // FIFO entries across all pipes
     std::size_t backends = 0;
     std::size_t backends_up = 0;
   };
@@ -191,6 +208,11 @@ class Router {
   std::atomic<std::uint64_t> hedges_{0};
   std::atomic<std::uint64_t> hedge_wins_{0};
   std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> pipe_stalls_{0};
+  // Maintained by the epoll plane (single-threaded writer; atomic so
+  // stats() can read from any thread).
+  std::atomic<std::uint64_t> pending_gauge_{0};
+  std::atomic<std::uint64_t> inflight_gauge_{0};
 
   /// Cached p99-derived hedge delay (us), refreshed every
   /// kHedgeRefreshPeriod routed requests (a histogram snapshot is too

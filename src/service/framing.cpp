@@ -1,5 +1,7 @@
 #include "service/framing.h"
 
+#include "service/fault_injection.h"
+
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -9,6 +11,7 @@
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -39,6 +42,20 @@ sockaddr_in loopback_addr(std::uint16_t port) {
   return addr;
 }
 
+/// Consult the injector before a dial. True = proceed; false = the dial
+/// is refused (errno set).
+bool connect_permitted(std::uint16_t port) {
+  FaultInjector* fi = active_fault_injector();
+  if (!fi) return true;
+  const FaultDecision d = settle_fault_delay(fi->on_connect(port));
+  if (d.kind == FaultDecision::Kind::kFail ||
+      d.kind == FaultDecision::Kind::kEof) {
+    errno = d.error != 0 ? d.error : ECONNREFUSED;
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 void ignore_sigpipe() { ::signal(SIGPIPE, SIG_IGN); }
@@ -57,6 +74,7 @@ bool set_nonblocking(int fd, bool nonblocking) {
 }
 
 int connect_loopback(std::uint16_t port) {
+  if (!connect_permitted(port)) return -1;
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return -1;
   const sockaddr_in addr = loopback_addr(port);
@@ -70,6 +88,7 @@ int connect_loopback(std::uint16_t port) {
 }
 
 int connect_loopback(std::uint16_t port, Clock::time_point deadline) {
+  if (!connect_permitted(port)) return -1;
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return -1;
   if (!set_nonblocking(fd)) {
@@ -116,8 +135,18 @@ int connect_loopback(std::uint16_t port, Clock::time_point deadline) {
 bool send_all(int fd, std::string_view data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
-    const ssize_t w = ::send(fd, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
+    std::size_t attempt = data.size() - sent;
+    if (FaultInjector* fi = active_fault_injector()) {
+      const FaultDecision d = settle_fault_delay(fi->on_send(fd, attempt));
+      if (d.kind == FaultDecision::Kind::kFail ||
+          d.kind == FaultDecision::Kind::kEof) {
+        errno = d.error != 0 ? d.error : ECONNRESET;
+        return false;
+      }
+      if (d.kind == FaultDecision::Kind::kShort && d.cap > 0)
+        attempt = std::min(attempt, d.cap);
+    }
+    const ssize_t w = ::send(fd, data.data() + sent, attempt, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -139,12 +168,30 @@ bool wait_readable(int fd, Clock::time_point deadline) {
 }
 
 bool LineReader::has_line() const {
-  return acc_.find('\n') != std::string::npos;
+  return !overflowed_ && acc_.find('\n') != std::string::npos;
+}
+
+void LineReader::check_overflow() {
+  if (overflowed_ || acc_.size() <= max_line_) return;
+  const std::size_t nl = acc_.find('\n');
+  if (nl == std::string::npos || nl > max_line_) overflowed_ = true;
 }
 
 std::optional<std::string> LineReader::pop_line() {
+  if (overflowed_) return std::nullopt;
   const std::size_t nl = acc_.find('\n');
-  if (nl == std::string::npos) return std::nullopt;
+  if (nl == std::string::npos) {
+    // An unterminated prefix past the cap can never become a legal line.
+    if (acc_.size() > max_line_) overflowed_ = true;
+    return std::nullopt;
+  }
+  if (nl > max_line_) {
+    // A terminated line past the cap is just as over-long; refusing it
+    // here (rather than only in append) catches lines that became the
+    // buffer head after earlier pops.
+    overflowed_ = true;
+    return std::nullopt;
+  }
   std::string line = acc_.substr(0, nl);
   acc_.erase(0, nl + 1);
   if (!line.empty() && line.back() == '\r') line.pop_back();
@@ -154,16 +201,28 @@ std::optional<std::string> LineReader::pop_line() {
 std::optional<std::string> LineReader::read_line(Clock::time_point deadline) {
   for (;;) {
     if (auto line = pop_line()) return line;
+    if (overflowed_) return std::nullopt;
     if (fd_ < 0) return std::nullopt;
     if (!wait_readable(fd_, deadline)) return std::nullopt;
     char buf[4096];
-    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    const ssize_t n = faulted_recv(fd_, buf, sizeof(buf), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
       return std::nullopt;
     }
     if (n == 0) return std::nullopt;  // peer closed
-    acc_.append(buf, static_cast<std::size_t>(n));
+    append({buf, static_cast<std::size_t>(n)});
+  }
+}
+
+void shutdown_drain(int fd, std::chrono::milliseconds budget) {
+  ::shutdown(fd, SHUT_WR);
+  const auto deadline = Clock::now() + budget;
+  char sink[4096];
+  while (wait_readable(fd, deadline)) {
+    const ssize_t n = ::recv(fd, sink, sizeof(sink), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // peer closed (or errored) — drained
   }
 }
 
@@ -177,11 +236,37 @@ WriteQueue::FlushResult WriteQueue::flush(int fd) {
   while (!chunks_.empty()) {
     iovec iov[kMaxIov];
     std::size_t n = 0;
+    std::size_t total = 0;
     for (auto it = chunks_.begin(); it != chunks_.end() && n < kMaxIov;
          ++it, ++n) {
       const std::size_t skip = n == 0 ? front_offset_ : 0;
       iov[n].iov_base = const_cast<char*>(it->data()) + skip;
       iov[n].iov_len = it->size() - skip;
+      total += iov[n].iov_len;
+    }
+    if (FaultInjector* fi = active_fault_injector()) {
+      const FaultDecision d = settle_fault_delay(fi->on_send(fd, total));
+      if (d.kind == FaultDecision::Kind::kFail ||
+          d.kind == FaultDecision::Kind::kEof) {
+        return FlushResult::kError;
+      }
+      if (d.kind == FaultDecision::Kind::kShort && d.cap > 0 &&
+          d.cap < total) {
+        // Trim the gather list so the kernel sees at most `cap` bytes —
+        // exactly the short-write shape a full socket buffer produces.
+        std::size_t budget = d.cap;
+        std::size_t m = 0;
+        while (budget > 0) {
+          if (iov[m].iov_len > budget) {
+            iov[m].iov_len = budget;
+            budget = 0;
+          } else {
+            budget -= iov[m].iov_len;
+          }
+          ++m;
+        }
+        n = m;
+      }
     }
     msghdr msg{};
     msg.msg_iov = iov;
@@ -196,6 +281,9 @@ WriteQueue::FlushResult WriteQueue::flush(int fd) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return FlushResult::kBlocked;
       return FlushResult::kError;
     }
+    // A zero-byte sendmsg on a nonempty gather list should be impossible
+    // for TCP, but looping on it would spin forever; treat it as blocked.
+    if (w == 0) return FlushResult::kBlocked;
     bytes_ -= static_cast<std::size_t>(w);
     std::size_t written = static_cast<std::size_t>(w);
     while (written > 0) {

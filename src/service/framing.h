@@ -22,6 +22,11 @@
 // Every connected socket gets TCP_NODELAY: the protocol is small
 // request/response lines, so Nagle coalescing only adds latency — batching
 // is done explicitly (WriteQueue) where it helps.
+//
+// All of the syscalls here route through the fault-injection hook
+// (service/fault_injection.h): a no-op atomic-load-and-branch unless a
+// chaos test installed an injector, which can then refuse dials, shorten
+// or fail sends, dribble or cut recvs, and add latency deterministically.
 #pragma once
 
 #include <chrono>
@@ -68,8 +73,19 @@ bool send_all(int fd, std::string_view data);
 /// Nonblocking users recv() themselves (until EAGAIN), append() the bytes,
 /// and drain with pop_line(); blocking users call read_line(), which
 /// recv()s internally.
+///
+/// Line length is bounded (kDefaultMaxLineBytes unless overridden): a
+/// peer that streams bytes without ever sending '\n' — or whose one
+/// "line" exceeds the cap — flips the reader into the overflowed() state
+/// instead of growing the buffer without limit. An overflowed reader
+/// stops producing lines (has_line() false, pop_line()/read_line()
+/// nullopt); the caller must treat the connection as protocol-broken and
+/// close or abandon it. The largest legitimate line in this protocol is
+/// a `metrics` dump at a few KiB, so the 1 MiB default is pure headroom.
 class LineReader {
  public:
+  static constexpr std::size_t kDefaultMaxLineBytes = 1 << 20;  // 1 MiB
+
   LineReader() = default;
   explicit LineReader(int fd) : fd_(fd) {}
 
@@ -77,13 +93,29 @@ class LineReader {
   void reset(int fd) {
     fd_ = fd;
     acc_.clear();
+    overflowed_ = false;
   }
+
+  /// Cap on a single line's length (exclusive of the '\n'). Applies to
+  /// bytes appended after the call.
+  void set_max_line_bytes(std::size_t n) { max_line_ = n; }
+  std::size_t max_line_bytes() const { return max_line_; }
+
+  /// True once a line longer than the cap was seen. Latched until
+  /// reset(); the fd is untouched (the caller owns closing it).
+  bool overflowed() const { return overflowed_; }
+
+  /// Bytes currently buffered (bounded by max_line_bytes() + one recv).
+  std::size_t buffered_bytes() const { return acc_.size(); }
 
   /// True when a complete line is already buffered (no syscall needed).
   bool has_line() const;
 
   /// Feed externally-received bytes (nonblocking event-loop style).
-  void append(std::string_view data) { acc_.append(data); }
+  void append(std::string_view data) {
+    acc_.append(data);
+    check_overflow();
+  }
 
   /// Next buffered line, or nullopt when no complete line is buffered.
   /// Never touches the fd.
@@ -91,14 +123,21 @@ class LineReader {
 
   /// Next line, blocking until one arrives, the peer closes (nullopt), or
   /// `deadline` passes (nullopt; the connection should then be abandoned —
-  /// a late reply would desynchronize request/response pairing).
+  /// a late reply would desynchronize request/response pairing). Also
+  /// nullopt on overflow (check overflowed() to distinguish).
   std::optional<std::string> read_line(
       std::chrono::steady_clock::time_point deadline =
           std::chrono::steady_clock::time_point::max());
 
  private:
+  /// Latch overflowed_ when the buffered prefix before the first '\n'
+  /// (or the whole buffer, if none) exceeds the cap.
+  void check_overflow();
+
   int fd_ = -1;
   std::string acc_;
+  std::size_t max_line_ = kDefaultMaxLineBytes;
+  bool overflowed_ = false;
 };
 
 /// Per-socket pending-write queue for nonblocking connections. Small
@@ -136,5 +175,13 @@ class WriteQueue {
 /// (poll()-based; EINTR-retrying.)
 bool wait_readable(int fd,
                    std::chrono::steady_clock::time_point deadline);
+
+/// Half-close the write side, then read-and-discard until the peer closes
+/// or `budget` elapses. Use before close()ing a connection whose receive
+/// buffer may still hold unread bytes (e.g. after booting a client for an
+/// overlong line): closing with unread data raises RST, which can discard
+/// the just-sent final reply before the peer reads it. The caller still
+/// owns the final close().
+void shutdown_drain(int fd, std::chrono::milliseconds budget);
 
 }  // namespace tecfan::service

@@ -346,6 +346,7 @@ Response Server::stats_response() const {
   r.add("cache_evictions", s.cache.evictions);
   r.add("cache_size", static_cast<std::uint64_t>(s.cache.size));
   r.add("cache_hit_rate", s.cache.hit_rate());
+  r.add("pool_submits", s.pool.submits);
   r.add("pool_executed", s.pool.executed);
   r.add("pool_failed", s.pool.failed);
   r.add("pool_expired", s.pool.expired);
@@ -475,30 +476,33 @@ void Server::serve() {
     std::lock_guard<std::mutex> lock(conns_mu_);
     conn_fds_.push_back(fd);
     conn_threads_.emplace_back([this, fd] {
-      std::string acc;
-      char buf[4096];
+      // LineReader bounds the per-session buffer: a peer that streams
+      // bytes with no '\n' is answered with one protocol error and cut
+      // off instead of growing the accumulator without limit.
+      LineReader reader(fd);
       bool quit = false;
       while (!quit && !stopping_.load()) {
-        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-        if (n <= 0) break;
-        acc.append(buf, static_cast<std::size_t>(n));
-        std::size_t start = 0;
-        for (;;) {
-          const std::size_t nl = acc.find('\n', start);
-          if (nl == std::string::npos) break;
-          std::string line = acc.substr(start, nl - start);
-          start = nl + 1;
-          if (!line.empty() && line.back() == '\r') line.pop_back();
-          if (line.empty()) continue;
-          std::string reply = handle_line(line, &quit);
-          reply += '\n';
-          // MSG_NOSIGNAL via send_all: a client that closed mid-response
-          // ends this session with EPIPE instead of killing the daemon
-          // with SIGPIPE.
-          if (!send_all(fd, reply)) quit = true;
-          if (quit) break;
+        auto line = reader.read_line();
+        if (!line) {
+          if (reader.overflowed()) {
+            errors_.fetch_add(1, std::memory_order_relaxed);
+            std::string reply = serialize_response(
+                Response::make_error("request line too long"));
+            reply += '\n';
+            send_all(fd, reply);
+            // Drain before the close: unread flood bytes would raise
+            // RST and discard the error reply client-side.
+            shutdown_drain(fd, std::chrono::milliseconds(250));
+          }
+          break;
         }
-        acc.erase(0, start);
+        if (line->empty()) continue;
+        std::string reply = handle_line(*line, &quit);
+        reply += '\n';
+        // MSG_NOSIGNAL via send_all: a client that closed mid-response
+        // ends this session with EPIPE instead of killing the daemon
+        // with SIGPIPE.
+        if (!send_all(fd, reply)) break;
       }
       // Deregister before closing so stop() never shuts down a recycled
       // descriptor number. (stop() joins outside conns_mu_, so taking the

@@ -21,6 +21,7 @@ WorkerPool::~WorkerPool() { shutdown(true); }
 bool WorkerPool::submit(std::function<void()> run,
                         std::function<void()> on_expired,
                         std::chrono::steady_clock::time_point deadline) {
+  submits_.fetch_add(1, std::memory_order_relaxed);
   Task task;
   task.run = std::move(run);
   task.expire = std::move(on_expired);
@@ -54,6 +55,7 @@ void WorkerPool::shutdown(bool drain) {
 
 WorkerPool::Stats WorkerPool::stats() const {
   Stats s;
+  s.submits = submits_.load(std::memory_order_relaxed);
   s.executed = executed_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
   s.expired = expired_.load(std::memory_order_relaxed);
@@ -75,15 +77,21 @@ void WorkerPool::worker_loop() {
       continue;
     }
     try {
-      task->run();
+      // Count before run(), like the expire path: run() fulfills the
+      // reply the submitter is waiting on, and a stats read issued right
+      // after that reply must already see the task accounted — counters
+      // conserve at every observable point, not just eventually.
       executed_.fetch_add(1, std::memory_order_relaxed);
+      task->run();
     } catch (const std::exception& e) {
       // Tasks are expected to capture their own failures into a response;
       // anything escaping here is a service-layer bug worth logging, but
       // must not take the worker down — and must not count as executed.
+      executed_.fetch_sub(1, std::memory_order_relaxed);
       failed_.fetch_add(1, std::memory_order_relaxed);
       TECFAN_LOG_ERROR << "service task threw: " << e.what();
     } catch (...) {
+      executed_.fetch_sub(1, std::memory_order_relaxed);
       failed_.fetch_add(1, std::memory_order_relaxed);
       TECFAN_LOG_ERROR << "service task threw a non-std exception";
     }

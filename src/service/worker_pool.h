@@ -55,6 +55,7 @@ class WorkerPool {
   void shutdown(bool drain = true);
 
   struct Stats {
+    std::uint64_t submits = 0;   // submit() calls (accepted or rejected)
     std::uint64_t executed = 0;  // tasks whose run() returned normally
     std::uint64_t failed = 0;    // tasks whose run() threw
     std::uint64_t expired = 0;   // tasks expired (deadline or cancelled)
@@ -73,6 +74,7 @@ class WorkerPool {
   LatencyHistogram* queue_wait_;  // may be null
   std::vector<std::thread> threads_;
   std::atomic<bool> shut_down_{false};
+  std::atomic<std::uint64_t> submits_{0};
   std::atomic<std::uint64_t> executed_{0};
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> expired_{0};

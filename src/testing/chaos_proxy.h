@@ -1,0 +1,161 @@
+// Out-of-process fault injection: a chaos TCP proxy between the router
+// and one tecfand backend.
+//
+// The in-process FaultInjector (service/fault_injection.h) perturbs the
+// router's own syscalls; this proxy instead perturbs the *wire* between
+// router and backend, which is the only place some fault classes exist at
+// all: accept-then-close, accept-then-blackhole (the backend that dials
+// fine but never answers), mid-stream disconnects, and reply-side
+// corruption the backend itself would never produce.
+//
+// The proxy is line-aware on the reply leg only. Request bytes are pumped
+// raw (optionally in short writes, with delays, or cut mid-stream) because
+// corrupting a request would make the *backend* answer `error` — a
+// legitimate, protocol-clean outcome that tests nothing. Reply lines are
+// re-framed through a LineReader so corruption can be applied per response
+// line: replace a line with garbage, truncate it and cut the connection,
+// dribble it byte-at-a-time (slow-loris), or inject an unsolicited garbage
+// line. Injected garbage deliberately never parses as a protocol status
+// (`ok`/`error`/`busy`): an unsolicited line that *did* look like a valid
+// reply would silently shift the router's in-order request/reply pairing —
+// the line protocol carries no request ids, so that fault class is
+// undetectable by design and is excluded from the fault model (see
+// DESIGN.md, "Fault model").
+//
+// Determinism: every decision is drawn from a splitmix64 stream seeded by
+// (options.seed, connection index, leg), so a failing run is replayed by
+// re-running with the same seed — thread scheduling changes byte
+// interleavings but never which faults a given connection suffers.
+//
+// One proxy fronts one backend; a fleet wants one proxy per backend (see
+// chaos_fleet.h). `tools/chaosproxy` wraps this class in a CLI for manual
+// poking at a live router.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tecfan::testing {
+
+struct ChaosProxyOptions {
+  /// Backend to front (127.0.0.1). Required.
+  std::uint16_t target_port = 0;
+  /// Proxy listen port; 0 picks an ephemeral port (see ChaosProxy::port()).
+  std::uint16_t listen_port = 0;
+  std::uint64_t seed = 1;
+
+  // --- Connection-level faults, decided once per accepted connection. ---
+  /// Accept, then close immediately (the dial "succeeded" but the first
+  /// use finds the peer gone). True ECONNREFUSED needs a dead port or the
+  /// in-process injector; a proxy must accept to exist.
+  double refuse_p = 0.0;
+  /// Accept, read and discard forever, never dial the backend: the
+  /// blackholed backend that takes forwards and never answers.
+  double blackhole_p = 0.0;
+
+  // --- Request leg (client -> backend), per pump iteration. ---
+  /// 0 = off; otherwise forward in chunks of at most this many bytes per
+  /// send() (exercises the backend-side partial-read paths).
+  std::size_t short_write_cap = 0;
+  double request_delay_p = 0.0;
+  std::uint32_t request_delay_us = 200;
+  /// Cut both legs mid-stream (the router loses the connection with its
+  /// FIFO in flight).
+  double request_disconnect_p = 0.0;
+
+  // --- Reply leg (backend -> client), per reply line. ---
+  /// Replace the reply line with garbage that is not a protocol status.
+  double corrupt_p = 0.0;
+  /// Forward a prefix of the line with no '\n', then cut both legs.
+  double truncate_p = 0.0;
+  /// Inject a garbage line before the real reply line.
+  double unsolicited_p = 0.0;
+  /// Dribble the line one byte per send(), sleeping between bytes.
+  double slowloris_p = 0.0;
+  std::uint32_t slowloris_delay_us = 100;
+  double reply_delay_p = 0.0;
+  std::uint32_t reply_delay_us = 200;
+  /// Cut both legs instead of forwarding the line.
+  double reply_disconnect_p = 0.0;
+};
+
+class ChaosProxy {
+ public:
+  struct Stats {
+    std::uint64_t connections = 0;
+    std::uint64_t refused = 0;
+    std::uint64_t blackholed = 0;
+    std::uint64_t request_disconnects = 0;
+    std::uint64_t reply_disconnects = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t truncated = 0;
+    std::uint64_t unsolicited = 0;
+    std::uint64_t slowloris_lines = 0;
+    std::uint64_t delays = 0;
+    std::uint64_t lines_forwarded = 0;
+    std::uint64_t total_injected() const {
+      return refused + blackholed + request_disconnects + reply_disconnects +
+             corrupted + truncated + unsolicited + slowloris_lines + delays;
+    }
+  };
+
+  /// Binds and starts the accept loop; throws via TECFAN_REQUIRE on bind
+  /// failure or a zero target_port.
+  explicit ChaosProxy(ChaosProxyOptions options);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// The bound listen port (the router's backend_ports entry).
+  std::uint16_t port() const { return port_; }
+
+  Stats stats() const;
+
+  /// Stop accepting, cut every live connection, join all pump threads.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+ private:
+  /// Per-connection/per-leg deterministic RNG (splitmix64 stream).
+  struct Rng {
+    std::uint64_t state = 0;
+    double next_unit();
+  };
+
+  void accept_loop();
+  void serve_connection(int client_fd, std::uint64_t conn_index);
+  void reply_pump(int backend_fd, int client_fd, std::uint64_t conn_index);
+  /// Track a live fd so stop() can shut it down; returns false when the
+  /// proxy is already stopping (caller must close the fd itself).
+  bool track_fd(int fd);
+  void shutdown_fd_pair(int a, int b);
+
+  ChaosProxyOptions options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex mu_;
+  std::vector<int> live_fds_;          // under mu_
+  std::vector<std::thread> threads_;   // under mu_ (accept thread excluded)
+  std::thread accept_thread_;
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> refused_{0};
+  std::atomic<std::uint64_t> blackholed_{0};
+  std::atomic<std::uint64_t> request_disconnects_{0};
+  std::atomic<std::uint64_t> reply_disconnects_{0};
+  std::atomic<std::uint64_t> corrupted_{0};
+  std::atomic<std::uint64_t> truncated_{0};
+  std::atomic<std::uint64_t> unsolicited_{0};
+  std::atomic<std::uint64_t> slowloris_lines_{0};
+  std::atomic<std::uint64_t> delays_{0};
+  std::atomic<std::uint64_t> lines_forwarded_{0};
+};
+
+}  // namespace tecfan::testing

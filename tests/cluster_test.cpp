@@ -969,4 +969,141 @@ TEST(HealthMonitor, ProbeOfABlackholedBackendIsBoundedByTheDialTimeout) {
   ::close(listen_fd);
 }
 
+// ------------------------------------------- health: probe/traffic races
+
+// Regression: a probe that started before a markdown could come back `ok`
+// after traffic discovered the backend dead, and resurrected it with
+// stale evidence. finish_probe must discard any result whose epoch token
+// predates the markdown.
+TEST(HealthMonitor, StaleProbeResultCannotResurrectAMarkedDownBackend) {
+  cluster::BackendClient client(dead_port());
+  cluster::HealthMonitor::Options opts;
+  opts.down_after = 2;
+  cluster::HealthMonitor monitor({&client}, opts);
+
+  // A probe is in flight...
+  const auto token = monitor.begin_probe(0);
+  // ...when traffic discovers the backend is dead.
+  monitor.report_failure(0);
+  monitor.report_failure(0);
+  ASSERT_FALSE(monitor.up(0));
+
+  // The probe's `ok` lands late: its evidence predates the markdown.
+  monitor.finish_probe(0, /*ok=*/true, token);
+  EXPECT_FALSE(monitor.up(0));
+  EXPECT_EQ(monitor.health(0).stale_probes, 1u);
+
+  // A probe begun under the current epoch may resurrect it.
+  const auto fresh = monitor.begin_probe(0);
+  monitor.finish_probe(0, /*ok=*/true, fresh);
+  EXPECT_TRUE(monitor.up(0));
+}
+
+TEST(HealthMonitor, ConcurrentTrafficReportsAndProbesConverge) {
+  // TSan coverage for the epoch handshake: traffic reports hammer a
+  // backend from several threads while the probe loop runs full-tilt.
+  // No assertion beyond convergence — the value is the race detector.
+  LiveServer live;
+  cluster::BackendClient client(live.port);
+  cluster::HealthMonitor::Options opts;
+  opts.interval_s = 0.005;
+  opts.down_after = 2;
+  opts.ping_timeout_ms = 500.0;
+  cluster::HealthMonitor monitor({&client}, opts);
+  monitor.start();
+
+  std::vector<std::thread> reporters;
+  for (int t = 0; t < 4; ++t)
+    reporters.emplace_back([&monitor, t] {
+      for (int i = 0; i < 1000; ++i) {
+        if ((i + t) % 3 == 0)
+          monitor.report_failure(0);
+        else
+          monitor.report_success(0);
+      }
+    });
+  for (int i = 0; i < 10; ++i) monitor.probe_now();
+  for (auto& t : reporters) t.join();
+  monitor.stop();
+
+  // The backend is actually alive; once the flapping stops one success
+  // observation settles the state.
+  monitor.report_success(0);
+  EXPECT_TRUE(monitor.up(0));
+}
+
+// ------------------------------------- pipeline: FIFO reclamation paths
+
+// Regression: a pipe whose backend accepted the forwards and then never
+// answered (and no per-request deadline to bail us out) kept its FIFO
+// entries forever — clients hung and the pipe never failed over. The
+// stall watchdog now tears the pipe down and fails the whole FIFO over.
+TEST(RouterPipeline, StallWatchdogReclaimsABlackholedPipe) {
+  SilentBackend blackhole;
+  LiveServer live;
+  auto opts = router_options({blackhole.port, live.port});
+  opts.backend_deadline_ms = 0.0;  // no deadline: the watchdog is the
+  opts.pipe_stall_ms = 300.0;      // only way out
+  opts.stall_grace_ms = 100.0;
+  LiveRouter router(opts);
+
+  const auto mine = lines_owned_by(router.router, 0, 6);
+  ASSERT_GE(mine.size(), 2u);
+  RawClient conn(router.port);
+  ASSERT_TRUE(conn.send_lines(mine));
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    const auto reply = conn.read_line(10s);
+    ASSERT_TRUE(reply) << "reply " << i << " never arrived";
+    EXPECT_EQ(service::parse_response(*reply).status,
+              service::Response::Status::kOk)
+        << *reply;
+  }
+  const auto rs = router.router.stats();
+  EXPECT_GE(rs.pipe_stalls, 1u);
+  EXPECT_GE(rs.failovers, 1u);
+  // Leak gauges: everything the watchdog reclaimed must be accounted.
+  for (int i = 0; i < 500 && (router.router.stats().pending != 0 ||
+                              router.router.stats().backend_inflight != 0);
+       ++i)
+    std::this_thread::sleep_for(10ms);
+  EXPECT_EQ(router.router.stats().pending, 0u);
+  EXPECT_EQ(router.router.stats().backend_inflight, 0u);
+}
+
+// Regression: when a hedge won, the loser's FIFO entry on the slow pipe
+// stayed in flight forever (the pipe was healthy enough to dial, just
+// never answered). The entry must be reclaimed — here by the watchdog
+// tearing down the silent pipe — and the gauges must drain to zero.
+TEST(RouterPipeline, HedgeWinLeavesNoLeakedFifoEntries) {
+  SilentBackend blackhole;
+  LiveServer live;
+  auto opts = router_options({blackhole.port, live.port});
+  opts.hedge_ms = 50.0;        // hedge answers the client fast...
+  opts.pipe_stall_ms = 1000.0; // ...the watchdog reclaims the loser
+  opts.stall_grace_ms = 100.0;
+  LiveRouter router(opts);
+
+  const auto mine = lines_owned_by(router.router, 0, 4);
+  ASSERT_GE(mine.size(), 2u);
+  RawClient conn(router.port);
+  ASSERT_TRUE(conn.send_lines(mine));
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    const auto reply = conn.read_line(10s);
+    ASSERT_TRUE(reply) << "reply " << i << " never arrived";
+    EXPECT_EQ(service::parse_response(*reply).status,
+              service::Response::Status::kOk)
+        << *reply;
+  }
+  const auto rs = router.router.stats();
+  EXPECT_GE(rs.hedges, 1u);
+  EXPECT_GE(rs.hedge_wins, 1u);
+  for (int i = 0; i < 500 && (router.router.stats().pending != 0 ||
+                              router.router.stats().backend_inflight != 0);
+       ++i)
+    std::this_thread::sleep_for(10ms);
+  EXPECT_EQ(router.router.stats().pending, 0u);
+  EXPECT_EQ(router.router.stats().backend_inflight, 0u);
+  EXPECT_GE(router.router.stats().pipe_stalls, 1u);
+}
+
 }  // namespace

@@ -25,6 +25,8 @@
 #include "util/metrics.h"
 #include "util/rng.h"
 
+#include "service/fault_injection.h"
+#include "service/framing.h"
 #include "service/request.h"
 #include "service/result_cache.h"
 #include "service/server.h"
@@ -968,6 +970,269 @@ TEST(ServerLifecycle, StopDrainsInFlightConnections) {
   EXPECT_LE(::recv(partial_fd, buf, sizeof(buf), 0), 0);
   ::close(idle_fd);
   ::close(partial_fd);
+}
+
+// -------------------------------------------------- framing: line bounds
+
+// Regression: LineReader buffered bytes without limit when a peer
+// streamed data with no '\n' (or one absurdly long line). The reader now
+// latches overflowed() at the cap and stops producing lines.
+TEST(LineReader, NewlineFreeStreamLatchesOverflowInsteadOfGrowing) {
+  LineReader reader;
+  reader.set_max_line_bytes(64);
+  for (int i = 0; i < 8 && !reader.overflowed(); ++i)
+    reader.append(std::string(32, 'x'));  // never a newline
+  EXPECT_TRUE(reader.overflowed());
+  EXPECT_FALSE(reader.has_line());
+  EXPECT_EQ(reader.pop_line(), std::nullopt);
+  // The buffer stopped growing near the cap instead of holding all 256.
+  EXPECT_LE(reader.buffered_bytes(), reader.max_line_bytes() + 32);
+}
+
+TEST(LineReader, OverlongLineWithNewlineAlsoOverflows) {
+  LineReader reader;
+  reader.set_max_line_bytes(16);
+  reader.append(std::string(40, 'y') + "\nok\n");
+  EXPECT_TRUE(reader.overflowed());
+  // Even the complete short line behind it is withheld: the session is
+  // protocol-broken and must be abandoned, not resynchronized.
+  EXPECT_EQ(reader.pop_line(), std::nullopt);
+}
+
+TEST(LineReader, LinesUnderTheCapAreUnaffected) {
+  LineReader reader;
+  reader.set_max_line_bytes(16);
+  reader.append("alpha\nbeta\n");
+  EXPECT_FALSE(reader.overflowed());
+  EXPECT_EQ(reader.pop_line(), std::optional<std::string>("alpha"));
+  EXPECT_EQ(reader.pop_line(), std::optional<std::string>("beta"));
+  reader.reset(-1);
+  EXPECT_FALSE(reader.overflowed());
+}
+
+TEST(LineReader, BlockingReadPathLatchesOverflowToo) {
+  int sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+  LineReader reader(sp[0]);
+  reader.set_max_line_bytes(64);
+  const std::string flood(256, 'z');  // no newline, over the cap
+  ASSERT_EQ(::send(sp[1], flood.data(), flood.size(), 0),
+            static_cast<ssize_t>(flood.size()));
+  EXPECT_EQ(reader.read_line(std::chrono::steady_clock::now() + 2s),
+            std::nullopt);
+  EXPECT_TRUE(reader.overflowed());
+  ::close(sp[0]);
+  ::close(sp[1]);
+}
+
+// The server answers one protocol error and hangs up on an over-long
+// request line instead of buffering it without bound.
+TEST(ServerTcp, OverlongRequestLineGetsAnErrorAndTheBoot) {
+  Server server(small_server_options());
+  const std::uint16_t port = server.bind_listen(0);
+  std::thread serving([&server] { server.serve(); });
+
+  const int fd = connect_to(port);
+  // > kDefaultMaxLineBytes of newline-free garbage.
+  const std::string chunk(64 * 1024, 'q');
+  bool peer_gone = false;
+  for (int i = 0; i < 20 && !peer_gone; ++i)
+    peer_gone = ::send(fd, chunk.data(), chunk.size(), MSG_NOSIGNAL) < 0;
+  ::shutdown(fd, SHUT_WR);
+  LineReader reader(fd);
+  const auto reply = reader.read_line(std::chrono::steady_clock::now() + 5s);
+  ASSERT_TRUE(reply.has_value());
+  const Response r = parse_response(*reply);
+  EXPECT_EQ(r.status, Response::Status::kError);
+  EXPECT_NE(r.error.find("too long"), std::string::npos) << *reply;
+  // And then EOF: the session is gone, not draining the flood.
+  EXPECT_EQ(reader.read_line(std::chrono::steady_clock::now() + 5s),
+            std::nullopt);
+  ::close(fd);
+
+  server.stop();
+  serving.join();
+  EXPECT_GE(server.stats().errors, 1u);
+}
+
+// ----------------------------------------------- framing: fault injection
+
+TEST(FaultInjector, SameSeedSameDecisionStream) {
+  ScheduledFaultInjector::Options o;
+  o.seed = 42;
+  o.send_short_p = 0.5;
+  o.send_short_cap = 3;
+  o.recv_eof_p = 0.25;
+  ScheduledFaultInjector a(o), b(o);
+  for (int i = 0; i < 64; ++i) {
+    const FaultDecision da = a.on_send(3, 100);
+    const FaultDecision db = b.on_send(3, 100);
+    EXPECT_EQ(static_cast<int>(da.kind), static_cast<int>(db.kind));
+    const FaultDecision ra = a.on_recv(3);
+    const FaultDecision rb = b.on_recv(3);
+    EXPECT_EQ(static_cast<int>(ra.kind), static_cast<int>(rb.kind));
+  }
+  const auto ca = a.counts(), cb = b.counts();
+  EXPECT_EQ(ca.sends_shortened, cb.sends_shortened);
+  EXPECT_EQ(ca.recvs_eof, cb.recvs_eof);
+  EXPECT_GT(ca.total_injected(), 0u);
+}
+
+TEST(FaultInjector, ConnectFaultsAreScopedToListedPorts) {
+  ScheduledFaultInjector::Options o;
+  o.seed = 7;
+  o.connect_refuse_p = 1.0;
+  o.connect_ports = {7411};
+  ScheduledFaultInjector injector(o);
+  EXPECT_EQ(injector.on_connect(7411).kind, FaultDecision::Kind::kFail);
+  EXPECT_EQ(injector.on_connect(7412).kind, FaultDecision::Kind::kNone);
+}
+
+TEST(FaultInjector, SendAllDeliversEverythingUnderShortWrites) {
+  int sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+  ScheduledFaultInjector::Options o;
+  o.seed = 9;
+  o.send_short_p = 1.0;  // every send capped
+  o.send_short_cap = 3;
+  ScheduledFaultInjector injector(o);
+  std::string payload;
+  for (int i = 0; i < 200; ++i) payload += "line " + std::to_string(i) + "\n";
+  std::string got;
+  std::thread reader_thread([&] {
+    char buf[512];
+    ssize_t n;
+    while ((n = ::recv(sp[1], buf, sizeof(buf), 0)) > 0)
+      got.append(buf, static_cast<std::size_t>(n));
+  });
+  {
+    ScopedFaultInjector armed(&injector);
+    EXPECT_TRUE(send_all(sp[0], payload));
+  }
+  ::shutdown(sp[0], SHUT_WR);
+  reader_thread.join();
+  EXPECT_EQ(got, payload);  // byte-exact despite 3-byte writes
+  EXPECT_GT(injector.counts().sends_shortened, 0u);
+  ::close(sp[0]);
+  ::close(sp[1]);
+}
+
+TEST(FaultInjector, SendAllReportsInjectedFailure) {
+  int sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+  ScheduledFaultInjector::Options o;
+  o.seed = 11;
+  o.send_fail_p = 1.0;
+  ScheduledFaultInjector injector(o);
+  {
+    ScopedFaultInjector armed(&injector);
+    EXPECT_FALSE(send_all(sp[0], "ping\n"));
+  }
+  EXPECT_TRUE(send_all(sp[0], "ping\n"));  // disarmed: works again
+  ::close(sp[0]);
+  ::close(sp[1]);
+}
+
+// Regression for the gathered-sendmsg path: partial writes (including an
+// injected 1-byte cap) must deliver every byte exactly once, and a
+// zero-byte sendmsg return must not spin the flush loop.
+TEST(WriteQueue, FlushDeliversExactlyOnceUnderInjectedShortWrites) {
+  int sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+  ASSERT_TRUE(set_nonblocking(sp[0]));
+  WriteQueue q;
+  std::string expect;
+  for (int i = 0; i < 300; ++i) {
+    std::string chunk = "chunk " + std::to_string(i) + "\n";
+    expect += chunk;
+    q.push(std::move(chunk));
+  }
+  ScheduledFaultInjector::Options o;
+  o.seed = 13;
+  o.send_short_p = 1.0;
+  o.send_short_cap = 1;  // worst case: one byte per gathered flush
+  ScheduledFaultInjector injector(o);
+  std::string got;
+  char buf[4096];
+  {
+    ScopedFaultInjector armed(&injector);
+    int spins = 0;
+    while (!q.empty()) {
+      const auto r = q.flush(sp[0]);
+      ASSERT_NE(r, WriteQueue::FlushResult::kError);
+      // Drain the peer so a kBlocked result can make progress again.
+      ssize_t n;
+      while ((n = ::recv(sp[1], buf, sizeof(buf), MSG_DONTWAIT)) > 0)
+        got.append(buf, static_cast<std::size_t>(n));
+      ASSERT_LT(++spins, 1000000) << "flush loop is not making progress";
+    }
+  }
+  ssize_t n;
+  while ((n = ::recv(sp[1], buf, sizeof(buf), MSG_DONTWAIT)) > 0)
+    got.append(buf, static_cast<std::size_t>(n));
+  EXPECT_EQ(got.size(), expect.size());
+  EXPECT_EQ(got, expect);
+  EXPECT_GT(injector.counts().sends_shortened, 0u);
+  ::close(sp[0]);
+  ::close(sp[1]);
+}
+
+TEST(FaultInjector, FaultedRecvDribblesAndEofs) {
+  int sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+  const std::string line = "ok pong=1\n";
+  ASSERT_EQ(::send(sp[1], line.data(), line.size(), 0),
+            static_cast<ssize_t>(line.size()));
+  ScheduledFaultInjector::Options o;
+  o.seed = 17;
+  o.recv_short_p = 1.0;
+  o.recv_short_cap = 1;  // one byte per recv
+  ScheduledFaultInjector injector(o);
+  {
+    ScopedFaultInjector armed(&injector);
+    LineReader reader(sp[0]);
+    const auto got = reader.read_line(std::chrono::steady_clock::now() + 2s);
+    EXPECT_EQ(got, std::optional<std::string>("ok pong=1"));
+    EXPECT_GT(injector.counts().recvs_shortened, 8u);
+  }
+  ScheduledFaultInjector::Options eof;
+  eof.seed = 19;
+  eof.recv_eof_p = 1.0;
+  ScheduledFaultInjector eof_injector(eof);
+  ASSERT_EQ(::send(sp[1], line.data(), line.size(), 0),
+            static_cast<ssize_t>(line.size()));
+  {
+    ScopedFaultInjector armed(&eof_injector);
+    LineReader reader(sp[0]);
+    // Injected EOF: the reader sees an orderly close despite live data.
+    EXPECT_EQ(reader.read_line(std::chrono::steady_clock::now() + 2s),
+              std::nullopt);
+  }
+  ::close(sp[0]);
+  ::close(sp[1]);
+}
+
+// Counter conservation is checkable over the wire: the stats verb reports
+// pool_submits alongside the terminal counters.
+TEST(Server, StatsVerbReportsConservedPoolCounters) {
+  Server server(small_server_options());
+  bool quit = false;
+  for (int fan = 0; fan < 3; ++fan)
+    server.handle_line("equilibrium workload=water threads=4 fan=" +
+                           std::to_string(fan),
+                       &quit);
+  server.handle_line("equilibrium workload=nosuch", &quit);  // parse error
+  const Response stats = parse_response(server.handle_line("stats", &quit));
+  ASSERT_EQ(stats.status, Response::Status::kOk);
+  const auto field = [&](const char* k) {
+    const auto v = stats.field(k);
+    EXPECT_TRUE(v.has_value()) << k;
+    return v ? std::stoull(*v) : 0ull;
+  };
+  const auto submits = field("pool_submits");
+  EXPECT_GE(submits, 3u);
+  EXPECT_EQ(submits, field("pool_executed") + field("pool_failed") +
+                         field("pool_expired") + field("pool_rejected"));
 }
 
 }  // namespace

@@ -1,0 +1,154 @@
+// chaosproxy — a fault-injecting TCP proxy for one tecfand backend.
+//
+// Sits between a tecrouter and one backend and perturbs the wire per the
+// chaos fault model (see src/testing/chaos_proxy.h and DESIGN.md, "Fault
+// model"): accept-then-close, blackholes, mid-stream disconnects, short
+// writes, reply-line corruption/truncation, slow-loris dribble, latency.
+// All decisions are deterministic per --seed.
+//
+//   tecfand --port 7411 &
+//   chaosproxy --target-port 7411 --listen-port 7511 --seed 42
+//              --corrupt-p 0.05 --reply-delay-p 0.2 --reply-delay-us 2000
+//                                         # (one command line)
+//   tecrouter --port 7400 --backends 7511      # router sees the chaos
+//
+// Runs until SIGINT/SIGTERM; prints the bound port on startup and the
+// injection counters on shutdown.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "service/framing.h"
+#include "testing/chaos_proxy.h"
+
+namespace {
+
+using namespace tecfan;
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: chaosproxy --target-port N [--listen-port N] [--seed N]\n"
+      "                  [--refuse-p X] [--blackhole-p X]\n"
+      "                  [--short-write-cap N] [--request-delay-p X]\n"
+      "                  [--request-delay-us N] [--request-disconnect-p X]\n"
+      "                  [--corrupt-p X] [--truncate-p X]\n"
+      "                  [--unsolicited-p X] [--slowloris-p X]\n"
+      "                  [--slowloris-delay-us N] [--reply-delay-p X]\n"
+      "                  [--reply-delay-us N] [--reply-disconnect-p X]\n"
+      "  --target-port N   backend to front (required)\n"
+      "  --listen-port N   proxy port (0 = ephemeral, printed on stdout)\n"
+      "  --seed N          decision-stream seed (replays are exact)\n"
+      "  connection faults: refuse (accept-then-close), blackhole\n"
+      "  request leg:  short writes, delays, mid-stream disconnects\n"
+      "  reply leg:    per-line corrupt/truncate/unsolicited garbage,\n"
+      "                slow-loris dribble, delays, disconnects\n");
+}
+
+bool parse(int argc, char** argv, testing::ChaosProxyOptions& o, bool& help) {
+  auto flag = [&](int& i) -> const char* {
+    return i + 1 < argc ? argv[++i] : nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const char* v = nullptr;
+    auto need = [&]() -> bool { return (v = flag(i)) != nullptr; };
+    if (a == "--help" || a == "-h") {
+      help = true;
+    } else if (a == "--target-port" && need()) {
+      o.target_port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (a == "--listen-port" && need()) {
+      o.listen_port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (a == "--seed" && need()) {
+      o.seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--refuse-p" && need()) {
+      o.refuse_p = std::atof(v);
+    } else if (a == "--blackhole-p" && need()) {
+      o.blackhole_p = std::atof(v);
+    } else if (a == "--short-write-cap" && need()) {
+      o.short_write_cap = static_cast<std::size_t>(std::atoi(v));
+    } else if (a == "--request-delay-p" && need()) {
+      o.request_delay_p = std::atof(v);
+    } else if (a == "--request-delay-us" && need()) {
+      o.request_delay_us = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (a == "--request-disconnect-p" && need()) {
+      o.request_disconnect_p = std::atof(v);
+    } else if (a == "--corrupt-p" && need()) {
+      o.corrupt_p = std::atof(v);
+    } else if (a == "--truncate-p" && need()) {
+      o.truncate_p = std::atof(v);
+    } else if (a == "--unsolicited-p" && need()) {
+      o.unsolicited_p = std::atof(v);
+    } else if (a == "--slowloris-p" && need()) {
+      o.slowloris_p = std::atof(v);
+    } else if (a == "--slowloris-delay-us" && need()) {
+      o.slowloris_delay_us = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (a == "--reply-delay-p" && need()) {
+      o.reply_delay_p = std::atof(v);
+    } else if (a == "--reply-delay-us" && need()) {
+      o.reply_delay_us = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (a == "--reply-disconnect-p" && need()) {
+      o.reply_disconnect_p = std::atof(v);
+    } else {
+      std::fprintf(stderr, "bad argument: %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  testing::ChaosProxyOptions options;
+  bool help = false;
+  if (!parse(argc, argv, options, help) || help) {
+    usage();
+    return help ? 0 : 2;
+  }
+  if (options.target_port == 0) {
+    std::fprintf(stderr, "error: --target-port is required\n");
+    usage();
+    return 2;
+  }
+  service::ignore_sigpipe();
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  testing::ChaosProxy proxy(options);
+  std::printf("%u\n", proxy.port());
+  std::fflush(stdout);
+  std::fprintf(stderr,
+               "chaosproxy: 127.0.0.1:%u -> 127.0.0.1:%u (seed %llu)\n",
+               proxy.port(), options.target_port,
+               static_cast<unsigned long long>(options.seed));
+
+  while (!g_stop) {
+    struct timespec ts = {0, 100 * 1000 * 1000};
+    ::nanosleep(&ts, nullptr);
+  }
+  proxy.stop();
+  const auto s = proxy.stats();
+  std::fprintf(stderr,
+               "chaosproxy: %llu conns — refused %llu, blackholed %llu, "
+               "req-disc %llu, reply-disc %llu, corrupt %llu, trunc %llu, "
+               "unsolicited %llu, slowloris %llu, delays %llu, "
+               "lines %llu\n",
+               static_cast<unsigned long long>(s.connections),
+               static_cast<unsigned long long>(s.refused),
+               static_cast<unsigned long long>(s.blackholed),
+               static_cast<unsigned long long>(s.request_disconnects),
+               static_cast<unsigned long long>(s.reply_disconnects),
+               static_cast<unsigned long long>(s.corrupted),
+               static_cast<unsigned long long>(s.truncated),
+               static_cast<unsigned long long>(s.unsolicited),
+               static_cast<unsigned long long>(s.slowloris_lines),
+               static_cast<unsigned long long>(s.delays),
+               static_cast<unsigned long long>(s.lines_forwarded));
+  return 0;
+}
