@@ -291,6 +291,44 @@ FailoverNumbers run_failover(int client_threads, double duration_s,
   return out;
 }
 
+struct TraceNumbers {
+  std::uint64_t trace_every = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t router_sampled = 0;  // head decisions at the router
+  std::uint64_t server_adopted = 0;  // contexts the fleet adopted from it
+  std::uint64_t server_sampled = 0;  // fleet head decisions (0 here: the
+                                     // router owns sampling when routing)
+};
+
+/// One short routed pass with sampling on, so the JSON records how many
+/// traces each tier carried. Kept separate from the measured scenarios,
+/// which run tracing compiled-in-but-unsampled — that unsampled overhead
+/// is what scripts/bench.sh gates against the committed numbers.
+TraceNumbers run_traced(std::uint64_t trace_every,
+                        const std::vector<std::string>& lines) {
+  TraceNumbers out;
+  out.trace_every = trace_every;
+  std::vector<std::unique_ptr<Backend>> fleet;
+  fleet.push_back(std::make_unique<Backend>());
+  fleet.push_back(std::make_unique<Backend>());
+  cluster::RouterOptions opts;
+  opts.backend_ports = {fleet[0]->port, fleet[1]->port};
+  opts.trace_every = trace_every;
+  cluster::Router router(opts);
+  const std::uint16_t port = router.bind_listen(0);
+  std::thread serving([&router] { router.serve(); });
+  const PathNumbers path = drive(port, lines, 4, /*duration_s=*/0.0);
+  out.requests = path.requests;
+  out.router_sampled = router.tracer().sampled_traces();
+  for (const auto& b : fleet) {
+    out.server_adopted += b->server->tracer().adopted_traces();
+    out.server_sampled += b->server->tracer().sampled_traces();
+  }
+  router.stop();
+  serving.join();
+  return out;
+}
+
 /// Routed replies must be byte-for-byte what a direct server answers —
 /// checked through real TCP so the epoll plane (pipelined forwards,
 /// batched writes) is what produces them.
@@ -393,6 +431,9 @@ int main(int argc, char** argv) {
   const FailoverNumbers failover =
       run_failover(client_threads, duration_s, corpus.cached);
 
+  std::fprintf(stderr, "bench_cluster: traced pass...\n");
+  const TraceNumbers traced = run_traced(/*trace_every=*/8, corpus.miss);
+
   std::ofstream json(out_path);
   if (!json) {
     std::fprintf(stderr, "bench_cluster: cannot write %s\n",
@@ -431,6 +472,13 @@ int main(int argc, char** argv) {
        << ", \"client_visible_errors\": " << failover.errors
        << ", \"router_failovers\": " << failover.failovers
        << ", \"backends_up_after\": " << failover.backends_up_after
+       << "},\n"
+       << "  \"tracing\": {\"trace_every\": " << traced.trace_every
+       << ", \"requests\": " << traced.requests
+       << ", \"traces_sampled_router\": " << traced.router_sampled
+       << ", \"traces_sampled_server\": "
+       << traced.server_sampled + traced.server_adopted
+       << ", \"server_adopted\": " << traced.server_adopted
        << "}\n"
        << "}\n";
   json.close();

@@ -41,15 +41,24 @@
 # It then runs a chaos storm (tools/chaos): seeded fault-injection phases
 # — refusals, blackholes, mid-line disconnects, short writes, slow-loris,
 # corrupted/truncated/unsolicited replies, latency spikes with hedging,
-# and a mixed storm — against a proxied router+fleet, asserting the five
+# and a mixed storm — against a proxied router+fleet, asserting the six
 # storm invariants after every storm (src/testing/chaos_fleet.h). Any
 # violation fails the bench run and prints the storm seed to replay.
+#
+# The serving run doubles as the tracing-overhead A/B: tracing is compiled
+# in but unsampled, so its throughput against the committed
+# BENCH_serving.json is the cost of the always-on trace branches. The
+# delta is recorded as trace_overhead_pct and gated at
+# TRACE_OVERHEAD_PCT_MAX (default 2%). BENCH_cluster.json additionally
+# records sampled-trace counts per tier from a short fully-sampled routed
+# pass ("tracing" section).
 #
 #   scripts/bench.sh                 # all benchmarks, 3 s loadgen run
 #   DURATION_S=10 scripts/bench.sh   # longer serving interval
 #   ROUTED_RATIO_FLOOR=0.7 scripts/bench.sh   # stricter router floor
 #   CHAOS_SECONDS=60 scripts/bench.sh         # longer chaos storm budget
 #   CHAOS_SECONDS=0.1 CHAOS_SEED=7 scripts/bench.sh  # quick seeded storm
+#   TRACE_OVERHEAD_PCT_MAX=5 scripts/bench.sh  # looser tracing-overhead gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -69,6 +78,43 @@ cmake --build build-release -j"$JOBS" \
   --duration-s "${DURATION_S:-3}" \
   --check-p99 \
   --out BENCH_serving.json
+
+# Tracing overhead gate: the run above has tracing compiled in but
+# unsampled (--trace-every defaults to 0), so its throughput against the
+# committed BENCH_serving.json measures exactly what the unsampled path
+# costs — one branch per stage. The regression is recorded in the JSON as
+# trace_overhead_pct and must stay within TRACE_OVERHEAD_PCT_MAX (negative
+# values mean this run was faster than the committed one). Skipped when no
+# committed baseline exists (first run in a fresh clone).
+python3 - "${TRACE_OVERHEAD_PCT_MAX:-2}" <<'EOF'
+import json, subprocess, sys
+
+limit = float(sys.argv[1])
+with open("BENCH_serving.json") as f:
+    bench = json.load(f)
+try:
+    prior = json.loads(subprocess.check_output(
+        ["git", "show", "HEAD:BENCH_serving.json"],
+        stderr=subprocess.DEVNULL, text=True))
+    baseline = float(prior["throughput_rps"])
+except Exception:
+    baseline = 0.0
+if baseline > 0:
+    overhead = (baseline - bench["throughput_rps"]) / baseline * 100.0
+    bench["trace_overhead_pct"] = round(overhead, 3)
+    with open("BENCH_serving.json", "w") as f:
+        json.dump(bench, f, indent=2)
+        f.write("\n")
+    print(f"bench.sh: unsampled-tracing throughput {bench['throughput_rps']:.0f} rps "
+          f"vs committed {baseline:.0f} rps: overhead {overhead:+.2f}%"
+          f" (limit {limit}%)")
+    if overhead > limit:
+        sys.exit(f"bench.sh: FAIL — unsampled tracing costs {overhead:.2f}% "
+                 f"throughput, over the TRACE_OVERHEAD_PCT_MAX of {limit}%")
+else:
+    print("bench.sh: no committed BENCH_serving.json baseline; "
+          "skipping the trace-overhead gate")
+EOF
 
 ./build-release/bench/bench_cluster \
   --duration-s "${CLUSTER_DURATION_S:-1.5}" \

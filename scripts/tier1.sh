@@ -10,9 +10,9 @@
 # from concurrent pipelined clients, backend death mid-pipeline included).
 # The Chaos suite also runs under TSan: seeded fault-injection storms
 # (refusals, blackholes, mid-line disconnects, short writes, corrupted and
-# truncated replies, latency spikes with hedging) through a proxied
-# router+fleet, asserting the five storm invariants from
-# src/testing/chaos_fleet.h under the race detector.
+# truncated replies, latency spikes with hedging, fully sampled traced
+# storms) through a proxied router+fleet, asserting the six storm
+# invariants from src/testing/chaos_fleet.h under the race detector.
 #
 # The ASan+UBSan leg re-runs the control/planning/serving suites (the
 # batch-evaluation path moves candidate scratch across worker threads, the
@@ -40,15 +40,16 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
     chaos_test
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure \
-    -R 'SharedOperator|SharedEngine|SharedControlEngine|Protocol|ResultCache|TaskQueue|WorkerPool|Server|BackendEquivalence|Metrics|ShardMap|BackendClient|HealthMonitor|ClusterSmoke|EventLoop|RouterPipeline|DataPlaneEquivalence|LineReader|WriteQueue|FaultInjector|Chaos'
+    -R 'SharedOperator|SharedEngine|SharedControlEngine|Protocol|ResultCache|TaskQueue|WorkerPool|Server|BackendEquivalence|Metrics|ShardMap|BackendClient|HealthMonitor|ClusterSmoke|EventLoop|RouterPipeline|DataPlaneEquivalence|LineReader|WriteQueue|FaultInjector|Chaos|Trace'
 fi
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   cmake -B build-asan -S . -DTECFAN_SANITIZE=address,undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-asan -j"$JOBS" \
-    --target core_test sim_test service_test policy_equivalence_test
+    --target core_test sim_test service_test policy_equivalence_test \
+    util_test
   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-asan --output-on-failure -j"$JOBS" \
-    -R 'ControlEngine|ChipPlanningModel|PolicyEquivalence|TecFan|Oracle|Oftec|Reactive|DynamicFan|Protocol|Server|Sweep|LineReader|WriteQueue|FaultInjector'
+    -R 'ControlEngine|ChipPlanningModel|PolicyEquivalence|TecFan|Oracle|Oftec|Reactive|DynamicFan|Protocol|Server|Sweep|LineReader|WriteQueue|FaultInjector|Trace|Metrics'
 fi

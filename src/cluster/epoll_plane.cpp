@@ -59,6 +59,8 @@ void EpollPlane::run() {
   loop_.add_fd(listen_fd_, EPOLLIN,
                [this](std::uint32_t events) { on_accept(events); });
   loop_.set_post_hook([this] { post_iteration_flush(); });
+  loop_.set_stats(router_.hist_loop_iteration_,
+                  router_.hist_loop_dispatch_batch_);
   loop_.run();
 
   // Teardown: the plane owns every session and pipe fd (the listen fd
@@ -83,6 +85,7 @@ void EpollPlane::run() {
   pending_.clear();
   router_.pending_gauge_.store(0, std::memory_order_relaxed);
   router_.inflight_gauge_.store(0, std::memory_order_relaxed);
+  for (Gauge* gauge : router_.gauge_backend_inflight_) gauge->set(0.0);
 }
 
 void EpollPlane::request_stop() { loop_.stop(); }
@@ -155,7 +158,7 @@ void EpollPlane::on_session_event(std::uint64_t id, std::uint32_t events) {
     // Protocol error: one clean error reply in order behind anything
     // already pipelined, then the session stops reading (quit path) and
     // closes once its backlog drains.
-    router_.errors_.fetch_add(1, std::memory_order_relaxed);
+    router_.counter_errors_->inc();
     const std::uint64_t seq = session.next_seq++;
     session.slots.emplace_back();
     session.quit = true;
@@ -218,6 +221,7 @@ void EpollPlane::flush_session(std::uint64_t id) {
   if (it == sessions_.end()) return;
   Session& session = it->second;
 
+  router_.note_writeq_bytes(session.out.bytes());
   if (!session.out.empty()) {
     switch (session.out.flush(session.fd)) {
       case service::WriteQueue::FlushResult::kError:
@@ -391,6 +395,8 @@ void EpollPlane::on_pipe_event(std::size_t b, std::uint32_t events) {
     const InFlight inflight = pipe.inflight.front();
     pipe.inflight.pop_front();
     router_.inflight_gauge_.fetch_sub(1, std::memory_order_relaxed);
+    router_.gauge_backend_inflight_[b]->set(
+        static_cast<double>(pipe.inflight.size()));
     handle_backend_reply(b, inflight, std::move(*line));
     if (pipe.fd < 0) return;  // a completion handler tore the pipe down
   }
@@ -432,12 +438,13 @@ void EpollPlane::on_pipe_error(std::size_t b) {
   failed.swap(pipe.inflight);
   router_.inflight_gauge_.fetch_sub(failed.size(),
                                     std::memory_order_relaxed);
+  router_.gauge_backend_inflight_[b]->set(0.0);
   for (const InFlight& inflight : failed) {
     auto it = pending_.find(inflight.request_id);
     if (it == pending_.end()) continue;  // already answered elsewhere
     PendingRequest& request = it->second;
     router_.health_->report_failure(b);
-    router_.failovers_.fetch_add(1, std::memory_order_relaxed);
+    router_.counter_failovers_->inc();
     --request.live_attempts;
     if (b == request.hedge_backend) request.hedge_backend = kNoBackend;
     if (request.live_attempts > 0) continue;  // hedge twin still racing
@@ -453,15 +460,23 @@ void EpollPlane::handle_backend_reply(std::size_t b, const InFlight& inflight,
   router_.health_->report_success(b);
   auto it = pending_.find(inflight.request_id);
   if (it == pending_.end()) return;  // hedge loser / post-deadline: discard
-  router_.hist_backend_wait_->record(Clock::now() - inflight.sent_at);
-  if (b == it->second.hedge_backend)
-    router_.hedge_wins_.fetch_add(1, std::memory_order_relaxed);
+  const auto now = Clock::now();
+  router_.hist_backend_wait_->record(now - inflight.sent_at);
+  if (b == it->second.hedge_backend) router_.counter_hedge_wins_->inc();
+  if (it->second.trace.sampled) {
+    // Winner's spans only: a loser's reply fails the pending_ lookup
+    // above and never reaches the rings.
+    router_.tracer_.record(it->second.trace, SpanName::kBackendWait,
+                           inflight.sent_at, now);
+    router_.ingest_backend_spans(it->second.trace, line, inflight.sent_at);
+  }
   complete(inflight.request_id, std::move(line));
 }
 
 void EpollPlane::flush_pipe(std::size_t b) {
   BackendPipe& pipe = pipes_[b];
   if (pipe.state != BackendPipe::State::kUp || pipe.fd < 0) return;
+  router_.note_writeq_bytes(pipe.out.bytes());
   bool blocked = false;
   if (!pipe.out.empty()) {
     switch (pipe.out.flush(pipe.fd)) {
@@ -497,12 +512,20 @@ void EpollPlane::mark_pipe_dirty(std::size_t b) {
 void EpollPlane::route(Session& session, std::uint64_t seq,
                        const service::Request& request,
                        Clock::time_point line_start) {
-  router_.routed_.fetch_add(1, std::memory_order_relaxed);
+  router_.counter_routed_->inc();
+
+  // Head-of-trace decision (or adoption of an upstream context); sampled
+  // requests carry the context on the wire to every attempt, unsampled
+  // ones put nothing there — byte-identical to the pre-trace wire.
+  const TraceContext trace = request.trace.sampled
+                                 ? router_.tracer_.adopt(request.trace)
+                                 : router_.tracer_.start_trace();
 
   const std::string key = service::canonical_key(request);
   std::string wire = key;
   if (request.deadline_ms > 0)
     wire += " deadline_ms=" + format_ms(request.deadline_ms);
+  if (trace.sampled) wire += " trace=" + trace.wire();
   wire += '\n';
 
   const auto now = Clock::now();
@@ -520,7 +543,10 @@ void EpollPlane::route(Session& session, std::uint64_t seq,
   for (const std::size_t b : full_chain)
     if (router_.health_->up(b)) chain.push_back(b);
   if (chain.empty()) chain = full_chain;
-  router_.hist_route_->record(Clock::now() - line_start);
+  const auto route_end = Clock::now();
+  router_.hist_route_->record(route_end - line_start);
+  if (trace.sampled)
+    router_.tracer_.record(trace, SpanName::kRoute, line_start, route_end);
 
   const std::uint64_t id = next_request_id_++;
   PendingRequest& pending = pending_[id];
@@ -532,6 +558,7 @@ void EpollPlane::route(Session& session, std::uint64_t seq,
   pending.chain = std::move(chain);
   pending.line_start = line_start;
   pending.deadline = deadline;
+  pending.trace = trace;
 
   if (!send_attempt(pending)) {
     complete_error(id, "no backend available");
@@ -561,7 +588,7 @@ std::optional<std::size_t> EpollPlane::send_attempt(PendingRequest& request) {
     BackendPipe* pipe = ensure_pipe(b);
     if (!pipe) {
       router_.health_->report_failure(b);
-      router_.failovers_.fetch_add(1, std::memory_order_relaxed);
+      router_.counter_failovers_->inc();
       continue;
     }
     const auto now = Clock::now();
@@ -574,6 +601,8 @@ std::optional<std::size_t> EpollPlane::send_attempt(PendingRequest& request) {
     pipe->out.push(request.wire);
     pipe->inflight.push_back(entry);
     router_.inflight_gauge_.fetch_add(1, std::memory_order_relaxed);
+    router_.gauge_backend_inflight_[b]->set(
+        static_cast<double>(pipe->inflight.size()));
     mark_pipe_dirty(b);
     ++request.live_attempts;
     // Arm the watchdog only when this entry became the FIFO front; pops
@@ -633,7 +662,7 @@ void EpollPlane::on_pipe_stall(std::size_t b, std::uint64_t entry_id) {
   // tear the pipe down — on_pipe_error fails the whole FIFO over the
   // ring, which is also what reclaims hedge-loser entries whose requests
   // completed long ago via the winner.
-  router_.pipe_stalls_.fetch_add(1, std::memory_order_relaxed);
+  router_.counter_pipe_stalls_->inc();
   router_.health_->report_failure(b);
   on_pipe_error(b);
 }
@@ -651,7 +680,7 @@ void EpollPlane::on_hedge_fire(std::uint64_t id) {
   // still fills its own cache shard — wasted compute is the price of the
   // tail cut.
   if (auto b = send_attempt(request)) {
-    router_.hedges_.fetch_add(1, std::memory_order_relaxed);
+    router_.counter_hedges_->inc();
     request.hedge_backend = *b;
   }
 }
@@ -671,13 +700,14 @@ void EpollPlane::complete(std::uint64_t id, std::string reply) {
   const std::uint64_t session_id = it->second.session_id;
   const std::uint64_t slot_seq = it->second.slot_seq;
   const Clock::time_point line_start = it->second.line_start;
+  const TraceContext trace = it->second.trace;
   if (it->second.hedge_timer) loop_.cancel_timer(it->second.hedge_timer);
   if (it->second.deadline_timer)
     loop_.cancel_timer(it->second.deadline_timer);
   pending_.erase(it);
   router_.pending_gauge_.fetch_sub(1, std::memory_order_relaxed);
 
-  router_.finish_compute(reply, line_start);
+  router_.finish_compute(reply, trace, line_start);
 
   auto sit = sessions_.find(session_id);
   if (sit == sessions_.end()) return;  // client left; drop the reply
@@ -685,7 +715,7 @@ void EpollPlane::complete(std::uint64_t id, std::string reply) {
 }
 
 void EpollPlane::complete_error(std::uint64_t id, const char* message) {
-  router_.errors_.fetch_add(1, std::memory_order_relaxed);
+  router_.counter_errors_->inc();
   complete(id, service::serialize_response(Response::make_error(message)));
 }
 

@@ -159,6 +159,10 @@ class EpollPlane {
     Clock::time_point deadline = Clock::time_point::max();
     std::uint64_t hedge_timer = 0;
     std::uint64_t deadline_timer = 0;
+    /// Sampled contexts ride the wire to every attempt (the hedged twin
+    /// reuses `wire` verbatim); only the winning reply's spans are folded
+    /// into the router's rings, because completion erases the request.
+    TraceContext trace;
   };
 
   // Client side.

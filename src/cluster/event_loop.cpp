@@ -119,6 +119,10 @@ void EventLoop::run() {
                        static_cast<int>(events.size()), next_timeout_ms());
     } while (n < 0 && errno == EINTR);
     if (n < 0) break;  // unrecoverable epoll error
+    Clock::time_point dispatch_start{};
+    if (stats_iteration_) dispatch_start = Clock::now();
+    if (stats_dispatch_batch_ && n > 0)
+      stats_dispatch_batch_->record_us(static_cast<double>(n));
     // Snapshot each ready fd's registration generation before any handler
     // runs: a handler earlier in the batch may close an fd number and a
     // new connection may re-register it, and the stale kernel event must
@@ -139,6 +143,8 @@ void EventLoop::run() {
     }
     if (n == static_cast<int>(events.size())) events.resize(events.size() * 2);
     if (post_hook_) post_hook_();
+    if (stats_iteration_)
+      stats_iteration_->record(Clock::now() - dispatch_start);
   }
 }
 

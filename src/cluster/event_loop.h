@@ -26,6 +26,8 @@
 #include <map>
 #include <unordered_map>
 
+#include "util/metrics.h"
+
 namespace tecfan::cluster {
 
 class EventLoop {
@@ -55,6 +57,17 @@ class EventLoop {
 
   /// Runs after each iteration's timers + events (write-flush hook).
   void set_post_hook(Hook hook) { post_hook_ = std::move(hook); }
+
+  /// Optional loop-health instrumentation: `iteration` records the active
+  /// portion of each iteration (epoll_wait return through the post hook,
+  /// us) and `dispatch_batch` the number of ready events per nonempty
+  /// epoll_wait batch. Null sinks (the default) cost nothing; the clock is
+  /// only read when a sink is set. Call before run().
+  void set_stats(LatencyHistogram* iteration,
+                 LatencyHistogram* dispatch_batch) {
+    stats_iteration_ = iteration;
+    stats_dispatch_batch_ = dispatch_batch;
+  }
 
   /// Process events until stop(). Must run on one thread.
   void run();
@@ -89,6 +102,8 @@ class EventLoop {
   std::unordered_map<std::uint64_t, TimerEntry> timers_;
 
   Hook post_hook_;
+  LatencyHistogram* stats_iteration_ = nullptr;
+  LatencyHistogram* stats_dispatch_batch_ = nullptr;
 };
 
 }  // namespace tecfan::cluster

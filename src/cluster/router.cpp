@@ -14,6 +14,13 @@
 #include "service/framing.h"
 #include "util/error.h"
 
+// Build identification for the `stats` verb (git describe at configure
+// time; see src/cluster/CMakeLists.txt). Matches the tecfand field so
+// operators can check a whole deployment runs one build.
+#ifndef TECFAN_BUILD_INFO
+#define TECFAN_BUILD_INFO "unknown"
+#endif
+
 namespace tecfan::cluster {
 namespace {
 
@@ -44,15 +51,34 @@ Router::Router(RouterOptions options)
       hist_route_(&metrics_.histogram("route")),
       hist_backend_wait_(&metrics_.histogram("backend_wait")),
       hist_e2e_hit_(&metrics_.histogram("e2e_hit")),
-      hist_e2e_miss_(&metrics_.histogram("e2e_miss")) {
+      hist_e2e_miss_(&metrics_.histogram("e2e_miss")),
+      hist_loop_iteration_(&metrics_.histogram("loop_iteration")),
+      hist_loop_dispatch_batch_(&metrics_.histogram("loop_dispatch_batch")),
+      counter_requests_(&metrics_.counter("requests")),
+      counter_routed_(&metrics_.counter("routed")),
+      counter_local_(&metrics_.counter("local")),
+      counter_failovers_(&metrics_.counter("failovers")),
+      counter_hedges_(&metrics_.counter("hedges")),
+      counter_hedge_wins_(&metrics_.counter("hedge_wins")),
+      counter_errors_(&metrics_.counter("errors")),
+      counter_pipe_stalls_(&metrics_.counter("pipe_stalls")),
+      gauge_pending_(&metrics_.gauge("pending_requests")),
+      gauge_inflight_(&metrics_.gauge("backend_inflight")),
+      gauge_writeq_highwater_(&metrics_.gauge("writeq_highwater_bytes")),
+      gauge_trace_open_spans_(&metrics_.gauge("trace_open_spans")) {
   TECFAN_REQUIRE(!options_.backend_ports.empty(),
                  "Router needs at least one backend port");
+  tracer_.set_sample_every(options_.trace_every);
   clients_.reserve(options_.backend_ports.size());
+  gauge_backend_inflight_.reserve(options_.backend_ports.size());
   std::vector<BackendClient*> raw;
   for (const std::uint16_t port : options_.backend_ports) {
     clients_.push_back(std::make_unique<BackendClient>(
         port, options_.pool_size, options_.dial_timeout_ms));
     raw.push_back(clients_.back().get());
+    gauge_backend_inflight_.push_back(&metrics_.gauge(
+        "backend" + std::to_string(gauge_backend_inflight_.size()) +
+        "_pipe_inflight"));
   }
   health_ = std::make_unique<HealthMonitor>(std::move(raw), options_.health);
   if (options_.hedge_ms > 0)
@@ -84,11 +110,17 @@ void Router::refresh_hedge_delay() {
 
 std::optional<std::string> Router::forward(std::size_t backend,
                                            const std::string& wire,
+                                           const TraceContext& ctx,
                                            Clock::time_point deadline) {
-  ScopedLatencyTimer wait_span(hist_backend_wait_);
+  const auto sent_at = Clock::now();
+  ScopedLatencyTimer wait_span(hist_backend_wait_, sent_at);
   auto reply = clients_[backend]->round_trip(wire, deadline);
   if (reply) {
     health_->report_success(backend);
+    if (ctx.sampled) {
+      tracer_.record(ctx, SpanName::kBackendWait, sent_at, Clock::now());
+      ingest_backend_spans(ctx, *reply, sent_at);
+    }
   } else {
     wait_span.stop();
     health_->report_failure(backend);
@@ -99,14 +131,15 @@ std::optional<std::string> Router::forward(std::size_t backend,
 std::optional<std::string> Router::forward_hedged(std::size_t b1,
                                                   std::size_t b2,
                                                   const std::string& wire,
+                                                  const TraceContext& ctx,
                                                   Clock::time_point deadline,
                                                   bool* hedge_won) {
   const auto start = Clock::now();
   BackendClient::Lease primary = clients_[b1]->lease();
   if (!primary.valid() || !primary.send_line(wire)) {
     health_->report_failure(b1);
-    failovers_.fetch_add(1, std::memory_order_relaxed);
-    return forward(b2, wire, deadline);
+    counter_failovers_->inc();
+    return forward(b2, wire, ctx, deadline);
   }
 
   const double delay_us = current_hedge_delay_us();
@@ -118,22 +151,27 @@ std::optional<std::string> Router::forward_hedged(std::size_t b1,
     // Fast path: the primary answered before the hedge timer (cache hits
     // and healthy misses land here).
     auto reply = primary.read_line(deadline);
-    hist_backend_wait_->record(Clock::now() - start);
+    const auto reply_at = Clock::now();
+    hist_backend_wait_->record(reply_at - start);
     if (reply) {
       primary.release();
       health_->report_success(b1);
+      if (ctx.sampled) {
+        tracer_.record(ctx, SpanName::kBackendWait, start, reply_at);
+        ingest_backend_spans(ctx, *reply, start);
+      }
       return reply;
     }
     health_->report_failure(b1);
-    failovers_.fetch_add(1, std::memory_order_relaxed);
-    return forward(b2, wire, deadline);
+    counter_failovers_->inc();
+    return forward(b2, wire, ctx, deadline);
   }
 
   // Hedge: same canonical line to the ring replica; first answer wins.
   // The loser's connection is abandoned (its late reply would desync the
   // pool), and the loser still fills its own cache shard — wasted compute
   // is the price of the tail cut.
-  hedges_.fetch_add(1, std::memory_order_relaxed);
+  counter_hedges_->inc();
   BackendClient::Lease hedge = clients_[b2]->lease();
   bool hedge_alive = hedge.valid() && hedge.send_line(wire);
   if (!hedge_alive) health_->report_failure(b2);
@@ -151,12 +189,19 @@ std::optional<std::string> Router::forward_hedged(std::size_t b1,
       const std::size_t winner_backend = p_ready ? b1 : b2;
       auto reply = winner.read_line(deadline);
       if (reply) {
-        hist_backend_wait_->record(Clock::now() - start);
+        const auto reply_at = Clock::now();
+        hist_backend_wait_->record(reply_at - start);
         winner.release();
         health_->report_success(winner_backend);
         if (!p_ready) {
-          hedge_wins_.fetch_add(1, std::memory_order_relaxed);
+          counter_hedge_wins_->inc();
           if (hedge_won) *hedge_won = true;
+        }
+        if (ctx.sampled) {
+          // Winner's spans only: the loser's reply is abandoned with its
+          // connection and never reaches the rings.
+          tracer_.record(ctx, SpanName::kBackendWait, start, reply_at);
+          ingest_backend_spans(ctx, *reply, start);
         }
         return reply;
       }
@@ -193,15 +238,23 @@ std::optional<std::string> Router::forward_hedged(std::size_t b1,
   return std::nullopt;
 }
 
-std::string Router::route_compute(const Request& request,
+std::string Router::route_compute(Request& request,
                                   Clock::time_point line_start,
                                   bool* hedge_won) {
-  routed_.fetch_add(1, std::memory_order_relaxed);
+  counter_routed_->inc();
+
+  // Head-of-trace decision (or adoption of an upstream context). Sampled
+  // requests carry the context to the backend on the wire; unsampled ones
+  // pay one branch per stage and put nothing on the wire, so old peers
+  // and byte-equivalence tests never see a difference.
+  request.trace = request.trace.sampled ? tracer_.adopt(request.trace)
+                                        : tracer_.start_trace();
 
   const std::string key = service::canonical_key(request);
   std::string wire = key;
   if (request.deadline_ms > 0)
     wire += " deadline_ms=" + format_ms(request.deadline_ms);
+  if (request.trace.sampled) wire += " trace=" + request.trace.wire();
 
   const auto now = Clock::now();
   const double deadline_ms = request.deadline_ms > 0
@@ -219,7 +272,10 @@ std::string Router::route_compute(const Request& request,
   for (const std::size_t b : chain)
     if (health_->up(b)) candidates.push_back(b);
   if (candidates.empty()) candidates = chain;
-  hist_route_->record(Clock::now() - line_start);
+  const auto route_end = Clock::now();
+  hist_route_->record(route_end - line_start);
+  if (request.trace.sampled)
+    tracer_.record(request.trace, SpanName::kRoute, line_start, route_end);
 
   const bool hedging =
       options_.hedge_ms >= 0 && current_hedge_delay_us() > 0;
@@ -228,16 +284,16 @@ std::string Router::route_compute(const Request& request,
     std::optional<std::string> reply;
     if (hedging && i + 1 < candidates.size()) {
       reply = forward_hedged(candidates[i], candidates[i + 1], wire,
-                             deadline, hedge_won);
+                             request.trace, deadline, hedge_won);
       i += 2;  // a hedged attempt consumes both fleet members
     } else {
-      reply = forward(candidates[i], wire, deadline);
+      reply = forward(candidates[i], wire, request.trace, deadline);
       i += 1;
     }
     if (reply) return *reply;
-    failovers_.fetch_add(1, std::memory_order_relaxed);
+    counter_failovers_->inc();
   }
-  errors_.fetch_add(1, std::memory_order_relaxed);
+  counter_errors_->inc();
   return serialize_response(
       Response::make_error("no backend available"));
 }
@@ -246,6 +302,11 @@ std::string Router::stats_response_line() const {
   Response r;
   r.add("name", std::string("tecrouter"));
   r.add("pid", static_cast<std::uint64_t>(::getpid()));
+  // Same build/uptime fields as tecfand's stats verb, so one fleet-wide
+  // `stats` sweep answers "which build, up how long" for every process.
+  r.add("build", std::string(TECFAN_BUILD_INFO));
+  r.add("uptime_s",
+        std::chrono::duration<double>(Clock::now() - started_at_).count());
   const Stats s = stats();
   r.add("backends", static_cast<std::uint64_t>(s.backends));
   r.add("backends_up", static_cast<std::uint64_t>(s.backends_up));
@@ -261,6 +322,8 @@ std::string Router::stats_response_line() const {
   r.add("pipe_stalls", s.pipe_stalls);
   r.add("pending", s.pending);
   r.add("backend_inflight", s.backend_inflight);
+  r.add("traces_sampled", tracer_.sampled_traces());
+  r.add("traces_adopted", tracer_.adopted_traces());
   r.add("hedge_delay_us", current_hedge_delay_us());
   for (std::size_t b = 0; b < clients_.size(); ++b) {
     const std::string prefix = "backend" + std::to_string(b) + "_";
@@ -281,17 +344,17 @@ std::optional<std::string> Router::handle_local(const std::string& line,
                                                 service::ParsedRequest* parsed,
                                                 bool* quit) {
   if (quit) *quit = false;
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  counter_requests_->inc();
 
   *parsed = service::parse_request(line);
   if (!parsed->ok) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    counter_errors_->inc();
     return serialize_response(Response::make_error(parsed->error));
   }
   const Request& request = parsed->request;
   if (request.is_compute()) return std::nullopt;
 
-  local_.fetch_add(1, std::memory_order_relaxed);
+  counter_local_->inc();
   switch (request.kind) {
     case RequestKind::kPing: {
       Response r;
@@ -306,23 +369,34 @@ std::optional<std::string> Router::handle_local(const std::string& line,
     }
     case RequestKind::kStats:
       return stats_response_line();
+    case RequestKind::kTrace:
+      return trace_response_line(parsed->request.trace_limit);
     case RequestKind::kMetrics:
-      return serialize_response(service::metrics_to_response(metrics_));
+      // `metrics prom` is the protocol's one multi-line response (raw
+      // Prometheus exposition ending in "# EOF"); both it and the plain
+      // verb are answered locally and never cross a backend pipe.
+      if (request.format == "prom") return prom_exposition();
+      return serialize_response(
+          service::metrics_to_response(metrics_snapshot()));
     default:
       break;
   }
-  errors_.fetch_add(1, std::memory_order_relaxed);
+  counter_errors_->inc();
   return serialize_response(Response::make_error("unhandled verb"));
 }
 
-void Router::finish_compute(const std::string& reply,
+void Router::finish_compute(const std::string& reply, const TraceContext& ctx,
                             Clock::time_point line_start) {
+  const auto now = Clock::now();
+  // This tier's root span closes with the reply regardless of outcome —
+  // error traces (failover exhaustion, deadline) complete too.
+  if (ctx.sampled) tracer_.record_root(ctx, line_start, now);
   // Hit/miss-split end-to-end span, mirroring the backend Server: replies
   // are forwarded verbatim, so `ok cached=1` identifies a shard-cache hit.
   if (reply.rfind("ok cached=1", 0) == 0) {
-    hist_e2e_hit_->record(Clock::now() - line_start);
+    hist_e2e_hit_->record(now - line_start);
   } else if (reply.rfind("ok", 0) == 0) {
-    hist_e2e_miss_->record(Clock::now() - line_start);
+    hist_e2e_miss_->record(now - line_start);
     // Periodically re-derive the auto hedge delay from the miss tail.
     if (options_.hedge_ms == 0 &&
         hedge_refresh_countdown_.fetch_add(1, std::memory_order_relaxed) %
@@ -333,6 +407,53 @@ void Router::finish_compute(const std::string& reply,
   }
 }
 
+void Router::ingest_backend_spans(const TraceContext& ctx,
+                                  const std::string& reply,
+                                  Clock::time_point sent_at) {
+  // The encoding has no protocol-special characters, so the serializer
+  // emits it bare; accept the quoted form too in case that ever changes.
+  const std::size_t pos = reply.find(" spans=");
+  if (pos == std::string::npos) return;
+  std::size_t begin = pos + 7;
+  std::size_t end;
+  if (begin < reply.size() && reply[begin] == '"') {
+    ++begin;
+    end = reply.find('"', begin);
+    if (end == std::string::npos) return;
+  } else {
+    end = reply.find(' ', begin);
+    if (end == std::string::npos) end = reply.size();
+  }
+  const std::vector<ReplySpan> spans = decode_reply_spans(
+      std::string_view(reply).substr(begin, end - begin));
+  if (spans.empty()) return;
+
+  // Anchor the backend's relative starts at our send time: the backend's
+  // own clock never crosses the wire, so its line_start maps onto the
+  // attempt's sent_at (off by at most the one-way network delay — within
+  // the slop the duration-consistency checks allow).
+  const std::uint64_t base_us = tracer_.to_us(sent_at);
+  // The backend's e2e root (when present) parents its siblings and hangs
+  // off this router's root span; span ids only need per-trace uniqueness,
+  // so the router's id sequence serves for ingested spans too.
+  std::uint64_t backend_root = 0;
+  for (const ReplySpan& s : spans)
+    if (s.name == SpanName::kE2e) {
+      backend_root = tracer_.next_span_id();
+      break;
+    }
+  for (const ReplySpan& s : spans) {
+    const bool is_root = s.name == SpanName::kE2e;
+    const std::uint64_t span_id =
+        is_root ? backend_root : tracer_.next_span_id();
+    const std::uint64_t parent =
+        is_root || backend_root == 0 ? ctx.span_id : backend_root;
+    tracer_.record_span(ctx.trace_id, span_id, parent, s.name,
+                        TraceTier::kServer, s.thread,
+                        base_us + s.start_rel_us, s.duration_us);
+  }
+}
+
 std::string Router::handle_line(const std::string& line, bool* quit) {
   const auto line_start = Clock::now();
   service::ParsedRequest parsed;
@@ -340,25 +461,56 @@ std::string Router::handle_line(const std::string& line, bool* quit) {
 
   bool hedge_won = false;
   std::string reply = route_compute(parsed.request, line_start, &hedge_won);
-  finish_compute(reply, line_start);
+  finish_compute(reply, parsed.request.trace, line_start);
   return reply;
 }
 
 Router::Stats Router::stats() const {
   Stats s;
-  s.requests = requests_.load(std::memory_order_relaxed);
-  s.routed = routed_.load(std::memory_order_relaxed);
-  s.local = local_.load(std::memory_order_relaxed);
-  s.failovers = failovers_.load(std::memory_order_relaxed);
-  s.hedges = hedges_.load(std::memory_order_relaxed);
-  s.hedge_wins = hedge_wins_.load(std::memory_order_relaxed);
-  s.errors = errors_.load(std::memory_order_relaxed);
-  s.pipe_stalls = pipe_stalls_.load(std::memory_order_relaxed);
+  s.requests = counter_requests_->value();
+  s.routed = counter_routed_->value();
+  s.local = counter_local_->value();
+  s.failovers = counter_failovers_->value();
+  s.hedges = counter_hedges_->value();
+  s.hedge_wins = counter_hedge_wins_->value();
+  s.errors = counter_errors_->value();
+  s.pipe_stalls = counter_pipe_stalls_->value();
   s.pending = pending_gauge_.load(std::memory_order_relaxed);
   s.backend_inflight = inflight_gauge_.load(std::memory_order_relaxed);
   s.backends = clients_.size();
   s.backends_up = health_->up_count();
   return s;
+}
+
+MetricsRegistry::Snapshot Router::metrics_snapshot() const {
+  gauge_pending_->set(
+      static_cast<double>(pending_gauge_.load(std::memory_order_relaxed)));
+  gauge_inflight_->set(
+      static_cast<double>(inflight_gauge_.load(std::memory_order_relaxed)));
+  gauge_writeq_highwater_->set(static_cast<double>(
+      writeq_highwater_.load(std::memory_order_relaxed)));
+  gauge_trace_open_spans_->set(static_cast<double>(tracer_.open_spans()));
+  return metrics_.snapshot();
+}
+
+std::string Router::trace_response_line(int limit) const {
+  const std::vector<CompletedTrace> traces =
+      tracer_.completed_traces(static_cast<std::size_t>(limit));
+  Response r;
+  r.add("traces", static_cast<std::uint64_t>(traces.size()));
+  // One JSON object per trace in numbered fields, same shape as tecfand's
+  // trace verb; for routed sampled requests each object already contains
+  // the ingested backend spans, so this single response carries the whole
+  // cross-tier tree.
+  for (std::size_t i = 0; i < traces.size(); ++i)
+    r.add("t" + std::to_string(i), trace_to_json(traces[i]));
+  return serialize_response(r);
+}
+
+std::string Router::prom_exposition() const {
+  std::string body = render_prometheus(metrics_snapshot());
+  if (!body.empty() && body.back() == '\n') body.pop_back();
+  return body;
 }
 
 std::uint16_t Router::bind_listen(std::uint16_t port) {
@@ -454,7 +606,7 @@ void Router::serve_threads() {
         auto line = reader.read_line();
         if (!line) {
           if (reader.overflowed()) {
-            errors_.fetch_add(1, std::memory_order_relaxed);
+            counter_errors_->inc();
             std::string reply = serialize_response(
                 Response::make_error("request line too long"));
             reply += '\n';

@@ -44,6 +44,7 @@
 #include "cluster/shard_map.h"
 #include "service/request.h"
 #include "util/metrics.h"
+#include "util/trace.h"
 
 namespace tecfan::cluster {
 
@@ -93,6 +94,13 @@ struct RouterOptions {
   /// stalled (the deadline timer answers the client; the watchdog only
   /// reclaims the FIFO and the connection).
   double stall_grace_ms = 250.0;
+  /// Head-of-trace sampling for routed requests: 0 disables tracing,
+  /// N >= 1 samples every Nth compute line. Sampled forwards carry a
+  /// `trace=` field to the backend; the backend's reply spans are folded
+  /// into the router's rings, so the `trace` verb on the router returns
+  /// the full cross-tier tree. Requests that already arrive with a
+  /// `trace=` field are always adopted.
+  std::uint64_t trace_every = 0;
   DataPlane data_plane = DataPlane::kEpoll;
   HealthMonitor::Options health;
 };
@@ -150,7 +158,22 @@ class Router {
   ///   backend_wait — forward send to reply line complete (per attempt)
   ///   e2e_hit      — whole handle_line span, reply was `ok cached=1`
   ///   e2e_miss     — whole handle_line span, reply was computed `ok`
+  /// plus the epoll-plane health instruments:
+  ///   loop_iteration      — active portion of each event-loop iteration
+  ///   loop_dispatch_batch — ready events per nonempty epoll_wait batch
   const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// One coherent dump: refresh the runtime health gauges (pending
+  /// requests, backend-pipe inflight totals, WriteQueue high-water, open
+  /// trace spans) and capture every instrument under a single registry
+  /// lock hold. All dump paths — the `metrics` verb, `metrics prom`, and
+  /// the periodic stderr logger — render from one of these.
+  MetricsRegistry::Snapshot metrics_snapshot() const;
+
+  /// Span recorder for this tier (tecrouter); the `trace` verb dumps its
+  /// completed traces, backend spans included.
+  const Tracer& tracer() const { return tracer_; }
+  Tracer& tracer() { return tracer_; }
 
   /// The hedge delay a compute forward would use right now (us); 0 when
   /// hedging is disabled. Exposed for tests and the stats verb.
@@ -166,29 +189,49 @@ class Router {
   std::optional<std::string> handle_local(const std::string& line,
                                           service::ParsedRequest* parsed,
                                           bool* quit);
-  /// Record the e2e hit/miss span for a routed reply and periodically
-  /// re-derive the auto hedge delay. Shared by both data planes.
-  void finish_compute(const std::string& reply,
+  /// Record the e2e hit/miss span (and, when sampled, the root e2e trace
+  /// span) for a routed reply and periodically re-derive the auto hedge
+  /// delay. Shared by both data planes.
+  void finish_compute(const std::string& reply, const TraceContext& ctx,
                       std::chrono::steady_clock::time_point line_start);
+  /// Fold the `spans="..."` field of a sampled backend reply into this
+  /// router's rings, anchored at the attempt's send time. Winner only —
+  /// both planes call this exactly once per completed sampled request.
+  void ingest_backend_spans(const TraceContext& ctx,
+                            const std::string& reply,
+                            std::chrono::steady_clock::time_point sent_at);
 
   void serve_threads();
   void serve_epoll();
 
-  std::string route_compute(const service::Request& request,
+  std::string route_compute(service::Request& request,
                             std::chrono::steady_clock::time_point line_start,
                             bool* hedge_won);
   /// Forward `wire` to backend b, one attempt. nullopt on failure.
   std::optional<std::string> forward(std::size_t backend,
                                      const std::string& wire,
+                                     const TraceContext& ctx,
                                      std::chrono::steady_clock::time_point
                                          deadline);
   /// Hedged forward: primary attempt on `b1`, hedge on `b2` after the
   /// hedge delay, first reply wins.
   std::optional<std::string> forward_hedged(
       std::size_t b1, std::size_t b2, const std::string& wire,
+      const TraceContext& ctx,
       std::chrono::steady_clock::time_point deadline, bool* hedge_won);
   std::string stats_response_line() const;
+  std::string trace_response_line(int limit) const;
+  std::string prom_exposition() const;
   void refresh_hedge_delay();
+
+  /// High-water tracking for the epoll plane's per-socket WriteQueues
+  /// (bytes). Single writer (the loop thread); readers dump it.
+  void note_writeq_bytes(std::size_t bytes) {
+    std::uint64_t hw = writeq_highwater_.load(std::memory_order_relaxed);
+    while (bytes > hw && !writeq_highwater_.compare_exchange_weak(
+                             hw, bytes, std::memory_order_relaxed)) {
+    }
+  }
 
   RouterOptions options_;
   ShardMap shards_;
@@ -200,19 +243,35 @@ class Router {
   LatencyHistogram* hist_backend_wait_;
   LatencyHistogram* hist_e2e_hit_;
   LatencyHistogram* hist_e2e_miss_;
+  LatencyHistogram* hist_loop_iteration_;
+  LatencyHistogram* hist_loop_dispatch_batch_;
 
-  std::atomic<std::uint64_t> requests_{0};
-  std::atomic<std::uint64_t> routed_{0};
-  std::atomic<std::uint64_t> local_{0};
-  std::atomic<std::uint64_t> failovers_{0};
-  std::atomic<std::uint64_t> hedges_{0};
-  std::atomic<std::uint64_t> hedge_wins_{0};
-  std::atomic<std::uint64_t> errors_{0};
-  std::atomic<std::uint64_t> pipe_stalls_{0};
+  // Request-outcome totals live in the registry so the `metrics` verb and
+  // the Prometheus exposition see them; Counter::inc is the same relaxed
+  // fetch_add the old bare atomics paid.
+  Counter* counter_requests_;
+  Counter* counter_routed_;
+  Counter* counter_local_;
+  Counter* counter_failovers_;
+  Counter* counter_hedges_;
+  Counter* counter_hedge_wins_;
+  Counter* counter_errors_;
+  Counter* counter_pipe_stalls_;
+  // Runtime health gauges, refreshed at dump time (Gauge::set through a
+  // stored pointer is const-safe) except the per-backend pipe inflight
+  // gauges, which the single-threaded epoll plane keeps live.
+  Gauge* gauge_pending_;
+  Gauge* gauge_inflight_;
+  Gauge* gauge_writeq_highwater_;
+  Gauge* gauge_trace_open_spans_;
+  std::vector<Gauge*> gauge_backend_inflight_;
+  Tracer tracer_{TraceTier::kRouter};
+
   // Maintained by the epoll plane (single-threaded writer; atomic so
   // stats() can read from any thread).
   std::atomic<std::uint64_t> pending_gauge_{0};
   std::atomic<std::uint64_t> inflight_gauge_{0};
+  std::atomic<std::uint64_t> writeq_highwater_{0};
 
   /// Cached p99-derived hedge delay (us), refreshed every
   /// kHedgeRefreshPeriod routed requests (a histogram snapshot is too
@@ -220,6 +279,9 @@ class Router {
   static constexpr std::uint64_t kHedgeRefreshPeriod = 256;
   std::atomic<double> hedge_delay_us_{0.0};
   std::atomic<std::uint64_t> hedge_refresh_countdown_{0};
+
+  const std::chrono::steady_clock::time_point started_at_ =
+      std::chrono::steady_clock::now();
 
   // TCP accept state, same shape as service::Server.
   std::atomic<int> listen_fd_{-1};

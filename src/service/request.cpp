@@ -126,6 +126,7 @@ std::optional<RequestKind> kind_from_name(std::string_view name) {
   if (n == "stats") return RequestKind::kStats;
   if (n == "metrics") return RequestKind::kMetrics;
   if (n == "quit") return RequestKind::kQuit;
+  if (n == "trace") return RequestKind::kTrace;
   if (n == "equilibrium") return RequestKind::kEquilibrium;
   if (n == "run") return RequestKind::kRun;
   if (n == "sweep") return RequestKind::kSweep;
@@ -141,16 +142,19 @@ bool key_allowed(RequestKind kind, const std::string& key) {
     case RequestKind::kMetrics:
     case RequestKind::kQuit:
       return false;
+    case RequestKind::kTrace:
+      return key == "limit";
     case RequestKind::kEquilibrium:
       return key == "workload" || key == "threads" || key == "fan" ||
-             key == "dvfs" || key == "tec";
+             key == "dvfs" || key == "tec" || key == "trace";
     case RequestKind::kRun:
       return key == "policy" || key == "workload" || key == "threads" ||
-             key == "fan";
+             key == "fan" || key == "trace";
     case RequestKind::kSweep:
-      return key == "policy" || key == "workload" || key == "threads";
+      return key == "policy" || key == "workload" || key == "threads" ||
+             key == "trace";
     case RequestKind::kTable1:
-      return key == "workload" || key == "threads";
+      return key == "workload" || key == "threads" || key == "trace";
   }
   return false;
 }
@@ -174,6 +178,8 @@ std::string_view kind_name(RequestKind kind) {
       return "metrics";
     case RequestKind::kQuit:
       return "quit";
+    case RequestKind::kTrace:
+      return "trace";
     case RequestKind::kEquilibrium:
       return "equilibrium";
     case RequestKind::kRun:
@@ -204,9 +210,16 @@ ParsedRequest parse_request(std::string_view line) {
   req.kind = *kind;
   for (std::size_t t = 1; t < tokens.size(); ++t) {
     const auto& tok = tokens[t];
-    if (tok.key.empty())
+    if (tok.key.empty()) {
+      // `metrics prom` selects the Prometheus exposition format; it is
+      // the only bare token any kind accepts.
+      if (req.kind == RequestKind::kMetrics && to_lower(tok.value) == "prom") {
+        req.format = "prom";
+        continue;
+      }
       return ParsedRequest::failure("stray token '" + tok.value +
                                     "' (expected key=value)");
+    }
     const std::string key = to_lower(tok.key);
     if (!key_allowed(req.kind, key))
       return ParsedRequest::failure(
@@ -239,6 +252,16 @@ ParsedRequest parse_request(std::string_view line) {
     } else if (key == "deadline_ms") {
       if (!parse_double(tok.value, req.deadline_ms) || req.deadline_ms < 0)
         return ParsedRequest::failure("bad deadline_ms '" + tok.value + "'");
+    } else if (key == "trace") {
+      const auto ctx = TraceContext::from_wire(tok.value);
+      if (!ctx)
+        return ParsedRequest::failure("bad trace context '" + tok.value +
+                                      "' (want <id hex>-<parent hex>)");
+      req.trace = *ctx;
+    } else if (key == "limit") {
+      if (!parse_int(tok.value, req.trace_limit) || req.trace_limit <= 0)
+        return ParsedRequest::failure("bad limit '" + tok.value +
+                                      "' (want a positive integer)");
     }
   }
   return ParsedRequest::success(std::move(req));
@@ -257,6 +280,7 @@ std::string canonical_key(const Request& request) {
     case RequestKind::kStats:
     case RequestKind::kMetrics:
     case RequestKind::kQuit:
+    case RequestKind::kTrace:
       break;
     case RequestKind::kEquilibrium:
       field("dvfs", std::to_string(request.dvfs));
@@ -353,7 +377,7 @@ Response parse_response(std::string_view line) {
   return r;
 }
 
-Response metrics_to_response(const MetricsRegistry& registry) {
+Response metrics_to_response(const MetricsRegistry::Snapshot& snapshot) {
   Response r;
   char buf[32];
   const auto fmt = [&buf](double v) -> std::string {
@@ -361,7 +385,7 @@ Response metrics_to_response(const MetricsRegistry& registry) {
     std::snprintf(buf, sizeof(buf), "%.4g", v);
     return buf;
   };
-  for (const auto& [name, snap] : registry.histograms()) {
+  for (const auto& [name, snap] : snapshot.histograms) {
     r.add(name + "_count", snap.count);
     r.add(name + "_p50_us", snap.percentile(50.0));
     r.add(name + "_p90_us", snap.percentile(90.0));
@@ -381,9 +405,13 @@ Response metrics_to_response(const MetricsRegistry& registry) {
     }
     r.add(name + "_buckets", buckets);
   }
-  for (const auto& [name, value] : registry.counters()) r.add(name, value);
-  for (const auto& [name, value] : registry.gauges()) r.add(name, value);
+  for (const auto& [name, value] : snapshot.counters) r.add(name, value);
+  for (const auto& [name, value] : snapshot.gauges) r.add(name, value);
   return r;
+}
+
+Response metrics_to_response(const MetricsRegistry& registry) {
+  return metrics_to_response(registry.snapshot());
 }
 
 }  // namespace tecfan::service

@@ -27,9 +27,8 @@
 #include <utility>
 #include <vector>
 
-namespace tecfan {
-class MetricsRegistry;
-}
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace tecfan::service {
 
@@ -38,6 +37,7 @@ enum class RequestKind {
   kStats,
   kMetrics,
   kQuit,
+  kTrace,
   kEquilibrium,
   kRun,
   kSweep,
@@ -56,6 +56,12 @@ struct Request {
   int dvfs = 0;                       // equilibrium (uniform level)
   bool tec_on = false;                // equilibrium (all devices)
   double deadline_ms = 0.0;           // any kind; 0 = no deadline
+  int trace_limit = 16;               // trace verb: max traces returned
+  std::string format;                 // metrics verb: "" (line) or "prom"
+  /// Per-call trace context from an optional `trace=<id>-<parent>` field
+  /// on compute kinds. Excluded from the canonical key (like
+  /// deadline_ms): tracing never changes what is computed or cached.
+  TraceContext trace;
 
   bool is_compute() const {
     return kind == RequestKind::kEquilibrium || kind == RequestKind::kRun ||
@@ -126,6 +132,10 @@ Response parse_response(std::string_view line);
 /// count/p50/p90/p99/p999/mean/max plus the non-empty buckets as
 /// `upper_us:count` pairs, then counters and gauges. Shared by the tecfand
 /// Server and the cluster Router so fleet tooling parses one format.
+/// The Snapshot overload renders from one coherent registry walk; every
+/// dump path (verb, periodic stderr log, prom exposition) should take a
+/// single snapshot and render all of its output from it.
+Response metrics_to_response(const MetricsRegistry::Snapshot& snapshot);
 Response metrics_to_response(const MetricsRegistry& registry);
 
 }  // namespace tecfan::service

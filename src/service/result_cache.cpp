@@ -68,6 +68,16 @@ ResultCache::Stats ResultCache::stats() const {
   return s;
 }
 
+std::vector<std::size_t> ResultCache::shard_sizes() const {
+  std::vector<std::size_t> sizes;
+  sizes.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    sizes.push_back(shard->lru.size());
+  }
+  return sizes;
+}
+
 void ResultCache::clear() {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);

@@ -51,6 +51,11 @@ class ResultCache {
   };
   Stats stats() const;
 
+  /// Current entry count per shard (index-aligned with the hash shards).
+  /// Feeds the per-shard occupancy gauges: a hot-key hash imbalance shows
+  /// up here long before the aggregate size does.
+  std::vector<std::size_t> shard_sizes() const;
+
   void clear();
 
   std::size_t shard_count() const { return shards_.size(); }

@@ -63,13 +63,24 @@ Server::Server(ServerOptions options)
       hist_serialize_(&metrics_.histogram("serialize")),
       hist_e2e_hit_(&metrics_.histogram("e2e_hit")),
       hist_e2e_miss_(&metrics_.histogram("e2e_miss")),
+      counter_requests_(&metrics_.counter("requests")),
+      counter_computes_(&metrics_.counter("computes")),
+      counter_errors_(&metrics_.counter("errors")),
+      gauge_pool_queue_depth_(&metrics_.gauge("pool_queue_depth")),
+      gauge_trace_open_spans_(&metrics_.gauge("trace_open_spans")),
       pool_(options.workers, options.queue_capacity, hist_queue_wait_),
-      started_at_(std::chrono::steady_clock::now()) {}
+      started_at_(std::chrono::steady_clock::now()) {
+  tracer_.set_sample_every(options_.trace_every);
+  gauge_cache_shards_.reserve(cache_.shard_count());
+  for (std::size_t i = 0; i < cache_.shard_count(); ++i)
+    gauge_cache_shards_.push_back(
+        &metrics_.gauge("cache_shard" + std::to_string(i) + "_entries"));
+}
 
 Server::~Server() { stop(); }
 
 Response Server::handle(const Request& request) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  counter_requests_->inc();
   switch (request.kind) {
     case RequestKind::kPing: {
       Response r;
@@ -85,24 +96,33 @@ Response Server::handle(const Request& request) {
       return stats_response();
     case RequestKind::kMetrics:
       return metrics_response();
+    case RequestKind::kTrace:
+      return trace_response(request.trace_limit);
     default:
       break;
   }
 
-  ScopedLatencyTimer probe(hist_cache_probe_);
+  const auto probe_start = std::chrono::steady_clock::now();
+  ScopedLatencyTimer probe(hist_cache_probe_, probe_start);
   const std::string key = canonical_key(request);
   if (auto hit = cache_.get(key)) {
     probe.stop();
+    if (request.trace.sampled)
+      tracer_.record(request.trace, SpanName::kCacheProbe, probe_start,
+                     std::chrono::steady_clock::now());
     Response r = parse_response(*hit);
     r.cached = true;
     return r;
   }
   probe.stop();
+  if (request.trace.sampled)
+    tracer_.record(request.trace, SpanName::kCacheProbe, probe_start,
+                   std::chrono::steady_clock::now());
   Response r = execute(request);
   if (r.status == Response::Status::kOk) {
     cache_.put(key, serialize_response(r));
   } else {
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    counter_errors_->inc();
   }
   return r;
 }
@@ -110,16 +130,23 @@ Response Server::handle(const Request& request) {
 Response Server::dispatch(const Request& request) {
   // Serving fast path: answer cache hits on the session thread, without a
   // queue round-trip.
-  requests_.fetch_add(1, std::memory_order_relaxed);
-  ScopedLatencyTimer probe(hist_cache_probe_);
+  counter_requests_->inc();
+  const auto probe_start = std::chrono::steady_clock::now();
+  ScopedLatencyTimer probe(hist_cache_probe_, probe_start);
   const std::string key = canonical_key(request);
   if (auto hit = cache_.get(key)) {
     probe.stop();
+    if (request.trace.sampled)
+      tracer_.record(request.trace, SpanName::kCacheProbe, probe_start,
+                     std::chrono::steady_clock::now());
     Response r = parse_response(*hit);
     r.cached = true;
     return r;
   }
   probe.stop();
+  if (request.trace.sampled)
+    tracer_.record(request.trace, SpanName::kCacheProbe, probe_start,
+                   std::chrono::steady_clock::now());
 
   auto deadline = std::chrono::steady_clock::time_point::max();
   const double deadline_ms = request.deadline_ms > 0
@@ -132,18 +159,25 @@ Response Server::dispatch(const Request& request) {
 
   auto promise = std::make_shared<std::promise<Response>>();
   auto future = promise->get_future();
+  const auto submit_time = std::chrono::steady_clock::now();
   const bool accepted = pool_.submit(
-      [this, request, promise] {
+      [this, request, promise, submit_time] {
+        // Queue residency as a span: the pool records the same interval
+        // into the queue_wait histogram; sampled requests additionally
+        // pin it to their trace.
+        if (request.trace.sampled)
+          tracer_.record(request.trace, SpanName::kQueueWait, submit_time,
+                         std::chrono::steady_clock::now());
         Response r = execute(request);
         if (r.status == Response::Status::kOk) {
           cache_.put(canonical_key(request), serialize_response(r));
         } else {
-          errors_.fetch_add(1, std::memory_order_relaxed);
+          counter_errors_->inc();
         }
         promise->set_value(std::move(r));
       },
       [this, promise] {
-        errors_.fetch_add(1, std::memory_order_relaxed);
+        counter_errors_->inc();
         promise->set_value(Response::make_error("deadline exceeded"));
       },
       deadline);
@@ -152,10 +186,11 @@ Response Server::dispatch(const Request& request) {
 }
 
 Response Server::execute(const Request& request) {
-  computes_.fetch_add(1, std::memory_order_relaxed);
+  counter_computes_->inc();
   // The compute span covers workspace construction, the simulation itself
   // and response assembly — everything between dequeue and serialize.
   ScopedLatencyTimer span(hist_compute_);
+  ScopedSpan trace_span(&tracer_, request.trace, SpanName::kCompute);
   try {
     // Per-compute workspace over the shared engine: microseconds to build,
     // nothing mutable crosses threads.
@@ -341,6 +376,8 @@ Response Server::stats_response() const {
   r.add("requests", s.requests);
   r.add("computes", s.computes);
   r.add("errors", s.errors);
+  r.add("traces_sampled", tracer_.sampled_traces());
+  r.add("traces_adopted", tracer_.adopted_traces());
   r.add("cache_hits", s.cache.hits);
   r.add("cache_misses", s.cache.misses);
   r.add("cache_evictions", s.cache.evictions);
@@ -358,15 +395,44 @@ Response Server::stats_response() const {
   return r;
 }
 
+MetricsRegistry::Snapshot Server::metrics_snapshot() const {
+  gauge_pool_queue_depth_->set(static_cast<double>(pool_.stats().queued));
+  gauge_trace_open_spans_->set(static_cast<double>(tracer_.open_spans()));
+  const std::vector<std::size_t> shard_sizes = cache_.shard_sizes();
+  for (std::size_t i = 0;
+       i < shard_sizes.size() && i < gauge_cache_shards_.size(); ++i)
+    gauge_cache_shards_[i]->set(static_cast<double>(shard_sizes[i]));
+  return metrics_.snapshot();
+}
+
 Response Server::metrics_response() const {
-  return metrics_to_response(metrics_);
+  return metrics_to_response(metrics_snapshot());
+}
+
+Response Server::trace_response(int limit) const {
+  const auto traces =
+      tracer_.completed_traces(static_cast<std::size_t>(limit));
+  Response r;
+  r.add("traces", static_cast<std::uint64_t>(traces.size()));
+  // One JSON object per trace in numbered fields; values are quoted on
+  // the wire, so the response stays a single protocol line and tools
+  // (tracecat) re-emit the objects as JSON lines.
+  for (std::size_t i = 0; i < traces.size(); ++i)
+    r.add("t" + std::to_string(i), trace_to_json(traces[i]));
+  return r;
+}
+
+std::string Server::prom_exposition() const {
+  std::string body = render_prometheus(metrics_snapshot());
+  if (!body.empty() && body.back() == '\n') body.pop_back();
+  return body;
 }
 
 Server::Stats Server::stats() const {
   Stats s;
-  s.requests = requests_.load(std::memory_order_relaxed);
-  s.computes = computes_.load(std::memory_order_relaxed);
-  s.errors = errors_.load(std::memory_order_relaxed);
+  s.requests = counter_requests_->value();
+  s.computes = counter_computes_->value();
+  s.errors = counter_errors_->value();
   s.cache = cache_.stats();
   s.pool = pool_.stats();
   s.engine_bytes = engine_->memory_bytes();
@@ -387,18 +453,49 @@ std::string Server::handle_line(const std::string& line, bool* quit) {
   ParsedRequest parsed = parse_request(line);
   parse_span.stop();
   if (!parsed.ok) {
-    requests_.fetch_add(1, std::memory_order_relaxed);
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    counter_requests_->inc();
+    counter_errors_->inc();
     return serialize_response(Response::make_error(parsed.error));
   }
-  const Request& request = parsed.request;
+  Request& request = parsed.request;
   if (request.kind == RequestKind::kQuit && quit) *quit = true;
-  const Response response =
+  if (request.kind == RequestKind::kMetrics && request.format == "prom") {
+    // The one multi-line response in the protocol: a raw Prometheus
+    // exposition terminated by "# EOF". Answered inline so it never
+    // crosses a backend pipe.
+    counter_requests_->inc();
+    return prom_exposition();
+  }
+  if (request.is_compute()) {
+    // Head-of-trace decision (or adoption of the router's context); the
+    // context rides the request into dispatch/execute so every stage can
+    // pin its span. Unsampled requests carry an all-zero context and each
+    // stage pays one branch.
+    request.trace = request.trace.sampled ? tracer_.adopt(request.trace)
+                                          : tracer_.start_trace();
+  }
+  Response response =
       request.is_compute() ? dispatch(request) : handle(request);
+  if (request.trace.sampled && request.is_compute() &&
+      response.status == Response::Status::kOk) {
+    // Close this tier's root span, then echo the context and the recorded
+    // spans on the reply so the router can fold them into its trace. The
+    // fields are appended after the cache write, so cached payloads stay
+    // trace-free and later hits do not replay stale spans.
+    tracer_.record_root(request.trace, line_start,
+                        std::chrono::steady_clock::now());
+    const auto spans = tracer_.collect_trace(request.trace.trace_id);
+    response.add("trace", request.trace.wire());
+    response.add("spans",
+                 encode_reply_spans(spans, tracer_.to_us(line_start)));
+  }
   const auto serialize_start = std::chrono::steady_clock::now();
   std::string reply = serialize_response(response);
   const auto line_end = std::chrono::steady_clock::now();
   hist_serialize_->record(line_end - serialize_start);
+  if (request.trace.sampled)
+    tracer_.record(request.trace, SpanName::kSerialize, serialize_start,
+                   line_end);
   // Hit/miss-split end-to-end span: only successful compute requests, so
   // busy/error outcomes (tracked by counters) cannot skew the latency
   // story.
@@ -485,7 +582,7 @@ void Server::serve() {
         auto line = reader.read_line();
         if (!line) {
           if (reader.overflowed()) {
-            errors_.fetch_add(1, std::memory_order_relaxed);
+            counter_errors_->inc();
             std::string reply = serialize_response(
                 Response::make_error("request line too long"));
             reply += '\n';

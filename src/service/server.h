@@ -38,6 +38,7 @@
 #include "sim/chip_engine.h"
 #include "sim/chip_simulator.h"
 #include "util/metrics.h"
+#include "util/trace.h"
 
 namespace tecfan::service {
 
@@ -62,6 +63,11 @@ struct ServerOptions {
   /// --name); empty = unnamed. The cluster health monitor and operators
   /// use it to tell fleet members apart.
   std::string instance_name;
+  /// Head-of-trace sampling when this daemon is hit directly: 0 disables
+  /// tracing, N >= 1 samples every Nth request line. Requests arriving
+  /// with a `trace=` field (from the router) are always adopted, so a
+  /// backend behind a sampling router needs no flag of its own.
+  std::uint64_t trace_every = 0;
 };
 
 class Server {
@@ -127,6 +133,19 @@ class Server {
   /// The `metrics` protocol verb dumps the same registry over the wire.
   const MetricsRegistry& metrics() const { return metrics_; }
 
+  /// One coherent dump: refresh the runtime health gauges (worker-pool
+  /// queue depth, per-shard cache occupancy, open trace spans) and then
+  /// capture every instrument under a single registry lock hold. All dump
+  /// paths — the `metrics` verb, `metrics prom`, and the periodic stderr
+  /// logger — render from one of these, never from separate registry
+  /// walks that could interleave.
+  MetricsRegistry::Snapshot metrics_snapshot() const;
+
+  /// Span recorder for this tier (tecfand); the `trace` verb dumps its
+  /// completed traces.
+  const Tracer& tracer() const { return tracer_; }
+  Tracer& tracer() { return tracer_; }
+
  private:
   /// Dispatch a parsed compute request through the worker pool and wait
   /// for its response (busy / deadline answered without computing).
@@ -140,6 +159,8 @@ class Server {
   Response do_table1(sim::ChipSimulator& simulator, const Request& request);
   Response stats_response() const;
   Response metrics_response() const;
+  Response trace_response(int limit) const;
+  std::string prom_exposition() const;
 
   /// Base-scenario anchor (Table I protocol) for a workload, memoized:
   /// peak temperature defines the run/sweep threshold.
@@ -159,14 +180,24 @@ class Server {
   LatencyHistogram* hist_serialize_;
   LatencyHistogram* hist_e2e_hit_;
   LatencyHistogram* hist_e2e_miss_;
+  // Request/compute/error totals live in the registry so the `metrics`
+  // verb and the Prometheus exposition see them; Counter::inc is the same
+  // relaxed fetch_add the old bare atomics paid.
+  Counter* counter_requests_;
+  Counter* counter_computes_;
+  Counter* counter_errors_;
+  // Runtime health gauges, set at dump time from live stats (Gauge::set
+  // through a stored pointer is const-safe, so const dump paths refresh
+  // them).
+  Gauge* gauge_pool_queue_depth_;
+  Gauge* gauge_trace_open_spans_;
+  std::vector<Gauge*> gauge_cache_shards_;
+  Tracer tracer_{TraceTier::kServer};
   WorkerPool pool_;
 
   std::mutex base_mu_;
   std::map<std::string, sim::RunResult> base_results_;
 
-  std::atomic<std::uint64_t> requests_{0};
-  std::atomic<std::uint64_t> computes_{0};
-  std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::size_t> workspace_bytes_{0};  // max observed
   std::chrono::steady_clock::time_point started_at_;
 

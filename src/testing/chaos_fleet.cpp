@@ -11,6 +11,7 @@
 #include "service/framing.h"
 #include "service/request.h"
 #include "util/error.h"
+#include "util/trace.h"
 
 namespace tecfan::testing {
 namespace {
@@ -24,12 +25,31 @@ std::uint64_t splitmix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// Erase one ` key=value` field (bare or quoted value) from a reply line.
+void strip_field(std::string& line, const std::string& marker) {
+  const auto pos = line.find(marker);
+  if (pos == std::string::npos) return;
+  std::size_t end = pos + marker.size();
+  if (end < line.size() && line[end] == '"') {
+    end = line.find('"', end + 1);
+    end = end == std::string::npos ? line.size() : end + 1;
+  } else {
+    end = line.find(' ', end);
+    if (end == std::string::npos) end = line.size();
+  }
+  line.erase(pos, end - pos);
+}
+
 /// Replies are byte-identical across fleet members except for the
 /// `cached=1` marker, which depends on which backend's cache saw the key
-/// first; drop it before comparing against the reference reply.
+/// first, and — in sampling storms — the `trace=`/`spans=` fields, whose
+/// ids and durations are per-request; drop all three before comparing
+/// against the (never-sampled) reference reply.
 std::string strip_cached(std::string line) {
   const auto pos = line.find(" cached=1");
   if (pos != std::string::npos) line.erase(pos, 9);
+  strip_field(line, " trace=");
+  strip_field(line, " spans=");
   return line;
 }
 
@@ -144,7 +164,9 @@ std::string StormReport::describe() const {
      << " (cached=" << ok_cached << ") errors=" << errors
      << " malformed=" << malformed << " mismatched=" << mismatched
      << " missing=" << missing << " pending_after=" << pending_after
-     << " inflight_after=" << inflight_after;
+     << " inflight_after=" << inflight_after
+     << " traces=" << traces_completed
+     << " open_spans_after=" << open_spans_after;
   if (violations.empty()) {
     os << "\n  PASS";
   } else {
@@ -295,6 +317,46 @@ StormReport run_storm(ChaosFleet& fleet, const StormOptions& options) {
     report.violations.push_back(
         "router did not quiesce: pending=" + std::to_string(rs.pending) +
         " backend_inflight=" + std::to_string(rs.backend_inflight));
+
+  // Invariant 6: trace integrity. Failover and hedging retry the same
+  // wire line — same trace context — against replicas, but completion
+  // erases the request, so only the winning attempt's backend spans may
+  // land in the router's rings: more than one backend e2e root under a
+  // single trace id means a loser's reply leaked through. And every
+  // span opened anywhere must have been recorded (or dropped) by
+  // quiescence — a nonzero open-spans count is a leaked ring slot.
+  const Tracer& tracer = fleet.router().tracer();
+  if (tracer.sampled_traces() > 0) {
+    const auto traces = tracer.completed_traces(512);
+    report.traces_completed = traces.size();
+    for (const auto& t : traces) {
+      std::size_t backend_roots = 0;
+      for (const Span& s : t.spans) {
+        if (s.trace_id != t.trace_id) {
+          report.violations.push_back(
+              "trace reassembly mixed ids: span of trace " +
+              std::to_string(s.trace_id) + " filed under " +
+              std::to_string(t.trace_id));
+          break;
+        }
+        if (s.tier == TraceTier::kServer && s.name == SpanName::kE2e)
+          ++backend_roots;
+      }
+      if (backend_roots > 1 && report.violations.size() < 32)
+        report.violations.push_back(
+            "trace " + std::to_string(t.trace_id) + " carries " +
+            std::to_string(backend_roots) +
+            " backend e2e roots (a losing attempt's spans leaked in)");
+    }
+  }
+  std::int64_t open_spans = tracer.open_spans();
+  for (std::size_t b = 0; b < fleet.backend_count(); ++b)
+    open_spans += fleet.backend(b).tracer().open_spans();
+  report.open_spans_after = open_spans;
+  if (open_spans != 0)
+    report.violations.push_back("span rings leaked " +
+                                std::to_string(open_spans) +
+                                " open spans past quiescence");
 
   // Invariant 3: per-backend worker-pool counter conservation, queried
   // over the wire on the direct (proxy-bypassing) port. Executed counts

@@ -20,6 +20,11 @@
 //      FIFO entries were reclaimed).
 //   5. Bounded memory — implied by 4 plus the LineReader line cap: no
 //      per-connection buffer or FIFO survives quiescence.
+//   6. Trace integrity (storms with router sampling on) — a sampled trace
+//      id survives failover and hedging carrying only the winning
+//      attempt's backend spans (at most one backend e2e root per trace),
+//      and the span rings never leak slots: every tier's open-spans count
+//      drains to zero at quiescence.
 //
 // StormReport::describe() prints the seed and per-class proxy injection
 // counts, so a failing run is replayed by re-running with the seed it
@@ -74,6 +79,9 @@ class ChaosFleet {
   std::size_t backend_count() const { return servers_.size(); }
 
   cluster::Router& router() { return *router_; }
+  /// In-process handle on backend i — for tracer/leak-gauge queries that
+  /// have no wire verb on the direct port.
+  service::Server& backend(std::size_t i) { return *servers_[i].server; }
   /// nullptr when the fleet runs proxy-less.
   ChaosProxy* proxy(std::size_t i);
   /// Clean oracle: same ServerOptions as the fleet members, never bound,
@@ -126,6 +134,11 @@ struct StormReport {
   std::size_t missing = 0;     // invariant 4 violations (no reply in time)
   std::uint64_t pending_after = 0;
   std::uint64_t inflight_after = 0;
+  /// Traces reassembled at the router (sampling storms; 0 otherwise).
+  std::size_t traces_completed = 0;
+  /// Sum of open-span gauges across tiers at quiescence; nonzero means a
+  /// ScopedSpan leaked its slot.
+  std::int64_t open_spans_after = 0;
   /// Human-readable invariant violations; empty == storm passed.
   std::vector<std::string> violations;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <limits>
 
@@ -158,6 +159,88 @@ MetricsRegistry::histograms() const {
   out.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_)
     out.emplace_back(name, h->snapshot());
+  return out;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->value());
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g->value());
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_)
+    s.histograms.emplace_back(name, h->snapshot());
+  return s;
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string prom_name(const std::string& prefix, const std::string& name,
+                      const char* suffix) {
+  std::string out = prefix;
+  out += '_';
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  out += suffix;
+  return out;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string render_prometheus(const MetricsRegistry::Snapshot& snapshot,
+                              const std::string& prefix) {
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string metric = prom_name(prefix, name, "_total");
+    out += "# HELP " + metric + " Monotonic event counter " + name + ".\n";
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string metric = prom_name(prefix, name, "");
+    out += "# HELP " + metric + " Instantaneous gauge " + name + ".\n";
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + " ";
+    append_double(out, value);
+    out += '\n';
+  }
+  for (const auto& [name, snap] : snapshot.histograms) {
+    const std::string metric = prom_name(prefix, name, "_latency_us");
+    out += "# HELP " + metric + " Latency histogram " + name +
+           " in microseconds.\n";
+    out += "# TYPE " + metric + " histogram\n";
+    // Cumulative buckets from the log-scale layout; zero-delta buckets
+    // are elided (Prometheus permits sparse bucket sets) but +Inf is
+    // mandatory and must equal _count.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i + 1 < LatencyHistogram::kBucketCount; ++i) {
+      if (snap.buckets[i] == 0) continue;
+      cumulative += snap.buckets[i];
+      out += metric + "_bucket{le=\"";
+      append_double(out, LatencyHistogram::bucket_upper_us(i));
+      out += "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += metric + "_bucket{le=\"+Inf\"} " + std::to_string(snap.count) +
+           "\n";
+    out += metric + "_sum ";
+    append_double(out, snap.sum_us);
+    out += '\n';
+    out += metric + "_count " + std::to_string(snap.count) + "\n";
+  }
+  out += "# EOF\n";
   return out;
 }
 

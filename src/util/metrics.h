@@ -164,11 +164,32 @@ class MetricsRegistry {
   std::vector<std::pair<std::string, LatencyHistogram::Snapshot>> histograms()
       const;
 
+  /// Every instrument captured under ONE lock hold, so a dump renders
+  /// from a single coherent walk instead of three racing ones.
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, LatencyHistogram::Snapshot>> histograms;
+  };
+  Snapshot snapshot() const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
 };
+
+/// Prometheus text-format (0.0.4) exposition of a registry snapshot.
+/// Counters become `<prefix>_<name>_total`, gauges `<prefix>_<name>`, and
+/// each log-scale histogram a cumulative `_bucket{le="..."}`/`_sum`/
+/// `_count` family named `<prefix>_<name>_latency_us` (bounds are the
+/// existing 2^(1/4) bucket uppers; zero-count buckets are elided but the
+/// mandatory `+Inf` bucket always appears and equals `_count`). Every
+/// family gets `# HELP`/`# TYPE` headers and the body ends with a
+/// `# EOF` line so scrapers of the line protocol know where the one
+/// multi-line response stops.
+std::string render_prometheus(const MetricsRegistry::Snapshot& snapshot,
+                              const std::string& prefix = "tecfan");
 
 }  // namespace tecfan

@@ -1,0 +1,367 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+namespace tecfan {
+
+namespace {
+
+// splitmix64: deterministic, well-mixed ids from a counter. Same choice
+// as the chaos harness's seed expansion.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::optional<std::uint64_t> parse_hex_u64(std::string_view text) {
+  if (text.empty() || text.size() > 16) return std::nullopt;
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value, 16);
+  if (ec != std::errc() || ptr != text.data() + text.size())
+    return std::nullopt;
+  return value;
+}
+
+void append_hex(std::string& out, std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%" PRIx64, v);
+  out += buf;
+}
+
+std::optional<std::uint64_t> parse_dec_u64(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value, 10);
+  if (ec != std::errc() || ptr != text.data() + text.size())
+    return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+const char* trace_tier_name(TraceTier tier) {
+  switch (tier) {
+    case TraceTier::kRouter:
+      return "router";
+    case TraceTier::kServer:
+      return "tecfand";
+  }
+  return "unknown";
+}
+
+const char* span_name(SpanName name) {
+  switch (name) {
+    case SpanName::kE2e:
+      return "e2e";
+    case SpanName::kRoute:
+      return "route";
+    case SpanName::kBackendWait:
+      return "backend_wait";
+    case SpanName::kCacheProbe:
+      return "cache_probe";
+    case SpanName::kQueueWait:
+      return "queue_wait";
+    case SpanName::kCompute:
+      return "compute";
+    case SpanName::kSerialize:
+      return "serialize";
+  }
+  return "unknown";
+}
+
+std::optional<SpanName> span_name_from(std::string_view token) {
+  for (const SpanName name :
+       {SpanName::kE2e, SpanName::kRoute, SpanName::kBackendWait,
+        SpanName::kCacheProbe, SpanName::kQueueWait, SpanName::kCompute,
+        SpanName::kSerialize}) {
+    if (token == span_name(name)) return name;
+  }
+  return std::nullopt;
+}
+
+std::string TraceContext::wire() const {
+  std::string out;
+  append_hex(out, trace_id);
+  out += '-';
+  append_hex(out, span_id);
+  return out;
+}
+
+std::optional<TraceContext> TraceContext::from_wire(std::string_view text) {
+  const std::size_t dash = text.find('-');
+  if (dash == std::string_view::npos) return std::nullopt;
+  const auto id = parse_hex_u64(text.substr(0, dash));
+  const auto parent = parse_hex_u64(text.substr(dash + 1));
+  if (!id || !parent || *id == 0) return std::nullopt;
+  TraceContext ctx;
+  ctx.trace_id = *id;
+  ctx.parent_span_id = *parent;
+  ctx.span_id = 0;  // the adopting tier allocates its own root id
+  ctx.sampled = true;
+  return ctx;
+}
+
+Tracer::Tracer(TraceTier tier)
+    : tier_(tier),
+      span_id_bits_(static_cast<std::uint64_t>(tier) << 56),
+      epoch_(Clock::now()),
+      stripes_(kStripes) {}
+
+std::size_t Tracer::stripe_index() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned id = next.fetch_add(1);
+  return id % kStripes;
+}
+
+std::uint32_t Tracer::thread_label() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id = next.fetch_add(1);
+  return id;
+}
+
+TraceContext Tracer::start_trace() {
+  const std::uint64_t every = sample_every_.load(std::memory_order_relaxed);
+  if (every == 0) return {};
+  const std::uint64_t n = head_counter_.fetch_add(1, std::memory_order_relaxed);
+  if (n % every != 0) return {};
+  sampled_.fetch_add(1, std::memory_order_relaxed);
+  TraceContext ctx;
+  // Mix the tier into the stream so a router and a directly-hit backend
+  // never mint colliding ids; splitmix64 never maps this stream to 0 in
+  // practice, but guard anyway since 0 means "no trace" on the wire.
+  ctx.trace_id = splitmix64(
+      (n << 8) | (static_cast<std::uint64_t>(tier_) + 1));
+  if (ctx.trace_id == 0) ctx.trace_id = 1;
+  ctx.parent_span_id = 0;
+  ctx.span_id = next_span_id();
+  ctx.sampled = true;
+  return ctx;
+}
+
+TraceContext Tracer::adopt(const TraceContext& incoming) {
+  if (!incoming.sampled || incoming.trace_id == 0) return {};
+  adopted_.fetch_add(1, std::memory_order_relaxed);
+  TraceContext ctx = incoming;
+  ctx.span_id = next_span_id();
+  return ctx;
+}
+
+std::uint64_t Tracer::to_us(Clock::time_point t) const {
+  if (t < epoch_) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t - epoch_)
+          .count());
+}
+
+void Tracer::record(const TraceContext& ctx, SpanName name,
+                    Clock::time_point start, Clock::time_point end) {
+  if (!ctx.sampled) return;
+  if (end < start) end = start;
+  record_span(ctx.trace_id, next_span_id(), ctx.span_id, name, tier_,
+              thread_label(), to_us(start),
+              static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::microseconds>(end -
+                                                                        start)
+                      .count()));
+}
+
+void Tracer::record_root(const TraceContext& ctx, Clock::time_point start,
+                         Clock::time_point end) {
+  if (!ctx.sampled) return;
+  if (end < start) end = start;
+  record_span(ctx.trace_id, ctx.span_id, ctx.parent_span_id, SpanName::kE2e,
+              tier_, thread_label(), to_us(start),
+              static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::microseconds>(end -
+                                                                        start)
+                      .count()));
+}
+
+void Tracer::record_span(std::uint64_t trace_id, std::uint64_t span_id,
+                         std::uint64_t parent_span_id, SpanName name,
+                         TraceTier tier, std::uint32_t thread,
+                         std::uint64_t start_us, std::uint64_t duration_us) {
+  if (trace_id == 0) return;
+  Stripe& stripe = stripes_[stripe_index()];
+  const std::uint64_t claim =
+      stripe.head.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = stripe.slots[claim % kSlotsPerStripe];
+  // Invalidate before mutating so a concurrent reader that saw the old
+  // stamp re-checks and discards the torn copy.
+  slot.seq.store(0, std::memory_order_release);
+  slot.trace_id.store(trace_id, std::memory_order_relaxed);
+  slot.span_id.store(span_id, std::memory_order_relaxed);
+  slot.parent.store(parent_span_id, std::memory_order_relaxed);
+  slot.meta.store((static_cast<std::uint64_t>(name) << 40) |
+                      (static_cast<std::uint64_t>(tier) << 32) | thread,
+                  std::memory_order_relaxed);
+  slot.start_us.store(start_us, std::memory_order_relaxed);
+  slot.duration_us.store(duration_us, std::memory_order_relaxed);
+  slot.seq.store(claim + 1, std::memory_order_release);
+}
+
+std::vector<Span> Tracer::collect() const {
+  std::vector<Span> out;
+  for (const Stripe& stripe : stripes_) {
+    const std::uint64_t head = stripe.head.load(std::memory_order_acquire);
+    const std::uint64_t live = std::min<std::uint64_t>(head, kSlotsPerStripe);
+    for (std::uint64_t claim = head - live; claim < head; ++claim) {
+      const Slot& slot = stripe.slots[claim % kSlotsPerStripe];
+      if (slot.seq.load(std::memory_order_acquire) != claim + 1) continue;
+      Span span;
+      span.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+      span.span_id = slot.span_id.load(std::memory_order_relaxed);
+      span.parent_span_id = slot.parent.load(std::memory_order_relaxed);
+      const std::uint64_t meta = slot.meta.load(std::memory_order_relaxed);
+      span.name = static_cast<SpanName>((meta >> 40) & 0xffffff);
+      span.tier = static_cast<TraceTier>((meta >> 32) & 0xff);
+      span.thread = static_cast<std::uint32_t>(meta & 0xffffffffULL);
+      span.start_us = slot.start_us.load(std::memory_order_relaxed);
+      span.duration_us = slot.duration_us.load(std::memory_order_relaxed);
+      // A writer may have lapped us mid-copy; the stamp changes (to 0,
+      // then to a claim one full ring later) before any field does, so a
+      // stable stamp brackets a consistent copy.
+      if (slot.seq.load(std::memory_order_acquire) != claim + 1) continue;
+      out.push_back(span);
+    }
+  }
+  return out;
+}
+
+std::vector<Span> Tracer::collect_trace(std::uint64_t trace_id) const {
+  std::vector<Span> spans = collect();
+  spans.erase(std::remove_if(spans.begin(), spans.end(),
+                             [trace_id](const Span& s) {
+                               return s.trace_id != trace_id;
+                             }),
+              spans.end());
+  std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+    return a.start_us < b.start_us;
+  });
+  return spans;
+}
+
+std::vector<CompletedTrace> Tracer::completed_traces(std::size_t limit) const {
+  std::map<std::uint64_t, CompletedTrace> by_id;
+  for (const Span& span : collect()) {
+    CompletedTrace& trace = by_id[span.trace_id];
+    trace.trace_id = span.trace_id;
+    trace.end_us = std::max(trace.end_us, span.start_us + span.duration_us);
+    trace.spans.push_back(span);
+  }
+  std::vector<CompletedTrace> out;
+  for (auto& [id, trace] : by_id) {
+    // Complete means the lowest tier present recorded its e2e root; a
+    // trace whose root slot was already overwritten is no longer
+    // reassemblable and is skipped.
+    const auto root_tier = std::min_element(
+        trace.spans.begin(), trace.spans.end(),
+        [](const Span& a, const Span& b) { return a.tier < b.tier; });
+    const bool complete = std::any_of(
+        trace.spans.begin(), trace.spans.end(), [&](const Span& s) {
+          return s.name == SpanName::kE2e && s.tier == root_tier->tier;
+        });
+    if (!complete) continue;
+    std::sort(trace.spans.begin(), trace.spans.end(),
+              [](const Span& a, const Span& b) {
+                if (a.start_us != b.start_us) return a.start_us < b.start_us;
+                return a.span_id < b.span_id;
+              });
+    out.push_back(std::move(trace));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CompletedTrace& a, const CompletedTrace& b) {
+              if (a.end_us != b.end_us) return a.end_us < b.end_us;
+              return a.trace_id < b.trace_id;
+            });
+  if (out.size() > limit)
+    out.erase(out.begin(), out.end() - static_cast<std::ptrdiff_t>(limit));
+  return out;
+}
+
+std::string trace_to_json(const CompletedTrace& trace) {
+  std::uint64_t base = ~0ULL;
+  for (const Span& span : trace.spans) base = std::min(base, span.start_us);
+  if (trace.spans.empty()) base = 0;
+  std::string out = "{\"trace_id\":\"";
+  append_hex(out, trace.trace_id);
+  out += "\",\"spans\":[";
+  bool first = true;
+  for (const Span& span : trace.spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += span_name(span.name);
+    out += "\",\"tier\":\"";
+    out += trace_tier_name(span.tier);
+    out += "\",\"thread\":";
+    out += std::to_string(span.thread);
+    out += ",\"span\":\"";
+    append_hex(out, span.span_id);
+    out += "\",\"parent\":\"";
+    append_hex(out, span.parent_span_id);
+    out += "\",\"start_us\":";
+    out += std::to_string(span.start_us - base);
+    out += ",\"dur_us\":";
+    out += std::to_string(span.duration_us);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string encode_reply_spans(const std::vector<Span>& spans,
+                               std::uint64_t base_start_us) {
+  std::string out;
+  for (const Span& span : spans) {
+    if (!out.empty()) out += ';';
+    out += span_name(span.name);
+    out += ':';
+    out += std::to_string(span.thread);
+    out += ':';
+    out += std::to_string(span.start_us >= base_start_us
+                              ? span.start_us - base_start_us
+                              : 0);
+    out += ':';
+    out += std::to_string(span.duration_us);
+  }
+  return out;
+}
+
+std::vector<ReplySpan> decode_reply_spans(std::string_view text) {
+  std::vector<ReplySpan> out;
+  while (!text.empty()) {
+    const std::size_t semi = text.find(';');
+    std::string_view entry = text.substr(0, semi);
+    text = semi == std::string_view::npos ? std::string_view{}
+                                          : text.substr(semi + 1);
+    // name:thread:start_rel:dur
+    std::array<std::string_view, 4> parts{};
+    std::size_t n = 0;
+    while (n < 4) {
+      const std::size_t colon = entry.find(':');
+      parts[n++] = entry.substr(0, colon);
+      if (colon == std::string_view::npos) break;
+      entry = entry.substr(colon + 1);
+    }
+    if (n != 4) continue;
+    const auto name = span_name_from(parts[0]);
+    const auto thread = parse_dec_u64(parts[1]);
+    const auto start = parse_dec_u64(parts[2]);
+    const auto dur = parse_dec_u64(parts[3]);
+    if (!name || !thread || !start || !dur) continue;
+    out.push_back(ReplySpan{*name, static_cast<std::uint32_t>(*thread), *start,
+                            *dur});
+  }
+  return out;
+}
+
+}  // namespace tecfan

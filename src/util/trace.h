@@ -1,0 +1,272 @@
+// Cross-tier request tracing: TraceContext propagation plus sampled span
+// ring buffers.
+//
+// A TraceContext is a 64-bit trace id, the parent span id assigned by the
+// upstream tier, this tier's own root span id, and a sampled flag. The
+// router (or tecfand when hit directly) decides sampling once per request
+// with a deterministic 1-in-N counter, so a fixed request count yields a
+// fixed sampled count regardless of timing. The context rides the line
+// protocol as an optional `trace=<id>-<parent>` field that old peers never
+// see (the router only appends it for sampled requests) and new peers
+// echo back on the reply together with their recorded spans.
+//
+// Spans land in a small set of striped fixed-size ring buffers
+// (drop-oldest). Every slot field is an atomic: a writer claims a slot
+// with one fetch_add on the stripe head, invalidates the slot's sequence
+// stamp, stores the fields relaxed, and publishes by storing the claim
+// index into the stamp with release order. Readers copy slots and keep
+// only those whose stamp matches the claim index before AND after the
+// field reads — a slot being overwritten mid-copy is simply skipped. No
+// lock anywhere, and recording is wait-free. The unsampled path costs one
+// branch on `ctx.sampled`; nothing else is touched.
+//
+// The `trace` protocol verb reassembles recent completed traces from the
+// rings: spans are grouped by trace id, a trace is complete once its
+// root-tier `e2e` span has landed, and each trace renders as one JSON
+// object with per-span name/tier/thread/start/duration. Router-side span
+// ingestion (Tracer::record_span with explicit times) lets tecrouter fold
+// the backend's forwarded spans into its own rings, so a routed request's
+// full tree comes back from the router alone.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tecfan {
+
+/// Tier labels baked into every span so a reassembled trace says which
+/// process recorded what.
+enum class TraceTier : std::uint32_t {
+  kRouter = 0,
+  kServer = 1,
+};
+const char* trace_tier_name(TraceTier tier);
+
+/// Stage names reuse the serving-path histogram names so a span maps
+/// one-to-one onto the latency metric it explains.
+enum class SpanName : std::uint32_t {
+  kE2e = 0,        // per-tier root: request arrival to reply ready
+  kRoute = 1,      // router: parse + backend chain selection
+  kBackendWait = 2,  // router: winning attempt on the wire
+  kCacheProbe = 3,   // tecfand: ResultCache lookup
+  kQueueWait = 4,    // tecfand: WorkerPool queue residency
+  kCompute = 5,      // tecfand: solver execution
+  kSerialize = 6,    // tecfand: response serialization
+};
+const char* span_name(SpanName name);
+std::optional<SpanName> span_name_from(std::string_view token);
+
+/// Per-request trace identity. `span_id` is the root span id this tier
+/// allocated for itself — children recorded by the same tier parent onto
+/// it, and the id is propagated downstream as the next tier's parent.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
+  std::uint64_t span_id = 0;
+  bool sampled = false;
+
+  /// Wire form carried on the `trace=` protocol field:
+  /// "<trace_id hex>-<parent hex>" where parent is this tier's root span
+  /// id (the downstream peer's parent). Only sampled contexts go on the
+  /// wire.
+  std::string wire() const;
+  static std::optional<TraceContext> from_wire(std::string_view text);
+};
+
+/// One recorded span, as copied out of a ring.
+struct Span {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+  SpanName name = SpanName::kE2e;
+  TraceTier tier = TraceTier::kServer;
+  std::uint32_t thread = 0;
+  std::uint64_t start_us = 0;  // microseconds since the tracer's epoch
+  std::uint64_t duration_us = 0;
+};
+
+/// A reassembled trace: every collected span sharing one trace id, sorted
+/// by start time.
+struct CompletedTrace {
+  std::uint64_t trace_id = 0;
+  std::uint64_t end_us = 0;  // latest span end, for recency ordering
+  std::vector<Span> spans;
+};
+
+/// JSON object (single line, no embedded newlines) for one trace; span
+/// starts are re-based so the earliest span starts at 0.
+std::string trace_to_json(const CompletedTrace& trace);
+
+/// Per-process span recorder for one tier.
+class Tracer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  static constexpr std::size_t kStripes = 4;
+  static constexpr std::size_t kSlotsPerStripe = 512;
+
+  explicit Tracer(TraceTier tier);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  TraceTier tier() const { return tier_; }
+
+  /// 0 disables sampling; N >= 1 samples every Nth head request.
+  void set_sample_every(std::uint64_t n) {
+    sample_every_.store(n, std::memory_order_relaxed);
+  }
+  std::uint64_t sample_every() const {
+    return sample_every_.load(std::memory_order_relaxed);
+  }
+  bool enabled() const { return sample_every() > 0; }
+
+  /// Head-of-trace decision: deterministic 1-in-N over a process-local
+  /// counter. A sampled context carries a fresh trace id and root span id;
+  /// an unsampled one is all zeros.
+  TraceContext start_trace();
+
+  /// Adopt a context propagated from upstream: keep its trace id and
+  /// parent, allocate this tier's root span id.
+  TraceContext adopt(const TraceContext& incoming);
+
+  std::uint64_t next_span_id() {
+    return span_id_bits_ | next_span_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Record a span with explicit wall-clock endpoints taken from this
+  /// tracer's clock. `parent` defaults to the context's root span;
+  /// recording the root itself passes ctx.parent_span_id explicitly.
+  void record(const TraceContext& ctx, SpanName name, Clock::time_point start,
+              Clock::time_point end);
+  /// Record this tier's root `e2e` span under the context's own span id
+  /// (children recorded via record() parent onto it).
+  void record_root(const TraceContext& ctx, Clock::time_point start,
+                   Clock::time_point end);
+  /// Record with an explicit span/parent pair (root spans, ingested
+  /// backend spans).
+  void record_span(std::uint64_t trace_id, std::uint64_t span_id,
+                   std::uint64_t parent_span_id, SpanName name, TraceTier tier,
+                   std::uint32_t thread, std::uint64_t start_us,
+                   std::uint64_t duration_us);
+
+  std::uint64_t to_us(Clock::time_point t) const;
+  Clock::time_point epoch() const { return epoch_; }
+
+  /// Sampled head decisions made by this tracer (not adopted contexts).
+  std::uint64_t sampled_traces() const {
+    return sampled_.load(std::memory_order_relaxed);
+  }
+  /// Contexts adopted from an upstream tier: participation in traces this
+  /// tracer did not head-sample itself (a backend behind a sampling
+  /// router). sampled_traces() + adopted_traces() is the tier's total
+  /// traced-request count.
+  std::uint64_t adopted_traces() const {
+    return adopted_.load(std::memory_order_relaxed);
+  }
+  /// Spans started (ScopedSpan) but not yet recorded; drains to zero at
+  /// quiescence — the chaos harness pins ring-slot leaks with this.
+  std::int64_t open_spans() const {
+    return open_spans_.load(std::memory_order_relaxed);
+  }
+  void note_span_open() { open_spans_.fetch_add(1, std::memory_order_relaxed); }
+  void note_span_closed() {
+    open_spans_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// Copy every currently-published span out of the rings (unordered).
+  std::vector<Span> collect() const;
+  /// Spans belonging to one trace, sorted by start time.
+  std::vector<Span> collect_trace(std::uint64_t trace_id) const;
+  /// Recent completed traces (those whose lowest-tier `e2e` root span is
+  /// present), most recent last, at most `limit`.
+  std::vector<CompletedTrace> completed_traces(std::size_t limit) const;
+
+ private:
+  // All-atomic ring slot; `seq` holds claim_index + 1 once the fields are
+  // published and 0 while a writer is mid-store.
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> trace_id{0};
+    std::atomic<std::uint64_t> span_id{0};
+    std::atomic<std::uint64_t> parent{0};
+    std::atomic<std::uint64_t> meta{0};  // name<<40 | tier<<32 | thread
+    std::atomic<std::uint64_t> start_us{0};
+    std::atomic<std::uint64_t> duration_us{0};
+  };
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> head{0};
+    std::array<Slot, kSlotsPerStripe> slots{};
+  };
+  static std::size_t stripe_index();
+  static std::uint32_t thread_label();
+
+  const TraceTier tier_;
+  const std::uint64_t span_id_bits_;
+  const Clock::time_point epoch_;
+  std::atomic<std::uint64_t> sample_every_{0};
+  std::atomic<std::uint64_t> head_counter_{0};
+  std::atomic<std::uint64_t> next_span_{1};
+  std::atomic<std::uint64_t> sampled_{0};
+  std::atomic<std::uint64_t> adopted_{0};
+  std::atomic<std::int64_t> open_spans_{0};
+  std::vector<Stripe> stripes_;
+};
+
+/// Records one span between construction and stop()/destruction. The
+/// whole object is a no-op when the context is unsampled — construction
+/// is the single branch the hot path pays.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, const TraceContext& ctx, SpanName name)
+      : ScopedSpan(tracer, ctx, name,
+                   (tracer && ctx.sampled) ? Tracer::Clock::now()
+                                           : Tracer::Clock::time_point{}) {}
+  ScopedSpan(Tracer* tracer, const TraceContext& ctx, SpanName name,
+             Tracer::Clock::time_point start)
+      : tracer_((tracer && ctx.sampled) ? tracer : nullptr),
+        ctx_(&ctx),
+        name_(name),
+        start_(start) {
+    if (tracer_) tracer_->note_span_open();
+  }
+  ~ScopedSpan() { stop(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void stop() {
+    if (!tracer_) return;
+    tracer_->record(*ctx_, name_, start_, Tracer::Clock::now());
+    tracer_->note_span_closed();
+    tracer_ = nullptr;
+  }
+
+ private:
+  Tracer* tracer_;
+  const TraceContext* ctx_;
+  SpanName name_;
+  Tracer::Clock::time_point start_;
+};
+
+/// Compact reply-side span encoding carried on the `spans=` response
+/// field: "name:thread:start_rel_us:dur_us;..." with starts relative to
+/// the tier's root span start. Decoding tolerates unknown names by
+/// skipping them.
+std::string encode_reply_spans(const std::vector<Span>& spans,
+                               std::uint64_t base_start_us);
+struct ReplySpan {
+  SpanName name;
+  std::uint32_t thread;
+  std::uint64_t start_rel_us;
+  std::uint64_t duration_us;
+};
+std::vector<ReplySpan> decode_reply_spans(std::string_view text);
+
+}  // namespace tecfan

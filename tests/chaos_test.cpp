@@ -5,7 +5,8 @@
 //   1. no client-visible protocol corruption, 2. per-connection reply
 //   order, 3. per-backend worker-pool counter conservation, 4. no stuck
 //   requests + router leak gauges at zero, 5. bounded memory (implied by
-//   4 + the LineReader line cap).
+//   4 + the LineReader line cap), 6. trace integrity under sampling
+//   (winner-only spans, no leaked ring slots).
 //
 // A failing storm prints its seed and counts via describe(), so the run
 // replays exactly. Out-of-process faults go through ChaosProxy (one per
@@ -172,6 +173,43 @@ TEST(Chaos, LatencySpikesWithHedgingStayCorrect) {
   EXPECT_EQ(report.errors, 0u) << report.describe();
   // With half the replies delayed 5 ms and a 2 ms hedge, hedges fire.
   EXPECT_GE(fleet.router().stats().hedges, 1u);
+}
+
+// ------------------------------------------------------------ traced storms
+
+TEST(Chaos, TracedStormSurvivesFailoverWithWinnerOnlySpans) {
+  // Every request sampled while disconnects force failovers: the retried
+  // wire line carries the same trace context to the replica, so invariant
+  // 6 proves the reassembled traces hold exactly one backend span set
+  // (the attempt that actually answered) and the rings leak nothing.
+  auto o = proxied_fleet(112);
+  o.proxy.request_disconnect_p = 0.08;
+  o.proxy.reply_disconnect_p = 0.08;
+  o.router.trace_every = 1;
+  chaos::ChaosFleet fleet(o);
+  const auto report = run_storm(fleet, small_storm(1014, true));
+  EXPECT_TRUE(report.passed()) << report.describe();
+  EXPECT_GT(fleet.router().tracer().sampled_traces(), 0u);
+  EXPECT_GT(report.traces_completed, 0u) << report.describe();
+  EXPECT_EQ(report.open_spans_after, 0) << report.describe();
+}
+
+TEST(Chaos, TracedStormSurvivesHedgingWithWinnerOnlySpans) {
+  // Latency spikes plus an aggressive hedge: both attempts of a hedged
+  // request share one trace id, and only the winner's reply may fold its
+  // spans into the router's rings (the loser is abandoned/discarded).
+  auto o = proxied_fleet(113);
+  o.proxy.reply_delay_p = 0.5;
+  o.proxy.reply_delay_us = 5000;
+  o.router.hedge_ms = 2.0;
+  o.router.trace_every = 1;
+  chaos::ChaosFleet fleet(o);
+  const auto report = run_storm(fleet, small_storm(1015, false));
+  EXPECT_TRUE(report.passed()) << report.describe();
+  EXPECT_EQ(report.errors, 0u) << report.describe();
+  EXPECT_GE(fleet.router().stats().hedges, 1u);
+  EXPECT_GT(report.traces_completed, 0u) << report.describe();
+  EXPECT_EQ(report.open_spans_after, 0) << report.describe();
 }
 
 // --------------------------------------------------------------- mixed storm

@@ -578,6 +578,115 @@ TEST(ClusterSmoke, TcpEndToEndThroughTheRouter) {
   EXPECT_TRUE(saw_route);
 }
 
+// ----------------------------------------------------------------- tracing
+
+// Pull `"dur_us":<n>` out of the first span object matching `marker` in a
+// trace-JSON dump; 0 when the marker or field is absent.
+std::uint64_t span_duration_us(const std::string& json,
+                               const std::string& marker) {
+  const std::size_t at = json.find(marker);
+  if (at == std::string::npos) return 0;
+  const std::size_t close = json.find('}', at);
+  const std::size_t dur = json.find("\"dur_us\":", at);
+  if (dur == std::string::npos || dur > close) return 0;
+  return std::stoull(json.substr(dur + 9));
+}
+
+// The cross-tier acceptance path: a routed miss with forced sampling must
+// reassemble at the router as ONE trace carrying both tiers' spans —
+// route and backend_wait from the router, e2e/cache_probe/queue_wait/
+// compute folded in from the backend's reply — with durations that square
+// with the router's own e2e_miss histogram.
+TEST(ClusterSmoke, RoutedMissReassemblesAMultiTierTrace) {
+  LiveServer b0, b1;
+  auto opts = router_options({b0.port, b1.port});
+  opts.trace_every = 1;
+  cluster::Router router(opts);
+
+  const std::string reply =
+      router.handle_line("equilibrium workload=water threads=4 fan=1");
+  const auto parsed = service::parse_response(reply);
+  ASSERT_EQ(parsed.status, service::Response::Status::kOk) << reply;
+  ASSERT_TRUE(parsed.field("trace")) << reply;
+
+  const auto dump =
+      service::parse_response(router.handle_line("trace limit=4"));
+  ASSERT_EQ(dump.status, service::Response::Status::kOk);
+  EXPECT_EQ(dump.field("traces"), std::optional<std::string>("1"));
+  const auto t0 = dump.field("t0");
+  ASSERT_TRUE(t0);
+  // Both tiers landed in one JSON object...
+  EXPECT_NE(t0->find("\"tier\":\"router\""), std::string::npos) << *t0;
+  EXPECT_NE(t0->find("\"tier\":\"tecfand\""), std::string::npos) << *t0;
+  // ...with every stage span the routed miss path promises. (The
+  // backend's serialize span closes after its reply is built, so it
+  // stays in the backend's rings and is rightly absent here.)
+  for (const char* name :
+       {"\"name\":\"route\"", "\"name\":\"backend_wait\"",
+        "\"name\":\"cache_probe\"", "\"name\":\"queue_wait\"",
+        "\"name\":\"compute\""})
+    EXPECT_NE(t0->find(name), std::string::npos) << name << " | " << *t0;
+
+  // Durations are consistent: the root e2e span brackets the stages it
+  // contains, and matches the e2e_miss histogram's only sample within
+  // bucket slop (log buckets are ~19% wide; allow that plus scheduling
+  // noise between the two clock reads).
+  const std::uint64_t e2e = span_duration_us(*t0, "\"name\":\"e2e\"");
+  const std::uint64_t wait =
+      span_duration_us(*t0, "\"name\":\"backend_wait\"");
+  const std::uint64_t compute = span_duration_us(*t0, "\"name\":\"compute\"");
+  EXPECT_GT(e2e, 0u);
+  EXPECT_GE(e2e, wait) << *t0;
+  EXPECT_GE(wait, compute) << *t0;
+  double miss_max_us = 0.0;
+  for (const auto& [name, snap] : router.metrics().histograms())
+    if (name == "e2e_miss") {
+      EXPECT_EQ(snap.count, 1u);
+      miss_max_us = snap.max_us;
+    }
+  ASSERT_GT(miss_max_us, 0.0);
+  const double slop = 0.25 * miss_max_us + 500.0;
+  EXPECT_NEAR(static_cast<double>(e2e), miss_max_us, slop) << *t0;
+
+  // The rings drained: nothing left open on either tier.
+  EXPECT_EQ(router.tracer().open_spans(), 0);
+  EXPECT_EQ(b0.server->tracer().open_spans(), 0);
+  EXPECT_EQ(b1.server->tracer().open_spans(), 0);
+  // The backend participated as an adopter, not a second head.
+  EXPECT_EQ(router.tracer().sampled_traces(), 1u);
+  EXPECT_EQ(b0.server->tracer().sampled_traces() +
+                b1.server->tracer().sampled_traces(),
+            0u);
+  EXPECT_EQ(b0.server->tracer().adopted_traces() +
+                b1.server->tracer().adopted_traces(),
+            1u);
+}
+
+TEST(ClusterSmoke, RouterStatsAndPromExpositionCarryIdentity) {
+  LiveServer b0, b1;
+  cluster::Router router(router_options({b0.port, b1.port}));
+  router.handle_line("equilibrium workload=water threads=4 fan=1");
+
+  const auto stats = service::parse_response(router.handle_line("stats"));
+  ASSERT_EQ(stats.status, service::Response::Status::kOk);
+  EXPECT_TRUE(stats.field("build"));
+  EXPECT_TRUE(stats.field("uptime_s"));
+  EXPECT_TRUE(stats.field("traces_sampled"));
+  EXPECT_TRUE(stats.field("traces_adopted"));
+
+  // Same exposition contract as tecfand's: raw text, tecfan_ families,
+  // terminated by the EOF marker.
+  const std::string prom = router.handle_line("metrics prom");
+  EXPECT_NE(prom.find("# TYPE tecfan_routed_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("tecfan_e2e_miss_latency_us_count 1"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
+  ASSERT_GE(prom.size(), 5u);
+  EXPECT_EQ(prom.substr(prom.size() - 5), "# EOF");
+}
+
 // -------------------------------------------------------------- event loop
 
 TEST(EventLoop, TimersFireInDueOrderAndCancelsAreHonored) {

@@ -14,6 +14,7 @@
 #include <chrono>
 #include <clocale>
 #include <condition_variable>
+#include <map>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
@@ -79,6 +80,44 @@ TEST(Protocol, CanonicalKeyExcludesDeadline) {
       parse_request("run policy=tecfan workload=lu fan=1 deadline_ms=25");
   ASSERT_TRUE(a.ok && b.ok);
   EXPECT_EQ(canonical_key(a.request), canonical_key(b.request));
+}
+
+TEST(Protocol, TraceFieldParsesAndStaysOutOfTheKey) {
+  const ParsedRequest with = parse_request(
+      "equilibrium workload=water threads=4 fan=1 trace=deadbeef-1f");
+  ASSERT_TRUE(with.ok) << with.error;
+  EXPECT_TRUE(with.request.trace.sampled);
+  EXPECT_EQ(with.request.trace.trace_id, 0xdeadbeefULL);
+  EXPECT_EQ(with.request.trace.parent_span_id, 0x1fULL);
+  const ParsedRequest without =
+      parse_request("equilibrium workload=water threads=4 fan=1");
+  ASSERT_TRUE(without.ok);
+  EXPECT_FALSE(without.request.trace.sampled);
+  // Trace context is per-request plumbing, not identity: the keys must
+  // collide so a traced request can hit an entry cached untraced.
+  EXPECT_EQ(canonical_key(with.request), canonical_key(without.request));
+}
+
+TEST(Protocol, MalformedTraceContextIsARequestError) {
+  for (const char* line :
+       {"equilibrium trace=", "equilibrium trace=12",
+        "equilibrium trace=zz-1f", "equilibrium trace=12-",
+        "equilibrium trace=0-1f"}) {
+    const ParsedRequest p = parse_request(line);
+    EXPECT_FALSE(p.ok) << line;
+    if (!p.ok) {
+      EXPECT_NE(p.error.find("bad trace"), std::string::npos) << line;
+    }
+  }
+}
+
+TEST(Protocol, TraceVerbParsesItsLimit) {
+  const ParsedRequest p = parse_request("trace limit=3");
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.request.kind, RequestKind::kTrace);
+  EXPECT_EQ(p.request.trace_limit, 3);
+  EXPECT_FALSE(parse_request("trace limit=0").ok);
+  EXPECT_FALSE(parse_request("trace limit=banana").ok);
 }
 
 TEST(Protocol, CanonicalKeyRoundTrips) {
@@ -708,6 +747,155 @@ TEST(Server, MetricsVerbReportsStageHistograms) {
   const Response stats = parse_response(l4);
   ASSERT_EQ(stats.status, Response::Status::kOk) << l4;
   EXPECT_EQ(stats.field("pool_failed"), std::optional<std::string>("0"));
+}
+
+// Sum the counts out of a `<stage>_buckets` dump (`upper_us:count,...`).
+std::uint64_t sum_bucket_counts(const std::string& buckets) {
+  std::uint64_t sum = 0;
+  std::size_t pos = 0;
+  while (pos < buckets.size()) {
+    const std::size_t colon = buckets.find(':', pos);
+    if (colon == std::string::npos) break;
+    std::size_t end = buckets.find(',', colon);
+    if (end == std::string::npos) end = buckets.size();
+    sum += std::stoull(buckets.substr(colon + 1, end - colon - 1));
+    pos = end + 1;
+  }
+  return sum;
+}
+
+// Regression for the one-snapshot-per-dump contract: a metrics dump must
+// render from a single registry snapshot. A dump that re-read the live
+// instruments per field could catch a histogram between its bucket
+// increment and its sibling loads, letting the bucket sum drift from the
+// count; within one snapshot the count is *derived* from the bucket sums,
+// so the two must agree exactly on every dump, however hard the
+// concurrent load races the reader.
+TEST(Server, MetricsSnapshotConsistent) {
+  Server server(small_server_options());
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> load;
+  for (int t = 0; t < 3; ++t)
+    load.emplace_back([&server, &stop, t] {
+      int fan = t;
+      while (!stop.load(std::memory_order_relaxed))
+        server.handle_line("equilibrium workload=water threads=4 fan=" +
+                           std::to_string(fan++ % 5));
+    });
+
+  const char* stages[] = {"parse",     "cache_probe", "queue_wait", "compute",
+                          "serialize", "e2e_hit",     "e2e_miss"};
+  std::map<std::string, std::uint64_t> last_count;
+  for (int dump = 0; dump < 25; ++dump) {
+    const Response m = parse_response(server.handle_line("metrics"));
+    ASSERT_EQ(m.status, Response::Status::kOk);
+    for (const char* stage : stages) {
+      const auto count = m.field(std::string(stage) + "_count");
+      if (!count) continue;  // stage not exercised yet
+      const auto buckets = m.field(std::string(stage) + "_buckets");
+      ASSERT_TRUE(buckets) << stage;
+      const std::uint64_t n = std::stoull(*count);
+      EXPECT_EQ(sum_bucket_counts(*buckets), n)
+          << stage << " dump " << dump
+          << ": bucket sum drifted from count mid-dump";
+      EXPECT_GE(n, last_count[stage])
+          << stage << " count went backwards across dumps";
+      last_count[stage] = n;
+    }
+  }
+  stop.store(true);
+  for (auto& t : load) t.join();
+}
+
+TEST(Server, MetricsPromRendersExposition) {
+  Server server(small_server_options());
+  server.handle_line("equilibrium workload=water threads=4 fan=1");
+  server.handle_line("equilibrium workload=water threads=4 fan=1");
+  const std::string prom = server.handle_line("metrics prom");
+  // The one multi-line response in the protocol: raw exposition text,
+  // not an `ok ...` line. (Format-lint lives in util_test's
+  // check_prometheus_format; here we pin the server's wiring.)
+  EXPECT_NE(prom.rfind("ok", 0), 0u);
+  EXPECT_NE(prom.find("# TYPE tecfan_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("tecfan_requests_total 3"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("# TYPE tecfan_compute_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(prom.find("tecfan_compute_latency_us_count 1"), std::string::npos);
+  // Runtime health gauges ride along.
+  EXPECT_NE(prom.find("tecfan_pool_queue_depth"), std::string::npos);
+  // handle_line pops the trailing newline like every other reply; the
+  // exposition ends with its marker.
+  ASSERT_GE(prom.size(), 5u);
+  EXPECT_EQ(prom.substr(prom.size() - 5), "# EOF");
+}
+
+// -------------------------------------------------------------- tracing
+
+TEST(Server, HeadSampledMissCarriesSpansAndTraceVerbDumpsThem) {
+  auto o = small_server_options();
+  o.trace_every = 1;  // sample every head request
+  Server server(o);
+  const std::string miss =
+      server.handle_line("equilibrium workload=water threads=4 fan=1");
+  ASSERT_EQ(miss.rfind("ok", 0), 0u) << miss;
+  EXPECT_NE(miss.find(" trace="), std::string::npos) << miss;
+  const std::size_t miss_spans = miss.find(" spans=");
+  ASSERT_NE(miss_spans, std::string::npos) << miss;
+  for (const char* name : {"e2e", "cache_probe", "queue_wait", "compute"})
+    EXPECT_NE(miss.find(name, miss_spans), std::string::npos)
+        << name << " missing from " << miss;
+
+  // The hit is traced too (its own fresh context), but the payload that
+  // came out of the cache must stay trace-free: exactly one trace= on
+  // the reply, and no compute span replayed from the stored entry.
+  const std::string hit =
+      server.handle_line("equilibrium workload=water threads=4 fan=1");
+  ASSERT_EQ(hit.rfind("ok", 0), 0u) << hit;
+  EXPECT_NE(hit.find(" cached=1"), std::string::npos) << hit;
+  const std::size_t first = hit.find(" trace=");
+  ASSERT_NE(first, std::string::npos) << hit;
+  EXPECT_EQ(hit.find(" trace=", first + 1), std::string::npos) << hit;
+  const std::size_t hit_spans = hit.find(" spans=");
+  ASSERT_NE(hit_spans, std::string::npos) << hit;
+  EXPECT_EQ(hit.find("compute", hit_spans), std::string::npos) << hit;
+
+  const Response dump = parse_response(server.handle_line("trace limit=8"));
+  ASSERT_EQ(dump.status, Response::Status::kOk);
+  ASSERT_TRUE(dump.field("traces"));
+  EXPECT_GE(std::stoi(*dump.field("traces")), 2);
+  const auto t0 = dump.field("t0");
+  ASSERT_TRUE(t0);
+  EXPECT_NE(t0->find("\"name\":\"e2e\""), std::string::npos) << *t0;
+  EXPECT_NE(t0->find("\"tier\":\"tecfand\""), std::string::npos) << *t0;
+
+  EXPECT_EQ(server.tracer().sampled_traces(), 2u);
+  EXPECT_EQ(server.tracer().open_spans(), 0);
+}
+
+TEST(Server, PropagatedTraceContextIsAdoptedNotResampled) {
+  Server server(small_server_options());  // trace_every = 0: never heads
+  const std::string reply = server.handle_line(
+      "equilibrium workload=water threads=4 fan=1 trace=deadbeef-1f");
+  ASSERT_EQ(reply.rfind("ok", 0), 0u) << reply;
+  // The reply context keeps the upstream trace id (new root span id).
+  EXPECT_NE(reply.find(" trace=deadbeef-"), std::string::npos) << reply;
+  EXPECT_NE(reply.find(" spans="), std::string::npos) << reply;
+  EXPECT_EQ(server.tracer().adopted_traces(), 1u);
+  EXPECT_EQ(server.tracer().sampled_traces(), 0u);
+
+  // An untraced request on the same server stays untraced.
+  const std::string plain =
+      server.handle_line("equilibrium workload=water threads=4 fan=2");
+  EXPECT_EQ(plain.find(" trace="), std::string::npos) << plain;
+
+  const Response stats = parse_response(server.handle_line("stats"));
+  ASSERT_EQ(stats.status, Response::Status::kOk);
+  EXPECT_EQ(stats.field("traces_adopted"), std::optional<std::string>("1"));
+  EXPECT_EQ(stats.field("traces_sampled"), std::optional<std::string>("0"));
+  EXPECT_TRUE(stats.field("uptime_s"));
+  EXPECT_TRUE(stats.field("build"));
 }
 
 TEST(Server, UnknownPolicyAndWorkloadAreErrors) {

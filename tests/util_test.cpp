@@ -14,6 +14,7 @@
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/trace.h"
 #include "util/units.h"
 
 namespace tecfan {
@@ -437,6 +438,308 @@ TEST(MetricsRegistry, ConcurrentRecordersStayExact) {
   for (std::uint64_t b : snap.buckets) bucket_total += b;
   EXPECT_EQ(bucket_total, snap.count);
   EXPECT_DOUBLE_EQ(snap.max_us, 1000.0);
+}
+
+// ----------------------------------------------------------------- trace
+
+TEST(Trace, WireFormatRoundTrips) {
+  TraceContext ctx;
+  ctx.trace_id = 0xdeadbeef01ull;
+  ctx.span_id = 0x42ull;
+  ctx.sampled = true;
+  const std::string wire = ctx.wire();
+  const auto back = TraceContext::from_wire(wire);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->trace_id, ctx.trace_id);
+  // The sender's root span id becomes the receiver's parent.
+  EXPECT_EQ(back->parent_span_id, ctx.span_id);
+  EXPECT_TRUE(back->sampled);
+  EXPECT_EQ(back->span_id, 0u);  // the adopting tier allocates its own
+
+  EXPECT_FALSE(TraceContext::from_wire(""));
+  EXPECT_FALSE(TraceContext::from_wire("nope"));
+  EXPECT_FALSE(TraceContext::from_wire("12345"));
+  EXPECT_FALSE(TraceContext::from_wire("0-1f"));  // zero trace id
+  EXPECT_FALSE(TraceContext::from_wire("zz-1f"));
+}
+
+TEST(Trace, HeadSamplingIsDeterministicOneInN) {
+  Tracer tracer(TraceTier::kServer);
+  tracer.set_sample_every(4);
+  int sampled = 0;
+  for (int i = 0; i < 100; ++i)
+    if (tracer.start_trace().sampled) ++sampled;
+  EXPECT_EQ(sampled, 25);
+  EXPECT_EQ(tracer.sampled_traces(), 25u);
+
+  // Disabled tracer: all-zero contexts, nothing counted.
+  Tracer off(TraceTier::kServer);
+  const TraceContext ctx = off.start_trace();
+  EXPECT_FALSE(ctx.sampled);
+  EXPECT_EQ(ctx.trace_id, 0u);
+  EXPECT_EQ(off.sampled_traces(), 0u);
+}
+
+TEST(Trace, AdoptKeepsIdentityAndCountsParticipation) {
+  Tracer tracer(TraceTier::kServer);
+  TraceContext incoming;
+  incoming.trace_id = 77;
+  incoming.parent_span_id = 5;
+  incoming.sampled = true;
+  const TraceContext adopted = tracer.adopt(incoming);
+  EXPECT_TRUE(adopted.sampled);
+  EXPECT_EQ(adopted.trace_id, 77u);
+  EXPECT_EQ(adopted.parent_span_id, 5u);
+  EXPECT_NE(adopted.span_id, 0u);
+  EXPECT_EQ(tracer.adopted_traces(), 1u);
+  EXPECT_EQ(tracer.sampled_traces(), 0u);  // participation, not a head
+
+  EXPECT_FALSE(tracer.adopt(TraceContext{}).sampled);
+  EXPECT_EQ(tracer.adopted_traces(), 1u);
+}
+
+TEST(Trace, RingsDropOldestUnderOverflow) {
+  Tracer tracer(TraceTier::kServer);
+  tracer.set_sample_every(1);
+  const TraceContext ctx = tracer.start_trace();
+  const auto t0 = Tracer::Clock::now();
+  // Overfill by 3x: the rings must keep serving the newest spans and
+  // never grow past capacity.
+  const std::size_t capacity =
+      Tracer::kStripes * Tracer::kSlotsPerStripe;
+  for (std::size_t i = 0; i < 3 * capacity; ++i)
+    tracer.record(ctx, SpanName::kCompute, t0, t0 + std::chrono::microseconds(1));
+  const auto spans = tracer.collect();
+  EXPECT_LE(spans.size(), capacity);
+  // One thread writes one stripe; that stripe must be full, not grown.
+  EXPECT_GE(spans.size(), Tracer::kSlotsPerStripe / 2);
+  for (const Span& s : spans) EXPECT_EQ(s.trace_id, ctx.trace_id);
+}
+
+TEST(Trace, ScopedSpanDrainsOpenCountAndUnsampledIsInert) {
+  Tracer tracer(TraceTier::kServer);
+  tracer.set_sample_every(1);
+  const TraceContext ctx = tracer.start_trace();
+  {
+    ScopedSpan span(&tracer, ctx, SpanName::kCompute);
+    EXPECT_EQ(tracer.open_spans(), 1);
+  }
+  EXPECT_EQ(tracer.open_spans(), 0);
+  EXPECT_EQ(tracer.collect().size(), 1u);
+
+  // Unsampled context: no open-count traffic, no ring writes.
+  TraceContext cold;
+  {
+    ScopedSpan span(&tracer, cold, SpanName::kCompute);
+    EXPECT_EQ(tracer.open_spans(), 0);
+  }
+  EXPECT_EQ(tracer.collect().size(), 1u);
+}
+
+TEST(Trace, CompletedTraceAssemblesRootAndChildren) {
+  Tracer tracer(TraceTier::kRouter);
+  tracer.set_sample_every(1);
+  const TraceContext ctx = tracer.start_trace();
+  const auto t0 = Tracer::Clock::now();
+  tracer.record(ctx, SpanName::kRoute, t0, t0 + std::chrono::microseconds(3));
+  tracer.record(ctx, SpanName::kBackendWait, t0 + std::chrono::microseconds(3),
+                t0 + std::chrono::microseconds(9));
+  tracer.record_root(ctx, t0, t0 + std::chrono::microseconds(10));
+
+  const auto traces = tracer.completed_traces(8);
+  ASSERT_EQ(traces.size(), 1u);
+  const CompletedTrace& t = traces[0];
+  EXPECT_EQ(t.trace_id, ctx.trace_id);
+  ASSERT_EQ(t.spans.size(), 3u);
+  // Sorted by start: the root e2e opened first.
+  EXPECT_EQ(t.spans[0].name, SpanName::kE2e);
+  for (const Span& s : t.spans) {
+    if (s.name != SpanName::kE2e) {
+      EXPECT_EQ(s.parent_span_id, ctx.span_id);
+    }
+  }
+
+  const std::string json = trace_to_json(t);
+  EXPECT_NE(json.find("\"e2e\""), std::string::npos);
+  EXPECT_NE(json.find("\"route\""), std::string::npos);
+  EXPECT_NE(json.find("\"backend_wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"router\""), std::string::npos);
+}
+
+TEST(Trace, IncompleteTraceIsNotReturned) {
+  Tracer tracer(TraceTier::kRouter);
+  tracer.set_sample_every(1);
+  const TraceContext ctx = tracer.start_trace();
+  const auto t0 = Tracer::Clock::now();
+  tracer.record(ctx, SpanName::kRoute, t0, t0 + std::chrono::microseconds(1));
+  // No e2e root recorded yet: the trace is still open.
+  EXPECT_TRUE(tracer.completed_traces(8).empty());
+}
+
+TEST(Trace, ReplySpanEncodingRoundTrips) {
+  std::vector<Span> spans(2);
+  spans[0].name = SpanName::kE2e;
+  spans[0].thread = 3;
+  spans[0].start_us = 1000;
+  spans[0].duration_us = 250;
+  spans[1].name = SpanName::kCompute;
+  spans[1].thread = 7;
+  spans[1].start_us = 1100;
+  spans[1].duration_us = 90;
+  const std::string encoded = encode_reply_spans(spans, 1000);
+  // No protocol-special characters: the field serializes unquoted.
+  EXPECT_EQ(encoded.find(' '), std::string::npos);
+  EXPECT_EQ(encoded.find('"'), std::string::npos);
+  const auto back = decode_reply_spans(encoded);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].name, SpanName::kE2e);
+  EXPECT_EQ(back[0].start_rel_us, 0u);
+  EXPECT_EQ(back[0].duration_us, 250u);
+  EXPECT_EQ(back[1].name, SpanName::kCompute);
+  EXPECT_EQ(back[1].thread, 7u);
+  EXPECT_EQ(back[1].start_rel_us, 100u);
+
+  // Unknown span names are skipped, not fatal.
+  EXPECT_TRUE(decode_reply_spans("warp:1:2:3").empty());
+  EXPECT_TRUE(decode_reply_spans("garbage").empty());
+}
+
+// Writers on many threads racing a collector: wait-free recording must
+// neither tear spans nor crash the reader. Runs under TSan in tier-1.
+TEST(Trace, ConcurrentRecordAndCollectStayCoherent) {
+  Tracer tracer(TraceTier::kServer);
+  tracer.set_sample_every(1);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const Span& s : tracer.collect()) {
+        // A torn span would show a mismatched duration marker.
+        EXPECT_EQ(s.duration_us, s.start_us + 1);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&tracer, t] {
+      const TraceContext ctx = tracer.start_trace();
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::uint64_t mark =
+            static_cast<std::uint64_t>(t) * kPerThread + i;
+        tracer.record_span(ctx.trace_id, tracer.next_span_id(), ctx.span_id,
+                           SpanName::kCompute, TraceTier::kServer, 0, mark,
+                           mark + 1);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  reader.join();
+  const auto spans = tracer.collect();
+  EXPECT_LE(spans.size(), Tracer::kStripes * Tracer::kSlotsPerStripe);
+  for (const Span& s : spans) EXPECT_EQ(s.duration_us, s.start_us + 1);
+}
+
+// --------------------------------------------------------- prometheus text
+
+/// Minimal format check in the spirit of `promtool check metrics`: every
+/// sample line belongs to a HELP/TYPE-declared family, histogram buckets
+/// are cumulative with a final +Inf equal to _count, and the exposition
+/// ends with the explicit EOF marker.
+void check_prometheus_format(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::set<std::string> declared;
+  std::string last_family;
+  double last_bucket = 0.0, prev_le = -1.0;
+  bool saw_inf = false;
+  double inf_count = -1.0, count_value = -2.0;
+  bool ended = false;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(ended) << "content after # EOF: " << line;
+    if (line == "# EOF") {
+      ended = true;
+      continue;
+    }
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream ls(line);
+      std::string hash, kind, family;
+      ls >> hash >> kind >> family;
+      declared.insert(family);
+      continue;
+    }
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    ASSERT_NE(line[0], '#') << "unknown comment: " << line;
+    const std::size_t name_end = line.find_first_of("{ ");
+    ASSERT_NE(name_end, std::string::npos) << line;
+    std::string name = line.substr(0, name_end);
+    std::string family = name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s(suffix);
+      if (family.size() > s.size() &&
+          family.compare(family.size() - s.size(), s.size(), s) == 0) {
+        const std::string stem = family.substr(0, family.size() - s.size());
+        if (declared.count(stem)) family = stem;
+      }
+    }
+    EXPECT_TRUE(declared.count(family))
+        << "sample without HELP/TYPE: " << line;
+    const double value = std::stod(line.substr(line.rfind(' ') + 1));
+    if (name.size() > 7 &&
+        name.compare(name.size() - 7, 7, "_bucket") == 0) {
+      if (family != last_family) {
+        last_family = family;
+        prev_le = -1.0;
+        saw_inf = false;
+      }
+      const auto le_pos = line.find("le=\"");
+      ASSERT_NE(le_pos, std::string::npos) << line;
+      const std::string le =
+          line.substr(le_pos + 4, line.find('"', le_pos + 4) - le_pos - 4);
+      if (le == "+Inf") {
+        saw_inf = true;
+        inf_count = value;
+      } else {
+        const double bound = std::stod(le);
+        EXPECT_GT(bound, prev_le) << "non-monotone le in " << line;
+        EXPECT_GE(value, last_bucket) << "non-cumulative bucket: " << line;
+        prev_le = bound;
+      }
+      last_bucket = value;
+    } else if (name.size() > 6 &&
+               name.compare(name.size() - 6, 6, "_count") == 0 &&
+               declared.count(name.substr(0, name.size() - 6))) {
+      count_value = value;
+      EXPECT_TRUE(saw_inf) << "histogram missing +Inf: " << name;
+      EXPECT_DOUBLE_EQ(inf_count, count_value)
+          << "+Inf bucket != _count for " << name;
+    }
+  }
+  EXPECT_TRUE(ended) << "exposition does not end with # EOF";
+}
+
+TEST(Metrics, PrometheusRenderPassesFormatCheck) {
+  MetricsRegistry registry;
+  registry.counter("requests").inc();
+  registry.counter("requests").inc();
+  registry.gauge("pending_requests").set(3.0);
+  auto& h = registry.histogram("e2e_hit");
+  for (int i = 1; i <= 100; ++i) h.record_us(static_cast<double>(i * 13));
+  const std::string text = render_prometheus(registry.snapshot());
+  check_prometheus_format(text);
+  EXPECT_NE(text.find("tecfan_requests_total 2"), std::string::npos);
+  EXPECT_NE(text.find("tecfan_pending_requests 3"), std::string::npos);
+  EXPECT_NE(text.find("tecfan_e2e_hit_latency_us_count 100"),
+            std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+}
+
+TEST(Metrics, PrometheusRenderOfEmptyRegistryIsJustEof) {
+  MetricsRegistry registry;
+  const std::string text = render_prometheus(registry.snapshot());
+  check_prometheus_format(text);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
 }
 
 }  // namespace

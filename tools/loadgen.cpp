@@ -57,6 +57,7 @@ struct Args {
   bool router = false;  // fleet mode: backends + tecrouter in-process
   int backends = 2;
   double hedge_ms = -1.0;
+  std::uint64_t trace_every = 0;  // in-process tiers sample every Nth
   cluster::DataPlane data_plane = cluster::DataPlane::kEpoll;
   bool warmup = true;
   bool check_p99 = false;
@@ -70,7 +71,8 @@ void usage() {
       "usage: loadgen [--port N] [--connections C] [--duration-s S]\n"
       "               [--keys K] [--sim-cap-s S] [--workers N] [--queue N]\n"
       "               [--cache N] [--router] [--backends N] [--hedge-ms X]\n"
-      "               [--no-warmup] [--check-p99] [--out FILE]\n"
+      "               [--trace-every N] [--no-warmup] [--check-p99]\n"
+      "               [--out FILE]\n"
       "  --port N         target an external tecfand or tecrouter\n"
       "                   (default: in-process)\n"
       "  --connections C  closed-loop client connections (default 4)\n"
@@ -94,6 +96,9 @@ void usage() {
       "  --hedge-ms X     router hedged retry: -1 off, 0 auto-p99, >0 fixed\n"
       "  --data-plane P   router forwarding engine: epoll (default) or\n"
       "                   threads (legacy thread-per-session oracle)\n"
+      "  --trace-every N  sample every Nth compute request for cross-tier\n"
+      "                   tracing in the in-process tiers (0 = off);\n"
+      "                   sampled-trace counts land in the JSON report\n"
       "  --no-warmup      skip the cache-priming pass\n"
       "  --check-p99      exit non-zero when the server-side e2e hit p99\n"
       "                   disagrees with the client-side hit p99\n"
@@ -148,6 +153,10 @@ bool parse(int argc, char** argv, Args& out) {
       const char* v = next(i);
       if (!v) return false;
       out.hedge_ms = std::atof(v);
+    } else if (a == "--trace-every") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.trace_every = static_cast<std::uint64_t>(std::atoll(v));
     } else if (a == "--data-plane") {
       const char* v = next(i);
       if (!v) return false;
@@ -302,6 +311,9 @@ int main(int argc, char** argv) {
       options.cache_capacity = args.cache;
       options.max_sim_time_s = args.sim_cap_s;
       options.instance_name = "shard" + std::to_string(b);
+      // Behind an in-process router the router heads sampling, so only a
+      // direct in-process server samples at the entry point itself.
+      if (!args.router) options.trace_every = args.trace_every;
       fleet.push_back(std::make_unique<service::Server>(options));
       backend_ports.push_back(fleet.back()->bind_listen(0));
       fleet_threads.emplace_back(
@@ -312,6 +324,7 @@ int main(int argc, char** argv) {
       options.backend_ports = backend_ports;
       options.hedge_ms = args.hedge_ms;
       options.data_plane = args.data_plane;
+      options.trace_every = args.trace_every;
       router = std::make_unique<cluster::Router>(options);
       port = router->bind_listen(0);
       router_thread = std::thread([&router] { router->serve(); });
@@ -430,6 +443,10 @@ int main(int argc, char** argv) {
   double hit_rate = 0.0, cache_hits = 0.0, cache_misses = 0.0;
   double workers = 0.0, engine_bytes = 0.0, workspace_bytes = 0.0;
   double router_failovers = 0.0, router_hedges = 0.0;
+  // Per-tier sampled-trace counts: head decisions at the tier that made
+  // them, plus adopted contexts at the server tier (a backend behind a
+  // sampling router participates without heading).
+  std::uint64_t traces_router = 0, traces_server = 0;
   service::Response server_metrics;
   bool have_metrics = false;
   {
@@ -445,6 +462,10 @@ int main(int argc, char** argv) {
       workspace_bytes = get_field(stats, "workspace_bytes");
       router_failovers = get_field(stats, "failovers");
       router_hedges = get_field(stats, "hedges");
+      // External target: the tier that answered owns the count (a
+      // tecrouter reports its own head decisions, a tecfand its own).
+      traces_server = static_cast<std::uint64_t>(
+          get_field(stats, "traces_sampled"));
       server_metrics = service::parse_response(statc.round_trip("metrics"));
       have_metrics =
           server_metrics.status == service::Response::Status::kOk;
@@ -454,6 +475,8 @@ int main(int argc, char** argv) {
   if (router) {
     cache_hits = cache_misses = 0.0;
     workers = engine_bytes = workspace_bytes = 0.0;
+    traces_router = router->tracer().sampled_traces();
+    traces_server = 0;
     for (const auto& srv : fleet) {
       const service::Server::Stats s = srv->stats();
       cache_hits += static_cast<double>(s.cache.hits);
@@ -462,6 +485,8 @@ int main(int argc, char** argv) {
       engine_bytes += static_cast<double>(s.engine_bytes);
       workspace_bytes =
           std::max(workspace_bytes, static_cast<double>(s.workspace_bytes));
+      traces_server += srv->tracer().sampled_traces() +
+                       srv->tracer().adopted_traces();
     }
     hit_rate = cache_hits + cache_misses > 0
                    ? cache_hits / (cache_hits + cache_misses)
@@ -530,6 +555,11 @@ int main(int argc, char** argv) {
   }
   std::printf("cache hit rate    %.1f %%\n", 100.0 * hit_rate);
   std::printf("workers           %.0f\n", workers);
+  if (args.trace_every > 0)
+    std::printf("traces sampled    router %llu, server %llu (every %llu)\n",
+                static_cast<unsigned long long>(traces_router),
+                static_cast<unsigned long long>(traces_server),
+                static_cast<unsigned long long>(args.trace_every));
   if (have_metrics) {
     std::printf("server stages     (count / p50 / p99 / max us)\n");
     for (const char* stage : kStages) {
@@ -570,6 +600,9 @@ int main(int argc, char** argv) {
          << "\",\n"
          << "  \"router_failovers\": " << router_failovers << ",\n"
          << "  \"router_hedges\": " << router_hedges << ",\n"
+         << "  \"trace_every\": " << args.trace_every << ",\n"
+         << "  \"traces_sampled_router\": " << traces_router << ",\n"
+         << "  \"traces_sampled_server\": " << traces_server << ",\n"
          << "  \"connections\": " << args.connections << ",\n"
          << "  \"distinct_keys\": " << args.keys << ",\n"
          << "  \"duration_s\": " << elapsed << ",\n"

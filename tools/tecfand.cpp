@@ -39,6 +39,7 @@ struct Args {
   std::size_t cache = 4096;
   double deadline_ms = 0.0;
   double metrics_interval_s = 0.0;  // 0 = no periodic logging
+  std::uint64_t trace_every = 0;    // 0 = tracing off
   std::string name;  // replica name reported by `stats`
   bool help = false;
 };
@@ -47,7 +48,7 @@ void usage() {
   std::fprintf(stderr,
                "usage: tecfand [--pipe | --port N] [--workers N] [--queue N]\n"
                "               [--cache N] [--deadline-ms X] [--name S]\n"
-               "               [--metrics-interval S]\n"
+               "               [--metrics-interval S] [--trace-every N]\n"
                "  --pipe          serve stdin/stdout (default)\n"
                "  --port N        serve loopback TCP on port N (0 = ephemeral)\n"
                "  --workers N     worker pool size (default: hardware threads,\n"
@@ -59,14 +60,20 @@ void usage() {
                "                  (fleet members behind tecrouter)\n"
                "  --metrics-interval S\n"
                "                  log per-stage latency percentiles to stderr\n"
-               "                  every S seconds (0 = off)\n");
+               "                  every S seconds (0 = off)\n"
+               "  --trace-every N sample every Nth compute request for\n"
+               "                  cross-tier tracing (0 = off); dump with\n"
+               "                  the `trace` protocol verb\n");
 }
 
-/// One stderr line summarizing every non-empty stage histogram.
+/// One stderr line summarizing every non-empty stage histogram. Rendered
+/// from a single registry snapshot so the counters within one dump are
+/// mutually consistent (same guarantee the `metrics` verb gives).
 void log_metrics(const tecfan::service::Server& server) {
+  const auto snapshot = server.metrics_snapshot();
   std::string line = "tecfand metrics:";
   bool any = false;
-  for (const auto& [name, snap] : server.metrics().histograms()) {
+  for (const auto& [name, snap] : snapshot.histograms) {
     if (snap.count == 0) continue;
     any = true;
     char buf[160];
@@ -113,6 +120,10 @@ bool parse(int argc, char** argv, Args& out) {
       const char* v = next(i);
       if (!v) return false;
       out.metrics_interval_s = std::atof(v);
+    } else if (a == "--trace-every") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.trace_every = static_cast<std::uint64_t>(std::atoll(v));
     } else if (a == "--name") {
       const char* v = next(i);
       if (!v) return false;
@@ -154,6 +165,7 @@ int main(int argc, char** argv) {
   options.cache_capacity = args.cache;
   options.default_deadline_ms = args.deadline_ms;
   options.instance_name = args.name;
+  options.trace_every = args.trace_every;
   tecfan::service::Server server(options);
 
   // Periodic telemetry: a sampling thread that logs per-stage percentiles

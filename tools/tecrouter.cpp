@@ -10,13 +10,17 @@
 //
 //   tecrouter --port 0 --backends 7411,7412 --hedge-ms 0
 //                                  # ephemeral port, auto p99 hedging
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/router.h"
 #include "service/framing.h"
+#include "util/metrics.h"
 
 namespace {
 
@@ -30,6 +34,8 @@ struct Args {
   double deadline_ms = 0.0;
   double hedge_ms = -1.0;
   double health_interval_s = 0.1;
+  double metrics_interval_s = 0.0;  // 0 = no periodic logging
+  std::uint64_t trace_every = 0;    // 0 = tracing off
   cluster::DataPlane data_plane = cluster::DataPlane::kEpoll;
   bool help = false;
 };
@@ -40,6 +46,7 @@ void usage() {
       "usage: tecrouter --port N --backends P1,P2,... [--vnodes N]\n"
       "                 [--pool N] [--deadline-ms X] [--hedge-ms X]\n"
       "                 [--health-interval S] [--data-plane P]\n"
+      "                 [--metrics-interval S] [--trace-every N]\n"
       "  --port N           client-facing loopback port (0 = ephemeral)\n"
       "  --backends P1,P2   comma-separated tecfand ports (the fleet)\n"
       "  --vnodes N         virtual nodes per backend on the hash ring (64)\n"
@@ -51,7 +58,46 @@ void usage() {
       "  --health-interval S  backend ping period in seconds (0.1)\n"
       "  --data-plane P     forwarding engine: epoll (default, event loop\n"
       "                     with backend pipelining) or threads (legacy\n"
-      "                     thread-per-session oracle)\n");
+      "                     thread-per-session oracle)\n"
+      "  --metrics-interval S  log a metrics summary (counters, per-stage\n"
+      "                     percentiles, runtime gauges) to stderr every\n"
+      "                     S seconds (0 = off)\n"
+      "  --trace-every N    sample every Nth compute request for cross-tier\n"
+      "                     tracing (0 = off); dump reassembled traces with\n"
+      "                     the `trace` protocol verb or tools/tracecat\n");
+}
+
+/// One stderr line per dump, rendered from a single registry snapshot so
+/// every number in it describes the same instant (counters never run
+/// ahead of the histograms they explain). Counters and runtime gauges
+/// first, then every non-empty stage histogram.
+void log_metrics(const cluster::Router& router) {
+  const auto snapshot = router.metrics_snapshot();
+  std::string line = "tecrouter metrics:";
+  for (const auto& [name, value] : snapshot.counters) {
+    if (value == 0) continue;
+    line += ' ' + name + '=' + std::to_string(value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (value == 0.0) continue;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), " %s=%.0f", name.c_str(), value);
+    line += buf;
+  }
+  bool any = false;
+  for (const auto& [name, snap] : snapshot.histograms) {
+    if (snap.count == 0) continue;
+    any = true;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  " %s(n=%llu p50=%.1fus p99=%.1fus max=%.1fus)", name.c_str(),
+                  static_cast<unsigned long long>(snap.count),
+                  snap.percentile(50.0), snap.percentile(99.0), snap.max_us);
+    line += buf;
+  }
+  if (!any && snapshot.counters.empty()) line += " (no samples yet)";
+  std::fprintf(stderr, "%s\n", line.c_str());
+  std::fflush(stderr);
 }
 
 bool parse_ports(const std::string& list, std::vector<std::uint16_t>& out) {
@@ -107,6 +153,14 @@ bool parse(int argc, char** argv, Args& out) {
       const char* v = next(i);
       if (!v) return false;
       out.health_interval_s = std::atof(v);
+    } else if (a == "--metrics-interval") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.metrics_interval_s = std::atof(v);
+    } else if (a == "--trace-every") {
+      const char* v = next(i);
+      if (!v) return false;
+      out.trace_every = static_cast<std::uint64_t>(std::atoll(v));
     } else if (a == "--data-plane") {
       const char* v = next(i);
       if (!v) return false;
@@ -159,7 +213,27 @@ int main(int argc, char** argv) {
   options.hedge_ms = args.hedge_ms;
   options.health.interval_s = args.health_interval_s;
   options.data_plane = args.data_plane;
+  options.trace_every = args.trace_every;
   cluster::Router router(options);
+
+  // Periodic telemetry to stderr, same sampling-thread shape as tecfand's
+  // --metrics-interval: a 50ms poll so shutdown never waits a full period.
+  std::atomic<bool> stop_metrics{false};
+  std::thread metrics_logger;
+  if (args.metrics_interval_s > 0) {
+    metrics_logger = std::thread([&router, &stop_metrics,
+                                  interval = args.metrics_interval_s] {
+      const auto step = std::chrono::duration<double>(interval);
+      auto next = std::chrono::steady_clock::now() + step;
+      while (!stop_metrics.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        if (std::chrono::steady_clock::now() < next) continue;
+        next += std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(step);
+        log_metrics(router);
+      }
+    });
+  }
 
   const std::uint16_t port =
       router.bind_listen(static_cast<std::uint16_t>(args.port));
@@ -179,5 +253,7 @@ int main(int argc, char** argv) {
                                                              : "threads");
   std::fflush(stderr);
   router.serve();
+  stop_metrics.store(true);
+  if (metrics_logger.joinable()) metrics_logger.join();
   return 0;
 }
